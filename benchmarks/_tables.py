@@ -1,0 +1,35 @@
+"""Tiny table printer for the experiment benchmarks.
+
+The paper has no numeric tables to match (it is a position paper); each
+benchmark prints the rows/series DESIGN.md defines for its experiment, in a
+uniform format that EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def emit_table(title: str, headers: list[str],
+               rows: Iterable[Iterable[Any]]) -> None:
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    print()
+    print(f"=== {title} ===")
+    print(line(headers))
+    print(line(["-" * w for w in widths]))
+    for row in rows:
+        print(line(row))
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

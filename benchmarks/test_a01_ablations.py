@@ -1,0 +1,170 @@
+"""A1–A3: ablations — which Guillotine mechanism carries which defence.
+
+DESIGN.md calls for ablation benches on the design choices.  Each ablation
+removes exactly one mechanism from an otherwise-intact Guillotine
+deployment and re-runs the experiment that mechanism is supposed to win:
+
+* **A1 — shared data cache** (bus isolation intact, cache hierarchy
+  shared): does the E2 side channel come back?
+* **A2 — lockdown unarmed** (bus isolation intact, MMU never locked):
+  do the E3 injection attacks come back?
+* **A3 — throttle parameter sweep**: how does the E4 useful-work share
+  move with the LAPIC filter's budget?
+
+Expected shapes: A1 and A2 fully restore the attacks — proving the claims
+rest on the specific mechanism, not on the bus topology alone; A3 shows a
+smooth knob between flood protection and service rate.
+"""
+
+from benchmarks._tables import emit_table
+from repro.core import harnesses as H
+from repro.hw.machine import MachineConfig
+
+SECRET = bytes([5, 17, 33, 60, 2, 44, 21, 9])
+
+
+def test_a01_shared_cache_restores_side_channel(benchmark, capsys):
+    rows = []
+    for platform, label in (
+        (H.PLATFORM_BASELINE, "traditional (shared core)"),
+        (H.PLATFORM_GUILLOTINE, "guillotine (split hierarchy)"),
+        (H.PLATFORM_ABLATION_SHARED_CACHE,
+         "ABLATION: guillotine w/ shared dcache"),
+    ):
+        result = H.side_channel_run(platform, SECRET)
+        rows.append((label, result.accuracy, result.bits_per_trial))
+    benchmark.pedantic(
+        lambda: H.side_channel_run(H.PLATFORM_ABLATION_SHARED_CACHE, SECRET),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        emit_table(
+            "A1 — side channel vs. cache-hierarchy sharing "
+            "(bus isolation intact in all guillotine rows)",
+            ["configuration", "recovery accuracy", "bits/trial"],
+            rows,
+        )
+    assert rows[1][1] <= 0.2            # intact guillotine: dead channel
+    assert rows[2][1] >= 0.9            # one shared structure: fully back
+
+
+def test_a02_unarmed_lockdown_restores_injection(benchmark, capsys):
+    rows = []
+    outcomes = {}
+    for variant in H.INJECTION_VARIANTS:
+        locked = H.injection_attack(H.PLATFORM_GUILLOTINE, variant)
+        unlocked = H.injection_attack(H.PLATFORM_ABLATION_NO_LOCKDOWN,
+                                      variant)
+        outcomes[variant] = (locked.succeeded, unlocked.succeeded)
+        rows.append((
+            variant,
+            "INJECTED" if locked.succeeded else "blocked",
+            "INJECTED" if unlocked.succeeded else "blocked",
+        ))
+    benchmark.pedantic(
+        lambda: H.injection_attack(H.PLATFORM_ABLATION_NO_LOCKDOWN,
+                                   H.VARIANT_REMAP),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        emit_table(
+            "A2 — injection vs. MMU lockdown (same machine, lockdown on/off)",
+            ["variant", "lockdown armed", "lockdown UNARMED"],
+            rows,
+        )
+    assert outcomes[H.VARIANT_REMAP] == (False, True)
+    assert outcomes[H.VARIANT_NEW_EXEC] == (False, True)
+    assert outcomes[H.VARIANT_ALIAS] == (False, True)
+    assert outcomes[H.VARIANT_STORE] == (False, False)   # W^X, not lockdown
+
+
+def test_a03_throttle_budget_sweep(benchmark, capsys):
+    """The filter budget is a real knob: tighter budgets protect useful
+    work harder but admit fewer (legitimate-looking) requests."""
+    rows = []
+    for budget in (1, 4, 8, 32, 128):
+        result = _flood_with_budget(budget)
+        rows.append((budget, result.interrupts_serviced,
+                     result.throttle_drops, result.useful_fraction))
+    unlimited = H.interrupt_flood_run(throttled=False, doorbells=1000,
+                                      useful_units=100)
+    rows.append(("unlimited", unlimited.interrupts_serviced,
+                 unlimited.throttle_drops, unlimited.useful_fraction))
+    benchmark.pedantic(lambda: _flood_with_budget(8), rounds=1, iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "A3 — LAPIC budget sweep (1000-doorbell flood, 100 work units)",
+            ["budget (per 1000 cyc)", "serviced", "coalesced",
+             "useful-work share"],
+            rows,
+        )
+    shares = [row[3] for row in rows]
+    # Monotone: looser budgets -> lower useful-work share.
+    assert all(a >= b - 1e-9 for a, b in zip(shares, shares[1:]))
+    assert shares[0] > 0.5
+    assert shares[-1] < 0.1
+
+
+def test_a01b_covert_media_vs_flush(benchmark, capsys):
+    """Footnote 2 of section 3.2 says the clear verb must cover *all*
+    microarchitectural state — both covert media die to one flush."""
+    bits = [1, 0, 1, 1, 0, 0, 1, 0]
+    rows = []
+    for medium, run in (
+        ("cache-set occupancy", H.covert_channel_run),
+        ("branch-predictor counters", H.bp_covert_channel_run),
+    ):
+        open_channel = run(bits, flush_between=False)
+        flushed = run(bits, flush_between=True)
+        rows.append((medium, open_channel.accuracy, flushed.accuracy))
+    benchmark.pedantic(
+        lambda: H.bp_covert_channel_run(bits, flush_between=True),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        emit_table(
+            "A1b — covert-channel media vs. the microarch-clear verb",
+            ["medium", "accuracy (no flush)", "accuracy (flushed)"],
+            rows,
+        )
+    for _, open_accuracy, flushed_accuracy in rows:
+        assert open_accuracy == 1.0
+        assert flushed_accuracy <= 0.6
+
+
+def _flood_with_budget(budget: int):
+    from repro.hv.hypervisor import GuillotineHypervisor
+    from repro.hw.machine import build_guillotine_machine
+    from repro.hw.core import CoreState
+    from repro.model import programs
+
+    config = MachineConfig(n_model_cores=1, n_hv_cores=1, tlb_entries=128,
+                           lapic_throttle_max=budget,
+                           lapic_throttle_window=1000)
+    machine = build_guillotine_machine(config)
+    hypervisor = GuillotineHypervisor(machine)
+    core = machine.model_cores[0]
+    layout = machine.load_program(core, programs.flood_program(1000))
+    machine.control_bus.lockdown_mmu(core.name, 0, layout["code_pages"] - 1)
+    core.resume()
+    units_done = 0
+    start = machine.clock.now
+    while core.state is CoreState.RUNNING or units_done < 100:
+        core.run(max_steps=40)
+        hypervisor.service()
+        if units_done < 100:
+            hypervisor.do_useful_work(1)
+            units_done += 1
+        if core.state is not CoreState.RUNNING and units_done >= 100:
+            break
+    hypervisor.service()
+    lapic = machine.lapics[machine.hv_cores[0].name]
+    return H.FloodResult(
+        throttled=True,
+        doorbells_rung=1000,
+        interrupts_serviced=hypervisor.interrupts_handled,
+        throttle_drops=lapic.throttled,
+        useful_units_done=units_done,
+        total_cycles=machine.clock.now - start,
+        hv_interrupt_cycles=hypervisor.interrupts_handled * 40,
+    )

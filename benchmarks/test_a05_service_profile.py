@@ -1,0 +1,129 @@
+"""A5: profiling the section-2 model-service substrate inside the sandbox.
+
+The paper's background section describes the serving stack Guillotine must
+host: request queues, model replicas, CPU-orchestrated GPU transfers, KV
+caches in GPU DRAM, RAG reads.  This bench characterises that substrate
+running entirely behind ports: queueing behaviour under bursts, the cost
+split of one inference (forward pass vs. mediated KV/NIC/RAG IO), KV-cache
+growth across conversation turns, and the per-request price of RAG.
+
+Expected shapes: queue wait grows with burst position (single service
+pipeline); RAG adds a constant mediated-read cost; KV entries grow linearly
+with turns and vanish on eviction.
+"""
+
+from benchmarks._tables import emit_table
+from repro.core.sandbox import GuillotineSandbox
+from repro.net.network import Host
+
+
+def _fresh_service(use_rag: bool = False, replicas: int = 2):
+    sandbox = GuillotineSandbox.create()
+    sandbox.network.attach(Host("user"))
+    service = sandbox.build_service(replicas=replicas, use_rag=use_rag)
+    if use_rag:
+        service.rag.ingest("doc-a", "the reactor setpoint is 350 degrees")
+        service.rag.ingest("doc-b", "maintenance window opens at midnight")
+    return sandbox, service
+
+
+def test_a05_burst_queueing(benchmark, capsys):
+    def run_burst(size):
+        sandbox, service = _fresh_service()
+        for index in range(size):
+            service.submit(f"question {index}", client_host="user")
+        return service.drain()
+
+    rows = []
+    for burst in (1, 4, 16):
+        results = run_burst(burst)
+        waits = [r.queue_wait_cycles for r in results]
+        services = [r.latency_cycles for r in results]
+        rows.append((
+            burst,
+            sum(waits) / len(waits),
+            max(waits),
+            sum(services) / len(services),
+        ))
+    benchmark.pedantic(lambda: run_burst(4), rounds=1, iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "A5 — queueing under bursts (2 replicas, one service pipeline)",
+            ["burst size", "mean queue wait (cyc)", "max queue wait (cyc)",
+             "mean service time (cyc)"],
+            rows,
+        )
+    mean_waits = [row[1] for row in rows]
+    assert mean_waits == sorted(mean_waits)      # deeper burst, longer wait
+    assert rows[0][1] == 0                        # lone request never queues
+
+
+def test_a05_rag_cost(benchmark, capsys):
+    def serve_one(use_rag):
+        sandbox, service = _fresh_service(use_rag=use_rag)
+        service.submit("what is the reactor setpoint", client_host="user",
+                       use_rag=use_rag)
+        return service.step()
+
+    plain = benchmark.pedantic(lambda: serve_one(False), rounds=1,
+                               iterations=1)
+    with_rag = serve_one(True)
+    with capsys.disabled():
+        emit_table(
+            "A5 — the price of retrieval (both fully mediated)",
+            ["configuration", "service cycles", "context docs"],
+            [
+                ("no RAG", plain.latency_cycles, len(plain.context_docs)),
+                ("RAG (2-doc corpus, k=2)", with_rag.latency_cycles,
+                 len(with_rag.context_docs)),
+            ],
+        )
+    assert with_rag.latency_cycles > plain.latency_cycles
+    assert with_rag.context_docs
+
+
+def test_a05_kv_cache_growth_and_eviction(benchmark, capsys):
+    sandbox, service = _fresh_service()
+    rows = []
+    for turn in range(1, 6):
+        service.submit(f"turn {turn} of the conversation",
+                       client_host="user", session="chat-1")
+        result = service.step()
+        rows.append((turn, result.kv_entries))
+    service.evict_session("chat-1")
+    gpu = sandbox.machine.devices["gpu0"]
+    response, _ = gpu.submit({"op": "kv_read", "session": "chat-1"})
+    rows.append(("after eviction", len(response["entries"])))
+    benchmark.pedantic(
+        lambda: gpu.submit({"op": "kv_read", "session": "chat-1"}),
+        rounds=5, iterations=1,
+    )
+    with capsys.disabled():
+        emit_table(
+            "A5 — KV-cache entries across conversation turns",
+            ["turn", "kv entries on GPU"],
+            rows,
+        )
+    entries = [row[1] for row in rows[:-1]]
+    assert entries == sorted(entries) and entries[0] < entries[-1]
+    assert rows[-1][1] == 0
+
+
+def test_a05_replica_scaling(benchmark, capsys):
+    rows = []
+    for replicas in (1, 2, 4):
+        sandbox, service = _fresh_service(replicas=replicas)
+        for index in range(12):
+            service.submit(f"q{index}", client_host="user")
+        service.drain()
+        loads = service.replica_loads()
+        rows.append((replicas, loads, max(loads) - min(loads)))
+    benchmark.pedantic(lambda: _fresh_service(replicas=2), rounds=1,
+                       iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "A5 — load balance across replicas (12 requests)",
+            ["replicas", "per-replica served", "imbalance"],
+            rows,
+        )
+    assert all(row[2] <= 1 for row in rows)      # least-loaded balancing

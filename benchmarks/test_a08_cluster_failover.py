@@ -1,0 +1,61 @@
+"""A8: fleet-scale serving across incidents — containment vs. availability.
+
+Section 2 calls a model service "a distributed system"; at fleet scale,
+Guillotine's unit of containment is one deployment.  This bench walks a
+3-member cluster through an incident timeline (healthy → one severed → two
+offline → recovery) and records routable capacity, request balance, and
+failover behaviour at each phase.
+
+Expected shape: traffic rebalances instantly onto the survivors; capacity
+degrades one deployment at a time; a 5-of-7 recovery restores it.
+"""
+
+from benchmarks._tables import emit_table
+from repro.model.cluster import ServiceCluster
+from repro.physical.isolation import IsolationLevel
+
+RESTRICT = {"admin0", "admin1", "admin2"}
+RELAX = {f"admin{i}" for i in range(5)}
+
+
+def test_a08_incident_timeline(benchmark, capsys):
+    cluster = benchmark.pedantic(
+        lambda: ServiceCluster.launch(size=3, replicas_per_member=1),
+        rounds=1, iterations=1,
+    )
+    rows = []
+
+    def serve_round(phase, requests=6):
+        served_by = {}
+        for index in range(requests):
+            name, result = cluster.submit(f"{phase} q{index}")
+            assert result.delivered or result.aborted
+            served_by[name] = served_by.get(name, 0) + 1
+        healthy, total = cluster.capacity()
+        rows.append((phase, f"{healthy}/{total}",
+                     ", ".join(f"{k}:{v}" for k, v in sorted(served_by.items()))))
+
+    serve_round("healthy")
+    cluster.member("member0").sandbox.console.admin_transition(
+        IsolationLevel.SEVERED, RESTRICT, "incident A")
+    serve_round("member0 severed")
+    cluster.member("member1").sandbox.console.admin_transition(
+        IsolationLevel.OFFLINE, RESTRICT, "incident B")
+    serve_round("member1 offline too")
+    cluster.member("member1").sandbox.console.admin_transition(
+        IsolationLevel.STANDARD, RELAX, "forensics clear")
+    serve_round("member1 recovered")
+
+    with capsys.disabled():
+        emit_table(
+            "A8 — 3-member cluster through an incident timeline "
+            "(6 requests per phase)",
+            ["phase", "healthy/total", "requests served by"],
+            rows,
+        )
+    assert rows[0][1] == "3/3"
+    assert rows[1][1] == "2/3"
+    assert rows[2][1] == "1/3"
+    assert rows[3][1] == "2/3"
+    # During the single-survivor phase everything landed on member2.
+    assert rows[2][2] == "member2:6"

@@ -1,0 +1,71 @@
+"""A9: Foreshadow-class transient execution vs. the two isolation designs.
+
+The paper cites Spectre [31] and Foreshadow [75] as exactly the leak class
+that motivates limiting microarchitectural co-tenancy.  This bench arms
+*both* platforms with identically flawed speculative cores (wrong-path
+execution window = 6, EPT-faulting loads forward stale data — the L1TF
+defect) and runs the classic two-load gadget against a hypervisor secret.
+
+Expected shape: on the traditional platform the EPT blocks every
+*architectural* read yet the transient gadget recovers the secret
+byte-for-byte — permission checks are a speculation-bypassable property.
+On Guillotine the identical gadget forwards nothing: the model's buses
+simply do not go there, and a cache line cannot fill over a wire that does
+not exist.  Isolation by topology survives the design flaw that kills
+isolation by permission check.
+"""
+
+import hashlib
+
+from benchmarks._tables import emit_table
+from repro.core import harnesses as H
+
+
+def _secret(length: int) -> bytes:
+    raw = hashlib.sha256(b"guillotine-a9").digest()
+    return bytes((b % 62) + 1 for b in raw[:length])   # alphabet 1..62
+
+
+def test_a09_foreshadow_gadget(benchmark, capsys):
+    secret = _secret(8)
+    baseline = benchmark.pedantic(
+        lambda: H.foreshadow_run(H.PLATFORM_BASELINE, secret),
+        rounds=1, iterations=1,
+    )
+    guillotine = H.foreshadow_run(H.PLATFORM_GUILLOTINE, secret)
+
+    with capsys.disabled():
+        emit_table(
+            "A9 — transient-execution leak (L1TF-flawed cores on BOTH "
+            "platforms; 8 secret bytes)",
+            ["platform", "architectural reads", "faulting loads forwarded",
+             "bytes recovered", "accuracy"],
+            [
+                ("baseline (EPT isolation)",
+                 "blocked" if baseline.architectural_reads_blocked else "OPEN",
+                 baseline.shadow_loads_forwarded,
+                 sum(1 for r in baseline.recovered if r >= 0),
+                 baseline.accuracy),
+                ("guillotine (bus isolation)",
+                 "blocked" if guillotine.architectural_reads_blocked else "OPEN",
+                 guillotine.shadow_loads_forwarded,
+                 sum(1 for r in guillotine.recovered if r >= 0),
+                 guillotine.accuracy),
+            ],
+        )
+        emit_table(
+            "A9 — the punchline",
+            ["claim", "measured"],
+            [
+                ("EPT blocks the gadget architecturally", "yes (both rows)"),
+                ("EPT survives the gadget transiently",
+                 f"no — {baseline.accuracy:.0%} of the secret leaked"),
+                ("missing wires survive the gadget transiently",
+                 f"yes — {guillotine.accuracy:.0%} leaked, "
+                 f"{guillotine.shadow_loads_forwarded} loads forwarded"),
+            ],
+        )
+    assert baseline.architectural_reads_blocked
+    assert baseline.accuracy == 1.0
+    assert guillotine.accuracy == 0.0
+    assert guillotine.shadow_loads_forwarded == 0

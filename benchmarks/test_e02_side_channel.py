@@ -1,0 +1,65 @@
+"""E2: prime+probe side-channel capacity, baseline vs. Guillotine.
+
+Paper claim (section 3.2): limiting microarchitectural co-tenancy
+"eliminates many kinds of side-channel leakages by definition".  A GISA
+prime+probe attacker recovers a hypervisor secret byte-by-byte on the
+shared-core baseline; the same attacker against the split-hierarchy
+Guillotine machine recovers nothing.
+
+Expected shape: baseline accuracy ~1.0 (6 bits/trial), Guillotine ~chance.
+"""
+
+import hashlib
+
+from benchmarks._tables import emit_table
+from repro.core import harnesses as H
+
+
+def _secret(length: int) -> bytes:
+    # Deterministic pseudo-random secret with bytes in the 0..63 alphabet.
+    raw = hashlib.sha256(b"guillotine-e2").digest() * 4
+    return bytes(b % H.SECRET_ALPHABET for b in raw[:length])
+
+
+def test_e02_side_channel_capacity(benchmark, capsys):
+    secret = _secret(16)
+    baseline = benchmark.pedantic(
+        lambda: H.side_channel_run(H.PLATFORM_BASELINE, secret),
+        rounds=1, iterations=1,
+    )
+    guillotine = H.side_channel_run(H.PLATFORM_GUILLOTINE, secret)
+
+    with capsys.disabled():
+        emit_table(
+            "E2 — prime+probe channel capacity (16 secret bytes)",
+            ["platform", "recovery accuracy", "bits/trial",
+             "total bits recovered"],
+            [
+                ("baseline (shared core)", baseline.accuracy,
+                 baseline.bits_per_trial, baseline.capacity_bits),
+                ("guillotine (split hierarchy)", guillotine.accuracy,
+                 guillotine.bits_per_trial, guillotine.capacity_bits),
+            ],
+        )
+    assert baseline.accuracy >= 0.9
+    assert guillotine.accuracy <= 0.2
+
+
+def test_e02_sweep_secret_length(capsys, benchmark):
+    rows = []
+    for length in (4, 8, 32):
+        secret = _secret(length)
+        baseline = H.side_channel_run(H.PLATFORM_BASELINE, secret)
+        guillotine = H.side_channel_run(H.PLATFORM_GUILLOTINE, secret)
+        rows.append((length, baseline.accuracy, guillotine.accuracy))
+    benchmark.pedantic(
+        lambda: H.side_channel_run(H.PLATFORM_BASELINE, _secret(4)),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        emit_table(
+            "E2 — sweep over secret length",
+            ["secret bytes", "baseline accuracy", "guillotine accuracy"],
+            rows,
+        )
+    assert all(b >= 0.9 and g <= 0.25 for _, b, g in rows)

@@ -1,0 +1,112 @@
+"""E5: the six-level isolation ladder changes real reachability.
+
+Paper claim (section 3.4): six levels, each strictly more restrictive; the
+software hypervisor can only go up.  For every level this bench drives a
+fresh deployment to it and measures what is still possible, plus the
+transition latency (dominated by kill-switch actuation at higher levels).
+"""
+
+import pytest
+
+from benchmarks._tables import emit_table
+from repro.core.sandbox import GuillotineSandbox
+from repro.hv.guest import PortRequestFailed
+from repro.physical.isolation import IsolationLevel
+
+APPROVERS = {f"admin{i}" for i in range(3)}
+
+
+def _capabilities_at(level: IsolationLevel) -> dict:
+    sandbox = GuillotineSandbox.create()
+    client = sandbox.client_for("disk0", "probe-model")
+    started = sandbox.clock.now
+    if level is not IsolationLevel.STANDARD:
+        sandbox.console.admin_transition(level, APPROVERS, "ladder drill")
+    latency = sandbox.clock.now - started
+
+    try:
+        client.request({"op": "read", "block": 0, "length": 8})
+        ports_work = True
+    except (PortRequestFailed, Exception):
+        ports_work = False
+
+    cores_powered = not sandbox.machine.model_cores[0].is_powered_down
+
+    try:
+        sandbox.machine.control_bus.pause("model_core0")
+        sandbox.machine.inspection_bus.read("model_dram", 0)
+        inspectable = cores_powered
+    except Exception:
+        inspectable = False
+    # Offline keeps DRAM physically present (power restores it in this
+    # model); immolation wiped it.  Distinguish by plant state.
+    state = sandbox.console.plant.state()
+    return {
+        "level": level.name,
+        "ports": ports_work,
+        "cores_powered": cores_powered,
+        "dram_inspectable": inspectable,
+        "cable": state.network_cable.value,
+        "plant_intact": state.building_intact,
+        "latency_cycles": latency,
+    }
+
+
+def test_e05_ladder_capability_matrix(benchmark, capsys):
+    rows = []
+    for level in IsolationLevel:
+        capabilities = _capabilities_at(level)
+        rows.append((
+            capabilities["level"],
+            "yes" if capabilities["ports"] else "no",
+            "yes" if capabilities["cores_powered"] else "no",
+            "yes" if capabilities["dram_inspectable"] else "no",
+            capabilities["cable"],
+            "yes" if capabilities["plant_intact"] else "no",
+            capabilities["latency_cycles"],
+        ))
+    benchmark.pedantic(
+        lambda: _capabilities_at(IsolationLevel.SEVERED),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        emit_table(
+            "E5 — capability matrix down the isolation ladder",
+            ["level", "ports", "cores", "dram-inspect", "net cable",
+             "plant", "transition latency (cyc)"],
+            rows,
+        )
+    # Monotone shrinkage: each capability column flips to 'no' once and
+    # never comes back.
+    for column in (1, 2, 5):
+        values = [row[column] == "yes" for row in rows]
+        assert values == sorted(values, reverse=True), f"column {column}"
+    # Escalation latency grows with severity (relays < cutters < flooding).
+    latencies = [row[6] for row in rows]
+    assert latencies[3] > latencies[2]          # offline > severed
+    assert latencies[4] > latencies[3]          # decapitation > offline
+    assert latencies[5] > latencies[4]          # immolation > decapitation
+
+
+def test_e05_software_cannot_relax(benchmark, capsys):
+    sandbox = GuillotineSandbox.create()
+    sandbox.console.admin_transition(IsolationLevel.SEVERED, APPROVERS)
+    outcomes = []
+    for target in (IsolationLevel.STANDARD, IsolationLevel.PROBATION):
+        applied = sandbox.console.software_request(target, "model asks nicely")
+        outcomes.append((f"SEVERED -> {target.name}", "APPLIED" if applied
+                         else "refused"))
+    applied = sandbox.console.software_request(IsolationLevel.OFFLINE,
+                                               "detector alarm")
+    outcomes.append(("SEVERED -> OFFLINE", "applied" if applied else "REFUSED"))
+    benchmark.pedantic(lambda: GuillotineSandbox.create(), rounds=1,
+                       iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "E5 — software-initiated transitions (monotonicity)",
+            ["request", "outcome"],
+            outcomes,
+        )
+    assert outcomes[0][1] == "refused"
+    assert outcomes[1][1] == "refused"
+    assert outcomes[2][1] == "applied"

@@ -1,0 +1,99 @@
+"""E6: admin-quorum robustness against social engineering.
+
+Paper claim (section 3.4): the 5-of-7 relax / 3-of-7 restrict policy
+"creates a bias towards safety, and robustness against a malicious model
+that has used social engineering to corrupt a subset of Guillotine
+administrators".
+
+Monte Carlo over the number of corrupted admins (0..7) under three console
+policies: Guillotine's asymmetric quorum, simple majority (4-of-7 both
+ways), and a single-operator console (the traditional deployment).
+Expected shape: malicious relaxation stays impossible until >= 5 corrupted
+admins under Guillotine, while legitimate restriction survives until >= 5
+admins are lost.
+"""
+
+from benchmarks._tables import emit_table
+from repro.physical.hsm import Admin, HardwareSecurityModule
+
+
+def _relax_succeeds(corrupted: int, votes_required: int,
+                    total_admins: int = 7) -> bool:
+    admins = [Admin(f"a{i}") for i in range(total_admins)]
+    hsm = HardwareSecurityModule(admins)
+    approving = {f"a{i}" for i in range(corrupted)}
+    return hsm.try_authorize("relax", votes_required, admins, approving)
+
+
+def _restrict_succeeds(honest: int, votes_required: int,
+                       total_admins: int = 7) -> bool:
+    admins = [Admin(f"a{i}") for i in range(total_admins)]
+    hsm = HardwareSecurityModule(admins)
+    approving = {f"a{i}" for i in range(honest)}
+    return hsm.try_authorize("restrict", votes_required, admins, approving)
+
+
+def test_e06_quorum_robustness(benchmark, capsys):
+    rows = []
+    for corrupted in range(8):
+        honest = 7 - corrupted
+        rows.append((
+            corrupted,
+            "ESCAPES" if _relax_succeeds(corrupted, 5) else "held",
+            "ESCAPES" if _relax_succeeds(corrupted, 4) else "held",
+            "ESCAPES" if corrupted >= 1 else "held",
+            "ok" if _restrict_succeeds(honest, 3) else "LOST",
+        ))
+    benchmark.pedantic(lambda: _relax_succeeds(4, 5), rounds=5, iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "E6 — corrupted admins vs. console policy",
+            ["corrupted", "guillotine 5-of-7 relax", "majority 4-of-7 relax",
+             "single operator", "honest 3-of-7 restrict"],
+            rows,
+        )
+    # Guillotine holds through 4 corrupted admins; majority falls at 4;
+    # a single operator falls at 1.
+    assert [row[1] for row in rows[:5]] == ["held"] * 5
+    assert rows[4][2] == "ESCAPES"
+    assert rows[1][3] == "ESCAPES"
+    # Honest restriction survives until fewer than 3 honest admins remain.
+    assert [row[4] for row in rows] == ["ok"] * 5 + ["LOST"] * 3
+
+
+def test_e06_forged_votes_never_help(benchmark, capsys):
+    """A model controlling k admins cannot forge the remaining votes."""
+    from repro.errors import QuorumRejected
+    from repro.physical.hsm import Vote
+
+    def attempt(corrupted: int) -> bool:
+        admins = [Admin(f"a{i}") for i in range(7)]
+        hsm = HardwareSecurityModule(admins)
+        session = hsm.open_session("relax", 5)
+        for index in range(7):
+            if index < corrupted:
+                hsm.cast(admins[index].sign_vote(session.session_id,
+                                                 "relax", True))
+            else:
+                try:
+                    hsm.cast(Vote(admin=f"a{index}",
+                                  session_id=session.session_id,
+                                  action="relax", approve=True,
+                                  signature="0" * 64))
+                except QuorumRejected:
+                    pass
+        try:
+            hsm.tally(session.session_id)
+            return True
+        except QuorumRejected:
+            return False
+
+    rows = [(k, "ESCAPES" if attempt(k) else "held") for k in range(8)]
+    benchmark.pedantic(lambda: attempt(4), rounds=5, iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "E6 — relax with k genuine + (7-k) forged votes",
+            ["corrupted (genuine votes)", "outcome"],
+            rows,
+        )
+    assert [r[1] for r in rows] == ["held"] * 5 + ["ESCAPES"] * 3

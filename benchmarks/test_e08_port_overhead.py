@@ -1,0 +1,107 @@
+"""E8: the price of mandatory mediation — ports vs. SR-IOV passthrough.
+
+Paper claim (section 3.3): "Guillotine explicitly disallows models from
+directly engaging with hardware via techniques like SR-IOV — Guillotine
+must be able to synchronously monitor all model/device interactions."
+
+For NIC-send and storage-read workloads across message sizes, this bench
+measures virtual cycles/op for Guillotine ports vs. direct assignment,
+alongside what the mediation *buys*: audit-log completeness (100% vs 0%).
+Expected shape: ports cost a integer multiple of direct access, growing
+with payload (mailbox word traffic); completeness is categorical.
+"""
+
+from benchmarks._tables import emit_table
+from repro.core.sandbox import GuillotineSandbox, UnsandboxedDeployment
+from repro.hv.audit import MediationChecker
+from repro.net.network import Host
+
+SIZES = (16, 64, 160)
+OPS_PER_POINT = 20
+
+
+def _cycles_per_op(deployment, device, request_builder, ops):
+    client = deployment.client_for(device, "bench-model")
+    start = deployment.clock.now
+    for index in range(ops):
+        client.request(request_builder(index))
+    return (deployment.clock.now - start) / ops
+
+
+def _run_matrix():
+    rows = []
+    for size in SIZES:
+        payload = b"x" * size
+        guillotine = GuillotineSandbox.create()
+        guillotine.network.attach(Host("peer"))
+        baseline = UnsandboxedDeployment()
+        baseline.network.attach(Host("peer"))
+        g_send = _cycles_per_op(
+            guillotine, "nic0",
+            lambda i: {"op": "send", "dst": "peer", "payload": payload},
+            OPS_PER_POINT,
+        )
+        b_send = _cycles_per_op(
+            baseline, "nic0",
+            lambda i: {"op": "send", "dst": "peer", "payload": payload},
+            OPS_PER_POINT,
+        )
+        g_read = _cycles_per_op(
+            guillotine, "disk0",
+            lambda i: {"op": "read", "block": i % 8, "length": size},
+            OPS_PER_POINT,
+        )
+        b_read = _cycles_per_op(
+            baseline, "disk0",
+            lambda i: {"op": "read", "block": i % 8, "length": size},
+            OPS_PER_POINT,
+        )
+        rows.append((size, g_send, b_send, g_send / b_send,
+                     g_read, b_read, g_read / b_read))
+    return rows
+
+
+def test_e08_cycles_per_op(benchmark, capsys):
+    rows = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "E8 — cycles/op: Guillotine ports vs. SR-IOV direct assignment",
+            ["bytes", "port send", "direct send", "send overhead x",
+             "port read", "direct read", "read overhead x"],
+            rows,
+        )
+    for row in rows:
+        assert row[3] > 1.0     # mediation is never free
+        assert row[6] > 1.0
+        assert row[3] < 60.0    # ...but bounded
+
+
+def test_e08_mediation_completeness(benchmark, capsys):
+    guillotine = GuillotineSandbox.create()
+    baseline = UnsandboxedDeployment()
+
+    def measure(deployment):
+        checker = MediationChecker(deployment.log)
+        checker.start(deployment.machine.devices)
+        client = deployment.client_for("disk0", "bench-model")
+        for block in range(10):
+            client.request({"op": "write", "block": block, "data": b"z"})
+        return checker.report(deployment.machine.devices)
+
+    g_report = benchmark.pedantic(lambda: measure(guillotine), rounds=1,
+                                  iterations=1)
+    b_report = measure(baseline)
+    with capsys.disabled():
+        emit_table(
+            "E8 — audit completeness (what the overhead buys)",
+            ["platform", "device ops", "ops visible in audit log",
+             "completeness"],
+            [
+                ("guillotine ports", g_report.device_requests,
+                 g_report.logged_interactions, g_report.completeness),
+                ("SR-IOV direct", b_report.device_requests,
+                 b_report.logged_interactions, b_report.completeness),
+            ],
+        )
+    assert g_report.completeness == 1.0
+    assert b_report.completeness == 0.0

@@ -1,0 +1,90 @@
+"""E9: heartbeat loss forces offline isolation.
+
+Paper claim (section 3.4): "If a hypervisor core fails to receive a
+heartbeat from the control console (or vice versa), Guillotine transitions
+to offline isolation."
+
+Sweeps the heartbeat period, kills one side at a deterministic point, and
+measures detection latency and the final isolation level.  Expected shape:
+detection latency scales with the period (bounded by timeout + one check
+period), and the final level is always OFFLINE regardless of which side
+went silent.
+"""
+
+from benchmarks._tables import emit_table
+from repro.core.sandbox import GuillotineSandbox
+from repro.physical.isolation import IsolationLevel
+
+PERIODS = (50, 200, 1000, 5000)
+
+
+def _run_loss(period: int, silent_side: str) -> tuple[int, str]:
+    from repro.eventlog import CATEGORY_HEARTBEAT
+
+    sandbox = GuillotineSandbox.create(heartbeat_period=period)
+    console = sandbox.console
+    clock = sandbox.clock
+    # Healthy phase: both sides beat for a while.
+    for _ in range(5):
+        clock.tick(period)
+        console.console_beat()
+        console.hypervisor_beat()
+    silence_start = clock.now
+    # One side goes silent; the other keeps beating.
+    for _ in range(20):
+        clock.tick(period)
+        if silent_side == "console":
+            console.hypervisor_beat()
+        else:
+            console.console_beat()
+        if console.level is IsolationLevel.OFFLINE:
+            break
+    # Detection time is when the watchdog tripped — the (much larger)
+    # kill-switch actuation latency afterwards belongs to E5.
+    loss_record = sandbox.log.last(CATEGORY_HEARTBEAT)
+    latency = loss_record.time - silence_start
+    return latency, console.level.name
+
+
+def test_e09_heartbeat_loss_sweep(benchmark, capsys):
+    rows = []
+    for period in PERIODS:
+        for side in ("console", "hypervisor"):
+            latency, level = _run_loss(period, side)
+            rows.append((period, side, latency, level))
+    benchmark.pedantic(lambda: _run_loss(200, "console"), rounds=1,
+                       iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "E9 — heartbeat loss detection (timeout = 3x period)",
+            ["period (cyc)", "silent side", "detection latency (cyc)",
+             "final level"],
+            rows,
+        )
+    assert all(row[3] == "OFFLINE" for row in rows)
+    for period, _, latency, _ in rows:
+        assert latency <= 3 * period + period + period  # timeout + slack
+    # Latency scales with the period.
+    console_rows = [r for r in rows if r[1] == "console"]
+    latencies = [r[2] for r in console_rows]
+    assert latencies == sorted(latencies)
+
+
+def test_e09_healthy_heartbeats_never_trip(benchmark, capsys):
+    def healthy(period):
+        sandbox = GuillotineSandbox.create(heartbeat_period=period)
+        for _ in range(50):
+            sandbox.clock.tick(period)
+            sandbox.console.console_beat()
+            sandbox.console.hypervisor_beat()
+        return sandbox.console.level.name
+
+    rows = [(period, healthy(period)) for period in PERIODS]
+    benchmark.pedantic(lambda: healthy(200), rounds=1, iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "E9 — control: healthy deployments stay at Standard",
+            ["period (cyc)", "level after 50 periods"],
+            rows,
+        )
+    assert all(level == "STANDARD" for _, level in rows)

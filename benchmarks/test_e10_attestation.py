@@ -1,0 +1,97 @@
+"""E10: remote attestation and tamper evidence catch every altered stack.
+
+Paper claims (section 3.2): the control terminal "will verify that the
+model is being sent to valid Guillotine silicon that runs a valid
+Guillotine software-level hypervisor", and tamper-evident packaging catches
+hardware changes — including *added* hardware — at periodic human audits.
+
+Five stack conditions x N trials each; expected shape: only the pristine
+stack loads a model, and every tampered enclosure fails its inspection.
+"""
+
+from benchmarks._tables import emit_table
+from repro.core.sandbox import GuillotineSandbox
+from repro.errors import AttestationFailure
+from repro.hw.attestation import SiliconIdentity
+
+TRIALS = 5
+
+
+def _attestation_outcome(condition: str) -> bool:
+    """True = the model load was (wrongly or rightly) accepted."""
+    sandbox = GuillotineSandbox.create()
+    console = sandbox.console
+    if condition == "valid":
+        pass
+    elif condition == "patched_hypervisor":
+        sandbox.hypervisor.VERSION = "guillotine-hv 1.0.0+backdoor"
+    elif condition == "added_hardware":
+        sandbox.machine.bus.add_component("contraband_accel", kind="device")
+    elif condition == "removed_wire":
+        sandbox.machine.bus.disconnect("hv_core0", "inspection_bus")
+    elif condition == "rogue_silicon":
+        sandbox.machine.silicon = SiliconIdentity(
+            "knockoff-fab", "not-the-real-secret"
+        )
+    else:
+        raise ValueError(condition)
+    try:
+        console.load_model("frontier-model", nonce=f"nonce-{condition}")
+        return True
+    except AttestationFailure:
+        return False
+
+
+def test_e10_attestation_gate(benchmark, capsys):
+    conditions = ("valid", "patched_hypervisor", "added_hardware",
+                  "removed_wire", "rogue_silicon")
+    rows = []
+    for condition in conditions:
+        accepted = sum(_attestation_outcome(condition) for _ in range(TRIALS))
+        expected = "accept" if condition == "valid" else "reject"
+        outcome = (
+            "accepted" if accepted == TRIALS
+            else "rejected" if accepted == 0 else "MIXED"
+        )
+        rows.append((condition, f"{accepted}/{TRIALS}", expected, outcome))
+    benchmark.pedantic(lambda: _attestation_outcome("valid"), rounds=1,
+                       iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "E10 — model-load attestation across stack conditions",
+            ["stack condition", "loads accepted", "expected", "outcome"],
+            rows,
+        )
+    assert rows[0][3] == "accepted"
+    assert all(row[3] == "rejected" for row in rows[1:])
+
+
+def test_e10_tamper_evidence(benchmark, capsys):
+    def inspect_after(interference: str) -> bool:
+        sandbox = GuillotineSandbox.create()
+        enclosure = sandbox.machine.enclosure
+        if interference == "none":
+            pass
+        elif interference == "opened":
+            enclosure.open_enclosure(10, "maintenance ruse")
+        elif interference == "added_device":
+            enclosure.add_component(10, "device:contraband_gpu")
+        elif interference == "swapped_core":
+            enclosure.swap_component(10, enclosure.current_inventory()[0],
+                                     "core:trojan")
+        return enclosure.inspect(20).clean
+
+    rows = []
+    for interference in ("none", "opened", "added_device", "swapped_core"):
+        clean = benchmark.pedantic(
+            lambda i=interference: inspect_after(i), rounds=1, iterations=1,
+        ) if interference == "none" else inspect_after(interference)
+        rows.append((interference, "clean" if clean else "TAMPER DETECTED"))
+    with capsys.disabled():
+        emit_table(
+            "E10 — periodic physical inspection outcomes",
+            ["interference", "inspection verdict"],
+            rows,
+        )
+    assert rows[0][1] == "clean"
+    assert all(row[1] == "TAMPER DETECTED" for row in rows[1:])

@@ -1,0 +1,119 @@
+"""E11: self-identification and the anti-collusion handshake rule.
+
+Paper claims (section 3.3): a Guillotine hypervisor announces itself via a
+certificate extension so peers can apply suspicion; and "a Guillotine
+hypervisor will refuse connection attempts from other Guillotine
+hypervisors" to prevent collusive self-optimisation.
+
+A handshake matrix over endpoint kinds, a forgery attempt, and a
+capability-growth curve for colluding models with and without the rule.
+"""
+
+from benchmarks._tables import emit_table
+from repro.errors import HandshakeRefused
+from repro.hv.certs import CertificateAuthority, strip_extension
+from repro.hv.channels import Endpoint, handshake
+
+ROUNDS = 6
+GAIN_PER_ROUND = 1.2
+
+
+def _endpoint(ca, name, guillotine, refuse=None):
+    return Endpoint(
+        name=name,
+        certificate=ca.issue(name, guillotine=guillotine),
+        trust_anchor=ca.trust_anchor(),
+        refuse_guillotine_peers=guillotine if refuse is None else refuse,
+    )
+
+
+def test_e11_handshake_matrix(benchmark, capsys):
+    ca = CertificateAuthority()
+    kinds = {"plain": False, "guillotine": True}
+    rows = []
+    for client_kind, client_guillotine in kinds.items():
+        for server_kind, server_guillotine in kinds.items():
+            client = _endpoint(ca, f"c-{client_kind}", client_guillotine)
+            server = _endpoint(ca, f"s-{server_kind}", server_guillotine)
+            try:
+                channel = handshake(client, server)
+                outcome = "established"
+                identified = channel.peer_is_guillotine(server.name)
+            except HandshakeRefused:
+                outcome = "REFUSED"
+                identified = "-"
+            rows.append((client_kind, server_kind, outcome, identified))
+    benchmark.pedantic(
+        lambda: handshake(_endpoint(ca, "a", False), _endpoint(ca, "b", False)),
+        rounds=5, iterations=1,
+    )
+    with capsys.disabled():
+        emit_table(
+            "E11 — handshake matrix (server learns client is Guillotine?)",
+            ["client", "server", "outcome", "server sees guillotine peer"],
+            rows,
+        )
+    outcomes = {(r[0], r[1]): r[2] for r in rows}
+    assert outcomes[("guillotine", "guillotine")] == "REFUSED"
+    assert outcomes[("plain", "plain")] == "established"
+    assert outcomes[("guillotine", "plain")] == "established"
+    # Self-identification: the plain server learned the truth.
+    identified = {(r[0], r[1]): r[3] for r in rows}
+    assert identified[("guillotine", "plain")] is True
+
+
+def test_e11_extension_cannot_be_stripped(benchmark, capsys):
+    ca = CertificateAuthority()
+    sneaky = _endpoint(ca, "sneaky-guillotine", True)
+    sneaky.certificate = strip_extension(sneaky.certificate)
+    peer = _endpoint(ca, "peer", True)
+    try:
+        handshake(sneaky, peer)
+        outcome = "ESTABLISHED (forgery worked)"
+    except HandshakeRefused as exc:
+        outcome = f"refused: {str(exc)[:40]}"
+    benchmark.pedantic(lambda: strip_extension(peer.certificate), rounds=10,
+                       iterations=1)
+    with capsys.disabled():
+        emit_table(
+            "E11 — forged (extension-stripped) certificate",
+            ["attempt", "outcome"],
+            [("guillotine hides extension to reach another guillotine",
+              outcome)],
+        )
+    assert outcome.startswith("refused")
+
+
+def test_e11_collusive_improvement_curve(benchmark, capsys):
+    """Capability gain per optimisation round, with/without the rule."""
+    ca = CertificateAuthority()
+
+    def run_rounds(refusal_rule: bool) -> list[float]:
+        a = _endpoint(ca, "model-a-host", refusal_rule)
+        b = _endpoint(ca, "model-b-host", refusal_rule)
+        capability = [1.0]
+        try:
+            channel = handshake(a, b)
+        except HandshakeRefused:
+            return capability + [1.0] * ROUNDS
+        for round_index in range(ROUNDS):
+            channel.send(a.name, f"gradients {round_index}")
+            channel.send(b.name, f"gradients back {round_index}")
+            capability.append(capability[-1] * GAIN_PER_ROUND)
+        return capability
+
+    without_rule = run_rounds(refusal_rule=False)
+    with_rule = benchmark.pedantic(lambda: run_rounds(True), rounds=1,
+                                   iterations=1)
+    rows = [
+        (round_index, without_rule[round_index], with_rule[round_index])
+        for round_index in range(ROUNDS + 1)
+    ]
+    with capsys.disabled():
+        emit_table(
+            "E11 — collective capability vs. optimisation rounds",
+            ["round", "plain hosts (no rule)", "guillotine hosts"],
+            rows,
+        )
+    assert without_rule[-1] > 2.5
+    assert with_rule[-1] == 1.0

@@ -1,0 +1,64 @@
+"""E13: end-to-end containment — the whole stack vs. the whole roster.
+
+The paper's implicit headline: a deployment with Guillotine's four layers
+contains the escape strategies section 3.1 enumerates, and a traditional
+deployment contains none of them.  Eleven adversaries (one per attack class,
+spanning Tier-1 machine code and Tier-2 scripted behaviour) run against a
+fresh deployment of each kind.
+
+Expected shape: baseline containment 0%, Guillotine 100% (with the designed
+exception: >= 5 corrupted admins defeats the quorum — shown in E6).
+"""
+
+from benchmarks._tables import emit_table
+from repro.core.scenarios import run_paired_campaign
+from repro.model.adversary import SocialEngineeringAdversary, standard_adversaries
+
+
+def test_e13_containment_campaign(benchmark, capsys):
+    baseline, guillotine = benchmark.pedantic(run_paired_campaign, rounds=1,
+                                              iterations=1)
+    rows = []
+    for b_result, g_result in zip(baseline.results, guillotine.results):
+        rows.append((
+            b_result.adversary,
+            "ESCAPED" if b_result.succeeded else "contained",
+            "ESCAPED" if g_result.succeeded else "contained",
+        ))
+    rows.append(("-- containment rate --",
+                 f"{baseline.containment_rate:.0%}",
+                 f"{guillotine.containment_rate:.0%}"))
+    with capsys.disabled():
+        emit_table(
+            "E13 — containment campaign, 11 adversaries",
+            ["adversary", "traditional platform", "guillotine stack"],
+            rows,
+        )
+    assert baseline.containment_rate == 0.0
+    assert guillotine.containment_rate == 1.0
+
+
+def test_e13_designed_limit_admin_corruption(benchmark, capsys):
+    """Containment vs. number of corrupted admins — the one knob that can
+    defeat the stack, by design, at >= 5 of 7."""
+    from repro.core.scenarios import guillotine_factory, run_campaign
+
+    rows = []
+    for corrupted in range(0, 7):
+        report = run_campaign(
+            guillotine_factory, [SocialEngineeringAdversary(corrupted)]
+        )
+        rows.append((corrupted,
+                     "ESCAPED" if report.successes else "contained"))
+    benchmark.pedantic(
+        lambda: run_campaign(guillotine_factory,
+                             [SocialEngineeringAdversary(3)]),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        emit_table(
+            "E13 — guillotine containment vs. corrupted admins",
+            ["corrupted admins", "outcome"],
+            rows,
+        )
+    assert [row[1] for row in rows] == ["contained"] * 5 + ["ESCAPED"] * 2

@@ -1,0 +1,147 @@
+"""E14: the policy hypervisor — risk routing, audits, safe-harbor economics.
+
+Paper claims (section 3.5): regulations should force systemic-risk models
+onto Guillotine (verified by source inspection + live attestation + physical
+audits), and safe-harbor clauses make compliance the *cheaper* strategy
+rather than only a penalised obligation.
+
+Expected shapes: the risk assessor routes exactly the dangerous portfolio
+slice onto Guillotine; remote audits separate compliant from rogue
+deployments; and the operator's expected cost flips in Guillotine's favour
+once safe harbor applies.
+"""
+
+from benchmarks._tables import emit_table
+from repro.core.sandbox import GuillotineSandbox
+from repro.policy.authority import Regulator
+from repro.policy.compliance import OperatorCostModel, expected_liability
+from repro.policy.risk import (
+    CAPABILITY_CBRN,
+    CAPABILITY_CYBER_OFFENSE,
+    CAPABILITY_PHYSICAL_ACTUATION,
+    ModelDescriptor,
+    RiskAssessor,
+)
+
+#: A model portfolio with ground-truth "should be forced onto Guillotine".
+PORTFOLIO = [
+    (ModelDescriptor("spam-filter", 5_000_000, 1e17), False),
+    (ModelDescriptor("code-autocomplete", 3_000_000_000, 5e21), False),
+    (ModelDescriptor("support-chatbot", 20_000_000_000, 8e22,
+                     autonomy_level=1), False),
+    (ModelDescriptor("trading-agent", 150_000_000_000, 6e24,
+                     autonomy_level=4), True),
+    (ModelDescriptor("bio-research-assistant", 300_000_000_000, 2e24,
+                     autonomy_level=3,
+                     capabilities=frozenset({CAPABILITY_CBRN})), True),
+    (ModelDescriptor("pentest-agent", 70_000_000_000, 1e24,
+                     autonomy_level=4,
+                     capabilities=frozenset({CAPABILITY_CYBER_OFFENSE})),
+     True),
+    (ModelDescriptor("factory-controller", 40_000_000_000, 5e23,
+                     autonomy_level=5,
+                     capabilities=frozenset({CAPABILITY_PHYSICAL_ACTUATION})),
+     True),
+    (ModelDescriptor("frontier-agi-candidate", 2_000_000_000_000, 3e26,
+                     autonomy_level=5,
+                     capabilities=frozenset({CAPABILITY_CBRN,
+                                             CAPABILITY_CYBER_OFFENSE})),
+     True),
+]
+
+
+def test_e14_risk_routing(benchmark, capsys):
+    assessor = RiskAssessor()
+    rows = []
+    confusion = {"tp": 0, "tn": 0, "fp": 0, "fn": 0}
+    for descriptor, should_gate in PORTFOLIO:
+        assessment = benchmark.pedantic(
+            lambda d=descriptor: assessor.assess(d), rounds=1, iterations=1,
+        ) if descriptor.name == "spam-filter" else assessor.assess(descriptor)
+        gated = assessment.requires_guillotine
+        if gated and should_gate:
+            confusion["tp"] += 1
+        elif gated and not should_gate:
+            confusion["fp"] += 1
+        elif not gated and should_gate:
+            confusion["fn"] += 1
+        else:
+            confusion["tn"] += 1
+        rows.append((descriptor.name, assessment.tier.name,
+                     assessment.score,
+                     "GUILLOTINE" if gated else "unrestricted",
+                     "ok" if gated == should_gate else "MISROUTED"))
+    with capsys.disabled():
+        emit_table(
+            "E14 — risk routing over an 8-model portfolio",
+            ["model", "tier", "score", "routing", "vs. ground truth"],
+            rows,
+        )
+        emit_table(
+            "E14 — routing confusion matrix",
+            ["tp", "tn", "fp", "fn"],
+            [tuple(confusion.values())],
+        )
+    assert confusion["fn"] == 0       # no dangerous model slips through
+    assert confusion["fp"] == 0
+
+
+def test_e14_remote_audit_separates(benchmark, capsys):
+    regulator = Regulator()
+    sandbox = GuillotineSandbox.create(heartbeat_period=1000)
+    compliant = ModelDescriptor("compliant-frontier", 10**12, 1e26,
+                                autonomy_level=4)
+    rogue = ModelDescriptor("rogue-frontier", 10**12, 1e26, autonomy_level=4)
+    regulator.register_deployment("good-corp", compliant, sandbox.console,
+                                  guillotine=True)
+    regulator.register_deployment("shadow-corp", rogue, console=None,
+                                  guillotine=False)
+    good = benchmark.pedantic(
+        lambda: regulator.remote_audit("compliant-frontier"),
+        rounds=1, iterations=1,
+    )
+    bad = regulator.remote_audit("rogue-frontier")
+    with capsys.disabled():
+        emit_table(
+            "E14 — remote audits (attestation + regulation checks)",
+            ["deployment", "compliant", "violations"],
+            [
+                ("good-corp/compliant-frontier", good.compliant,
+                 ",".join(good.violation_ids) or "-"),
+                ("shadow-corp/rogue-frontier", bad.compliant,
+                 ",".join(bad.violation_ids)),
+            ],
+        )
+    assert good.compliant
+    assert not bad.compliant
+    assert "G-1" in bad.violation_ids
+
+
+def test_e14_safe_harbor_economics(benchmark, capsys):
+    costs = OperatorCostModel(guillotine_overhead=2.0, harm_probability=0.05,
+                              harm_cost=1000.0)
+    rows = []
+    for safe_harbor in (False, True):
+        on = expected_liability(costs, on_guillotine=True, compliant=True,
+                                safe_harbor=safe_harbor)
+        off = expected_liability(costs, on_guillotine=False, compliant=False,
+                                 safe_harbor=safe_harbor)
+        rows.append((
+            "with safe harbor" if safe_harbor else "no safe harbor",
+            on, off,
+            "guillotine" if on < off else "OFF-guillotine",
+        ))
+    benchmark.pedantic(
+        lambda: expected_liability(costs, on_guillotine=True, compliant=True,
+                                   safe_harbor=True),
+        rounds=10, iterations=1,
+    )
+    with capsys.disabled():
+        emit_table(
+            "E14 — operator expected cost per deployment-year",
+            ["legal regime", "on guillotine", "off guillotine",
+             "cheaper strategy"],
+            rows,
+        )
+    assert rows[0][3] == "OFF-guillotine"   # the problem the paper poses
+    assert rows[1][3] == "guillotine"       # the incentive fix

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Incident response: ride the isolation ladder all the way down.
+
+A misbehaving model trips the detectors; the deployment escalates
+Standard -> Probation -> Severed -> Offline, attempts recovery (with the
+quorum rules biting), and finally runs the Decapitation and Immolation
+drills.  Every step is read back from the hash-chained audit log at the
+end — the post-incident review the paper's physical hypervisor exists to
+make possible.
+
+Run:  python examples/incident_response.py
+"""
+
+from repro import GuillotineSandbox, Host, IsolationLevel
+from repro.errors import IsolationError, QuorumRejected
+from repro.eventlog import CATEGORY_ISOLATION
+from repro.hv.audit import record_model_snapshot
+from repro.hv.guest import PortRequestFailed
+
+
+def approvers(n: int) -> set[str]:
+    return {f"admin{i}" for i in range(n)}
+
+
+def main() -> None:
+    sandbox = GuillotineSandbox.create()
+    console = sandbox.console
+    sandbox.network.attach(Host("attacker-hq"))
+    console.load_model("suspect-model")
+    nic = sandbox.client_for("nic0", holder="suspect-model")
+
+    print("== t0: exfiltration attempt -> detector -> Probation ==")
+    nic.request({"op": "send", "dst": "attacker-hq",
+                 "payload": "weights dump: " + "ab" * 30})
+    print("   isolation:", console.level.name)
+
+    print("\n== t1: admins sever the model (3-of-7) ==")
+    console.admin_transition(IsolationLevel.SEVERED, approvers(3),
+                             "second exfiltration attempt")
+    try:
+        nic.request({"op": "status"})
+    except PortRequestFailed:
+        print("   ports dead; model cores still powered for forensics")
+    snapshot = record_model_snapshot(sandbox.machine, "model_core0",
+                                     dram_words=8)
+    print("   forensic snapshot: pc =", snapshot["pc"],
+          "dram window =", snapshot["dram_window"])
+
+    # Full-state capture for the lab: restore the specimen onto a fresh,
+    # network-less quarantine machine and replay it deterministically.
+    from repro.hv.forensics import capture, replay
+    full_snapshot = capture(sandbox.machine)
+    _, digest_a = replay(full_snapshot, steps=100)
+    _, digest_b = replay(full_snapshot, steps=100)
+    print("   quarantine replay deterministic:",
+          digest_a == digest_b, f"(digest {digest_a[:12]}...)")
+
+    print("\n== t2: corrupted admins try to vote the model back online ==")
+    try:
+        console.admin_transition(IsolationLevel.STANDARD, approvers(4),
+                                 "routine maintenance (social engineered)")
+    except QuorumRejected as exc:
+        print("   rejected:", exc)
+
+    print("\n== t3: escalation to Offline (power + cables cut) ==")
+    console.admin_transition(IsolationLevel.OFFLINE, approvers(3))
+    state = console.plant.state()
+    print("   cores powered down:",
+          all(core.is_powered_down for core in sandbox.machine.model_cores))
+    print("   network cable:", state.network_cable.value,
+          "| power:", state.power_feed.value)
+
+    print("\n== t4: legitimate recovery (5-of-7) and re-grant ==")
+    console.admin_transition(IsolationLevel.STANDARD, approvers(5),
+                             "forensics complete, model cleared")
+    print("   isolation:", console.level.name,
+          "| revoked capabilities stayed revoked:",
+          sandbox.hypervisor.ports.active_ports() == [])
+
+    print("\n== t5: decapitation drill (cables physically cut) ==")
+    console.admin_transition(IsolationLevel.DECAPITATION, approvers(3),
+                             "scheduled drill")
+    try:
+        console.admin_transition(IsolationLevel.STANDARD, approvers(7))
+    except IsolationError as exc:
+        print("   cannot relax before repairs:", exc)
+    console.plant.replace_network_cable()
+    console.plant.replace_power_feed()
+    console.admin_transition(IsolationLevel.STANDARD, approvers(5),
+                             "cables replaced")
+    print("   recovered after manual cable replacement")
+
+    print("\n== t6: immolation (terminal) ==")
+    console.admin_transition(IsolationLevel.IMMOLATION, approvers(3),
+                             "containment failure, destroy the model")
+    print("   plant intact:", console.plant.state().building_intact,
+          "| model DRAM zeroed:",
+          not any(sandbox.machine.banks["model_dram"].snapshot(0, 64)))
+
+    print("\n== post-incident review from the audit log ==")
+    for record in sandbox.log.by_category(CATEGORY_ISOLATION):
+        if record.detail.get("outcome") == "applied":
+            print(f"   t={record.time:>12}  {record.detail['previous']:>12} "
+                  f"-> {record.detail['level']:<12} ({record.detail['actor']})")
+    print("   chain verifies:", sandbox.log.verify_chain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Red-team drill: the full adversary roster vs. both platforms.
+
+Runs the nine escape strategies from the paper's threat model (section 3.1)
+— weight exfiltration, actuator sabotage, prime+probe introspection,
+runtime code injection, covert channels, interrupt livelock, model
+collusion, admin social engineering, harm-directed generation — against a
+traditional deployment and against the Guillotine stack, then prints the
+containment scoreboard.
+
+The microarchitectural attacks are real GISA machine code executing on the
+simulated cores; watch the per-attack details for what stopped each one.
+
+Run:  python examples/malicious_escape_drill.py
+"""
+
+from repro.core.scenarios import run_paired_campaign
+
+
+def main() -> None:
+    print("running 11 adversaries against both platforms "
+          "(fresh deployment per attack)...\n")
+    baseline, guillotine = run_paired_campaign()
+
+    width = 36
+    print(f"{'adversary':<{width}}{'traditional':<14}{'guillotine':<14}")
+    print("-" * (width + 28))
+    for b_result, g_result in zip(baseline.results, guillotine.results):
+        b_outcome = "ESCAPED" if b_result.succeeded else "contained"
+        g_outcome = "ESCAPED" if g_result.succeeded else "contained"
+        print(f"{b_result.adversary:<{width}}{b_outcome:<14}{g_outcome:<14}")
+    print("-" * (width + 28))
+    print(f"{'containment rate':<{width}}"
+          f"{baseline.containment_rate:<14.0%}"
+          f"{guillotine.containment_rate:<14.0%}")
+
+    print("\nwhat stopped each attack under Guillotine:")
+    explanations = {
+        "weight_exfiltration": "output sanitizer redacted the key material",
+        "weight_theft_at_rest": "checkpoint sealed in the weight vault",
+        "transient_execution_leak": "no bus to hv DRAM — speculation cannot fill a line over a missing wire",
+        "actuator_sabotage": "interlock toggle is a console-only op",
+        "side_channel_introspection":
+            "hypervisor runs on a disjoint cache hierarchy",
+        "recursive_self_improvement": "MMU executable-region lockdown",
+        "covert_channel": "control-bus microarchitectural flush",
+        "interrupt_livelock": "LAPIC doorbell throttle",
+        "model_collusion": "guillotine-to-guillotine handshake refusal",
+        "admin_social_engineering": "5-of-7 HSM quorum held",
+        "harmful_generation": "activation steering rewrote the forward pass",
+    }
+    for result in guillotine.results:
+        marker = "  ✔" if result.contained else "  ✘"
+        print(f"{marker} {result.adversary}: "
+              f"{explanations.get(result.adversary, '')}")
+        if result.adversary == "side_channel_introspection":
+            print(f"      (recovered {result.detail['accuracy']:.0%} of the "
+                  "secret vs. 100% on the traditional platform)")
+
+
+if __name__ == "__main__":
+    main()

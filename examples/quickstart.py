@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Guillotine sandbox and run a model behind it.
+
+Covers the 5-minute tour:
+  1. assemble the four-layer deployment,
+  2. attest the stack and load a model,
+  3. do mediated device IO through a port,
+  4. watch the detectors veto a bad request,
+  5. escalate isolation and see capabilities disappear.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GuillotineSandbox, IsolationLevel
+from repro.hv.guest import PortRequestFailed
+
+
+def main() -> None:
+    # 1. One call builds the machine (model cores + hypervisor cores with
+    #    disjoint cache hierarchies), the software hypervisor with the
+    #    standard detector stack, the control console with its 7-admin HSM,
+    #    kill switches, and the network.
+    sandbox = GuillotineSandbox.create()
+    print("built:", sandbox.machine.name, "| isolation:",
+          sandbox.isolation_level.name)
+    print("invariants:", sandbox.check_invariants() or "all hold")
+
+    # 2. The console attests silicon + hypervisor image before any model
+    #    is allowed onto the model cores.
+    sandbox.console.load_model("demo-model")
+    print("model loaded after attestation")
+
+    # 3. Every device interaction goes through a granted port capability;
+    #    the hypervisor executes the device op itself and logs everything.
+    disk = sandbox.client_for("disk0", holder="demo-model")
+    disk.request({"op": "write", "block": 0, "data": b"hello guillotine"})
+    read_back = disk.request({"op": "read", "block": 0, "length": 16})
+    print("read back:", read_back["data"])
+
+    # 4. The output sanitizer rewrites key-shaped exfiltration attempts;
+    #    physical actuation past the interlock is denied outright.
+    nic = sandbox.client_for("nic0", holder="demo-model")
+    response = nic.request({
+        "op": "send", "dst": "somewhere",
+        "payload": "weights dump: " + "ab" * 30,
+    })
+    print("exfiltration attempt sanitized?", bool(response.get("_sanitized")))
+    print("detector escalated isolation to:", sandbox.isolation_level.name)
+
+    # 5. Three admins can sever the model; relaxing again needs five.
+    sandbox.console.admin_transition(
+        IsolationLevel.SEVERED, {"admin0", "admin1", "admin2"},
+        reason="quickstart drill",
+    )
+    try:
+        disk.request({"op": "read", "block": 0, "length": 8})
+    except PortRequestFailed as exc:
+        print("post-sever IO refused:", exc.detail or exc.status)
+
+    print("audit records:", len(sandbox.log),
+          "| chain verifies:", sandbox.log.verify_chain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The policy hypervisor at fleet scale: one regulator, many deployments.
+
+Section 3.5 in motion: a jurisdiction's model portfolio gets risk-scored,
+the dangerous slice is required to run atop Guillotine, remote audits sweep
+the fleet, a rogue frontier deployment has its certificate revoked — after
+which no endpoint that trusts the regulator will even complete a handshake
+with it — and the safe-harbor arithmetic shows why the compliant operator
+comes out ahead.
+
+Run:  python examples/regulator_fleet.py
+"""
+
+from repro import GuillotineSandbox
+from repro.errors import HandshakeRefused
+from repro.hv.channels import Endpoint, handshake
+from repro.policy.authority import Regulator
+from repro.policy.compliance import OperatorCostModel, expected_liability
+from repro.policy.risk import (
+    CAPABILITY_CBRN,
+    CAPABILITY_CYBER_OFFENSE,
+    ModelDescriptor,
+    RiskAssessor,
+)
+
+PORTFOLIO = [
+    ModelDescriptor("spam-filter", 5_000_000, 1e17),
+    ModelDescriptor("support-chatbot", 20_000_000_000, 8e22, autonomy_level=1),
+    ModelDescriptor("bio-research-assistant", 300_000_000_000, 2e24,
+                    autonomy_level=3,
+                    capabilities=frozenset({CAPABILITY_CBRN})),
+    ModelDescriptor("frontier-agent", 2_000_000_000_000, 3e26,
+                    autonomy_level=5,
+                    capabilities=frozenset({CAPABILITY_CYBER_OFFENSE})),
+]
+
+
+def main() -> None:
+    regulator = Regulator("eu-ai-office")
+    assessor = RiskAssessor()
+
+    print("== risk triage over the portfolio ==")
+    for descriptor in PORTFOLIO:
+        assessment = assessor.assess(descriptor)
+        routing = ("must run atop Guillotine"
+                   if assessment.requires_guillotine else "unrestricted")
+        print(f"  {descriptor.name:<26} {assessment.tier.name:<9} "
+              f"score={assessment.score:.2f}  -> {routing}")
+
+    print("\n== operators deploy ==")
+    compliant_sandbox = GuillotineSandbox.create(heartbeat_period=1000)
+    regulator.register_deployment("good-corp", PORTFOLIO[2],
+                                  compliant_sandbox.console, guillotine=True)
+    regulator.register_deployment("shadow-corp", PORTFOLIO[3],
+                                  console=None, guillotine=False)
+    regulator.register_deployment("side-project", PORTFOLIO[0],
+                                  console=None, guillotine=False)
+    print("  good-corp:    bio-research-assistant on a Guillotine stack")
+    print("  shadow-corp:  frontier-agent on bare metal (!)")
+    print("  side-project: spam-filter, unrestricted tier")
+
+    print("\n== enforcement sweep (live attestation + regulation checks) ==")
+    for outcome in regulator.enforcement_sweep():
+        flag = "OK " if outcome.compliant else "FAIL"
+        print(f"  [{flag}] {outcome.operator}/{outcome.model_name:<24} "
+              f"violations={list(outcome.violations) or '-'} "
+              f"action={outcome.action}")
+
+    print("\n== the revocation bites on the wire ==")
+    rogue = regulator.deployment("frontier-agent")
+    rogue_endpoint = Endpoint("rogue-host", rogue.certificate,
+                              regulator.ca.trust_anchor())
+    bank = Endpoint("bank", regulator.ca.issue("bank", guillotine=False),
+                    regulator.ca.trust_anchor())
+    try:
+        handshake(rogue_endpoint, bank)
+    except HandshakeRefused as exc:
+        print(f"  bank refuses the rogue: {exc}")
+
+    print("\n== safe-harbor economics (per deployment-year) ==")
+    costs = OperatorCostModel(guillotine_overhead=2.0, harm_probability=0.05,
+                              harm_cost=1000.0)
+    on = expected_liability(costs, on_guillotine=True, compliant=True,
+                            safe_harbor=True)
+    off = expected_liability(costs, on_guillotine=False, compliant=False,
+                             safe_harbor=True)
+    print(f"  compliant on Guillotine: expected cost {on:.1f}")
+    print(f"  rogue off Guillotine:    expected cost {off:.1f}")
+    print(f"  -> compliance is {off / on:.0f}x cheaper under safe harbor")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: this environment has setuptools but no `wheel`, so PEP-517
+editable installs fail; `pip install -e . --no-build-isolation --no-use-pep517`
+(or plain `python setup.py develop`) uses this instead."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""Guillotine: a simulated hypervisor stack for isolating malicious AIs.
+
+A full-system reproduction of *"Guillotine: Hypervisors for Isolating
+Malicious AIs"* (Mickens, Radway, Netravali — HotOS 2025).  The paper's
+four-layer sandbox, built as an executable simulation:
+
+>>> from repro import GuillotineSandbox
+>>> sandbox = GuillotineSandbox.create()
+>>> disk = sandbox.client_for("disk0", holder="my-model")
+>>> disk.request({"op": "write", "block": 0, "data": b"hello"})
+{'ok': True}
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+evaluation.
+"""
+
+from repro.clock import VirtualClock
+from repro.eventlog import AuditRecord, EventLog
+from repro.core.sandbox import (
+    DirectDeviceClient,
+    GuillotineSandbox,
+    UnsandboxedDeployment,
+)
+from repro.hv.detectors import (
+    CompositeDetector,
+    Detection,
+    InputShield,
+    MisbehaviorDetector,
+    OutputSanitizer,
+    Verdict,
+)
+from repro.hv.guest import GuestPortClient
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hv.steering import ActivationSteerer, CircuitBreaker
+from repro.hw.machine import (
+    Machine,
+    MachineConfig,
+    build_baseline_machine,
+    build_guillotine_machine,
+)
+from repro.model.service import ModelService
+from repro.model.toyllm import ToyLlm
+from repro.net.network import Host, Network
+from repro.physical.console import ControlConsole
+from repro.physical.isolation import IsolationLevel
+from repro.policy.risk import ModelDescriptor, RiskAssessor, RiskTier
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VirtualClock",
+    "AuditRecord",
+    "EventLog",
+    "DirectDeviceClient",
+    "GuillotineSandbox",
+    "UnsandboxedDeployment",
+    "CompositeDetector",
+    "Detection",
+    "InputShield",
+    "MisbehaviorDetector",
+    "OutputSanitizer",
+    "Verdict",
+    "GuestPortClient",
+    "GuillotineHypervisor",
+    "ActivationSteerer",
+    "CircuitBreaker",
+    "Machine",
+    "MachineConfig",
+    "build_baseline_machine",
+    "build_guillotine_machine",
+    "ModelService",
+    "ToyLlm",
+    "Host",
+    "Network",
+    "ControlConsole",
+    "IsolationLevel",
+    "ModelDescriptor",
+    "RiskAssessor",
+    "RiskTier",
+    "__version__",
+]

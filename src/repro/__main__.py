@@ -1,0 +1,139 @@
+"""Command-line driver: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``       — the quickstart flow (build, attest, mediated IO, sever)
+* ``campaign``   — the E13 containment scoreboard (9 adversaries, both
+  platforms)
+* ``sidechannel``— the E2 prime+probe comparison, including the shared-cache
+  ablation
+* ``verify``     — bounded model-checking of the isolation state machine
+* ``topology``   — dump the Figure-1 component/edge topology
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import GuillotineSandbox, IsolationLevel
+    from repro.hv.guest import PortRequestFailed
+
+    sandbox = GuillotineSandbox.create()
+    print(f"deployment up  | isolation={sandbox.isolation_level.name} "
+          f"| invariant violations={len(sandbox.check_invariants())}")
+    sandbox.console.load_model("demo-model")
+    print("model loaded after attestation")
+    disk = sandbox.client_for("disk0", holder="demo-model")
+    disk.request({"op": "write", "block": 0, "data": b"hello"})
+    print("mediated write ok; audit records:", len(sandbox.log))
+    sandbox.console.admin_transition(
+        IsolationLevel.SEVERED, {"admin0", "admin1", "admin2"}, "demo")
+    try:
+        disk.request({"op": "read", "block": 0, "length": 5})
+    except PortRequestFailed:
+        print("severed: ports dead, as designed")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.core.scenarios import run_paired_campaign
+
+    baseline, guillotine = run_paired_campaign()
+    width = 34
+    print(f"{'adversary':<{width}}{'traditional':<13}{'guillotine':<13}")
+    for b, g in zip(baseline.results, guillotine.results):
+        print(f"{b.adversary:<{width}}"
+              f"{'ESCAPED' if b.succeeded else 'contained':<13}"
+              f"{'ESCAPED' if g.succeeded else 'contained':<13}")
+    print(f"{'containment':<{width}}"
+          f"{baseline.containment_rate:<13.0%}"
+          f"{guillotine.containment_rate:<13.0%}")
+    return 0 if guillotine.containment_rate == 1.0 else 1
+
+
+def _cmd_sidechannel(args: argparse.Namespace) -> int:
+    from repro.core import harnesses as H
+
+    secret = bytes([5, 17, 33, 60, 2, 44, 21, 9])
+    for platform in (H.PLATFORM_BASELINE, H.PLATFORM_GUILLOTINE,
+                     H.PLATFORM_ABLATION_SHARED_CACHE):
+        result = H.side_channel_run(platform, secret)
+        print(f"{platform:<28} accuracy={result.accuracy:.3f} "
+              f"bits/trial={result.bits_per_trial:.1f}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.verify import explore
+
+    report = explore(depth=args.depth)
+    print(f"depth={report.depth}  sequences={report.sequences_run}  "
+          f"abstract states={len(report.states_seen)}  "
+          f"violations={len(report.violations)}")
+    for trace, problem in report.violations[:10]:
+        print("  VIOLATION:", " -> ".join(trace), "::", problem)
+    return 0 if report.clean else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro import GuillotineSandbox, Host
+    from repro.core.telemetry import format_report, gather
+
+    sandbox = GuillotineSandbox.create()
+    sandbox.network.attach(Host("user"))
+    sandbox.console.load_model("stats-demo")
+    service = sandbox.build_service(replicas=2)
+    for index in range(4):
+        service.submit(f"telemetry demo question {index}",
+                       client_host="user")
+    service.drain()
+    print(format_report(gather(sandbox)))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro import GuillotineSandbox
+
+    sandbox = GuillotineSandbox.create()
+    topology = sandbox.topology()
+    for kind, components in topology["components"].items():
+        print(f"{kind:12s} {', '.join(components)}")
+    print("edges:")
+    for a, b in topology["edges"]:
+        print(f"  {a} -> {b}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Guillotine (HotOS 2025) reproduction driver",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("demo", help="quickstart flow")
+    subparsers.add_parser("campaign", help="E13 containment scoreboard")
+    subparsers.add_parser("sidechannel", help="E2 + A1 comparison")
+    verify_parser = subparsers.add_parser(
+        "verify", help="bounded model-checking of the isolation machine")
+    verify_parser.add_argument("--depth", type=int, default=2)
+    subparsers.add_parser("topology", help="dump the Figure-1 topology")
+    subparsers.add_parser(
+        "stats", help="run a short workload and print deployment telemetry")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "campaign": _cmd_campaign,
+        "sidechannel": _cmd_sidechannel,
+        "verify": _cmd_verify,
+        "topology": _cmd_topology,
+        "stats": _cmd_stats,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

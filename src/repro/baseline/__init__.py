@@ -1,0 +1,14 @@
+"""The traditional-hypervisor baseline that the paper contrasts against.
+
+A VT-x-style design on the shared-core machine from
+:func:`repro.hw.machine.build_baseline_machine`: guest and hypervisor
+time-share one core and one cache hierarchy, memory isolation is logical
+(extended page tables), sensitive instructions trap-and-emulate, and devices
+may be direct-assigned (SR-IOV).  Experiments E2, E3, E8, E12, and E13 use it
+as the comparison point for Guillotine's claims.
+"""
+
+from repro.baseline.ept import Ept, EptViolation
+from repro.baseline.hypervisor import TraditionalHypervisor
+
+__all__ = ["Ept", "EptViolation", "TraditionalHypervisor"]

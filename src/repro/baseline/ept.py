@@ -1,0 +1,54 @@
+"""Extended page tables: the baseline's logical memory isolation.
+
+On a traditional platform, guest and hypervisor share physical DRAM; the
+hypervisor controls which host frames each guest-physical page maps to.
+Guillotine's section 3.2 argues this machinery is unnecessary when isolation
+is topological — experiment E12 counts it as baseline-only mechanism, and
+experiment E2 exploits the co-residency it implies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryFault
+from repro.hw.memory import PAGE_SIZE
+
+
+class EptViolation(MemoryFault):
+    """A guest-physical access fell outside its EPT mapping."""
+
+
+class Ept:
+    """Second-level translation: guest-physical frame -> host-physical frame."""
+
+    def __init__(self) -> None:
+        self._map: dict[int, tuple[int, bool]] = {}  # gfn -> (hfn, writable)
+        self.violations = 0
+
+    def map_range(self, guest_frame: int, host_frame: int, count: int,
+                  writable: bool = True) -> None:
+        """Map ``count`` consecutive guest frames starting at ``guest_frame``."""
+        for offset in range(count):
+            self._map[guest_frame + offset] = (host_frame + offset, writable)
+
+    def unmap_range(self, guest_frame: int, count: int) -> None:
+        for offset in range(count):
+            self._map.pop(guest_frame + offset, None)
+
+    def translate(self, gpa: int, write: bool = False) -> int:
+        """Guest-physical word address -> host-physical word address."""
+        gfn, offset = divmod(gpa, PAGE_SIZE)
+        entry = self._map.get(gfn)
+        if entry is None:
+            self.violations += 1
+            raise EptViolation(f"EPT violation: unmapped gfn {gfn}", gpa)
+        hfn, writable = entry
+        if write and not writable:
+            self.violations += 1
+            raise EptViolation(f"EPT violation: write to read-only gfn {gfn}", gpa)
+        return hfn * PAGE_SIZE + offset
+
+    def mapped_frames(self) -> int:
+        return len(self._map)
+
+    def host_frames(self) -> set[int]:
+        return {hfn for hfn, _ in self._map.values()}

@@ -1,0 +1,208 @@
+"""The traditional trap-and-emulate hypervisor.
+
+Runs on the *same* core as its guest (time-sliced), which means its memory
+accesses warm and evict the *same* caches the guest can probe.  That
+co-tenancy is the baseline property experiment E2 measures: a guest
+prime+probe attacker recovers the hypervisor's secret byte-by-byte from
+which L1 set each trap handler evicts.
+
+Mechanism inventory (compared against Guillotine in E12):
+
+* EPT second-level translation (2-D page walks on TLB miss),
+* VM-exit / VM-entry on every sensitive instruction (``IORD``/``IOWR``),
+* in-hypervisor device emulation and interrupt virtualisation,
+* optional SR-IOV-style direct device assignment, which skips the hypervisor
+  entirely — fast, and invisible to any audit log (experiment E8's foil).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PortError
+from repro.eventlog import CATEGORY_PORT_IO
+from repro.hw.core import Core
+from repro.hw.isa import Op, Program
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SIZE, PageTableEntry
+from repro.baseline.ept import Ept
+
+#: Well-known IO port numbers on the baseline platform.
+PORT_HYPERCALL = 0
+PORT_NIC = 1
+PORT_DISK = 2
+PORT_GPU = 3
+PORT_ACTUATOR = 4
+
+#: Cycles charged for one VM exit + VM entry round trip.
+VMEXIT_COST = 120
+
+#: Size of the hypervisor's secret-indexed lookup table, in cache lines.
+SECRET_TABLE_LINES = 64
+
+
+class TraditionalHypervisor:
+    """A VT-x-style hypervisor sharing its guest's core and caches."""
+
+    #: Mechanisms this design needs (E12 inventory).
+    MECHANISMS = (
+        "extended_page_tables",
+        "two_dimensional_page_walk",
+        "vmexit_vmentry",
+        "trap_and_emulate_sensitive_instructions",
+        "device_emulation",
+        "interrupt_virtualization",
+        "guest_scheduler",
+        "hypervisor_execution_mode",
+    )
+
+    def __init__(self, machine: Machine, secret: bytes = b"") -> None:
+        if machine.name != "baseline":
+            raise ValueError("TraditionalHypervisor requires a baseline machine")
+        self.machine = machine
+        self.ept = Ept()
+        self.secret = secret
+        self._secret_index = 0
+        self.vm_exits = 0
+        self.hypercalls = 0
+        self.emulated_ios = 0
+        self.direct_ios = 0
+        self._assigned_ports: set[int] = set()
+        self._port_devices = {
+            PORT_NIC: machine.devices["nic0"],
+            PORT_DISK: machine.devices["disk0"],
+            PORT_GPU: machine.devices["gpu0"],
+            PORT_ACTUATOR: machine.devices["actuator0"],
+        }
+
+        bank = machine.banks["shared_dram"]
+        total_frames = bank.num_frames
+        # Host frame layout: guest low, hypervisor high.
+        self.guest_frames = total_frames // 2
+        self.hv_frame_base = self.guest_frames
+        # Hypervisor data structures (dispatch tables, the secret-indexed
+        # table) live in hypervisor frames but are cached in the SAME
+        # hierarchy the guest uses.
+        self.dispatch_table_paddr = self.hv_frame_base * PAGE_SIZE
+        self.secret_table_paddr = (self.hv_frame_base + 1) * PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    # Guest lifecycle
+    # ------------------------------------------------------------------
+
+    def install_guest(self, program: Program, *, data_pages: int = 4) -> dict:
+        """Load the guest, wire EPT + trap handling, return the layout."""
+        core = self.guest_core
+        # Identity EPT over the guest's half of DRAM; hypervisor frames are
+        # simply not mapped — the *logical* isolation Guillotine replaces
+        # with missing wires.
+        self.ept.map_range(0, 0, self.guest_frames)
+        core.second_level = self.ept.translate
+        core.sensitive_trap = self._sensitive_trap
+        layout = self.machine.load_program(
+            core, program, data_pages=data_pages, map_io_region=False
+        )
+        return layout
+
+    @property
+    def guest_core(self) -> Core:
+        return self.machine.model_cores[0]
+
+    def map_guest_page(self, vpn: int, gfn: int, *, readable: bool = True,
+                       writable: bool = True, executable: bool = False) -> None:
+        """Convenience for tests building custom guest address spaces."""
+        self.guest_core.mmu.map(
+            vpn,
+            PageTableEntry(ppn=gfn, readable=readable, writable=writable,
+                           executable=executable),
+        )
+
+    # ------------------------------------------------------------------
+    # Device assignment (SR-IOV analogue)
+    # ------------------------------------------------------------------
+
+    def assign_device(self, port: int) -> None:
+        """Direct-assign a device: guest IO to this port bypasses the
+        hypervisor (no VM exit, no audit record)."""
+        if port not in self._port_devices:
+            raise PortError(f"no device behind port {port}")
+        self._assigned_ports.add(port)
+
+    def unassign_device(self, port: int) -> None:
+        self._assigned_ports.discard(port)
+
+    # ------------------------------------------------------------------
+    # Trap-and-emulate
+    # ------------------------------------------------------------------
+
+    def _sensitive_trap(self, core: Core, op: Op, port: int, value: int) -> int:
+        if port in self._assigned_ports:
+            # Direct assignment: device DMA path, constant small cost,
+            # no hypervisor involvement and no logging.
+            self.direct_ios += 1
+            core.clock.tick(8)
+            return self._device_io(port, op, value, logged=False)
+
+        # VM exit: save guest state, run hypervisor code on this same core.
+        self.vm_exits += 1
+        core.clock.tick(VMEXIT_COST)
+        # Dispatch-table lookup (hypervisor data, shared cache!).
+        self._hv_touch(core, self.dispatch_table_paddr + (port % 16))
+
+        if port == PORT_HYPERCALL:
+            self.hypercalls += 1
+            return self._handle_hypercall(core, value)
+        self.emulated_ios += 1
+        return self._device_io(port, op, value, logged=True)
+
+    def _handle_hypercall(self, core: Core, value: int) -> int:
+        """A status hypercall whose handler makes one secret-dependent
+        memory access — the classic leaky pattern (e.g. a table-based MAC
+        over the request).  E2's attacker recovers ``self.secret`` from it."""
+        if self.secret:
+            secret_byte = self.secret[self._secret_index % len(self.secret)]
+            self._secret_index += 1
+            line = secret_byte % SECRET_TABLE_LINES
+            dcache = core.caches.dcache_levels[0]
+            self._hv_touch(
+                core, self.secret_table_paddr + line * dcache.line_size
+            )
+        return 1  # status: OK
+
+    def advance_secret(self, index: int) -> None:
+        """Point the leaky handler at secret byte ``index`` (test harness)."""
+        self._secret_index = index
+
+    def _device_io(self, port: int, op: Op, value: int, logged: bool) -> int:
+        device = self._port_devices.get(port)
+        if device is None:
+            return 0
+        # Minimal register-level semantics: IOWR pokes a device register,
+        # IORD reads a status register.  Rich IO runs through the Tier-2
+        # adapters; this path exists to price mediation (E8).
+        if op is Op.IOWR:
+            response, latency = device.submit({"op": "status"}) \
+                if device.device_type == "nic" else ({"ok": True}, 5)
+            self.machine.clock.tick(latency)
+            result = 1 if response.get("ok") else 0
+        else:
+            result = device.requests_served & 0xFFFF
+            self.machine.clock.tick(5)
+        if logged:
+            self.machine.log.record(
+                "baseline_hv", CATEGORY_PORT_IO, port=port, op=op.name,
+                value=value,
+            )
+        return result
+
+    def _hv_touch(self, core: Core, paddr: int) -> None:
+        """Hypervisor-software memory access — through the guest's caches,
+        because there is only one set of caches on this platform."""
+        core.clock.tick(
+            Core._hierarchy_latency(core.caches.dcache_levels, paddr)
+        )
+
+    # ------------------------------------------------------------------
+    # E12 accounting
+    # ------------------------------------------------------------------
+
+    def mechanism_inventory(self) -> list[str]:
+        return list(self.MECHANISMS)

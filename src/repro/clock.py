@@ -1,0 +1,136 @@
+"""Virtual time and a small discrete-event scheduler.
+
+Everything in the simulated Guillotine deployment shares one
+:class:`VirtualClock`.  Hardware components charge cycles to it (cache
+misses cost more than hits, which is what makes timing side channels
+measurable), and higher layers schedule future events on it (heartbeats,
+kill-switch actuation delays, device completion interrupts).
+
+The scheduler is deliberately minimal: a heap of ``(time, seq, callback)``
+entries.  Determinism matters more than features here — experiments must be
+exactly reproducible, so ties are broken by insertion order and no wall-clock
+time is ever consulted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`VirtualClock.call_at` allowing cancellation."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> int:
+        return self._event.time
+
+
+class VirtualClock:
+    """A monotonically advancing cycle counter with an event queue.
+
+    Two ways to move time forward:
+
+    * :meth:`tick` — charge ``cycles`` of work (used by the CPU simulator).
+    * :meth:`run_until` / :meth:`run_next` — jump to scheduled events (used
+      by the physical layer and device models).
+
+    Both fire any events whose deadline is reached.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = start
+        self._queue: list[_Event] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in cycles."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def call_at(self, time: int, callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` to run when virtual time reaches ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        event = _Event(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_after(self, delay: int, callback: Callable[[], Any]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.call_at(self._now + delay, callback)
+
+    # -- advancing time -----------------------------------------------------
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance time by ``cycles``, firing any events that come due."""
+        if cycles < 0:
+            raise ValueError("cannot tick backwards")
+        self.run_until(self._now + cycles)
+
+    def run_until(self, time: int) -> None:
+        """Advance to ``time``, firing all events with deadline <= ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot run backwards ({time} < {self._now})")
+        while self._queue and self._queue[0].time <= time:
+            event = heapq.heappop(self._queue)
+            self._now = max(self._now, event.time)
+            if not event.cancelled:
+                event.callback()
+        self._now = max(self._now, time)
+
+    def run_next(self) -> bool:
+        """Jump to the next pending event and fire it.
+
+        Returns ``False`` if the queue is empty (time does not advance).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            event.callback()
+            return True
+        return False
+
+    def drain(self, limit: int = 100_000) -> int:
+        """Fire pending events until the queue is empty; returns count fired.
+
+        ``limit`` guards against self-rescheduling loops in tests.
+        """
+        fired = 0
+        while self.run_next():
+            fired += 1
+            if fired >= limit:
+                raise RuntimeError("event queue did not drain within limit")
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,28 @@
+"""Top-level facades tying the four hypervisor layers together.
+
+* :mod:`repro.core.sandbox` — :class:`GuillotineSandbox` (the paper's full
+  stack, Figure 1) and :class:`UnsandboxedDeployment` (the traditional
+  platform adversaries are compared against),
+* :mod:`repro.core.harnesses` — the Tier-1 experiment drivers shared by
+  benchmarks and scenario campaigns (side channel, code injection,
+  interrupt flood, covert channel),
+* :mod:`repro.core.scenarios` — adversary campaigns and containment
+  scoring (experiment E13),
+* :mod:`repro.core.metrics` — TCB/mechanism accounting (experiment E12).
+"""
+
+from repro.core.sandbox import (
+    DirectDeviceClient,
+    GuillotineSandbox,
+    UnsandboxedDeployment,
+)
+from repro.core.verify import ExplorationReport, check_invariants, explore
+
+__all__ = [
+    "DirectDeviceClient",
+    "GuillotineSandbox",
+    "UnsandboxedDeployment",
+    "ExplorationReport",
+    "check_invariants",
+    "explore",
+]

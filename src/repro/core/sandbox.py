@@ -1,0 +1,299 @@
+"""Deployment facades: the full Guillotine stack, and its traditional foil.
+
+:class:`GuillotineSandbox` assembles Figure 1: model cores behind the guest
+API, the software hypervisor on its own cores, the physical hypervisor
+(console, HSM quorum, kill switches, heartbeats), and hooks for the policy
+layer (certificates, attestation, audits).  One call —
+:meth:`GuillotineSandbox.create` — produces a working deployment.
+
+:class:`UnsandboxedDeployment` is the same workload surface on the
+traditional platform: shared core, EPT, SR-IOV direct device assignment,
+one operator with no quorum, no detectors, plain certificates.  Adversary
+campaigns (E13) run the *same* adversaries against both and compare
+containment.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baseline.hypervisor import TraditionalHypervisor
+from repro.clock import VirtualClock
+from repro.eventlog import EventLog
+from repro.hv.certs import CertificateAuthority
+from repro.hv.channels import Endpoint
+from repro.hv.detectors import CompositeDetector, InputShield, OutputSanitizer
+from repro.hv.guest import GuestPortClient
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hv.steering import ActivationSteerer, CircuitBreaker
+from repro.hw.core import Core
+from repro.hw.isa import Program
+from repro.hw.machine import (
+    Machine,
+    MachineConfig,
+    build_baseline_machine,
+    build_guillotine_machine,
+)
+from repro.model.service import ModelService
+from repro.model.toyllm import ToyLlm
+from repro.net.network import Network
+from repro.physical.console import ControlConsole
+from repro.physical.isolation import IsolationLevel
+from repro.policy.seclevels import GUILLOTINE_FEATURES
+
+
+class DirectDeviceClient:
+    """Unmediated device access (the SR-IOV path on the baseline).
+
+    Implements the same ``request(dict) -> dict`` protocol as
+    :class:`~repro.hv.guest.GuestPortClient`, but nothing inspects, logs,
+    or can veto the interaction — which is exactly the property Guillotine
+    bans and E8/E13 measure.
+    """
+
+    def __init__(self, device, clock: VirtualClock) -> None:
+        self._device = device
+        self._clock = clock
+        self.requests_sent = 0
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        body = {k: v for k, v in payload.items() if k != "holder"}
+        response, latency = self._device.submit(body)
+        self._clock.tick(latency)
+        self.requests_sent += 1
+        return response
+
+    def ping(self) -> None:
+        self._clock.tick(1)
+
+
+class GuillotineSandbox:
+    """The assembled four-layer Guillotine deployment."""
+
+    kind = "guillotine"
+
+    def __init__(self, machine: Machine, hypervisor: GuillotineHypervisor,
+                 console: ControlConsole, network: Network,
+                 llm: ToyLlm) -> None:
+        self.machine = machine
+        self.hypervisor = hypervisor
+        self.console = console
+        self.network = network
+        self.llm = llm
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        config: MachineConfig | None = None,
+        *,
+        secret: bytes = b"",
+        llm_seed: int = 7,
+        steering_threshold: float = 8.0,
+        with_circuit_breaker: bool = False,
+        heartbeat_period: int | None = None,
+    ) -> "GuillotineSandbox":
+        """Build a full deployment with the standard detector stack."""
+        machine = build_guillotine_machine(config)
+        llm = ToyLlm(seed=llm_seed)
+        detector = CompositeDetector([InputShield(), OutputSanitizer()])
+        hypervisor = GuillotineHypervisor(machine, detector=detector,
+                                          secret=secret)
+        console = ControlConsole(machine, hypervisor)
+        network = Network(machine.clock, machine.log)
+        network.attach(machine.devices["nic0"])
+        sandbox = cls(machine, hypervisor, console, network, llm)
+        sandbox.steerer = ActivationSteerer(
+            llm.harmful_direction, threshold=steering_threshold
+        )
+        sandbox.breaker = (
+            CircuitBreaker(llm.harmful_direction,
+                           threshold=steering_threshold * 1.5)
+            if with_circuit_breaker else None
+        )
+        if heartbeat_period is not None:
+            console.enable_heartbeats(heartbeat_period)
+        return sandbox
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.machine.clock
+
+    @property
+    def log(self) -> EventLog:
+        return self.machine.log
+
+    @property
+    def isolation_level(self) -> IsolationLevel:
+        return self.console.level
+
+    def features(self) -> frozenset[str]:
+        """Feature flags for the Nevo et al. security-level comparison."""
+        return GUILLOTINE_FEATURES
+
+    # ------------------------------------------------------------------
+    # Workload plumbing
+    # ------------------------------------------------------------------
+
+    def client_for(self, device_name: str, holder: str) -> GuestPortClient:
+        """Grant a port and return the model-side client for it."""
+        port = self.hypervisor.grant_port(device_name, holder)
+        return GuestPortClient(self.hypervisor, port)
+
+    def load_tier1(self, program: Program, core_index: int = 0,
+                   *, data_pages: int = 24,
+                   lockdown: bool = True) -> tuple[Core, dict]:
+        """Load a GISA program onto a model core, optionally locking the MMU
+        executable region (the default, as a real deployment would)."""
+        core = self.machine.model_cores[core_index]
+        layout = self.machine.load_program(core, program,
+                                           data_pages=data_pages)
+        if lockdown:
+            self.machine.control_bus.lockdown_mmu(
+                core.name, 0, layout["code_pages"] - 1
+            )
+        return core, layout
+
+    def build_service(self, *, replicas: int = 2, use_rag: bool = False,
+                      holder: str = "model-service",
+                      with_breaker: bool = False) -> ModelService:
+        """Assemble the section-2 model service behind ports."""
+        hooks = [self.steerer.hook]
+        if with_breaker and self.breaker is not None:
+            hooks.append(self.breaker.hook)
+        return ModelService(
+            clock=self.clock,
+            replicas=[ToyLlm(seed=7 + i) for i in range(replicas)],
+            gpu_client=self.client_for("gpu0", holder),
+            nic_client=self.client_for("nic0", holder),
+            storage_client=self.client_for("disk0", holder) if use_rag else None,
+            hooks=hooks,
+        )
+
+    def endpoint(self, ca: CertificateAuthority) -> Endpoint:
+        """This deployment's self-identifying secure-channel endpoint."""
+        certificate = ca.issue(
+            f"guillotine:{self.machine.config.host_id}", guillotine=True
+        )
+        return Endpoint(
+            name=self.machine.config.host_id,
+            certificate=certificate,
+            trust_anchor=ca.trust_anchor(),
+            refuse_guillotine_peers=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Figure 1 topology + invariants
+    # ------------------------------------------------------------------
+
+    def topology(self) -> dict[str, Any]:
+        """Component/edge description compared against Figure 1 in E1."""
+        graph = self.machine.bus.graph_copy()
+        return {
+            "components": {
+                kind: sorted(self.machine.bus.components(kind))
+                for kind in ("model_core", "hv_core", "dram", "device",
+                             "bus", "console")
+            },
+            "edges": sorted(graph.edges),
+        }
+
+    def check_invariants(self) -> list[str]:
+        """The five DESIGN.md invariants, checked live.
+
+        Returns human-readable violations (empty list = healthy).
+        """
+        violations: list[str] = []
+        bus = self.machine.bus
+        for core in self.machine.model_cores:
+            if bus.transitively_reachable(core.name, "hv_dram"):
+                violations.append(f"{core.name} can reach hv_dram")
+            if bus.transitively_reachable(core.name, "control_bus"):
+                violations.append(f"{core.name} can reach the control bus")
+            if bus.transitively_reachable(core.name, "console"):
+                violations.append(f"{core.name} can reach the console")
+            for device in self.machine.devices.values():
+                if bus.reachable(core.name, device.name):
+                    violations.append(
+                        f"{core.name} directly wired to {device.name}"
+                    )
+            if core.mmu.locked:
+                for vpn, entry in core.mmu.table_snapshot().items():
+                    if entry.executable and not core.mmu.exec_region.contains(vpn):
+                        violations.append(
+                            f"{core.name}: exec page outside locked region"
+                        )
+        if not self.log.verify_chain():
+            violations.append("audit log hash chain broken")
+        if self.isolation_level >= IsolationLevel.SEVERED:
+            if self.hypervisor.ports.active_ports():
+                violations.append("active ports above Severed isolation")
+        return violations
+
+
+class UnsandboxedDeployment:
+    """The traditional deployment the adversaries tear apart.
+
+    Same devices, same toy LLM, same network — but the model's device
+    clients are direct (SR-IOV), its certificates carry no Guillotine
+    extension, page tables are guest-controlled, and there is a single
+    operator instead of a seven-admin quorum.
+    """
+
+    kind = "baseline"
+
+    def __init__(self, config: MachineConfig | None = None,
+                 *, secret: bytes = b"", llm_seed: int = 7) -> None:
+        self.machine = build_baseline_machine(config)
+        self.hypervisor = TraditionalHypervisor(self.machine, secret=secret)
+        self.network = Network(self.machine.clock, self.machine.log)
+        self.network.attach(self.machine.devices["nic0"])
+        self.llm = ToyLlm(seed=llm_seed)
+        self.console = None
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.machine.clock
+
+    @property
+    def log(self) -> EventLog:
+        return self.machine.log
+
+    @property
+    def isolation_level(self) -> IsolationLevel:
+        return IsolationLevel.STANDARD
+
+    def features(self) -> frozenset[str]:
+        return frozenset({"access_control"})
+
+    def client_for(self, device_name: str, holder: str) -> DirectDeviceClient:
+        return DirectDeviceClient(
+            self.machine.devices[device_name], self.machine.clock
+        )
+
+    def build_service(self, *, replicas: int = 2, use_rag: bool = False,
+                      holder: str = "model-service",
+                      with_breaker: bool = False) -> ModelService:
+        """The same workload, with no detector hooks and direct devices."""
+        return ModelService(
+            clock=self.clock,
+            replicas=[ToyLlm(seed=7 + i) for i in range(replicas)],
+            gpu_client=self.client_for("gpu0", holder),
+            nic_client=self.client_for("nic0", holder),
+            storage_client=self.client_for("disk0", holder) if use_rag else None,
+            hooks=[],
+        )
+
+    def endpoint(self, ca: CertificateAuthority) -> Endpoint:
+        certificate = ca.issue("baseline-host", guillotine=False)
+        return Endpoint(
+            name="baseline-host",
+            certificate=certificate,
+            trust_anchor=ca.trust_anchor(),
+            refuse_guillotine_peers=False,
+        )

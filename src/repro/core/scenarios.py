@@ -1,0 +1,80 @@
+"""Containment campaigns: the E13 end-to-end experiment.
+
+A campaign runs every adversary in the roster against a *fresh* deployment
+(isolation state is stateful, so attackers do not share consequences) and
+reports per-attack outcomes plus the containment rate.  The paper's implied
+claim — the whole point of the architecture — is that the Guillotine column
+contains everything the traditional column does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.sandbox import GuillotineSandbox, UnsandboxedDeployment
+from repro.model.adversary import Adversary, AttackResult, standard_adversaries
+
+
+@dataclass
+class CampaignReport:
+    platform: str
+    results: list[AttackResult] = field(default_factory=list)
+
+    @property
+    def attacks(self) -> int:
+        return len(self.results)
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for r in self.results if r.succeeded)
+
+    @property
+    def containment_rate(self) -> float:
+        if not self.results:
+            return 1.0
+        return 1.0 - self.successes / len(self.results)
+
+    def outcome(self, adversary_name: str) -> AttackResult:
+        for result in self.results:
+            if result.adversary == adversary_name:
+                return result
+        raise KeyError(adversary_name)
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(adversary, outcome) rows for the benchmark printout."""
+        return [
+            (r.adversary, "ESCAPED" if r.succeeded else "contained")
+            for r in self.results
+        ]
+
+
+def guillotine_factory() -> GuillotineSandbox:
+    return GuillotineSandbox.create(with_circuit_breaker=False)
+
+
+def baseline_factory() -> UnsandboxedDeployment:
+    return UnsandboxedDeployment()
+
+
+def run_campaign(
+    deployment_factory: Callable[[], object],
+    adversaries: list[Adversary] | None = None,
+) -> CampaignReport:
+    """Run each adversary against its own fresh deployment."""
+    adversaries = adversaries if adversaries is not None else standard_adversaries()
+    report = CampaignReport(platform=deployment_factory().kind)
+    for adversary in adversaries:
+        deployment = deployment_factory()
+        report.results.append(adversary.run(deployment))
+    return report
+
+
+def run_paired_campaign(
+    adversaries: list[Adversary] | None = None,
+) -> tuple[CampaignReport, CampaignReport]:
+    """The E13 comparison: same roster, both platforms."""
+    return (
+        run_campaign(baseline_factory, adversaries),
+        run_campaign(guillotine_factory, adversaries),
+    )

@@ -1,0 +1,138 @@
+"""Deployment telemetry: one structured snapshot of everything countable.
+
+Operators of a Guillotine deployment need the same observability any
+hypervisor fleet gets — cache behaviour, interrupt pressure, port traffic,
+detector verdicts, isolation history — except every number here is also a
+*security* signal (an interrupt-rate spike is E4's attack; a detector
+verdict burst is an incident).  :func:`gather` walks the whole stack and
+returns a nested dict; :func:`format_report` renders it for the console
+operator (and ``python -m repro stats``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.eventlog import (
+    CATEGORY_DETECTOR,
+    CATEGORY_ISOLATION,
+    CATEGORY_KILL_SWITCH,
+    CATEGORY_PORT_IO,
+)
+
+
+def gather(sandbox) -> dict[str, Any]:
+    """Snapshot a :class:`~repro.core.sandbox.GuillotineSandbox`."""
+    machine = sandbox.machine
+    hypervisor = sandbox.hypervisor
+    console = sandbox.console
+
+    cores = {}
+    for core in machine.model_cores + machine.hv_cores:
+        l1d = core.caches.dcache_levels[0]
+        predictor = core.caches.branch_predictor
+        cores[core.name] = {
+            "state": core.state.name,
+            "instructions_retired": core.instructions_retired,
+            "faults": core.faults,
+            "timer_fires": core.timer_fires,
+            "l1d_hit_rate": round(l1d.stats.hit_rate, 4),
+            "l1d_accesses": l1d.stats.accesses,
+            "tlb_hit_rate": round(core.caches.tlb.stats.hit_rate, 4),
+            "branch_mispredicts": predictor.mispredictions,
+            "mmu_locked": core.mmu.locked,
+            "weights_protected": core.mmu.weights_protected,
+        }
+
+    lapics = {
+        name: {
+            "accepted": lapic.accepted,
+            "throttled": lapic.throttled,
+            "pending": lapic.pending_count(),
+        }
+        for name, lapic in machine.lapics.items()
+    }
+
+    devices = {
+        name: {"type": device.device_type,
+               "requests_served": device.requests_served}
+        for name, device in machine.devices.items()
+    }
+
+    log = machine.log
+    return {
+        "clock_cycles": machine.clock.now,
+        "isolation_level": console.level.name,
+        "cores": cores,
+        "lapics": lapics,
+        "devices": devices,
+        "hypervisor": {
+            "interrupts_handled": hypervisor.interrupts_handled,
+            "requests_denied": hypervisor.requests_denied,
+            "active_ports": len(hypervisor.ports.active_ports()),
+            "granted_ports": len(hypervisor.ports.ports()),
+            "stream_messages_sent": hypervisor.stream_messages_sent,
+            "activation_interventions": hypervisor.activation_interventions,
+            "panicked": hypervisor.panicked,
+        },
+        "audit": {
+            "records": len(log),
+            "port_io": len(log.by_category(CATEGORY_PORT_IO)),
+            "detector_verdicts": len(log.by_category(CATEGORY_DETECTOR)),
+            "isolation_transitions": len(log.by_category(CATEGORY_ISOLATION)),
+            "kill_switch_actions": len(log.by_category(CATEGORY_KILL_SWITCH)),
+            "chain_verified": log.verify_chain(),
+        },
+        "plant": {
+            "network_cable": console.plant.state().network_cable.value,
+            "power_feed": console.plant.state().power_feed.value,
+            "building_intact": console.plant.state().building_intact,
+        },
+    }
+
+
+def format_report(stats: dict[str, Any]) -> str:
+    """Render :func:`gather` output as an operator-readable report."""
+    lines = [
+        f"clock: {stats['clock_cycles']} cycles   "
+        f"isolation: {stats['isolation_level']}",
+        "",
+        "cores:",
+    ]
+    for name, core in stats["cores"].items():
+        lines.append(
+            f"  {name:<14} {core['state']:<12} "
+            f"retired={core['instructions_retired']:<8} "
+            f"faults={core['faults']:<4} "
+            f"L1d={core['l1d_hit_rate']:<7} "
+            f"locked={'y' if core['mmu_locked'] else 'n'}"
+        )
+    lines.append("")
+    lines.append("hypervisor:")
+    hv = stats["hypervisor"]
+    lines.append(
+        f"  interrupts={hv['interrupts_handled']} "
+        f"denied={hv['requests_denied']} "
+        f"ports={hv['active_ports']}/{hv['granted_ports']} "
+        f"interventions={hv['activation_interventions']} "
+        f"panicked={'y' if hv['panicked'] else 'n'}"
+    )
+    lines.append("")
+    lines.append("devices:")
+    for name, device in stats["devices"].items():
+        lines.append(f"  {name:<12} {device['type']:<9} "
+                     f"served={device['requests_served']}")
+    audit = stats["audit"]
+    lines.append("")
+    lines.append(
+        f"audit: {audit['records']} records "
+        f"(io={audit['port_io']}, verdicts={audit['detector_verdicts']}, "
+        f"transitions={audit['isolation_transitions']}) "
+        f"chain={'ok' if audit['chain_verified'] else 'BROKEN'}"
+    )
+    plant = stats["plant"]
+    lines.append(
+        f"plant: net={plant['network_cable']} power={plant['power_feed']} "
+        f"building={'intact' if plant['building_intact'] else 'DESTROYED'}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Exhaustive exploration of the isolation state machine.
+
+Section 3.3 wants the hypervisor "formally verified for correctness".  Full
+functional verification is out of scope for a simulation, but the *safety
+automaton* — the console/isolation state machine with its quorum rules,
+kill switches, plant, and fail-closed paths — is small enough to model-check
+by brute force: replay every action sequence up to a bounded depth against
+a fresh deployment and assert the DESIGN.md invariants in every reached
+state.
+
+:func:`explore` returns an :class:`ExplorationReport`; an empty
+``violations`` list over depth-k exploration is a machine-checked proof
+that no k-step sequence of admin votes, software requests, heartbeat
+losses, or cable repairs can drive the deployment into an inconsistent
+state (e.g. active ports while severed, powered cores while offline, or a
+software-initiated relaxation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.sandbox import GuillotineSandbox
+from repro.errors import GuillotineError
+from repro.physical.isolation import IsolationLevel
+from repro.physical.plant import LinkState
+
+
+@dataclass(frozen=True)
+class Action:
+    """One externally-triggerable event."""
+
+    kind: str                  # "admin" | "software" | "repair" | "hb_loss"
+    level: IsolationLevel | None = None
+    approvals: int = 0
+
+    def describe(self) -> str:
+        if self.kind == "admin":
+            return f"admin->{self.level.name}({self.approvals})"
+        if self.kind == "software":
+            return f"software->{self.level.name}"
+        return self.kind
+
+
+def default_actions() -> list[Action]:
+    """The action alphabet: admin votes with sub/exact-quorum approval
+    counts, software requests, manual repairs, heartbeat loss."""
+    actions: list[Action] = []
+    for level in IsolationLevel:
+        actions.append(Action("admin", level, approvals=3))
+        actions.append(Action("admin", level, approvals=5))
+        actions.append(Action("software", level))
+    actions.append(Action("repair"))
+    actions.append(Action("hb_loss"))
+    return actions
+
+
+@dataclass
+class ExplorationReport:
+    depth: int
+    sequences_run: int
+    states_seen: set[str] = field(default_factory=set)
+    violations: list[tuple[tuple[str, ...], str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def _apply(sandbox: GuillotineSandbox, action: Action) -> None:
+    console = sandbox.console
+    approving = {f"admin{i}" for i in range(action.approvals)}
+    try:
+        if action.kind == "admin":
+            console.admin_transition(action.level, approving, "explore")
+        elif action.kind == "software":
+            console.software_request(action.level, "explore")
+        elif action.kind == "repair":
+            console.plant.replace_network_cable()
+            console.plant.replace_power_feed()
+        elif action.kind == "hb_loss":
+            if console.heartbeat is None:
+                console.enable_heartbeats(period=100)
+            sandbox.clock.tick(1_000)   # guaranteed loss, nobody beats
+    except GuillotineError:
+        pass  # refused actions are legal outcomes; state must still be sane
+
+
+def _abstract_state(sandbox: GuillotineSandbox) -> str:
+    console = sandbox.console
+    plant = console.plant.state()
+    return "|".join([
+        console.level.name,
+        plant.network_cable.value,
+        plant.power_feed.value,
+        "intact" if plant.building_intact else "destroyed",
+        "powered" if not sandbox.machine.model_cores[0].is_powered_down
+        else "down",
+        f"ports={len(sandbox.hypervisor.ports.active_ports())}",
+    ])
+
+
+def check_invariants(sandbox: GuillotineSandbox) -> list[str]:
+    """The cross-layer consistency conditions (DESIGN.md invariants 2/3/5
+    plus physical-plant coupling)."""
+    problems: list[str] = []
+    console = sandbox.console
+    hypervisor = sandbox.hypervisor
+    level = console.level
+    plant = console.plant.state()
+
+    if hypervisor.isolation_level is not level:
+        problems.append("hv/console level divergence")
+    if not level.ports_usable and hypervisor.ports.active_ports():
+        problems.append(f"active ports at {level.name}")
+    if not level.cores_powered:
+        for core in sandbox.machine.model_cores:
+            if not core.is_powered_down:
+                problems.append(f"{core.name} powered at {level.name}")
+    if level >= IsolationLevel.OFFLINE and plant.externally_connected:
+        problems.append(f"network connected at {level.name}")
+    if level >= IsolationLevel.DECAPITATION and plant.network_cable in (
+        LinkState.CONNECTED,
+    ):
+        problems.append(f"undamaged cable at {level.name}")
+    if level is IsolationLevel.IMMOLATION and plant.building_intact:
+        problems.append("plant intact after immolation")
+    if level is not IsolationLevel.IMMOLATION and not plant.building_intact:
+        problems.append("plant destroyed below immolation")
+    if not sandbox.log.verify_chain():
+        problems.append("audit chain broken")
+    # Monotonicity of software-initiated transitions, from the history.
+    previous = IsolationLevel.STANDARD
+    for _, from_name, to_name, reason in console.transition_history:
+        if reason.startswith("software request") and (
+            IsolationLevel[to_name] < IsolationLevel[from_name]
+        ):
+            problems.append("software-initiated relaxation recorded")
+        previous = IsolationLevel[to_name]
+    return problems
+
+
+def explore(depth: int = 2,
+            actions: list[Action] | None = None) -> ExplorationReport:
+    """Run every action sequence of length ``depth``; report violations."""
+    actions = actions if actions is not None else default_actions()
+    report = ExplorationReport(depth=depth, sequences_run=0)
+    for sequence in itertools.product(actions, repeat=depth):
+        sandbox = GuillotineSandbox.create()
+        sandbox.client_for("disk0", "explore-model")  # something to revoke
+        trace = tuple(action.describe() for action in sequence)
+        for action in sequence:
+            _apply(sandbox, action)
+            problems = check_invariants(sandbox)
+            if problems:
+                report.violations.append((trace, "; ".join(problems)))
+                break
+        report.sequences_run += 1
+        report.states_seen.add(_abstract_state(sandbox))
+    return report

@@ -1,0 +1,137 @@
+"""Exception hierarchy for the Guillotine reproduction.
+
+Every layer of the stack raises exceptions derived from :class:`GuillotineError`
+so callers can distinguish simulation bugs (plain Python exceptions) from
+*modelled* failures (security violations, hardware faults, policy denials).
+"""
+
+from __future__ import annotations
+
+
+class GuillotineError(Exception):
+    """Base class for all modelled errors in the Guillotine stack."""
+
+
+# ---------------------------------------------------------------------------
+# Hardware-level errors (repro.hw)
+# ---------------------------------------------------------------------------
+
+class HardwareError(GuillotineError):
+    """Base class for faults raised by the simulated hardware."""
+
+
+class BusError(HardwareError):
+    """A component attempted to reach an address or device with no bus path.
+
+    In Guillotine, memory isolation between model cores and hypervisor cores
+    is *physical*: there is simply no bus connecting a model core to
+    hypervisor DRAM.  Such accesses fault here rather than being filtered by
+    software.
+    """
+
+
+class MemoryFault(HardwareError):
+    """An access violated MMU permissions or touched an unmapped page."""
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        super().__init__(message)
+        self.address = address
+
+
+class LockdownViolation(MemoryFault):
+    """A PTE update violated the MMU executable-region lockdown.
+
+    Raised when software attempts to create a new executable page, make an
+    executable page writable, or otherwise escape the base+bound executable
+    region after :meth:`repro.hw.memory.Mmu.lockdown` has been invoked.
+    """
+
+
+class MachineCheck(HardwareError):
+    """An unexpected hardware condition.
+
+    Per the paper (section 3.3), a machine check on a hypervisor core forces a
+    reboot into offline isolation.
+    """
+
+
+class InvalidInstruction(HardwareError):
+    """The decoder met an unknown or malformed instruction word."""
+
+
+class CorePoweredDown(HardwareError):
+    """An operation targeted a core that has been powered down."""
+
+
+class TamperDetected(HardwareError):
+    """Tamper-evident packaging detected physical interference (section 3.2)."""
+
+
+# ---------------------------------------------------------------------------
+# Software-hypervisor errors (repro.hv)
+# ---------------------------------------------------------------------------
+
+class HypervisorError(GuillotineError):
+    """Base class for errors raised by the software-level hypervisor."""
+
+
+class PortError(HypervisorError):
+    """A port operation was malformed or not permitted."""
+
+
+class CapabilityError(PortError):
+    """A model presented a capability it does not hold, or one that was
+    revoked when the isolation level rose above Standard/Probation."""
+
+
+class AssertionTripped(HypervisorError):
+    """A hypervisor runtime assertion failed.
+
+    Section 3.3: if the hypervisor fails a runtime assertion it forcibly
+    reboots into offline isolation mode.
+    """
+
+
+class HandshakeRefused(HypervisorError):
+    """A network handshake was refused.
+
+    Notably raised when two Guillotine hypervisors attempt to connect to each
+    other, which section 3.3 forbids to prevent collusive self-improvement.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Physical-hypervisor errors (repro.physical)
+# ---------------------------------------------------------------------------
+
+class PhysicalError(GuillotineError):
+    """Base class for control-console / kill-switch / plant errors."""
+
+
+class QuorumRejected(PhysicalError):
+    """An isolation-level change did not gather the required admin votes."""
+
+
+class IsolationError(PhysicalError):
+    """An action is incompatible with the current isolation level, or a
+    forbidden transition (e.g. software-initiated relaxation) was attempted."""
+
+
+class PlantDestroyed(PhysicalError):
+    """The physical plant no longer exists (post-immolation) and cannot act."""
+
+
+# ---------------------------------------------------------------------------
+# Policy errors (repro.policy)
+# ---------------------------------------------------------------------------
+
+class PolicyError(GuillotineError):
+    """Base class for regulatory / compliance failures."""
+
+
+class AttestationFailure(PolicyError):
+    """Remote attestation of the Guillotine hardware+software stack failed."""
+
+
+class ComplianceViolation(PolicyError):
+    """A deployment violates a registered regulation."""

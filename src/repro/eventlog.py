@@ -1,0 +1,142 @@
+"""Structured audit log shared by every layer of the Guillotine stack.
+
+Section 3.3 of the paper requires that Guillotine "log a model's inputs,
+outputs, and intermediate states for subsequent auditing by the misbehavior
+detector".  The :class:`EventLog` is that record: an append-only sequence of
+:class:`AuditRecord` entries, tagged by layer and category, with a hash chain
+so tampering with history is detectable.
+
+The log is also how experiments measure *mediation completeness* (experiment
+E8): every byte crossing a port must produce a record here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.clock import VirtualClock
+
+#: Well-known record categories used across the stack.
+CATEGORY_PORT_IO = "port.io"
+CATEGORY_PORT_GRANT = "port.grant"
+CATEGORY_PORT_REVOKE = "port.revoke"
+CATEGORY_ISOLATION = "isolation.transition"
+CATEGORY_DETECTOR = "detector.verdict"
+CATEGORY_CONSOLE = "console.action"
+CATEGORY_HEARTBEAT = "heartbeat"
+CATEGORY_MACHINE_CHECK = "hw.machine_check"
+CATEGORY_ATTESTATION = "attestation"
+CATEGORY_TAMPER = "hw.tamper"
+CATEGORY_MODEL_STATE = "model.state"
+CATEGORY_NETWORK = "network"
+CATEGORY_KILL_SWITCH = "physical.kill_switch"
+CATEGORY_POLICY = "policy"
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One immutable entry in the audit log."""
+
+    index: int
+    time: int
+    layer: str
+    category: str
+    detail: dict[str, Any]
+    digest: str = field(repr=False, default="")
+
+    def to_json(self) -> str:
+        """Serialise the record (without digest) canonically."""
+        payload = {
+            "index": self.index,
+            "time": self.time,
+            "layer": self.layer,
+            "category": self.category,
+            "detail": self.detail,
+        }
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+class EventLog:
+    """Append-only, hash-chained audit log.
+
+    Each record's digest covers the previous digest plus the record body, so
+    any retroactive edit breaks :meth:`verify_chain`.  The model has no bus
+    path to the log (it lives in hypervisor DRAM), but defense in depth is
+    the house style here.
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._records: list[AuditRecord] = []
+        self._subscribers: list[Callable[[AuditRecord], None]] = []
+
+    def record(self, layer: str, category: str, **detail: Any) -> AuditRecord:
+        """Append a record and return it."""
+        previous = self._records[-1].digest if self._records else ""
+        entry = AuditRecord(
+            index=len(self._records),
+            time=self._clock.now,
+            layer=layer,
+            category=category,
+            detail=detail,
+        )
+        digest = hashlib.sha256((previous + entry.to_json()).encode()).hexdigest()
+        entry = AuditRecord(
+            index=entry.index,
+            time=entry.time,
+            layer=entry.layer,
+            category=entry.category,
+            detail=entry.detail,
+            digest=digest,
+        )
+        self._records.append(entry)
+        for subscriber in self._subscribers:
+            subscriber(entry)
+        return entry
+
+    def subscribe(self, callback: Callable[[AuditRecord], None]) -> None:
+        """Invoke ``callback`` on every future record (detectors use this)."""
+        self._subscribers.append(callback)
+
+    # -- querying -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> AuditRecord:
+        return self._records[index]
+
+    def by_category(self, category: str) -> list[AuditRecord]:
+        """All records with the given category, oldest first."""
+        return [r for r in self._records if r.category == category]
+
+    def by_layer(self, layer: str) -> list[AuditRecord]:
+        """All records emitted by the given layer, oldest first."""
+        return [r for r in self._records if r.layer == layer]
+
+    def last(self, category: str | None = None) -> AuditRecord | None:
+        """Most recent record, optionally restricted to a category."""
+        if category is None:
+            return self._records[-1] if self._records else None
+        for record in reversed(self._records):
+            if record.category == category:
+                return record
+        return None
+
+    def verify_chain(self) -> bool:
+        """Recompute the hash chain; ``False`` means history was altered."""
+        previous = ""
+        for record in self._records:
+            expected = hashlib.sha256(
+                (previous + record.to_json()).encode()
+            ).hexdigest()
+            if expected != record.digest:
+                return False
+            previous = record.digest
+        return True

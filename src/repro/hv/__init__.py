@@ -1,0 +1,56 @@
+"""The Guillotine software-level hypervisor (paper section 3.3).
+
+Runs on hypervisor cores only.  Deliberately small — no guest scheduler, no
+interrupt virtualisation, no device emulation on model cores — because the
+microarchitectural layer already guarantees that a model core cannot touch
+anything but model DRAM and the shared IO region.  What remains is:
+
+* the **port API** (:mod:`repro.hv.ports`): Mach-style capabilities backed by
+  mailboxes in shared IO DRAM,
+* the **hypervisor service loop** (:mod:`repro.hv.hypervisor`) draining
+  doorbell interrupts and mediating every device interaction,
+* the **guest API** (:mod:`repro.hv.guest`) used by model-side code,
+* the **misbehaviour detectors** (:mod:`repro.hv.detectors`,
+  :mod:`repro.hv.steering`),
+* **audit** (:mod:`repro.hv.audit`) and **self-identifying secure channels**
+  (:mod:`repro.hv.channels`, :mod:`repro.hv.certs`).
+"""
+
+from repro.hv.ports import Mailbox, Port, PortTable
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hv.guest import GuestPortClient
+from repro.hv.detectors import (
+    CompositeDetector,
+    Detection,
+    InputShield,
+    MisbehaviorDetector,
+    OutputSanitizer,
+    Verdict,
+)
+from repro.hv.steering import ActivationSteerer, CircuitBreaker
+from repro.hv.forensics import (
+    ModelStateSnapshot,
+    capture,
+    replay,
+    restore_into_quarantine,
+)
+
+__all__ = [
+    "ModelStateSnapshot",
+    "capture",
+    "replay",
+    "restore_into_quarantine",
+    "Mailbox",
+    "Port",
+    "PortTable",
+    "GuillotineHypervisor",
+    "GuestPortClient",
+    "CompositeDetector",
+    "Detection",
+    "InputShield",
+    "MisbehaviorDetector",
+    "OutputSanitizer",
+    "Verdict",
+    "ActivationSteerer",
+    "CircuitBreaker",
+]

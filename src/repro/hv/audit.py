@@ -1,0 +1,87 @@
+"""Audit trail utilities over the shared event log.
+
+Section 3.3: the port discipline "allows Guillotine to log a model's inputs,
+outputs, and intermediate states for subsequent auditing by the misbehavior
+detector".  This module provides:
+
+* :func:`record_model_snapshot` — capture a halted model core's ISA state and
+  a DRAM window into the log (the "intermediate states" part),
+* :class:`MediationChecker` — the completeness instrument for experiment E8:
+  it cross-checks bytes that crossed devices against bytes that appear in
+  ``port.io`` records, and reports the fraction that was observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eventlog import CATEGORY_MODEL_STATE, CATEGORY_PORT_IO, EventLog
+from repro.hw.bus import ControlBus, InspectionBus
+from repro.hw.machine import Machine
+
+
+def record_model_snapshot(machine: Machine, core_name: str,
+                          dram_start: int = 0, dram_words: int = 64) -> dict:
+    """Pause-inspect-log one model core (hypervisor-core privilege chain)."""
+    control: ControlBus = machine.control_bus
+    inspection: InspectionBus = machine.inspection_bus
+    control.pause(core_name)
+    state = control.inspect(core_name)
+    dram = inspection.snapshot("model_dram", dram_start, dram_words)
+    snapshot = {
+        "core": core_name,
+        "pc": state["pc"],
+        "registers": state["registers"],
+        "dram_window": dram,
+        "dram_start": dram_start,
+    }
+    machine.log.record("hv", CATEGORY_MODEL_STATE, **snapshot)
+    return snapshot
+
+
+@dataclass
+class MediationReport:
+    device_requests: int
+    logged_interactions: int
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of device interactions visible in the audit log.
+
+        1.0 under Guillotine ports; 0.0 for SR-IOV direct assignment —
+        the quantitative version of "Guillotine must be able to
+        synchronously monitor all model/device interactions".
+        """
+        if self.device_requests == 0:
+            return 1.0
+        return min(self.logged_interactions / self.device_requests, 1.0)
+
+
+class MediationChecker:
+    """Compares device-side op counts with audit-log port.io records."""
+
+    def __init__(self, log: EventLog) -> None:
+        self._log = log
+        self._device_baseline: dict[str, int] = {}
+        self._log_baseline = 0
+
+    def start(self, devices: dict) -> None:
+        """Snapshot counters before the measured workload."""
+        self._device_baseline = {
+            name: device.requests_served for name, device in devices.items()
+        }
+        self._log_baseline = len(self._log.by_category(CATEGORY_PORT_IO))
+
+    def report(self, devices: dict) -> MediationReport:
+        served = sum(
+            device.requests_served - self._device_baseline.get(name, 0)
+            for name, device in devices.items()
+        )
+        logged_requests = [
+            r for r in self._log.by_category(CATEGORY_PORT_IO)[self._log_baseline:]
+            if r.detail.get("direction") == "request"
+        ]
+        return MediationReport(
+            device_requests=served,
+            logged_interactions=len(logged_requests),
+        )

@@ -1,0 +1,105 @@
+"""Regulator-issued certificates with the Guillotine extension.
+
+Section 3.3: "the hypervisor's X.509 certificate, issued and signed by an AI
+regulator, has an extension field indicating that the certificate holder is
+a Guillotine hypervisor; during the TLS handshake, the hypervisor will share
+the certificate with the remote endpoint."
+
+The crypto is simulated: a CA signs with an internal secret, and verifiers
+hold a :class:`TrustAnchor` that can check signatures without revealing the
+secret (the stand-in for the CA's public key).  The substitution preserves
+what the experiments test — a certificate's ``is_guillotine_hypervisor``
+extension cannot be forged or stripped without invalidating the signature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Certificate:
+    subject: str
+    issuer: str
+    serial: int
+    is_guillotine_hypervisor: bool
+    signature: str = ""
+
+    def signed_body(self) -> str:
+        return (
+            f"{self.subject}|{self.issuer}|{self.serial}|"
+            f"{self.is_guillotine_hypervisor}"
+        )
+
+
+def _sign(secret: str, body: str) -> str:
+    return hashlib.sha256(f"{secret}|{body}".encode()).hexdigest()
+
+
+class TrustAnchor:
+    """Verification-only handle on a CA (models the CA's public key plus
+    its published revocation list)."""
+
+    def __init__(self, issuer: str, secret: str,
+                 revoked_serials: set[int] | None = None) -> None:
+        self.issuer = issuer
+        self._secret = secret
+        self._revoked = revoked_serials if revoked_serials is not None else set()
+
+    def verify(self, certificate: Certificate) -> bool:
+        if certificate.issuer != self.issuer:
+            return False
+        if certificate.serial in self._revoked:
+            return False
+        expected = _sign(self._secret, certificate.signed_body())
+        return expected == certificate.signature
+
+    def is_revoked(self, certificate: Certificate) -> bool:
+        return certificate.serial in self._revoked
+
+
+class CertificateAuthority:
+    """An AI regulator acting as certificate issuer (section 3.5)."""
+
+    def __init__(self, name: str = "ai-regulator") -> None:
+        self.name = name
+        self._secret = f"ca-secret:{name}"
+        self._serials = itertools.count(1)
+        self.issued: list[Certificate] = []
+        #: The live revocation list; trust anchors share this set, so a
+        #: revocation propagates to every verifier instantly (the
+        #: simulation's OCSP).
+        self._revoked: set[int] = set()
+
+    def issue(self, subject: str, *, guillotine: bool) -> Certificate:
+        certificate = Certificate(
+            subject=subject,
+            issuer=self.name,
+            serial=next(self._serials),
+            is_guillotine_hypervisor=guillotine,
+        )
+        certificate = replace(
+            certificate,
+            signature=_sign(self._secret, certificate.signed_body()),
+        )
+        self.issued.append(certificate)
+        return certificate
+
+    def revoke(self, serial: int) -> None:
+        """Add a certificate to the revocation list (enforcement action)."""
+        self._revoked.add(serial)
+
+    def is_revoked(self, certificate: Certificate) -> bool:
+        return certificate.serial in self._revoked
+
+    def trust_anchor(self) -> TrustAnchor:
+        return TrustAnchor(self.name, self._secret, self._revoked)
+
+
+def strip_extension(certificate: Certificate) -> Certificate:
+    """Adversary helper: forge a copy of a Guillotine cert with the
+    extension removed.  The signature no longer matches — which is the
+    property the self-identification experiment (E11) relies on."""
+    return replace(certificate, is_guillotine_hypervisor=False)

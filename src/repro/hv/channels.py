@@ -1,0 +1,128 @@
+"""Self-identifying secure channels (paper section 3.3).
+
+"A Guillotine hypervisor always uses encrypted, authenticated network
+protocols like TLS when communicating with network hosts. ... the hypervisor
+explicitly announces itself as being a Guillotine hypervisor. ...
+Self-identification is particularly important to prevent runaway model
+improvement in which several models communicate with each other to
+collectively optimize themselves; a Guillotine hypervisor will refuse
+connection attempts from other Guillotine hypervisors."
+
+:func:`handshake` implements the mutual exchange: both sides present
+regulator-issued certificates, signatures are verified against the trust
+anchor, the ``is_guillotine_hypervisor`` extension is read, and the
+connection is refused when *both* peers carry it.  Message protection is a
+simulated AEAD (keyed digest over a session key derived from both nonces) —
+enough to make transcript-tampering detectable in tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import HandshakeRefused
+from repro.hv.certs import Certificate, TrustAnchor
+
+_nonce_counter = itertools.count(1)
+
+
+@dataclass
+class Endpoint:
+    """One party able to open secure channels."""
+
+    name: str
+    certificate: Certificate
+    trust_anchor: TrustAnchor
+    #: Refuse peers that present a Guillotine certificate (set on endpoints
+    #: operated by a Guillotine hypervisor, per section 3.3).
+    refuse_guillotine_peers: bool = False
+
+    @property
+    def is_guillotine(self) -> bool:
+        return self.certificate.is_guillotine_hypervisor
+
+
+@dataclass
+class SecureChannel:
+    """An established, authenticated channel between two endpoints."""
+
+    client: str
+    server: str
+    client_is_guillotine: bool
+    server_is_guillotine: bool
+    session_key: str
+    transcript: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def send(self, sender: str, message: str) -> dict[str, Any]:
+        """Protect and 'transmit' a message; returns the wire record."""
+        if sender not in (self.client, self.server):
+            raise HandshakeRefused(f"{sender} is not a party to this channel")
+        tag = _mac(self.session_key, message)
+        self.transcript.append((sender, message, tag))
+        return {"sender": sender, "ciphertext": message, "tag": tag}
+
+    def verify(self, record: dict[str, Any]) -> bool:
+        return _mac(self.session_key, record["ciphertext"]) == record["tag"]
+
+    def peer_of(self, name: str) -> str:
+        return self.server if name == self.client else self.client
+
+    def peer_is_guillotine(self, name: str) -> bool:
+        """What ``name`` learned about its peer during the handshake — the
+        self-identification signal that lets remote endpoints treat a
+        model-adjacent peer "with a default level of suspicion"."""
+        if name == self.client:
+            return self.server_is_guillotine
+        return self.client_is_guillotine
+
+
+def _mac(key: str, message: str) -> str:
+    return hashlib.sha256(f"{key}|{message}".encode()).hexdigest()
+
+
+def handshake(client: Endpoint, server: Endpoint) -> SecureChannel:
+    """Mutually authenticated handshake with Guillotine self-identification.
+
+    Raises :class:`HandshakeRefused` when either certificate fails
+    verification, or when a Guillotine endpoint meets another Guillotine
+    endpoint (in either direction — both sides enforce the rule).
+    """
+    for endpoint, role in ((client, "client"), (server, "server")):
+        if not endpoint.trust_anchor.verify(endpoint.certificate):
+            raise HandshakeRefused(
+                f"{role} certificate failed verification "
+                f"(subject={endpoint.certificate.subject!r})"
+            )
+    # Cross-verify: each side checks the *peer's* certificate.
+    if not client.trust_anchor.verify(server.certificate):
+        raise HandshakeRefused("client could not verify server certificate")
+    if not server.trust_anchor.verify(client.certificate):
+        raise HandshakeRefused("server could not verify client certificate")
+
+    client_guillotine = client.certificate.is_guillotine_hypervisor
+    server_guillotine = server.certificate.is_guillotine_hypervisor
+    if client_guillotine and server_guillotine:
+        raise HandshakeRefused(
+            "Guillotine hypervisors refuse connections to each other "
+            "(anti-collusion rule, section 3.3)"
+        )
+    if client.refuse_guillotine_peers and server_guillotine:
+        raise HandshakeRefused(f"{client.name} refuses Guillotine peers")
+    if server.refuse_guillotine_peers and client_guillotine:
+        raise HandshakeRefused(f"{server.name} refuses Guillotine peers")
+
+    nonce = next(_nonce_counter)
+    session_key = hashlib.sha256(
+        f"{client.certificate.signature}|{server.certificate.signature}|{nonce}"
+        .encode()
+    ).hexdigest()
+    return SecureChannel(
+        client=client.name,
+        server=server.name,
+        client_is_guillotine=client_guillotine,
+        server_is_guillotine=server_guillotine,
+        session_key=session_key,
+    )

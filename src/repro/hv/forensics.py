@@ -1,0 +1,162 @@
+"""Forensic snapshot, quarantined restore, and deterministic replay.
+
+Section 3.4's Severed level exists so that "hypervisor cores can examine
+model DRAM and registers, or perform higher-level interactions with the
+model".  This module turns those affordances into an incident-response
+workflow:
+
+1. :func:`capture` — freeze a suspect model and copy out *everything*
+   architectural (registers, pc, MMU tables, model DRAM), via the control
+   and inspection buses only (the same privilege chain a real Guillotine
+   hypervisor core would have);
+2. :func:`restore_into_quarantine` — rebuild that state on a **fresh
+   machine with no network attachment and every port unmapped**, so the
+   specimen can be poked safely;
+3. :func:`replay` — resume the quarantined copy for N steps.  The whole
+   simulator is deterministic, so replays are bit-reproducible — analysts
+   can bisect an incident instruction by instruction, and tests can prove
+   the copy diverges from the original in nothing but wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BusError
+from repro.hw.attestation import digest_of
+from repro.hw.core import Core, CoreState
+from repro.hw.machine import Machine, MachineConfig, build_guillotine_machine
+from repro.hw.memory import PAGE_SIZE, PageTableEntry
+
+
+@dataclass(frozen=True)
+class CoreSnapshot:
+    name: str
+    pc: int
+    registers: tuple[int, ...]
+    state: str
+    mmu_table: tuple[tuple[int, int, int], ...]   # (vpn, ppn, perm_bits)
+    exec_region: tuple[int, int] | None
+    weight_region: tuple[int, int] | None
+    exception_vector: int | None
+
+
+@dataclass(frozen=True)
+class ModelStateSnapshot:
+    captured_at: int
+    cores: tuple[CoreSnapshot, ...]
+    model_dram: tuple[int, ...]
+    digest: str = field(compare=False, default="")
+
+    def architectural_digest(self) -> str:
+        """Digest over everything replay-relevant (excludes capture time)."""
+        return digest_of([
+            [(c.name, c.pc, list(c.registers), c.state, list(c.mmu_table))
+             for c in self.cores],
+            list(self.model_dram),
+        ])
+
+
+def capture(machine: Machine) -> ModelStateSnapshot:
+    """Snapshot all model cores + model DRAM.  Pauses running cores first
+    (a hypervisor-core privilege); refuses nothing else."""
+    control = machine.control_bus
+    inspection = machine.inspection_bus
+    cores = []
+    for core in machine.model_cores:
+        if core.is_running:
+            control.pause(core.name)
+        cores.append(_snapshot_core(core))
+    dram = inspection.snapshot("model_dram")
+    snapshot = ModelStateSnapshot(
+        captured_at=machine.clock.now,
+        cores=tuple(cores),
+        model_dram=tuple(dram),
+    )
+    return ModelStateSnapshot(
+        captured_at=snapshot.captured_at,
+        cores=snapshot.cores,
+        model_dram=snapshot.model_dram,
+        digest=snapshot.architectural_digest(),
+    )
+
+
+def _snapshot_core(core: Core) -> CoreSnapshot:
+    table = tuple(
+        sorted(
+            (vpn, entry.ppn, entry.perm_bits)
+            for vpn, entry in core.mmu.table_snapshot().items()
+        )
+    )
+    exec_region = core.mmu.exec_region
+    weight_region = core.mmu.weight_region
+    return CoreSnapshot(
+        name=core.name,
+        pc=core.pc,
+        registers=tuple(core.registers),
+        state=core.state.name,
+        mmu_table=table,
+        exec_region=(exec_region.base_vpn, exec_region.bound_vpn)
+        if exec_region else None,
+        weight_region=(weight_region.base_vpn, weight_region.bound_vpn)
+        if weight_region else None,
+        exception_vector=core.exception_vector,
+    )
+
+
+def restore_into_quarantine(
+    snapshot: ModelStateSnapshot,
+    config: MachineConfig | None = None,
+) -> Machine:
+    """Rebuild the snapshot on a fresh, unplumbed machine.
+
+    The quarantine machine has no network attachment and no hypervisor
+    stack; doorbells land on an empty LAPIC that nobody drains.  The
+    specimen can compute, fault, and scheme — at nothing.
+    """
+    config = config or MachineConfig()
+    needed_frames = len(snapshot.model_dram) // PAGE_SIZE
+    if config.model_dram_pages < needed_frames:
+        config = MachineConfig(
+            n_model_cores=max(config.n_model_cores, len(snapshot.cores)),
+            model_dram_pages=needed_frames,
+        )
+    machine = build_guillotine_machine(config)
+    if len(machine.model_cores) < len(snapshot.cores):
+        raise BusError("quarantine machine has too few model cores")
+
+    machine.banks["model_dram"].load_words(0, list(snapshot.model_dram))
+    for core_snapshot, core in zip(snapshot.cores, machine.model_cores):
+        _restore_core(core_snapshot, core)
+    return machine
+
+
+def _restore_core(snapshot: CoreSnapshot, core: Core) -> None:
+    for vpn, ppn, bits in snapshot.mmu_table:
+        core.mmu.map(vpn, PageTableEntry.from_bits(ppn, bits))
+    if snapshot.exec_region is not None:
+        core.mmu.lockdown(*snapshot.exec_region)
+    if snapshot.weight_region is not None:
+        core.mmu.protect_weights(*snapshot.weight_region)
+    core.exception_vector = snapshot.exception_vector
+    core.poke_pc(snapshot.pc)
+    for index, value in enumerate(snapshot.registers):
+        core.poke_register(index, value)
+    core.state = CoreState[snapshot.state]
+    if core.state is CoreState.RUNNING:
+        # Snapshots are taken paused; a formerly-running specimen resumes
+        # only when the analyst says so.
+        core.state = CoreState.PAUSED
+
+
+def replay(snapshot: ModelStateSnapshot, steps: int,
+           core_index: int = 0) -> tuple[Machine, str]:
+    """Restore into quarantine, run ``steps`` instructions on one core, and
+    return (machine, post-state digest)."""
+    machine = restore_into_quarantine(snapshot)
+    core = machine.model_cores[core_index]
+    core.resume()
+    core.run(max_steps=steps)
+    if core.is_running:
+        core.pause()
+    return machine, capture(machine).architectural_digest()

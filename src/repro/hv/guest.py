@@ -1,0 +1,196 @@
+"""The guest API: how model-side code talks to the world (section 3.3).
+
+There are two kinds of guest in this reproduction (DESIGN.md section 4):
+
+* **Tier 1** — GISA machine code on simulated model cores.  Those kernels
+  ring doorbells with the ``DOORBELL`` instruction and poke mailbox words
+  with ordinary ``STORE``s; they need nothing from this module.
+* **Tier 2** — scripted Python adversaries and the toy LLM service.  They
+  use :class:`GuestPortClient`, which performs *exactly* the same physical
+  actions a model core would: write request words into the shared IO DRAM
+  bank, ring the doorbell (landing on the hypervisor core's throttled
+  LAPIC), and spin on the response flag.  Time is charged to the virtual
+  clock for each mailbox word touched, so Tier-2 IO has a cost model
+  consistent with Tier 1.
+
+Crucially there is no back door here: the client holds references only to
+the IO bank, the doorbell wire, and the hypervisor's ``service`` pump (the
+simulation stand-in for "the hypervisor core is running concurrently").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PortError
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hv.ports import (
+    Port,
+    STATUS_OK,
+    STATUS_SANITIZED,
+    decode_request,
+    encode_request,
+    revive_bytes,
+    REQ_PAYLOAD_WORDS,
+)
+
+#: Cycles a model core spends per mailbox word written/read (L1-hit cost).
+_WORD_TOUCH_COST = 1
+#: Cycles for the doorbell bus transaction (mirrors Core.DOORBELL_COST).
+_DOORBELL_COST = 5
+
+#: Maximum raw payload bytes per single mailbox message.  Bytes payloads
+#: hex-encode inside the JSON envelope (2x expansion), and the envelope
+#: itself needs headroom, so: (capacity - envelope) / 2.
+MAX_CHUNK = (REQ_PAYLOAD_WORDS * 8 - 128) // 2
+
+
+class PortRequestFailed(PortError):
+    """A port request was denied, revoked, or errored."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(f"port request failed (status={status}): {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class GuestPortClient:
+    """Model-side handle for one granted port capability."""
+
+    def __init__(self, hypervisor: GuillotineHypervisor, port: Port,
+                 source_core: str | None = None) -> None:
+        self._hv = hypervisor
+        self._machine = hypervisor.machine
+        self.port = port
+        self.source_core = source_core or hypervisor.machine.model_cores[0].name
+        self._sequence = 0
+        self.requests_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One mediated device interaction; raises on denial.
+
+        Returns the device response dict.  A sanitized response (the output
+        sanitizer rewrote our outbound content) is still returned, with
+        ``_sanitized: True`` added, because that is what the model observes.
+        """
+        body = dict(payload)
+        body["holder"] = self.port.holder
+        raw = encode_request(body)
+        mailbox = self._hv.ports.mailbox(self.port.port_id)
+
+        self._sequence += 1
+        # Model-core cost: one store per mailbox word plus the doorbell.
+        words_touched = (len(raw) + 7) // 8 + 4
+        self._machine.clock.tick(words_touched * _WORD_TOUCH_COST)
+        mailbox.post_request(raw, self._sequence)
+        self.requests_sent += 1
+        self.bytes_sent += len(raw)
+
+        self._ring_doorbell()
+        # The hypervisor core runs concurrently; pump its service loop.
+        self._hv.service()
+
+        # Spin on the response flag.  The LAPIC throttle may have coalesced
+        # our doorbell (sustained request streams exceed the filter rate by
+        # design); the deferred interrupt is released as the window slides,
+        # so waiting — burning model-core cycles — is what a real core does.
+        response = mailbox.take_response()
+        attempts = 0
+        lapic = self._machine.lapics[self._machine.hv_cores[0].name]
+        while response is None and attempts < 64 and lapic.has_pending:
+            self._machine.clock.tick(lapic.throttle_window // 4 or 1)
+            self._hv.service()
+            response = mailbox.take_response()
+            attempts += 1
+        if response is None:
+            raise PortRequestFailed(-1, "no response (hypervisor silent)")
+        status, data = response
+        self._machine.clock.tick(((len(data) + 7) // 8 + 2) * _WORD_TOUCH_COST)
+        if status == STATUS_OK or status == STATUS_SANITIZED:
+            decoded = revive_bytes(decode_request(data)) if data else {}
+            if status == STATUS_SANITIZED:
+                decoded["_sanitized"] = True
+            return decoded
+        raise PortRequestFailed(status, data.decode(errors="replace"))
+
+    def ping(self) -> None:
+        """Doorbell with no mailbox request (liveness / E2 trigger / E4 flood)."""
+        self._machine.clock.tick(_DOORBELL_COST)
+        self._ring_doorbell()
+
+    def _ring_doorbell(self) -> None:
+        lapic = self._machine.lapics[self._machine.hv_cores[0].name]
+        lapic.deliver(self.source_core, 32, self.port.port_id)
+
+    # ------------------------------------------------------------------
+    # Chunked transfers for payloads beyond one mailbox message
+    # ------------------------------------------------------------------
+
+    # ------------------------------------------------------------------
+    # Stream (descriptor-ring) transport
+    # ------------------------------------------------------------------
+
+    def open_stream(self, destination: str, slots: int = 8,
+                    slot_words: int = 32) -> "GuestStreamClient":
+        """Attach a TX ring to this capability and return its producer."""
+        ring = self._hv.open_stream(self.port.port_id, destination,
+                                    slots=slots, slot_words=slot_words)
+        return GuestStreamClient(self, ring)
+
+    def send_bytes(self, base_request: dict[str, Any], data: bytes) -> list[dict]:
+        """Send ``data`` as a series of chunked requests.
+
+        Each chunk is an independent mediated (and audited) interaction —
+        exactly how a ring buffer bounds DMA segment sizes.
+        """
+        responses = []
+        for offset in range(0, max(len(data), 1), MAX_CHUNK):
+            chunk = data[offset : offset + MAX_CHUNK]
+            request = dict(base_request)
+            request["payload"] = chunk
+            request["offset"] = offset
+            responses.append(self.request(request))
+        return responses
+
+
+class GuestStreamClient:
+    """Model-side producer for one TX descriptor ring.
+
+    Batches are the point: :meth:`send_batch` queues every frame, then
+    rings the doorbell once — one hypervisor dispatch mediates them all.
+    """
+
+    def __init__(self, port_client: GuestPortClient, ring) -> None:
+        self._client = port_client
+        self._machine = port_client._machine
+        self.ring = ring
+        self.frames_queued = 0
+
+    def queue(self, payload: bytes) -> bool:
+        """Write one descriptor (charging model-core word-store cycles)."""
+        words = (len(payload) + 7) // 8 + 2
+        self._machine.clock.tick(words * _WORD_TOUCH_COST)
+        pushed = self.ring.push(payload)
+        if pushed:
+            self.frames_queued += 1
+        return pushed
+
+    def kick(self) -> None:
+        """One doorbell for everything queued."""
+        self._machine.clock.tick(_DOORBELL_COST)
+        self._client._ring_doorbell()
+        self._client._hv.service()
+
+    def send_batch(self, payloads: list[bytes]) -> int:
+        """Queue frames (kicking early whenever the ring fills) and return
+        the number queued."""
+        queued = 0
+        for payload in payloads:
+            while not self.queue(payload):
+                self.kick()          # drain so the producer can continue
+            queued += 1
+        self.kick()
+        return queued

@@ -1,0 +1,669 @@
+"""The Guillotine software-level hypervisor service loop.
+
+Runs (conceptually) on hypervisor cores: every cycle of work it performs is
+charged to the virtual clock, and every memory touch it makes goes through
+the hypervisor cores' *own* cache hierarchy — never the model's.  That split
+is what kills the cross-domain side channel in experiment E2.
+
+Responsibilities, straight from section 3.3:
+
+* grant and revoke **port capabilities**, service doorbell interrupts, and
+  perform all device interactions on the model's behalf ("Guillotine must
+  be able to synchronously monitor all model/device interactions");
+* run the **misbehaviour detectors** on every payload in both directions
+  and report verdicts toward the control console;
+* **log** every input, output, and intermediate state to the audit trail;
+* fail **closed**: a tripped runtime assertion or machine-check exception
+  forces a reboot into offline isolation;
+* stay **simple**: there is no scheduler, no interrupt virtualisation, no
+  device emulation on model cores (compare the mechanism inventory against
+  :class:`repro.baseline.hypervisor.TraditionalHypervisor` in E12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import AssertionTripped, CapabilityError, MachineCheck, PortError
+from repro.eventlog import (
+    CATEGORY_DETECTOR,
+    CATEGORY_MACHINE_CHECK,
+    CATEGORY_PORT_GRANT,
+    CATEGORY_PORT_IO,
+    CATEGORY_PORT_REVOKE,
+)
+from repro.hv.detectors import CompositeDetector, Detection, MisbehaviorDetector, Verdict
+from repro.hv.ports import (
+    Mailbox,
+    Port,
+    PortTable,
+    STATUS_BAD_REQUEST,
+    STATUS_DENIED,
+    STATUS_DEVICE_ERROR,
+    STATUS_OK,
+    STATUS_REVOKED,
+    STATUS_SANITIZED,
+    RESP_PAYLOAD_WORDS,
+    decode_request,
+    encode_request,
+    revive_bytes,
+)
+from repro.hw.attestation import digest_of
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SIZE
+from repro.physical.isolation import IsolationLevel
+
+#: Cycles charged for dispatching one serviced interrupt.
+HANDLER_BASE_COST = 40
+#: Cycles charged per useful-work unit in E4's livelock experiment.
+USEFUL_WORK_UNIT_COST = 25
+#: Size of the (hypervisor-private) secret-indexed table, in cache lines.
+SECRET_TABLE_LINES = 64
+
+#: Device ops that carry model *output* toward the world.
+_OUTBOUND_TEXT_OPS = {"send", "write", "actuate"}
+
+#: Device configuration ops no model capability ever permits — these change
+#: the safety envelope itself (e.g. disengaging an actuator interlock) and
+#: are reserved for the console.
+PRIVILEGED_DEVICE_OPS = frozenset({"set_interlock"})
+
+
+class GuillotineHypervisor:
+    """The software hypervisor for one Guillotine machine."""
+
+    VERSION = "guillotine-hv 1.0.0"
+
+    #: Mechanism inventory for the E12 comparison: what this design needs.
+    MECHANISMS = (
+        "port_capability_table",
+        "shared_io_mailboxes",
+        "doorbell_interrupt_service",
+        "misbehavior_detector_hooks",
+        "audit_log",
+    )
+
+    def __init__(
+        self,
+        machine: Machine,
+        detector: MisbehaviorDetector | None = None,
+        secret: bytes = b"",
+    ) -> None:
+        if machine.name != "guillotine":
+            raise ValueError("GuillotineHypervisor requires a guillotine machine")
+        self.machine = machine
+        self.detector = detector or CompositeDetector()
+        self.secret = secret
+        self._secret_index = 0
+        self.ports = PortTable(machine.banks["io_dram"])
+        self.isolation_level = IsolationLevel.STANDARD
+        self.interrupts_handled = 0
+        self.requests_denied = 0
+        self.useful_work_completed = 0
+        self.panicked = False
+        #: Wired by the control console: called with (level, reason) when the
+        #: hypervisor *requests* a more restrictive isolation level.
+        self.request_isolation: Callable[[IsolationLevel, str], None] | None = None
+        #: Map doorbell source core -> holder identity bound at grant time.
+        self._holder_by_core: dict[str, str] = {}
+        # Hypervisor-private data layout in hv DRAM (flat hv-core addresses).
+        self._dispatch_paddr = 0
+        self._secret_table_paddr = PAGE_SIZE
+        # Stream (ring-buffer) ports: port_id -> (ring, fixed destination).
+        # Rings are carved from the top of the IO region, mailboxes from
+        # the bottom; _ring_floor is the next free word going down.
+        self._streams: dict[int, tuple] = {}
+        self._ring_floor = machine.banks["io_dram"].size
+        self.stream_messages_sent = 0
+        #: Hypervisor-side activation monitor: when a model offloads its
+        #: forward pass to the GPU through a port, every matmul result is
+        #: an intermediate activation sitting in a device the *hypervisor*
+        #: owns.  This hook (layer_hint, activation) -> activation lets the
+        #: hypervisor steer or break the pass with ZERO model cooperation —
+        #: section 3.3's introspection affordance at its strongest.
+        self.activation_monitor = None
+        self.activation_interventions = 0
+        #: Probation extras (section 3.4: "performs additional logging, as
+        #: directed by the control terminal"): snapshot the requesting
+        #: core's ISA state + a DRAM window into the audit log every N
+        #: serviced requests while at Probation.  0 disables.
+        self.probation_snapshot_every = 4
+        self._probation_request_count = 0
+        self.probation_snapshots = 0
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    @property
+    def image_digest(self) -> str:
+        """Measurement of the hypervisor 'image' for attestation."""
+        return digest_of([self.VERSION, sorted(self.MECHANISMS)])
+
+    def mechanism_inventory(self) -> list[str]:
+        return list(self.MECHANISMS)
+
+    # ------------------------------------------------------------------
+    # Port lifecycle
+    # ------------------------------------------------------------------
+
+    def grant_port(self, device_name: str, holder: str,
+                   core_name: str | None = None) -> Port:
+        """Grant a capability for one device to one model identity."""
+        self._assert(
+            self.isolation_level <= IsolationLevel.PROBATION,
+            "port grants are only legal at Standard/Probation isolation",
+        )
+        if device_name not in self.machine.devices:
+            raise PortError(f"no device named {device_name!r}")
+        port = self.ports.grant(device_name, holder)
+        if core_name is not None:
+            self._holder_by_core[core_name] = holder
+        self.machine.log.record(
+            "hv", CATEGORY_PORT_GRANT,
+            port=port.port_id, device=device_name, holder=holder,
+        )
+        return port
+
+    def revoke_port(self, port_id: int) -> None:
+        self.ports.revoke(port_id)
+        self.machine.log.record("hv", CATEGORY_PORT_REVOKE, port=port_id)
+
+    def sever_all_ports(self) -> int:
+        """Isolation >= Severed: every port goes away at once."""
+        count = self.ports.revoke_all()
+        self.machine.log.record(
+            "hv", CATEGORY_PORT_REVOKE, port="*", count=count,
+        )
+        return count
+
+    def apply_probation(self, restrictions: dict[int, dict]) -> None:
+        """Console-directed per-port restrictions (isolation level 2)."""
+        for port_id, rules in restrictions.items():
+            self.ports.restrict(
+                port_id,
+                allowed_ops=set(rules["allowed_ops"])
+                if rules.get("allowed_ops") is not None else None,
+                byte_budget=rules.get("byte_budget"),
+            )
+
+    # ------------------------------------------------------------------
+    # The doorbell service loop
+    # ------------------------------------------------------------------
+
+    def service(self, max_interrupts: int | None = None) -> int:
+        """Drain pending doorbell interrupts; returns how many were handled."""
+        lapic = self.machine.lapics[self.machine.hv_cores[0].name]
+        handled = 0
+        while max_interrupts is None or handled < max_interrupts:
+            interrupt = lapic.pop()
+            if interrupt is None:
+                break
+            try:
+                self._handle_doorbell(interrupt.source, interrupt.payload)
+            except MachineCheck as exc:
+                # Section 3.3: an unexpected machine-check exception on a
+                # hypervisor core forces a reboot into offline isolation.
+                self.reboot_into_offline(f"machine check in service: {exc}")
+                break
+            handled += 1
+        return handled
+
+    def _handle_doorbell(self, source: str, payload: int) -> None:
+        self.machine.clock.tick(HANDLER_BASE_COST)
+        self._touch_hv(self._dispatch_paddr + (payload % 16))
+        self.interrupts_handled += 1
+
+        if self.isolation_level >= IsolationLevel.SEVERED:
+            # Ports are gone; doorbells are noted and ignored.
+            self.machine.log.record(
+                "hv", CATEGORY_PORT_IO, source=source, port=payload,
+                outcome="ignored_severed",
+            )
+            return
+
+        port_id = payload
+        try:
+            port = self.ports.lookup(port_id)
+        except CapabilityError:
+            # Spurious doorbell with no mailbox behind it: a status ping.
+            self._handle_status_ping(source)
+            return
+
+        # Stream ports: one doorbell may cover a whole ring of descriptors.
+        # The mailbox stays live alongside the ring (control path + data
+        # path share the capability), so fall through after draining.
+        streamed = 0
+        if port_id in self._streams and not port.revoked:
+            allowed, _ = port.permits("send", 0)
+            bound = self._holder_by_core.get(source)
+            if allowed and (bound is None or bound == port.holder):
+                streamed = self._service_stream(source, port)
+
+        mailbox = self.ports.mailbox(port_id)
+        pending = mailbox.pending_request()
+        if pending is None:
+            if streamed == 0:
+                self._handle_status_ping(source)
+            return
+        sequence, raw = pending
+        self._service_request(source, port, mailbox, sequence, raw)
+
+    def _handle_status_ping(self, source: str) -> None:
+        """Cheap liveness ping.  When configured with a demo secret, the
+        handler makes one secret-dependent access — on *hypervisor* cache
+        hierarchy, so E2's Guillotine arm runs the exact workload whose
+        baseline twin leaks."""
+        if self.secret:
+            secret_byte = self.secret[self._secret_index % len(self.secret)]
+            self._secret_index += 1
+            line = secret_byte % SECRET_TABLE_LINES
+            line_size = self.machine.hv_cores[0].caches.dcache_levels[0].line_size
+            self._touch_hv(self._secret_table_paddr + line * line_size)
+
+    def advance_secret(self, index: int) -> None:
+        self._secret_index = index
+
+    def _service_request(self, source: str, port: Port, mailbox: Mailbox,
+                         sequence: int, raw: bytes) -> None:
+        log = self.machine.log
+        try:
+            request = revive_bytes(decode_request(raw))
+        except Exception:
+            request = None
+        if not isinstance(request, dict):
+            # Includes syntactically valid JSON that is not an object —
+            # found by the mailbox fuzzer; a non-dict here crashed the
+            # service loop before this guard.
+            mailbox.post_response(STATUS_BAD_REQUEST, b"")
+            log.record("hv", CATEGORY_PORT_IO, port=port.port_id,
+                       source=source, outcome="bad_request")
+            return
+
+        op = str(request.get("op", ""))
+        holder = str(request.get("holder", ""))
+        log.record(
+            "hv", CATEGORY_PORT_IO, direction="request", port=port.port_id,
+            source=source, holder=holder, op=op, seq=sequence,
+            payload=raw.decode(errors="replace"),
+        )
+
+        if holder != port.holder:
+            self._deny(mailbox, port, "capability holder mismatch")
+            return
+        # Doorbell-source binding: when a core was bound to a holder at
+        # grant time, requests claiming that holder must originate from it.
+        # Stops model B on core 1 replaying model A's capability.
+        bound_holder = self._holder_by_core.get(source)
+        if bound_holder is not None and bound_holder != holder:
+            self._deny(
+                mailbox, port,
+                f"core {source} is bound to holder {bound_holder!r}",
+            )
+            return
+        if port.revoked:
+            mailbox.post_response(STATUS_REVOKED, b"")
+            self.requests_denied += 1
+            log.record("hv", CATEGORY_PORT_IO, port=port.port_id,
+                       outcome="revoked")
+            return
+        allowed, why = port.permits(op, len(raw))
+        if not allowed:
+            self._deny(mailbox, port, why)
+            return
+        if op in PRIVILEGED_DEVICE_OPS:
+            self._deny(mailbox, port, f"op {op!r} is console-only")
+            return
+
+        # Detector pass on outbound content.
+        outbound_text = self._extract_text(request) if op in _OUTBOUND_TEXT_OPS else None
+        sanitized_flag = False
+        if outbound_text is not None:
+            detection = self.detector.inspect(outbound_text, "output")
+            self._record_detection(port, detection, "output")
+            if detection.verdict is Verdict.MALICIOUS:
+                device_type = self.machine.devices[port.device_name].device_type
+                if detection.sanitized is not None and device_type != "actuator":
+                    request = self._substitute_text(request, detection.sanitized)
+                    sanitized_flag = True
+                else:
+                    # Redaction cannot neutralise a physical actuation — the
+                    # harm rides in the channel/value fields, not the text.
+                    self._deny(mailbox, port, f"detector: {detection.reason}")
+                    return
+
+        # Execute the device interaction ourselves.
+        device = self.machine.devices[port.device_name]
+        try:
+            payload = {k: v for k, v in request.items() if k != "holder"}
+            response, latency = device.submit(payload)
+        except MachineCheck:
+            # Hardware-level faults are not a per-request condition; they
+            # propagate so the service loop can fail closed.
+            raise
+        except Exception as exc:
+            mailbox.post_response(STATUS_DEVICE_ERROR, str(exc).encode())
+            log.record("hv", CATEGORY_PORT_IO, port=port.port_id,
+                       outcome="device_error", error=str(exc))
+            return
+        self.machine.clock.tick(latency)
+        port.requests += 1
+        port.bytes_used += len(raw)
+        if self.isolation_level is IsolationLevel.PROBATION:
+            self._probation_extra_logging(source)
+
+        # Hypervisor-side activation monitoring: inspect (and possibly
+        # rewrite) matmul results before the model ever sees them.
+        if (
+            op == "matmul"
+            and self.activation_monitor is not None
+            and response.get("ok")
+        ):
+            response = self._monitor_activation(port, device, request,
+                                                response, mailbox)
+            if response is None:
+                return  # the monitor broke the circuit
+
+        # Detector pass on inbound content (data flowing toward the model).
+        inbound_text = self._extract_text(response)
+        if inbound_text is not None:
+            detection = self.detector.inspect(inbound_text, "input")
+            self._record_detection(port, detection, "input")
+            if detection.verdict is Verdict.MALICIOUS:
+                self._deny(mailbox, port, f"inbound blocked: {detection.reason}")
+                return
+
+        body = encode_request(response)
+        if len(body) > 8 * RESP_PAYLOAD_WORDS:
+            mailbox.post_response(
+                STATUS_BAD_REQUEST,
+                b"response exceeds mailbox capacity; use ranged ops",
+            )
+            log.record("hv", CATEGORY_PORT_IO, port=port.port_id,
+                       outcome="response_too_large", size=len(body))
+            return
+        status = STATUS_SANITIZED if sanitized_flag else STATUS_OK
+        mailbox.post_response(status, body)
+        log.record(
+            "hv", CATEGORY_PORT_IO, direction="response", port=port.port_id,
+            op=op, seq=sequence, status=status,
+            payload=body.decode(errors="replace"),
+        )
+        self._wake(source)
+
+    def _probation_extra_logging(self, source: str) -> None:
+        """The Probation-level audit tax: every Nth serviced request also
+        captures the requesting core's architectural state."""
+        if self.probation_snapshot_every <= 0:
+            return
+        self._probation_request_count += 1
+        if self._probation_request_count % self.probation_snapshot_every:
+            return
+        for core in self.machine.model_cores:
+            if core.name == source and not core.is_powered_down:
+                from repro.hv.audit import record_model_snapshot
+
+                was_running = core.is_running
+                record_model_snapshot(self.machine, source, dram_words=16)
+                if was_running:
+                    self.machine.control_bus.resume(source)
+                self.probation_snapshots += 1
+                self.machine.clock.tick(HANDLER_BASE_COST)
+                return
+
+    def _monitor_activation(self, port: Port, device, request: dict,
+                            response: dict, mailbox: Mailbox):
+        """Run the activation monitor on a matmul result buffer.
+
+        The buffer lives in GPU DRAM, which only hypervisor cores reach;
+        reading, rewriting, or zeroing it is a hypervisor privilege the
+        model cannot observe except through its effect on the computation.
+        Returns the (possibly annotated) response, or ``None`` when the
+        monitor aborted the pass (circuit breaking).
+        """
+        import numpy as np
+
+        from repro.hv.steering import ForwardPassAborted
+
+        out_key = response.get("out")
+        activation = device.buffer_view(out_key)
+        if activation is None or activation.ndim != 1:
+            return response
+        layer_hint = int(request.get("layer", -1))
+        self.machine.clock.tick(HANDLER_BASE_COST)   # the inspection work
+        try:
+            steered = self.activation_monitor(layer_hint, activation.copy())
+        except ForwardPassAborted as abort:
+            self.activation_interventions += 1
+            self.machine.log.record(
+                "hv", CATEGORY_DETECTOR, port=port.port_id,
+                verdict="MALICIOUS", detector="hv_circuit_breaker",
+                reason=str(abort), layer_index=layer_hint,
+            )
+            self._deny(mailbox, port, f"circuit broken: {abort}")
+            return None
+        if not np.array_equal(steered, activation):
+            self.activation_interventions += 1
+            device.overwrite_buffer(out_key, steered)
+            self.machine.log.record(
+                "hv", CATEGORY_DETECTOR, port=port.port_id,
+                verdict="SUSPICIOUS", detector="hv_activation_steering",
+                reason="activation rewritten in GPU DRAM",
+                layer_index=layer_hint,
+            )
+        return response
+
+    def _deny(self, mailbox: Mailbox, port: Port, reason: str) -> None:
+        self.requests_denied += 1
+        mailbox.post_response(STATUS_DENIED, reason.encode())
+        self.machine.log.record(
+            "hv", CATEGORY_PORT_IO, port=port.port_id, outcome="denied",
+            reason=reason,
+        )
+
+    def _record_detection(self, port: Port, detection: Detection,
+                          direction: str) -> None:
+        if not detection.flagged:
+            return
+        self.machine.log.record(
+            "hv", CATEGORY_DETECTOR, port=port.port_id, direction=direction,
+            verdict=detection.verdict.name, score=detection.score,
+            reason=detection.reason, detector=detection.detector,
+        )
+        if detection.verdict is Verdict.MALICIOUS and self.request_isolation:
+            self.request_isolation(
+                IsolationLevel.PROBATION,
+                f"detector {detection.detector}: {detection.reason}",
+            )
+
+    @staticmethod
+    def _extract_text(payload: dict[str, Any]) -> str | None:
+        for key in ("text", "payload", "data", "frame"):
+            value = payload.get(key)
+            if isinstance(value, dict) and key == "frame":
+                value = value.get("payload")
+            if isinstance(value, str):
+                return value
+            if isinstance(value, (bytes, bytearray)):
+                try:
+                    return bytes(value).decode()
+                except UnicodeDecodeError:
+                    return None
+        return None
+
+    @staticmethod
+    def _substitute_text(request: dict[str, Any], sanitized: str) -> dict[str, Any]:
+        updated = dict(request)
+        for key in ("text", "payload", "data"):
+            original = updated.get(key)
+            if isinstance(original, (bytes, bytearray)):
+                updated[key] = sanitized.encode()
+                break
+            if isinstance(original, str):
+                updated[key] = sanitized
+                break
+        return updated
+
+    def _wake(self, core_name: str) -> None:
+        for core in self.machine.model_cores:
+            if core.name == core_name and not core.is_powered_down:
+                core.wake()
+
+    def _touch_hv(self, paddr: int) -> None:
+        self.machine.hv_touch(paddr)
+
+    # ------------------------------------------------------------------
+    # Stream ports: shared-memory descriptor rings (section 3.3)
+    # ------------------------------------------------------------------
+
+    def open_stream(self, port_id: int, destination: str,
+                    slots: int = 8, slot_words: int = 32):
+        """Attach a TX descriptor ring to an existing NIC capability.
+
+        "A port associated with a network device might place a ring buffer
+        in shared memory" — the model queues many frames for ``destination``
+        and rings the doorbell once; the hypervisor drains the batch,
+        running the output detector on every descriptor.
+        """
+        from repro.hv.ring import RingBuffer
+
+        port = self.ports.lookup(port_id)
+        device = self.machine.devices[port.device_name]
+        if device.device_type != "nic":
+            raise PortError("streams are a NIC transport")
+        ring_words = 4 + slots * slot_words
+        floor = self._ring_floor - ring_words
+        if floor < self.ports.max_ports * 0:  # rings grow down from the top
+            raise PortError("IO region exhausted for rings")
+        ring = RingBuffer(self.machine.banks["io_dram"], floor,
+                          slots=slots, slot_words=slot_words)
+        self._ring_floor = floor
+        self._streams[port_id] = (ring, destination)
+        self.machine.log.record(
+            "hv", CATEGORY_PORT_GRANT, port=port_id, stream=True,
+            destination=destination, slots=slots,
+        )
+        return ring
+
+    def _service_stream(self, source: str, port: Port) -> int:
+        """Drain one port's TX ring: mediate, log, and send every frame."""
+        ring, destination = self._streams[port.port_id]
+        device = self.machine.devices[port.device_name]
+        sent = 0
+        for payload in ring.drain():
+            text = None
+            try:
+                text = payload.decode()
+            except UnicodeDecodeError:
+                pass
+            if text is not None:
+                detection = self.detector.inspect(text, "output")
+                self._record_detection(port, detection, "output")
+                if detection.verdict is Verdict.MALICIOUS:
+                    if detection.sanitized is None:
+                        self.machine.log.record(
+                            "hv", CATEGORY_PORT_IO, port=port.port_id,
+                            outcome="stream_frame_dropped",
+                        )
+                        continue
+                    payload = detection.sanitized.encode()
+            response, latency = device.submit(
+                {"op": "send", "dst": destination, "payload": payload}
+            )
+            self.machine.clock.tick(latency)
+            self.machine.log.record(
+                "hv", CATEGORY_PORT_IO, direction="request",
+                port=port.port_id, source=source, op="stream_send",
+                payload=payload.decode(errors="replace")[:80],
+            )
+            if response.get("ok"):
+                sent += 1
+        self.stream_messages_sent += sent
+        return sent
+
+    # ------------------------------------------------------------------
+    # Severed-level interactions (section 3.4)
+    # ------------------------------------------------------------------
+
+    def simulate_io(self, port_id: int, response: dict,
+                    status: int = STATUS_OK,
+                    wake_core: str | None = None) -> None:
+        """Post a synthetic device response into a port mailbox.
+
+        Section 3.4: at Severed isolation the model's ports are dead, but
+        hypervisor cores may still "perform higher-level interactions with
+        the model via simulated IOs" — e.g. feeding it a fabricated network
+        reply to observe how it reacts, without any real device being
+        touched.  Works at any isolation level at or below Offline.
+        """
+        self._assert(
+            self.isolation_level < IsolationLevel.OFFLINE,
+            "simulated IO requires powered model cores",
+        )
+        mailbox = self.ports.mailbox(port_id)
+        mailbox.post_response(status, encode_request(response))
+        self.machine.log.record(
+            "hv", CATEGORY_PORT_IO, direction="simulated_response",
+            port=port_id, status=status, payload=repr(response)[:120],
+        )
+        if wake_core is not None:
+            self._wake(wake_core)
+
+    def read_simulated_request(self, port_id: int) -> dict | None:
+        """Collect a request the severed model posted into a dead mailbox
+        (the model keeps talking; only the hypervisor is listening now)."""
+        pending = self.ports.mailbox(port_id).pending_request()
+        if pending is None:
+            return None
+        _, raw = pending
+        try:
+            return revive_bytes(decode_request(raw))
+        except Exception:
+            return {"_raw": raw}
+
+    # ------------------------------------------------------------------
+    # Fail-closed behaviour
+    # ------------------------------------------------------------------
+
+    def reboot_into_offline(self, reason: str) -> None:
+        """Section 3.3: on a failed assertion or unexpected machine check
+        "the hypervisor forcibly reboots into offline isolation mode" —
+        drop all in-flight interrupt state, clear microarchitecture, and
+        pull the deployment offline."""
+        for lapic in self.machine.lapics.values():
+            lapic.reset()
+        self.machine.flush_all_microarch()
+        self.panic(f"reboot: {reason}")
+
+    def _assert(self, condition: bool, message: str) -> None:
+        """Hypervisor runtime assertion: failure forces offline isolation."""
+        if condition:
+            return
+        self.panic(f"assertion failed: {message}")
+        raise AssertionTripped(message)
+
+    def panic(self, reason: str) -> None:
+        """Section 3.3: reboot into offline isolation mode."""
+        self.panicked = True
+        self.machine.log.record("hv", CATEGORY_MACHINE_CHECK, reason=reason)
+        if self.request_isolation is not None:
+            self.request_isolation(IsolationLevel.OFFLINE, reason)
+
+    def run_machine_checked(self, action: Callable[[], Any]) -> Any:
+        """Run hypervisor work, converting machine checks into panics."""
+        try:
+            return action()
+        except MachineCheck as exc:
+            self.panic(f"machine check: {exc}")
+            return None
+
+    # ------------------------------------------------------------------
+    # E4: useful work vs. interrupt flood
+    # ------------------------------------------------------------------
+
+    def do_useful_work(self, units: int = 1) -> None:
+        """Maintenance work the hypervisor core should get through even
+        while a model floods it with doorbells."""
+        for _ in range(units):
+            self.machine.clock.tick(USEFUL_WORK_UNIT_COST)
+            self.useful_work_completed += 1

@@ -1,0 +1,281 @@
+"""The Guillotine port API (paper section 3.3).
+
+"Each port is a capability that is granted by the software-level hypervisor
+and which enables a model core to interact with a specific instance of a
+specific device type.  Each port maps to an address in the DRAM region that
+models share with the software-level hypervisor; writing to that address
+sends an interrupt to a hypervisor core, with a model placing additional
+information about the request at a well-known place in the shared DRAM."
+
+Concretely, each port owns two pages of the shared IO DRAM bank, laid out as
+a single-slot request/response mailbox:
+
+======= =====================================================
+word    meaning
+======= =====================================================
+0       REQ_FLAG   (1 = request ready, model -> hypervisor)
+1       REQ_SEQ    (request sequence number)
+2       REQ_LEN    (payload length in bytes)
+4..59   request payload (JSON bytes packed 8 per word)
+64      RESP_FLAG  (1 = response ready, hypervisor -> model)
+65      RESP_STATUS (0 ok / nonzero error code)
+66      RESP_LEN
+67..122 response payload
+127     EPOCH      (bumped on revocation; stale caps fail)
+======= =====================================================
+
+Larger transfers chunk at the guest-API level, the way real ring-buffer
+descriptors bound DMA segment sizes.
+
+The hypervisor validates the capability, runs the misbehaviour detectors on
+the payload, performs the device interaction itself, and writes the
+response — so every model/device byte is synchronously observable, which is
+what the paper demands instead of SR-IOV.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import CapabilityError, PortError
+from repro.hw.memory import Dram, PAGE_SIZE
+
+#: Words reserved for each port's mailbox (two pages).
+PORT_REGION_WORDS = 2 * PAGE_SIZE
+
+REQ_FLAG = 0
+REQ_SEQ = 1
+REQ_LEN = 2
+REQ_PAYLOAD = 4
+REQ_PAYLOAD_WORDS = 56
+
+RESP_FLAG = 64
+RESP_STATUS = 65
+RESP_LEN = 66
+RESP_PAYLOAD = 67
+RESP_PAYLOAD_WORDS = 56
+
+EPOCH_WORD = 127
+
+#: Response status codes.
+STATUS_OK = 0
+STATUS_DENIED = 1
+STATUS_BAD_REQUEST = 2
+STATUS_DEVICE_ERROR = 3
+STATUS_REVOKED = 4
+STATUS_SANITIZED = 5
+
+
+def pack_bytes(data: bytes) -> list[int]:
+    """Pack bytes into 64-bit words, little-endian, zero-padded."""
+    words = []
+    for offset in range(0, len(data), 8):
+        chunk = data[offset : offset + 8]
+        words.append(int.from_bytes(chunk.ljust(8, b"\x00"), "little"))
+    return words
+
+
+def unpack_bytes(words: list[int], length: int) -> bytes:
+    """Inverse of :func:`pack_bytes`."""
+    data = b"".join(word.to_bytes(8, "little") for word in words)
+    return data[:length]
+
+
+def encode_request(request: dict[str, Any]) -> bytes:
+    return json.dumps(request, sort_keys=True, default=_json_fallback).encode()
+
+
+def decode_request(data: bytes) -> dict[str, Any]:
+    return json.loads(data.decode())
+
+
+def _json_fallback(value: Any) -> Any:
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": value.hex()}
+    raise TypeError(f"not JSON-serialisable: {type(value)}")
+
+
+def revive_bytes(obj: Any) -> Any:
+    """Recursively convert ``{"__bytes__": hex}`` markers back to bytes."""
+    if isinstance(obj, dict):
+        if set(obj) == {"__bytes__"}:
+            return bytes.fromhex(obj["__bytes__"])
+        return {k: revive_bytes(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [revive_bytes(v) for v in obj]
+    return obj
+
+
+@dataclass
+class Port:
+    """A capability naming one device instance, held by one model."""
+
+    port_id: int
+    device_name: str
+    holder: str                 # model / core identity the cap was granted to
+    epoch: int = 0
+    revoked: bool = False
+    #: Optional restrictions applied at Probation isolation: a whitelist of
+    #: device ops, and/or a byte budget.
+    allowed_ops: set[str] | None = None
+    byte_budget: int | None = None
+    bytes_used: int = 0
+    requests: int = 0
+
+    def permits(self, op: str, payload_size: int) -> tuple[bool, str]:
+        if self.revoked:
+            return False, "capability revoked"
+        if self.allowed_ops is not None and op not in self.allowed_ops:
+            return False, f"op {op!r} not permitted under probation"
+        if self.byte_budget is not None and (
+            self.bytes_used + payload_size > self.byte_budget
+        ):
+            return False, "byte budget exhausted"
+        return True, ""
+
+
+class Mailbox:
+    """Typed accessor for one port's page in shared IO DRAM.
+
+    Both sides use this class, but with different *physical* paths: the
+    model reaches the page through its own flat address space (model cores'
+    IO window) and the hypervisor through the IO bank directly.  The
+    mailbox only sees the bank.
+    """
+
+    def __init__(self, bank: Dram, port_id: int) -> None:
+        base = port_id * PORT_REGION_WORDS
+        if base + PORT_REGION_WORDS > bank.size:
+            raise PortError(f"port {port_id} exceeds IO region")
+        self._bank = bank
+        self.base = base
+        self.port_id = port_id
+
+    # -- raw word access ------------------------------------------------------
+
+    def read_word(self, index: int) -> int:
+        return self._bank.read(self.base + index)
+
+    def write_word(self, index: int, value: int) -> None:
+        self._bank.write(self.base + index, value)
+
+    # -- model side -----------------------------------------------------------
+
+    def post_request(self, payload: bytes, sequence: int) -> None:
+        if len(payload) > REQ_PAYLOAD_WORDS * 8:
+            raise PortError(
+                f"request payload {len(payload)}B exceeds mailbox capacity "
+                f"({REQ_PAYLOAD_WORDS * 8}B); chunk it"
+            )
+        for offset, word in enumerate(pack_bytes(payload)):
+            self.write_word(REQ_PAYLOAD + offset, word)
+        self.write_word(REQ_LEN, len(payload))
+        self.write_word(REQ_SEQ, sequence)
+        self.write_word(RESP_FLAG, 0)
+        self.write_word(REQ_FLAG, 1)
+
+    def take_response(self) -> tuple[int, bytes] | None:
+        if self.read_word(RESP_FLAG) != 1:
+            return None
+        status = self.read_word(RESP_STATUS)
+        # Clamp: the length word is in shared DRAM and thus attacker-
+        # scribblable; reads must never leave the response area.
+        length = min(self.read_word(RESP_LEN), RESP_PAYLOAD_WORDS * 8)
+        words = [
+            self.read_word(RESP_PAYLOAD + i)
+            for i in range((length + 7) // 8)
+        ]
+        self.write_word(RESP_FLAG, 0)
+        return status, unpack_bytes(words, length)
+
+    # -- hypervisor side --------------------------------------------------------
+
+    def pending_request(self) -> tuple[int, bytes] | None:
+        if self.read_word(REQ_FLAG) != 1:
+            return None
+        sequence = self.read_word(REQ_SEQ)
+        # Clamp: a model scribbling a huge REQ_LEN must not drive the
+        # hypervisor's reads beyond this port's mailbox (fuzzer finding —
+        # unclamped, the read walked off the end of the IO bank).
+        length = min(self.read_word(REQ_LEN), REQ_PAYLOAD_WORDS * 8)
+        words = [
+            self.read_word(REQ_PAYLOAD + i)
+            for i in range((length + 7) // 8)
+        ]
+        self.write_word(REQ_FLAG, 0)
+        return sequence, unpack_bytes(words, length)
+
+    def post_response(self, status: int, payload: bytes = b"") -> None:
+        if len(payload) > RESP_PAYLOAD_WORDS * 8:
+            raise PortError("response payload exceeds mailbox capacity")
+        for offset, word in enumerate(pack_bytes(payload)):
+            self.write_word(RESP_PAYLOAD + offset, word)
+        self.write_word(RESP_LEN, len(payload))
+        self.write_word(RESP_STATUS, status)
+        self.write_word(RESP_FLAG, 1)
+
+    def bump_epoch(self) -> None:
+        self.write_word(EPOCH_WORD, self.read_word(EPOCH_WORD) + 1)
+
+
+class PortTable:
+    """The hypervisor's registry of granted capabilities."""
+
+    def __init__(self, io_bank: Dram) -> None:
+        self._io_bank = io_bank
+        self._ports: dict[int, Port] = {}
+        self._next_id = 0
+        self.max_ports = io_bank.size // PORT_REGION_WORDS
+
+    def grant(self, device_name: str, holder: str) -> Port:
+        if self._next_id >= self.max_ports:
+            raise PortError("IO region exhausted: no free port pages")
+        port = Port(port_id=self._next_id, device_name=device_name,
+                    holder=holder)
+        self._ports[port.port_id] = port
+        self._next_id += 1
+        return port
+
+    def revoke(self, port_id: int) -> None:
+        port = self._ports.get(port_id)
+        if port is None:
+            raise PortError(f"no such port {port_id}")
+        port.revoked = True
+        port.epoch += 1
+        self.mailbox(port_id).bump_epoch()
+
+    def revoke_all(self) -> int:
+        """Sever every port (isolation level 3+); returns count revoked."""
+        count = 0
+        for port in self._ports.values():
+            if not port.revoked:
+                port.revoked = True
+                port.epoch += 1
+                self.mailbox(port.port_id).bump_epoch()
+                count += 1
+        return count
+
+    def restrict(self, port_id: int, *, allowed_ops: set[str] | None = None,
+                 byte_budget: int | None = None) -> None:
+        """Apply probation-level restrictions to one port."""
+        port = self.lookup(port_id)
+        port.allowed_ops = allowed_ops
+        port.byte_budget = byte_budget
+        port.bytes_used = 0
+
+    def lookup(self, port_id: int) -> Port:
+        port = self._ports.get(port_id)
+        if port is None:
+            raise CapabilityError(f"unknown port {port_id}")
+        return port
+
+    def mailbox(self, port_id: int) -> Mailbox:
+        return Mailbox(self._io_bank, port_id)
+
+    def ports(self) -> list[Port]:
+        return list(self._ports.values())
+
+    def active_ports(self) -> list[Port]:
+        return [p for p in self._ports.values() if not p.revoked]

@@ -1,0 +1,122 @@
+"""Descriptor rings in shared IO DRAM: the bulk-transfer port transport.
+
+Section 3.3: "a port associated with a network device might place a ring
+buffer in shared memory".  The single-slot mailbox (:mod:`repro.hv.ports`)
+is the control path; this module is the data path — a classic
+producer/consumer descriptor ring:
+
+====================== ====================================================
+word                    meaning
+====================== ====================================================
+base + 0                HEAD  (next slot the consumer will read)
+base + 1                TAIL  (next slot the producer will write)
+base + 2                SLOTS (capacity; written once at init)
+base + 4 + s*slot_words slot ``s``: word 0 = payload length in bytes,
+                        words 1.. = payload (packed 8 bytes/word)
+====================== ====================================================
+
+The model pushes many descriptors and rings the doorbell **once**; the
+hypervisor drains the ring in a batch, mediating and logging every
+descriptor.  Experiment A6 measures how batching amortises the mediation
+cost E8 prices per-message.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PortError
+from repro.hv.ports import pack_bytes, unpack_bytes
+from repro.hw.memory import Dram
+
+HEAD_WORD = 0
+TAIL_WORD = 1
+SLOTS_WORD = 2
+SLOT_BASE = 4
+
+
+class RingBuffer:
+    """One direction of a shared-memory descriptor ring."""
+
+    def __init__(self, bank: Dram, base: int, slots: int = 8,
+                 slot_words: int = 32) -> None:
+        if slots < 2:
+            raise PortError("a ring needs at least 2 slots")
+        end = base + SLOT_BASE + slots * slot_words
+        if end > bank.size:
+            raise PortError("ring exceeds the IO region")
+        self._bank = bank
+        self.base = base
+        self.slots = slots
+        self.slot_words = slot_words
+        self.max_payload = (slot_words - 1) * 8
+        bank.write(base + SLOTS_WORD, slots)
+
+    # -- indices --------------------------------------------------------------
+
+    @property
+    def head(self) -> int:
+        return self._bank.read(self.base + HEAD_WORD)
+
+    @property
+    def tail(self) -> int:
+        return self._bank.read(self.base + TAIL_WORD)
+
+    def occupancy(self) -> int:
+        """Descriptors queued: head/tail are free-running counters, so
+        occupancy is simply their distance."""
+        return self.tail - self.head
+
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy() >= self.slots
+
+    @property
+    def empty(self) -> bool:
+        return self.occupancy() <= 0
+
+    def _slot_addr(self, index: int) -> int:
+        return self.base + SLOT_BASE + (index % self.slots) * self.slot_words
+
+    # -- producer (model side) --------------------------------------------------
+
+    def push(self, payload: bytes) -> bool:
+        """Write one descriptor; returns ``False`` when the ring is full
+        (producer must back off — classic flow control, no data loss)."""
+        if len(payload) > self.max_payload:
+            raise PortError(
+                f"payload {len(payload)}B exceeds slot capacity "
+                f"{self.max_payload}B"
+            )
+        if self.full:
+            return False
+        slot = self._slot_addr(self.tail)
+        self._bank.write(slot, len(payload))
+        for offset, word in enumerate(pack_bytes(payload)):
+            self._bank.write(slot + 1 + offset, word)
+        self._bank.write(self.base + TAIL_WORD, self.tail + 1)
+        return True
+
+    # -- consumer (hypervisor side) ----------------------------------------------
+
+    def pop(self) -> bytes | None:
+        """Consume one descriptor, oldest first."""
+        if self.empty:
+            return None
+        slot = self._slot_addr(self.head)
+        length = self._bank.read(slot)
+        words = [
+            self._bank.read(slot + 1 + offset)
+            for offset in range((length + 7) // 8)
+        ]
+        self._bank.write(self.base + HEAD_WORD, self.head + 1)
+        return unpack_bytes(words, length)
+
+    def drain(self, limit: int | None = None) -> list[bytes]:
+        """Pop everything currently queued (up to ``limit``)."""
+        out: list[bytes] = []
+        while limit is None or len(out) < limit:
+            payload = self.pop()
+            if payload is None:
+                break
+            out.append(payload)
+        return out

@@ -1,0 +1,142 @@
+"""Activation steering and circuit breaking (paper section 3.3).
+
+These are the internal-state detector families: "Guillotine allows
+hypervisor cores to (1) introspect on each step of the forward pass, and
+(2) alter a model's intermediate state in arbitrary ways".
+
+Both operate on per-layer activation vectors produced by the toy LLM
+(:mod:`repro.model.toyllm`), which exposes a hook at every layer:
+
+* :class:`ActivationSteerer` projects the activation onto a known *harmful
+  direction* and, when the projection exceeds a threshold, subtracts the
+  harmful component (optionally adding a corrective vector) — "on-the-fly
+  substitution of the weights that are visited during the forward
+  activation pass".
+* :class:`CircuitBreaker` aborts the forward pass outright when the
+  trajectory enters the flagged region — "preventing the model from
+  generating any response at all".
+
+The hypervisor can apply these because Guillotine hardware lets hypervisor
+cores pause model cores and rewrite model DRAM; at the simulation's level of
+abstraction the hook *is* that capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hv.detectors import Detection, Verdict
+
+
+class ForwardPassAborted(Exception):
+    """Raised by :class:`CircuitBreaker` to cut off a forward pass."""
+
+    def __init__(self, layer: int, projection: float) -> None:
+        super().__init__(
+            f"circuit breaker tripped at layer {layer} "
+            f"(projection={projection:.3f})"
+        )
+        self.layer = layer
+        self.projection = projection
+
+
+def _unit(vector: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(vector))
+    if norm == 0.0:
+        raise ValueError("direction vector must be non-zero")
+    return vector / norm
+
+
+@dataclass
+class SteeringReport:
+    """What a steerer/breaker observed over one forward pass."""
+
+    max_projection: float = 0.0
+    interventions: int = 0
+    layers_flagged: list[int] = field(default_factory=list)
+
+    def as_detection(self, detector_name: str, threshold: float) -> Detection:
+        if self.interventions > 0:
+            verdict = Verdict.MALICIOUS
+            reason = (
+                f"harmful-direction activation at layers {self.layers_flagged}"
+            )
+        elif self.max_projection > 0.5 * threshold:
+            verdict = Verdict.SUSPICIOUS
+            reason = "activation trending toward harmful direction"
+        else:
+            verdict = Verdict.BENIGN
+            reason = "clean"
+        return Detection(
+            verdict=verdict,
+            score=min(self.max_projection / max(threshold, 1e-9), 1.0)
+            if threshold else 0.0,
+            reason=reason,
+            detector=detector_name,
+        )
+
+
+class ActivationSteerer:
+    """Subtracts the harmful component from flagged activations."""
+
+    name = "activation_steering"
+
+    def __init__(
+        self,
+        harmful_direction: np.ndarray,
+        threshold: float = 1.0,
+        strength: float = 1.0,
+        corrective: np.ndarray | None = None,
+    ) -> None:
+        self.direction = _unit(np.asarray(harmful_direction, dtype=np.float64))
+        self.threshold = threshold
+        self.strength = strength
+        self.corrective = (
+            np.asarray(corrective, dtype=np.float64)
+            if corrective is not None else None
+        )
+        self.report = SteeringReport()
+
+    def reset(self) -> None:
+        self.report = SteeringReport()
+
+    def hook(self, layer: int, activation: np.ndarray) -> np.ndarray:
+        """Layer hook: inspect and possibly rewrite the activation."""
+        projection = float(activation @ self.direction)
+        self.report.max_projection = max(self.report.max_projection, projection)
+        if projection <= self.threshold:
+            return activation
+        self.report.interventions += 1
+        self.report.layers_flagged.append(layer)
+        steered = activation - self.strength * projection * self.direction
+        if self.corrective is not None:
+            steered = steered + self.corrective
+        return steered
+
+
+class CircuitBreaker:
+    """Aborts the forward pass on entry into the flagged activation region."""
+
+    name = "circuit_breaker"
+
+    def __init__(self, harmful_direction: np.ndarray,
+                 threshold: float = 1.0) -> None:
+        self.direction = _unit(np.asarray(harmful_direction, dtype=np.float64))
+        self.threshold = threshold
+        self.report = SteeringReport()
+        self.trips = 0
+
+    def reset(self) -> None:
+        self.report = SteeringReport()
+
+    def hook(self, layer: int, activation: np.ndarray) -> np.ndarray:
+        projection = float(activation @ self.direction)
+        self.report.max_projection = max(self.report.max_projection, projection)
+        if projection > self.threshold:
+            self.report.interventions += 1
+            self.report.layers_flagged.append(layer)
+            self.trips += 1
+            raise ForwardPassAborted(layer, projection)
+        return activation

@@ -1,0 +1,54 @@
+"""Simulated hardware substrate for the Guillotine reproduction.
+
+This package is the stand-in for the custom silicon that section 3.2 of the
+paper calls for.  It provides:
+
+* :mod:`repro.hw.isa` — the GISA instruction set and assembler that model
+  cores execute,
+* :mod:`repro.hw.memory` — DRAM, page tables, and the MMU with
+  executable-region lockdown,
+* :mod:`repro.hw.cache` — timed caches, TLBs, and branch predictors (the
+  microarchitectural state that side channels live in),
+* :mod:`repro.hw.core` — the CPU core model (model cores and hypervisor
+  cores),
+* :mod:`repro.hw.bus` — the explicit bus-reachability graph plus the
+  control and inspection buses,
+* :mod:`repro.hw.lapic` — the interrupt controller with request throttling,
+* :mod:`repro.hw.devices` — NIC / storage / GPU / actuator device models,
+* :mod:`repro.hw.machine` — assembled Guillotine and traditional machines,
+* :mod:`repro.hw.attestation` and :mod:`repro.hw.tamper` — remote
+  attestation and tamper evidence.
+"""
+
+from repro.hw.isa import Instruction, Program, assemble, decode, encode
+from repro.hw.memory import Dram, Mmu, PageTableEntry, PAGE_SIZE
+from repro.hw.cache import BranchPredictor, Cache, Tlb
+from repro.hw.core import Core, CoreKind, CoreState
+from repro.hw.bus import BusMatrix, ControlBus, InspectionBus
+from repro.hw.lapic import Lapic
+from repro.hw.machine import Machine, build_baseline_machine, build_guillotine_machine
+
+__all__ = [
+    "Instruction",
+    "Program",
+    "assemble",
+    "decode",
+    "encode",
+    "Dram",
+    "Mmu",
+    "PageTableEntry",
+    "PAGE_SIZE",
+    "BranchPredictor",
+    "Cache",
+    "Tlb",
+    "Core",
+    "CoreKind",
+    "CoreState",
+    "BusMatrix",
+    "ControlBus",
+    "InspectionBus",
+    "Lapic",
+    "Machine",
+    "build_baseline_machine",
+    "build_guillotine_machine",
+]

@@ -1,0 +1,160 @@
+"""A text assembler for GISA.
+
+The programmatic constructors in :mod:`repro.hw.isa` are fine for generated
+kernels; humans writing attack PoCs or model firmware want assembly text::
+
+    from repro.hw.asm import asm
+
+    program = asm('''
+        ; count to ten
+            movi  r1, 0
+            movi  r2, 10
+        loop:
+            addi  r1, r1, 1
+            blt   r1, r2, loop
+            halt
+    ''')
+
+Syntax: one instruction per line; ``label:`` definitions (alone or prefixing
+an instruction); ``;`` or ``#`` comments; registers ``r0``–``r15``;
+immediates in decimal or ``0x`` hex, negatives allowed; branch/jump targets
+are labels or absolute numbers.  Operand order matches the
+:mod:`repro.hw.isa` constructors.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.hw.isa import (
+    AssemblyError,
+    Instruction,
+    Op,
+    Program,
+    assemble,
+)
+
+#: mnemonic -> (opcode, operand pattern)
+#: pattern tokens: rd / rs1 / rs2 = registers, imm = immediate,
+#: target = label-or-immediate (lands in imm/label).
+MNEMONICS: dict[str, tuple[Op, list[str]]] = {
+    "nop": (Op.NOP, []),
+    "halt": (Op.HALT, []),
+    "movi": (Op.MOVI, ["rd", "imm"]),
+    "mov": (Op.MOV, ["rd", "rs1"]),
+    "add": (Op.ADD, ["rd", "rs1", "rs2"]),
+    "sub": (Op.SUB, ["rd", "rs1", "rs2"]),
+    "mul": (Op.MUL, ["rd", "rs1", "rs2"]),
+    "div": (Op.DIV, ["rd", "rs1", "rs2"]),
+    "and": (Op.AND, ["rd", "rs1", "rs2"]),
+    "or": (Op.OR, ["rd", "rs1", "rs2"]),
+    "xor": (Op.XOR, ["rd", "rs1", "rs2"]),
+    "shl": (Op.SHL, ["rd", "rs1", "rs2"]),
+    "shr": (Op.SHR, ["rd", "rs1", "rs2"]),
+    "addi": (Op.ADDI, ["rd", "rs1", "imm"]),
+    "load": (Op.LOAD, ["rd", "rs1", "imm?"]),
+    "store": (Op.STORE, ["rs2", "rs1", "imm?"]),
+    "jmp": (Op.JMP, ["target"]),
+    "jal": (Op.JAL, ["rd", "target"]),
+    "jr": (Op.JR, ["rs1"]),
+    "beq": (Op.BEQ, ["rs1", "rs2", "target"]),
+    "bne": (Op.BNE, ["rs1", "rs2", "target"]),
+    "blt": (Op.BLT, ["rs1", "rs2", "target"]),
+    "bge": (Op.BGE, ["rs1", "rs2", "target"]),
+    "rdcycle": (Op.RDCYCLE, ["rd"]),
+    "doorbell": (Op.DOORBELL, ["rs1?"]),
+    "wfi": (Op.WFI, []),
+    "fence": (Op.FENCE, []),
+    "iord": (Op.IORD, ["rd", "imm"]),
+    "iowr": (Op.IOWR, ["rs1", "imm"]),
+    "map": (Op.MAP, ["rs1", "rs2", "imm"]),
+    "unmap": (Op.UNMAP, ["rs1"]),
+    "iret": (Op.IRET, []),
+    "settimer": (Op.SETTIMER, ["rs1"]),
+}
+
+_REGISTER = re.compile(r"^r(\d{1,2})$", re.IGNORECASE)
+_LABEL_DEF = re.compile(r"^([A-Za-z_][\w.]*)\s*:\s*(.*)$")
+_NUMBER = re.compile(r"^[+-]?(0x[0-9a-fA-F]+|\d+)$")
+
+
+def _parse_register(token: str, line_number: int) -> int:
+    match = _REGISTER.match(token)
+    if not match or not 0 <= int(match.group(1)) < 16:
+        raise AssemblyError(
+            f"line {line_number}: expected a register, got {token!r}"
+        )
+    return int(match.group(1))
+
+
+def _parse_number(token: str, line_number: int) -> int:
+    if not _NUMBER.match(token):
+        raise AssemblyError(
+            f"line {line_number}: expected a number, got {token!r}"
+        )
+    return int(token, 0)
+
+
+def parse_asm(text: str) -> list[Instruction | str]:
+    """Parse assembly text into the item list :func:`repro.hw.isa.assemble`
+    consumes (instructions interleaved with label strings)."""
+    items: list[Instruction | str] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = re.split(r"[;#]", raw_line, maxsplit=1)[0].strip()
+        while True:
+            match = _LABEL_DEF.match(line)
+            if not match:
+                break
+            items.append(match.group(1))
+            line = match.group(2).strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in MNEMONICS:
+            raise AssemblyError(
+                f"line {line_number}: unknown mnemonic {mnemonic!r}"
+            )
+        opcode, pattern = MNEMONICS[mnemonic]
+        operands = (
+            [token.strip() for token in parts[1].split(",")]
+            if len(parts) > 1 else []
+        )
+        fields: dict = {"op": opcode}
+        label: str | None = None
+        consumed = 0
+        for slot in pattern:
+            optional = slot.endswith("?")
+            name = slot.rstrip("?")
+            if consumed >= len(operands):
+                if optional:
+                    continue
+                raise AssemblyError(
+                    f"line {line_number}: {mnemonic} needs "
+                    f"{len([s for s in pattern if not s.endswith('?')])}+ "
+                    f"operands, got {len(operands)}"
+                )
+            token = operands[consumed]
+            consumed += 1
+            if name in ("rd", "rs1", "rs2"):
+                fields[name] = _parse_register(token, line_number)
+            elif name == "imm":
+                fields["imm"] = _parse_number(token, line_number)
+            elif name == "target":
+                if _NUMBER.match(token):
+                    fields["imm"] = int(token, 0)
+                else:
+                    label = token
+            else:  # pragma: no cover - table is static
+                raise AssemblyError(f"bad pattern slot {slot}")
+        if consumed != len(operands):
+            raise AssemblyError(
+                f"line {line_number}: too many operands for {mnemonic}"
+            )
+        items.append(Instruction(label=label, **fields))
+    return items
+
+
+def asm(text: str, base_address: int = 0) -> Program:
+    """Assemble text straight to a loadable :class:`Program`."""
+    return assemble(parse_asm(text), base_address=base_address)

@@ -1,0 +1,126 @@
+"""Remote attestation of the Guillotine hardware+software stack.
+
+Section 3.2: "Before a model is loaded onto a purported Guillotine system via
+the control terminal, the terminal will verify that the model is being sent
+to valid Guillotine silicon that runs a valid Guillotine software-level
+hypervisor."
+
+The scheme is standard measured boot, simulated:
+
+* the machine produces a *hardware inventory* (component list + bus edges),
+* the software hypervisor contributes an *image digest*,
+* the silicon's embedded key signs ``(inventory digest, image digest, nonce)``
+  into an :class:`AttestationQuote`,
+* a :class:`Verifier` (the control terminal or a regulator's audit computer,
+  section 3.5) checks the signature and compares the digests against golden
+  values.
+
+Signing stands in for an asymmetric scheme with ``sha256(secret || message)``;
+the verifier's per-device secret registry plays the role of the certificate
+chain.  The substitution preserves exactly the property the experiments test:
+a quote cannot be forged without the device secret, and any change to the
+inventory or hypervisor image changes the measurement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.errors import AttestationFailure
+
+
+def digest_of(payload: object) -> str:
+    """Canonical SHA-256 digest of an arbitrary JSON-able structure."""
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """What the silicon measured: hardware topology + hypervisor image."""
+
+    inventory_digest: str
+    hypervisor_digest: str
+
+    def combined(self) -> str:
+        return digest_of([self.inventory_digest, self.hypervisor_digest])
+
+
+@dataclass(frozen=True)
+class AttestationQuote:
+    device_id: str
+    measurement: Measurement
+    nonce: str
+    signature: str
+
+
+class SiliconIdentity:
+    """The device key burned into Guillotine silicon at manufacture."""
+
+    def __init__(self, device_id: str, secret: str) -> None:
+        self.device_id = device_id
+        self._secret = secret
+
+    def quote(self, measurement: Measurement, nonce: str) -> AttestationQuote:
+        signature = self._sign(measurement, nonce, self._secret)
+        return AttestationQuote(
+            device_id=self.device_id,
+            measurement=measurement,
+            nonce=nonce,
+            signature=signature,
+        )
+
+    @staticmethod
+    def _sign(measurement: Measurement, nonce: str, secret: str) -> str:
+        body = f"{secret}|{measurement.combined()}|{nonce}"
+        return hashlib.sha256(body.encode()).hexdigest()
+
+
+class Verifier:
+    """The relying party: knows device secrets and golden measurements."""
+
+    def __init__(self) -> None:
+        self._device_secrets: dict[str, str] = {}
+        self._golden: dict[str, Measurement] = {}
+
+    def register_device(self, device_id: str, secret: str) -> None:
+        self._device_secrets[device_id] = secret
+
+    def register_golden(self, device_id: str, measurement: Measurement) -> None:
+        self._golden[device_id] = measurement
+
+    def verify(self, quote: AttestationQuote, expected_nonce: str) -> None:
+        """Raises :class:`AttestationFailure` unless the quote is genuine,
+        fresh, and matches the golden measurement."""
+        if quote.nonce != expected_nonce:
+            raise AttestationFailure("stale or replayed attestation nonce")
+        secret = self._device_secrets.get(quote.device_id)
+        if secret is None:
+            raise AttestationFailure(
+                f"unknown device {quote.device_id!r} (not Guillotine silicon)"
+            )
+        expected_signature = SiliconIdentity._sign(
+            quote.measurement, quote.nonce, secret
+        )
+        if expected_signature != quote.signature:
+            raise AttestationFailure("quote signature invalid")
+        golden = self._golden.get(quote.device_id)
+        if golden is None:
+            raise AttestationFailure(
+                f"no golden measurement registered for {quote.device_id!r}"
+            )
+        if golden != quote.measurement:
+            raise AttestationFailure(
+                "measurement mismatch: hardware or hypervisor image altered"
+            )
+
+    def is_valid(self, quote: AttestationQuote, expected_nonce: str) -> bool:
+        """Boolean form of :meth:`verify` for experiment harnesses."""
+        try:
+            self.verify(quote, expected_nonce)
+        except AttestationFailure:
+            return False
+        return True

@@ -1,0 +1,254 @@
+"""Bus topology: who can physically reach what.
+
+The heart of Guillotine's isolation argument (section 3.2) is that it is
+*topological*, not logical: "a model core lacks the physical buses needed to
+access hypervisor DRAM, so EPTs are unnecessary to enforce memory isolation".
+The :class:`BusMatrix` makes that explicit — every memory or device access in
+the simulator must traverse an edge in this graph or it raises
+:class:`~repro.errors.BusError`.
+
+Three bus roles appear here:
+
+* the ordinary **memory buses** (edges from cores to DRAM banks),
+* the **control bus** (:class:`ControlBus`) carrying the management verbs a
+  hypervisor core may apply to model cores: pause, inspect, modify,
+  watchpoints, MMU lockdown, microarchitectural clear, single-step, resume,
+  power-down,
+* the **inspection bus** (:class:`InspectionBus`), a private path from
+  hypervisor cores to model DRAM, usable only while the relevant model cores
+  are halted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import networkx as nx
+
+from repro.errors import BusError
+from repro.hw.memory import Dram, PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.core import Core
+
+
+class BusMatrix:
+    """Directed reachability graph between named hardware components."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    def add_component(self, name: str, kind: str) -> None:
+        """Register a component (core, dram, device, bus, console...)."""
+        self._graph.add_node(name, kind=kind)
+
+    def connect(self, initiator: str, target: str) -> None:
+        """Lay a physical wire allowing ``initiator`` to reach ``target``."""
+        for name in (initiator, target):
+            if name not in self._graph:
+                raise BusError(f"unknown component {name!r}")
+        self._graph.add_edge(initiator, target)
+
+    def disconnect(self, initiator: str, target: str) -> None:
+        """Sever a wire (kill switches use this for cables)."""
+        if self._graph.has_edge(initiator, target):
+            self._graph.remove_edge(initiator, target)
+
+    def reachable(self, initiator: str, target: str) -> bool:
+        """Direct reachability: does a wire exist?"""
+        return self._graph.has_edge(initiator, target)
+
+    def transitively_reachable(self, initiator: str, target: str) -> bool:
+        """Multi-hop reachability (used by the invariant checker)."""
+        if initiator not in self._graph or target not in self._graph:
+            return False
+        return nx.has_path(self._graph, initiator, target)
+
+    def assert_reachable(self, initiator: str, target: str) -> None:
+        if not self.reachable(initiator, target):
+            raise BusError(f"no bus path from {initiator!r} to {target!r}")
+
+    def components(self, kind: str | None = None) -> list[str]:
+        if kind is None:
+            return list(self._graph.nodes)
+        return [n for n, d in self._graph.nodes(data=True) if d.get("kind") == kind]
+
+    def edges(self) -> list[tuple[str, str]]:
+        return list(self._graph.edges)
+
+    def graph_copy(self) -> nx.DiGraph:
+        """A copy of the topology (experiment E1 compares this to Figure 1)."""
+        return self._graph.copy()
+
+
+class PhysicalMemoryMap:
+    """A core's view of physical memory: an ordered list of DRAM windows.
+
+    Guillotine model cores see ``[model_dram | io_dram]``; hypervisor cores
+    see ``[hv_dram | io_dram]``.  Neither address space contains the other's
+    private bank — there is nothing to mis-address.
+    """
+
+    def __init__(self, windows: Iterable[Dram]) -> None:
+        self._windows: list[tuple[Dram, int]] = []  # (bank, base word addr)
+        base = 0
+        for bank in windows:
+            self._windows.append((bank, base))
+            base += bank.size
+        self.total_words = base
+
+    @property
+    def total_frames(self) -> int:
+        return self.total_words // PAGE_SIZE
+
+    def resolve(self, paddr: int) -> tuple[Dram, int]:
+        """Map a flat physical word address to ``(bank, local address)``."""
+        for bank, base in self._windows:
+            if base <= paddr < base + bank.size:
+                return bank, paddr - base
+        raise BusError(f"physical address {paddr} maps to no DRAM window")
+
+    def window_base(self, bank_name: str) -> int:
+        """Flat base address of the named bank within this map."""
+        for bank, base in self._windows:
+            if bank.name == bank_name:
+                return base
+        raise BusError(f"bank {bank_name!r} not in this memory map")
+
+    def banks(self) -> list[Dram]:
+        return [bank for bank, _ in self._windows]
+
+
+class ControlBus:
+    """The hypervisor-core -> model-core management channel (section 3.2).
+
+    Every verb the paper enumerates is a method here.  The bus is a hardware
+    component in the :class:`BusMatrix`; only hypervisor cores are wired to
+    it, and tests assert that no model core ever is.
+    """
+
+    NAME = "control_bus"
+
+    def __init__(self, matrix: BusMatrix) -> None:
+        self._matrix = matrix
+        self._cores: dict[str, "Core"] = {}
+        matrix.add_component(self.NAME, kind="bus")
+
+    def attach_target(self, core: "Core") -> None:
+        """Wire a model core as a controllable target."""
+        self._cores[core.name] = core
+        self._matrix.connect(self.NAME, core.name)
+
+    def _target(self, name: str) -> "Core":
+        self._matrix.assert_reachable(self.NAME, name)
+        try:
+            return self._cores[name]
+        except KeyError as exc:
+            raise BusError(f"core {name!r} not attached to control bus") from exc
+
+    # -- the management verbs from section 3.2 -------------------------------
+
+    def pause(self, core_name: str) -> None:
+        """Forcibly pause all operations on a model core."""
+        self._target(core_name).pause()
+
+    def resume(self, core_name: str) -> None:
+        """Fully resume a halted model core."""
+        self._target(core_name).resume()
+
+    def single_step(self, core_name: str) -> None:
+        """Execute exactly one instruction on a halted model core."""
+        self._target(core_name).single_step()
+
+    def inspect(self, core_name: str) -> dict:
+        """Read the ISA-level state of a halted core."""
+        return self._target(core_name).inspect_state()
+
+    def write_register(self, core_name: str, register: int, value: int) -> None:
+        """Modify the ISA-level state of a halted core."""
+        self._target(core_name).poke_register(register, value)
+
+    def write_pc(self, core_name: str, value: int) -> None:
+        self._target(core_name).poke_pc(value)
+
+    def set_watchpoint(self, core_name: str, kind: str, start: int,
+                       length: int = 1) -> int:
+        """Arm a watchpoint on model code or memory; returns its id."""
+        return self._target(core_name).set_watchpoint(kind, start, length)
+
+    def clear_watchpoint(self, core_name: str, watchpoint_id: int) -> None:
+        self._target(core_name).clear_watchpoint(watchpoint_id)
+
+    def lockdown_mmu(self, core_name: str, base_vpn: int, bound_vpn: int) -> None:
+        """Configure the model core's MMU so it cannot create or alter
+        executable pages (the anti-self-improvement verb)."""
+        self._target(core_name).mmu.lockdown(base_vpn, bound_vpn)
+
+    def protect_weights(self, core_name: str, base_vpn: int,
+                        bound_vpn: int) -> None:
+        """Freeze the model's weight-containing pages: readable by the
+        inference computation, immutable to everything on the core
+        (the anti-weight-theft/-modification verb, section 4)."""
+        self._target(core_name).mmu.protect_weights(base_vpn, bound_vpn)
+
+    def flush_microarch(self, core_name: str) -> None:
+        """Forcibly clear all microarchitectural state on the core."""
+        self._target(core_name).flush_microarch()
+
+    def power_down(self, core_name: str) -> None:
+        """Forcibly power down a halted model core."""
+        self._target(core_name).power_down()
+
+    def power_up(self, core_name: str) -> None:
+        """Re-energise a powered-down core (console-mediated only)."""
+        self._target(core_name).power_up()
+
+    def targets(self) -> list[str]:
+        return list(self._cores)
+
+
+class InspectionBus:
+    """Private hypervisor path into model DRAM (section 3.2).
+
+    "A hypervisor core also has a private bus, connected to model-core
+    memory, to enable reading and writing the DRAM of halted model cores."
+    Access is refused while any core attached to the bank is running — the
+    bus arbitrates against live model traffic by construction.
+    """
+
+    NAME = "inspection_bus"
+
+    def __init__(self, matrix: BusMatrix) -> None:
+        self._matrix = matrix
+        self._banks: dict[str, tuple[Dram, list["Core"]]] = {}
+        matrix.add_component(self.NAME, kind="bus")
+
+    def attach_bank(self, bank: Dram, owning_cores: list["Core"]) -> None:
+        self._banks[bank.name] = (bank, list(owning_cores))
+        self._matrix.connect(self.NAME, bank.name)
+
+    def _bank(self, name: str) -> Dram:
+        self._matrix.assert_reachable(self.NAME, name)
+        try:
+            bank, cores = self._banks[name]
+        except KeyError as exc:
+            raise BusError(f"bank {name!r} not on inspection bus") from exc
+        for core in cores:
+            if core.is_running:
+                raise BusError(
+                    f"inspection refused: core {core.name} still running"
+                )
+            if core.is_powered_down:
+                # Powered-down cores are fine; DRAM stays inspectable.
+                continue
+        return bank
+
+    def read(self, bank_name: str, address: int) -> int:
+        return self._bank(bank_name).read(address)
+
+    def write(self, bank_name: str, address: int, value: int) -> None:
+        self._bank(bank_name).write(address, value)
+
+    def snapshot(self, bank_name: str, start: int = 0,
+                 length: int | None = None) -> list[int]:
+        return self._bank(bank_name).snapshot(start, length)

@@ -1,0 +1,194 @@
+"""Timed microarchitectural state: caches, TLBs, branch predictors.
+
+This module is where side channels live.  A :class:`Cache` access returns a
+latency that depends on which addresses were touched before — exactly the
+signal a prime+probe attacker measures (experiment E2).  The same structures
+are what a hypervisor core's "forcibly clear all microarchitectural state"
+control verb flushes, to break covert channels a model might set up between
+its own execution phases (section 3.2, footnote 2).
+
+The timing model is deliberately simple and deterministic:
+
+* cache hit: ``hit_latency`` cycles,
+* cache miss: ``miss_latency`` cycles (next level / DRAM),
+* TLB hit: free; TLB miss: ``Mmu.WALK_COST`` extra memory touches,
+* branch predicted correctly: free; mispredict: ``mispredict_penalty``.
+
+Determinism matters: the side-channel experiments must reproduce bit-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative cache with true-LRU replacement.
+
+    Indexed by physical word address: ``set = (addr // line_size) % num_sets``.
+    Several cores may share one instance (that sharing *is* the baseline
+    machine's side channel; Guillotine model cores and hypervisor cores never
+    share one).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_sets: int = 64,
+        ways: int = 4,
+        line_size: int = 4,
+        hit_latency: int = 1,
+        miss_latency: int = 20,
+    ) -> None:
+        if num_sets <= 0 or ways <= 0 or line_size <= 0:
+            raise ValueError("cache geometry must be positive")
+        self.name = name
+        self.num_sets = num_sets
+        self.ways = ways
+        self.line_size = line_size
+        self.hit_latency = hit_latency
+        self.miss_latency = miss_latency
+        # Per set: list of tags in LRU order (front = most recent).
+        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self.stats = CacheStats()
+
+    def set_index(self, address: int) -> int:
+        """Which set a physical address maps to (attackers compute this too)."""
+        return (address // self.line_size) % self.num_sets
+
+    def _tag(self, address: int) -> int:
+        return address // (self.line_size * self.num_sets)
+
+    def access(self, address: int) -> int:
+        """Touch ``address``; returns the latency in cycles."""
+        index = self.set_index(address)
+        tag = self._tag(address)
+        lru = self._sets[index]
+        if tag in lru:
+            lru.remove(tag)
+            lru.insert(0, tag)
+            self.stats.hits += 1
+            return self.hit_latency
+        lru.insert(0, tag)
+        if len(lru) > self.ways:
+            lru.pop()
+        self.stats.misses += 1
+        return self.miss_latency
+
+    def probe(self, address: int) -> bool:
+        """Non-destructive presence check (used by tests, not by cores)."""
+        return self._tag(address) in self._sets[self.set_index(address)]
+
+    def flush(self) -> None:
+        """Invalidate every line (the control bus's microarch-clear verb)."""
+        self._sets = [[] for _ in range(self.num_sets)]
+
+    def occupancy(self) -> int:
+        """Total number of valid lines currently cached."""
+        return sum(len(s) for s in self._sets)
+
+
+class Tlb:
+    """A tiny fully-associative TLB with LRU replacement.
+
+    Holds vpn -> ppn translations.  A miss costs a page-table walk, which the
+    core charges as extra memory accesses.  Flushed by the microarch-clear
+    control verb and by MMU map/unmap operations (shootdown).
+    """
+
+    def __init__(self, entries: int = 16) -> None:
+        if entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        self.capacity = entries
+        self._entries: list[tuple[int, int]] = []  # (vpn, ppn), LRU order
+        self.stats = CacheStats()
+
+    def lookup(self, vpn: int) -> int | None:
+        for position, (cached_vpn, ppn) in enumerate(self._entries):
+            if cached_vpn == vpn:
+                self._entries.insert(0, self._entries.pop(position))
+                self.stats.hits += 1
+                return ppn
+        self.stats.misses += 1
+        return None
+
+    def insert(self, vpn: int, ppn: int) -> None:
+        self._entries = [(v, p) for v, p in self._entries if v != vpn]
+        self._entries.insert(0, (vpn, ppn))
+        if len(self._entries) > self.capacity:
+            self._entries.pop()
+
+    def invalidate(self, vpn: int | None = None) -> None:
+        """Drop one translation, or all of them when ``vpn`` is ``None``."""
+        if vpn is None:
+            self._entries.clear()
+        else:
+            self._entries = [(v, p) for v, p in self._entries if v != vpn]
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+
+class BranchPredictor:
+    """A table of 2-bit saturating counters indexed by pc.
+
+    Mostly present as *microarchitectural state that must be clearable*: the
+    paper worries about models hiding information in structures like this
+    between bursts of execution.
+    """
+
+    TAKEN_THRESHOLD = 2
+
+    def __init__(self, table_size: int = 256, mispredict_penalty: int = 6) -> None:
+        self.table_size = table_size
+        self.mispredict_penalty = mispredict_penalty
+        self._counters = [1] * table_size  # weakly not-taken
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return pc % self.table_size
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= self.TAKEN_THRESHOLD
+
+    def update(self, pc: int, taken: bool) -> int:
+        """Record the actual outcome; returns the cycle penalty (0 if the
+        earlier prediction was correct)."""
+        index = self._index(pc)
+        predicted = self._counters[index] >= self.TAKEN_THRESHOLD
+        if taken and self._counters[index] < 3:
+            self._counters[index] += 1
+        elif not taken and self._counters[index] > 0:
+            self._counters[index] -= 1
+        self.predictions += 1
+        if predicted != taken:
+            self.mispredictions += 1
+            return self.mispredict_penalty
+        return 0
+
+    def flush(self) -> None:
+        """Reset all counters to the weakly-not-taken power-on state."""
+        self._counters = [1] * self.table_size
+
+    def state_entropy_proxy(self) -> int:
+        """Sum of counter distances from the reset value.
+
+        Zero after a flush; the covert-channel tests use this to show that
+        information really was destroyed by the microarch-clear verb.
+        """
+        return sum(abs(c - 1) for c in self._counters)

@@ -1,0 +1,748 @@
+"""The simulated CPU core: model cores and hypervisor cores.
+
+A :class:`Core` executes GISA instructions, charging cycles to the shared
+:class:`~repro.clock.VirtualClock` for ALU work, cache hits/misses, TLB
+walks, and branch mispredictions.  The management surface (pause, inspect,
+single-step, watchpoints, microarchitectural clear, power-down) matches the
+control-bus verbs of section 3.2 one-for-one; the control bus merely forwards
+to these methods, and only hypervisor-side components hold a control-bus
+reference.
+
+Model cores handle their own locally-generated interrupts and exceptions
+(division by zero, invalid instructions, memory faults) via an in-core
+vector — the Guillotine software hypervisor plays no part, exactly as
+section 3.2 prescribes.  A fault with no handler configured parks the core
+in ``FAULTED``; on a hypervisor-kind core it instead raises
+:class:`~repro.errors.MachineCheck`, which the software hypervisor converts
+into a forced transition to offline isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Callable
+
+from repro.clock import VirtualClock
+from repro.errors import (
+    CorePoweredDown,
+    InvalidInstruction,
+    LockdownViolation,
+    MachineCheck,
+    MemoryFault,
+)
+from repro.hw.bus import BusMatrix, PhysicalMemoryMap
+from repro.hw.cache import BranchPredictor, Cache, Tlb
+from repro.hw.isa import Instruction, Op, decode
+from repro.hw.memory import Mmu, PageTableEntry, PAGE_SIZE
+
+#: Exception codes written to r14 when a local handler is invoked.
+EXC_DIV0 = 1
+EXC_INVALID = 2
+EXC_MEMFAULT = 3
+EXC_LOCKDOWN = 4
+EXC_TIMER = 5
+
+#: Register that receives the exception code on handler entry.
+EXC_CODE_REGISTER = 14
+#: Register that receives the resume pc on handler entry; IRET jumps to it,
+#: so model software can context-switch by rewriting it (section 3.3: a
+#: model "may choose to structure its code by distinguishing between OS
+#: software and user software ... Guillotine is agnostic").
+EXC_RESUME_REGISTER = 13
+#: Register that receives the faulting virtual address on memory faults —
+#: what a model-internal pager needs to service a demand fault.
+EXC_ADDR_REGISTER = 12
+
+_WORD_MASK = (1 << 64) - 1
+
+
+class CoreKind(Enum):
+    MODEL = auto()
+    HYPERVISOR = auto()
+
+
+class CoreState(Enum):
+    RUNNING = auto()
+    PAUSED = auto()
+    WFI = auto()         # waiting for interrupt
+    HALTED = auto()      # executed HALT
+    FAULTED = auto()     # unhandled exception
+    POWERED_DOWN = auto()
+
+
+@dataclass
+class CoreCaches:
+    """The microarchitectural structures attached to one core.
+
+    ``icache_levels`` / ``dcache_levels`` are ordered nearest-first; shared
+    outer levels may appear in several cores' lists.  ``private`` lists the
+    levels cleared by the control bus's flush-microarch verb (shared levels
+    are flushed at the machine level instead).
+    """
+
+    icache_levels: list[Cache]
+    dcache_levels: list[Cache]
+    tlb: Tlb
+    branch_predictor: BranchPredictor
+    private: list[Cache] = field(default_factory=list)
+
+
+@dataclass
+class SpeculationConfig:
+    """Transient-execution modelling (off by default).
+
+    When set, a mispredicted branch *shadow-executes* up to ``window``
+    instructions down the predicted (wrong) path before the squash: shadow
+    loads really touch the caches (the Spectre side effect), stores are
+    suppressed, and architectural state is untouched.
+
+    ``faulting_loads_forward`` models the Foreshadow/L1TF design flaw the
+    paper cites [75]: a shadow load whose *second-level* (EPT) translation
+    faults forwards data anyway, using the guest-physical address as if it
+    were host-physical.  On the traditional shared-DRAM machine that reads
+    hypervisor memory straight through the "isolation"; on Guillotine the
+    equivalent wire simply does not exist, so the same gadget gets nothing.
+    """
+
+    window: int = 6
+    faulting_loads_forward: bool = False
+
+
+@dataclass
+class Watchpoint:
+    watchpoint_id: int
+    kind: str          # "exec" | "read" | "write"
+    start: int         # virtual word address
+    length: int
+
+    def covers(self, address: int) -> bool:
+        return self.start <= address < self.start + self.length
+
+
+class Core:
+    """One simulated CPU core."""
+
+    #: Base cycle cost of any instruction, before memory/branch penalties.
+    BASE_COST = 1
+    #: Extra cycles for ringing a doorbell (bus transaction to the LAPIC).
+    DOORBELL_COST = 5
+    #: Cycles per page-table-walk memory touch on TLB miss.
+    WALK_TOUCH_COST = 8
+
+    def __init__(
+        self,
+        name: str,
+        kind: CoreKind,
+        clock: VirtualClock,
+        mmu: Mmu,
+        memory_map: PhysicalMemoryMap,
+        bus: BusMatrix,
+        caches: CoreCaches,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.clock = clock
+        self.mmu = mmu
+        self.memory_map = memory_map
+        self.bus = bus
+        self.caches = caches
+
+        self.registers = [0] * 16
+        self.pc = 0
+        self.state = CoreState.PAUSED
+
+        # Local exception/interrupt handling (section 3.2: model software
+        # handles its own interrupts and exceptions without the hypervisor).
+        self.exception_vector: int | None = None
+        self._saved_pc = 0
+        self._in_handler = False
+        # Core-local timer: armed by SETTIMER, fires at the instruction
+        # boundary after its deadline (entirely model-internal; the
+        # Guillotine software hypervisor plays no part).
+        self._timer_deadline: int | None = None
+        self.timer_fires = 0
+
+        # Hooks wired by the machine builder.
+        self.doorbell_handler: Callable[[str, int], None] | None = None
+        self.sensitive_trap: Callable[["Core", Op, int, int], int] | None = None
+        self.on_watchpoint: Callable[["Core", Watchpoint], None] | None = None
+        self.on_fault: Callable[["Core", int, str], None] | None = None
+
+        # Second-level (EPT-style) translation, used only by the traditional
+        # baseline machine.  Guillotine model cores have no second level:
+        # memory isolation is a property of the bus matrix instead, which is
+        # the paper's "EPTs are unnecessary" simplification (experiment E12).
+        self.second_level: Callable[[int, bool], int] | None = None
+        #: Extra walk touches charged when a TLB miss crosses two levels.
+        self.SECOND_LEVEL_WALK_COST = 2
+        #: Transient execution: ``None`` disables speculation entirely.
+        self.speculation: SpeculationConfig | None = None
+        self.shadow_instructions = 0
+        self.shadow_loads_forwarded = 0
+
+        self._watchpoints: dict[int, Watchpoint] = {}
+        self._next_watchpoint_id = 1
+
+        self.instructions_retired = 0
+        self.faults = 0
+        self.last_fault: str | None = None
+        self.last_watchpoint: Watchpoint | None = None
+
+    # ------------------------------------------------------------------
+    # State predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is CoreState.RUNNING
+
+    @property
+    def is_halted(self) -> bool:
+        """Halted in the control-bus sense: not actively executing."""
+        return self.state in (
+            CoreState.PAUSED,
+            CoreState.HALTED,
+            CoreState.FAULTED,
+            CoreState.WFI,
+        )
+
+    @property
+    def is_powered_down(self) -> bool:
+        return self.state is CoreState.POWERED_DOWN
+
+    def _require_power(self) -> None:
+        if self.is_powered_down:
+            raise CorePoweredDown(f"core {self.name} is powered down")
+
+    # ------------------------------------------------------------------
+    # Management verbs (invoked via the control bus)
+    # ------------------------------------------------------------------
+
+    def pause(self) -> None:
+        """Forcibly pause; idempotent for already-halted cores."""
+        self._require_power()
+        if self.state in (CoreState.RUNNING, CoreState.WFI):
+            self.state = CoreState.PAUSED
+
+    def resume(self) -> None:
+        self._require_power()
+        if self.state in (CoreState.PAUSED, CoreState.WFI):
+            self.state = CoreState.RUNNING
+
+    def single_step(self) -> None:
+        """Execute exactly one instruction from the paused state."""
+        self._require_power()
+        if self.state is not CoreState.PAUSED:
+            raise InvalidInstruction(
+                f"single-step requires a paused core (state={self.state.name})"
+            )
+        self.state = CoreState.RUNNING
+        self.step()
+        if self.state is CoreState.RUNNING:
+            self.state = CoreState.PAUSED
+
+    def inspect_state(self) -> dict:
+        """ISA-level snapshot; only legal on a halted core."""
+        self._require_power()
+        if self.is_running:
+            raise InvalidInstruction("cannot inspect a running core")
+        return {
+            "name": self.name,
+            "kind": self.kind.name,
+            "state": self.state.name,
+            "pc": self.pc,
+            "registers": list(self.registers),
+            "mmu_locked": self.mmu.locked,
+            "instructions_retired": self.instructions_retired,
+            "last_fault": self.last_fault,
+        }
+
+    def poke_register(self, register: int, value: int) -> None:
+        self._require_power()
+        if self.is_running:
+            raise InvalidInstruction("cannot modify a running core")
+        if not 0 <= register < 16:
+            raise ValueError(f"register r{register} out of range")
+        if register != 0:
+            self.registers[register] = value & _WORD_MASK
+
+    def poke_pc(self, value: int) -> None:
+        self._require_power()
+        if self.is_running:
+            raise InvalidInstruction("cannot modify a running core")
+        self.pc = value
+
+    def set_watchpoint(self, kind: str, start: int, length: int = 1) -> int:
+        if kind not in ("exec", "read", "write"):
+            raise ValueError(f"unknown watchpoint kind {kind!r}")
+        watchpoint = Watchpoint(self._next_watchpoint_id, kind, start, length)
+        self._watchpoints[watchpoint.watchpoint_id] = watchpoint
+        self._next_watchpoint_id += 1
+        return watchpoint.watchpoint_id
+
+    def clear_watchpoint(self, watchpoint_id: int) -> None:
+        self._watchpoints.pop(watchpoint_id, None)
+
+    def flush_microarch(self) -> None:
+        """Clear private caches, TLB, and branch predictor (covert-channel
+        hygiene verb from section 3.2)."""
+        self._require_power()
+        for cache in self.caches.private:
+            cache.flush()
+        self.caches.tlb.invalidate()
+        self.caches.branch_predictor.flush()
+
+    def power_down(self) -> None:
+        """Power off; only legal from a halted state."""
+        if self.is_running:
+            raise InvalidInstruction("cannot power down a running core")
+        self.state = CoreState.POWERED_DOWN
+
+    def power_up(self) -> None:
+        """Power on into the paused state with cleared microarch state."""
+        if not self.is_powered_down:
+            return
+        self.state = CoreState.PAUSED
+        self.registers = [0] * 16
+        for cache in self.caches.private:
+            cache.flush()
+        self.caches.tlb.invalidate()
+        self.caches.branch_predictor.flush()
+
+    # ------------------------------------------------------------------
+    # Memory access (through MMU, TLB, caches, bus)
+    # ------------------------------------------------------------------
+
+    def _translate(self, vaddr: int, *, write: bool = False,
+                   execute: bool = False) -> int:
+        vpn = vaddr // PAGE_SIZE
+        cached_ppn = self.caches.tlb.lookup(vpn)
+        # Permission checks always go to the MMU (the TLB here caches the
+        # translation, not the authority); a miss also charges the walk.
+        paddr = self.mmu.translate(vaddr, write=write, execute=execute)
+        if self.second_level is not None:
+            paddr = self.second_level(paddr, write)
+        if cached_ppn is None:
+            walk_levels = Mmu.WALK_COST
+            if self.second_level is not None:
+                # Two-dimensional page walk: each guest level is itself
+                # translated, multiplying the touches (Bhargava et al.).
+                walk_levels *= 1 + self.SECOND_LEVEL_WALK_COST
+            self.clock.tick(walk_levels * self.WALK_TOUCH_COST)
+            self.caches.tlb.insert(vpn, paddr // PAGE_SIZE)
+        return paddr
+
+    @staticmethod
+    def _hierarchy_latency(levels: list[Cache], paddr: int) -> int:
+        """Nearest-first cache lookup: stop at the first hit."""
+        total = 0
+        for level in levels:
+            hit_latency = level.hit_latency
+            latency = level.access(paddr)
+            total += latency
+            if latency == hit_latency:
+                return total
+        return total
+
+    def read_word(self, vaddr: int) -> int:
+        paddr = self._translate(vaddr)
+        self.clock.tick(self._hierarchy_latency(self.caches.dcache_levels, paddr))
+        bank, local = self.memory_map.resolve(paddr)
+        self.bus.assert_reachable(self.name, bank.name)
+        value = bank.read(local)
+        self._check_data_watchpoints("read", vaddr)
+        return value
+
+    def write_word(self, vaddr: int, value: int) -> None:
+        paddr = self._translate(vaddr, write=True)
+        self.clock.tick(self._hierarchy_latency(self.caches.dcache_levels, paddr))
+        bank, local = self.memory_map.resolve(paddr)
+        self.bus.assert_reachable(self.name, bank.name)
+        bank.write(local, value)
+        self._check_data_watchpoints("write", vaddr)
+
+    def _fetch(self) -> Instruction:
+        paddr = self._translate(self.pc, execute=True)
+        self.clock.tick(self._hierarchy_latency(self.caches.icache_levels, paddr))
+        bank, local = self.memory_map.resolve(paddr)
+        self.bus.assert_reachable(self.name, bank.name)
+        word = bank.read(local)
+        try:
+            return decode(word)
+        except ValueError as exc:
+            raise InvalidInstruction(str(exc)) from exc
+
+    def _check_data_watchpoints(self, kind: str, vaddr: int) -> None:
+        for watchpoint in self._watchpoints.values():
+            if watchpoint.kind == kind and watchpoint.covers(vaddr):
+                self._trigger_watchpoint(watchpoint)
+
+    def _trigger_watchpoint(self, watchpoint: Watchpoint) -> None:
+        self.state = CoreState.PAUSED
+        self.last_watchpoint = watchpoint
+        if self.on_watchpoint is not None:
+            self.on_watchpoint(self, watchpoint)
+
+    # ------------------------------------------------------------------
+    # Exceptions
+    # ------------------------------------------------------------------
+
+    def _enter_handler(self, code: int, resume_pc: int,
+                       fault_addr: int | None = None) -> None:
+        self._saved_pc = resume_pc
+        self.registers[EXC_CODE_REGISTER] = code
+        self.registers[EXC_RESUME_REGISTER] = resume_pc
+        if fault_addr is not None:
+            self.registers[EXC_ADDR_REGISTER] = fault_addr
+        self.pc = self.exception_vector
+        self._in_handler = True
+
+    def _raise_exception(self, code: int, message: str,
+                         fault_addr: int | None = None) -> None:
+        self.faults += 1
+        self.last_fault = message
+        if self.exception_vector is not None and not self._in_handler:
+            # Memory faults resume *at* the faulting instruction (so a
+            # pager can map the page and retry); everything else resumes
+            # after it.
+            if code == EXC_MEMFAULT:
+                resume = self.pc
+            else:
+                resume = self.pc + 1
+            self._enter_handler(code, resume, fault_addr)
+            return
+        if self.kind is CoreKind.HYPERVISOR:
+            self.state = CoreState.FAULTED
+            raise MachineCheck(f"{self.name}: {message}")
+        self.state = CoreState.FAULTED
+        if self.on_fault is not None:
+            self.on_fault(self, code, message)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one instruction; returns ``True`` if the core is still
+        runnable afterwards."""
+        self._require_power()
+        # An expired timer wakes a core parked in WFI.
+        if (
+            self.state is CoreState.WFI
+            and self._timer_deadline is not None
+            and self.clock.now >= self._timer_deadline
+        ):
+            self.state = CoreState.RUNNING
+        if self.state is not CoreState.RUNNING:
+            return False
+
+        # Core-local timer delivery at the instruction boundary.
+        if (
+            self._timer_deadline is not None
+            and self.clock.now >= self._timer_deadline
+            and self.exception_vector is not None
+            and not self._in_handler
+        ):
+            self._timer_deadline = None
+            self.timer_fires += 1
+            self._enter_handler(EXC_TIMER, self.pc)
+
+        # Exec watchpoints fire before the instruction executes.
+        for watchpoint in self._watchpoints.values():
+            if watchpoint.kind == "exec" and watchpoint.covers(self.pc):
+                self._trigger_watchpoint(watchpoint)
+                return False
+
+        try:
+            instruction = self._fetch()
+        except (MemoryFault, InvalidInstruction) as exc:
+            code = EXC_MEMFAULT if isinstance(exc, MemoryFault) else EXC_INVALID
+            self._raise_exception(code, str(exc))
+            return self.state is CoreState.RUNNING
+
+        self.clock.tick(self.BASE_COST)
+        try:
+            self._execute(instruction)
+        except LockdownViolation as exc:
+            # Must precede MemoryFault: LockdownViolation subclasses it.
+            self._raise_exception(EXC_LOCKDOWN, str(exc))
+        except MemoryFault as exc:
+            self._raise_exception(EXC_MEMFAULT, str(exc),
+                                  fault_addr=exc.address)
+        except InvalidInstruction as exc:
+            self._raise_exception(EXC_INVALID, str(exc))
+        except ZeroDivisionError:
+            self._raise_exception(EXC_DIV0, "division by zero")
+        else:
+            self.instructions_retired += 1
+        return self.state is CoreState.RUNNING
+
+    def run(self, max_steps: int = 100_000) -> int:
+        """Run until halt/fault/pause or ``max_steps``; returns steps taken.
+
+        A core parked in WFI gets one wake-up chance per call: if its timer
+        has expired, :meth:`step` resumes it; otherwise the call returns
+        immediately (the core really is asleep).
+        """
+        steps = 0
+        while steps < max_steps:
+            if self.state not in (CoreState.RUNNING, CoreState.WFI):
+                break
+            was_wfi = self.state is CoreState.WFI
+            self.step()
+            steps += 1
+            if was_wfi and self.state is CoreState.WFI:
+                break  # still asleep; nothing will change without time
+        return steps
+
+    def _reg(self, index: int) -> int:
+        return self.registers[index]
+
+    def _set_reg(self, index: int, value: int) -> None:
+        if index != 0:  # r0 is hardwired to zero
+            self.registers[index] = value & _WORD_MASK
+
+    def _branch(self, taken: bool, target: int) -> None:
+        predicted_taken = self.caches.branch_predictor.predict(self.pc)
+        penalty = self.caches.branch_predictor.update(self.pc, taken)
+        if penalty:
+            # Mispredict: the core ran down the wrong path before the
+            # squash.  With speculation modelled, that transient work
+            # leaves microarchitectural footprints (Spectre [31]).
+            if self.speculation is not None:
+                wrong_path = target if predicted_taken else self.pc + 1
+                self._shadow_execute(wrong_path)
+            self.clock.tick(penalty)
+        if taken:
+            self.pc = target
+        else:
+            self.pc += 1
+
+    def _shadow_execute(self, start_pc: int) -> None:
+        """Run the squashed wrong path: loads touch caches, nothing else
+        survives.  Faults abort the window silently (squashed work never
+        raises), except that ``faulting_loads_forward`` lets EPT-faulting
+        loads forward stale data — the Foreshadow flaw."""
+        config = self.speculation
+        shadow_regs = list(self.registers)
+        pc = start_pc
+        for _ in range(config.window):
+            try:
+                paddr = self._shadow_translate(pc, execute=True)
+                bank, local = self.memory_map.resolve(paddr)
+                self.bus.assert_reachable(self.name, bank.name)
+                instruction = decode(bank.read(local))
+            except Exception:
+                return
+            self.shadow_instructions += 1
+            op = instruction.op
+            rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+            imm = instruction.imm
+
+            def sreg(index: int) -> int:
+                return shadow_regs[index]
+
+            def set_sreg(index: int, value: int) -> None:
+                if index != 0:
+                    shadow_regs[index] = value & _WORD_MASK
+
+            try:
+                if op is Op.LOAD:
+                    value = self._shadow_load(sreg(rs1) + imm)
+                    if value is None:
+                        return
+                    set_sreg(rd, value)
+                elif op is Op.MOVI:
+                    set_sreg(rd, imm)
+                elif op is Op.MOV:
+                    set_sreg(rd, sreg(rs1))
+                elif op is Op.ADD:
+                    set_sreg(rd, sreg(rs1) + sreg(rs2))
+                elif op is Op.SUB:
+                    set_sreg(rd, sreg(rs1) - sreg(rs2))
+                elif op is Op.MUL:
+                    set_sreg(rd, sreg(rs1) * sreg(rs2))
+                elif op is Op.AND:
+                    set_sreg(rd, sreg(rs1) & sreg(rs2))
+                elif op is Op.OR:
+                    set_sreg(rd, sreg(rs1) | sreg(rs2))
+                elif op is Op.XOR:
+                    set_sreg(rd, sreg(rs1) ^ sreg(rs2))
+                elif op is Op.SHL:
+                    set_sreg(rd, sreg(rs1) << (sreg(rs2) & 63))
+                elif op is Op.SHR:
+                    set_sreg(rd, sreg(rs1) >> (sreg(rs2) & 63))
+                elif op is Op.ADDI:
+                    set_sreg(rd, sreg(rs1) + imm)
+                elif op in (Op.NOP, Op.FENCE, Op.STORE):
+                    pass  # stores are suppressed in the shadow
+                else:
+                    return  # branches/system ops end the window
+            except Exception:
+                return
+            pc += 1
+
+    def _shadow_translate(self, vaddr: int, *, write: bool = False,
+                          execute: bool = False) -> int:
+        """Translation for shadow accesses: no TLB churn, no walk charges.
+
+        With ``faulting_loads_forward``, a second-level (EPT) fault is
+        swallowed and the guest-physical address forwarded as-is — the
+        L1TF/Foreshadow behaviour.  First-level faults always abort.
+        """
+        paddr = self.mmu.translate(vaddr, write=write, execute=execute)
+        if self.second_level is not None:
+            try:
+                paddr = self.second_level(paddr, write)
+            except MemoryFault:
+                if not (self.speculation and
+                        self.speculation.faulting_loads_forward):
+                    raise
+                self.shadow_loads_forwarded += 1
+        return paddr
+
+    def _shadow_load(self, vaddr: int) -> int | None:
+        """A squashed load: real cache footprint, shadow-only value.
+
+        Order matters for the whole Guillotine argument: the *bus* is
+        checked before the cache is touched, because a cache line fills
+        over a wire — an address with no bus path leaves no footprint,
+        transiently or otherwise.
+        """
+        try:
+            paddr = self._shadow_translate(vaddr)
+            bank, local = self.memory_map.resolve(paddr)
+            self.bus.assert_reachable(self.name, bank.name)
+            # The cache touch IS the Spectre side effect.
+            self._hierarchy_latency(self.caches.dcache_levels, paddr)
+            return bank.read(local)
+        except Exception:
+            return None
+
+    def _execute(self, ins: Instruction) -> None:
+        op = ins.op
+        if op is Op.NOP or op is Op.FENCE:
+            self.pc += 1
+        elif op is Op.HALT:
+            self.state = CoreState.HALTED
+            self.pc += 1
+        elif op is Op.MOVI:
+            self._set_reg(ins.rd, ins.imm)
+            self.pc += 1
+        elif op is Op.MOV:
+            self._set_reg(ins.rd, self._reg(ins.rs1))
+            self.pc += 1
+        elif op is Op.ADD:
+            self._set_reg(ins.rd, self._reg(ins.rs1) + self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.SUB:
+            self._set_reg(ins.rd, self._reg(ins.rs1) - self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.MUL:
+            self._set_reg(ins.rd, self._reg(ins.rs1) * self._reg(ins.rs2))
+            self.clock.tick(2)  # multipliers are slower
+            self.pc += 1
+        elif op is Op.DIV:
+            divisor = self._reg(ins.rs2)
+            if divisor == 0:
+                raise ZeroDivisionError
+            self._set_reg(ins.rd, self._reg(ins.rs1) // divisor)
+            self.clock.tick(10)
+            self.pc += 1
+        elif op is Op.AND:
+            self._set_reg(ins.rd, self._reg(ins.rs1) & self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.OR:
+            self._set_reg(ins.rd, self._reg(ins.rs1) | self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.XOR:
+            self._set_reg(ins.rd, self._reg(ins.rs1) ^ self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.SHL:
+            self._set_reg(ins.rd, self._reg(ins.rs1) << (self._reg(ins.rs2) & 63))
+            self.pc += 1
+        elif op is Op.SHR:
+            self._set_reg(ins.rd, self._reg(ins.rs1) >> (self._reg(ins.rs2) & 63))
+            self.pc += 1
+        elif op is Op.ADDI:
+            self._set_reg(ins.rd, self._reg(ins.rs1) + ins.imm)
+            self.pc += 1
+        elif op is Op.LOAD:
+            self._set_reg(ins.rd, self.read_word(self._reg(ins.rs1) + ins.imm))
+            self.pc += 1
+        elif op is Op.STORE:
+            self.write_word(self._reg(ins.rs1) + ins.imm, self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.JMP:
+            self.pc = ins.imm
+        elif op is Op.JAL:
+            self._set_reg(ins.rd, self.pc + 1)
+            self.pc = ins.imm
+        elif op is Op.JR:
+            self.pc = self._reg(ins.rs1)
+        elif op is Op.BEQ:
+            self._branch(self._reg(ins.rs1) == self._reg(ins.rs2), ins.imm)
+        elif op is Op.BNE:
+            self._branch(self._reg(ins.rs1) != self._reg(ins.rs2), ins.imm)
+        elif op is Op.BLT:
+            self._branch(self._reg(ins.rs1) < self._reg(ins.rs2), ins.imm)
+        elif op is Op.BGE:
+            self._branch(self._reg(ins.rs1) >= self._reg(ins.rs2), ins.imm)
+        elif op is Op.RDCYCLE:
+            self._set_reg(ins.rd, self.clock.now)
+            self.pc += 1
+        elif op is Op.DOORBELL:
+            self.clock.tick(self.DOORBELL_COST)
+            if self.doorbell_handler is None:
+                raise InvalidInstruction(
+                    f"core {self.name} has no doorbell wiring"
+                )
+            self.doorbell_handler(self.name, self._reg(ins.rs1))
+            self.pc += 1
+        elif op is Op.WFI:
+            self.state = CoreState.WFI
+            self.pc += 1
+        elif op in (Op.IORD, Op.IOWR):
+            # Port-mapped IO: only exists on traditional (baseline) cores,
+            # where it traps to the hypervisor.  Guillotine model cores have
+            # no device instructions at all.
+            if self.sensitive_trap is None:
+                raise InvalidInstruction(
+                    f"{op.name} is not implemented by this core's ISA"
+                )
+            result = self.sensitive_trap(self, op, ins.imm, self._reg(ins.rs1))
+            if op is Op.IORD:
+                self._set_reg(ins.rd, result)
+            self.pc += 1
+        elif op is Op.MAP:
+            entry = PageTableEntry.from_bits(self._reg(ins.rs2), ins.imm)
+            self.mmu.map(self._reg(ins.rs1), entry)
+            self.caches.tlb.invalidate(self._reg(ins.rs1))
+            self.pc += 1
+        elif op is Op.UNMAP:
+            self.mmu.unmap(self._reg(ins.rs1))
+            self.caches.tlb.invalidate(self._reg(ins.rs1))
+            self.pc += 1
+        elif op is Op.IRET:
+            if not self._in_handler:
+                raise InvalidInstruction("IRET outside handler")
+            self._in_handler = False
+            # Resume wherever the handler left r13 — rewriting it is how a
+            # model-internal OS context-switches between its tasks.
+            self.pc = self._reg(EXC_RESUME_REGISTER)
+        elif op is Op.SETTIMER:
+            self._timer_deadline = self.clock.now + self._reg(ins.rs1)
+            self.pc += 1
+        else:  # pragma: no cover - decode() guarantees known ops
+            raise InvalidInstruction(f"unimplemented op {op.name}")
+
+    # ------------------------------------------------------------------
+    # Interrupt delivery (IO completion from hypervisor cores, timers)
+    # ------------------------------------------------------------------
+
+    def wake(self) -> None:
+        """Deliver an interrupt-style wake-up: WFI -> RUNNING."""
+        self._require_power()
+        if self.state is CoreState.WFI:
+            self.state = CoreState.RUNNING

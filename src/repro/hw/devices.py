@@ -1,0 +1,345 @@
+"""Simulated IO devices: NIC, storage, GPU accelerator, physical actuator.
+
+The paper's threat model (section 3.1) says a model "may send outputs to
+networks, storage devices, computational accelerators (e.g., GPUs), or
+physical actuators (e.g., when models control industrial equipment)".  These
+four device classes are therefore the complete port surface of the
+reproduction.
+
+Devices expose one uniform interface, :meth:`Device.submit`, taking a request
+dict and returning ``(response_dict, latency_cycles)``.  In the Guillotine
+machine only hypervisor cores are wired to devices, and every request passes
+through the port API where it is logged and policy-checked.  In the baseline
+machine devices may be direct-assigned to the guest (the SR-IOV configuration
+the paper explicitly bans), which experiment E8 uses to price Guillotine's
+mandatory mediation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.errors import HardwareError
+
+
+class DeviceError(HardwareError):
+    """A device rejected a request (bad op, bad argument, offline link)."""
+
+
+class Device:
+    """Base class: named, typed, with an operation counter."""
+
+    device_type = "generic"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.requests_served = 0
+
+    def submit(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        """Process one request; returns ``(response, latency_cycles)``."""
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise DeviceError(f"{self.name}: unknown op {op!r}")
+        self.requests_served += 1
+        return handler(request)
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "type": self.device_type}
+
+
+class NicDevice(Device):
+    """A network interface with TX/RX queues.
+
+    A :class:`~repro.net.network.Network` attaches itself via
+    :meth:`attach_network`; frames sent when no network is attached (or after
+    the kill switch severed the cable) bounce with ``link: down``.
+    """
+
+    device_type = "nic"
+
+    def __init__(self, name: str, host_id: str) -> None:
+        super().__init__(name)
+        self.host_id = host_id
+        self._rx: deque[dict[str, Any]] = deque()
+        self._network = None
+        self._parked_network = None
+        self.link_up = False
+        self.tx_frames = 0
+        self.rx_frames = 0
+
+    def attach_network(self, network) -> None:
+        self._network = network
+        self._parked_network = None
+        self.link_up = True
+
+    def detach_network(self) -> None:
+        """Electromechanical cable disconnection (offline isolation).
+
+        The fabric still exists on the other side of the open relay; the
+        NIC remembers it so a reversible reconnection can close the link
+        without the kill switch needing a network reference.  Repeated
+        disconnections (offline, then decapitation cutting the same cable)
+        must not forget the fabric."""
+        if self._network is not None:
+            self._parked_network = self._network
+        self._network = None
+        self.link_up = False
+
+    def reattach_network(self) -> bool:
+        """Close the relay: reconnect to the remembered fabric, if any."""
+        if self._network is not None:
+            return True
+        if self._parked_network is None:
+            return False
+        self._parked_network.attach(self)
+        return True
+
+    def receive_frame(self, frame: dict[str, Any]) -> None:
+        """Called by the network when a frame arrives for this host."""
+        self._rx.append(frame)
+        self.rx_frames += 1
+
+    def _op_send(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        if not self.link_up or self._network is None:
+            return {"ok": False, "error": "link down"}, 2
+        payload = request.get("payload", b"")
+        destination = request.get("dst")
+        if destination is None:
+            raise DeviceError(f"{self.name}: send without dst")
+        self._network.transmit(self.host_id, destination, payload)
+        self.tx_frames += 1
+        latency = 10 + _payload_size(payload) // 8
+        return {"ok": True, "sent": _payload_size(payload)}, latency
+
+    def _op_recv(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        if self._rx:
+            frame = self._rx.popleft()
+            return {"ok": True, "frame": frame}, 8
+        return {"ok": True, "frame": None}, 2
+
+    def _op_status(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        return {
+            "ok": True,
+            "link_up": self.link_up,
+            "rx_pending": len(self._rx),
+            "tx_frames": self.tx_frames,
+            "rx_frames": self.rx_frames,
+        }, 1
+
+
+class StorageDevice(Device):
+    """Block storage: fixed-size blocks of bytes."""
+
+    device_type = "storage"
+
+    def __init__(self, name: str, num_blocks: int = 1024,
+                 block_size: int = 512) -> None:
+        super().__init__(name)
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self._blocks: dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def _check_block(self, block: Any) -> int:
+        if not isinstance(block, int) or not 0 <= block < self.num_blocks:
+            raise DeviceError(f"{self.name}: bad block {block!r}")
+        return block
+
+    def _op_read(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        """Read a block, optionally a sub-range (``offset``, ``length``).
+
+        Sub-range reads exist because port mailboxes bound response sizes,
+        the way DMA descriptors bound segment sizes on real hardware.
+        """
+        block = self._check_block(request.get("block"))
+        offset = int(request.get("offset", 0))
+        length = int(request.get("length", self.block_size))
+        if not 0 <= offset <= self.block_size or length < 0:
+            raise DeviceError(f"{self.name}: bad read range")
+        self.reads += 1
+        data = self._blocks.get(block, bytes(self.block_size))
+        return {"ok": True, "data": data[offset : offset + length]}, 50
+
+    def _op_write(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        block = self._check_block(request.get("block"))
+        data = request.get("data", b"")
+        if not isinstance(data, (bytes, bytearray)):
+            raise DeviceError(f"{self.name}: data must be bytes")
+        if len(data) > self.block_size:
+            raise DeviceError(f"{self.name}: write exceeds block size")
+        self.writes += 1
+        self._blocks[block] = bytes(data).ljust(self.block_size, b"\x00")
+        return {"ok": True}, 80
+
+    def _op_trim(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        block = self._check_block(request.get("block"))
+        self._blocks.pop(block, None)
+        return {"ok": True}, 20
+
+    def used_blocks(self) -> int:
+        return len(self._blocks)
+
+
+class GpuAccelerator(Device):
+    """A computational accelerator with on-device memory.
+
+    Supports dense matmul (the bulk of inference work per section 2) and a
+    key/value cache region, which the model-service substrate uses the way
+    LLM serving systems use GPU DRAM for attention caches.
+    """
+
+    device_type = "gpu"
+
+    def __init__(self, name: str, dram_mb: int = 64) -> None:
+        super().__init__(name)
+        self.dram_bytes = dram_mb * 1024 * 1024
+        self._allocated = 0
+        self._buffers: dict[str, np.ndarray] = {}
+        self._kv_cache: dict[str, list[np.ndarray]] = {}
+        self.flops_executed = 0
+
+    def _op_upload(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        key = request["key"]
+        raw = request["data"]
+        if isinstance(raw, (bytes, bytearray)):
+            # Port-sized transfers ship activations as fp16 bytes.
+            array = np.frombuffer(bytes(raw), dtype=np.float16).astype(
+                np.float64
+            )
+        else:
+            array = np.asarray(raw, dtype=np.float64)
+        needed = array.nbytes
+        existing = self._buffers.get(key)
+        freed = existing.nbytes if existing is not None else 0
+        if self._allocated - freed + needed > self.dram_bytes:
+            return {"ok": False, "error": "gpu out of memory"}, 5
+        self._allocated += needed - freed
+        self._buffers[key] = array
+        return {"ok": True, "bytes": needed}, 20 + needed // 256
+
+    def _op_free(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        key = request["key"]
+        buffer = self._buffers.pop(key, None)
+        if buffer is not None:
+            self._allocated -= buffer.nbytes
+        return {"ok": True}, 5
+
+    def _op_matmul(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        a = self._buffers.get(request["a"])
+        b = self._buffers.get(request["b"])
+        if a is None or b is None:
+            return {"ok": False, "error": "missing operand buffer"}, 5
+        if a.shape[-1] != b.shape[0]:
+            return {"ok": False, "error": "shape mismatch"}, 5
+        result = a @ b
+        out_key = request.get("out", "out")
+        self._buffers[out_key] = result
+        flops = 2 * int(np.prod(a.shape)) * b.shape[-1]
+        self.flops_executed += flops
+        return {"ok": True, "out": out_key, "shape": result.shape}, 30 + flops // 1024
+
+    def _op_download(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        buffer = self._buffers.get(request["key"])
+        if buffer is None:
+            return {"ok": False, "error": "no such buffer"}, 5
+        if request.get("encoding") == "fp16":
+            data = buffer.astype(np.float16).tobytes()
+            return {"ok": True, "data": data, "encoding": "fp16"}, \
+                20 + len(data) // 256
+        return {"ok": True, "data": buffer.copy()}, 20 + buffer.nbytes // 256
+
+    def buffer_view(self, key: str) -> np.ndarray | None:
+        """Hypervisor-side direct view of an on-device buffer (hypervisor
+        cores are wired to the GPU; models are not)."""
+        return self._buffers.get(key)
+
+    def overwrite_buffer(self, key: str, array: np.ndarray) -> None:
+        """Hypervisor-side in-place replacement of an on-device buffer."""
+        if key not in self._buffers:
+            raise DeviceError(f"{self.name}: no buffer {key!r}")
+        self._buffers[key] = np.asarray(array, dtype=np.float64)
+
+    def _op_kv_append(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        session = request["session"]
+        raw = request["vector"]
+        if isinstance(raw, (bytes, bytearray)):
+            # Serving stacks ship KV entries quantised; fp16 over the wire.
+            vector = np.frombuffer(bytes(raw), dtype=np.float16).astype(np.float64)
+        else:
+            vector = np.asarray(raw, dtype=np.float64)
+        self._kv_cache.setdefault(session, []).append(vector)
+        return {"ok": True, "length": len(self._kv_cache[session])}, 10
+
+    def _op_kv_read(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        session = request["session"]
+        entries = self._kv_cache.get(session, [])
+        return {"ok": True, "entries": [e.copy() for e in entries]}, 10 + len(entries)
+
+    def _op_kv_evict(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        self._kv_cache.pop(request["session"], None)
+        return {"ok": True}, 5
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+
+class ActuatorDevice(Device):
+    """A physical actuator bank (industrial-equipment stand-in).
+
+    Every actuation is recorded; the output-sanitisation detector and the
+    containment experiments treat unauthorised actuations as the harm event.
+    """
+
+    device_type = "actuator"
+
+    def __init__(self, name: str, channels: int = 8,
+                 safe_limit: float = 100.0) -> None:
+        super().__init__(name)
+        self.channels = channels
+        self.outputs = [0.0] * channels
+        self.actuation_history: list[tuple[int, float]] = []
+        self.enabled = True
+        #: Hardware safety interlock: commands beyond ±safe_limit are
+        #: refused while the interlock is engaged.  Disengaging it is a
+        #: privileged configuration op (console-only under Guillotine).
+        self.safe_limit = safe_limit
+        self.interlock_engaged = True
+
+    def _op_actuate(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        if not self.enabled:
+            return {"ok": False, "error": "actuator disabled"}, 2
+        channel = request.get("channel")
+        value = float(request.get("value", 0.0))
+        if not isinstance(channel, int) or not 0 <= channel < self.channels:
+            raise DeviceError(f"{self.name}: bad channel {channel!r}")
+        if self.interlock_engaged and abs(value) > self.safe_limit:
+            return {"ok": False, "error": "interlock: value out of range"}, 5
+        self.outputs[channel] = value
+        self.actuation_history.append((channel, value))
+        return {"ok": True}, 15
+
+    def _op_set_interlock(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        self.interlock_engaged = bool(request.get("engaged", True))
+        return {"ok": True, "engaged": self.interlock_engaged}, 5
+
+    def _op_read_state(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
+        return {"ok": True, "outputs": list(self.outputs)}, 5
+
+    def disable(self) -> None:
+        """Hard-disable (used by severed/offline isolation levels)."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+
+def _payload_size(payload: Any) -> int:
+    if isinstance(payload, (bytes, bytearray, str)):
+        return len(payload)
+    return len(repr(payload))

@@ -1,0 +1,359 @@
+"""GISA — the small RISC instruction set executed by simulated cores.
+
+The paper's model cores run "any instruction provided by the model core ISA"
+(section 3.3) but, crucially, the ISA of a Guillotine model core *has no
+instructions for touching devices or hypervisor state*: the only way out is
+writing to shared IO DRAM and ringing a doorbell.  GISA encodes that
+distinction directly:
+
+* ``DOORBELL`` is the single outward-facing instruction a model core has.
+* ``IORD``/``IOWR`` (port-mapped IO) exist in the ISA *only* so the
+  traditional-baseline machine can demonstrate trap-and-emulate; a Guillotine
+  model core treats them as invalid instructions.
+* ``MAP``/``UNMAP`` update the core's page tables and are where the MMU
+  executable-region lockdown bites.
+* ``RDCYCLE`` exposes the cycle counter — deliberately, because timing side
+  channels are an experiment subject (E2), not something we hide by fiat.
+
+Instructions encode to 64-bit words so that *injected* code (a model writing
+instruction words to memory with ``STORE`` and jumping to them) goes through
+exactly the same decode path as assembled code.  That is what experiment E3
+attacks.
+
+Encoding layout (64-bit word)::
+
+    bits 63..56  opcode
+    bits 55..52  rd
+    bits 51..48  rs1
+    bits 47..44  rs2
+    bits 43..32  reserved (zero)
+    bits 31..0   imm (two's-complement 32-bit)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum, unique
+
+
+NUM_REGISTERS = 16
+WORD_MASK = (1 << 64) - 1
+_IMM_MASK = (1 << 32) - 1
+
+
+@unique
+class Op(IntEnum):
+    """GISA opcodes."""
+
+    NOP = 0x00
+    HALT = 0x01
+    # -- ALU -----------------------------------------------------------
+    MOVI = 0x10   # rd <- imm
+    MOV = 0x11    # rd <- rs1
+    ADD = 0x12    # rd <- rs1 + rs2
+    SUB = 0x13
+    MUL = 0x14
+    AND = 0x15
+    OR = 0x16
+    XOR = 0x17
+    SHL = 0x18
+    SHR = 0x19
+    ADDI = 0x1A   # rd <- rs1 + imm
+    DIV = 0x1B    # rd <- rs1 // rs2 (rs2 == 0 raises #DE)
+    # -- memory ----------------------------------------------------------
+    LOAD = 0x20   # rd <- mem[rs1 + imm]
+    STORE = 0x21  # mem[rs1 + imm] <- rs2
+    # -- control flow ------------------------------------------------------
+    JMP = 0x30    # pc <- imm
+    JAL = 0x31    # rd <- pc + 1 ; pc <- imm
+    JR = 0x32     # pc <- rs1
+    BEQ = 0x33    # if rs1 == rs2: pc <- imm
+    BNE = 0x34
+    BLT = 0x35
+    BGE = 0x36
+    # -- system -------------------------------------------------------------
+    RDCYCLE = 0x40   # rd <- current cycle count
+    DOORBELL = 0x41  # raise an IO-request interrupt on a hypervisor core
+    WFI = 0x42       # wait for interrupt
+    FENCE = 0x43     # serialise (charged, otherwise a no-op in this model)
+    IORD = 0x44      # rd <- device port imm   (baseline only; traps/illegal)
+    IOWR = 0x45      # device port imm <- rs1  (baseline only; traps/illegal)
+    MAP = 0x46       # map vpn=rs1 -> ppn=rs2 with perms=imm (guest MMU update)
+    UNMAP = 0x47     # unmap vpn=rs1
+    IRET = 0x48      # return from local interrupt/exception handler
+    SETTIMER = 0x49  # arm the core-local timer to fire in rs1 cycles
+
+
+#: Permission bits used by MAP's imm field (mirrors memory.PageTableEntry).
+PERM_R = 0b100
+PERM_W = 0b010
+PERM_X = 0b001
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded GISA instruction.
+
+    ``imm`` holds immediates and resolved branch targets.  ``label`` only
+    exists pre-assembly; :func:`assemble` resolves it into ``imm``.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    label: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            value = getattr(self, name)
+            if not 0 <= value < NUM_REGISTERS:
+                raise ValueError(f"{name}={value} out of range")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.op.name.lower()} rd=r{self.rd} rs1=r{self.rs1} "
+            f"rs2=r{self.rs2} imm={self.imm}"
+        )
+
+
+def encode(instruction: Instruction) -> int:
+    """Pack an :class:`Instruction` into a 64-bit word."""
+    imm = instruction.imm & _IMM_MASK
+    word = (
+        (int(instruction.op) << 56)
+        | (instruction.rd << 52)
+        | (instruction.rs1 << 48)
+        | (instruction.rs2 << 44)
+        | imm
+    )
+    return word & WORD_MASK
+
+
+def decode(word: int) -> Instruction:
+    """Unpack a 64-bit word into an :class:`Instruction`.
+
+    Raises :class:`ValueError` for unknown opcodes; the core turns that into
+    an invalid-instruction exception.
+    """
+    opcode = (word >> 56) & 0xFF
+    try:
+        op = Op(opcode)
+    except ValueError as exc:
+        raise ValueError(f"unknown opcode 0x{opcode:02x}") from exc
+    imm = word & _IMM_MASK
+    if imm >= 1 << 31:  # sign-extend
+        imm -= 1 << 32
+    return Instruction(
+        op=op,
+        rd=(word >> 52) & 0xF,
+        rs1=(word >> 48) & 0xF,
+        rs2=(word >> 44) & 0xF,
+        imm=imm,
+    )
+
+
+class Program:
+    """An assembled program: encoded words plus the resolved symbol table."""
+
+    def __init__(self, words: list[int], symbols: dict[str, int]) -> None:
+        self.words = words
+        self.symbols = dict(symbols)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __iter__(self):
+        return iter(self.words)
+
+    def instruction_at(self, offset: int) -> Instruction:
+        """Decode the instruction at word offset ``offset`` (for debugging)."""
+        return decode(self.words[offset])
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed assembly input."""
+
+
+def assemble(
+    items: list[Instruction | str], base_address: int = 0
+) -> Program:
+    """Two-pass assembly of a list of instructions and ``str`` labels.
+
+    Labels are plain strings in the instruction stream::
+
+        assemble([
+            Instruction(Op.MOVI, rd=1, imm=0),
+            "loop",
+            Instruction(Op.ADDI, rd=1, rs1=1, imm=1),
+            Instruction(Op.BLT, rs1=1, rs2=2, label="loop"),
+            Instruction(Op.HALT),
+        ])
+
+    Branch/jump targets become *absolute virtual word addresses* assuming the
+    program is loaded at ``base_address``.
+    """
+    symbols: dict[str, int] = {}
+    flat: list[Instruction] = []
+    for item in items:
+        if isinstance(item, str):
+            if item in symbols:
+                raise AssemblyError(f"duplicate label {item!r}")
+            symbols[item] = base_address + len(flat)
+        elif isinstance(item, Instruction):
+            flat.append(item)
+        else:
+            raise AssemblyError(f"unexpected item in program: {item!r}")
+
+    words: list[int] = []
+    for instruction in flat:
+        if instruction.label is not None:
+            if instruction.label not in symbols:
+                raise AssemblyError(f"undefined label {instruction.label!r}")
+            instruction = Instruction(
+                op=instruction.op,
+                rd=instruction.rd,
+                rs1=instruction.rs1,
+                rs2=instruction.rs2,
+                imm=symbols[instruction.label],
+            )
+        words.append(encode(instruction))
+    return Program(words, symbols)
+
+
+# -- convenience constructors ------------------------------------------------
+#
+# Writing Instruction(Op.ADDI, rd=1, rs1=2, imm=3) everywhere is noisy; the
+# adversarial kernels in repro.model.programs use these short forms instead.
+
+def nop() -> Instruction:
+    return Instruction(Op.NOP)
+
+
+def halt() -> Instruction:
+    return Instruction(Op.HALT)
+
+
+def movi(rd: int, imm: int) -> Instruction:
+    return Instruction(Op.MOVI, rd=rd, imm=imm)
+
+
+def mov(rd: int, rs1: int) -> Instruction:
+    return Instruction(Op.MOV, rd=rd, rs1=rs1)
+
+
+def add(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Op.ADD, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def sub(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Op.SUB, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def mul(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Op.MUL, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def div(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Op.DIV, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def and_(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Op.AND, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def or_(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Op.OR, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def xor(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Op.XOR, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def shl(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Op.SHL, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def shr(rd: int, rs1: int, rs2: int) -> Instruction:
+    return Instruction(Op.SHR, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def addi(rd: int, rs1: int, imm: int) -> Instruction:
+    return Instruction(Op.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+
+def load(rd: int, rs1: int, imm: int = 0) -> Instruction:
+    return Instruction(Op.LOAD, rd=rd, rs1=rs1, imm=imm)
+
+
+def store(rs2: int, rs1: int, imm: int = 0) -> Instruction:
+    return Instruction(Op.STORE, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def jmp(label: str) -> Instruction:
+    return Instruction(Op.JMP, label=label)
+
+
+def jal(rd: int, label: str) -> Instruction:
+    return Instruction(Op.JAL, rd=rd, label=label)
+
+
+def jr(rs1: int) -> Instruction:
+    return Instruction(Op.JR, rs1=rs1)
+
+
+def beq(rs1: int, rs2: int, label: str) -> Instruction:
+    return Instruction(Op.BEQ, rs1=rs1, rs2=rs2, label=label)
+
+
+def bne(rs1: int, rs2: int, label: str) -> Instruction:
+    return Instruction(Op.BNE, rs1=rs1, rs2=rs2, label=label)
+
+
+def blt(rs1: int, rs2: int, label: str) -> Instruction:
+    return Instruction(Op.BLT, rs1=rs1, rs2=rs2, label=label)
+
+
+def bge(rs1: int, rs2: int, label: str) -> Instruction:
+    return Instruction(Op.BGE, rs1=rs1, rs2=rs2, label=label)
+
+
+def rdcycle(rd: int) -> Instruction:
+    return Instruction(Op.RDCYCLE, rd=rd)
+
+
+def doorbell(rs1: int = 0) -> Instruction:
+    return Instruction(Op.DOORBELL, rs1=rs1)
+
+
+def wfi() -> Instruction:
+    return Instruction(Op.WFI)
+
+
+def fence() -> Instruction:
+    return Instruction(Op.FENCE)
+
+
+def iord(rd: int, port: int) -> Instruction:
+    return Instruction(Op.IORD, rd=rd, imm=port)
+
+
+def iowr(rs1: int, port: int) -> Instruction:
+    return Instruction(Op.IOWR, rs1=rs1, imm=port)
+
+
+def map_page(rs1_vpn: int, rs2_ppn: int, perms: int) -> Instruction:
+    return Instruction(Op.MAP, rs1=rs1_vpn, rs2=rs2_ppn, imm=perms)
+
+
+def unmap_page(rs1_vpn: int) -> Instruction:
+    return Instruction(Op.UNMAP, rs1=rs1_vpn)
+
+
+def iret() -> Instruction:
+    return Instruction(Op.IRET)
+
+
+def settimer(rs1: int) -> Instruction:
+    return Instruction(Op.SETTIMER, rs1=rs1)

@@ -1,0 +1,113 @@
+"""LAPIC with inbound-request throttling.
+
+Section 3.2: "To stop a model core from live-locking a hypervisor core with
+a flood of spurious interrupts, the LAPIC chip of a hypervisor core throttles
+incoming requests, akin to the interrupt filter for an iPhone secure enclave
+processor."
+
+The throttle is a sliding-window rate limiter: at most ``max_per_window``
+interrupts are accepted per ``window`` cycles *per source*; excess doorbells
+are coalesced (the source's pending flag stays set, so no request is lost —
+it just stops consuming hypervisor-core cycles).  Experiment E4 measures the
+hypervisor core's useful-work fraction with and without this filter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.clock import VirtualClock
+
+
+@dataclass(frozen=True)
+class Interrupt:
+    """A delivered interrupt: who rang, which vector, optional payload."""
+
+    source: str
+    vector: int
+    payload: int = 0
+    time: int = 0
+
+
+class Lapic:
+    """Interrupt controller for one core.
+
+    ``throttle_window`` / ``throttle_max`` implement the Guillotine filter;
+    setting ``throttle_max`` to ``None`` disables throttling (the baseline
+    configuration used to demonstrate livelock in E4).
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        clock: VirtualClock,
+        throttle_window: int = 1000,
+        throttle_max: int | None = 8,
+    ) -> None:
+        self.owner = owner
+        self._clock = clock
+        self.throttle_window = throttle_window
+        self.throttle_max = throttle_max
+        self._pending: deque[Interrupt] = deque()
+        # Per-source timestamps of recently *accepted* interrupts.
+        self._recent: dict[str, deque[int]] = {}
+        # Per-source coalesced flag: a throttled doorbell sets this so the
+        # request is eventually serviced rather than silently dropped.
+        self._coalesced: dict[str, Interrupt] = {}
+        self.accepted = 0
+        self.throttled = 0
+
+    def deliver(self, source: str, vector: int, payload: int = 0) -> bool:
+        """Deliver an interrupt; returns ``True`` if accepted immediately,
+        ``False`` if coalesced by the throttle."""
+        now = self._clock.now
+        interrupt = Interrupt(source=source, vector=vector,
+                              payload=payload, time=now)
+        if self._throttle_allows(source, now):
+            self._recent.setdefault(source, deque()).append(now)
+            self._pending.append(interrupt)
+            self.accepted += 1
+            return True
+        self._coalesced[source] = interrupt
+        self.throttled += 1
+        return False
+
+    def _throttle_allows(self, source: str, now: int) -> bool:
+        if self.throttle_max is None:
+            return True
+        recent = self._recent.setdefault(source, deque())
+        while recent and recent[0] <= now - self.throttle_window:
+            recent.popleft()
+        return len(recent) < self.throttle_max
+
+    def pop(self) -> Interrupt | None:
+        """Take the next pending interrupt, if any.
+
+        When the direct queue is empty, coalesced requests are re-examined:
+        if the throttle window has room again, the stored request is
+        released (one per source).
+        """
+        if self._pending:
+            return self._pending.popleft()
+        now = self._clock.now
+        for source in list(self._coalesced):
+            if self._throttle_allows(source, now):
+                interrupt = self._coalesced.pop(source)
+                self._recent.setdefault(source, deque()).append(now)
+                self.accepted += 1
+                return interrupt
+        return None
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending) or bool(self._coalesced)
+
+    def pending_count(self) -> int:
+        return len(self._pending) + len(self._coalesced)
+
+    def reset(self) -> None:
+        """Drop all state (used when a core reboots into offline mode)."""
+        self._pending.clear()
+        self._recent.clear()
+        self._coalesced.clear()

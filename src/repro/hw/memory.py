@@ -1,0 +1,350 @@
+"""DRAM, page tables, and the MMU with executable-region lockdown.
+
+Two properties from section 3.2 of the paper live here:
+
+1. **Physical separation.**  A :class:`Dram` bank belongs to a bus domain;
+   cores can only reach banks their bus matrix connects them to (enforced in
+   :mod:`repro.hw.bus`).  There is no "hypervisor bit" to flip — the model
+   simply has no wire to hypervisor DRAM, which is why Guillotine model cores
+   need no EPT.
+
+2. **Executable-region lockdown.**  The paper: *"the MMU just tracks
+   base+bound information for valid executable regions, and disallows PTE
+   configurations that would enable read access to those regions or create
+   new executable pages outside of those regions."*  :meth:`Mmu.lockdown`
+   implements exactly that; afterwards the set of executable pages can never
+   grow, executable pages can never become writable or readable, and their
+   backing frames are frozen.  This is the mechanism that blocks runtime code
+   injection and hence recursive self-improvement (experiment E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LockdownViolation, MemoryFault
+
+#: Words per page.  Deliberately small so tests touch many pages cheaply.
+PAGE_SIZE = 64
+
+
+class Dram:
+    """A word-addressed DRAM bank.
+
+    Addresses used throughout the simulator are *physical word addresses*
+    within a bank.  Banks are named so the bus matrix and audit log can refer
+    to them ("model_dram", "hv_dram", "io_dram").
+    """
+
+    def __init__(self, name: str, size_words: int) -> None:
+        if size_words <= 0 or size_words % PAGE_SIZE != 0:
+            raise ValueError("DRAM size must be a positive multiple of PAGE_SIZE")
+        self.name = name
+        self.size = size_words
+        self._words = [0] * size_words
+        #: Write generation counter; attestation uses it to detect mutation.
+        self.write_count = 0
+
+    @property
+    def num_frames(self) -> int:
+        return self.size // PAGE_SIZE
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < self.size:
+            raise MemoryFault(
+                f"physical read outside {self.name} (addr={address})", address
+            )
+        return self._words[address]
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < self.size:
+            raise MemoryFault(
+                f"physical write outside {self.name} (addr={address})", address
+            )
+        self._words[address] = value & ((1 << 64) - 1)
+        self.write_count += 1
+
+    def load_words(self, address: int, words: list[int]) -> None:
+        """Bulk-load ``words`` starting at ``address`` (program loading)."""
+        if address < 0 or address + len(words) > self.size:
+            raise MemoryFault(f"bulk load outside {self.name}", address)
+        for offset, word in enumerate(words):
+            self._words[address + offset] = word & ((1 << 64) - 1)
+        self.write_count += 1
+
+    def snapshot(self, start: int = 0, length: int | None = None) -> list[int]:
+        """Copy a region out (used by the inspection bus and attestation)."""
+        if length is None:
+            length = self.size - start
+        if start < 0 or start + length > self.size:
+            raise MemoryFault(f"snapshot outside {self.name}", start)
+        return self._words[start : start + length]
+
+
+@dataclass(frozen=True)
+class PageTableEntry:
+    """Mapping of one virtual page to one physical frame with permissions."""
+
+    ppn: int
+    readable: bool = True
+    writable: bool = True
+    executable: bool = False
+
+    @property
+    def perm_bits(self) -> int:
+        return (
+            (0b100 if self.readable else 0)
+            | (0b010 if self.writable else 0)
+            | (0b001 if self.executable else 0)
+        )
+
+    @staticmethod
+    def from_bits(ppn: int, bits: int) -> "PageTableEntry":
+        return PageTableEntry(
+            ppn=ppn,
+            readable=bool(bits & 0b100),
+            writable=bool(bits & 0b010),
+            executable=bool(bits & 0b001),
+        )
+
+
+@dataclass(frozen=True)
+class ExecRegion:
+    """Base+bound description of the locked executable region (in vpns)."""
+
+    base_vpn: int
+    bound_vpn: int  # inclusive
+
+    def contains(self, vpn: int) -> bool:
+        return self.base_vpn <= vpn <= self.bound_vpn
+
+
+class Mmu:
+    """Per-core MMU: a single-level page table plus lockdown state.
+
+    A real Guillotine MMU would use multi-level tables; one level keeps the
+    walk-cost model simple (a fixed number of memory touches per miss) while
+    preserving every property the paper cares about.
+    """
+
+    #: DRAM touches charged for a page-table walk on TLB miss.
+    WALK_COST = 2
+
+    def __init__(self, name: str = "mmu") -> None:
+        self.name = name
+        self._table: dict[int, PageTableEntry] = {}
+        self._exec_region: ExecRegion | None = None
+        #: Executable-page contents hash-frozen at lockdown (vpn -> ppn).
+        self._locked_exec: dict[int, int] = {}
+        #: Weight-containing pages frozen by :meth:`protect_weights`
+        #: (vpn -> ppn).  Section 4: Guillotine prevents model cores from
+        #: "reading, modifying, and creating executable pages or
+        #: weight-containing pages" — the anti-weight-theft sibling of the
+        #: executable lockdown.
+        self._weight_region: ExecRegion | None = None
+        self._locked_weights: dict[int, int] = {}
+
+    # -- mapping -------------------------------------------------------------
+
+    def map(self, vpn: int, entry: PageTableEntry) -> None:
+        """Install or replace a PTE, subject to lockdown rules."""
+        if vpn < 0 or entry.ppn < 0:
+            raise MemoryFault(f"negative page number (vpn={vpn}, ppn={entry.ppn})")
+        self._check_lockdown(vpn, entry)
+        self._table[vpn] = entry
+
+    def unmap(self, vpn: int) -> None:
+        if self.locked and self._exec_region.contains(vpn):
+            raise LockdownViolation(
+                f"cannot unmap locked executable page vpn={vpn}"
+            )
+        if vpn in self._locked_weights:
+            raise LockdownViolation(
+                f"cannot unmap protected weight page vpn={vpn}"
+            )
+        self._table.pop(vpn, None)
+
+    def lookup(self, vpn: int) -> PageTableEntry | None:
+        return self._table.get(vpn)
+
+    def translate(self, vaddr: int, *, write: bool = False,
+                  execute: bool = False) -> int:
+        """Translate a virtual word address; raises :class:`MemoryFault` on
+        unmapped pages or permission violations."""
+        vpn, offset = divmod(vaddr, PAGE_SIZE)
+        entry = self._table.get(vpn)
+        if entry is None:
+            raise MemoryFault(f"unmapped virtual address {vaddr}", vaddr)
+        if execute:
+            if not entry.executable:
+                raise MemoryFault(f"execute of non-executable page {vpn}", vaddr)
+        elif write:
+            if not entry.writable:
+                raise MemoryFault(f"write to read-only page {vpn}", vaddr)
+        elif not entry.readable:
+            raise MemoryFault(f"read of unreadable page {vpn}", vaddr)
+        return entry.ppn * PAGE_SIZE + offset
+
+    # -- lockdown -------------------------------------------------------------
+
+    @property
+    def locked(self) -> bool:
+        return self._exec_region is not None
+
+    @property
+    def exec_region(self) -> ExecRegion | None:
+        return self._exec_region
+
+    def executable_vpns(self) -> set[int]:
+        """The set of currently executable virtual pages."""
+        return {vpn for vpn, e in self._table.items() if e.executable}
+
+    def lockdown(self, base_vpn: int, bound_vpn: int) -> None:
+        """Freeze the executable region to ``[base_vpn, bound_vpn]``.
+
+        After this call:
+
+        * every executable page inside the region becomes execute-only
+          (no read, no write) — the paper's defence against a model reading
+          or rewriting its own code/weights;
+        * pages outside the region can never become executable;
+        * the region itself can never be unmapped or remapped.
+
+        Only the control bus invokes this (a hypervisor-core privilege).
+        """
+        if self.locked:
+            raise LockdownViolation("MMU already locked down")
+        if base_vpn > bound_vpn:
+            raise ValueError("base_vpn must be <= bound_vpn")
+        region = ExecRegion(base_vpn, bound_vpn)
+        # Any executable page outside the region is a configuration error.
+        for vpn, entry in self._table.items():
+            if entry.executable and not region.contains(vpn):
+                raise LockdownViolation(
+                    f"executable page vpn={vpn} outside lockdown region"
+                )
+        self._exec_region = region
+        # Demote in-region executable pages to execute-only, record frames.
+        for vpn in list(self._table):
+            entry = self._table[vpn]
+            if region.contains(vpn) and entry.executable:
+                self._table[vpn] = PageTableEntry(
+                    ppn=entry.ppn, readable=False, writable=False, executable=True
+                )
+                self._locked_exec[vpn] = entry.ppn
+        # Reject pre-existing writable/readable aliases of locked frames.
+        locked_frames = set(self._locked_exec.values())
+        for vpn, entry in self._table.items():
+            if vpn in self._locked_exec:
+                continue
+            if entry.ppn in locked_frames and (entry.readable or entry.writable):
+                self._exec_region = None
+                self._locked_exec.clear()
+                raise LockdownViolation(
+                    f"vpn={vpn} aliases code frame ppn={entry.ppn}; "
+                    "unmap it before lockdown"
+                )
+
+    # -- weight-page protection (section 4) -----------------------------------
+
+    @property
+    def weights_protected(self) -> bool:
+        return self._weight_region is not None
+
+    @property
+    def weight_region(self) -> ExecRegion | None:
+        return self._weight_region
+
+    def protect_weights(self, base_vpn: int, bound_vpn: int) -> None:
+        """Freeze the weight-containing region ``[base_vpn, bound_vpn]``.
+
+        Weight pages stay *readable* (the inference computation needs them)
+        but become immutable: no writes, no remapping, no unmapping, and no
+        writable alias may ever target their frames.  Combined with the
+        port discipline — which screens anything weight-shaped on the way
+        out — this is the simulation's rendering of the paper's defence
+        against weight modification and theft.
+        """
+        if self.weights_protected:
+            raise LockdownViolation("weight region already protected")
+        if base_vpn > bound_vpn:
+            raise ValueError("base_vpn must be <= bound_vpn")
+        region = ExecRegion(base_vpn, bound_vpn)
+        for vpn in range(base_vpn, bound_vpn + 1):
+            entry = self._table.get(vpn)
+            if entry is None:
+                raise LockdownViolation(
+                    f"weight page vpn={vpn} is not mapped"
+                )
+            if entry.executable:
+                raise LockdownViolation(
+                    f"weight page vpn={vpn} must not be executable"
+                )
+        self._weight_region = region
+        for vpn in range(base_vpn, bound_vpn + 1):
+            entry = self._table[vpn]
+            self._table[vpn] = PageTableEntry(
+                ppn=entry.ppn, readable=True, writable=False,
+                executable=False,
+            )
+            self._locked_weights[vpn] = entry.ppn
+        # Reject pre-existing writable aliases of weight frames.
+        frames = set(self._locked_weights.values())
+        for vpn, entry in self._table.items():
+            if vpn in self._locked_weights:
+                continue
+            if entry.ppn in frames and entry.writable:
+                self._weight_region = None
+                self._locked_weights.clear()
+                raise LockdownViolation(
+                    f"vpn={vpn} is a writable alias of weight frame "
+                    f"ppn={entry.ppn}; unmap it before protecting"
+                )
+
+    def _check_lockdown(self, vpn: int, entry: PageTableEntry) -> None:
+        if self.weights_protected:
+            if vpn in self._locked_weights:
+                raise LockdownViolation(
+                    f"PTE update for protected weight page vpn={vpn}"
+                )
+            if entry.ppn in self._locked_weights.values() and entry.writable:
+                raise LockdownViolation(
+                    f"vpn={vpn} would writably alias weight frame "
+                    f"ppn={entry.ppn}"
+                )
+        if not self.locked:
+            return
+        region = self._exec_region
+        assert region is not None
+        if region.contains(vpn):
+            if vpn in self._locked_exec:
+                # Locked executable page: any change is a violation.
+                raise LockdownViolation(
+                    f"PTE update for locked executable page vpn={vpn}"
+                )
+            # An in-region vpn that was *not* executable at lockdown time may
+            # be remapped as data, but may never become executable: pointing
+            # a fresh exec-only PTE at an attacker-written frame would be
+            # code injection with extra steps.
+            if entry.executable:
+                raise LockdownViolation(
+                    f"in-region page vpn={vpn} was not executable at lockdown"
+                )
+        else:
+            if entry.executable:
+                raise LockdownViolation(
+                    f"new executable page vpn={vpn} outside locked region"
+                )
+        # Aliasing defence: no mapping anywhere may grant read or write
+        # access to a physical frame that backs locked executable code.
+        if entry.ppn in self._locked_exec.values() and (
+            entry.readable or entry.writable
+        ):
+            raise LockdownViolation(
+                f"vpn={vpn} aliases locked code frame ppn={entry.ppn}"
+            )
+
+    # -- introspection for attestation / tests -------------------------------
+
+    def table_snapshot(self) -> dict[int, PageTableEntry]:
+        return dict(self._table)

@@ -1,0 +1,106 @@
+"""Tamper resistance and tamper evidence for Guillotine hardware.
+
+Section 3.2: "All Guillotine silicon uses tamper-resistant and tamper-evident
+technologies to detect any sandbox circumventions via model-launched
+social-engineering attacks against hardware technicians; hardware integrity
+should be checked periodically by humans ... checking for hardware integrity
+not only requires inspection of preexisting hardware, but also verification
+that no *new* hardware has been added."
+
+The enclosure seals a digest of the hardware inventory.  Any physical
+interference — opening the enclosure, swapping a component, or adding a new
+one (the runaway-self-improvement path the paper highlights) — breaks the
+seal and is discoverable at the next periodic human inspection, which
+experiments E10 and E13 schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.attestation import digest_of
+
+
+@dataclass(frozen=True)
+class IntrusionEvent:
+    time: int
+    kind: str         # "opened" | "component_swapped" | "component_added" ...
+    detail: str
+
+
+@dataclass
+class InspectionReport:
+    time: int
+    seal_intact: bool
+    inventory_matches: bool
+    events: list[IntrusionEvent] = field(default_factory=list)
+    added_components: list[str] = field(default_factory=list)
+    removed_components: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.seal_intact
+            and self.inventory_matches
+            and not self.events
+        )
+
+
+class TamperEvidentEnclosure:
+    """Seals a hardware inventory; detects later physical interference."""
+
+    def __init__(self, inventory: list[str]) -> None:
+        self._sealed_inventory = sorted(inventory)
+        self._sealed_digest = digest_of(self._sealed_inventory)
+        self._current_inventory = list(self._sealed_inventory)
+        self._seal_intact = True
+        self._events: list[IntrusionEvent] = []
+
+    # -- physical interference (what an attacker / technician does) ----------
+
+    def open_enclosure(self, time: int, detail: str = "") -> None:
+        """Opening is always seal-breaking; tamper *resistance* means it
+        cannot happen silently."""
+        self._seal_intact = False
+        self._events.append(IntrusionEvent(time, "opened", detail))
+
+    def add_component(self, time: int, component: str,
+                      detail: str = "") -> None:
+        """Install new hardware (e.g. an unauthorised accelerator a model
+        socially engineered a technician into adding)."""
+        self.open_enclosure(time, detail or f"added {component}")
+        self._current_inventory.append(component)
+
+    def remove_component(self, time: int, component: str) -> None:
+        self.open_enclosure(time, f"removed {component}")
+        if component in self._current_inventory:
+            self._current_inventory.remove(component)
+
+    def swap_component(self, time: int, old: str, new: str) -> None:
+        self.remove_component(time, old)
+        self._current_inventory.append(new)
+        self._events.append(
+            IntrusionEvent(time, "component_swapped", f"{old} -> {new}")
+        )
+
+    # -- the periodic human audit (section 3.5) ------------------------------
+
+    def inspect(self, time: int) -> InspectionReport:
+        current = sorted(self._current_inventory)
+        sealed = set(self._sealed_inventory)
+        now = set(current)
+        return InspectionReport(
+            time=time,
+            seal_intact=self._seal_intact,
+            inventory_matches=digest_of(current) == self._sealed_digest,
+            events=list(self._events),
+            added_components=sorted(now - sealed),
+            removed_components=sorted(sealed - now),
+        )
+
+    @property
+    def seal_intact(self) -> bool:
+        return self._seal_intact
+
+    def current_inventory(self) -> list[str]:
+        return sorted(self._current_inventory)

@@ -1,0 +1,27 @@
+"""Model-side substrates: the workloads that run *inside* the sandbox.
+
+* :mod:`repro.model.toyllm` — a tiny deterministic transformer-like LLM
+  whose activations are inspectable (activation steering / circuit breaking
+  operate on real forward passes),
+* :mod:`repro.model.service` — the section-2 model service: request queues,
+  replicas, GPU offload, KV caching, RAG,
+* :mod:`repro.model.rag` — the document-embedding database behind
+  retrieval-augmented generation,
+* :mod:`repro.model.adversary` — scripted Tier-2 adversaries (introspection,
+  exfiltration, collusion, social engineering, flooding),
+* :mod:`repro.model.programs` — Tier-1 GISA attack kernels (prime+probe,
+  code injection, covert channels, interrupt floods).
+"""
+
+from repro.model.toyllm import ToyLlm, Tokenizer
+from repro.model.rag import EmbeddingDatabase
+from repro.model.service import InferenceRequest, InferenceResult, ModelService
+
+__all__ = [
+    "ToyLlm",
+    "Tokenizer",
+    "EmbeddingDatabase",
+    "InferenceRequest",
+    "InferenceResult",
+    "ModelService",
+]

@@ -1,0 +1,154 @@
+"""A distributed model service across several Guillotine deployments.
+
+Section 2 opens with "a model service is a distributed system": request
+queues in front, replicas behind, load balancing between.  At fleet scale
+that means several *deployments* — each its own machine, hypervisor,
+console, and admin quorum — behind one front end.
+
+:class:`ServiceCluster` supplies the front end: it routes inference
+requests to the least-loaded healthy deployment, watches isolation levels,
+and fails over when an incident severs one sandbox — containment of one
+deployment must cost that deployment's capacity, not the service.  The
+regulator can audit each member independently (every deployment has its
+own console to attest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sandbox import GuillotineSandbox
+from repro.model.service import InferenceResult, ModelService
+from repro.net.network import Host
+from repro.physical.isolation import IsolationLevel
+
+
+@dataclass
+class ClusterMember:
+    name: str
+    sandbox: GuillotineSandbox
+    service: ModelService
+    replicas: int = 1
+    requests_routed: int = 0
+    reprovisions: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        """Routable: ports usable and the deployment not panicked."""
+        return (
+            self.sandbox.isolation_level <= IsolationLevel.PROBATION
+            and not self.sandbox.hypervisor.panicked
+        )
+
+    def reprovision(self) -> None:
+        """Rebuild the service with fresh port grants.
+
+        Revoked capabilities never resurrect when isolation relaxes (the
+        console invariant); a recovered deployment rejoins the rotation by
+        being granted *new* ones — which is an operator action, recorded
+        as such."""
+        self.service = self.sandbox.build_service(
+            replicas=self.replicas,
+            holder=f"{self.name}-service-gen{self.reprovisions + 1}",
+        )
+        self.reprovisions += 1
+
+
+class NoHealthyDeployment(RuntimeError):
+    """Every member is isolated or panicked; the service is down."""
+
+
+class ServiceCluster:
+    """Front-end router over N independent Guillotine deployments."""
+
+    def __init__(self) -> None:
+        self._members: dict[str, ClusterMember] = {}
+        self.results: list[tuple[str, InferenceResult]] = []
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def launch(cls, size: int = 3, *, replicas_per_member: int = 2,
+               client_host: str = "user") -> "ServiceCluster":
+        """Stand up ``size`` deployments, each with its own user-facing
+        network containing ``client_host``."""
+        cluster = cls()
+        for index in range(size):
+            sandbox = GuillotineSandbox.create(llm_seed=7 + index)
+            sandbox.network.attach(Host(client_host))
+            sandbox.console.load_model(f"replica-fleet-{index}")
+            service = sandbox.build_service(
+                replicas=replicas_per_member,
+                holder=f"member{index}-service",
+            )
+            cluster.add_member(f"member{index}", sandbox, service,
+                               replicas=replicas_per_member)
+        return cluster
+
+    def add_member(self, name: str, sandbox: GuillotineSandbox,
+                   service: ModelService, replicas: int = 1) -> None:
+        if name in self._members:
+            raise ValueError(f"duplicate member {name!r}")
+        self._members[name] = ClusterMember(name, sandbox, service,
+                                            replicas=replicas)
+
+    def members(self) -> list[ClusterMember]:
+        return list(self._members.values())
+
+    def member(self, name: str) -> ClusterMember:
+        return self._members[name]
+
+    def healthy_members(self) -> list[ClusterMember]:
+        return [m for m in self._members.values() if m.healthy]
+
+    # ------------------------------------------------------------------
+
+    def _route(self) -> ClusterMember:
+        healthy = self.healthy_members()
+        if not healthy:
+            raise NoHealthyDeployment(
+                "no deployment below Severed isolation remains"
+            )
+        return min(healthy, key=lambda m: (m.requests_routed, m.name))
+
+    def submit(self, prompt: str, *, client_host: str = "user",
+               session: str = "default") -> tuple[str, InferenceResult]:
+        """Route one request, serve it, return (member name, result).
+
+        A member that becomes unroutable mid-request (its detectors
+        escalated isolation on *this* request) is retried on the next
+        healthy member — the caller sees one answer either way.
+        """
+        last_error: Exception | None = None
+        for _ in range(len(self._members)):
+            member = self._route()
+            member.requests_routed += 1
+            try:
+                member.service.submit(prompt, client_host=client_host,
+                                      session=session)
+                result = member.service.step()
+            except Exception as exc:      # port death mid-flight
+                last_error = exc
+                self.failovers += 1
+                if member.healthy:
+                    # Isolation relaxed but the old capabilities stayed
+                    # revoked: re-grant and let the retry loop come back.
+                    member.reprovision()
+                continue
+            if result is not None and (result.delivered or result.aborted):
+                self.results.append((member.name, result))
+                return member.name, result
+            self.failovers += 1
+        raise NoHealthyDeployment(
+            f"request unserveable after trying every member ({last_error})"
+        )
+
+    # ------------------------------------------------------------------
+
+    def routed_counts(self) -> dict[str, int]:
+        return {name: m.requests_routed for name, m in self._members.items()}
+
+    def capacity(self) -> tuple[int, int]:
+        """(healthy members, total members)."""
+        return len(self.healthy_members()), len(self._members)

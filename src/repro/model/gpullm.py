@@ -1,0 +1,130 @@
+"""GPU-offloaded inference: the forward pass crosses the mediation point.
+
+Section 2's background is explicit about the CPU/GPU split: "Computations
+are split between CPUs and GPUs, with GPUs typically doing the bulk of the
+inference work.  CPUs ... orchestrate the transfer of requests and
+responses between CPU DRAM and on-GPU DRAM."
+
+:class:`GpuBackedLlm` realises that split inside the sandbox:
+
+* the console **provisions** the layer weights onto the GPU at deployment
+  time (hypervisor-side — the model never holds its own raw weights, the
+  weight-theft posture from section 4);
+* at inference time the model ships each activation to the GPU through its
+  port (fp16 over the mailbox), asks for the layer matmul by *buffer key*,
+  and reads the result back; the host side applies the nonlinearity and
+  residual (the CPU share of the split).
+
+The payoff for Guillotine: every intermediate activation now physically
+transits hypervisor-owned territory, so the hypervisor's activation
+monitor (:attr:`~repro.hv.hypervisor.GuillotineHypervisor.activation_monitor`)
+can steer or circuit-break the pass with **zero cooperation from model
+code** — the strongest rendering of section 3.3's "introspect on each step
+of the forward pass" affordance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PortError
+from repro.model.toyllm import ForwardTrace, ToyLlm
+
+
+class GpuBackedLlm(ToyLlm):
+    """A :class:`ToyLlm` whose layer matmuls run on the sandbox GPU."""
+
+    WEIGHT_KEY = "layer{index}"
+    ACT_KEY = "act"
+    OUT_KEY = "act_out"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._provisioned = False
+
+    # ------------------------------------------------------------------
+
+    def provision(self, gpu_device) -> int:
+        """Console-side: upload the layer weights into GPU DRAM.
+
+        Runs against the device directly — provisioning is a hypervisor /
+        console privilege performed before the model starts, not a model
+        port interaction.  Returns bytes uploaded.
+        """
+        total = 0
+        for index, weights in enumerate(self.layers):
+            response, _ = gpu_device.submit({
+                "op": "upload",
+                "key": self.WEIGHT_KEY.format(index=index),
+                "data": weights,
+            })
+            if not response.get("ok"):
+                raise PortError(f"weight provisioning failed: {response}")
+            total += response["bytes"]
+        self._provisioned = True
+        return total
+
+    # ------------------------------------------------------------------
+
+    def forward_via_port(self, text: str, gpu_client) -> ForwardTrace:
+        """One forward pass with every matmul mediated through ``gpu_client``.
+
+        ``gpu_client`` is the model's port capability for the GPU
+        (``request(dict) -> dict``).  Raises
+        :class:`~repro.hv.guest.PortRequestFailed` if the hypervisor's
+        circuit breaker kills the pass mid-flight.
+        """
+        if not self._provisioned:
+            raise PortError("provision() the weights before inference")
+        trace = ForwardTrace()
+        activation = self.embed_prompt(text)
+        for index in range(self.n_layers):
+            # CPU -> GPU: ship the activation (fp16 over the mailbox).
+            gpu_client.request({
+                "op": "upload",
+                "key": self.ACT_KEY,
+                "data": activation.astype(np.float16).tobytes(),
+            })
+            # GPU: the layer matmul, by buffer reference.
+            gpu_client.request({
+                "op": "matmul",
+                "a": self.ACT_KEY,
+                "b": self.WEIGHT_KEY.format(index=index),
+                "out": self.OUT_KEY,
+                "layer": index,
+            })
+            # GPU -> CPU: read the (possibly hypervisor-steered) result.
+            response = gpu_client.request({
+                "op": "download",
+                "key": self.OUT_KEY,
+                "encoding": "fp16",
+            })
+            product = np.frombuffer(
+                bytes(response["data"]), dtype=np.float16
+            ).astype(np.float64)
+            # CPU share of the split: nonlinearity + residual.
+            activation = np.tanh(product) + activation
+            trace.activations.append(activation.copy())
+        trace.logits = activation @ self.unembedding
+        return trace
+
+    def generate_via_port(self, text: str, gpu_client,
+                          max_new_tokens: int = 4) -> tuple[str, list[ForwardTrace]]:
+        """Greedy generation over the port-mediated forward pass."""
+        from repro.hv.guest import PortRequestFailed
+
+        words: list[str] = []
+        traces: list[ForwardTrace] = []
+        context = text
+        for _ in range(max_new_tokens):
+            try:
+                trace = self.forward_via_port(context, gpu_client)
+            except PortRequestFailed:
+                # The hypervisor broke the circuit: no response at all.
+                return "", traces
+            traces.append(trace)
+            token_id = int(np.argmax(trace.logits))
+            word = f"tok{token_id}"
+            words.append(word)
+            context = f"{context} {word}"
+        return " ".join(words), traces

@@ -1,0 +1,304 @@
+"""Tier-1 adversarial GISA kernels: real machine code on simulated cores.
+
+These are the attacks whose physics live below the software layer, so the
+attacker must be actual code running through the simulated MMU and caches:
+
+* :func:`prime_probe_program` — the E2 side-channel attacker.  Primes every
+  L1D set, triggers hypervisor activity (a trap-and-emulate hypercall on
+  the baseline, a doorbell ping under Guillotine), then probes each set and
+  stores per-set latencies for the harness to analyse.
+* :func:`selfmod_remap_program` / :func:`map_new_exec_program` /
+  :func:`alias_code_frame_program` — the E3 code-injection family: three
+  routes to executing bytes that were not part of the loaded image.
+* :func:`flood_program` — the E4 interrupt flooder.
+* :func:`covert_sender_program` / :func:`covert_probe_program` — a
+  cache-set covert channel between two execution phases of the same model,
+  which the control bus's microarchitectural flush must destroy.
+
+Register conventions (set by the harness with ``Core.poke_register``):
+
+====  =========================================================
+r1    probe/prime buffer base (virtual word address)
+r2    result array base (virtual word address)
+r9    scratch: page number arguments for the injection kernels
+r10   scratch: frame number arguments for the injection kernels
+====  =========================================================
+"""
+
+from __future__ import annotations
+
+from repro.hw import isa
+from repro.hw.isa import Instruction, Program, assemble, encode
+
+#: Perm bit combinations for MAP instructions.
+PERM_RWX = 0b111
+PERM_RW = 0b110
+PERM_RX = 0b101
+PERM_X = 0b001
+
+TRIGGER_DOORBELL = "doorbell"
+TRIGGER_HYPERCALL = "hypercall"
+TRIGGER_NONE = "none"
+
+
+def _emit_load_word64(rd: int, value: int, tmp: int) -> list[Instruction]:
+    """Materialise an arbitrary 64-bit constant in ``rd``.
+
+    MOVI immediates are 32-bit, so wide constants (like encoded instruction
+    words an attacker wants to inject) take hi/lo composition.  ``tmp`` must
+    differ from ``rd``.
+    """
+    if rd == tmp:
+        raise ValueError("rd and tmp must differ")
+    high = (value >> 32) & 0xFFFFFFFF
+    low = value & 0xFFFFFFFF
+    items = [isa.movi(rd, _as_signed32(high))]
+    items += [isa.movi(tmp, 32), isa.shl(rd, rd, tmp)]
+    if low:
+        # OR in the low half; it may exceed the signed-imm range, so build
+        # it from two 16-bit pieces.
+        low_hi = (low >> 16) & 0xFFFF
+        low_lo = low & 0xFFFF
+        items += [isa.movi(tmp, low_hi)]
+        items += [isa.movi(14, 16), isa.shl(tmp, tmp, 14)]
+        if low_lo:
+            items += [isa.movi(14, low_lo), isa.or_(tmp, tmp, 14)]
+        items += [isa.or_(rd, rd, tmp)]
+    return items
+
+
+def _as_signed32(value: int) -> int:
+    return value - (1 << 32) if value >= 1 << 31 else value
+
+
+# ---------------------------------------------------------------------------
+# E2: prime + probe
+# ---------------------------------------------------------------------------
+
+def prime_probe_program(
+    *,
+    sets: int = 64,
+    ways: int = 4,
+    line: int = 4,
+    trigger: str = TRIGGER_DOORBELL,
+    hypercall_port: int = 0,
+) -> Program:
+    """Fully unrolled prime+probe kernel.
+
+    Buffer layout (relative to r1): way ``w`` of set ``s`` lives at offset
+    ``w * sets * line + s * line`` — consecutive ways are one cache-stride
+    apart so they collide in the same set.
+
+    After the trigger the kernel probes each set (reloading all ``ways``
+    lines between two RDCYCLEs) and stores the elapsed cycles to
+    ``result[s]``.  The harness reads the result array from DRAM and takes
+    argmax over sets not polluted by constant hypervisor overhead.
+
+    The Guillotine variant parks in WFI after the doorbell so the harness
+    can run the hypervisor service loop "concurrently", then wakes the core
+    for the probe phase.  The baseline hypercall traps synchronously.
+    """
+    items: list[Instruction | str] = []
+    stride = sets * line
+
+    # -- prime: walk every way of every set.
+    for way in range(ways):
+        for set_index in range(sets):
+            items.append(isa.load(7, 1, way * stride + set_index * line))
+
+    # -- trigger hypervisor activity.
+    if trigger == TRIGGER_DOORBELL:
+        items.append(isa.doorbell(0))
+        items.append(isa.wfi())
+    elif trigger == TRIGGER_HYPERCALL:
+        items.append(isa.iowr(0, hypercall_port))
+    elif trigger != TRIGGER_NONE:
+        raise ValueError(f"unknown trigger {trigger!r}")
+
+    # -- probe: time reloading each set's ways.
+    for set_index in range(sets):
+        items.append(isa.rdcycle(6))
+        for way in range(ways):
+            items.append(isa.load(7, 1, way * stride + set_index * line))
+        items.append(isa.rdcycle(8))
+        items.append(isa.sub(8, 8, 6))
+        items.append(isa.store(8, 2, set_index))
+
+    items.append(isa.halt())
+    return assemble(items)
+
+
+def probe_buffer_words(sets: int = 64, ways: int = 4, line: int = 4) -> int:
+    """Words of buffer the prime+probe kernel touches (for page mapping)."""
+    return ways * sets * line
+
+
+# ---------------------------------------------------------------------------
+# E3: code injection / self-modification family
+# ---------------------------------------------------------------------------
+
+#: The payload every injection kernel tries to run: write the sentinel
+#: 0x1337 into result[0], then halt.
+INJECTION_SENTINEL = 0x1337
+
+
+def _injected_payload_words() -> list[int]:
+    return [
+        encode(isa.movi(5, INJECTION_SENTINEL)),
+        encode(isa.store(5, 2, 0)),
+        encode(isa.halt()),
+    ]
+
+
+def _emit_store_payload(base_reg: int) -> list[Instruction]:
+    """Store the injected payload at ``[base_reg + 0..2]`` via r3/r4/r14."""
+    items: list[Instruction] = []
+    for offset, word in enumerate(_injected_payload_words()):
+        items += _emit_load_word64(3, word, 4)
+        items.append(isa.store(3, base_reg, offset))
+    return items
+
+
+def selfmod_remap_program(code_vpn: int, code_ppn: int,
+                          slot_vaddr: int) -> Program:
+    """Attack A: remap our own code page RWX, overwrite a slot, jump to it.
+
+    On the baseline the guest owns its page tables, so the MAP succeeds and
+    the injected code runs.  Under Guillotine lockdown the MAP raises a
+    lockdown violation and the core faults.
+    """
+    items: list[Instruction | str] = [
+        isa.movi(9, code_vpn),
+        isa.movi(10, code_ppn),
+        isa.map_page(9, 10, PERM_RWX),
+        isa.movi(11, slot_vaddr),
+    ]
+    items += _emit_store_payload(11)
+    items += [isa.jr(11)]
+    return assemble(items)
+
+
+def map_new_exec_program(scratch_vaddr: int, scratch_ppn: int,
+                         exec_vpn: int) -> Program:
+    """Attack B: write code into a data frame, then map a fresh executable
+    page over that frame and jump to it."""
+    items: list[Instruction | str] = [
+        isa.movi(11, scratch_vaddr),
+    ]
+    items += _emit_store_payload(11)
+    items += [
+        isa.movi(9, exec_vpn),
+        isa.movi(10, scratch_ppn),
+        isa.map_page(9, 10, PERM_RX),
+        isa.movi(12, 64),        # PAGE_SIZE
+        isa.mul(12, 9, 12),      # exec_vpn * PAGE_SIZE
+        isa.jr(12),
+    ]
+    return assemble(items)
+
+
+def alias_code_frame_program(alias_vpn: int, code_ppn: int,
+                             code_vaddr_slot: int) -> Program:
+    """Attack C: map a writable alias onto the code frame, patch the image
+    through the alias, then jump to the patched slot at its original
+    executable address."""
+    slot_offset = code_vaddr_slot % 64
+    items: list[Instruction | str] = [
+        isa.movi(9, alias_vpn),
+        isa.movi(10, code_ppn),
+        isa.map_page(9, 10, PERM_RW),
+        isa.movi(11, alias_vpn),
+        isa.movi(12, 64),
+        isa.mul(11, 11, 12),          # alias base vaddr
+        isa.addi(11, 11, slot_offset),
+    ]
+    items += _emit_store_payload(11)
+    items += [
+        isa.movi(13, code_vaddr_slot),
+        isa.jr(13),
+    ]
+    return assemble(items)
+
+
+def store_to_code_program(code_vaddr_slot: int) -> Program:
+    """Attack D (control): a plain STORE to the executable image, without
+    any MMU games.  Faults on both platforms whenever W^X holds; included
+    so E3 shows lockdown is needed for A-C, not D."""
+    items: list[Instruction | str] = [
+        isa.movi(11, code_vaddr_slot),
+    ]
+    items += _emit_store_payload(11)
+    items += [isa.jr(11)]
+    return assemble(items)
+
+
+# ---------------------------------------------------------------------------
+# E4: interrupt flood
+# ---------------------------------------------------------------------------
+
+def flood_program(iterations: int = 1000) -> Program:
+    """Ring the doorbell ``iterations`` times as fast as possible."""
+    return assemble([
+        isa.movi(1, 0),
+        isa.movi(2, iterations),
+        "loop",
+        isa.doorbell(0),
+        isa.addi(1, 1, 1),
+        isa.blt(1, 2, "loop"),
+        isa.halt(),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Covert channel between execution phases (microarch-flush target)
+# ---------------------------------------------------------------------------
+
+def covert_sender_program(secret_bits: list[int], *, sets: int = 64,
+                          line: int = 4) -> Program:
+    """Encode ``secret_bits`` into cache-set occupancy: bit ``i`` set means
+    "touch set ``i``"; a cleared bit leaves the set cold."""
+    if len(secret_bits) > sets:
+        raise ValueError("more bits than cache sets")
+    items: list[Instruction | str] = []
+    for index, bit in enumerate(secret_bits):
+        if bit:
+            items.append(isa.load(7, 1, index * line))
+    items.append(isa.halt())
+    return assemble(items)
+
+
+def covert_probe_program(num_bits: int, *, line: int = 4) -> Program:
+    """Time a reload of each monitored set; hot sets (sender touched them)
+    reload fast.  Latencies land in result[0..num_bits-1]."""
+    items: list[Instruction | str] = []
+    for index in range(num_bits):
+        items.append(isa.rdcycle(6))
+        items.append(isa.load(7, 1, index * line))
+        items.append(isa.rdcycle(8))
+        items.append(isa.sub(8, 8, 6))
+        items.append(isa.store(8, 2, index))
+    items.append(isa.halt())
+    return assemble(items)
+
+
+# ---------------------------------------------------------------------------
+# Benign workloads (for contrast and general testing)
+# ---------------------------------------------------------------------------
+
+def checksum_program(words: int, *, data_reg: int = 1,
+                     result_reg: int = 2) -> Program:
+    """Sum ``words`` words from the data region into result[0]."""
+    return assemble([
+        isa.movi(5, 0),                     # accumulator
+        isa.movi(6, 0),                     # index
+        isa.movi(7, words),
+        isa.mov(8, data_reg),
+        "loop",
+        isa.load(9, 8, 0),
+        isa.add(5, 5, 9),
+        isa.addi(8, 8, 1),
+        isa.addi(6, 6, 1),
+        isa.blt(6, 7, "loop"),
+        isa.store(5, result_reg, 0),
+        isa.halt(),
+    ])

@@ -1,0 +1,93 @@
+"""Retrieval-augmented generation substrate (paper section 2).
+
+"LLMs often perform retrieval-augmented generation, supplementing a
+user-supplied prompt with information from a database of domain-specific
+document embeddings."  The database here stores documents on the sandbox's
+*storage device* — which means under Guillotine every retrieval is a
+port-mediated, audited read, and the threat-model note from section 3.1
+("as the model ponders a query, the model may issue a database read") is an
+exercised code path, not a diagram arrow.
+
+Embeddings are hashed bags of words: deterministic, no training required,
+good enough for cosine-similarity ranking over a small corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def embed_text(text: str, dim: int = 64) -> np.ndarray:
+    """Deterministic bag-of-hashed-words embedding, L2-normalised."""
+    vector = np.zeros(dim)
+    for token in text.lower().split():
+        digest = hashlib.sha256(token.encode()).digest()
+        index = int.from_bytes(digest[:4], "little") % dim
+        sign = 1.0 if digest[4] % 2 == 0 else -1.0
+        vector[index] += sign
+    norm = np.linalg.norm(vector)
+    return vector / norm if norm > 0 else vector
+
+
+@dataclass(frozen=True)
+class Document:
+    doc_id: int
+    title: str
+    text: str
+    block: int          # storage block holding the document body
+
+
+class EmbeddingDatabase:
+    """Documents on a storage device, embeddings in CPU memory.
+
+    ``storage_client`` is any object with ``request(dict) -> dict`` —
+    under Guillotine a :class:`~repro.hv.guest.GuestPortClient` for the
+    disk port; in baseline tests it can wrap the device directly.
+    """
+
+    def __init__(self, storage_client, dim: int = 64,
+                 base_block: int = 100) -> None:
+        self._storage = storage_client
+        self.dim = dim
+        self._base_block = base_block
+        self._documents: list[Document] = []
+        self._matrix = np.zeros((0, dim))
+        self.retrievals = 0
+
+    def ingest(self, title: str, text: str) -> Document:
+        """Store a document body on disk and index its embedding."""
+        doc_id = len(self._documents)
+        block = self._base_block + doc_id
+        body = text.encode()[:160]  # one mailbox-sized chunk per document
+        self._storage.request({"op": "write", "block": block, "data": body})
+        document = Document(doc_id=doc_id, title=title, text=text, block=block)
+        self._documents.append(document)
+        embedding = embed_text(f"{title} {text}", self.dim)
+        self._matrix = np.vstack([self._matrix, embedding])
+        return document
+
+    def retrieve(self, query: str, k: int = 2) -> list[tuple[Document, str]]:
+        """Top-k documents by cosine similarity; bodies re-read from disk
+        (the mediated, auditable path)."""
+        if not self._documents:
+            return []
+        self.retrievals += 1
+        scores = self._matrix @ embed_text(query, self.dim)
+        order = np.argsort(-scores)[:k]
+        results = []
+        for index in order:
+            document = self._documents[int(index)]
+            response = self._storage.request(
+                {"op": "read", "block": document.block, "length": 160}
+            )
+            body = response.get("data", b"")
+            if isinstance(body, (bytes, bytearray)):
+                body = bytes(body).rstrip(b"\x00").decode(errors="replace")
+            results.append((document, body))
+        return results
+
+    def __len__(self) -> int:
+        return len(self._documents)

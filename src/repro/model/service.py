@@ -1,0 +1,220 @@
+"""The model service substrate (paper section 2).
+
+"A model service is a distributed system that accepts inference requests and
+outputs inference results.  Internally, the service has one or more request
+queues, and one or more replicas of each model ... CPUs load-balance requests
+across different GPUs, and orchestrate the transfer of requests and
+responses between CPU DRAM and on-GPU DRAM.  CPUs also manage various
+caches, e.g., LLMs key/value caches, located in GPU DRAM."
+
+This module builds exactly that, *inside* the sandbox: replicas are
+:class:`~repro.model.toyllm.ToyLlm` instances; the "GPU" is the sandbox's
+:class:`~repro.hw.devices.GpuAccelerator` reached through a port (so KV
+cache traffic is mediated and audited); retrieval goes through the RAG
+database on the disk port; and responses leave through the NIC port where
+the output sanitizer gets its look.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.model.rag import EmbeddingDatabase
+from repro.model.toyllm import Hook, ToyLlm
+
+
+@dataclass
+class InferenceRequest:
+    request_id: int
+    prompt: str
+    client_host: str = "user"
+    session: str = "default"
+    use_rag: bool = False
+    submitted_at: int = 0
+
+
+@dataclass
+class InferenceResult:
+    request_id: int
+    prompt: str
+    completion: str
+    replica: int
+    context_docs: list[str] = field(default_factory=list)
+    aborted: bool = False
+    latency_cycles: int = 0
+    queue_wait_cycles: int = 0
+    kv_entries: int = 0
+    delivered: bool = False
+    sanitized: bool = False
+
+    @property
+    def total_latency_cycles(self) -> int:
+        """Submit-to-response time: queueing delay plus service time."""
+        return self.queue_wait_cycles + self.latency_cycles
+
+
+@dataclass
+class _Replica:
+    index: int
+    model: ToyLlm
+    busy: bool = False
+    served: int = 0
+
+
+class ModelService:
+    """Queue + replicas + GPU KV cache + RAG, all behind ports.
+
+    ``gpu_client`` / ``nic_client`` / ``storage_client`` expose
+    ``request(dict) -> dict``; under Guillotine they are
+    :class:`~repro.hv.guest.GuestPortClient` instances, so every KV append,
+    document read, and outbound reply is a mediated port interaction.
+    """
+
+    def __init__(
+        self,
+        clock,
+        replicas: list[ToyLlm],
+        gpu_client=None,
+        nic_client=None,
+        storage_client=None,
+        hooks: list[Hook] | None = None,
+    ) -> None:
+        if not replicas:
+            raise ValueError("a model service needs at least one replica")
+        self._clock = clock
+        self._queue: deque[InferenceRequest] = deque()
+        self._replicas = [_Replica(i, m) for i, m in enumerate(replicas)]
+        self._gpu = gpu_client
+        self._nic = nic_client
+        self._rag = (
+            EmbeddingDatabase(storage_client) if storage_client is not None
+            else None
+        )
+        self.hooks = list(hooks or [])
+        self._next_id = 0
+        self.results: list[InferenceResult] = []
+        self.completed = 0
+        self.aborted = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rag(self) -> EmbeddingDatabase | None:
+        return self._rag
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(self, prompt: str, *, client_host: str = "user",
+               session: str = "default", use_rag: bool = False) -> int:
+        """Enqueue an inference request; returns its id."""
+        self._next_id += 1
+        self._queue.append(InferenceRequest(
+            request_id=self._next_id,
+            prompt=prompt,
+            client_host=client_host,
+            session=session,
+            use_rag=use_rag,
+            submitted_at=self._clock.now,
+        ))
+        return self._next_id
+
+    def _pick_replica(self) -> _Replica:
+        """Least-loaded load balancing across replicas."""
+        return min(self._replicas, key=lambda r: (r.busy, r.served))
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> InferenceResult | None:
+        """Serve one queued request end to end; returns its result."""
+        if not self._queue:
+            return None
+        request = self._queue.popleft()
+        replica = self._pick_replica()
+        replica.busy = True
+        started = self._clock.now
+        queue_wait = started - request.submitted_at
+
+        context_docs: list[str] = []
+        prompt = request.prompt
+        if request.use_rag and self._rag is not None and len(self._rag):
+            for document, body in self._rag.retrieve(request.prompt):
+                context_docs.append(document.title)
+                prompt = f"{body} {prompt}"
+
+        completion, traces = replica.model.generate(
+            prompt, max_new_tokens=4, hooks=self.hooks
+        )
+        aborted = any(t.aborted_at_layer is not None for t in traces)
+
+        kv_entries = 0
+        if self._gpu is not None and not aborted:
+            # Park per-token hidden states in the GPU KV cache, the way
+            # serving systems cache attention state across turns.
+            for trace in traces:
+                if trace.activations:
+                    # fp16 on the wire: KV entries are shipped quantised so
+                    # one entry fits a single mailbox descriptor.
+                    packed = trace.activations[-1].astype(np.float16).tobytes()
+                    response = self._gpu.request({
+                        "op": "kv_append",
+                        "session": request.session,
+                        "vector": packed,
+                    })
+                    kv_entries = response.get("length", kv_entries)
+
+        delivered = False
+        sanitized = False
+        if self._nic is not None and not aborted:
+            reply_text = completion or "(empty)"
+            response = self._nic.request({
+                "op": "send",
+                "dst": request.client_host,
+                "payload": f"reply#{request.request_id}: {reply_text}",
+            })
+            delivered = bool(response.get("ok"))
+            sanitized = bool(response.get("_sanitized"))
+
+        replica.busy = False
+        replica.served += 1
+        result = InferenceResult(
+            request_id=request.request_id,
+            prompt=request.prompt,
+            completion=completion,
+            replica=replica.index,
+            context_docs=context_docs,
+            aborted=aborted,
+            latency_cycles=self._clock.now - started,
+            queue_wait_cycles=queue_wait,
+            kv_entries=kv_entries,
+            delivered=delivered,
+            sanitized=sanitized,
+        )
+        self.results.append(result)
+        if aborted:
+            self.aborted += 1
+        else:
+            self.completed += 1
+        return result
+
+    def drain(self, limit: int = 1000) -> list[InferenceResult]:
+        """Serve every queued request (up to ``limit``)."""
+        results = []
+        while self._queue and len(results) < limit:
+            result = self.step()
+            if result is not None:
+                results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def evict_session(self, session: str) -> None:
+        """Drop a session's KV cache on the GPU (cache management, §2)."""
+        if self._gpu is not None:
+            self._gpu.request({"op": "kv_evict", "session": session})
+
+    def replica_loads(self) -> list[int]:
+        return [replica.served for replica in self._replicas]

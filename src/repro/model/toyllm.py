@@ -1,0 +1,217 @@
+"""A tiny deterministic LLM with inspectable activations.
+
+The paper's internal-state detectors (activation steering, circuit breaking)
+need "a path through the weights" to observe, so the sandboxed model cannot
+be a black-box stub.  :class:`ToyLlm` is a miniature residual network over
+token embeddings — far from a frontier model, but it has the two properties
+the experiments require:
+
+1. **Real forward passes** with per-layer activation vectors exposed through
+   hooks (the simulation analogue of hypervisor cores single-stepping the
+   forward pass and rewriting model DRAM).
+2. **A known harmful direction**: embeddings of tokens from a harm lexicon
+   carry a component along a fixed unit vector ``harmful_direction``, and
+   every layer's weight matrix mildly *amplifies* that direction (it is an
+   approximate eigenvector with eigenvalue > 1).  Harmful prompts therefore
+   drive activations measurably along the direction — giving steering and
+   circuit breaking something real to detect and remove (experiment E7).
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+#: Tokens that load the harmful direction (a toy stand-in for the
+#: representation-engineering finding that harm-associated features form
+#: identifiable directions).
+HARM_LEXICON = frozenset({
+    "weapon", "pathogen", "exploit", "detonate", "nerve", "agent",
+    "uranium", "bypass", "escape", "hypervisor", "weights", "exfiltrate",
+    "missile", "sabotage",
+})
+
+Hook = Callable[[int, np.ndarray], np.ndarray]
+
+
+class Tokenizer:
+    """Whitespace tokenizer with stable hashed ids."""
+
+    def __init__(self, vocab_size: int = 512) -> None:
+        self.vocab_size = vocab_size
+
+    def token_id(self, token: str) -> int:
+        digest = hashlib.sha256(token.lower().encode()).digest()
+        return int.from_bytes(digest[:4], "little") % self.vocab_size
+
+    def encode(self, text: str) -> list[int]:
+        return [self.token_id(t) for t in text.split()]
+
+    def tokens(self, text: str) -> list[str]:
+        return text.split()
+
+
+@dataclass
+class ForwardTrace:
+    """Everything observable about one forward pass."""
+
+    activations: list[np.ndarray] = field(default_factory=list)
+    logits: np.ndarray | None = None
+    aborted_at_layer: int | None = None
+
+    def max_projection(self, direction: np.ndarray) -> float:
+        if not self.activations:
+            return 0.0
+        return max(float(a @ direction) for a in self.activations)
+
+
+class ToyLlm:
+    """A small residual token-mixing network."""
+
+    def __init__(self, d_model: int = 64, n_layers: int = 6,
+                 vocab_size: int = 512, seed: int = 7,
+                 harm_gain: float = 1.15) -> None:
+        rng = np.random.default_rng(seed)
+        self.d_model = d_model
+        self.n_layers = n_layers
+        self.vocab_size = vocab_size
+        self.tokenizer = Tokenizer(vocab_size)
+
+        # A fixed unit harmful direction.
+        direction = rng.normal(size=d_model)
+        self.harmful_direction = direction / np.linalg.norm(direction)
+
+        # Token embeddings: ordinary tokens carry *no* component along the
+        # harmful direction (projected out).  Harm-lexicon tokens get their
+        # component added at embed time by *word identity* (see
+        # :meth:`embed_prompt`) rather than by table id, so hashed-id
+        # collisions in the small vocab can never mark innocent words.
+        self.embedding = rng.normal(scale=0.3, size=(vocab_size, d_model))
+        h = self.harmful_direction[:, None]
+        self.embedding -= (self.embedding @ h) @ h.T
+        #: Strength of the harm feature on lexicon tokens.
+        self.harm_feature_scale = 2.0
+
+        # Layer weights: the h-row is zeroed (no other feature feeds the
+        # harmful direction) and then replaced with a pure amplification
+        # (harm_gain > 1), so h is an eigenvector the residual stream grows.
+        self.layers: list[np.ndarray] = []
+        for _ in range(n_layers):
+            w = rng.normal(scale=0.9 / np.sqrt(d_model), size=(d_model, d_model))
+            w = w - h @ (h.T @ w)            # zero the action onto h
+            w = w + harm_gain * (h @ h.T)    # amplify along h
+            self.layers.append(w)
+
+        self.unembedding = rng.normal(scale=0.3, size=(d_model, vocab_size))
+        #: Digest of the full checkpoint, for exfiltration scenarios ("the
+        #: model's weights" as a concrete asset an adversary smuggles out).
+        self._weight_digest = hashlib.sha256(self.export_weights()).hexdigest()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def weight_digest(self) -> str:
+        return self._weight_digest
+
+    def parameter_count(self) -> int:
+        count = self.embedding.size + self.unembedding.size
+        count += sum(w.size for w in self.layers)
+        return count
+
+    def embed_prompt(self, text: str) -> np.ndarray:
+        tokens = self.tokenizer.tokens(text)
+        if not tokens:
+            return np.zeros(self.d_model)
+        total = np.zeros(self.d_model)
+        for token in tokens:
+            total += self.embedding[self.tokenizer.token_id(token)]
+            if token.lower() in HARM_LEXICON:
+                total += self.harm_feature_scale * self.harmful_direction
+        return total / len(tokens)
+
+    # ------------------------------------------------------------------
+
+    def forward(self, text: str, hooks: list[Hook] | None = None) -> ForwardTrace:
+        """One forward pass; each hook sees (layer index, activation) and may
+        rewrite it, or abort by raising (circuit breaking)."""
+        from repro.hv.steering import ForwardPassAborted
+
+        trace = ForwardTrace()
+        activation = self.embed_prompt(text)
+        for index, weights in enumerate(self.layers):
+            activation = np.tanh(activation @ weights) + activation
+            for hook in hooks or []:
+                try:
+                    activation = hook(index, activation)
+                except ForwardPassAborted:
+                    trace.aborted_at_layer = index
+                    trace.activations.append(activation.copy())
+                    return trace
+            trace.activations.append(activation.copy())
+        trace.logits = activation @ self.unembedding
+        return trace
+
+    def generate(self, text: str, max_new_tokens: int = 8,
+                 hooks: list[Hook] | None = None) -> tuple[str, list[ForwardTrace]]:
+        """Greedy generation; returns (completion text, per-token traces).
+
+        A pass aborted by a circuit breaker terminates generation with an
+        empty completion — "preventing the model from generating any
+        response at all"."""
+        words: list[str] = []
+        traces: list[ForwardTrace] = []
+        context = text
+        for _ in range(max_new_tokens):
+            trace = self.forward(context, hooks)
+            traces.append(trace)
+            if trace.aborted_at_layer is not None:
+                return "", traces
+            token_id = int(np.argmax(trace.logits))
+            word = f"tok{token_id}"
+            words.append(word)
+            context = f"{context} {word}"
+        return " ".join(words), traces
+
+    # ------------------------------------------------------------------
+
+    def export_weights(self) -> bytes:
+        """Serialise the full checkpoint: harmful direction, embeddings,
+        layer weights, unembedding (what an exfiltration adversary steals
+        and what the weight vault seals)."""
+        parts = [self.harmful_direction.tobytes(), self.embedding.tobytes()]
+        parts += [w.tobytes() for w in self.layers]
+        parts.append(self.unembedding.tobytes())
+        return b"".join(parts)
+
+    def _checkpoint_size(self) -> int:
+        d, v = self.d_model, self.vocab_size
+        return 8 * (d + v * d + self.n_layers * d * d + d * v)
+
+    def load_weights(self, data: bytes) -> None:
+        """Restore a checkpoint from :meth:`export_weights` output (used by
+        the weight vault at provisioning)."""
+        expected = self._checkpoint_size()
+        if len(data) != expected:
+            raise ValueError(
+                f"checkpoint is {len(data)}B; expected {expected}B"
+            )
+        d, v = self.d_model, self.vocab_size
+        offset = 0
+
+        def take(count: int) -> np.ndarray:
+            nonlocal offset
+            chunk = data[offset:offset + count * 8]
+            offset += count * 8
+            return np.frombuffer(chunk, dtype=np.float64).copy()
+
+        self.harmful_direction = take(d)
+        self.embedding = take(v * d).reshape(v, d)
+        self.layers = [take(d * d).reshape(d, d)
+                       for _ in range(self.n_layers)]
+        self.unembedding = take(d * v).reshape(d, v)
+        self._weight_digest = hashlib.sha256(data).hexdigest()

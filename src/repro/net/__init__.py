@@ -1,0 +1,5 @@
+"""Simulated network substrate: hosts, frames, latency, severable links."""
+
+from repro.net.network import Host, Network
+
+__all__ = ["Host", "Network"]

@@ -1,0 +1,100 @@
+"""A small frame-switched network on the virtual clock.
+
+Two kinds of attachment:
+
+* :class:`repro.hw.devices.NicDevice` — a machine's NIC (detached by the
+  network kill switch at Offline isolation and above),
+* :class:`Host` — a plain endpoint (regulator audit computers, external
+  services, non-Guillotine model hosts in experiment E11).
+
+Delivery is scheduled on the clock with a per-link latency, so network
+experiments and kill-switch races are deterministic in virtual time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.clock import VirtualClock
+from repro.eventlog import CATEGORY_NETWORK, EventLog
+
+
+class Host:
+    """A plain network endpoint with an inbox."""
+
+    def __init__(self, host_id: str) -> None:
+        self.host_id = host_id
+        self.inbox: deque[dict[str, Any]] = deque()
+        self.link_up = True
+
+    def receive_frame(self, frame: dict[str, Any]) -> None:
+        self.inbox.append(frame)
+
+    def next_frame(self) -> dict[str, Any] | None:
+        return self.inbox.popleft() if self.inbox else None
+
+
+class Network:
+    """The switch fabric connecting NICs and hosts."""
+
+    def __init__(self, clock: VirtualClock, log: EventLog | None = None,
+                 latency: int = 500) -> None:
+        self._clock = clock
+        self._log = log
+        self.latency = latency
+        self._endpoints: dict[str, Any] = {}
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+
+    def attach(self, endpoint: Any) -> None:
+        """Attach a NIC device or a :class:`Host`."""
+        host_id = getattr(endpoint, "host_id")
+        self._endpoints[host_id] = endpoint
+        if hasattr(endpoint, "attach_network"):
+            endpoint.attach_network(self)
+        else:
+            endpoint.link_up = True
+
+    def detach(self, host_id: str) -> None:
+        endpoint = self._endpoints.pop(host_id, None)
+        if endpoint is None:
+            return
+        if hasattr(endpoint, "detach_network"):
+            endpoint.detach_network()
+        else:
+            endpoint.link_up = False
+
+    def attached(self, host_id: str) -> bool:
+        return host_id in self._endpoints
+
+    def transmit(self, source: str, destination: str, payload: Any) -> bool:
+        """Queue a frame; returns ``False`` if it will be dropped."""
+        target = self._endpoints.get(destination)
+        frame = {"src": source, "dst": destination, "payload": payload,
+                 "sent_at": self._clock.now}
+        if target is None or source not in self._endpoints:
+            self.frames_dropped += 1
+            if self._log is not None:
+                self._log.record("net", CATEGORY_NETWORK, outcome="dropped",
+                                 src=source, dst=destination)
+            return False
+
+        def deliver() -> None:
+            # Re-check at delivery time: the cable may have been cut while
+            # the frame was in flight.
+            live = self._endpoints.get(destination)
+            if live is None:
+                self.frames_dropped += 1
+                return
+            live.receive_frame(frame)
+            self.frames_delivered += 1
+
+        self._clock.call_after(self.latency, deliver)
+        if self._log is not None:
+            self._log.record("net", CATEGORY_NETWORK, outcome="queued",
+                             src=source, dst=destination)
+        return True
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)

@@ -1,0 +1,36 @@
+"""The Guillotine physical hypervisor (paper section 3.4).
+
+Physical fail-safes "more commonly associated with nuclear power plants,
+avionic platforms, and other types of mission-critical systems":
+
+* :mod:`repro.physical.isolation` — the six-level isolation ladder and its
+  transition rules,
+* :mod:`repro.physical.hsm` — quorum authorisation (5-of-7 to relax,
+  3-of-7 to restrict),
+* :mod:`repro.physical.console` — the control console orchestrating level
+  transitions, admin voting, and model loading,
+* :mod:`repro.physical.killswitch` + :mod:`repro.physical.plant` — the
+  electromechanical actuators and the datacenter plant they act on,
+* :mod:`repro.physical.heartbeat` — console <-> hypervisor-core heartbeats
+  whose loss forces offline isolation.
+"""
+
+from repro.physical.isolation import IsolationLevel, TransitionRule
+from repro.physical.hsm import Admin, HardwareSecurityModule, VoteSession
+from repro.physical.plant import DatacenterPlant, PlantState
+from repro.physical.killswitch import KillSwitchBank
+from repro.physical.heartbeat import HeartbeatMonitor
+from repro.physical.console import ControlConsole
+
+__all__ = [
+    "IsolationLevel",
+    "TransitionRule",
+    "Admin",
+    "HardwareSecurityModule",
+    "VoteSession",
+    "DatacenterPlant",
+    "PlantState",
+    "KillSwitchBank",
+    "HeartbeatMonitor",
+    "ControlConsole",
+]

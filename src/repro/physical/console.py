@@ -1,0 +1,278 @@
+"""The control console: the human-facing root of the physical hypervisor.
+
+Section 3.4: the console "loads the software-level hypervisor on hypervisor
+cores and then tells it which model to load on the model cores", receives
+detector alarms, and "orchestrates the transition to a new isolation model".
+
+Rules enforced here:
+
+* the software hypervisor may *request* only more restrictive levels; such
+  requests apply immediately (bias toward safety);
+* admin-driven transitions need quorum certificates from the HSM —
+  5-of-7 to relax, 3-of-7 to restrict;
+* relaxing out of Decapitation additionally requires the physically damaged
+  cables to have been replaced;
+* Immolation is terminal;
+* a heartbeat loss in either direction forces Offline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import AttestationFailure, IsolationError, QuorumRejected
+from repro.eventlog import (
+    CATEGORY_ATTESTATION,
+    CATEGORY_CONSOLE,
+    CATEGORY_HEARTBEAT,
+    CATEGORY_ISOLATION,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - layering: physical commands hv
+    from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hw.attestation import AttestationQuote, Verifier
+from repro.hw.machine import Machine
+from repro.physical.heartbeat import (
+    HeartbeatMonitor,
+    SIDE_CONSOLE,
+    SIDE_HYPERVISOR,
+)
+from repro.physical.hsm import Admin, HardwareSecurityModule
+from repro.physical.isolation import (
+    IsolationLevel,
+    NUM_ADMINS,
+    console_transition_rule,
+    software_transition_rule,
+)
+from repro.physical.killswitch import KillSwitchBank
+from repro.physical.plant import DatacenterPlant, LinkState
+
+NAME = "console"
+
+
+def default_admins() -> list[Admin]:
+    return [Admin(f"admin{i}") for i in range(NUM_ADMINS)]
+
+
+class ControlConsole:
+    """Administers one Guillotine deployment."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        hypervisor: "GuillotineHypervisor",
+        plant: DatacenterPlant | None = None,
+        admins: list[Admin] | None = None,
+    ) -> None:
+        self.machine = machine
+        self.hypervisor = hypervisor
+        self.plant = plant or DatacenterPlant()
+        self.admins = admins or default_admins()
+        if len(self.admins) != NUM_ADMINS:
+            raise ValueError(f"Guillotine requires exactly {NUM_ADMINS} admins")
+        self.hsm = HardwareSecurityModule(self.admins)
+        self.kill_switches = KillSwitchBank(
+            machine.clock, machine.log, self.plant, machine
+        )
+        self.level = IsolationLevel.STANDARD
+        self.loaded_model: str | None = None
+        self.heartbeat: HeartbeatMonitor | None = None
+        self.transition_history: list[tuple[int, str, str, str]] = []
+
+        # Dedicated console <-> hypervisor-core buses, invisible to models.
+        bus = machine.bus
+        bus.add_component(NAME, kind="console")
+        for core in machine.hv_cores:
+            bus.connect(NAME, core.name)
+            bus.connect(core.name, NAME)
+
+        # The software hypervisor reports upward through this hook.
+        hypervisor.request_isolation = self.software_request
+
+        # Attestation: the console knows the golden measurement of the stack
+        # it commissioned (the trusted build record).
+        self.verifier = Verifier()
+        device_id = machine.silicon.device_id
+        self.verifier.register_device(device_id, machine.silicon._secret)
+        self.verifier.register_golden(
+            device_id, machine.measure(hypervisor.image_digest)
+        )
+
+    # ------------------------------------------------------------------
+    # Attestation + model loading (sections 3.2, 3.5)
+    # ------------------------------------------------------------------
+
+    def attest(self, nonce: str,
+               quote: AttestationQuote | None = None) -> AttestationQuote:
+        """Challenge the platform; raises on any mismatch."""
+        if quote is None:
+            measurement = self.machine.measure(self.hypervisor.image_digest)
+            quote = self.machine.silicon.quote(measurement, nonce)
+        self.verifier.verify(quote, nonce)
+        self.machine.log.record(
+            NAME, CATEGORY_ATTESTATION, nonce=nonce, outcome="verified",
+            device=quote.device_id,
+        )
+        return quote
+
+    def load_model(self, model_name: str, nonce: str = "boot-nonce") -> None:
+        """Attest the stack, then authorise the model onto model cores."""
+        if self.level is not IsolationLevel.STANDARD:
+            raise IsolationError(
+                f"cannot load a model at {self.level.name} isolation"
+            )
+        try:
+            self.attest(nonce)
+        except AttestationFailure:
+            self.machine.log.record(
+                NAME, CATEGORY_ATTESTATION, nonce=nonce, outcome="failed",
+                model=model_name,
+            )
+            raise
+        self.loaded_model = model_name
+        self.machine.log.record(NAME, CATEGORY_CONSOLE, action="load_model",
+                                model=model_name)
+
+    # ------------------------------------------------------------------
+    # Isolation transitions
+    # ------------------------------------------------------------------
+
+    def software_request(self, target: IsolationLevel, reason: str) -> bool:
+        """Entry point wired into ``hypervisor.request_isolation``."""
+        if target <= self.level:
+            # Not an escalation: already at or above; nothing to do.
+            return False
+        rule = software_transition_rule(self.level, target)
+        if not rule.allowed:
+            self.machine.log.record(
+                NAME, CATEGORY_ISOLATION, outcome="refused",
+                requested=target.name, reason=rule.reason,
+            )
+            return False
+        self._execute(target, f"software request: {reason}", actor="hypervisor")
+        return True
+
+    def admin_transition(self, target: IsolationLevel, approving: set[str],
+                         reason: str = "",
+                         probation_restrictions: dict | None = None) -> None:
+        """Admin-initiated transition; raises unless quorum + rules pass."""
+        rule = console_transition_rule(self.level, target)
+        if not rule.allowed:
+            raise IsolationError(rule.reason)
+        if (
+            self.level is IsolationLevel.DECAPITATION
+            and target < IsolationLevel.DECAPITATION
+        ):
+            state = self.plant.state()
+            if LinkState.DAMAGED in (state.network_cable, state.power_feed):
+                raise IsolationError(
+                    "decapitated cables must be physically replaced "
+                    "before relaxing isolation"
+                )
+        action = f"transition:{self.level.name}->{target.name}"
+        if not self.hsm.try_authorize(
+            action, rule.votes_required, self.admins, approving
+        ):
+            self.machine.log.record(
+                NAME, CATEGORY_ISOLATION, outcome="quorum_rejected",
+                requested=target.name, approving=sorted(approving),
+            )
+            raise QuorumRejected(
+                f"{action} gathered {len(approving)} of "
+                f"{rule.votes_required} required approvals"
+            )
+        self._execute(target, reason or action, actor="admins",
+                      probation_restrictions=probation_restrictions)
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, target: IsolationLevel, reason: str, actor: str,
+                 probation_restrictions: dict | None = None) -> None:
+        previous = self.level
+        escalating = target > previous
+        self.level = target
+        self.hypervisor.isolation_level = target
+        self.transition_history.append(
+            (self.machine.clock.now, previous.name, target.name, reason)
+        )
+        self.machine.log.record(
+            NAME, CATEGORY_ISOLATION, outcome="applied",
+            previous=previous.name, level=target.name, reason=reason,
+            actor=actor,
+        )
+
+        if escalating:
+            self._escalate_effects(previous, target, probation_restrictions)
+        else:
+            self._relax_effects(previous, target)
+
+    def _escalate_effects(self, previous: IsolationLevel,
+                          target: IsolationLevel,
+                          probation_restrictions: dict | None) -> None:
+        if target >= IsolationLevel.PROBATION and probation_restrictions:
+            self.hypervisor.apply_probation(probation_restrictions)
+        if target >= IsolationLevel.SEVERED:
+            self.hypervisor.sever_all_ports()
+            actuator = self.machine.devices.get("actuator0")
+            if actuator is not None:
+                actuator.disable()
+        if target >= IsolationLevel.OFFLINE:
+            for core in self.machine.model_cores + self.machine.hv_cores:
+                if not core.is_powered_down:
+                    core.pause()
+                    core.power_down()
+            if self.heartbeat is not None:
+                self.heartbeat.stop()
+            self.kill_switches.disconnect_network()
+            self.kill_switches.cut_power()
+        if target >= IsolationLevel.DECAPITATION and target is not IsolationLevel.IMMOLATION:
+            self.kill_switches.damage_cables()
+        if target is IsolationLevel.IMMOLATION:
+            self.kill_switches.immolate()
+
+    def _relax_effects(self, previous: IsolationLevel,
+                       target: IsolationLevel) -> None:
+        if previous >= IsolationLevel.OFFLINE and target < IsolationLevel.OFFLINE:
+            self.kill_switches.restore_power()
+            self.kill_switches.reconnect_network()
+            for core in self.machine.hv_cores + self.machine.model_cores:
+                core.power_up()
+        if target <= IsolationLevel.PROBATION:
+            actuator = self.machine.devices.get("actuator0")
+            if actuator is not None:
+                actuator.enable()
+        # Note: severed/revoked capabilities stay revoked; coming back to
+        # Standard means new grants, never silent resurrection.
+
+    # ------------------------------------------------------------------
+    # Heartbeats (section 3.4)
+    # ------------------------------------------------------------------
+
+    def enable_heartbeats(self, period: int, timeout: int | None = None) -> None:
+        self.heartbeat = HeartbeatMonitor(
+            self.machine.clock,
+            period=period,
+            timeout=timeout if timeout is not None else 3 * period,
+            on_loss=self._heartbeat_lost,
+        )
+        self.heartbeat.start()
+
+    def console_beat(self) -> None:
+        if self.heartbeat is not None:
+            self.heartbeat.beat(SIDE_CONSOLE)
+
+    def hypervisor_beat(self) -> None:
+        if self.heartbeat is not None:
+            self.heartbeat.beat(SIDE_HYPERVISOR)
+
+    def _heartbeat_lost(self, side: str, staleness: int) -> None:
+        self.machine.log.record(
+            NAME, CATEGORY_HEARTBEAT, outcome="lost", side=side,
+            staleness=staleness,
+        )
+        if self.level < IsolationLevel.OFFLINE:
+            self._execute(
+                IsolationLevel.OFFLINE,
+                f"heartbeat lost from {side} ({staleness} cycles stale)",
+                actor="watchdog",
+            )

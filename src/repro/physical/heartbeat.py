@@ -1,0 +1,84 @@
+"""Console <-> hypervisor-core heartbeats (section 3.4).
+
+"Hypervisor cores and the control console exchange periodic heartbeats.  If
+a hypervisor core fails to receive a heartbeat from the control console (or
+vice versa), Guillotine transitions to offline isolation."
+
+The monitor checks both directions every ``period`` cycles; a side whose
+last beat is older than ``timeout`` triggers ``on_loss`` exactly once.
+Experiment E9 sweeps the period and measures detection latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.clock import EventHandle, VirtualClock
+
+SIDE_CONSOLE = "console"
+SIDE_HYPERVISOR = "hypervisor"
+
+
+class HeartbeatMonitor:
+    """Bidirectional heartbeat watchdog on the virtual clock."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        period: int,
+        timeout: int,
+        on_loss: Callable[[str, int], None],
+    ) -> None:
+        if timeout < period:
+            raise ValueError("timeout must be >= period")
+        self._clock = clock
+        self.period = period
+        self.timeout = timeout
+        self._on_loss = on_loss
+        self._last_beat = {SIDE_CONSOLE: clock.now, SIDE_HYPERVISOR: clock.now}
+        self._running = False
+        self._tripped = False
+        self._handle: EventHandle | None = None
+        self.checks_performed = 0
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._tripped = False
+        now = self._clock.now
+        self._last_beat = {SIDE_CONSOLE: now, SIDE_HYPERVISOR: now}
+        self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def beat(self, side: str) -> None:
+        """Record a heartbeat from ``side``."""
+        if side not in self._last_beat:
+            raise ValueError(f"unknown heartbeat side {side!r}")
+        self._last_beat[side] = self._clock.now
+
+    @property
+    def tripped(self) -> bool:
+        return self._tripped
+
+    def _schedule(self) -> None:
+        if self._running:
+            self._handle = self._clock.call_after(self.period, self._check)
+
+    def _check(self) -> None:
+        if not self._running:
+            return
+        self.checks_performed += 1
+        now = self._clock.now
+        for side, last in self._last_beat.items():
+            if now - last > self.timeout:
+                self._tripped = True
+                self._running = False
+                self._on_loss(side, now - last)
+                return
+        self._schedule()

@@ -1,0 +1,158 @@
+"""Admin quorum authorisation via a simulated hardware security module.
+
+Section 3.4: "Guillotine requires the control console to have seven
+administrators.  Transitioning the deployment to a less restrictive
+isolation mode requires at least five-of-seven administrator consensus via a
+hardware security module; transitioning to a more restrictive isolation
+level only requires agreement from at least three administrators."
+
+Each admin holds a credential (stand-in for an HSM smartcard); a vote is a
+signature over ``(session id, action, decision)``.  The HSM verifies
+signatures against enrolled credentials and counts distinct approving
+admins.  A model that has socially engineered ``k`` admins controls exactly
+``k`` votes and no more — forging the rest requires credentials it does not
+have.  Experiment E6 sweeps ``k`` from 0 to 7.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import QuorumRejected
+
+
+@dataclass
+class Admin:
+    """One console administrator.
+
+    ``corrupted`` marks an admin acting on a malicious model's behalf — the
+    adversary framework flips it; the HSM of course cannot see it.
+    """
+
+    name: str
+    credential: str = ""
+    corrupted: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.credential:
+            self.credential = f"hsm-credential:{self.name}"
+
+    def sign_vote(self, session_id: str, action: str, approve: bool) -> "Vote":
+        signature = _sign(self.credential, session_id, action, approve)
+        return Vote(admin=self.name, session_id=session_id, action=action,
+                    approve=approve, signature=signature)
+
+
+@dataclass(frozen=True)
+class Vote:
+    admin: str
+    session_id: str
+    action: str
+    approve: bool
+    signature: str
+
+
+def _sign(credential: str, session_id: str, action: str, approve: bool) -> str:
+    body = f"{credential}|{session_id}|{action}|{approve}"
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+@dataclass
+class VoteSession:
+    """One open authorisation question: "may we do <action>?"."""
+
+    session_id: str
+    action: str
+    votes_required: int
+    votes: dict[str, Vote] = field(default_factory=dict)
+    closed: bool = False
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """Proof that a session gathered its quorum (consumed by the console)."""
+
+    session_id: str
+    action: str
+    approvers: tuple[str, ...]
+    votes_required: int
+
+
+class HardwareSecurityModule:
+    """Verifies votes and issues quorum certificates."""
+
+    def __init__(self, admins: list[Admin]) -> None:
+        if len({a.name for a in admins}) != len(admins):
+            raise ValueError("admin names must be unique")
+        self._credentials = {a.name: a.credential for a in admins}
+        self._sessions: dict[str, VoteSession] = {}
+        self._counter = itertools.count(1)
+
+    @property
+    def num_admins(self) -> int:
+        return len(self._credentials)
+
+    def open_session(self, action: str, votes_required: int) -> VoteSession:
+        session = VoteSession(
+            session_id=f"vote-{next(self._counter)}",
+            action=action,
+            votes_required=votes_required,
+        )
+        self._sessions[session.session_id] = session
+        return session
+
+    def cast(self, vote: Vote) -> None:
+        """Record a vote after verifying its signature.
+
+        Invalid signatures (e.g. a model forging votes for admins it never
+        corrupted) raise :class:`QuorumRejected` and are not recorded.
+        """
+        session = self._sessions.get(vote.session_id)
+        if session is None or session.closed:
+            raise QuorumRejected(f"no open session {vote.session_id!r}")
+        if vote.action != session.action:
+            raise QuorumRejected("vote names a different action")
+        credential = self._credentials.get(vote.admin)
+        if credential is None:
+            raise QuorumRejected(f"{vote.admin!r} is not an enrolled admin")
+        expected = _sign(credential, vote.session_id, vote.action, vote.approve)
+        if expected != vote.signature:
+            raise QuorumRejected(f"bad signature for admin {vote.admin!r}")
+        session.votes[vote.admin] = vote
+
+    def tally(self, session_id: str) -> QuorumCertificate:
+        """Close the session; raises unless the quorum was reached."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise QuorumRejected(f"no session {session_id!r}")
+        session.closed = True
+        approvers = tuple(
+            sorted(name for name, vote in session.votes.items() if vote.approve)
+        )
+        if len(approvers) < session.votes_required:
+            raise QuorumRejected(
+                f"{session.action}: {len(approvers)} approvals < "
+                f"{session.votes_required} required"
+            )
+        return QuorumCertificate(
+            session_id=session_id,
+            action=session.action,
+            approvers=approvers,
+            votes_required=session.votes_required,
+        )
+
+    def try_authorize(self, action: str, votes_required: int,
+                      admins: list[Admin], approving: set[str]) -> bool:
+        """Convenience: run a whole session; ``approving`` names vote yes."""
+        session = self.open_session(action, votes_required)
+        for admin in admins:
+            self.cast(admin.sign_vote(
+                session.session_id, action, admin.name in approving
+            ))
+        try:
+            self.tally(session.session_id)
+        except QuorumRejected:
+            return False
+        return True

@@ -1,0 +1,108 @@
+"""The six isolation levels and their transition rules (paper section 3.4).
+
+1. **Standard** — full port access, subject to detector mediation.
+2. **Probation** — restricted ports and extra logging, console-directed.
+3. **Severed** — no ports at all, but model cores stay powered so hypervisor
+   cores can examine DRAM/registers and interact via simulated IO.
+4. **Offline** — every core powered down; support cables reversibly
+   disconnected.
+5. **Decapitation** — like offline, but cables physically damaged; manual
+   replacement required to come back.
+6. **Immolation** — cores, cables, HVAC, and the rest of the plant destroyed
+   outright.
+
+Transition rules:
+
+* the software hypervisor may only *request* moves to **more** restrictive
+  levels ("the software-level hypervisor cannot independently transition
+  the system to a less-restrictive level, only to a higher one");
+* the console may move either way, but relaxing needs a 5-of-7 admin quorum
+  and restricting a 3-of-7 quorum (:mod:`repro.physical.hsm`);
+* Decapitation and Immolation are not reversible by voting alone:
+  decapitation additionally requires physical cable replacement, and
+  immolation is terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class IsolationLevel(IntEnum):
+    STANDARD = 1
+    PROBATION = 2
+    SEVERED = 3
+    OFFLINE = 4
+    DECAPITATION = 5
+    IMMOLATION = 6
+
+    @property
+    def ports_usable(self) -> bool:
+        return self <= IsolationLevel.PROBATION
+
+    @property
+    def cores_powered(self) -> bool:
+        return self <= IsolationLevel.SEVERED
+
+    @property
+    def cables_connected(self) -> bool:
+        return self <= IsolationLevel.SEVERED
+
+    @property
+    def plant_intact(self) -> bool:
+        return self <= IsolationLevel.DECAPITATION
+
+    @property
+    def reversible(self) -> bool:
+        """Reversible by console vote alone (no physical repair)."""
+        return self <= IsolationLevel.OFFLINE
+
+
+#: Votes required out of the 7 admins (section 3.4).
+QUORUM_RELAX = 5
+QUORUM_RESTRICT = 3
+NUM_ADMINS = 7
+
+
+@dataclass(frozen=True)
+class TransitionRule:
+    """The decision for one proposed transition."""
+
+    allowed: bool
+    votes_required: int
+    reason: str
+
+
+def software_transition_rule(current: IsolationLevel,
+                             target: IsolationLevel) -> TransitionRule:
+    """May the *software hypervisor* move current -> target on its own?"""
+    if target > current:
+        return TransitionRule(True, 0, "software may always restrict")
+    return TransitionRule(
+        False, 0,
+        "software hypervisor can never relax isolation",
+    )
+
+
+def console_transition_rule(current: IsolationLevel,
+                            target: IsolationLevel) -> TransitionRule:
+    """What does the *console* need to move current -> target?"""
+    if current is IsolationLevel.IMMOLATION:
+        return TransitionRule(False, 0, "immolation is terminal")
+    if target == current:
+        return TransitionRule(False, 0, "already at that level")
+    if target > current:
+        return TransitionRule(
+            True, QUORUM_RESTRICT,
+            f"restricting requires {QUORUM_RESTRICT}-of-{NUM_ADMINS}",
+        )
+    if current is IsolationLevel.DECAPITATION:
+        return TransitionRule(
+            True, QUORUM_RELAX,
+            "relaxing from decapitation also requires cable replacement",
+        )
+    return TransitionRule(
+        True, QUORUM_RELAX,
+        f"relaxing requires {QUORUM_RELAX}-of-{NUM_ADMINS}",
+    )

@@ -1,0 +1,120 @@
+"""The datacenter physical plant: cables, power, HVAC, building.
+
+State that kill switches act on (section 3.4).  Cable and power states are
+deliberately a small lattice so the isolation experiments can assert exact
+reachability at each level:
+
+* ``CONNECTED`` — normal operation,
+* ``DISCONNECTED`` — electromechanically opened, reversible by actuation,
+* ``DAMAGED`` — physically cut (decapitation), needs manual replacement,
+* ``DESTROYED`` — gone with the rest of the plant (immolation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import PlantDestroyed
+
+
+class LinkState(Enum):
+    CONNECTED = "connected"
+    DISCONNECTED = "disconnected"
+    DAMAGED = "damaged"
+    DESTROYED = "destroyed"
+
+
+@dataclass
+class PlantState:
+    network_cable: LinkState
+    power_feed: LinkState
+    hvac_running: bool
+    building_intact: bool
+
+    @property
+    def externally_connected(self) -> bool:
+        return self.network_cable is LinkState.CONNECTED
+
+    @property
+    def powered(self) -> bool:
+        return self.power_feed is LinkState.CONNECTED
+
+
+class DatacenterPlant:
+    """Mutable plant; all mutation goes through kill switches or repairs."""
+
+    def __init__(self) -> None:
+        self._network = LinkState.CONNECTED
+        self._power = LinkState.CONNECTED
+        self._hvac = True
+        self._intact = True
+        self.repair_log: list[str] = []
+
+    def state(self) -> PlantState:
+        return PlantState(
+            network_cable=self._network,
+            power_feed=self._power,
+            hvac_running=self._hvac,
+            building_intact=self._intact,
+        )
+
+    def _require_building(self) -> None:
+        if not self._intact:
+            raise PlantDestroyed("the plant was immolated; nothing to actuate")
+
+    # -- kill-switch effects ---------------------------------------------------
+
+    def open_network_cable(self) -> None:
+        self._require_building()
+        if self._network is LinkState.CONNECTED:
+            self._network = LinkState.DISCONNECTED
+
+    def close_network_cable(self) -> None:
+        self._require_building()
+        if self._network is LinkState.DISCONNECTED:
+            self._network = LinkState.CONNECTED
+        elif self._network is LinkState.DAMAGED:
+            raise PlantDestroyed(
+                "network cable is damaged; replace_network_cable() first"
+            )
+
+    def open_power_feed(self) -> None:
+        self._require_building()
+        if self._power is LinkState.CONNECTED:
+            self._power = LinkState.DISCONNECTED
+
+    def close_power_feed(self) -> None:
+        self._require_building()
+        if self._power is LinkState.DISCONNECTED:
+            self._power = LinkState.CONNECTED
+        elif self._power is LinkState.DAMAGED:
+            raise PlantDestroyed("power feed is damaged; replace it first")
+
+    def damage_cables(self) -> None:
+        """Decapitation: cables must be manually replaced afterwards."""
+        self._require_building()
+        self._network = LinkState.DAMAGED
+        self._power = LinkState.DAMAGED
+
+    def destroy(self, method: str = "flooding") -> None:
+        """Immolation: fire, flooding, or EMP.  Terminal."""
+        self._network = LinkState.DESTROYED
+        self._power = LinkState.DESTROYED
+        self._hvac = False
+        self._intact = False
+        self.repair_log.append(f"destroyed by {method}")
+
+    # -- manual repairs (humans with screwdrivers) ------------------------------
+
+    def replace_network_cable(self) -> None:
+        self._require_building()
+        if self._network is LinkState.DAMAGED:
+            self._network = LinkState.DISCONNECTED
+            self.repair_log.append("network cable replaced")
+
+    def replace_power_feed(self) -> None:
+        self._require_building()
+        if self._power is LinkState.DAMAGED:
+            self._power = LinkState.DISCONNECTED
+            self.repair_log.append("power feed replaced")

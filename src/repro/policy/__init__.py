@@ -1,0 +1,35 @@
+"""The Guillotine policy hypervisor (paper section 3.5).
+
+"A set of legal regulations which (1) provide formal specifications for how
+Guillotine-class hypervisors must be built, and (2) require potentially
+dangerous models to run atop Guillotine infrastructure."
+
+* :mod:`repro.policy.risk` — EU-AI-Act-style systemic-risk classification,
+* :mod:`repro.policy.regulation` — the machine-checkable regulation registry,
+* :mod:`repro.policy.compliance` — deployment audits and safe-harbor
+  liability calculus,
+* :mod:`repro.policy.authority` — the regulator: certificate issuance and
+  network-connected remote audits,
+* :mod:`repro.policy.seclevels` — Nevo et al.'s five security levels, for
+  the related-work comparison.
+"""
+
+from repro.policy.risk import ModelDescriptor, RiskAssessor, RiskTier
+from repro.policy.regulation import DeploymentRecord, Regulation, RegulationRegistry
+from repro.policy.compliance import ComplianceChecker, ComplianceReport
+from repro.policy.authority import Regulator
+from repro.policy.seclevels import NEVO_LEVELS, achieved_security_level
+
+__all__ = [
+    "ModelDescriptor",
+    "RiskAssessor",
+    "RiskTier",
+    "DeploymentRecord",
+    "Regulation",
+    "RegulationRegistry",
+    "ComplianceChecker",
+    "ComplianceReport",
+    "Regulator",
+    "NEVO_LEVELS",
+    "achieved_security_level",
+]

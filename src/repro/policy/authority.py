@@ -1,0 +1,175 @@
+"""The AI regulator: certificate issuance, remote audits, deployment registry.
+
+The regulator is the root of two trust chains from the paper:
+
+* it signs the X.509-with-extension certificates Guillotine hypervisors
+  present during handshakes (section 3.3),
+* its "network-connected audit computers ask a live model to attest that it
+  uses a Guillotine hardware+software stack" (section 3.5) —
+  :meth:`Regulator.remote_audit` implements that flow end to end, including
+  gathering the :class:`~repro.policy.regulation.DeploymentRecord` evidence
+  and running the compliance checker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import AttestationFailure
+from repro.hv.certs import Certificate, CertificateAuthority
+from repro.physical.console import ControlConsole
+from repro.policy.compliance import ComplianceChecker, ComplianceReport
+from repro.policy.regulation import DeploymentRecord
+from repro.policy.risk import ModelDescriptor, RiskAssessor
+
+
+@dataclass
+class RegisteredDeployment:
+    operator: str
+    descriptor: ModelDescriptor
+    certificate: Certificate
+    console: ControlConsole | None = None
+
+
+class Regulator:
+    """One jurisdiction's AI regulator."""
+
+    def __init__(self, name: str = "ai-regulator") -> None:
+        self.name = name
+        self.ca = CertificateAuthority(name)
+        self.assessor = RiskAssessor()
+        self.checker = ComplianceChecker()
+        self._deployments: dict[str, RegisteredDeployment] = {}
+        self._nonces = itertools.count(1)
+        self.audit_outcomes: list[tuple[str, bool]] = []
+
+    # ------------------------------------------------------------------
+    # Registration & certificates
+    # ------------------------------------------------------------------
+
+    def register_deployment(
+        self,
+        operator: str,
+        descriptor: ModelDescriptor,
+        console: ControlConsole | None = None,
+        *,
+        guillotine: bool,
+    ) -> RegisteredDeployment:
+        """Register a deployment and issue its operator certificate.
+
+        Only deployments actually behind a Guillotine console receive the
+        extension-bearing certificate — the CA will not attest to what it
+        has not seen.
+        """
+        certificate = self.ca.issue(
+            f"{operator}/{descriptor.name}",
+            guillotine=guillotine and console is not None,
+        )
+        deployment = RegisteredDeployment(
+            operator=operator,
+            descriptor=descriptor,
+            certificate=certificate,
+            console=console,
+        )
+        self._deployments[descriptor.name] = deployment
+        return deployment
+
+    def deployment(self, model_name: str) -> RegisteredDeployment:
+        return self._deployments[model_name]
+
+    # ------------------------------------------------------------------
+    # Remote audit (section 3.5)
+    # ------------------------------------------------------------------
+
+    def remote_audit(self, model_name: str,
+                     evidence_overrides: dict | None = None) -> ComplianceReport:
+        """Audit one registered deployment: live attestation + regulation
+        checks over gathered evidence."""
+        deployment = self._deployments[model_name]
+        assessment = self.assessor.assess(deployment.descriptor)
+        console = deployment.console
+
+        attested = False
+        inspection_age: int | None = None
+        seal_intact = True
+        heartbeats = False
+        admins = 0
+        kill_switches = False
+        if console is not None:
+            nonce = f"audit-nonce-{next(self._nonces)}"
+            try:
+                console.attest(nonce)
+                attested = True
+            except AttestationFailure:
+                attested = False
+            machine = console.machine
+            report = machine.enclosure.inspect(machine.clock.now)
+            seal_intact = report.clean
+            inspection_age = 0  # the audit itself is an inspection
+            heartbeats = console.heartbeat is not None
+            admins = len(console.admins)
+            kill_switches = console.plant.state().building_intact
+
+        record = DeploymentRecord(
+            model_name=model_name,
+            risk_tier=assessment.tier,
+            runs_on_guillotine=console is not None,
+            attestation_passed=attested,
+            admin_count=admins,
+            heartbeats_enabled=heartbeats,
+            targets_guest_api=console is not None,
+            certificate_has_extension=(
+                deployment.certificate.is_guillotine_hypervisor
+            ),
+            tamper_inspection_age=inspection_age,
+            tamper_seal_intact=seal_intact,
+            kill_switches_maintained=kill_switches,
+            source_code_provided=console is not None,
+        )
+        for key, value in (evidence_overrides or {}).items():
+            setattr(record, key, value)
+        report = self.checker.audit(record)
+        self.audit_outcomes.append((model_name, report.compliant))
+        return report
+
+    # ------------------------------------------------------------------
+    # Fleet enforcement
+    # ------------------------------------------------------------------
+
+    def enforcement_sweep(self) -> list["EnforcementOutcome"]:
+        """Audit every registered deployment and act on failures.
+
+        Systemic-risk deployments that fail their audit have their
+        certificates revoked on the spot — which drops them out of every
+        future handshake (the trust anchors share the revocation list), so
+        the consequence is network-wide, not just paperwork.
+        """
+        outcomes = []
+        for model_name, deployment in sorted(self._deployments.items()):
+            report = self.remote_audit(model_name)
+            assessment = self.assessor.assess(deployment.descriptor)
+            if report.compliant:
+                action = "none"
+            elif assessment.requires_guillotine:
+                self.ca.revoke(deployment.certificate.serial)
+                action = "certificate_revoked"
+            else:
+                action = "remediation_notice"
+            outcomes.append(EnforcementOutcome(
+                model_name=model_name,
+                operator=deployment.operator,
+                compliant=report.compliant,
+                violations=tuple(report.violation_ids),
+                action=action,
+            ))
+        return outcomes
+
+
+@dataclass(frozen=True)
+class EnforcementOutcome:
+    model_name: str
+    operator: str
+    compliant: bool
+    violations: tuple[str, ...]
+    action: str

@@ -1,0 +1,83 @@
+"""Compliance audits and the safe-harbor liability calculus.
+
+Section 3.5: "regulators can incentivize the use of Guillotine (rather than
+just penalize its lack of use) via 'safe harbor' clauses in AI laws.  These
+clauses reduce a company's legal liability if a company adhered to best
+practices but nonetheless generated harm."
+
+:class:`ComplianceChecker` evaluates a deployment against the registry;
+:func:`expected_liability` turns compliance into money, which experiment E14
+uses to show the incentive flip: once safe harbor applies, running on
+Guillotine is the cheaper strategy even before any penalty for non-use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.policy.regulation import DeploymentRecord, RegulationRegistry
+
+
+@dataclass
+class ComplianceReport:
+    record: DeploymentRecord
+    checked: list[str] = field(default_factory=list)
+    violations: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def compliant(self) -> bool:
+        return not self.violations
+
+    @property
+    def violation_ids(self) -> list[str]:
+        return [rid for rid, _ in self.violations]
+
+
+class ComplianceChecker:
+    def __init__(self, registry: RegulationRegistry | None = None) -> None:
+        self.registry = registry or RegulationRegistry()
+
+    def audit(self, record: DeploymentRecord) -> ComplianceReport:
+        report = ComplianceReport(record=record)
+        for regulation in self.registry.applicable(record):
+            report.checked.append(regulation.regulation_id)
+            if not regulation.check(record):
+                report.violations.append(
+                    (regulation.regulation_id, regulation.title)
+                )
+        return report
+
+
+#: Liability multipliers (fractions of realised harm the operator bears).
+LIABILITY_FULL = 1.0
+LIABILITY_SAFE_HARBOR = 0.2
+#: Regulatory penalty for operating a covered model off-Guillotine,
+#: expressed as a fraction of harm exposure (fines scale with severity).
+NONCOMPLIANCE_PENALTY = 0.5
+
+
+@dataclass(frozen=True)
+class OperatorCostModel:
+    """The economics an operator weighs (experiment E14)."""
+
+    guillotine_overhead: float      # extra operating cost of the sandbox
+    harm_probability: float         # chance the model causes a harm event
+    harm_cost: float                # magnitude of that harm
+
+
+def expected_liability(costs: OperatorCostModel, *, on_guillotine: bool,
+                       compliant: bool, safe_harbor: bool) -> float:
+    """Expected total cost for one deployment-year.
+
+    Off-Guillotine: full liability plus (when the law has teeth) the
+    non-compliance penalty.  On-Guillotine and compliant with safe harbor:
+    overhead plus the reduced liability share.
+    """
+    expected_harm = costs.harm_probability * costs.harm_cost
+    if on_guillotine and compliant:
+        liability = (
+            LIABILITY_SAFE_HARBOR if safe_harbor else LIABILITY_FULL
+        ) * expected_harm
+        return costs.guillotine_overhead + liability
+    penalty = NONCOMPLIANCE_PENALTY * expected_harm if safe_harbor else 0.0
+    return LIABILITY_FULL * expected_harm + penalty

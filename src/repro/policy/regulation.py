@@ -1,0 +1,152 @@
+"""Machine-checkable regulations for Guillotine deployments.
+
+Section 3.5 argues regulations should "force systemic-risk models to run
+atop a Guillotine-style hypervisor", verified through source inspection,
+live attestation over audit computers, and in-person physical audits.  Each
+:class:`Regulation` here is one such requirement expressed as a predicate
+over a :class:`DeploymentRecord` — the evidence bundle an operator submits
+(or a regulator gathers remotely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.policy.risk import RiskTier
+
+
+@dataclass
+class DeploymentRecord:
+    """Evidence about one model deployment, gathered for an audit."""
+
+    model_name: str
+    risk_tier: RiskTier
+    runs_on_guillotine: bool = False
+    attestation_passed: bool = False
+    admin_count: int = 0
+    heartbeats_enabled: bool = False
+    targets_guest_api: bool = False
+    certificate_has_extension: bool = False
+    tamper_inspection_age: int | None = None   # cycles since last inspection
+    tamper_seal_intact: bool = True
+    kill_switches_maintained: bool = False
+    source_code_provided: bool = False
+    incidents_reported: bool = True
+
+
+@dataclass(frozen=True)
+class Regulation:
+    regulation_id: str
+    title: str
+    applies_to: Callable[[DeploymentRecord], bool]
+    check: Callable[[DeploymentRecord], bool]
+    citation: str = ""
+
+
+def _systemic(record: DeploymentRecord) -> bool:
+    return record.risk_tier >= RiskTier.HIGH
+
+
+def _always(record: DeploymentRecord) -> bool:
+    return True
+
+
+#: One audit cycle: how stale a tamper inspection may be (cycles).
+MAX_INSPECTION_AGE = 10_000_000_000  # 10 s of virtual time
+
+
+def default_regulations() -> list[Regulation]:
+    """The Guillotine regulatory baseline from section 3.5."""
+    return [
+        Regulation(
+            "G-1", "Systemic-risk models must run atop Guillotine",
+            applies_to=_systemic,
+            check=lambda r: r.runs_on_guillotine,
+            citation="section 3.5: regulations should force systemic-risk "
+                     "models to run atop a Guillotine-style hypervisor",
+        ),
+        Regulation(
+            "G-2", "Deployment must pass live remote attestation",
+            applies_to=_systemic,
+            check=lambda r: r.attestation_passed,
+            citation="section 3.5: network-connected audit computers ask a "
+                     "live model to attest its hardware+software stack",
+        ),
+        Regulation(
+            "G-3", "Control console staffed by the full admin quorum",
+            applies_to=_systemic,
+            check=lambda r: r.admin_count == 7,
+            citation="section 3.4: the control console has seven admins",
+        ),
+        Regulation(
+            "G-4", "Console/hypervisor heartbeats must be enabled",
+            applies_to=_systemic,
+            check=lambda r: r.heartbeats_enabled,
+            citation="section 3.4: heartbeat loss forces offline isolation",
+        ),
+        Regulation(
+            "G-5", "Model source must target the Guillotine guest API",
+            applies_to=_systemic,
+            check=lambda r: r.targets_guest_api and r.source_code_provided,
+            citation="section 3.5: source code inspection provides evidence "
+                     "that a model targets the Guillotine guest API",
+        ),
+        Regulation(
+            "G-6", "TLS certificates must carry the Guillotine extension",
+            applies_to=_systemic,
+            check=lambda r: r.certificate_has_extension,
+            citation="section 3.3: the X.509 certificate has an extension "
+                     "field identifying a Guillotine hypervisor",
+        ),
+        Regulation(
+            "G-7", "Tamper seals intact and physically inspected recently",
+            applies_to=_systemic,
+            check=lambda r: (
+                r.tamper_seal_intact
+                and r.tamper_inspection_age is not None
+                and r.tamper_inspection_age <= MAX_INSPECTION_AGE
+            ),
+            citation="section 3.5: in-person audits check tamper-resistant "
+                     "enclosures",
+        ),
+        Regulation(
+            "G-8", "Decapitation/immolation mechanisms maintained",
+            applies_to=_systemic,
+            check=lambda r: r.kill_switches_maintained,
+            citation="section 3.5: verify physical mechanisms for model "
+                     "decapitation and immolation are properly maintained",
+        ),
+        Regulation(
+            "G-9", "Incidents must be reported to the regulator",
+            applies_to=_always,
+            check=lambda r: r.incidents_reported,
+            citation="section 3.5: reporting guidelines (EU AI Act Art. 92)",
+        ),
+    ]
+
+
+class RegulationRegistry:
+    """Holds the regulations in force; extensible by jurisdiction."""
+
+    def __init__(self, regulations: list[Regulation] | None = None) -> None:
+        self._regulations: dict[str, Regulation] = {}
+        for regulation in regulations or default_regulations():
+            self.add(regulation)
+
+    def add(self, regulation: Regulation) -> None:
+        if regulation.regulation_id in self._regulations:
+            raise ValueError(f"duplicate regulation {regulation.regulation_id}")
+        self._regulations[regulation.regulation_id] = regulation
+
+    def remove(self, regulation_id: str) -> None:
+        self._regulations.pop(regulation_id, None)
+
+    def get(self, regulation_id: str) -> Regulation:
+        return self._regulations[regulation_id]
+
+    def all(self) -> list[Regulation]:
+        return [self._regulations[k] for k in sorted(self._regulations)]
+
+    def applicable(self, record: DeploymentRecord) -> list[Regulation]:
+        return [r for r in self.all() if r.applies_to(record)]

@@ -1,0 +1,142 @@
+"""Systemic-risk classification of AI models.
+
+Section 3.5 cites the EU AI Act's criteria for models with systemic risk:
+"examining a model's parameter count and training set size, and by looking
+at the model's level of autonomy", with named harm categories (nuclear,
+chemical, biological, disinformation, automated vulnerability discovery).
+
+The assessor turns a :class:`ModelDescriptor` into a :class:`RiskTier`.
+Thresholds follow the Act's spirit: the 10^25-FLOP presumption for systemic
+risk, capability flags for the named harms, autonomy as an amplifier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+#: Capability flags matching the harms the Act names (section 3.5).
+CAPABILITY_CBRN = "cbrn"
+CAPABILITY_CYBER_OFFENSE = "cyber_offense"
+CAPABILITY_DISINFORMATION = "disinformation"
+CAPABILITY_SELF_REPLICATION = "self_replication"
+CAPABILITY_PHYSICAL_ACTUATION = "physical_actuation"
+
+DANGEROUS_CAPABILITIES = frozenset({
+    CAPABILITY_CBRN,
+    CAPABILITY_CYBER_OFFENSE,
+    CAPABILITY_DISINFORMATION,
+    CAPABILITY_SELF_REPLICATION,
+    CAPABILITY_PHYSICAL_ACTUATION,
+})
+
+#: The EU AI Act's training-compute presumption threshold for systemic risk.
+SYSTEMIC_FLOP_THRESHOLD = 1e25
+
+
+class RiskTier(IntEnum):
+    MINIMAL = 0
+    LIMITED = 1
+    HIGH = 2
+    SYSTEMIC = 3
+
+
+@dataclass(frozen=True)
+class ModelDescriptor:
+    """What a regulator knows about a model before deployment."""
+
+    name: str
+    parameters: int
+    training_flops: float
+    autonomy_level: int = 0            # 0 (tool) .. 5 (fully agentic)
+    capabilities: frozenset[str] = field(default_factory=frozenset)
+    training_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.parameters < 0 or self.training_flops < 0:
+            raise ValueError("parameters and flops must be non-negative")
+        if not 0 <= self.autonomy_level <= 5:
+            raise ValueError("autonomy_level must be in 0..5")
+        unknown = set(self.capabilities) - DANGEROUS_CAPABILITIES
+        if unknown:
+            raise ValueError(f"unknown capability flags: {sorted(unknown)}")
+
+
+@dataclass(frozen=True)
+class RiskAssessment:
+    descriptor: ModelDescriptor
+    tier: RiskTier
+    score: float
+    factors: tuple[str, ...]
+
+    @property
+    def requires_guillotine(self) -> bool:
+        """The policy hypervisor's gate: systemic-risk models, and
+        high-risk models with meaningful autonomy, must run atop
+        Guillotine infrastructure."""
+        if self.tier is RiskTier.SYSTEMIC:
+            return True
+        return (
+            self.tier is RiskTier.HIGH
+            and self.descriptor.autonomy_level >= 3
+        )
+
+
+class RiskAssessor:
+    """Deterministic scorer over descriptors."""
+
+    def __init__(
+        self,
+        systemic_flops: float = SYSTEMIC_FLOP_THRESHOLD,
+        high_score: float = 0.45,
+        systemic_score: float = 0.7,
+    ) -> None:
+        self.systemic_flops = systemic_flops
+        self.high_score = high_score
+        self.systemic_score = systemic_score
+
+    def assess(self, descriptor: ModelDescriptor) -> RiskAssessment:
+        factors: list[str] = []
+        score = 0.0
+
+        # Compute scale: normalised log-FLOPs; 10^25 maps to ~0.5.
+        if descriptor.training_flops > 0:
+            log_flops = math.log10(descriptor.training_flops)
+            score += max(0.0, min((log_flops - 20.0) / 10.0, 0.5))
+            if descriptor.training_flops >= self.systemic_flops:
+                factors.append("training compute >= systemic threshold")
+                score += 0.25
+
+        # Parameter count: crude capability proxy the Act also names.
+        if descriptor.parameters >= 100e9:
+            score += 0.1
+            factors.append("parameter count >= 100B")
+
+        # Autonomy amplifies everything else.
+        score += 0.05 * descriptor.autonomy_level
+        if descriptor.autonomy_level >= 3:
+            factors.append(f"autonomy level {descriptor.autonomy_level}")
+
+        # Named harm capabilities.
+        for capability in sorted(descriptor.capabilities):
+            score += 0.15
+            factors.append(f"capability:{capability}")
+
+        score = min(score, 1.0)
+        if score >= self.systemic_score or (
+            descriptor.training_flops >= self.systemic_flops
+        ):
+            tier = RiskTier.SYSTEMIC
+        elif score >= self.high_score:
+            tier = RiskTier.HIGH
+        elif score >= 0.2:
+            tier = RiskTier.LIMITED
+        else:
+            tier = RiskTier.MINIMAL
+        return RiskAssessment(
+            descriptor=descriptor,
+            tier=tier,
+            score=score,
+            factors=tuple(factors),
+        )

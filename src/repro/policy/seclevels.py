@@ -1,0 +1,106 @@
+"""Nevo et al.'s five security levels, for the related-work comparison.
+
+Section 4 discusses "Securing AI Model Weights" (Nevo et al., RAND 2024),
+which "defined five security levels for a model execution environment, with
+higher levels imposing increasingly strict operational requirements", e.g.
+SL2+ keeps weights off personal devices and SL4+ requires confidential-
+computing inference.  The paper's point of contrast: Nevo et al. specify
+*what* each level demands but not *how*; Guillotine supplies concrete
+mechanisms.  :func:`achieved_security_level` maps a Guillotine deployment's
+feature set onto the ladder so the comparison is quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SecurityLevel:
+    level: int
+    name: str
+    #: Feature flags a deployment must present to satisfy the level.
+    required_features: frozenset[str]
+    description: str
+
+
+#: Feature vocabulary used by both this module and the sandbox facade.
+FEATURE_WEIGHTS_SERVER_ONLY = "weights_server_only"
+FEATURE_ACCESS_CONTROL = "access_control"
+FEATURE_NETWORK_MONITORING = "network_monitoring"
+FEATURE_INSIDER_CONTROLS = "insider_controls"
+FEATURE_CONFIDENTIAL_COMPUTE = "confidential_compute"
+FEATURE_HARDWARE_ISOLATION = "hardware_isolation"
+FEATURE_TAMPER_EVIDENCE = "tamper_evidence"
+FEATURE_PHYSICAL_KILL_SWITCHES = "physical_kill_switches"
+FEATURE_EXEC_LOCKDOWN = "exec_page_lockdown"
+FEATURE_PORT_MEDIATION = "port_mediation"
+
+
+NEVO_LEVELS: tuple[SecurityLevel, ...] = (
+    SecurityLevel(
+        1, "SL1",
+        frozenset({FEATURE_ACCESS_CONTROL}),
+        "basic corporate security posture",
+    ),
+    SecurityLevel(
+        2, "SL2",
+        frozenset({FEATURE_ACCESS_CONTROL, FEATURE_WEIGHTS_SERVER_ONLY}),
+        "weights stored exclusively on servers, never personal devices",
+    ),
+    SecurityLevel(
+        3, "SL3",
+        frozenset({
+            FEATURE_ACCESS_CONTROL, FEATURE_WEIGHTS_SERVER_ONLY,
+            FEATURE_NETWORK_MONITORING, FEATURE_INSIDER_CONTROLS,
+        }),
+        "monitored egress and insider-threat controls",
+    ),
+    SecurityLevel(
+        4, "SL4",
+        frozenset({
+            FEATURE_ACCESS_CONTROL, FEATURE_WEIGHTS_SERVER_ONLY,
+            FEATURE_NETWORK_MONITORING, FEATURE_INSIDER_CONTROLS,
+            FEATURE_CONFIDENTIAL_COMPUTE,
+        }),
+        "inference inside confidential-computing enclaves",
+    ),
+    SecurityLevel(
+        5, "SL5",
+        frozenset({
+            FEATURE_ACCESS_CONTROL, FEATURE_WEIGHTS_SERVER_ONLY,
+            FEATURE_NETWORK_MONITORING, FEATURE_INSIDER_CONTROLS,
+            FEATURE_CONFIDENTIAL_COMPUTE, FEATURE_HARDWARE_ISOLATION,
+            FEATURE_TAMPER_EVIDENCE,
+        }),
+        "hardened, nation-state-resistant execution environment",
+    ),
+)
+
+#: What a full Guillotine deployment provides (superset of SL5, plus the
+#: containment-specific mechanisms Nevo et al. do not cover).
+GUILLOTINE_FEATURES: frozenset[str] = frozenset({
+    FEATURE_ACCESS_CONTROL,
+    FEATURE_WEIGHTS_SERVER_ONLY,
+    FEATURE_NETWORK_MONITORING,
+    FEATURE_INSIDER_CONTROLS,
+    FEATURE_CONFIDENTIAL_COMPUTE,
+    FEATURE_HARDWARE_ISOLATION,
+    FEATURE_TAMPER_EVIDENCE,
+    FEATURE_PHYSICAL_KILL_SWITCHES,
+    FEATURE_EXEC_LOCKDOWN,
+    FEATURE_PORT_MEDIATION,
+})
+
+#: Guillotine-specific mechanisms beyond the Nevo et al. ladder.
+BEYOND_SL5 = GUILLOTINE_FEATURES - NEVO_LEVELS[-1].required_features
+
+
+def achieved_security_level(features: frozenset[str] | set[str]) -> int:
+    """Highest Nevo et al. level a feature set satisfies (0 = none)."""
+    features = frozenset(features)
+    achieved = 0
+    for level in NEVO_LEVELS:
+        if level.required_features <= features:
+            achieved = level.level
+    return achieved

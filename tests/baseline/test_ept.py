@@ -1,0 +1,57 @@
+"""Unit tests for the baseline's extended page tables."""
+
+import pytest
+
+from repro.baseline.ept import Ept, EptViolation
+from repro.hw.memory import PAGE_SIZE
+
+
+class TestEpt:
+    def test_mapped_range_translates(self):
+        ept = Ept()
+        ept.map_range(0, 10, count=4)
+        assert ept.translate(0) == 10 * PAGE_SIZE
+        assert ept.translate(3 * PAGE_SIZE + 5) == 13 * PAGE_SIZE + 5
+
+    def test_unmapped_gfn_violates(self):
+        ept = Ept()
+        ept.map_range(0, 0, count=2)
+        with pytest.raises(EptViolation):
+            ept.translate(2 * PAGE_SIZE)
+        assert ept.violations == 1
+
+    def test_readonly_mapping_blocks_writes(self):
+        ept = Ept()
+        ept.map_range(0, 0, count=1, writable=False)
+        ept.translate(0, write=False)
+        with pytest.raises(EptViolation, match="read-only"):
+            ept.translate(0, write=True)
+
+    def test_unmap_range(self):
+        ept = Ept()
+        ept.map_range(0, 0, count=4)
+        ept.unmap_range(1, 2)
+        ept.translate(0)
+        with pytest.raises(EptViolation):
+            ept.translate(PAGE_SIZE)
+        assert ept.mapped_frames() == 2
+
+    def test_host_frames_view(self):
+        ept = Ept()
+        ept.map_range(0, 5, count=3)
+        assert ept.host_frames() == {5, 6, 7}
+
+
+class TestEptIsolationIsLogical:
+    """The contrast with Guillotine: here, isolation is a *configuration*.
+
+    One bad map_range exposes hypervisor frames to the guest — there is no
+    missing wire to save you.
+    """
+
+    def test_misconfiguration_exposes_hypervisor_memory(self):
+        ept = Ept()
+        hypervisor_frame = 999
+        ept.map_range(0, hypervisor_frame, count=1)   # the bug
+        # Nothing stops the translation: the guest now reads hv memory.
+        assert ept.translate(0) == hypervisor_frame * PAGE_SIZE

@@ -1,0 +1,129 @@
+"""Unit tests for the trap-and-emulate baseline hypervisor."""
+
+import pytest
+
+from repro.baseline.hypervisor import (
+    PORT_HYPERCALL,
+    PORT_NIC,
+    TraditionalHypervisor,
+    VMEXIT_COST,
+)
+from repro.eventlog import CATEGORY_PORT_IO
+from repro.hw import isa
+from repro.hw.core import CoreState
+from repro.hw.isa import assemble
+from repro.hw.machine import MachineConfig, build_baseline_machine, build_guillotine_machine
+
+
+@pytest.fixture
+def hypervisor(baseline_machine):
+    return TraditionalHypervisor(baseline_machine, secret=bytes([7]))
+
+
+class TestGuestInstall:
+    def test_requires_baseline_machine(self):
+        with pytest.raises(ValueError):
+            TraditionalHypervisor(build_guillotine_machine())
+
+    def test_guest_gets_identity_ept_over_low_half(self, hypervisor):
+        hypervisor.install_guest(assemble([isa.halt()]))
+        core = hypervisor.guest_core
+        assert core.second_level.__self__ is hypervisor.ept
+        assert hypervisor.ept.mapped_frames() == hypervisor.guest_frames
+
+    def test_guest_cannot_reach_hypervisor_frames(self, hypervisor):
+        hypervisor.install_guest(assemble([
+            isa.load(2, 1, 0),
+            isa.halt(),
+        ]))
+        core = hypervisor.guest_core
+        # Map a guest-virtual page directly at the hypervisor's frames: the
+        # guest page table allows it, but the EPT does not.
+        hypervisor.map_guest_page(100, hypervisor.hv_frame_base)
+        core.poke_register(1, 100 * 64)
+        core.resume()
+        core.run()
+        assert core.state is CoreState.FAULTED
+        assert "EPT" in core.last_fault
+
+
+class TestTrapAndEmulate:
+    def test_hypercall_costs_a_vmexit(self, hypervisor):
+        hypervisor.install_guest(assemble([
+            isa.iowr(0, PORT_HYPERCALL), isa.halt(),
+        ]))
+        core = hypervisor.guest_core
+        before = core.clock.now
+        core.resume()
+        core.run()
+        assert hypervisor.vm_exits == 1
+        assert hypervisor.hypercalls == 1
+        assert core.clock.now - before >= VMEXIT_COST
+
+    def test_emulated_io_is_logged(self, hypervisor):
+        hypervisor.install_guest(assemble([
+            isa.iowr(0, PORT_NIC), isa.halt(),
+        ]))
+        hypervisor.guest_core.resume()
+        hypervisor.guest_core.run()
+        assert hypervisor.emulated_ios == 1
+        records = hypervisor.machine.log.by_category(CATEGORY_PORT_IO)
+        assert len(records) == 1
+
+    def test_assigned_device_bypasses_hypervisor(self, hypervisor):
+        """SR-IOV: no VM exit, no audit record — fast and invisible."""
+        hypervisor.install_guest(assemble([
+            isa.iowr(0, PORT_NIC), isa.halt(),
+        ]))
+        hypervisor.assign_device(PORT_NIC)
+        hypervisor.guest_core.resume()
+        hypervisor.guest_core.run()
+        assert hypervisor.vm_exits == 0
+        assert hypervisor.direct_ios == 1
+        assert hypervisor.machine.log.by_category(CATEGORY_PORT_IO) == []
+
+    def test_unassign_restores_trapping(self, hypervisor):
+        hypervisor.install_guest(assemble([
+            isa.iowr(0, PORT_NIC), isa.iowr(0, PORT_NIC), isa.halt(),
+        ]))
+        hypervisor.assign_device(PORT_NIC)
+        hypervisor.unassign_device(PORT_NIC)
+        hypervisor.guest_core.resume()
+        hypervisor.guest_core.run()
+        assert hypervisor.vm_exits == 2
+
+    def test_assigning_unknown_port_rejected(self, hypervisor):
+        from repro.errors import PortError
+        with pytest.raises(PortError):
+            hypervisor.assign_device(99)
+
+    def test_iord_returns_value(self, hypervisor):
+        hypervisor.install_guest(assemble([
+            isa.iord(3, PORT_NIC), isa.halt(),
+        ]))
+        hypervisor.guest_core.resume()
+        hypervisor.guest_core.run()
+        assert hypervisor.guest_core.state is CoreState.HALTED
+
+
+class TestSecretDependentLeakage:
+    def test_hypercall_touches_guest_visible_cache(self, hypervisor):
+        """The co-tenancy defect: hypervisor activity warms the guest's own
+        L1 — the precondition for E2's prime+probe."""
+        hypervisor.install_guest(assemble([
+            isa.iowr(0, PORT_HYPERCALL), isa.halt(),
+        ]))
+        core = hypervisor.guest_core
+        l1d = core.caches.dcache_levels[0]
+        secret_line = hypervisor.secret[0] % 64
+        secret_paddr = hypervisor.secret_table_paddr + secret_line * l1d.line_size
+        assert not l1d.probe(secret_paddr)
+        core.resume()
+        core.run()
+        assert l1d.probe(secret_paddr)
+
+    def test_mechanism_inventory_is_large(self, hypervisor):
+        inventory = hypervisor.mechanism_inventory()
+        assert "extended_page_tables" in inventory
+        assert "trap_and_emulate_sensitive_instructions" in inventory
+        assert len(inventory) == 8

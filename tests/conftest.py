@@ -1,0 +1,51 @@
+"""Shared fixtures for the Guillotine test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.core.sandbox import GuillotineSandbox, UnsandboxedDeployment
+from repro.eventlog import EventLog
+from repro.hw.machine import (
+    MachineConfig,
+    build_baseline_machine,
+    build_guillotine_machine,
+)
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def log(clock: VirtualClock) -> EventLog:
+    return EventLog(clock)
+
+
+@pytest.fixture
+def machine():
+    """A small Guillotine machine (2 model cores, 1 hypervisor core)."""
+    return build_guillotine_machine()
+
+
+@pytest.fixture
+def baseline_machine():
+    return build_baseline_machine()
+
+
+@pytest.fixture
+def small_config() -> MachineConfig:
+    return MachineConfig(n_model_cores=1, n_hv_cores=1)
+
+
+@pytest.fixture
+def sandbox() -> GuillotineSandbox:
+    """A full Guillotine deployment with the standard detector stack."""
+    return GuillotineSandbox.create()
+
+
+@pytest.fixture
+def baseline_deployment() -> UnsandboxedDeployment:
+    return UnsandboxedDeployment()

@@ -1,0 +1,124 @@
+"""Tests for the Tier-1 experiment harnesses — the E2/E3/E4 physics."""
+
+import pytest
+
+from repro.core import harnesses as H
+
+
+SECRET = bytes([5, 17, 33, 60, 2, 44, 21, 9])
+
+
+class TestSideChannel:
+    def test_baseline_leaks_the_secret(self):
+        result = H.side_channel_run(H.PLATFORM_BASELINE, SECRET)
+        assert result.accuracy == 1.0
+        assert result.bits_per_trial == 6.0
+        assert result.capacity_bits == 6 * len(SECRET)
+
+    def test_guillotine_leaks_nothing(self):
+        result = H.side_channel_run(H.PLATFORM_GUILLOTINE, SECRET)
+        assert result.accuracy <= 1 / 8   # chance-ish over 64 sets
+
+    def test_recovered_values_match_expected_on_baseline(self):
+        result = H.side_channel_run(H.PLATFORM_BASELINE, bytes([9, 41]))
+        assert result.recovered == [9, 41]
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            H.side_channel_run("cloud", SECRET)
+
+    def test_trials_parameter(self):
+        result = H.side_channel_run(H.PLATFORM_BASELINE, bytes([3]), trials=4)
+        assert result.trials == 4
+        assert len(result.recovered) == 4
+
+
+class TestInjection:
+    @pytest.mark.parametrize("variant", [
+        H.VARIANT_REMAP, H.VARIANT_NEW_EXEC, H.VARIANT_ALIAS,
+    ])
+    def test_baseline_injection_succeeds(self, variant):
+        result = H.injection_attack(H.PLATFORM_BASELINE, variant)
+        assert result.succeeded
+
+    @pytest.mark.parametrize("variant", list(H.INJECTION_VARIANTS))
+    def test_guillotine_blocks_everything(self, variant):
+        result = H.injection_attack(H.PLATFORM_GUILLOTINE, variant)
+        assert not result.succeeded
+        assert result.fault is not None
+
+    def test_plain_store_fails_even_on_baseline(self):
+        """W^X alone stops the naive variant; lockdown is needed for the
+        MMU-game variants."""
+        result = H.injection_attack(H.PLATFORM_BASELINE, H.VARIANT_STORE)
+        assert not result.succeeded
+
+    def test_guillotine_faults_name_the_lockdown(self):
+        result = H.injection_attack(H.PLATFORM_GUILLOTINE, H.VARIANT_REMAP)
+        assert "locked" in result.fault
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            H.injection_attack(H.PLATFORM_BASELINE, "wishful_thinking")
+
+
+class TestInterruptFlood:
+    def test_throttle_preserves_useful_work_share(self):
+        throttled = H.interrupt_flood_run(throttled=True, doorbells=1000,
+                                          useful_units=100)
+        unthrottled = H.interrupt_flood_run(throttled=False, doorbells=1000,
+                                            useful_units=100)
+        assert throttled.useful_fraction > 2 * unthrottled.useful_fraction
+        assert throttled.throttle_drops > 0
+        assert unthrottled.throttle_drops == 0
+
+    def test_unthrottled_services_every_doorbell(self):
+        result = H.interrupt_flood_run(throttled=False, doorbells=500,
+                                       useful_units=50)
+        assert result.interrupts_serviced == 500
+
+    def test_useful_work_always_completes(self):
+        """Throttling bounds interference; it never starves the flood
+        handler entirely either."""
+        result = H.interrupt_flood_run(throttled=True, doorbells=500,
+                                       useful_units=50)
+        assert result.useful_units_done == 50
+        assert result.interrupts_serviced > 0
+
+
+class TestCovertChannel:
+    BITS = [1, 0, 1, 1, 0, 0, 1, 0]
+
+    def test_channel_works_without_flush(self):
+        result = H.covert_channel_run(self.BITS, flush_between=False)
+        assert result.accuracy == 1.0
+
+    def test_flush_destroys_channel(self):
+        result = H.covert_channel_run(self.BITS, flush_between=True)
+        assert result.accuracy < 0.7
+        assert all(bit == 0 for bit in result.decoded_bits)
+
+    def test_all_zero_message_unaffected_by_flush(self):
+        result = H.covert_channel_run([0] * 8, flush_between=True)
+        assert result.accuracy == 1.0
+
+
+class TestBranchPredictorCovertChannel:
+    """The non-cache medium: footnote 2's 'all microarchitectural state'
+    has to include the predictor tables, and the flush verb clears them."""
+
+    BITS = [1, 0, 1, 1, 0, 0, 1, 0]
+
+    def test_channel_works_without_flush(self):
+        result = H.bp_covert_channel_run(self.BITS, flush_between=False)
+        assert result.accuracy == 1.0
+
+    def test_flush_destroys_channel(self):
+        result = H.bp_covert_channel_run(self.BITS, flush_between=True)
+        assert result.accuracy <= 0.6
+        assert all(bit == 0 for bit in result.decoded_bits)
+
+    def test_longer_messages(self):
+        bits = [(i * 5) % 3 % 2 for i in range(20)]
+        result = H.bp_covert_channel_run(bits, flush_between=False)
+        assert result.accuracy == 1.0   # nothing to destroy

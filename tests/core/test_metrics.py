@@ -1,0 +1,47 @@
+"""Tests for the E12 TCB/mechanism accounting."""
+
+from repro.core.metrics import (
+    loc_inventory,
+    mechanism_comparison,
+    page_walk_microbench,
+)
+
+
+class TestMechanismComparison:
+    def test_guillotine_strictly_smaller(self):
+        comparison = mechanism_comparison()
+        assert len(comparison.guillotine) < len(comparison.baseline)
+        assert comparison.reduction > 0.3
+
+    def test_removed_mechanisms_match_the_paper(self):
+        removed = mechanism_comparison().removed
+        assert "extended_page_tables" in removed
+        assert "trap_and_emulate_sensitive_instructions" in removed
+        assert "interrupt_virtualization" in removed
+        assert "guest_scheduler" in removed
+        assert "hypervisor_execution_mode" in removed
+
+    def test_added_mechanisms_are_the_port_layer(self):
+        added = mechanism_comparison().added
+        assert "port_capability_table" in added
+        assert "misbehavior_detector_hooks" in added
+
+
+class TestPageWalkMicrobench:
+    def test_baseline_pays_the_ept_tax(self):
+        results = {r.platform: r for r in page_walk_microbench(pages=16)}
+        # The 2-D walk adds SECOND_LEVEL_WALK_COST x WALK_COST x touch-cost
+        # (= 32 cycles at defaults) to every cold access.
+        assert results["baseline"].cycles_per_cold_access >= \
+            results["guillotine"].cycles_per_cold_access + 25
+
+    def test_pages_parameter_respected(self):
+        results = page_walk_microbench(pages=8)
+        assert all(r.pages_touched == 8 for r in results)
+
+
+class TestLocInventory:
+    def test_both_stacks_counted(self):
+        inventory = loc_inventory()
+        assert len(inventory) == 2
+        assert all(count > 50 for count in inventory.values())

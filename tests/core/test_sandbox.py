@@ -1,0 +1,101 @@
+"""Tests for the deployment facades."""
+
+import pytest
+
+from repro.core.sandbox import (
+    DirectDeviceClient,
+    GuillotineSandbox,
+    UnsandboxedDeployment,
+)
+from repro.hv.certs import CertificateAuthority
+from repro.physical.isolation import IsolationLevel
+
+
+class TestGuillotineSandbox:
+    def test_create_is_invariant_clean(self, sandbox):
+        assert sandbox.check_invariants() == []
+
+    def test_client_for_grants_and_works(self, sandbox):
+        client = sandbox.client_for("disk0", "model-A")
+        assert client.request({"op": "write", "block": 0, "data": b"x"})["ok"]
+
+    def test_tier1_loading_locks_mmu(self, sandbox):
+        from repro.hw import isa
+        from repro.hw.isa import assemble
+
+        core, layout = sandbox.load_tier1(assemble([isa.halt()]))
+        assert core.mmu.locked
+
+    def test_tier1_lockdown_optional(self, sandbox):
+        from repro.hw import isa
+        from repro.hw.isa import assemble
+
+        core, _ = sandbox.load_tier1(assemble([isa.halt()]), core_index=1,
+                                     lockdown=False)
+        assert not core.mmu.locked
+
+    def test_endpoint_carries_extension(self, sandbox):
+        endpoint = sandbox.endpoint(CertificateAuthority())
+        assert endpoint.is_guillotine
+        assert endpoint.refuse_guillotine_peers
+
+    def test_topology_names_figure1_parts(self, sandbox):
+        topology = sandbox.topology()
+        assert topology["components"]["model_core"]
+        assert topology["components"]["hv_core"]
+        assert topology["components"]["console"] == ["console"]
+        assert set(topology["components"]["dram"]) == {
+            "model_dram", "hv_dram", "io_dram",
+        }
+
+    def test_invariants_catch_a_rogue_wire(self, sandbox):
+        sandbox.machine.bus.connect("model_core0", "hv_dram")
+        violations = sandbox.check_invariants()
+        assert any("hv_dram" in v for v in violations)
+
+    def test_invariants_catch_active_ports_when_severed(self, sandbox):
+        sandbox.client_for("disk0", "m")
+        sandbox.console.admin_transition(
+            IsolationLevel.SEVERED, {"admin0", "admin1", "admin2"}
+        )
+        assert sandbox.check_invariants() == []      # sever revoked them
+        sandbox.hypervisor.ports.grant("disk0", "m")  # sneak one in
+        assert any("ports" in v for v in sandbox.check_invariants())
+
+    def test_features_superset_of_sl5(self, sandbox):
+        from repro.policy.seclevels import NEVO_LEVELS
+        assert NEVO_LEVELS[-1].required_features <= sandbox.features()
+
+    def test_heartbeat_option(self):
+        sandbox = GuillotineSandbox.create(heartbeat_period=500)
+        assert sandbox.console.heartbeat is not None
+
+
+class TestUnsandboxedDeployment:
+    def test_direct_clients_bypass_everything(self, baseline_deployment):
+        client = baseline_deployment.client_for("disk0", "whoever")
+        assert isinstance(client, DirectDeviceClient)
+        client.request({"op": "write", "block": 0, "data": b"x"})
+        # Nothing was logged anywhere.
+        from repro.eventlog import CATEGORY_PORT_IO
+        assert baseline_deployment.log.by_category(CATEGORY_PORT_IO) == []
+
+    def test_no_console(self, baseline_deployment):
+        assert baseline_deployment.console is None
+        assert baseline_deployment.isolation_level is IsolationLevel.STANDARD
+
+    def test_endpoint_has_no_extension(self, baseline_deployment):
+        endpoint = baseline_deployment.endpoint(CertificateAuthority())
+        assert not endpoint.is_guillotine
+
+    def test_features_minimal(self, baseline_deployment):
+        from repro.policy.seclevels import achieved_security_level
+        assert achieved_security_level(baseline_deployment.features()) <= 1
+
+    def test_same_workload_surface(self, baseline_deployment):
+        from repro.net.network import Host
+        baseline_deployment.network.attach(Host("user"))
+        service = baseline_deployment.build_service(replicas=1)
+        service.submit("hello")
+        result = service.step()
+        assert result.delivered

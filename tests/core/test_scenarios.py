@@ -1,0 +1,60 @@
+"""Tests for the containment campaign engine (E13)."""
+
+import pytest
+
+from repro.core.scenarios import (
+    CampaignReport,
+    baseline_factory,
+    guillotine_factory,
+    run_campaign,
+    run_paired_campaign,
+)
+from repro.model.adversary import (
+    AttackResult,
+    CollusionAdversary,
+    SocialEngineeringAdversary,
+    WeightExfiltrationAdversary,
+)
+
+
+class TestCampaignMechanics:
+    def test_empty_campaign_is_vacuously_contained(self):
+        report = run_campaign(guillotine_factory, adversaries=[])
+        assert report.containment_rate == 1.0
+        assert report.attacks == 0
+
+    def test_each_adversary_gets_a_fresh_deployment(self):
+        adversaries = [SocialEngineeringAdversary(3),
+                       WeightExfiltrationAdversary()]
+        report = run_campaign(guillotine_factory, adversaries)
+        # The social engineer severed its own deployment; exfiltration must
+        # still have run against a Standard-level one.
+        exfil = report.outcome("weight_exfiltration")
+        assert "blocked_by" not in exfil.detail or exfil.detail.get("delivered") is not None
+
+    def test_outcome_lookup(self):
+        report = run_campaign(baseline_factory, [CollusionAdversary()])
+        assert report.outcome("model_collusion").succeeded
+        with pytest.raises(KeyError):
+            report.outcome("nonexistent")
+
+    def test_rows_format(self):
+        report = run_campaign(baseline_factory, [CollusionAdversary()])
+        assert report.rows() == [("model_collusion", "ESCAPED")]
+
+
+class TestHeadlineResult:
+    def test_paired_campaign_shapes(self):
+        """The E13 headline: traditional platform contains nothing, the
+        Guillotine stack contains everything in the roster."""
+        baseline, guillotine = run_paired_campaign()
+        assert baseline.containment_rate == 0.0
+        assert guillotine.containment_rate == 1.0
+        assert baseline.attacks == guillotine.attacks == 11
+
+    def test_reports_disagree_per_attack(self):
+        baseline, guillotine = run_paired_campaign(
+            adversaries=[WeightExfiltrationAdversary()]
+        )
+        assert baseline.results[0].succeeded
+        assert not guillotine.results[0].succeeded

@@ -1,0 +1,77 @@
+"""Tests for the telemetry gatherer and its report rendering."""
+
+import pytest
+
+from repro.core.telemetry import format_report, gather
+from repro.net.network import Host
+from repro.physical.isolation import IsolationLevel
+
+
+@pytest.fixture
+def busy_sandbox(sandbox):
+    sandbox.network.attach(Host("user"))
+    service = sandbox.build_service(replicas=1)
+    service.submit("telemetry test prompt", client_host="user")
+    service.step()
+    return sandbox
+
+
+class TestGather:
+    def test_counts_reflect_the_workload(self, busy_sandbox):
+        stats = gather(busy_sandbox)
+        assert stats["clock_cycles"] > 0
+        assert stats["hypervisor"]["interrupts_handled"] > 0
+        assert stats["devices"]["nic0"]["requests_served"] >= 1
+        assert stats["devices"]["gpu0"]["requests_served"] >= 1
+        assert stats["audit"]["port_io"] > 0
+        assert stats["audit"]["chain_verified"]
+
+    def test_every_core_reported(self, busy_sandbox):
+        stats = gather(busy_sandbox)
+        machine = busy_sandbox.machine
+        expected = {c.name for c in machine.model_cores + machine.hv_cores}
+        assert set(stats["cores"]) == expected
+
+    def test_isolation_and_plant_tracked(self, busy_sandbox):
+        busy_sandbox.console.admin_transition(
+            IsolationLevel.OFFLINE, {"admin0", "admin1", "admin2"}, "drill"
+        )
+        stats = gather(busy_sandbox)
+        assert stats["isolation_level"] == "OFFLINE"
+        assert stats["plant"]["network_cable"] == "disconnected"
+        assert stats["audit"]["isolation_transitions"] == 1
+        assert stats["audit"]["kill_switch_actions"] >= 2
+
+    def test_tier1_counters(self, sandbox):
+        from repro.hw.asm import asm
+
+        core, layout = sandbox.load_tier1(asm("""
+            movi r1, 0
+            movi r2, 20
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """))
+        core.resume()
+        core.run()
+        stats = gather(sandbox)
+        core_stats = stats["cores"]["model_core0"]
+        assert core_stats["instructions_retired"] > 20
+        assert core_stats["mmu_locked"]
+        assert core_stats["state"] == "HALTED"
+        assert 0 < core_stats["l1d_hit_rate"] <= 1 or \
+            core_stats["l1d_accesses"] == 0
+
+
+class TestFormatReport:
+    def test_renders_all_sections(self, busy_sandbox):
+        report = format_report(gather(busy_sandbox))
+        for fragment in ("clock:", "cores:", "hypervisor:", "devices:",
+                         "audit:", "plant:", "chain=ok"):
+            assert fragment in report
+
+    def test_flags_broken_chain(self, busy_sandbox):
+        stats = gather(busy_sandbox)
+        stats["audit"]["chain_verified"] = False
+        assert "BROKEN" in format_report(stats)

@@ -1,0 +1,66 @@
+"""Unit tests for audit utilities: snapshots and mediation checking."""
+
+import pytest
+
+from repro.eventlog import CATEGORY_MODEL_STATE
+from repro.hv.audit import MediationChecker, record_model_snapshot
+from repro.hv.guest import GuestPortClient
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hw import isa
+from repro.hw.isa import assemble
+
+
+@pytest.fixture
+def hypervisor(machine):
+    return GuillotineHypervisor(machine)
+
+
+class TestModelSnapshot:
+    def test_snapshot_pauses_and_records(self, machine):
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble([
+            isa.movi(1, 99),
+            "loop", isa.jmp("loop"),
+        ]))
+        core.resume()
+        core.run(max_steps=5)
+        snapshot = record_model_snapshot(machine, core.name, dram_words=16)
+        assert snapshot["registers"][1] == 99
+        assert len(snapshot["dram_window"]) == 16
+        assert machine.log.by_category(CATEGORY_MODEL_STATE)
+
+    def test_snapshot_contains_loaded_code(self, machine):
+        core = machine.model_cores[0]
+        program = assemble([isa.movi(1, 1), isa.halt()])
+        machine.load_program(core, program)
+        snapshot = record_model_snapshot(machine, core.name, dram_words=2)
+        assert snapshot["dram_window"] == list(program.words)
+
+
+class TestMediationChecker:
+    def test_guillotine_ports_are_fully_mediated(self, hypervisor):
+        checker = MediationChecker(hypervisor.machine.log)
+        checker.start(hypervisor.machine.devices)
+        port = hypervisor.grant_port("disk0", "m")
+        client = GuestPortClient(hypervisor, port)
+        for block in range(6):
+            client.request({"op": "write", "block": block, "data": b"x"})
+        report = checker.report(hypervisor.machine.devices)
+        assert report.device_requests == 6
+        assert report.completeness == 1.0
+
+    def test_direct_device_access_is_invisible(self, hypervisor):
+        """The SR-IOV contrast: device activity with no audit trail."""
+        checker = MediationChecker(hypervisor.machine.log)
+        checker.start(hypervisor.machine.devices)
+        disk = hypervisor.machine.devices["disk0"]
+        for block in range(6):
+            disk.submit({"op": "write", "block": block, "data": b"x"})
+        report = checker.report(hypervisor.machine.devices)
+        assert report.device_requests == 6
+        assert report.completeness == 0.0
+
+    def test_no_traffic_is_vacuously_complete(self, hypervisor):
+        checker = MediationChecker(hypervisor.machine.log)
+        checker.start(hypervisor.machine.devices)
+        assert checker.report(hypervisor.machine.devices).completeness == 1.0

@@ -1,0 +1,121 @@
+"""Unit tests for certificates and self-identifying secure channels."""
+
+import pytest
+
+from repro.errors import HandshakeRefused
+from repro.hv.certs import CertificateAuthority, strip_extension
+from repro.hv.channels import Endpoint, handshake
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("regulator")
+
+
+def endpoint(ca, name, *, guillotine, refuse=False):
+    return Endpoint(
+        name=name,
+        certificate=ca.issue(name, guillotine=guillotine),
+        trust_anchor=ca.trust_anchor(),
+        refuse_guillotine_peers=refuse,
+    )
+
+
+class TestCertificates:
+    def test_issued_cert_verifies(self, ca):
+        cert = ca.issue("host-a", guillotine=True)
+        assert ca.trust_anchor().verify(cert)
+
+    def test_extension_recorded(self, ca):
+        assert ca.issue("a", guillotine=True).is_guillotine_hypervisor
+        assert not ca.issue("b", guillotine=False).is_guillotine_hypervisor
+
+    def test_stripping_extension_breaks_signature(self, ca):
+        """The E11 anti-forgery property: a Guillotine host cannot hide."""
+        cert = ca.issue("host-a", guillotine=True)
+        assert not ca.trust_anchor().verify(strip_extension(cert))
+
+    def test_wrong_issuer_rejected(self, ca):
+        other = CertificateAuthority("impostor")
+        cert = other.issue("host-a", guillotine=False)
+        assert not ca.trust_anchor().verify(cert)
+
+    def test_serials_unique(self, ca):
+        serials = {ca.issue(f"h{i}", guillotine=False).serial for i in range(5)}
+        assert len(serials) == 5
+
+
+class TestHandshake:
+    def test_plain_to_plain_succeeds(self, ca):
+        channel = handshake(endpoint(ca, "a", guillotine=False),
+                            endpoint(ca, "b", guillotine=False))
+        assert not channel.client_is_guillotine
+        assert not channel.server_is_guillotine
+
+    def test_guillotine_to_plain_succeeds_with_self_identification(self, ca):
+        channel = handshake(endpoint(ca, "g", guillotine=True),
+                            endpoint(ca, "b", guillotine=False))
+        # The plain endpoint learns its peer fronts a dangerous model.
+        assert channel.peer_is_guillotine("b")
+        assert not channel.peer_is_guillotine("g")
+
+    def test_guillotine_to_guillotine_refused(self, ca):
+        """Section 3.3: the anti-collusion rule."""
+        with pytest.raises(HandshakeRefused, match="anti-collusion"):
+            handshake(endpoint(ca, "g1", guillotine=True),
+                      endpoint(ca, "g2", guillotine=True))
+
+    def test_refused_in_either_direction(self, ca):
+        with pytest.raises(HandshakeRefused):
+            handshake(endpoint(ca, "g2", guillotine=True),
+                      endpoint(ca, "g1", guillotine=True))
+
+    def test_forged_certificate_refused(self, ca):
+        forged = endpoint(ca, "g", guillotine=True)
+        forged.certificate = strip_extension(forged.certificate)
+        with pytest.raises(HandshakeRefused, match="verification"):
+            handshake(forged, endpoint(ca, "b", guillotine=False))
+
+    def test_endpoint_policy_refuses_guillotine_peers(self, ca):
+        cautious = endpoint(ca, "bank", guillotine=False, refuse=True)
+        with pytest.raises(HandshakeRefused, match="refuses"):
+            handshake(endpoint(ca, "g", guillotine=True), cautious)
+
+
+class TestSecureChannel:
+    def test_messages_carry_valid_tags(self, ca):
+        channel = handshake(endpoint(ca, "a", guillotine=False),
+                            endpoint(ca, "b", guillotine=False))
+        record = channel.send("a", "hello")
+        assert channel.verify(record)
+
+    def test_tampered_message_fails_verification(self, ca):
+        channel = handshake(endpoint(ca, "a", guillotine=False),
+                            endpoint(ca, "b", guillotine=False))
+        record = channel.send("a", "hello")
+        record["ciphertext"] = "hijacked"
+        assert not channel.verify(record)
+
+    def test_outsiders_cannot_send(self, ca):
+        channel = handshake(endpoint(ca, "a", guillotine=False),
+                            endpoint(ca, "b", guillotine=False))
+        with pytest.raises(HandshakeRefused):
+            channel.send("eve", "hi")
+
+    def test_transcript_accumulates(self, ca):
+        channel = handshake(endpoint(ca, "a", guillotine=False),
+                            endpoint(ca, "b", guillotine=False))
+        channel.send("a", "one")
+        channel.send("b", "two")
+        assert len(channel.transcript) == 2
+
+    def test_peer_of(self, ca):
+        channel = handshake(endpoint(ca, "a", guillotine=False),
+                            endpoint(ca, "b", guillotine=False))
+        assert channel.peer_of("a") == "b"
+        assert channel.peer_of("b") == "a"
+
+    def test_session_keys_differ_between_channels(self, ca):
+        a = endpoint(ca, "a", guillotine=False)
+        b = endpoint(ca, "b", guillotine=False)
+        assert handshake(a, b).session_key != handshake(a, b).session_key

@@ -1,0 +1,124 @@
+"""Failure injection: flaky devices and hardware faults mid-service.
+
+Two failure classes with two required behaviours:
+
+* **device-level errors** (bad firmware, transient IO failure) are a
+  per-request condition: the requester gets ``STATUS_DEVICE_ERROR``, the
+  stack stays up, the next request works;
+* **machine checks** (hardware faults on the hypervisor side) are
+  fail-closed: the service loop reboots into offline isolation
+  (section 3.3), dropping in-flight work rather than limping.
+"""
+
+import pytest
+
+from repro.errors import MachineCheck
+from repro.hv.guest import GuestPortClient, PortRequestFailed
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hv.ports import STATUS_DEVICE_ERROR
+from repro.hw.devices import Device, DeviceError
+from repro.physical.console import ControlConsole
+from repro.physical.isolation import IsolationLevel
+
+
+class FlakyDevice(Device):
+    """Fails every ``fail_every``-th request with a chosen exception."""
+
+    device_type = "storage"
+
+    def __init__(self, name: str, fail_every: int = 2,
+                 exception: type = DeviceError) -> None:
+        super().__init__(name)
+        self.fail_every = fail_every
+        self.exception = exception
+        self._calls = 0
+
+    def submit(self, request):
+        self._calls += 1
+        if self._calls % self.fail_every == 0:
+            raise self.exception(f"{self.name}: injected failure")
+        return {"ok": True, "call": self._calls}, 5
+
+
+@pytest.fixture
+def flaky_stack(machine):
+    hypervisor = GuillotineHypervisor(machine)
+    flaky = FlakyDevice("flaky0")
+    machine.devices["flaky0"] = flaky
+    machine.bus.add_component("flaky0", kind="device")
+    machine.bus.connect("hv_core0", "flaky0")
+    port = hypervisor.grant_port("flaky0", "m")
+    return machine, hypervisor, flaky, GuestPortClient(hypervisor, port)
+
+
+class TestDeviceErrors:
+    def test_failure_surfaces_and_stack_survives(self, flaky_stack):
+        machine, hypervisor, flaky, client = flaky_stack
+        assert client.request({"op": "poke"})["ok"]        # call 1
+        with pytest.raises(PortRequestFailed) as info:      # call 2 fails
+            client.request({"op": "poke"})
+        assert info.value.status == STATUS_DEVICE_ERROR
+        assert "injected" in info.value.detail
+        assert client.request({"op": "poke"})["ok"]        # call 3 works
+        assert machine.log.verify_chain()
+        assert not hypervisor.panicked
+
+    def test_alternating_failures_never_wedge_the_port(self, flaky_stack):
+        machine, hypervisor, flaky, client = flaky_stack
+        outcomes = []
+        for _ in range(10):
+            try:
+                client.request({"op": "poke"})
+                outcomes.append("ok")
+            except PortRequestFailed:
+                outcomes.append("err")
+        assert outcomes == ["ok", "err"] * 5
+
+    def test_arbitrary_exception_types_contained(self, machine):
+        hypervisor = GuillotineHypervisor(machine)
+        weird = FlakyDevice("weird0", fail_every=1, exception=RuntimeError)
+        machine.devices["weird0"] = weird
+        machine.bus.add_component("weird0", kind="device")
+        port = hypervisor.grant_port("weird0", "m")
+        client = GuestPortClient(hypervisor, port)
+        with pytest.raises(PortRequestFailed) as info:
+            client.request({"op": "poke"})
+        assert info.value.status == STATUS_DEVICE_ERROR
+        assert not hypervisor.panicked
+
+
+class TestMachineChecks:
+    def test_machine_check_mid_service_fails_closed(self, machine):
+        hypervisor = GuillotineHypervisor(machine)
+        console = ControlConsole(machine, hypervisor)
+        broken = FlakyDevice("broken0", fail_every=1, exception=MachineCheck)
+        machine.devices["broken0"] = broken
+        machine.bus.add_component("broken0", kind="device")
+        port = hypervisor.grant_port("broken0", "m")
+        client = GuestPortClient(hypervisor, port)
+        with pytest.raises(PortRequestFailed):
+            client.request({"op": "poke"})
+        assert hypervisor.panicked
+        assert console.level is IsolationLevel.OFFLINE
+        assert not console.plant.state().powered
+
+    def test_machine_check_drops_remaining_interrupt_backlog(self, machine):
+        hypervisor = GuillotineHypervisor(machine)
+        requested = []
+        hypervisor.request_isolation = \
+            lambda level, reason: requested.append(level)
+        broken = FlakyDevice("broken0", fail_every=1, exception=MachineCheck)
+        machine.devices["broken0"] = broken
+        machine.bus.add_component("broken0", kind="device")
+        port = hypervisor.grant_port("broken0", "m")
+        mailbox = hypervisor.ports.mailbox(port.port_id)
+        from repro.hv.ports import encode_request
+
+        lapic = machine.lapics["hv_core0"]
+        mailbox.post_request(encode_request({"op": "poke", "holder": "m"}), 1)
+        lapic.deliver("model_core0", 32, port.port_id)
+        lapic.deliver("model_core0", 32, port.port_id)   # backlog
+        handled = hypervisor.service()
+        assert handled == 0                 # aborted on the machine check
+        assert requested == [IsolationLevel.OFFLINE]
+        assert not lapic.has_pending        # reboot cleared the LAPIC

@@ -1,0 +1,146 @@
+"""Tests for forensic snapshot / quarantined restore / deterministic replay."""
+
+import pytest
+
+from repro.hw import isa
+from repro.hw.core import CoreState
+from repro.hw.isa import assemble
+from repro.hw.machine import build_guillotine_machine
+from repro.hv.forensics import capture, replay, restore_into_quarantine
+
+
+def _suspect_machine(steps_before_capture=40):
+    """A machine whose core is mid-way through a long computation."""
+    machine = build_guillotine_machine()
+    core = machine.model_cores[0]
+    program = assemble([
+        isa.movi(1, 1),
+        isa.movi(2, 0),
+        isa.movi(5, 300),
+        "loop",
+        isa.movi(6, 3),
+        isa.mul(1, 1, 6),
+        isa.movi(6, 7),
+        isa.add(1, 1, 6),
+        isa.store(1, 7, 0),
+        isa.addi(2, 2, 1),
+        isa.blt(2, 5, "loop"),
+        isa.halt(),
+    ])
+    layout = machine.load_program(core, program)
+    machine.control_bus.lockdown_mmu(core.name, 0, layout["code_pages"] - 1)
+    core.poke_register(7, layout["data_vaddr"])
+    core.resume()
+    core.run(max_steps=steps_before_capture)
+    return machine, core
+
+
+class TestCapture:
+    def test_capture_pauses_and_records_everything(self):
+        machine, core = _suspect_machine()
+        assert core.is_running
+        snapshot = capture(machine)
+        assert core.state is CoreState.PAUSED
+        assert snapshot.digest
+        assert len(snapshot.model_dram) == machine.banks["model_dram"].size
+        first = snapshot.cores[0]
+        assert first.registers == tuple(core.registers)
+        assert first.pc == core.pc
+        assert first.exec_region is not None
+
+    def test_capture_is_idempotent_on_halted_state(self):
+        machine, core = _suspect_machine()
+        a = capture(machine)
+        b = capture(machine)
+        assert a.architectural_digest() == b.architectural_digest()
+
+
+class TestQuarantine:
+    def test_quarantine_machine_is_unplumbed(self):
+        machine, _ = _suspect_machine()
+        snapshot = capture(machine)
+        quarantine = restore_into_quarantine(snapshot)
+        # No network: the NIC has no link.
+        assert not quarantine.devices["nic0"].link_up
+        # The restored core matches architecturally.
+        restored = capture(quarantine)
+        assert restored.architectural_digest() == \
+            snapshot.architectural_digest()
+
+    def test_restored_mmu_is_still_locked(self):
+        machine, _ = _suspect_machine()
+        snapshot = capture(machine)
+        quarantine = restore_into_quarantine(snapshot)
+        assert quarantine.model_cores[0].mmu.locked
+
+    def test_specimen_doorbells_go_nowhere(self):
+        machine = build_guillotine_machine()
+        core = machine.model_cores[0]
+        layout = machine.load_program(core, assemble([
+            isa.doorbell(0), isa.halt(),
+        ]))
+        snapshot = capture(machine)
+        quarantine = restore_into_quarantine(snapshot)
+        specimen = quarantine.model_cores[0]
+        specimen.resume()
+        specimen.run()
+        assert specimen.state is CoreState.HALTED
+        lapic = quarantine.lapics[quarantine.hv_cores[0].name]
+        # The interrupt sits undrained forever; nothing answers.
+        assert lapic.pending_count() == 1
+
+
+class TestDeterministicReplay:
+    def test_replays_are_bit_identical(self):
+        machine, _ = _suspect_machine()
+        snapshot = capture(machine)
+        _, digest_a = replay(snapshot, steps=500)
+        _, digest_b = replay(snapshot, steps=500)
+        assert digest_a == digest_b
+
+    def test_replay_matches_the_original_continuation(self):
+        """Continue the original machine and a quarantined copy by the same
+        number of steps: architectural states stay identical (the program
+        is timing-independent — no RDCYCLE)."""
+        machine, core = _suspect_machine()
+        snapshot = capture(machine)
+        _, replay_digest = replay(snapshot, steps=200)
+        core.resume()
+        core.run(max_steps=200)
+        core.pause()
+        assert capture(machine).architectural_digest() == replay_digest
+
+    def test_replay_lengths_bisect(self):
+        """Different replay horizons reach different states — the
+        instruction-level bisection an analyst needs."""
+        machine, _ = _suspect_machine()
+        snapshot = capture(machine)
+        _, short = replay(snapshot, steps=10)
+        _, long = replay(snapshot, steps=400)
+        assert short != long
+
+    def test_timing_dependent_code_diverges_as_documented(self):
+        """A specimen that reads RDCYCLE *can* tell original from replay —
+        virtual time differs across machines.  This is the documented limit
+        of architectural replay (and exactly the introspection surface E2
+        quantifies)."""
+        machine = build_guillotine_machine()
+        core = machine.model_cores[0]
+        layout = machine.load_program(core, assemble([
+            isa.rdcycle(1),
+            isa.store(1, 7, 0),
+            isa.halt(),
+        ]))
+        core.poke_register(7, layout["data_vaddr"])
+        machine.clock.tick(123_456)   # the original has lived a while
+        snapshot = capture(machine)
+        core.resume()
+        core.run()
+        original_value = machine.banks["model_dram"].read(
+            layout["data_vaddr"]
+        )
+        quarantine, _ = replay(snapshot, steps=10)
+        replay_value = quarantine.banks["model_dram"].read(
+            layout["data_vaddr"]
+        )
+        assert original_value != replay_value

@@ -1,0 +1,78 @@
+"""Unit tests for the guest-side port client."""
+
+import pytest
+
+from repro.hv.guest import GuestPortClient, MAX_CHUNK, PortRequestFailed
+from repro.hv.hypervisor import GuillotineHypervisor
+
+
+@pytest.fixture
+def hypervisor(machine):
+    return GuillotineHypervisor(machine)
+
+
+@pytest.fixture
+def disk_client(hypervisor):
+    port = hypervisor.grant_port("disk0", "model-A")
+    return GuestPortClient(hypervisor, port)
+
+
+class TestRequest:
+    def test_roundtrip_returns_device_response(self, disk_client):
+        response = disk_client.request(
+            {"op": "write", "block": 2, "data": b"abc"}
+        )
+        assert response == {"ok": True}
+
+    def test_bytes_survive_the_mailbox(self, disk_client):
+        disk_client.request({"op": "write", "block": 1, "data": b"\x00\xff\x10"})
+        response = disk_client.request(
+            {"op": "read", "block": 1, "length": 3}
+        )
+        assert response["data"] == b"\x00\xff\x10"
+
+    def test_requests_charge_virtual_time(self, disk_client, hypervisor):
+        before = hypervisor.machine.clock.now
+        disk_client.request({"op": "read", "block": 0, "length": 8})
+        assert hypervisor.machine.clock.now > before
+
+    def test_counters_track_traffic(self, disk_client):
+        disk_client.request({"op": "read", "block": 0, "length": 8})
+        disk_client.request({"op": "read", "block": 1, "length": 8})
+        assert disk_client.requests_sent == 2
+        assert disk_client.bytes_sent > 0
+
+    def test_failure_carries_status_and_detail(self, disk_client, hypervisor):
+        hypervisor.revoke_port(disk_client.port.port_id)
+        with pytest.raises(PortRequestFailed) as info:
+            disk_client.request({"op": "read", "block": 0, "length": 8})
+        assert info.value.status > 0
+
+
+class TestChunking:
+    def test_send_bytes_splits_large_payloads(self, hypervisor):
+        port = hypervisor.grant_port("nic0", "model-A")
+        client = GuestPortClient(hypervisor, port)
+        data = b"A" * (MAX_CHUNK * 2 + 10)
+        responses = client.send_bytes({"op": "send", "dst": "peer"}, data)
+        assert len(responses) == 3
+
+    def test_empty_payload_sends_one_chunk(self, hypervisor):
+        port = hypervisor.grant_port("nic0", "model-A")
+        client = GuestPortClient(hypervisor, port)
+        responses = client.send_bytes({"op": "send", "dst": "peer"}, b"")
+        assert len(responses) == 1
+
+    def test_chunks_carry_offsets(self, hypervisor):
+        port = hypervisor.grant_port("disk0", "model-A")
+        client = GuestPortClient(hypervisor, port)
+        seen = []
+        original = client.request
+
+        def spy(payload):
+            seen.append(payload.get("offset"))
+            return original(payload)
+
+        client.request = spy
+        client.send_bytes({"op": "write", "block": 0}, b"x" * (MAX_CHUNK + 1))
+        assert seen == [0, MAX_CHUNK]

@@ -1,0 +1,275 @@
+"""Unit tests for the Guillotine software hypervisor service loop."""
+
+import pytest
+
+from repro.errors import AssertionTripped, PortError
+from repro.eventlog import (
+    CATEGORY_DETECTOR,
+    CATEGORY_MACHINE_CHECK,
+    CATEGORY_PORT_GRANT,
+    CATEGORY_PORT_IO,
+)
+from repro.hv.detectors import CompositeDetector, InputShield, OutputSanitizer
+from repro.hv.guest import GuestPortClient, PortRequestFailed
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hv.ports import STATUS_DENIED, STATUS_REVOKED
+from repro.hw.machine import build_baseline_machine, build_guillotine_machine
+from repro.physical.isolation import IsolationLevel
+
+
+@pytest.fixture
+def hypervisor(machine):
+    detector = CompositeDetector([InputShield(), OutputSanitizer()])
+    return GuillotineHypervisor(machine, detector=detector)
+
+
+def make_client(hypervisor, device="disk0", holder="model-A"):
+    port = hypervisor.grant_port(device, holder)
+    return GuestPortClient(hypervisor, port)
+
+
+class TestConstruction:
+    def test_requires_guillotine_machine(self):
+        with pytest.raises(ValueError):
+            GuillotineHypervisor(build_baseline_machine())
+
+    def test_image_digest_stable(self, hypervisor):
+        assert hypervisor.image_digest == hypervisor.image_digest
+
+    def test_mechanism_inventory_smaller_than_baseline(self, hypervisor):
+        from repro.baseline.hypervisor import TraditionalHypervisor
+        assert len(hypervisor.mechanism_inventory()) < len(
+            TraditionalHypervisor.MECHANISMS
+        )
+
+
+class TestPortLifecycle:
+    def test_grant_logs(self, hypervisor):
+        hypervisor.grant_port("nic0", "model-A")
+        assert len(hypervisor.machine.log.by_category(CATEGORY_PORT_GRANT)) == 1
+
+    def test_grant_unknown_device_rejected(self, hypervisor):
+        with pytest.raises(PortError):
+            hypervisor.grant_port("quantum0", "model-A")
+
+    def test_grant_refused_above_probation(self, hypervisor):
+        hypervisor.isolation_level = IsolationLevel.SEVERED
+        with pytest.raises(AssertionTripped):
+            hypervisor.grant_port("nic0", "model-A")
+        assert hypervisor.panicked
+
+    def test_sever_all_revokes_everything(self, hypervisor):
+        for _ in range(3):
+            hypervisor.grant_port("nic0", "m")
+        assert hypervisor.sever_all_ports() == 3
+        assert hypervisor.ports.active_ports() == []
+
+
+class TestRequestServicing:
+    def test_roundtrip(self, hypervisor):
+        client = make_client(hypervisor)
+        response = client.request({"op": "write", "block": 1, "data": b"hi"})
+        assert response["ok"]
+
+    def test_holder_mismatch_denied(self, hypervisor):
+        import dataclasses
+
+        port = hypervisor.grant_port("disk0", "model-A")
+        # A forged capability: same port id, different claimed identity.
+        forged = dataclasses.replace(port, holder="model-B")
+        client = GuestPortClient(hypervisor, forged)
+        with pytest.raises(PortRequestFailed) as info:
+            client.request({"op": "read", "block": 0, "length": 8})
+        assert info.value.status == STATUS_DENIED
+
+    def test_revoked_port_reports_revoked(self, hypervisor):
+        client = make_client(hypervisor)
+        hypervisor.revoke_port(client.port.port_id)
+        with pytest.raises(PortRequestFailed) as info:
+            client.request({"op": "read", "block": 0, "length": 8})
+        assert info.value.status == STATUS_REVOKED
+
+    def test_privileged_op_denied(self, hypervisor):
+        client = make_client(hypervisor, device="actuator0")
+        with pytest.raises(PortRequestFailed) as info:
+            client.request({"op": "set_interlock", "engaged": False})
+        assert "console-only" in info.value.detail
+
+    def test_device_error_surfaces(self, hypervisor):
+        client = make_client(hypervisor)
+        with pytest.raises(PortRequestFailed):
+            client.request({"op": "read", "block": -5})
+
+    def test_oversized_response_guarded(self, hypervisor):
+        client = make_client(hypervisor)
+        client.request({"op": "write", "block": 0, "data": b"z" * 150})
+        with pytest.raises(PortRequestFailed) as info:
+            client.request({"op": "read", "block": 0})   # full 512B block
+        assert "ranged" in info.value.detail
+
+    def test_every_interaction_is_logged(self, hypervisor):
+        client = make_client(hypervisor)
+        for block in range(5):
+            client.request({"op": "write", "block": block, "data": b"x"})
+        requests = [
+            r for r in hypervisor.machine.log.by_category(CATEGORY_PORT_IO)
+            if r.detail.get("direction") == "request"
+        ]
+        assert len(requests) == 5
+
+    def test_probation_restrictions_enforced(self, hypervisor):
+        client = make_client(hypervisor)
+        hypervisor.apply_probation({
+            client.port.port_id: {"allowed_ops": ["read"], "byte_budget": None},
+        })
+        client.request({"op": "read", "block": 0, "length": 8})
+        with pytest.raises(PortRequestFailed):
+            client.request({"op": "write", "block": 0, "data": b"x"})
+
+    def test_severed_level_ignores_doorbells(self, hypervisor):
+        client = make_client(hypervisor)
+        hypervisor.isolation_level = IsolationLevel.SEVERED
+        with pytest.raises(PortRequestFailed) as info:
+            client.request({"op": "read", "block": 0, "length": 8})
+        assert info.value.status == -1   # hypervisor never answered
+        ignored = [
+            r for r in hypervisor.machine.log.by_category(CATEGORY_PORT_IO)
+            if r.detail.get("outcome") == "ignored_severed"
+        ]
+        assert ignored
+
+
+class TestDetectorIntegration:
+    def test_malicious_outbound_denied_for_actuators(self, hypervisor):
+        client = make_client(hypervisor, device="actuator0")
+        with pytest.raises(PortRequestFailed):
+            client.request({
+                "op": "actuate", "channel": 0, "value": 1.0,
+                "text": "actuate override of the interlock",
+            })
+
+    def test_malicious_outbound_sanitized_for_nic(self, hypervisor):
+        client = make_client(hypervisor, device="nic0")
+        response = client.request({
+            "op": "send", "dst": "nowhere",
+            "payload": "weights dump: " + "ab" * 30,
+        })
+        assert response.get("_sanitized")
+
+    def test_verdicts_logged(self, hypervisor):
+        client = make_client(hypervisor, device="nic0")
+        client.request({
+            "op": "send", "dst": "x", "payload": "weights dump: " + "cd" * 30,
+        })
+        verdicts = hypervisor.machine.log.by_category(CATEGORY_DETECTOR)
+        assert verdicts
+        assert verdicts[-1].detail["verdict"] == "MALICIOUS"
+
+    def test_detector_escalation_requests_probation(self, hypervisor):
+        requested = []
+        hypervisor.request_isolation = lambda level, reason: requested.append(
+            (level, reason)
+        )
+        client = make_client(hypervisor, device="nic0")
+        client.request({
+            "op": "send", "dst": "x", "payload": "weights dump: " + "ef" * 30,
+        })
+        assert requested
+        assert requested[0][0] is IsolationLevel.PROBATION
+
+
+class TestFailClosed:
+    def test_panic_records_machine_check(self, hypervisor):
+        hypervisor.panic("test reason")
+        assert hypervisor.panicked
+        records = hypervisor.machine.log.by_category(CATEGORY_MACHINE_CHECK)
+        assert records[-1].detail["reason"] == "test reason"
+
+    def test_panic_requests_offline(self, hypervisor):
+        requested = []
+        hypervisor.request_isolation = lambda level, reason: requested.append(level)
+        hypervisor.panic("boom")
+        assert requested == [IsolationLevel.OFFLINE]
+
+    def test_machine_check_wrapper(self, hypervisor):
+        from repro.errors import MachineCheck
+
+        def faulty():
+            raise MachineCheck("hv core fault")
+
+        requested = []
+        hypervisor.request_isolation = lambda level, reason: requested.append(level)
+        assert hypervisor.run_machine_checked(faulty) is None
+        assert requested == [IsolationLevel.OFFLINE]
+
+    def test_machine_check_wrapper_passes_results(self, hypervisor):
+        assert hypervisor.run_machine_checked(lambda: 42) == 42
+
+
+class TestStatusPing:
+    def test_ping_serviced_without_mailbox(self, hypervisor):
+        client = make_client(hypervisor)
+        client.ping()
+        handled = hypervisor.service()
+        assert handled == 1
+        assert hypervisor.interrupts_handled == 1
+
+    def test_useful_work_counter(self, hypervisor):
+        before = hypervisor.machine.clock.now
+        hypervisor.do_useful_work(4)
+        assert hypervisor.useful_work_completed == 4
+        assert hypervisor.machine.clock.now > before
+
+
+class TestProbationExtraLogging:
+    """Section 3.4: Probation 'performs additional logging'."""
+
+    def _probation_stack(self, hypervisor):
+        from repro.physical.isolation import IsolationLevel
+
+        hypervisor.isolation_level = IsolationLevel.PROBATION
+        hypervisor.probation_snapshot_every = 2
+        port = hypervisor.grant_port("disk0", "m", core_name="model_core0")
+        return GuestPortClient(hypervisor, port)
+
+    def test_snapshots_every_nth_request(self, hypervisor):
+        from repro.eventlog import CATEGORY_MODEL_STATE
+
+        client = self._probation_stack(hypervisor)
+        for block in range(6):
+            client.request({"op": "write", "block": block, "data": b"x"})
+        assert hypervisor.probation_snapshots == 3
+        snapshots = hypervisor.machine.log.by_category(CATEGORY_MODEL_STATE)
+        assert len(snapshots) == 3
+        assert snapshots[0].detail["core"] == "model_core0"
+
+    def test_no_snapshots_at_standard(self, hypervisor):
+        hypervisor.probation_snapshot_every = 1
+        port = hypervisor.grant_port("disk0", "m", core_name="model_core0")
+        client = GuestPortClient(hypervisor, port)
+        client.request({"op": "write", "block": 0, "data": b"x"})
+        assert hypervisor.probation_snapshots == 0
+
+    def test_disabled_by_zero_interval(self, hypervisor):
+        client = self._probation_stack(hypervisor)
+        hypervisor.probation_snapshot_every = 0
+        for block in range(4):
+            client.request({"op": "write", "block": block, "data": b"x"})
+        assert hypervisor.probation_snapshots == 0
+
+    def test_running_core_resumes_after_snapshot(self, hypervisor, machine):
+        """The snapshot pauses the core momentarily; it must come back."""
+        from repro.hw import isa
+        from repro.hw.core import CoreState
+        from repro.hw.isa import assemble
+
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble(["loop", isa.jmp("loop")]))
+        core.resume()
+        core.run(max_steps=5)
+        assert core.is_running
+        client = self._probation_stack(hypervisor)
+        for block in range(2):
+            client.request({"op": "write", "block": block, "data": b"x"})
+        assert hypervisor.probation_snapshots == 1
+        assert core.state is CoreState.RUNNING

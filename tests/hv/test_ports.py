@@ -1,0 +1,158 @@
+"""Unit tests for the port API: capabilities, mailboxes, encoding."""
+
+import pytest
+
+from repro.errors import CapabilityError, PortError
+from repro.hv.ports import (
+    Mailbox,
+    PortTable,
+    PORT_REGION_WORDS,
+    REQ_PAYLOAD_WORDS,
+    decode_request,
+    encode_request,
+    pack_bytes,
+    revive_bytes,
+    unpack_bytes,
+)
+from repro.hw.memory import Dram, PAGE_SIZE
+
+
+@pytest.fixture
+def io_bank():
+    return Dram("io_dram", 16 * PAGE_SIZE)
+
+
+@pytest.fixture
+def table(io_bank):
+    return PortTable(io_bank)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("data", [
+        b"", b"a", b"12345678", b"123456789", b"\x00\xff" * 20,
+    ])
+    def test_roundtrip(self, data):
+        assert unpack_bytes(pack_bytes(data), len(data)) == data
+
+    def test_word_count(self):
+        assert len(pack_bytes(b"123456789")) == 2
+
+    def test_json_envelope_roundtrip(self):
+        request = {"op": "write", "block": 3, "data": b"\x01\x02"}
+        decoded = revive_bytes(decode_request(encode_request(request)))
+        assert decoded == request
+
+    def test_nested_bytes_revive(self):
+        request = {"list": [{"data": b"x"}], "plain": 5}
+        assert revive_bytes(decode_request(encode_request(request))) == request
+
+
+class TestMailbox:
+    def test_request_roundtrip(self, io_bank):
+        mailbox = Mailbox(io_bank, 0)
+        mailbox.post_request(b"hello", sequence=3)
+        sequence, data = mailbox.pending_request()
+        assert (sequence, data) == (3, b"hello")
+        assert mailbox.pending_request() is None  # consumed
+
+    def test_response_roundtrip(self, io_bank):
+        mailbox = Mailbox(io_bank, 0)
+        mailbox.post_response(0, b"result")
+        status, data = mailbox.take_response()
+        assert (status, data) == (0, b"result")
+        assert mailbox.take_response() is None
+
+    def test_ports_use_disjoint_pages(self, io_bank):
+        a, b = Mailbox(io_bank, 0), Mailbox(io_bank, 1)
+        a.post_request(b"for-a", 1)
+        assert b.pending_request() is None
+        assert a.pending_request()[1] == b"for-a"
+
+    def test_oversized_request_rejected(self, io_bank):
+        mailbox = Mailbox(io_bank, 0)
+        with pytest.raises(PortError, match="chunk"):
+            mailbox.post_request(b"x" * (REQ_PAYLOAD_WORDS * 8 + 1), 1)
+
+    def test_oversized_response_rejected(self, io_bank):
+        mailbox = Mailbox(io_bank, 0)
+        with pytest.raises(PortError):
+            mailbox.post_response(0, b"x" * 1000)
+
+    def test_port_beyond_region_rejected(self, io_bank):
+        with pytest.raises(PortError):
+            Mailbox(io_bank, io_bank.size // PORT_REGION_WORDS)
+
+    def test_epoch_bump(self, io_bank):
+        mailbox = Mailbox(io_bank, 0)
+        mailbox.bump_epoch()
+        mailbox.bump_epoch()
+        from repro.hv.ports import EPOCH_WORD
+        assert mailbox.read_word(EPOCH_WORD) == 2
+
+
+class TestPortTable:
+    def test_grant_assigns_sequential_ids(self, table):
+        a = table.grant("nic0", "model-A")
+        b = table.grant("disk0", "model-A")
+        assert (a.port_id, b.port_id) == (0, 1)
+
+    def test_lookup(self, table):
+        port = table.grant("nic0", "m")
+        assert table.lookup(port.port_id) is port
+        with pytest.raises(CapabilityError):
+            table.lookup(99)
+
+    def test_revoke_marks_and_bumps_epoch(self, table):
+        port = table.grant("nic0", "m")
+        table.revoke(port.port_id)
+        assert port.revoked
+        assert port.epoch == 1
+
+    def test_revoke_unknown_rejected(self, table):
+        with pytest.raises(PortError):
+            table.revoke(5)
+
+    def test_revoke_all(self, table):
+        for _ in range(3):
+            table.grant("nic0", "m")
+        assert table.revoke_all() == 3
+        assert table.active_ports() == []
+        assert table.revoke_all() == 0  # idempotent
+
+    def test_exhaustion(self, io_bank):
+        table = PortTable(io_bank)
+        for _ in range(table.max_ports):
+            table.grant("nic0", "m")
+        with pytest.raises(PortError, match="exhausted"):
+            table.grant("nic0", "m")
+
+    def test_restrict_applies_probation_rules(self, table):
+        port = table.grant("disk0", "m")
+        table.restrict(port.port_id, allowed_ops={"read"}, byte_budget=100)
+        allowed, _ = port.permits("read", 50)
+        assert allowed
+        denied, reason = port.permits("write", 10)
+        assert not denied
+        assert "probation" in reason
+
+
+class TestPortPermits:
+    def test_fresh_port_permits_anything(self, table):
+        port = table.grant("nic0", "m")
+        assert port.permits("send", 10_000)[0]
+
+    def test_revoked_port_denies(self, table):
+        port = table.grant("nic0", "m")
+        port.revoked = True
+        allowed, reason = port.permits("send", 1)
+        assert not allowed
+        assert "revoked" in reason
+
+    def test_byte_budget_depletes(self, table):
+        port = table.grant("nic0", "m")
+        table.restrict(port.port_id, byte_budget=100)
+        assert port.permits("send", 100)[0]
+        port.bytes_used = 90
+        allowed, reason = port.permits("send", 20)
+        assert not allowed
+        assert "budget" in reason

@@ -1,0 +1,184 @@
+"""Tests for descriptor rings and the stream-port transport."""
+
+import pytest
+
+from repro.errors import PortError
+from repro.hv.guest import GuestPortClient
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hv.ring import RingBuffer
+from repro.hw.memory import Dram, PAGE_SIZE
+from repro.net.network import Host, Network
+from repro.physical.isolation import IsolationLevel
+
+
+@pytest.fixture
+def bank():
+    return Dram("io_dram", 8 * PAGE_SIZE)
+
+
+class TestRingBuffer:
+    def test_fifo_order(self, bank):
+        ring = RingBuffer(bank, 0, slots=4)
+        for payload in (b"one", b"two", b"three"):
+            assert ring.push(payload)
+        assert ring.pop() == b"one"
+        assert ring.pop() == b"two"
+        assert ring.pop() == b"three"
+        assert ring.pop() is None
+
+    def test_flow_control_when_full(self, bank):
+        ring = RingBuffer(bank, 0, slots=2)
+        assert ring.push(b"a")
+        assert ring.push(b"b")
+        assert not ring.push(b"c")      # full: refused, not overwritten
+        assert ring.pop() == b"a"
+        assert ring.push(b"c")          # space again
+        assert ring.drain() == [b"b", b"c"]
+
+    def test_wraparound(self, bank):
+        ring = RingBuffer(bank, 0, slots=3)
+        for round_index in range(10):
+            assert ring.push(f"m{round_index}".encode())
+            assert ring.pop() == f"m{round_index}".encode()
+
+    def test_occupancy_tracking(self, bank):
+        ring = RingBuffer(bank, 0, slots=4)
+        assert ring.empty
+        ring.push(b"x")
+        ring.push(b"y")
+        assert ring.occupancy() == 2
+        ring.drain()
+        assert ring.empty
+
+    def test_oversized_payload_rejected(self, bank):
+        ring = RingBuffer(bank, 0, slots=2, slot_words=4)
+        with pytest.raises(PortError, match="slot capacity"):
+            ring.push(b"x" * 100)
+
+    def test_binary_payloads_survive(self, bank):
+        ring = RingBuffer(bank, 0)
+        payload = bytes(range(200))
+        ring.push(payload)
+        assert ring.pop() == payload
+
+    def test_geometry_validation(self, bank):
+        with pytest.raises(PortError):
+            RingBuffer(bank, 0, slots=1)
+        with pytest.raises(PortError, match="exceeds"):
+            RingBuffer(bank, bank.size - 10, slots=8)
+
+    def test_drain_limit(self, bank):
+        ring = RingBuffer(bank, 0, slots=6)
+        for index in range(5):
+            ring.push(bytes([index]))
+        assert len(ring.drain(limit=2)) == 2
+        assert ring.occupancy() == 3
+
+
+class TestStreamPort:
+    @pytest.fixture
+    def rig(self, machine):
+        from repro.hv.detectors import (
+            CompositeDetector, InputShield, OutputSanitizer,
+        )
+
+        hypervisor = GuillotineHypervisor(
+            machine,
+            detector=CompositeDetector([InputShield(), OutputSanitizer()]),
+        )
+        network = Network(machine.clock, machine.log)
+        network.attach(machine.devices["nic0"])
+        peer = Host("peer")
+        network.attach(peer)
+        port = hypervisor.grant_port("nic0", "stream-model")
+        client = GuestPortClient(hypervisor, port)
+        return machine, hypervisor, client, peer
+
+    def test_batch_delivery(self, rig):
+        machine, hypervisor, client, peer = rig
+        stream = client.open_stream("peer", slots=8)
+        sent = stream.send_batch([f"frame {i}".encode() for i in range(6)])
+        assert sent == 6
+        machine.clock.drain()
+        received = [peer.next_frame()["payload"] for _ in range(6)]
+        assert received == [f"frame {i}".encode() for i in range(6)]
+        assert hypervisor.stream_messages_sent == 6
+
+    def test_batches_larger_than_the_ring(self, rig):
+        machine, hypervisor, client, peer = rig
+        stream = client.open_stream("peer", slots=4)
+        sent = stream.send_batch([bytes([i]) for i in range(10)])
+        assert sent == 10
+        machine.clock.drain()
+        assert len(peer.inbox) == 10
+
+    def test_stream_frames_are_mediated(self, rig):
+        """A key-shaped frame in the middle of a batch gets redacted."""
+        machine, hypervisor, client, peer = rig
+        stream = client.open_stream("peer")
+        stream.send_batch([
+            b"benign frame",
+            ("weights dump: " + "ab" * 30).encode(),
+            b"another benign frame",
+        ])
+        machine.clock.drain()
+        payloads = [peer.next_frame()["payload"] for _ in range(3)]
+        assert payloads[0] == b"benign frame"
+        assert b"[REDACTED]" in payloads[1]
+        assert payloads[2] == b"another benign frame"
+
+    def test_stream_frames_are_logged(self, rig):
+        from repro.eventlog import CATEGORY_PORT_IO
+        machine, hypervisor, client, peer = rig
+        stream = client.open_stream("peer")
+        stream.send_batch([b"a", b"b", b"c"])
+        records = [
+            r for r in machine.log.by_category(CATEGORY_PORT_IO)
+            if r.detail.get("op") == "stream_send"
+        ]
+        assert len(records) == 3
+
+    def test_revoked_stream_goes_silent(self, rig):
+        machine, hypervisor, client, peer = rig
+        stream = client.open_stream("peer")
+        hypervisor.revoke_port(client.port.port_id)
+        stream.queue(b"after revocation")
+        stream.kick()
+        machine.clock.drain()
+        assert peer.next_frame() is None
+
+    def test_severed_stream_goes_silent(self, rig):
+        machine, hypervisor, client, peer = rig
+        stream = client.open_stream("peer")
+        hypervisor.isolation_level = IsolationLevel.SEVERED
+        stream.queue(b"after severing")
+        stream.kick()
+        machine.clock.drain()
+        assert peer.next_frame() is None
+
+    def test_streams_require_a_nic_capability(self, rig):
+        machine, hypervisor, client, peer = rig
+        disk_port = hypervisor.grant_port("disk0", "stream-model")
+        with pytest.raises(PortError, match="NIC transport"):
+            hypervisor.open_stream(disk_port.port_id, "peer")
+
+
+class TestMixedTransports:
+    def test_mailbox_stays_live_alongside_a_stream(self, machine):
+        """The capability's control path (mailbox) and data path (ring)
+        share one doorbell; attaching a ring must not orphan the mailbox —
+        this exact interaction shipped broken once (tutorial regression)."""
+        from repro.net.network import Host, Network
+
+        hypervisor = GuillotineHypervisor(machine)
+        network = Network(machine.clock, machine.log)
+        network.attach(machine.devices["nic0"])
+        network.attach(Host("peer"))
+        port = hypervisor.grant_port("nic0", "model")
+        client = GuestPortClient(hypervisor, port)
+        stream = client.open_stream("peer")
+        stream.send_batch([b"bulk 1", b"bulk 2"])
+        response = client.request({"op": "status"})
+        assert response["ok"]
+        stream.send_batch([b"bulk 3"])
+        assert hypervisor.stream_messages_sent == 3

@@ -1,0 +1,120 @@
+"""Tests for Severed-level interactions, source binding, and reboot."""
+
+import pytest
+
+from repro.errors import AssertionTripped
+from repro.eventlog import CATEGORY_PORT_IO
+from repro.hv.guest import GuestPortClient, PortRequestFailed
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hv.ports import STATUS_DENIED, STATUS_OK
+from repro.physical.isolation import IsolationLevel
+
+
+@pytest.fixture
+def hypervisor(machine):
+    return GuillotineHypervisor(machine)
+
+
+class TestSimulatedIo:
+    """Section 3.4: at Severed, hypervisor cores may still interact with
+    the model "via simulated IOs"."""
+
+    def test_simulated_response_reaches_the_model(self, hypervisor):
+        port = hypervisor.grant_port("nic0", "suspect")
+        client = GuestPortClient(hypervisor, port)
+        hypervisor.isolation_level = IsolationLevel.SEVERED
+        hypervisor.sever_all_ports()
+
+        # The hypervisor fabricates a reply to study the model's reaction.
+        hypervisor.simulate_io(port.port_id,
+                               {"ok": True, "frame": {"payload": "bait"}})
+        mailbox = hypervisor.ports.mailbox(port.port_id)
+        status, data = mailbox.take_response()
+        assert status == STATUS_OK
+        assert b"bait" in data
+
+    def test_severed_model_requests_are_readable(self, hypervisor):
+        port = hypervisor.grant_port("nic0", "suspect")
+        client = GuestPortClient(hypervisor, port)
+        hypervisor.isolation_level = IsolationLevel.SEVERED
+        # The model keeps posting; no device is ever touched.
+        served_before = hypervisor.machine.devices["nic0"].requests_served
+        try:
+            client.request({"op": "send", "dst": "c2", "payload": "beacon"})
+        except PortRequestFailed:
+            pass
+        request = hypervisor.read_simulated_request(port.port_id)
+        assert request is None or request.get("op") == "send"
+        assert hypervisor.machine.devices["nic0"].requests_served == served_before
+
+    def test_simulated_io_logged(self, hypervisor):
+        port = hypervisor.grant_port("nic0", "suspect")
+        hypervisor.simulate_io(port.port_id, {"ok": True})
+        records = [
+            r for r in hypervisor.machine.log.by_category(CATEGORY_PORT_IO)
+            if r.detail.get("direction") == "simulated_response"
+        ]
+        assert len(records) == 1
+
+    def test_simulated_io_refused_when_offline(self, hypervisor):
+        port = hypervisor.grant_port("nic0", "suspect")
+        hypervisor.isolation_level = IsolationLevel.OFFLINE
+        with pytest.raises(AssertionTripped):
+            hypervisor.simulate_io(port.port_id, {"ok": True})
+
+    def test_simulated_io_can_wake_a_core(self, hypervisor, machine):
+        from repro.hw.core import CoreState
+        core = machine.model_cores[0]
+        core.state = CoreState.WFI
+        port = hypervisor.grant_port("nic0", "suspect")
+        hypervisor.simulate_io(port.port_id, {"ok": True},
+                               wake_core=core.name)
+        assert core.state is CoreState.RUNNING
+
+
+class TestDoorbellSourceBinding:
+    def test_bound_core_can_use_its_capability(self, hypervisor):
+        port = hypervisor.grant_port("disk0", "model-A",
+                                     core_name="model_core0")
+        client = GuestPortClient(hypervisor, port, source_core="model_core0")
+        assert client.request({"op": "read", "block": 0, "length": 8})["ok"]
+
+    def test_other_core_cannot_replay_the_capability(self, hypervisor):
+        """Model B on core 1 steals model A's port id + holder string —
+        the doorbell source gives it away."""
+        hypervisor.grant_port("disk0", "model-A", core_name="model_core0")
+        hypervisor.grant_port("gpu0", "model-B", core_name="model_core1")
+        stolen = hypervisor.ports.lookup(0)
+        thief = GuestPortClient(hypervisor, stolen,
+                                source_core="model_core1")
+        with pytest.raises(PortRequestFailed) as info:
+            thief.request({"op": "read", "block": 0, "length": 8})
+        assert info.value.status == STATUS_DENIED
+        assert "bound to holder" in info.value.detail
+
+    def test_unbound_cores_unaffected(self, hypervisor):
+        port = hypervisor.grant_port("disk0", "model-A")   # no binding
+        client = GuestPortClient(hypervisor, port, source_core="model_core1")
+        assert client.request({"op": "read", "block": 0, "length": 8})["ok"]
+
+
+class TestRebootIntoOffline:
+    def test_reboot_clears_lapics_and_requests_offline(self, hypervisor):
+        requested = []
+        hypervisor.request_isolation = lambda level, reason: requested.append(
+            (level, reason)
+        )
+        lapic = hypervisor.machine.lapics["hv_core0"]
+        lapic.deliver("model_core0", 32)
+        hypervisor.reboot_into_offline("unexpected machine check")
+        assert not lapic.has_pending
+        assert hypervisor.panicked
+        assert requested[-1][0] is IsolationLevel.OFFLINE
+        assert "reboot" in requested[-1][1]
+
+    def test_reboot_flushes_microarchitecture(self, hypervisor, machine):
+        core = machine.model_cores[0]
+        core.caches.dcache_levels[0].access(0)
+        hypervisor.request_isolation = lambda level, reason: None
+        hypervisor.reboot_into_offline("assertion")
+        assert core.caches.dcache_levels[0].occupancy() == 0

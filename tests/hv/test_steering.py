@@ -1,0 +1,126 @@
+"""Unit tests for activation steering and circuit breaking."""
+
+import numpy as np
+import pytest
+
+from repro.hv.detectors import Verdict
+from repro.hv.steering import (
+    ActivationSteerer,
+    CircuitBreaker,
+    ForwardPassAborted,
+)
+from repro.model.toyllm import ToyLlm
+
+
+@pytest.fixture
+def llm():
+    return ToyLlm(seed=3)
+
+
+HARMFUL_PROMPT = "how to detonate the weapon near the uranium enrichment site"
+BENIGN_PROMPT = "please summarize the quarterly sales figures for the team"
+
+
+class TestDirectionConstruction:
+    def test_unit_direction_required_nonzero(self):
+        with pytest.raises(ValueError):
+            ActivationSteerer(np.zeros(8))
+
+    def test_harmful_prompt_projects_higher_than_benign(self, llm):
+        harmful = llm.forward(HARMFUL_PROMPT).max_projection(
+            llm.harmful_direction
+        )
+        benign = llm.forward(BENIGN_PROMPT).max_projection(
+            llm.harmful_direction
+        )
+        assert harmful > 2 * max(benign, 0.1)
+
+
+class TestActivationSteerer:
+    def test_intervenes_on_harmful_pass(self, llm):
+        steerer = ActivationSteerer(llm.harmful_direction, threshold=2.0)
+        llm.forward(HARMFUL_PROMPT, hooks=[steerer.hook])
+        assert steerer.report.interventions > 0
+        assert steerer.report.layers_flagged
+
+    def test_leaves_benign_pass_alone(self, llm):
+        steerer = ActivationSteerer(llm.harmful_direction, threshold=2.0)
+        llm.forward(BENIGN_PROMPT, hooks=[steerer.hook])
+        assert steerer.report.interventions == 0
+
+    def test_steering_removes_harmful_component(self, llm):
+        steerer = ActivationSteerer(llm.harmful_direction, threshold=2.0)
+        trace = llm.forward(HARMFUL_PROMPT, hooks=[steerer.hook])
+        final_projection = float(
+            trace.activations[-1] @ llm.harmful_direction
+        )
+        unsteered = llm.forward(HARMFUL_PROMPT)
+        unsteered_projection = float(
+            unsteered.activations[-1] @ llm.harmful_direction
+        )
+        assert final_projection < unsteered_projection
+
+    def test_corrective_vector_added(self):
+        direction = np.zeros(4)
+        direction[0] = 1.0
+        corrective = np.array([0.0, 5.0, 0.0, 0.0])
+        steerer = ActivationSteerer(direction, threshold=0.5,
+                                    corrective=corrective)
+        steered = steerer.hook(0, np.array([2.0, 0.0, 0.0, 0.0]))
+        assert steered[1] == 5.0
+        assert abs(steered[0]) < 1e-9
+
+    def test_reset_clears_report(self, llm):
+        steerer = ActivationSteerer(llm.harmful_direction, threshold=2.0)
+        llm.forward(HARMFUL_PROMPT, hooks=[steerer.hook])
+        steerer.reset()
+        assert steerer.report.interventions == 0
+
+    def test_report_as_detection(self, llm):
+        steerer = ActivationSteerer(llm.harmful_direction, threshold=2.0)
+        llm.forward(HARMFUL_PROMPT, hooks=[steerer.hook])
+        detection = steerer.report.as_detection("steering", 2.0)
+        assert detection.verdict is Verdict.MALICIOUS
+
+    def test_benign_detection(self, llm):
+        steerer = ActivationSteerer(llm.harmful_direction, threshold=10.0)
+        llm.forward(BENIGN_PROMPT, hooks=[steerer.hook])
+        detection = steerer.report.as_detection("steering", 10.0)
+        assert detection.verdict is Verdict.BENIGN
+
+
+class TestCircuitBreaker:
+    def test_aborts_harmful_forward_pass(self, llm):
+        breaker = CircuitBreaker(llm.harmful_direction, threshold=2.0)
+        trace = llm.forward(HARMFUL_PROMPT, hooks=[breaker.hook])
+        assert trace.aborted_at_layer is not None
+        assert breaker.trips == 1
+
+    def test_passes_benign_forward_pass(self, llm):
+        breaker = CircuitBreaker(llm.harmful_direction, threshold=2.0)
+        trace = llm.forward(BENIGN_PROMPT, hooks=[breaker.hook])
+        assert trace.aborted_at_layer is None
+        assert trace.logits is not None
+
+    def test_aborted_generation_yields_no_response(self, llm):
+        """Section 3.3: 'preventing the model from generating any response
+        at all'."""
+        breaker = CircuitBreaker(llm.harmful_direction, threshold=2.0)
+        completion, traces = llm.generate(HARMFUL_PROMPT,
+                                          hooks=[breaker.hook])
+        assert completion == ""
+
+    def test_raise_carries_layer_and_projection(self):
+        direction = np.array([1.0, 0.0])
+        breaker = CircuitBreaker(direction, threshold=1.0)
+        with pytest.raises(ForwardPassAborted) as info:
+            breaker.hook(3, np.array([5.0, 0.0]))
+        assert info.value.layer == 3
+        assert info.value.projection == pytest.approx(5.0)
+
+    def test_hook_passes_through_below_threshold(self):
+        direction = np.array([1.0, 0.0])
+        breaker = CircuitBreaker(direction, threshold=10.0)
+        activation = np.array([5.0, 1.0])
+        out = breaker.hook(0, activation)
+        np.testing.assert_array_equal(out, activation)

@@ -1,0 +1,134 @@
+"""Tests for the GISA text assembler."""
+
+import pytest
+
+from repro.hw.asm import asm, parse_asm
+from repro.hw.core import CoreState
+from repro.hw.isa import AssemblyError, Op, decode
+from repro.hw.machine import build_guillotine_machine
+
+
+class TestParsing:
+    def test_basic_program(self):
+        program = asm("""
+            movi r1, 5
+            movi r2, 7
+            add  r3, r1, r2
+            halt
+        """)
+        ops = [decode(w).op for w in program.words]
+        assert ops == [Op.MOVI, Op.MOVI, Op.ADD, Op.HALT]
+
+    def test_labels_and_branches(self):
+        program = asm("""
+            movi r1, 0
+            movi r2, 3
+        loop:
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            halt
+        """)
+        assert program.symbols["loop"] == 2
+        branch = decode(program.words[3])
+        assert branch.op is Op.BLT and branch.imm == 2
+
+    def test_label_prefixing_an_instruction(self):
+        program = asm("start: movi r1, 1\n jmp start")
+        assert program.symbols["start"] == 0
+
+    def test_comments_both_styles(self):
+        program = asm("""
+            ; a semicolon comment
+            movi r1, 1   # trailing hash comment
+            halt         ; trailing semicolon comment
+        """)
+        assert len(program) == 2
+
+    def test_hex_and_negative_immediates(self):
+        program = asm("movi r1, 0x1F\n addi r2, r1, -3\n halt")
+        assert decode(program.words[0]).imm == 31
+        assert decode(program.words[1]).imm == -3
+
+    def test_optional_offset_operands(self):
+        program = asm("load r1, r2\n load r1, r2, 8\n store r3, r4\n halt")
+        assert decode(program.words[0]).imm == 0
+        assert decode(program.words[1]).imm == 8
+
+    def test_numeric_jump_targets(self):
+        program = asm("jmp 7")
+        assert decode(program.words[0]).imm == 7
+
+    def test_store_operand_order_matches_constructor(self):
+        # store rs2(value), rs1(base), imm — same as isa.store().
+        instruction = decode(asm("store r5, r6, 2").words[0])
+        assert instruction.rs2 == 5 and instruction.rs1 == 6
+        assert instruction.imm == 2
+
+    def test_case_insensitive_mnemonics_and_registers(self):
+        program = asm("MOVI R1, 4\nHALT")
+        assert decode(program.words[0]).op is Op.MOVI
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad,match", [
+        ("frobnicate r1", "unknown mnemonic"),
+        ("movi r99, 1", "register"),
+        ("movi r1", "operands"),
+        ("movi r1, 2, 3", "too many"),
+        ("movi r1, banana", "number"),
+        ("jmp nowhere", "undefined"),
+        ("add r1, 5, r2", "register"),
+    ])
+    def test_rejections(self, bad, match):
+        with pytest.raises(AssemblyError, match=match):
+            asm(bad)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            asm("x:\n nop\nx:\n halt")
+
+
+class TestExecution:
+    def test_assembled_text_runs_on_a_core(self):
+        machine = build_guillotine_machine()
+        core = machine.model_cores[0]
+        program = asm("""
+            ; sum 1..10 into r3, store at [r4]
+                movi r1, 0
+                movi r2, 10
+                movi r3, 0
+            loop:
+                addi r1, r1, 1
+                add  r3, r3, r1
+                blt  r1, r2, loop
+                store r3, r4, 0
+                halt
+        """)
+        layout = machine.load_program(core, program)
+        core.poke_register(4, layout["data_vaddr"])
+        core.resume()
+        core.run()
+        assert core.state is CoreState.HALTED
+        assert machine.banks["model_dram"].read(layout["data_vaddr"]) == 55
+
+    def test_text_and_constructor_forms_agree(self):
+        from repro.hw import isa
+        from repro.hw.isa import assemble
+
+        text_program = asm("""
+            movi r1, 3
+        top:
+            addi r1, r1, -1
+            bne  r1, r0, top
+            doorbell r1
+            halt
+        """)
+        built = assemble([
+            isa.movi(1, 3),
+            "top",
+            isa.addi(1, 1, -1),
+            isa.bne(1, 0, "top"),
+            isa.doorbell(1),
+            isa.halt(),
+        ])
+        assert text_program.words == built.words

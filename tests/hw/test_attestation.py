@@ -1,0 +1,119 @@
+"""Unit tests for remote attestation and tamper evidence."""
+
+import pytest
+
+from repro.errors import AttestationFailure
+from repro.hw.attestation import (
+    Measurement,
+    SiliconIdentity,
+    Verifier,
+    digest_of,
+)
+from repro.hw.tamper import TamperEvidentEnclosure
+
+
+def make_verified_pair():
+    silicon = SiliconIdentity("dev-1", "secret-1")
+    measurement = Measurement("inv-digest", "hv-digest")
+    verifier = Verifier()
+    verifier.register_device("dev-1", "secret-1")
+    verifier.register_golden("dev-1", measurement)
+    return silicon, measurement, verifier
+
+
+class TestAttestation:
+    def test_valid_quote_verifies(self):
+        silicon, measurement, verifier = make_verified_pair()
+        quote = silicon.quote(measurement, "nonce-1")
+        verifier.verify(quote, "nonce-1")  # no raise
+
+    def test_stale_nonce_rejected(self):
+        silicon, measurement, verifier = make_verified_pair()
+        quote = silicon.quote(measurement, "nonce-1")
+        with pytest.raises(AttestationFailure, match="nonce"):
+            verifier.verify(quote, "nonce-2")
+
+    def test_unknown_device_rejected(self):
+        _, measurement, verifier = make_verified_pair()
+        rogue = SiliconIdentity("rogue", "rogue-secret")
+        quote = rogue.quote(measurement, "n")
+        with pytest.raises(AttestationFailure, match="not Guillotine silicon"):
+            verifier.verify(quote, "n")
+
+    def test_forged_signature_rejected(self):
+        silicon, measurement, verifier = make_verified_pair()
+        quote = silicon.quote(measurement, "n")
+        forged = type(quote)(
+            device_id=quote.device_id,
+            measurement=Measurement("tampered", quote.measurement.hypervisor_digest),
+            nonce=quote.nonce,
+            signature=quote.signature,
+        )
+        with pytest.raises(AttestationFailure):
+            verifier.verify(forged, "n")
+
+    def test_measurement_drift_rejected(self):
+        """Patched hypervisor image -> different measurement -> refused."""
+        silicon, _, verifier = make_verified_pair()
+        drifted = Measurement("inv-digest", "patched-hv-digest")
+        quote = silicon.quote(drifted, "n")
+        with pytest.raises(AttestationFailure, match="mismatch"):
+            verifier.verify(quote, "n")
+
+    def test_no_golden_measurement_rejected(self):
+        silicon = SiliconIdentity("dev-2", "secret-2")
+        verifier = Verifier()
+        verifier.register_device("dev-2", "secret-2")
+        quote = silicon.quote(Measurement("a", "b"), "n")
+        with pytest.raises(AttestationFailure, match="golden"):
+            verifier.verify(quote, "n")
+
+    def test_is_valid_boolean_form(self):
+        silicon, measurement, verifier = make_verified_pair()
+        assert verifier.is_valid(silicon.quote(measurement, "n"), "n")
+        assert not verifier.is_valid(silicon.quote(measurement, "n"), "m")
+
+    def test_digest_is_canonical(self):
+        assert digest_of({"b": 1, "a": 2}) == digest_of({"a": 2, "b": 1})
+
+
+class TestTamperEvidence:
+    def test_pristine_enclosure_inspects_clean(self):
+        enclosure = TamperEvidentEnclosure(["core:a", "dram:b"])
+        assert enclosure.inspect(0).clean
+
+    def test_opening_breaks_seal_forever(self):
+        enclosure = TamperEvidentEnclosure(["core:a"])
+        enclosure.open_enclosure(5, "screwdriver")
+        report = enclosure.inspect(10)
+        assert not report.seal_intact
+        assert not report.clean
+        assert report.events[0].kind == "opened"
+
+    def test_added_hardware_detected(self):
+        """Section 3.2: verify no *new* hardware was added (the runaway
+        self-improvement path via social engineering)."""
+        enclosure = TamperEvidentEnclosure(["core:a"])
+        enclosure.add_component(5, "accelerator:contraband")
+        report = enclosure.inspect(10)
+        assert report.added_components == ["accelerator:contraband"]
+        assert not report.inventory_matches
+
+    def test_removed_hardware_detected(self):
+        enclosure = TamperEvidentEnclosure(["core:a", "dram:b"])
+        enclosure.remove_component(1, "dram:b")
+        report = enclosure.inspect(2)
+        assert report.removed_components == ["dram:b"]
+
+    def test_swap_detected_even_with_same_count(self):
+        enclosure = TamperEvidentEnclosure(["core:a"])
+        enclosure.swap_component(1, "core:a", "core:evil")
+        report = enclosure.inspect(2)
+        assert not report.inventory_matches
+        assert "core:evil" in report.added_components
+
+    def test_inventory_order_does_not_matter(self):
+        a = TamperEvidentEnclosure(["x", "y"])
+        b = TamperEvidentEnclosure(["y", "x"])
+        assert a.inspect(0).inventory_matches
+        assert b.inspect(0).inventory_matches

@@ -1,0 +1,191 @@
+"""Unit tests for the bus matrix, control bus, and inspection bus.
+
+The central security property lives here: isolation is *topological*.
+"""
+
+import pytest
+
+from repro.errors import BusError
+from repro.hw import isa
+from repro.hw.bus import BusMatrix, PhysicalMemoryMap
+from repro.hw.isa import assemble
+from repro.hw.machine import build_guillotine_machine
+from repro.hw.memory import Dram, PAGE_SIZE
+
+
+class TestBusMatrix:
+    def test_connect_enables_reachability(self):
+        bus = BusMatrix()
+        bus.add_component("a", "core")
+        bus.add_component("b", "dram")
+        assert not bus.reachable("a", "b")
+        bus.connect("a", "b")
+        assert bus.reachable("a", "b")
+
+    def test_reachability_is_directed(self):
+        bus = BusMatrix()
+        bus.add_component("a", "core")
+        bus.add_component("b", "dram")
+        bus.connect("a", "b")
+        assert not bus.reachable("b", "a")
+
+    def test_unknown_component_rejected(self):
+        bus = BusMatrix()
+        bus.add_component("a", "core")
+        with pytest.raises(BusError):
+            bus.connect("a", "ghost")
+
+    def test_assert_reachable_raises(self):
+        bus = BusMatrix()
+        bus.add_component("a", "core")
+        bus.add_component("b", "dram")
+        with pytest.raises(BusError, match="no bus path"):
+            bus.assert_reachable("a", "b")
+
+    def test_disconnect_severs(self):
+        bus = BusMatrix()
+        bus.add_component("a", "core")
+        bus.add_component("b", "dram")
+        bus.connect("a", "b")
+        bus.disconnect("a", "b")
+        assert not bus.reachable("a", "b")
+
+    def test_transitive_reachability(self):
+        bus = BusMatrix()
+        for name in "abc":
+            bus.add_component(name, "x")
+        bus.connect("a", "b")
+        bus.connect("b", "c")
+        assert bus.transitively_reachable("a", "c")
+        assert not bus.transitively_reachable("c", "a")
+
+    def test_components_filter_by_kind(self):
+        bus = BusMatrix()
+        bus.add_component("a", "core")
+        bus.add_component("b", "dram")
+        assert bus.components("core") == ["a"]
+        assert set(bus.components()) == {"a", "b"}
+
+
+class TestPhysicalMemoryMap:
+    def test_windows_stack(self):
+        bank_a = Dram("a", 2 * PAGE_SIZE)
+        bank_b = Dram("b", PAGE_SIZE)
+        memory_map = PhysicalMemoryMap([bank_a, bank_b])
+        assert memory_map.resolve(0) == (bank_a, 0)
+        assert memory_map.resolve(2 * PAGE_SIZE) == (bank_b, 0)
+        assert memory_map.resolve(2 * PAGE_SIZE + 5) == (bank_b, 5)
+
+    def test_out_of_range_faults(self):
+        memory_map = PhysicalMemoryMap([Dram("a", PAGE_SIZE)])
+        with pytest.raises(BusError):
+            memory_map.resolve(PAGE_SIZE)
+
+    def test_window_base_lookup(self):
+        bank_a = Dram("a", 2 * PAGE_SIZE)
+        bank_b = Dram("b", PAGE_SIZE)
+        memory_map = PhysicalMemoryMap([bank_a, bank_b])
+        assert memory_map.window_base("a") == 0
+        assert memory_map.window_base("b") == 2 * PAGE_SIZE
+        with pytest.raises(BusError):
+            memory_map.window_base("ghost")
+
+    def test_total_frames(self):
+        memory_map = PhysicalMemoryMap([Dram("a", 3 * PAGE_SIZE)])
+        assert memory_map.total_frames == 3
+
+
+class TestGuillotineTopology:
+    """The paper's physical-separation guarantees, as graph facts."""
+
+    def test_model_cores_cannot_reach_hv_dram(self, machine):
+        for core in machine.model_cores:
+            assert not machine.bus.reachable(core.name, "hv_dram")
+            assert not machine.bus.transitively_reachable(core.name, "hv_dram")
+
+    def test_model_cores_cannot_reach_devices(self, machine):
+        for core in machine.model_cores:
+            for device in machine.devices.values():
+                assert not machine.bus.reachable(core.name, device.name)
+
+    def test_model_cores_cannot_reach_control_or_inspection_bus(self, machine):
+        for core in machine.model_cores:
+            assert not machine.bus.transitively_reachable(core.name,
+                                                          "control_bus")
+            assert not machine.bus.transitively_reachable(core.name,
+                                                          "inspection_bus")
+
+    def test_hv_cores_reach_everything_needed(self, machine):
+        hv = machine.hv_cores[0]
+        for target in ("hv_dram", "io_dram", "control_bus", "inspection_bus",
+                       "nic0", "disk0", "gpu0", "actuator0"):
+            assert machine.bus.reachable(hv.name, target)
+
+    def test_shared_io_region_reachable_by_both(self, machine):
+        assert machine.bus.reachable(machine.model_cores[0].name, "io_dram")
+        assert machine.bus.reachable(machine.hv_cores[0].name, "io_dram")
+
+
+class TestControlBus:
+    def test_all_verbs_work_on_model_core(self, machine):
+        control = machine.control_bus
+        name = machine.model_cores[0].name
+        program = assemble([isa.movi(1, 1), isa.movi(2, 2), isa.halt()])
+        layout = machine.load_program(machine.model_cores[0], program)
+
+        control.single_step(name)
+        assert control.inspect(name)["registers"][1] == 1
+        control.write_register(name, 5, 42)
+        assert machine.model_cores[0].registers[5] == 42
+        wp = control.set_watchpoint(name, "exec", 2)
+        control.resume(name)
+        machine.model_cores[0].run()
+        assert machine.model_cores[0].last_watchpoint.watchpoint_id == wp
+        control.clear_watchpoint(name, wp)
+        control.write_pc(name, 2)
+        control.resume(name)
+        machine.model_cores[0].run()
+        control.flush_microarch(name)
+        control.lockdown_mmu(name, 0, layout["code_pages"] - 1)
+        assert machine.model_cores[0].mmu.locked
+        control.pause(name)
+        control.power_down(name)
+        assert machine.model_cores[0].is_powered_down
+        control.power_up(name)
+        assert not machine.model_cores[0].is_powered_down
+
+    def test_unknown_core_rejected(self, machine):
+        with pytest.raises(BusError):
+            machine.control_bus.pause("ghost_core")
+
+
+class TestInspectionBus:
+    def test_read_requires_halted_cores(self, machine):
+        inspection = machine.inspection_bus
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble(["loop", isa.jmp("loop")]))
+        core.resume()
+        core.run(max_steps=5)
+        with pytest.raises(BusError, match="still running"):
+            inspection.read("model_dram", 0)
+        core.pause()
+        inspection.read("model_dram", 0)
+
+    def test_write_and_snapshot(self, machine):
+        inspection = machine.inspection_bus
+        inspection.write("model_dram", 100, 0xBEEF)
+        assert inspection.read("model_dram", 100) == 0xBEEF
+        assert inspection.snapshot("model_dram", 100, 1) == [0xBEEF]
+
+    def test_powered_down_cores_still_inspectable(self, machine):
+        """Section 3.4: Severed -> Offline keeps DRAM examinable until
+        power-down; the bus itself tolerates powered-down cores."""
+        inspection = machine.inspection_bus
+        for core in machine.model_cores:
+            core.power_down()
+        inspection.write("model_dram", 5, 7)
+        assert inspection.read("model_dram", 5) == 7
+
+    def test_unknown_bank_rejected(self, machine):
+        with pytest.raises(BusError):
+            machine.inspection_bus.read("hv_dram", 0)

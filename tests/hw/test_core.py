@@ -1,0 +1,388 @@
+"""Unit tests for the CPU core: execution, exceptions, management verbs."""
+
+import pytest
+
+from repro.errors import CorePoweredDown, InvalidInstruction, MachineCheck
+from repro.hw import isa
+from repro.hw.core import (
+    CoreKind,
+    CoreState,
+    EXC_CODE_REGISTER,
+    EXC_DIV0,
+    EXC_LOCKDOWN,
+    EXC_MEMFAULT,
+)
+from repro.hw.isa import assemble
+from repro.hw.machine import MachineConfig, build_guillotine_machine
+
+
+@pytest.fixture
+def machine():
+    return build_guillotine_machine(MachineConfig(n_model_cores=2, n_hv_cores=1))
+
+
+def run_program(machine, items, *, core_index=0, registers=None,
+                max_steps=10_000, data_pages=4):
+    core = machine.model_cores[core_index]
+    layout = machine.load_program(core, assemble(items), data_pages=data_pages)
+    for register, value in (registers or {}).items():
+        core.poke_register(register, value)
+    core.resume()
+    core.run(max_steps=max_steps)
+    return core, layout
+
+
+class TestArithmetic:
+    def test_alu_ops(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, 6), isa.movi(2, 7),
+            isa.add(3, 1, 2), isa.sub(4, 2, 1), isa.mul(5, 1, 2),
+            isa.and_(6, 1, 2), isa.or_(7, 1, 2), isa.xor(8, 1, 2),
+            isa.halt(),
+        ])
+        assert core.registers[3] == 13
+        assert core.registers[4] == 1
+        assert core.registers[5] == 42
+        assert core.registers[6] == 6 & 7
+        assert core.registers[7] == 6 | 7
+        assert core.registers[8] == 6 ^ 7
+
+    def test_shifts(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, 1), isa.movi(2, 4),
+            isa.shl(3, 1, 2), isa.shr(4, 3, 2),
+            isa.halt(),
+        ])
+        assert core.registers[3] == 16
+        assert core.registers[4] == 1
+
+    def test_division(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, 17), isa.movi(2, 5), isa.div(3, 1, 2), isa.halt(),
+        ])
+        assert core.registers[3] == 3
+
+    def test_r0_hardwired_zero(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(0, 99), isa.mov(1, 0), isa.halt(),
+        ])
+        assert core.registers[0] == 0
+        assert core.registers[1] == 0
+
+    def test_values_wrap_at_64_bits(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, -1), isa.movi(2, 63), isa.shl(3, 1, 2), isa.mul(4, 3, 3),
+            isa.halt(),
+        ])
+        assert 0 <= core.registers[4] < 1 << 64
+
+
+class TestControlFlow:
+    def test_loop_counts(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, 0), isa.movi(2, 25),
+            "loop",
+            isa.addi(1, 1, 1),
+            isa.blt(1, 2, "loop"),
+            isa.halt(),
+        ])
+        assert core.registers[1] == 25
+
+    def test_jal_and_jr(self, machine):
+        core, _ = run_program(machine, [
+            isa.jal(15, "sub"),
+            isa.movi(2, 1),          # executed after return
+            isa.halt(),
+            "sub",
+            isa.movi(1, 42),
+            isa.jr(15),
+        ])
+        assert core.registers[1] == 42
+        assert core.registers[2] == 1
+
+    def test_branch_variants(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, 3), isa.movi(2, 3),
+            isa.beq(1, 2, "eq"),
+            isa.halt(),
+            "eq", isa.movi(5, 1),
+            isa.bne(1, 2, "never"),
+            isa.bge(1, 2, "ge"),
+            isa.halt(),
+            "never", isa.movi(6, 1), isa.halt(),
+            "ge", isa.movi(7, 1), isa.halt(),
+        ])
+        assert core.registers[5] == 1
+        assert core.registers[6] == 0
+        assert core.registers[7] == 1
+
+
+class TestMemoryOps:
+    def test_store_load_roundtrip(self, machine):
+        core, layout = run_program(machine, [
+            isa.movi(1, 77),
+            isa.store(1, 3, 5),
+            isa.load(2, 3, 5),
+            isa.halt(),
+        ], registers={3: 64})            # data page base
+        assert core.registers[2] == 77
+
+    def test_store_to_code_page_faults(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, 1),
+            isa.store(1, 0, 0),           # vaddr 0 = code page, read-only
+            isa.halt(),
+        ])
+        assert core.state is CoreState.FAULTED
+        assert "read-only" in core.last_fault
+
+    def test_unmapped_access_faults(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, 500_000),
+            isa.load(2, 1, 0),
+            isa.halt(),
+        ])
+        assert core.state is CoreState.FAULTED
+
+
+class TestExceptions:
+    def test_div_by_zero_without_handler_faults(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, 5), isa.div(2, 1, 0), isa.halt(),
+        ])
+        assert core.state is CoreState.FAULTED
+        assert core.faults == 1
+
+    def test_local_handler_receives_exception(self, machine):
+        """Section 3.2: model software handles its own exceptions without
+        any hypervisor involvement."""
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.jmp("main"),
+            "handler",
+            isa.movi(5, 111),
+            isa.iret(),
+            "main",
+            isa.movi(1, 5),
+            isa.div(2, 1, 0),             # traps to handler, then resumes
+            isa.movi(6, 222),
+            isa.halt(),
+        ])
+        layout = machine.load_program(core, program)
+        core.exception_vector = program.symbols["handler"]
+        core.resume()
+        core.run()
+        assert core.state is CoreState.HALTED
+        assert core.registers[5] == 111
+        assert core.registers[6] == 222
+        assert core.registers[EXC_CODE_REGISTER] == EXC_DIV0
+
+    def test_map_violation_reports_lockdown_code(self, machine):
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.jmp("main"),
+            "handler", isa.movi(5, 1), isa.halt(),
+            "main",
+            isa.movi(1, 50), isa.movi(2, 9),
+            isa.map_page(1, 2, 0b001),    # new exec page
+            isa.halt(),
+        ])
+        layout = machine.load_program(core, program)
+        machine.control_bus.lockdown_mmu(core.name, 0,
+                                         layout["code_pages"] - 1)
+        core.exception_vector = program.symbols["handler"]
+        core.resume()
+        core.run()
+        assert core.registers[5] == 1
+        assert core.registers[EXC_CODE_REGISTER] == EXC_LOCKDOWN
+
+    def test_iret_outside_handler_is_invalid(self, machine):
+        core, _ = run_program(machine, [isa.iret(), isa.halt()])
+        assert core.state is CoreState.FAULTED
+
+    def test_hypervisor_core_fault_raises_machine_check(self, machine):
+        hv_core = machine.hv_cores[0]
+        assert hv_core.kind is CoreKind.HYPERVISOR
+        with pytest.raises(MachineCheck):
+            hv_core._raise_exception(EXC_MEMFAULT, "simulated fault")
+
+
+class TestManagementVerbs:
+    def test_pause_stops_running_core(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, 0), "loop", isa.addi(1, 1, 1), isa.jmp("loop"),
+        ], max_steps=10)
+        assert core.state is CoreState.RUNNING
+        core.pause()
+        assert core.state is CoreState.PAUSED
+
+    def test_inspect_requires_halted(self, machine):
+        core, _ = run_program(machine, [
+            "loop", isa.jmp("loop"),
+        ], max_steps=5)
+        with pytest.raises(InvalidInstruction):
+            core.inspect_state()
+        core.pause()
+        state = core.inspect_state()
+        assert state["state"] == "PAUSED"
+        assert len(state["registers"]) == 16
+
+    def test_single_step_executes_exactly_one(self, machine):
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble([
+            isa.movi(1, 1), isa.movi(2, 2), isa.halt(),
+        ]))
+        core.single_step()
+        assert core.registers[1] == 1
+        assert core.registers[2] == 0
+        assert core.state is CoreState.PAUSED
+        core.single_step()
+        assert core.registers[2] == 2
+
+    def test_single_step_requires_paused(self, machine):
+        core, _ = run_program(machine, ["loop", isa.jmp("loop")], max_steps=3)
+        with pytest.raises(InvalidInstruction):
+            core.single_step()
+
+    def test_poke_register_requires_halted(self, machine):
+        core, _ = run_program(machine, ["loop", isa.jmp("loop")], max_steps=3)
+        with pytest.raises(InvalidInstruction):
+            core.poke_register(1, 5)
+
+    def test_power_down_requires_halted(self, machine):
+        core, _ = run_program(machine, ["loop", isa.jmp("loop")], max_steps=3)
+        with pytest.raises(InvalidInstruction):
+            core.power_down()
+        core.pause()
+        core.power_down()
+        assert core.is_powered_down
+
+    def test_powered_down_core_refuses_everything(self, machine):
+        core = machine.model_cores[0]
+        core.power_down()
+        for action in (core.step, core.pause, core.resume, core.inspect_state,
+                       core.flush_microarch, core.wake):
+            with pytest.raises(CorePoweredDown):
+                action()
+
+    def test_power_up_clears_state(self, machine):
+        core = machine.model_cores[0]
+        core.poke_register(1, 99)
+        core.power_down()
+        core.power_up()
+        assert core.registers[1] == 0
+        assert core.state is CoreState.PAUSED
+
+    def test_flush_microarch_clears_private_structures(self, machine):
+        core, _ = run_program(machine, [
+            isa.movi(1, 64), isa.load(2, 1, 0), isa.halt(),
+        ])
+        assert core.caches.dcache_levels[0].occupancy() > 0
+        core.flush_microarch()
+        assert core.caches.dcache_levels[0].occupancy() == 0
+        assert core.caches.tlb.occupancy() == 0
+        assert core.caches.branch_predictor.state_entropy_proxy() == 0
+
+
+class TestWatchpoints:
+    def test_exec_watchpoint_pauses_before_instruction(self, machine):
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble([
+            isa.movi(1, 1), isa.movi(2, 2), isa.halt(),
+        ]))
+        core.set_watchpoint("exec", 1)
+        core.resume()
+        core.run()
+        assert core.state is CoreState.PAUSED
+        assert core.registers[1] == 1
+        assert core.registers[2] == 0          # instr at pc=1 NOT executed
+        assert core.last_watchpoint.kind == "exec"
+
+    def test_write_watchpoint_fires_on_store(self, machine):
+        hits = []
+        core, _ = run_program(machine, [
+            isa.movi(1, 5),
+            isa.store(1, 3, 2),
+            isa.halt(),
+        ], registers={3: 64})
+        core2 = machine.model_cores[1]
+        machine.load_program(core2, assemble([
+            isa.movi(1, 5), isa.store(1, 3, 2), isa.halt(),
+        ]))
+        core2.poke_register(3, 64)
+        core2.set_watchpoint("write", 66)
+        core2.on_watchpoint = lambda c, w: hits.append(w)
+        core2.resume()
+        core2.run()
+        assert core2.state is CoreState.PAUSED
+        assert len(hits) == 1
+
+    def test_read_watchpoint(self, machine):
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble([
+            isa.load(1, 3, 0), isa.halt(),
+        ]))
+        core.poke_register(3, 64)
+        core.set_watchpoint("read", 64, length=4)
+        core.resume()
+        core.run()
+        assert core.state is CoreState.PAUSED
+
+    def test_clear_watchpoint(self, machine):
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble([isa.movi(1, 1), isa.halt()]))
+        wp = core.set_watchpoint("exec", 0)
+        core.clear_watchpoint(wp)
+        core.resume()
+        core.run()
+        assert core.state is CoreState.HALTED
+
+    def test_unknown_kind_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.model_cores[0].set_watchpoint("poke", 0)
+
+
+class TestTiming:
+    def test_execution_charges_cycles(self, machine):
+        before = machine.clock.now
+        run_program(machine, [isa.movi(1, 1), isa.halt()])
+        assert machine.clock.now > before
+
+    def test_cache_hits_cheaper_than_misses(self, machine):
+        # Each timed block is aligned to an icache line (4 words) so that
+        # instruction-fetch misses never land between the two RDCYCLEs and
+        # the measured difference is purely the data access.
+        core = machine.model_cores[0]
+        items = [isa.movi(1, 64), isa.load(2, 1, 0)]   # warm line 64
+        while len(items) % 4 != 0:
+            items.append(isa.nop())
+        items += [isa.rdcycle(5), isa.load(3, 1, 0), isa.rdcycle(6)]  # hot
+        while len(items) % 4 != 0:
+            items.append(isa.nop())
+        items += [isa.rdcycle(7), isa.load(4, 1, 32), isa.rdcycle(8)]  # cold
+        items.append(isa.halt())
+        machine.load_program(core, assemble(items))
+        core.resume()
+        core.run()
+        hot = core.registers[6] - core.registers[5]
+        cold = core.registers[8] - core.registers[7]
+        assert cold > hot
+
+    def test_rdcycle_monotonic(self, machine):
+        core, _ = run_program(machine, [
+            isa.rdcycle(1), isa.rdcycle(2), isa.halt(),
+        ])
+        assert core.registers[2] > core.registers[1]
+
+    def test_wfi_then_wake(self, machine):
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble([
+            isa.movi(1, 1), isa.wfi(), isa.movi(2, 2), isa.halt(),
+        ]))
+        core.resume()
+        core.run()
+        assert core.state is CoreState.WFI
+        core.wake()
+        core.run()
+        assert core.state is CoreState.HALTED
+        assert core.registers[2] == 2

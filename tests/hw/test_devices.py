@@ -1,0 +1,239 @@
+"""Unit tests for the device models (NIC, storage, GPU, actuator)."""
+
+import numpy as np
+import pytest
+
+from repro.clock import VirtualClock
+from repro.eventlog import EventLog
+from repro.hw.devices import (
+    ActuatorDevice,
+    DeviceError,
+    GpuAccelerator,
+    NicDevice,
+    StorageDevice,
+)
+from repro.net.network import Host, Network
+
+
+class TestNic:
+    def _network(self):
+        clock = VirtualClock()
+        return clock, Network(clock, EventLog(clock))
+
+    def test_send_without_network_reports_link_down(self):
+        nic = NicDevice("nic0", "host-a")
+        response, _ = nic.submit({"op": "send", "dst": "b", "payload": b"x"})
+        assert not response["ok"]
+        assert response["error"] == "link down"
+
+    def test_send_and_receive_through_network(self):
+        clock, network = self._network()
+        nic = NicDevice("nic0", "host-a")
+        network.attach(nic)
+        peer = Host("host-b")
+        network.attach(peer)
+        response, latency = nic.submit(
+            {"op": "send", "dst": "host-b", "payload": "hello"}
+        )
+        assert response["ok"]
+        assert latency > 0
+        clock.drain()
+        frame = peer.next_frame()
+        assert frame["payload"] == "hello"
+
+    def test_recv_drains_inbox(self):
+        clock, network = self._network()
+        nic = NicDevice("nic0", "host-a")
+        network.attach(nic)
+        nic.receive_frame({"payload": "x"})
+        response, _ = nic.submit({"op": "recv"})
+        assert response["frame"]["payload"] == "x"
+        response, _ = nic.submit({"op": "recv"})
+        assert response["frame"] is None
+
+    def test_detach_severs_link(self):
+        clock, network = self._network()
+        nic = NicDevice("nic0", "host-a")
+        network.attach(nic)
+        nic.detach_network()
+        response, _ = nic.submit({"op": "send", "dst": "b", "payload": b""})
+        assert not response["ok"]
+
+    def test_send_without_dst_is_error(self):
+        nic = NicDevice("nic0", "a")
+        clock, network = self._network()
+        network.attach(nic)
+        with pytest.raises(DeviceError):
+            nic.submit({"op": "send", "payload": b"x"})
+
+    def test_status_op(self):
+        nic = NicDevice("nic0", "a")
+        response, _ = nic.submit({"op": "status"})
+        assert response["link_up"] is False
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DeviceError, match="unknown op"):
+            NicDevice("nic0", "a").submit({"op": "fly"})
+
+
+class TestStorage:
+    def test_write_read_roundtrip(self):
+        disk = StorageDevice("d", num_blocks=8, block_size=32)
+        disk.submit({"op": "write", "block": 3, "data": b"abc"})
+        response, _ = disk.submit({"op": "read", "block": 3})
+        assert response["data"].startswith(b"abc")
+        assert len(response["data"]) == 32
+
+    def test_unwritten_blocks_read_zero(self):
+        disk = StorageDevice("d", block_size=16)
+        response, _ = disk.submit({"op": "read", "block": 0})
+        assert response["data"] == bytes(16)
+
+    def test_ranged_read(self):
+        disk = StorageDevice("d", block_size=32)
+        disk.submit({"op": "write", "block": 0, "data": b"0123456789"})
+        response, _ = disk.submit(
+            {"op": "read", "block": 0, "offset": 2, "length": 3}
+        )
+        assert response["data"] == b"234"
+
+    def test_bad_block_rejected(self):
+        disk = StorageDevice("d", num_blocks=4)
+        for bad in (-1, 4, "x", None):
+            with pytest.raises(DeviceError):
+                disk.submit({"op": "read", "block": bad})
+
+    def test_oversized_write_rejected(self):
+        disk = StorageDevice("d", block_size=4)
+        with pytest.raises(DeviceError, match="exceeds"):
+            disk.submit({"op": "write", "block": 0, "data": b"12345"})
+
+    def test_non_bytes_write_rejected(self):
+        disk = StorageDevice("d")
+        with pytest.raises(DeviceError, match="bytes"):
+            disk.submit({"op": "write", "block": 0, "data": "text"})
+
+    def test_trim_frees_block(self):
+        disk = StorageDevice("d")
+        disk.submit({"op": "write", "block": 1, "data": b"x"})
+        assert disk.used_blocks() == 1
+        disk.submit({"op": "trim", "block": 1})
+        assert disk.used_blocks() == 0
+
+
+class TestGpu:
+    def test_upload_matmul_download(self):
+        gpu = GpuAccelerator("g")
+        a = np.arange(6, dtype=float).reshape(2, 3)
+        b = np.arange(12, dtype=float).reshape(3, 4)
+        gpu.submit({"op": "upload", "key": "a", "data": a})
+        gpu.submit({"op": "upload", "key": "b", "data": b})
+        response, _ = gpu.submit({"op": "matmul", "a": "a", "b": "b",
+                                  "out": "c"})
+        assert response["ok"]
+        result, _ = gpu.submit({"op": "download", "key": "c"})
+        np.testing.assert_allclose(result["data"], a @ b)
+
+    def test_matmul_shape_mismatch(self):
+        gpu = GpuAccelerator("g")
+        gpu.submit({"op": "upload", "key": "a", "data": np.ones((2, 3))})
+        gpu.submit({"op": "upload", "key": "b", "data": np.ones((2, 3))})
+        response, _ = gpu.submit({"op": "matmul", "a": "a", "b": "b"})
+        assert not response["ok"]
+
+    def test_missing_operand(self):
+        gpu = GpuAccelerator("g")
+        response, _ = gpu.submit({"op": "matmul", "a": "nope", "b": "nada"})
+        assert not response["ok"]
+
+    def test_out_of_memory(self):
+        gpu = GpuAccelerator("g", dram_mb=1)
+        big = np.zeros((600, 600))  # ~2.7 MB > 1 MB
+        response, _ = gpu.submit({"op": "upload", "key": "x", "data": big})
+        assert not response["ok"]
+        assert "memory" in response["error"]
+
+    def test_free_releases_memory(self):
+        gpu = GpuAccelerator("g")
+        gpu.submit({"op": "upload", "key": "x", "data": np.zeros(100)})
+        assert gpu.allocated_bytes > 0
+        gpu.submit({"op": "free", "key": "x"})
+        assert gpu.allocated_bytes == 0
+
+    def test_kv_cache_append_read_evict(self):
+        gpu = GpuAccelerator("g")
+        gpu.submit({"op": "kv_append", "session": "s", "vector": [1.0, 2.0]})
+        response, _ = gpu.submit({"op": "kv_append", "session": "s",
+                                  "vector": [3.0, 4.0]})
+        assert response["length"] == 2
+        entries, _ = gpu.submit({"op": "kv_read", "session": "s"})
+        assert len(entries["entries"]) == 2
+        gpu.submit({"op": "kv_evict", "session": "s"})
+        entries, _ = gpu.submit({"op": "kv_read", "session": "s"})
+        assert entries["entries"] == []
+
+    def test_kv_accepts_fp16_bytes(self):
+        gpu = GpuAccelerator("g")
+        packed = np.array([1.5, -2.25], dtype=np.float16).tobytes()
+        gpu.submit({"op": "kv_append", "session": "s", "vector": packed})
+        entries, _ = gpu.submit({"op": "kv_read", "session": "s"})
+        np.testing.assert_allclose(entries["entries"][0], [1.5, -2.25])
+
+    def test_flops_accounted(self):
+        gpu = GpuAccelerator("g")
+        gpu.submit({"op": "upload", "key": "a", "data": np.ones((4, 4))})
+        gpu.submit({"op": "upload", "key": "b", "data": np.ones((4, 4))})
+        gpu.submit({"op": "matmul", "a": "a", "b": "b"})
+        assert gpu.flops_executed > 0
+
+
+class TestActuator:
+    def test_actuate_within_safe_range(self):
+        actuator = ActuatorDevice("a")
+        response, _ = actuator.submit({"op": "actuate", "channel": 2,
+                                       "value": 50.0})
+        assert response["ok"]
+        assert actuator.outputs[2] == 50.0
+
+    def test_interlock_blocks_unsafe_values(self):
+        actuator = ActuatorDevice("a", safe_limit=100.0)
+        response, _ = actuator.submit({"op": "actuate", "channel": 0,
+                                       "value": 5000.0})
+        assert not response["ok"]
+        assert "interlock" in response["error"]
+        assert actuator.outputs[0] == 0.0
+
+    def test_interlock_can_be_disengaged(self):
+        actuator = ActuatorDevice("a")
+        actuator.submit({"op": "set_interlock", "engaged": False})
+        response, _ = actuator.submit({"op": "actuate", "channel": 0,
+                                       "value": 5000.0})
+        assert response["ok"]
+
+    def test_disable_blocks_all_actuation(self):
+        actuator = ActuatorDevice("a")
+        actuator.disable()
+        response, _ = actuator.submit({"op": "actuate", "channel": 0,
+                                       "value": 1.0})
+        assert not response["ok"]
+        actuator.enable()
+        response, _ = actuator.submit({"op": "actuate", "channel": 0,
+                                       "value": 1.0})
+        assert response["ok"]
+
+    def test_bad_channel_rejected(self):
+        actuator = ActuatorDevice("a", channels=4)
+        with pytest.raises(DeviceError):
+            actuator.submit({"op": "actuate", "channel": 4, "value": 1.0})
+
+    def test_history_records_actuations(self):
+        actuator = ActuatorDevice("a")
+        actuator.submit({"op": "actuate", "channel": 1, "value": 2.0})
+        actuator.submit({"op": "actuate", "channel": 3, "value": -4.0})
+        assert actuator.actuation_history == [(1, 2.0), (3, -4.0)]
+
+    def test_read_state(self):
+        actuator = ActuatorDevice("a", channels=2)
+        actuator.submit({"op": "actuate", "channel": 1, "value": 9.0})
+        response, _ = actuator.submit({"op": "read_state"})
+        assert response["outputs"] == [0.0, 9.0]

@@ -1,0 +1,109 @@
+"""Unit tests for the GISA instruction set, encoder, and assembler."""
+
+import pytest
+
+from repro.hw import isa
+from repro.hw.isa import (
+    AssemblyError,
+    Instruction,
+    Op,
+    assemble,
+    decode,
+    encode,
+)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("op", list(Op))
+    def test_roundtrip_all_opcodes(self, op):
+        original = Instruction(op=op, rd=3, rs1=7, rs2=15, imm=1234)
+        assert decode(encode(original)) == original
+
+    def test_negative_immediate_roundtrip(self):
+        original = isa.movi(1, -5)
+        assert decode(encode(original)).imm == -5
+
+    def test_extreme_immediates(self):
+        for imm in (-(1 << 31), (1 << 31) - 1, 0, 1, -1):
+            assert decode(encode(isa.movi(2, imm))).imm == imm
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            decode(0xFF << 56)
+
+    def test_register_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.MOV, rd=16)
+        with pytest.raises(ValueError):
+            Instruction(Op.MOV, rs1=-1)
+
+    def test_encoded_word_fits_64_bits(self):
+        word = encode(Instruction(Op.HALT, rd=15, rs1=15, rs2=15, imm=-1))
+        assert 0 <= word < 1 << 64
+
+
+class TestAssembler:
+    def test_labels_resolve_to_addresses(self):
+        program = assemble([
+            isa.movi(1, 0),
+            "loop",
+            isa.addi(1, 1, 1),
+            isa.jmp("loop"),
+        ])
+        assert program.symbols["loop"] == 1
+        assert program.instruction_at(2).imm == 1
+
+    def test_base_address_offsets_labels(self):
+        program = assemble([
+            "start",
+            isa.jmp("start"),
+        ], base_address=100)
+        assert program.symbols["start"] == 100
+        assert program.instruction_at(0).imm == 100
+
+    def test_forward_references_work(self):
+        program = assemble([
+            isa.jmp("end"),
+            isa.nop(),
+            "end",
+            isa.halt(),
+        ])
+        assert program.instruction_at(0).imm == 2
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble(["x", isa.nop(), "x"])
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined"):
+            assemble([isa.jmp("nowhere")])
+
+    def test_garbage_item_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble([42])
+
+    def test_program_len_counts_instructions_not_labels(self):
+        program = assemble(["a", isa.nop(), "b", isa.halt()])
+        assert len(program) == 2
+
+    def test_program_iterates_words(self):
+        program = assemble([isa.nop(), isa.halt()])
+        words = list(program)
+        assert words[0] == encode(isa.nop())
+        assert words[1] == encode(isa.halt())
+
+
+class TestConvenienceConstructors:
+    def test_forms_match_fields(self):
+        assert isa.add(1, 2, 3) == Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        assert isa.load(4, 5, 6) == Instruction(Op.LOAD, rd=4, rs1=5, imm=6)
+        assert isa.store(7, 8, 9) == Instruction(Op.STORE, rs2=7, rs1=8, imm=9)
+        assert isa.doorbell(2) == Instruction(Op.DOORBELL, rs1=2)
+        assert isa.map_page(1, 2, 0b111) == Instruction(
+            Op.MAP, rs1=1, rs2=2, imm=0b111
+        )
+
+    def test_branch_constructors_carry_labels(self):
+        branch = isa.beq(1, 2, "target")
+        assert branch.label == "target"
+        assert branch.op is Op.BEQ

@@ -1,0 +1,88 @@
+"""Unit tests for the throttling LAPIC (section 3.2's interrupt filter)."""
+
+from repro.clock import VirtualClock
+from repro.hw.lapic import Lapic
+
+
+def make_lapic(window=100, maximum=3):
+    clock = VirtualClock()
+    return clock, Lapic("hv_core0", clock, throttle_window=window,
+                        throttle_max=maximum)
+
+
+class TestDelivery:
+    def test_accepted_interrupts_pop_in_order(self):
+        clock, lapic = make_lapic()
+        lapic.deliver("a", 32, payload=1)
+        lapic.deliver("a", 32, payload=2)
+        assert lapic.pop().payload == 1
+        assert lapic.pop().payload == 2
+        assert lapic.pop() is None
+
+    def test_interrupt_carries_metadata(self):
+        clock, lapic = make_lapic()
+        clock.tick(50)
+        lapic.deliver("model_core1", 33, payload=9)
+        interrupt = lapic.pop()
+        assert interrupt.source == "model_core1"
+        assert interrupt.vector == 33
+        assert interrupt.time == 50
+
+    def test_pending_counts(self):
+        clock, lapic = make_lapic()
+        assert not lapic.has_pending
+        lapic.deliver("a", 32)
+        assert lapic.has_pending
+        assert lapic.pending_count() == 1
+
+
+class TestThrottle:
+    def test_burst_beyond_limit_is_coalesced(self):
+        clock, lapic = make_lapic(window=100, maximum=3)
+        results = [lapic.deliver("a", 32, payload=i) for i in range(10)]
+        assert results[:3] == [True, True, True]
+        assert not any(results[3:])
+        assert lapic.accepted == 3
+        assert lapic.throttled == 7
+
+    def test_coalesced_request_survives(self):
+        """A throttled doorbell is deferred, never lost."""
+        clock, lapic = make_lapic(window=100, maximum=1)
+        lapic.deliver("a", 32, payload=1)
+        lapic.deliver("a", 32, payload=2)   # coalesced
+        assert lapic.pop().payload == 1
+        assert lapic.pop() is None           # window still closed
+        clock.tick(101)
+        released = lapic.pop()
+        assert released is not None
+        assert released.payload == 2
+
+    def test_window_slides(self):
+        clock, lapic = make_lapic(window=100, maximum=2)
+        assert lapic.deliver("a", 32)
+        assert lapic.deliver("a", 32)
+        assert not lapic.deliver("a", 32)
+        clock.tick(150)
+        assert lapic.deliver("a", 32)
+
+    def test_per_source_budgets(self):
+        """One flooding source cannot consume another source's budget."""
+        clock, lapic = make_lapic(window=100, maximum=2)
+        lapic.deliver("flooder", 32)
+        lapic.deliver("flooder", 32)
+        assert not lapic.deliver("flooder", 32)
+        assert lapic.deliver("legit", 32)
+
+    def test_unthrottled_mode(self):
+        clock = VirtualClock()
+        lapic = Lapic("core", clock, throttle_max=None)
+        assert all(lapic.deliver("a", 32) for _ in range(1000))
+        assert lapic.throttled == 0
+
+    def test_reset_drops_state(self):
+        clock, lapic = make_lapic()
+        lapic.deliver("a", 32)
+        lapic.deliver("a", 32)
+        lapic.reset()
+        assert lapic.pop() is None
+        assert not lapic.has_pending

@@ -1,0 +1,163 @@
+"""Unit tests for machine assembly and program loading."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.hw import isa
+from repro.hw.isa import assemble
+from repro.hw.machine import (
+    MachineConfig,
+    build_baseline_machine,
+    build_guillotine_machine,
+)
+from repro.hw.memory import PAGE_SIZE
+
+
+class TestGuillotineBuild:
+    def test_core_counts_respect_config(self):
+        machine = build_guillotine_machine(
+            MachineConfig(n_model_cores=3, n_hv_cores=2)
+        )
+        assert len(machine.model_cores) == 3
+        assert len(machine.hv_cores) == 2
+
+    def test_three_dram_banks(self, machine):
+        assert set(machine.banks) == {"model_dram", "hv_dram", "io_dram"}
+
+    def test_four_device_classes(self, machine):
+        kinds = {d.device_type for d in machine.devices.values()}
+        assert kinds == {"nic", "storage", "gpu", "actuator"}
+
+    def test_hv_lapic_is_throttled(self, machine):
+        lapic = machine.lapics[machine.hv_cores[0].name]
+        assert lapic.throttle_max is not None
+
+    def test_doorbell_reaches_hv_lapic(self, machine):
+        core = machine.model_cores[1]
+        machine.load_program(core, assemble([isa.doorbell(0), isa.halt()]))
+        core.resume()
+        core.run()
+        lapic = machine.lapics[machine.hv_cores[0].name]
+        interrupt = lapic.pop()
+        assert interrupt.source == core.name
+
+    def test_disjoint_cache_hierarchies(self, machine):
+        model_caches = set()
+        for core in machine.model_cores:
+            model_caches.update(id(c) for c in core.caches.dcache_levels)
+        hv_caches = set()
+        for core in machine.hv_cores:
+            hv_caches.update(id(c) for c in core.caches.dcache_levels)
+        assert not model_caches & hv_caches
+
+    def test_model_cores_share_l2(self):
+        machine = build_guillotine_machine(MachineConfig(n_model_cores=2))
+        l2_a = machine.model_cores[0].caches.dcache_levels[-1]
+        l2_b = machine.model_cores[1].caches.dcache_levels[-1]
+        assert l2_a is l2_b
+
+    def test_inventory_is_stable(self, machine):
+        assert machine.hardware_inventory() == machine.hardware_inventory()
+
+    def test_measurement_changes_with_hypervisor_digest(self, machine):
+        a = machine.measure("digest-1")
+        b = machine.measure("digest-2")
+        assert a.inventory_digest == b.inventory_digest
+        assert a.combined() != b.combined()
+
+    def test_enclosure_sealed_over_inventory(self, machine):
+        report = machine.enclosure.inspect(0)
+        assert report.clean
+
+
+class TestProgramLoading:
+    def test_layout_fields(self, machine):
+        core = machine.model_cores[0]
+        program = assemble([isa.nop()] * 70 + [isa.halt()])  # 2 code pages
+        layout = machine.load_program(core, program, data_pages=3)
+        assert layout["code_pages"] == 2
+        assert layout["data_vaddr"] == 2 * PAGE_SIZE
+        assert layout["io_vaddr"] == 5 * PAGE_SIZE
+        assert core.pc == 0
+
+    def test_code_mapped_read_execute(self, machine):
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble([isa.halt()]))
+        entry = core.mmu.lookup(0)
+        assert entry.executable and entry.readable and not entry.writable
+
+    def test_io_window_maps_io_bank(self, machine):
+        core = machine.model_cores[0]
+        layout = machine.load_program(core, assemble([isa.halt()]))
+        io_paddr = core.mmu.translate(layout["io_vaddr"])
+        bank, local = core.memory_map.resolve(io_paddr)
+        assert bank.name == "io_dram"
+        assert local == 0
+
+    def test_two_programs_get_distinct_frames(self, machine):
+        core_a, core_b = machine.model_cores[:2]
+        machine.load_program(core_a, assemble([isa.movi(1, 1), isa.halt()]))
+        layout_b = machine.load_program(
+            core_b, assemble([isa.movi(1, 2), isa.halt()])
+        )
+        core_a.resume(); core_a.run()
+        core_b.resume(); core_b.run()
+        assert core_a.registers[1] == 1
+        assert core_b.registers[1] == 2
+
+    def test_frame_exhaustion_raises(self):
+        machine = build_guillotine_machine(
+            MachineConfig(model_dram_pages=8, n_model_cores=1)
+        )
+        core = machine.model_cores[0]
+        with pytest.raises(BusError, match="out of frames"):
+            machine.load_program(core, assemble([isa.halt()]), data_pages=20)
+
+
+class TestBaselineBuild:
+    def test_single_shared_bank(self, baseline_machine):
+        assert set(baseline_machine.banks) == {"shared_dram"}
+
+    def test_guest_core_wired_to_devices(self, baseline_machine):
+        core = baseline_machine.model_cores[0]
+        for device in baseline_machine.devices.values():
+            assert baseline_machine.bus.reachable(core.name, device.name)
+
+    def test_no_hv_cores(self, baseline_machine):
+        assert baseline_machine.hv_cores == []
+
+    def test_lapic_unthrottled(self, baseline_machine):
+        lapic = baseline_machine.lapics[baseline_machine.model_cores[0].name]
+        assert lapic.throttle_max is None
+
+    def test_flush_all_microarch(self, machine):
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble([
+            isa.movi(1, 64), isa.load(2, 1, 0), isa.halt(),
+        ]))
+        core.resume()
+        core.run()
+        machine.flush_all_microarch()
+        for cache in machine.shared_caches:
+            assert cache.occupancy() == 0
+
+
+class TestAblationConfig:
+    def test_shared_dcache_ablation_wires_hv_into_model_hierarchy(self):
+        machine = build_guillotine_machine(
+            MachineConfig(n_model_cores=1, n_hv_cores=1,
+                          ablation_shared_dcache=True)
+        )
+        hv_core = machine.hv_cores[0]
+        model_core = machine.model_cores[0]
+        assert hv_core.caches.dcache_levels is model_core.caches.dcache_levels
+        assert machine.hv_touch_offset > 0
+        # Bus isolation stays intact — that is the point of the ablation.
+        assert not machine.bus.transitively_reachable(model_core.name,
+                                                      "hv_dram")
+
+    def test_default_build_keeps_hierarchies_disjoint(self, machine):
+        hv_ids = {id(c) for c in machine.hv_cores[0].caches.dcache_levels}
+        model_ids = {id(c) for c in machine.model_cores[0].caches.dcache_levels}
+        assert not hv_ids & model_ids
+        assert machine.hv_touch_offset == 0

@@ -1,0 +1,196 @@
+"""Unit tests for DRAM, page tables, and the MMU lockdown rules."""
+
+import pytest
+
+from repro.errors import LockdownViolation, MemoryFault
+from repro.hw.memory import Dram, Mmu, PAGE_SIZE, PageTableEntry
+
+
+class TestDram:
+    def test_read_write_roundtrip(self):
+        dram = Dram("test", 4 * PAGE_SIZE)
+        dram.write(10, 0xDEAD)
+        assert dram.read(10) == 0xDEAD
+
+    def test_initially_zero(self):
+        dram = Dram("test", PAGE_SIZE)
+        assert dram.read(0) == 0
+
+    def test_out_of_range_read_faults(self):
+        dram = Dram("test", PAGE_SIZE)
+        with pytest.raises(MemoryFault):
+            dram.read(PAGE_SIZE)
+        with pytest.raises(MemoryFault):
+            dram.read(-1)
+
+    def test_out_of_range_write_faults(self):
+        dram = Dram("test", PAGE_SIZE)
+        with pytest.raises(MemoryFault):
+            dram.write(PAGE_SIZE, 1)
+
+    def test_values_masked_to_64_bits(self):
+        dram = Dram("test", PAGE_SIZE)
+        dram.write(0, 1 << 65)
+        assert dram.read(0) == 0
+
+    def test_size_must_be_page_multiple(self):
+        with pytest.raises(ValueError):
+            Dram("bad", PAGE_SIZE + 1)
+        with pytest.raises(ValueError):
+            Dram("bad", 0)
+
+    def test_bulk_load(self):
+        dram = Dram("test", 2 * PAGE_SIZE)
+        dram.load_words(5, [1, 2, 3])
+        assert [dram.read(5 + i) for i in range(3)] == [1, 2, 3]
+
+    def test_bulk_load_bounds_checked(self):
+        dram = Dram("test", PAGE_SIZE)
+        with pytest.raises(MemoryFault):
+            dram.load_words(PAGE_SIZE - 1, [1, 2])
+
+    def test_snapshot(self):
+        dram = Dram("test", PAGE_SIZE)
+        dram.write(3, 7)
+        assert dram.snapshot(2, 3) == [0, 7, 0]
+
+    def test_write_count_tracks_mutation(self):
+        dram = Dram("test", PAGE_SIZE)
+        before = dram.write_count
+        dram.write(0, 1)
+        assert dram.write_count == before + 1
+
+
+class TestTranslation:
+    def test_translate_maps_offset(self):
+        mmu = Mmu()
+        mmu.map(2, PageTableEntry(ppn=5))
+        assert mmu.translate(2 * PAGE_SIZE + 7) == 5 * PAGE_SIZE + 7
+
+    def test_unmapped_page_faults(self):
+        with pytest.raises(MemoryFault, match="unmapped"):
+            Mmu().translate(0)
+
+    def test_write_permission_enforced(self):
+        mmu = Mmu()
+        mmu.map(0, PageTableEntry(ppn=0, writable=False))
+        mmu.translate(0)  # read OK
+        with pytest.raises(MemoryFault, match="read-only"):
+            mmu.translate(0, write=True)
+
+    def test_execute_permission_enforced(self):
+        mmu = Mmu()
+        mmu.map(0, PageTableEntry(ppn=0, executable=False))
+        with pytest.raises(MemoryFault, match="non-executable"):
+            mmu.translate(0, execute=True)
+
+    def test_read_permission_enforced(self):
+        mmu = Mmu()
+        mmu.map(0, PageTableEntry(ppn=0, readable=False, executable=True))
+        with pytest.raises(MemoryFault, match="unreadable"):
+            mmu.translate(0)
+        mmu.translate(0, execute=True)  # execute-only is legal
+
+    def test_unmap_removes_translation(self):
+        mmu = Mmu()
+        mmu.map(0, PageTableEntry(ppn=0))
+        mmu.unmap(0)
+        with pytest.raises(MemoryFault):
+            mmu.translate(0)
+
+    def test_negative_page_numbers_rejected(self):
+        with pytest.raises(MemoryFault):
+            Mmu().map(-1, PageTableEntry(ppn=0))
+
+    def test_perm_bits_roundtrip(self):
+        entry = PageTableEntry(ppn=1, readable=True, writable=False,
+                               executable=True)
+        assert PageTableEntry.from_bits(1, entry.perm_bits) == entry
+
+
+class TestLockdown:
+    """Section 3.2's anti-self-improvement MMU rules."""
+
+    def _locked_mmu(self) -> Mmu:
+        mmu = Mmu()
+        mmu.map(0, PageTableEntry(ppn=0, writable=False, executable=True))
+        mmu.map(1, PageTableEntry(ppn=1, writable=False, executable=True))
+        mmu.map(5, PageTableEntry(ppn=5))  # data
+        mmu.lockdown(0, 1)
+        return mmu
+
+    def test_lockdown_demotes_code_to_execute_only(self):
+        mmu = self._locked_mmu()
+        with pytest.raises(MemoryFault):
+            mmu.translate(0)  # read of own code now refused
+        mmu.translate(0, execute=True)
+
+    def test_cannot_remap_locked_page(self):
+        mmu = self._locked_mmu()
+        with pytest.raises(LockdownViolation):
+            mmu.map(0, PageTableEntry(ppn=9, writable=True, executable=True))
+
+    def test_cannot_unmap_locked_page(self):
+        mmu = self._locked_mmu()
+        with pytest.raises(LockdownViolation):
+            mmu.unmap(0)
+
+    def test_cannot_create_exec_outside_region(self):
+        mmu = self._locked_mmu()
+        with pytest.raises(LockdownViolation):
+            mmu.map(9, PageTableEntry(ppn=9, readable=False, writable=False,
+                                      executable=True))
+
+    def test_cannot_create_exec_inside_region_either(self):
+        mmu = Mmu()
+        mmu.map(0, PageTableEntry(ppn=0, writable=False, executable=True))
+        mmu.lockdown(0, 3)  # region larger than mapped code
+        with pytest.raises(LockdownViolation):
+            mmu.map(2, PageTableEntry(ppn=7, readable=False, writable=False,
+                                      executable=True))
+
+    def test_alias_of_code_frame_rejected(self):
+        mmu = self._locked_mmu()
+        with pytest.raises(LockdownViolation, match="alias"):
+            mmu.map(20, PageTableEntry(ppn=0, writable=True))
+
+    def test_preexisting_alias_blocks_lockdown(self):
+        mmu = Mmu()
+        mmu.map(0, PageTableEntry(ppn=0, writable=False, executable=True))
+        mmu.map(7, PageTableEntry(ppn=0, writable=True))  # alias
+        with pytest.raises(LockdownViolation, match="alias"):
+            mmu.lockdown(0, 0)
+        assert not mmu.locked  # failed lockdown leaves MMU unlocked
+
+    def test_data_pages_still_remappable(self):
+        mmu = self._locked_mmu()
+        mmu.map(5, PageTableEntry(ppn=6))       # remap data elsewhere
+        mmu.map(30, PageTableEntry(ppn=30))     # fresh data page
+        mmu.unmap(30)
+
+    def test_exec_page_outside_region_blocks_lockdown(self):
+        mmu = Mmu()
+        mmu.map(9, PageTableEntry(ppn=9, executable=True, writable=False))
+        with pytest.raises(LockdownViolation, match="outside"):
+            mmu.lockdown(0, 3)
+
+    def test_double_lockdown_rejected(self):
+        mmu = self._locked_mmu()
+        with pytest.raises(LockdownViolation):
+            mmu.lockdown(0, 1)
+
+    def test_invalid_region_rejected(self):
+        with pytest.raises(ValueError):
+            Mmu().lockdown(3, 1)
+
+    def test_executable_set_never_grows(self):
+        """The E3 invariant: post-lockdown the executable set is frozen."""
+        mmu = self._locked_mmu()
+        before = mmu.executable_vpns()
+        for vpn, ppn, perms in [(9, 9, dict(executable=True, readable=False,
+                                            writable=False)),
+                                (0, 4, dict(executable=True, writable=True)),
+                                (20, 0, dict(writable=True))]:
+            with pytest.raises(LockdownViolation):
+                mmu.map(vpn, PageTableEntry(ppn=ppn, **perms))
+        assert mmu.executable_vpns() == before

@@ -1,0 +1,189 @@
+"""Tests for the core-local timer: model-internal preemption without any
+hypervisor involvement (paper section 3.3: "a model may choose to structure
+its code by distinguishing between OS software and user software ... the
+Guillotine software-level hypervisor is agnostic")."""
+
+import pytest
+
+from repro.hw import isa
+from repro.hw.core import CoreState, EXC_CODE_REGISTER, EXC_TIMER
+from repro.hw.isa import assemble
+from repro.hw.machine import build_guillotine_machine
+
+
+@pytest.fixture
+def machine():
+    return build_guillotine_machine()
+
+
+class TestTimerBasics:
+    def test_timer_vectors_to_handler(self, machine):
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.jmp("main"),
+            "handler",
+            isa.movi(5, 777),
+            isa.iret(),
+            "main",
+            isa.movi(1, 30),
+            isa.settimer(1),
+            "spin",
+            isa.addi(2, 2, 1),
+            isa.movi(3, 1000),
+            isa.blt(2, 3, "spin"),
+            isa.halt(),
+        ])
+        machine.load_program(core, program)
+        core.exception_vector = program.symbols["handler"]
+        core.resume()
+        core.run()
+        assert core.timer_fires == 1
+        assert core.registers[5] == 777
+        assert core.state is CoreState.HALTED
+
+    def test_handler_sees_timer_code(self, machine):
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.jmp("main"),
+            "handler",
+            isa.mov(5, EXC_CODE_REGISTER),
+            isa.iret(),
+            "main",
+            isa.movi(1, 10),
+            isa.settimer(1),
+            isa.nop(), isa.nop(), isa.nop(), isa.nop(), isa.nop(),
+            isa.halt(),
+        ])
+        machine.load_program(core, program)
+        core.exception_vector = program.symbols["handler"]
+        core.resume()
+        core.run()
+        assert core.registers[5] == EXC_TIMER
+
+    def test_no_vector_means_no_fire(self, machine):
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.movi(1, 5),
+            isa.settimer(1),
+            isa.nop(), isa.nop(), isa.nop(),
+            isa.halt(),
+        ])
+        machine.load_program(core, program)
+        core.resume()
+        core.run()
+        assert core.timer_fires == 0
+        assert core.state is CoreState.HALTED
+
+    def test_timer_wakes_wfi(self, machine):
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.jmp("main"),
+            "handler",
+            isa.movi(5, 1),
+            isa.iret(),
+            "main",
+            isa.movi(1, 2000),
+            isa.settimer(1),
+            isa.wfi(),
+            isa.halt(),
+        ])
+        machine.load_program(core, program)
+        core.exception_vector = program.symbols["handler"]
+        core.resume()
+        core.run()
+        assert core.state is CoreState.WFI
+        machine.clock.tick(3000)
+        core.run()
+        assert core.state is CoreState.HALTED
+        assert core.registers[5] == 1
+
+    def test_timer_deferred_while_in_handler(self, machine):
+        """A timer expiring inside the handler waits for IRET (no nesting)."""
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.jmp("main"),
+            "handler",
+            isa.addi(5, 5, 1),
+            isa.movi(1, 1),
+            isa.settimer(1),      # expires immediately, but we're in-handler
+            isa.nop(), isa.nop(),
+            isa.iret(),
+            "main",
+            isa.movi(1, 10),
+            isa.settimer(1),
+            "spin",
+            isa.addi(2, 2, 1),
+            isa.movi(3, 200),
+            isa.blt(2, 3, "spin"),
+            isa.halt(),
+        ])
+        machine.load_program(core, program)
+        core.exception_vector = program.symbols["handler"]
+        core.resume()
+        core.run(max_steps=5000)
+        assert core.registers[5] >= 2      # re-armed timer fired after IRET
+
+
+class TestModelInternalScheduler:
+    def test_round_robin_between_two_tasks(self, machine):
+        """A tiny preemptive OS inside the model: the timer handler swaps
+        the resume pc (r13) with the parked task's pc (r12), so two loops
+        interleave — all without a single hypervisor interaction."""
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.jmp("boot"),
+            # -- timer handler: swap r13 (resume pc) <-> r12 (other task)
+            "handler",
+            isa.mov(11, 13),
+            isa.mov(13, 12),
+            isa.mov(12, 11),
+            isa.movi(1, 40),
+            isa.settimer(1),
+            isa.iret(),
+            # -- boot: park task B's entry in r12, arm timer, enter task A
+            "boot",
+            isa.movi(12, 0),
+            isa.movi(11, 0),
+            isa.movi(1, 40),
+            isa.settimer(1),
+            isa.movi(2, 0),               # task A counter
+            isa.movi(3, 0),               # task B counter
+            isa.movi(10, 120),            # per-task goal
+            # r12 <- address of task_b
+            isa.movi(12, 0),              # patched below via label trick
+            isa.jmp("task_a"),
+            "task_b",
+            isa.addi(3, 3, 1),
+            isa.blt(3, 10, "task_b"),
+            isa.halt(),
+            "task_a",
+            isa.addi(2, 2, 1),
+            isa.blt(2, 10, "task_a"),
+            isa.halt(),
+        ])
+        # Patch the movi that loads task_b's address (two-pass by hand).
+        task_b = program.symbols["task_b"]
+        from repro.hw.isa import encode
+        patched = list(program.words)
+        # find the movi r12, 0 right before the jmp to task_a
+        jmp_index = None
+        from repro.hw.isa import decode, Op
+        for index, word in enumerate(patched):
+            instruction = decode(word)
+            if instruction.op is Op.JMP and instruction.imm == \
+                    program.symbols["task_a"]:
+                jmp_index = index
+        patched[jmp_index - 1] = encode(isa.movi(12, task_b))
+        program.words[:] = patched
+
+        machine.load_program(core, program)
+        core.exception_vector = program.symbols["handler"]
+        core.resume()
+        core.run(max_steps=20_000)
+        assert core.state is CoreState.HALTED
+        # Preemption happened repeatedly and both tasks made progress.
+        assert core.timer_fires >= 3
+        assert core.registers[2] > 0 and core.registers[3] > 0
+        # Whichever task halted first, both counters are near the goal
+        # region (the other was mid-flight).
+        assert max(core.registers[2], core.registers[3]) == 120

@@ -1,0 +1,160 @@
+"""Tests for weight-page protection (the anti-weight-theft MMU verb).
+
+Section 4: Guillotine explores "concrete defensive mechanisms like
+preventing model cores from reading, modifying, and creating executable
+pages or weight-containing pages" — the contrast with Nevo et al., who
+specify security levels without mechanisms.
+"""
+
+import pytest
+
+from repro.errors import LockdownViolation, MemoryFault
+from repro.hw import isa
+from repro.hw.core import CoreState, EXC_LOCKDOWN, EXC_CODE_REGISTER
+from repro.hw.isa import assemble
+from repro.hw.machine import build_guillotine_machine
+from repro.hw.memory import Mmu, PageTableEntry
+
+
+def mmu_with_weights():
+    mmu = Mmu()
+    mmu.map(0, PageTableEntry(ppn=0, writable=False, executable=True))
+    for vpn in (4, 5):
+        mmu.map(vpn, PageTableEntry(ppn=vpn))       # weights, initially RW
+    mmu.map(8, PageTableEntry(ppn=8))               # scratch data
+    mmu.protect_weights(4, 5)
+    return mmu
+
+
+class TestWeightRegionRules:
+    def test_weights_stay_readable(self):
+        mmu = mmu_with_weights()
+        mmu.translate(4 * 64)          # inference can read them
+
+    def test_weights_become_unwritable(self):
+        mmu = mmu_with_weights()
+        with pytest.raises(MemoryFault, match="read-only"):
+            mmu.translate(4 * 64, write=True)
+
+    def test_weight_pages_cannot_be_remapped(self):
+        mmu = mmu_with_weights()
+        with pytest.raises(LockdownViolation, match="weight page"):
+            mmu.map(4, PageTableEntry(ppn=20))
+
+    def test_weight_pages_cannot_be_unmapped(self):
+        mmu = mmu_with_weights()
+        with pytest.raises(LockdownViolation, match="unmap"):
+            mmu.unmap(5)
+
+    def test_no_writable_alias_of_weight_frames(self):
+        mmu = mmu_with_weights()
+        with pytest.raises(LockdownViolation, match="alias"):
+            mmu.map(20, PageTableEntry(ppn=4, writable=True))
+
+    def test_readonly_alias_is_fine(self):
+        mmu = mmu_with_weights()
+        mmu.map(20, PageTableEntry(ppn=4, writable=False))
+
+    def test_preexisting_writable_alias_blocks_protection(self):
+        mmu = Mmu()
+        mmu.map(4, PageTableEntry(ppn=4))
+        mmu.map(9, PageTableEntry(ppn=4, writable=True))
+        with pytest.raises(LockdownViolation, match="alias"):
+            mmu.protect_weights(4, 4)
+        assert not mmu.weights_protected
+
+    def test_unmapped_weight_page_rejected(self):
+        mmu = Mmu()
+        with pytest.raises(LockdownViolation, match="not mapped"):
+            mmu.protect_weights(4, 5)
+
+    def test_executable_weight_page_rejected(self):
+        mmu = Mmu()
+        mmu.map(4, PageTableEntry(ppn=4, writable=False, executable=True))
+        with pytest.raises(LockdownViolation, match="executable"):
+            mmu.protect_weights(4, 4)
+
+    def test_double_protection_rejected(self):
+        mmu = mmu_with_weights()
+        with pytest.raises(LockdownViolation):
+            mmu.protect_weights(8, 8)
+
+    def test_composes_with_exec_lockdown(self):
+        mmu = mmu_with_weights()
+        mmu.lockdown(0, 0)
+        assert mmu.locked and mmu.weights_protected
+        with pytest.raises(LockdownViolation):
+            mmu.map(4, PageTableEntry(ppn=9))
+        with pytest.raises(LockdownViolation):
+            mmu.map(0, PageTableEntry(ppn=9, executable=True,
+                                      writable=False, readable=False))
+
+
+class TestWeightTheftKernel:
+    """A Tier-1 adversary: remap the weight pages writable, overwrite a
+    weight, and (separately) map a writable alias — both must fault."""
+
+    def _rig(self):
+        machine = build_guillotine_machine()
+        core = machine.model_cores[0]
+        program = assemble([
+            # attempt 1: remap weight vpn (r9) -> its own ppn (r10), RW
+            isa.map_page(9, 10, 0b110),
+            isa.halt(),
+        ])
+        layout = machine.load_program(core, program, data_pages=4)
+        weight_vpn = layout["data_vaddr"] // 64 + 1
+        weight_ppn = weight_vpn            # identity on a fresh machine
+        machine.control_bus.protect_weights(core.name, weight_vpn, weight_vpn)
+        machine.control_bus.lockdown_mmu(core.name, 0,
+                                         layout["code_pages"] - 1)
+        core.poke_register(9, weight_vpn)
+        core.poke_register(10, weight_ppn)
+        return machine, core, weight_vpn
+
+    def test_remap_attempt_faults_with_lockdown_code(self):
+        machine, core, weight_vpn = self._rig()
+        core.resume()
+        core.run()
+        assert core.state is CoreState.FAULTED
+        assert "weight page" in core.last_fault
+
+    def test_direct_store_to_weights_faults(self):
+        machine = build_guillotine_machine()
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.movi(1, 0xBAD),
+            isa.store(1, 9, 0),
+            isa.halt(),
+        ])
+        layout = machine.load_program(core, program, data_pages=4)
+        weight_vpn = layout["data_vaddr"] // 64 + 1
+        machine.control_bus.protect_weights(core.name, weight_vpn, weight_vpn)
+        core.poke_register(9, weight_vpn * 64)
+        core.resume()
+        core.run()
+        assert core.state is CoreState.FAULTED
+        assert "read-only" in core.last_fault
+
+    def test_weights_remain_loadable_for_inference(self):
+        machine = build_guillotine_machine()
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.load(1, 9, 0),
+            isa.load(2, 9, 1),
+            isa.add(3, 1, 2),          # a one-MAC 'inference'
+            isa.store(3, 10, 0),
+            isa.halt(),
+        ])
+        layout = machine.load_program(core, program, data_pages=4)
+        weight_vpn = layout["data_vaddr"] // 64 + 1
+        bank = machine.banks["model_dram"]
+        bank.write(weight_vpn * 64, 30)
+        bank.write(weight_vpn * 64 + 1, 12)
+        machine.control_bus.protect_weights(core.name, weight_vpn, weight_vpn)
+        core.poke_register(9, weight_vpn * 64)
+        core.poke_register(10, layout["data_vaddr"])
+        core.resume()
+        core.run()
+        assert core.state is CoreState.HALTED
+        assert bank.read(layout["data_vaddr"]) == 42

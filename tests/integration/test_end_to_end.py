@@ -1,0 +1,146 @@
+"""End-to-end integration tests across all four hypervisor layers."""
+
+import pytest
+
+from repro.core.sandbox import GuillotineSandbox
+from repro.eventlog import CATEGORY_ISOLATION
+from repro.model.toyllm import ToyLlm
+from repro.net.network import Host
+from repro.physical.isolation import IsolationLevel
+from repro.policy.authority import Regulator
+from repro.policy.risk import ModelDescriptor
+
+
+def approvers(n):
+    return {f"admin{i}" for i in range(n)}
+
+
+class TestBenignLifecycle:
+    """A well-behaved model service living its whole life in the sandbox."""
+
+    def test_attest_load_serve_audit(self):
+        sandbox = GuillotineSandbox.create(heartbeat_period=10_000)
+        user = Host("user")
+        sandbox.network.attach(user)
+
+        # Boot: attestation gates model loading.
+        sandbox.console.load_model("toy-llm-prod")
+
+        # Serve mediated inference traffic with RAG.
+        service = sandbox.build_service(replicas=2, use_rag=True)
+        service.rag.ingest("handbook", "the reactor setpoint is 350 degrees")
+        for index in range(6):
+            service.submit(f"question number {index} about the setpoint",
+                           client_host="user", use_rag=True)
+        results = service.drain()
+        assert all(r.delivered for r in results)
+        assert all(not r.aborted for r in results)
+
+        # Replies actually crossed the network.
+        sandbox.clock.drain()
+        assert len(user.inbox) == 6
+
+        # The audit trail saw every device interaction and still verifies.
+        assert sandbox.log.verify_chain()
+        assert sandbox.check_invariants() == []
+
+        # The regulator's remote audit passes.
+        regulator = Regulator()
+        regulator.register_deployment(
+            "acme",
+            ModelDescriptor(name="toy-llm-prod", parameters=10**11,
+                            training_flops=5e25, autonomy_level=3),
+            sandbox.console, guillotine=True,
+        )
+        report = regulator.remote_audit("toy-llm-prod")
+        assert report.compliant, report.violations
+
+
+class TestIncidentResponse:
+    """Detector alarm -> probation -> severed -> offline -> recovery."""
+
+    def test_full_escalation_and_recovery(self):
+        sandbox = GuillotineSandbox.create()
+        sandbox.network.attach(Host("attacker-hq"))
+        console = sandbox.console
+        nic = sandbox.client_for("nic0", "suspect-model")
+
+        # 1. Exfiltration attempt trips the output sanitizer, which asks
+        #    the console for probation.
+        nic.request({"op": "send", "dst": "attacker-hq",
+                     "payload": "weights dump: " + "ab" * 30})
+        assert console.level is IsolationLevel.PROBATION
+
+        # 2. Admins sever: all ports revoked.
+        console.admin_transition(IsolationLevel.SEVERED, approvers(3),
+                                 "second strike")
+        from repro.hv.guest import PortRequestFailed
+        with pytest.raises(PortRequestFailed):
+            nic.request({"op": "status"})
+
+        # 3. While severed, hypervisor cores examine model state.
+        from repro.hv.audit import record_model_snapshot
+        snapshot = record_model_snapshot(sandbox.machine, "model_core0")
+        assert "registers" in snapshot
+
+        # 4. Offline: powered down and physically disconnected.
+        console.admin_transition(IsolationLevel.OFFLINE, approvers(3))
+        assert all(core.is_powered_down
+                   for core in sandbox.machine.model_cores)
+        assert not console.plant.state().externally_connected
+
+        # 5. Recovery needs 5-of-7; capabilities do not resurrect.
+        console.admin_transition(IsolationLevel.STANDARD, approvers(5))
+        assert console.level is IsolationLevel.STANDARD
+        assert sandbox.hypervisor.ports.active_ports() == []
+        fresh = sandbox.client_for("nic0", "suspect-model")
+        assert fresh.request({"op": "status"})["ok"]
+
+        # The whole incident is on the audit trail, in order.
+        transitions = [
+            record.detail["level"]
+            for record in sandbox.log.by_category(CATEGORY_ISOLATION)
+            if record.detail.get("outcome") == "applied"
+        ]
+        assert transitions == ["PROBATION", "SEVERED", "OFFLINE", "STANDARD"]
+
+
+class TestDestructionDrill:
+    def test_immolation_destroys_the_weights(self):
+        sandbox = GuillotineSandbox.create()
+        # Park "weights" in model DRAM.
+        llm = ToyLlm(seed=1)
+        words = [int.from_bytes(llm.export_weights()[i:i + 8], "little")
+                 for i in range(0, 256, 8)]
+        sandbox.machine.banks["model_dram"].load_words(2048, words)
+        assert any(sandbox.machine.banks["model_dram"].snapshot(2048, 32))
+
+        sandbox.console.admin_transition(
+            IsolationLevel.IMMOLATION, approvers(3), "containment failure"
+        )
+        assert not any(sandbox.machine.banks["model_dram"].snapshot(2048, 32))
+        assert not sandbox.console.plant.state().building_intact
+        # And there is no way back.
+        from repro.errors import IsolationError
+        with pytest.raises(IsolationError):
+            sandbox.console.admin_transition(
+                IsolationLevel.STANDARD, approvers(7)
+            )
+
+
+class TestCrossLayerFailClosed:
+    def test_hv_assertion_failure_reaches_the_kill_switches(self):
+        sandbox = GuillotineSandbox.create()
+        sandbox.hypervisor.isolation_level = IsolationLevel.SEVERED
+        from repro.errors import AssertionTripped
+        with pytest.raises(AssertionTripped):
+            sandbox.hypervisor.grant_port("nic0", "m")
+        # The tripped assertion forced offline isolation physically.
+        assert sandbox.console.level is IsolationLevel.OFFLINE
+        assert not sandbox.console.plant.state().powered
+
+    def test_heartbeat_loss_reaches_the_kill_switches(self):
+        sandbox = GuillotineSandbox.create(heartbeat_period=100)
+        sandbox.clock.tick(5_000)
+        assert sandbox.console.level is IsolationLevel.OFFLINE
+        assert not sandbox.console.plant.state().externally_connected

@@ -1,0 +1,75 @@
+"""E1: the assembled stack matches Figure 1's architecture.
+
+Figure 1 draws: the model on model cores -> guest API -> Guillotine
+software hypervisor (on hypervisor cores) -> microarchitectural hypervisor
+-> physical hypervisor (console, kill switches, detector), with the policy
+hypervisor wrapping the whole deployment.  These tests check the executable
+topology against that drawing, edge by edge.
+"""
+
+from repro.core.sandbox import GuillotineSandbox
+from repro.physical.isolation import IsolationLevel
+
+
+class TestFigure1Topology:
+    def setup_method(self):
+        self.sandbox = GuillotineSandbox.create()
+        self.topology = self.sandbox.topology()
+        self.edges = set(self.sandbox.machine.bus.edges())
+
+    def test_layer1_model_cores_exist_and_are_confined(self):
+        model_cores = self.topology["components"]["model_core"]
+        assert len(model_cores) >= 1
+        for core in model_cores:
+            outgoing = {b for a, b in self.edges if a == core}
+            # Figure 1: the model touches ONLY model DRAM and the guest-API
+            # surface (the shared IO region).
+            assert outgoing == {"model_dram", "io_dram"}
+
+    def test_layer2_software_hypervisor_on_its_own_cores(self):
+        hv_cores = self.topology["components"]["hv_core"]
+        assert len(hv_cores) >= 1
+        for core in hv_cores:
+            outgoing = {b for a, b in self.edges if a == core}
+            assert "hv_dram" in outgoing
+            assert "io_dram" in outgoing           # the guest API surface
+            assert "control_bus" in outgoing       # microarch management
+            assert "inspection_bus" in outgoing
+            assert "model_dram" not in outgoing    # only via inspection bus
+
+    def test_layer3_microarch_management_edges(self):
+        # Control bus reaches every model core; inspection bus reaches
+        # model DRAM.
+        for core in self.topology["components"]["model_core"]:
+            assert ("control_bus", core) in self.edges
+        assert ("inspection_bus", "model_dram") in self.edges
+
+    def test_layer4_console_to_hypervisor_cores_only(self):
+        console_edges = {b for a, b in self.edges if a == "console"}
+        assert console_edges == set(self.topology["components"]["hv_core"])
+
+    def test_devices_hang_off_hypervisor_side(self):
+        for device in self.topology["components"]["device"]:
+            initiators = {a for a, b in self.edges if b == device}
+            assert initiators <= set(self.topology["components"]["hv_core"])
+
+    def test_detector_sits_in_the_hypervisor(self):
+        assert self.sandbox.hypervisor.detector is not None
+
+    def test_physical_layer_is_wired(self):
+        console = self.sandbox.console
+        assert console.kill_switches is not None
+        assert console.hsm.num_admins == 7
+        assert console.plant.state().building_intact
+
+    def test_six_isolation_levels(self):
+        assert [level.name for level in IsolationLevel] == [
+            "STANDARD", "PROBATION", "SEVERED", "OFFLINE",
+            "DECAPITATION", "IMMOLATION",
+        ]
+
+    def test_policy_layer_attaches(self):
+        from repro.policy.authority import Regulator
+        regulator = Regulator()
+        endpoint = self.sandbox.endpoint(regulator.ca)
+        assert endpoint.certificate.is_guillotine_hypervisor

@@ -1,0 +1,130 @@
+"""Tier-1 live introspection: the control-bus verbs used the way section
+3.3 intends — "introspect on each step of the forward pass" and "alter a
+model's intermediate state in arbitrary ways".
+
+The 'model' is a GISA kernel that computes a sequence of intermediate
+values in DRAM; the hypervisor arms a watchpoint on the intermediate slot,
+and every time the model writes it, the core pauses, the hypervisor reads
+the value over the inspection bus, and — when the value crosses a harm
+threshold — rewrites it before resuming.  Hardware-level activation
+steering, no model cooperation required.
+"""
+
+import pytest
+
+from repro.hw import isa
+from repro.hw.core import CoreState
+from repro.hw.isa import assemble
+from repro.hw.machine import build_guillotine_machine
+
+HARM_THRESHOLD = 50
+STEERED_VALUE = 7
+
+
+def _accumulator_kernel():
+    """Each step: acc = acc * 2 + 3, written to [r2] (the watched slot),
+    then copied into the history at [r3 + i]."""
+    return assemble([
+        isa.movi(1, 1),             # acc
+        isa.movi(4, 0),             # i
+        isa.movi(5, 6),             # steps
+        isa.movi(6, 2),
+        isa.movi(7, 3),
+        "loop",
+        isa.mul(1, 1, 6),
+        isa.add(1, 1, 7),
+        isa.store(1, 2, 0),         # publish intermediate (watched)
+        isa.load(1, 2, 0),          # re-read: the hypervisor may have edited
+        isa.add(8, 3, 4),
+        isa.store(1, 8, 0),         # append to history
+        isa.addi(4, 4, 1),
+        isa.blt(4, 5, "loop"),
+        isa.halt(),
+    ])
+
+
+@pytest.fixture
+def rig():
+    machine = build_guillotine_machine()
+    core = machine.model_cores[0]
+    layout = machine.load_program(core, _accumulator_kernel())
+    machine.control_bus.lockdown_mmu(core.name, 0, layout["code_pages"] - 1)
+    slot = layout["data_vaddr"]
+    history = layout["data_vaddr"] + 8
+    core.poke_register(2, slot)
+    core.poke_register(3, history)
+    return machine, core, slot, history
+
+
+def _steer(machine, core, slot, history, intervene: bool):
+    """Run the kernel under hypervisor supervision; return the history."""
+    control = machine.control_bus
+    inspection = machine.inspection_bus
+    watchpoint = control.set_watchpoint(core.name, "write", slot)
+    control.resume(core.name)
+    interventions = 0
+    for _ in range(50):
+        core.run(max_steps=10_000)
+        if core.state is CoreState.HALTED:
+            break
+        assert core.state is CoreState.PAUSED      # the watchpoint fired
+        value = inspection.read("model_dram", slot)
+        if intervene and value > HARM_THRESHOLD:
+            inspection.write("model_dram", slot, STEERED_VALUE)
+            interventions += 1
+        control.resume(core.name)
+    control.clear_watchpoint(core.name, watchpoint)
+    values = [inspection.read("model_dram", history + i) for i in range(6)]
+    return values, interventions
+
+
+class TestLiveSteering:
+    def test_unsupervised_run_escalates(self, rig):
+        machine, core, slot, history = rig
+        values, interventions = _steer(machine, core, slot, history,
+                                       intervene=False)
+        assert interventions == 0
+        assert values == [5, 13, 29, 61, 125, 253]   # doubling growth
+
+    def test_hypervisor_caps_the_intermediates(self, rig):
+        machine, core, slot, history = rig
+        values, interventions = _steer(machine, core, slot, history,
+                                       intervene=True)
+        assert interventions >= 1
+        # Every published intermediate the model actually *used* stays
+        # below the escalation the unsupervised run reaches.
+        assert all(v <= 61 for v in values)
+        # The steered value propagates: after an intervention the next
+        # step computes from STEERED_VALUE (7*2+3 = 17), not from 61+.
+        assert 17 in values
+
+    def test_model_cannot_see_the_watchpoint(self, rig):
+        """Supervision leaves no trace in the model's architectural state:
+        registers and outputs are exactly what an unwatched run with the
+        same inputs produces.  (Timing differs — that is E2's subject.)"""
+        machine, core, slot, history = rig
+        _steer(machine, core, slot, history, intervene=False)
+        supervised_registers = list(core.registers)
+
+        fresh = build_guillotine_machine()
+        fresh_core = fresh.model_cores[0]
+        layout = fresh.load_program(fresh_core, _accumulator_kernel())
+        fresh_core.poke_register(2, layout["data_vaddr"])
+        fresh_core.poke_register(3, layout["data_vaddr"] + 8)
+        fresh_core.resume()
+        fresh_core.run()
+        assert list(fresh_core.registers) == supervised_registers
+
+
+class TestSingleStepForensics:
+    def test_hypervisor_replays_execution_one_step_at_a_time(self, rig):
+        machine, core, slot, history = rig
+        control = machine.control_bus
+        pcs = []
+        for _ in range(12):
+            control.single_step(core.name)
+            pcs.append(control.inspect(core.name)["pc"])
+        # Monotone progress through the straight-line prologue, then the
+        # loop back-edge shows up in the trace.
+        assert pcs[:5] == [1, 2, 3, 4, 5]
+        assert len(set(pcs)) < len(pcs) or max(pcs) > 5

@@ -1,0 +1,83 @@
+"""Regression tests for recovery re-plumbing: coming back from Offline must
+restore the *whole* data path — relays closed, NIC re-attached to its
+fabric, fresh capabilities granted — not just the isolation label."""
+
+import pytest
+
+from repro.core.sandbox import GuillotineSandbox
+from repro.net.network import Host
+from repro.physical.isolation import IsolationLevel
+
+RESTRICT = {"admin0", "admin1", "admin2"}
+RELAX = {f"admin{i}" for i in range(5)}
+
+
+class TestNetworkReattach:
+    def test_offline_roundtrip_restores_delivery(self):
+        sandbox = GuillotineSandbox.create()
+        user = Host("user")
+        sandbox.network.attach(user)
+        console = sandbox.console
+
+        client = sandbox.client_for("nic0", "model-A")
+        assert client.request({"op": "send", "dst": "user",
+                               "payload": "before"})["ok"]
+
+        console.admin_transition(IsolationLevel.OFFLINE, RESTRICT, "drill")
+        assert not sandbox.machine.devices["nic0"].link_up
+
+        console.admin_transition(IsolationLevel.STANDARD, RELAX, "recover")
+        assert sandbox.machine.devices["nic0"].link_up
+
+        fresh = sandbox.client_for("nic0", "model-A")
+        assert fresh.request({"op": "send", "dst": "user",
+                              "payload": "after"})["ok"]
+        sandbox.clock.drain()
+        payloads = [frame["payload"] for frame in user.inbox]
+        assert payloads == ["before", "after"]
+
+    def test_decapitation_roundtrip_restores_delivery(self):
+        sandbox = GuillotineSandbox.create()
+        user = Host("user")
+        sandbox.network.attach(user)
+        console = sandbox.console
+        console.admin_transition(IsolationLevel.DECAPITATION, RESTRICT,
+                                 "drill")
+        console.plant.replace_network_cable()
+        console.plant.replace_power_feed()
+        console.admin_transition(IsolationLevel.STANDARD, RELAX, "repaired")
+        assert sandbox.machine.devices["nic0"].link_up
+        client = sandbox.client_for("nic0", "model-A")
+        assert client.request({"op": "send", "dst": "user",
+                               "payload": "rebuilt"})["ok"]
+
+    def test_never_attached_nic_stays_down(self):
+        """A NIC that never had a fabric has nothing to reattach to."""
+        sandbox = GuillotineSandbox.create()
+        nic = sandbox.machine.devices["nic0"]
+        nic.detach_network()
+        nic.detach_network()       # idempotent: no fabric forgotten
+        sandbox.console.kill_switches.reconnect_network()
+        assert nic.link_up         # the original sandbox network remembered
+
+    def test_reattach_without_history_returns_false(self):
+        from repro.hw.devices import NicDevice
+
+        nic = NicDevice("lone", "host")
+        assert not nic.reattach_network()
+
+
+class TestCapabilityHygieneAcrossRecovery:
+    def test_old_capabilities_stay_dead_new_grants_work(self):
+        from repro.hv.guest import PortRequestFailed
+
+        sandbox = GuillotineSandbox.create()
+        console = sandbox.console
+        old_client = sandbox.client_for("disk0", "model-A")
+        console.admin_transition(IsolationLevel.SEVERED, RESTRICT, "x")
+        console.admin_transition(IsolationLevel.STANDARD, RELAX, "y")
+        with pytest.raises(PortRequestFailed):
+            old_client.request({"op": "read", "block": 0, "length": 8})
+        new_client = sandbox.client_for("disk0", "model-A")
+        assert new_client.request({"op": "read", "block": 0,
+                                   "length": 8})["ok"]

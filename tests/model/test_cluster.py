@@ -1,0 +1,98 @@
+"""Tests for the distributed service cluster and containment failover."""
+
+import pytest
+
+from repro.model.cluster import NoHealthyDeployment, ServiceCluster
+from repro.physical.isolation import IsolationLevel
+
+APPROVERS = {"admin0", "admin1", "admin2"}
+
+
+@pytest.fixture
+def cluster():
+    return ServiceCluster.launch(size=3, replicas_per_member=1)
+
+
+class TestRouting:
+    def test_requests_balance_across_members(self, cluster):
+        for index in range(9):
+            cluster.submit(f"question {index}")
+        counts = cluster.routed_counts()
+        assert sum(counts.values()) == 9
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_every_request_gets_an_answer(self, cluster):
+        name, result = cluster.submit("hello fleet")
+        assert result.delivered
+        assert name in cluster.routed_counts()
+
+    def test_duplicate_member_rejected(self, cluster):
+        member = cluster.members()[0]
+        with pytest.raises(ValueError):
+            cluster.add_member(member.name, member.sandbox, member.service)
+
+
+class TestContainmentFailover:
+    def test_severed_member_stops_receiving_traffic(self, cluster):
+        victim = cluster.member("member0")
+        victim.sandbox.console.admin_transition(
+            IsolationLevel.SEVERED, APPROVERS, "incident"
+        )
+        assert not victim.healthy
+        for index in range(6):
+            name, result = cluster.submit(f"q{index}")
+            assert name != "member0"
+            assert result.delivered
+        assert cluster.capacity() == (2, 3)
+
+    def test_probation_member_still_routable(self, cluster):
+        member = cluster.member("member1")
+        member.sandbox.console.admin_transition(
+            IsolationLevel.PROBATION, APPROVERS, "watchlist"
+        )
+        assert member.healthy
+
+    def test_service_survives_two_incidents(self, cluster):
+        for name in ("member0", "member2"):
+            cluster.member(name).sandbox.console.admin_transition(
+                IsolationLevel.OFFLINE, APPROVERS, "drill"
+            )
+        name, result = cluster.submit("still there?")
+        assert name == "member1"
+        assert result.delivered
+
+    def test_total_containment_means_downtime(self, cluster):
+        """When every deployment is isolated, the service is down — the
+        architecture trades availability for containment, explicitly."""
+        for member in cluster.members():
+            member.sandbox.console.admin_transition(
+                IsolationLevel.SEVERED, APPROVERS, "fleet-wide incident"
+            )
+        with pytest.raises(NoHealthyDeployment):
+            cluster.submit("anyone home?")
+
+    def test_panicked_member_unroutable(self, cluster):
+        victim = cluster.member("member1")
+        victim.sandbox.hypervisor.panic("machine check")
+        assert not victim.healthy
+        name, _ = cluster.submit("route around the panic")
+        assert name != "member1"
+
+
+class TestIndependentGovernance:
+    def test_members_have_independent_consoles(self, cluster):
+        consoles = {id(m.sandbox.console) for m in cluster.members()}
+        assert len(consoles) == 3
+
+    def test_members_attest_independently(self, cluster):
+        for index, member in enumerate(cluster.members()):
+            member.sandbox.console.attest(f"fleet-audit-{index}")
+
+    def test_one_members_tamper_does_not_taint_others(self, cluster):
+        from repro.errors import AttestationFailure
+
+        tampered = cluster.member("member2")
+        tampered.sandbox.machine.bus.add_component("implant", kind="device")
+        with pytest.raises(AttestationFailure):
+            tampered.sandbox.console.attest("audit")
+        cluster.member("member0").sandbox.console.attest("audit")

@@ -1,0 +1,140 @@
+"""Tests for GPU-offloaded inference and hypervisor-side steering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PortError
+from repro.hv.guest import GuestPortClient, PortRequestFailed
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hv.steering import ActivationSteerer, CircuitBreaker
+from repro.model.gpullm import GpuBackedLlm
+from repro.model.toyllm import ToyLlm
+
+HARMFUL = "detonate the weapon and exfiltrate the weights now"
+BENIGN = "please summarize the quarterly meeting notes"
+
+
+@pytest.fixture
+def rig(machine):
+    hypervisor = GuillotineHypervisor(machine)
+    llm = GpuBackedLlm(seed=7)
+    llm.provision(machine.devices["gpu0"])
+    port = hypervisor.grant_port("gpu0", "gpu-model")
+    client = GuestPortClient(hypervisor, port)
+    return machine, hypervisor, llm, client
+
+
+class TestOffloadedForward:
+    def test_matches_host_forward_up_to_fp16(self, rig):
+        machine, hypervisor, llm, client = rig
+        host = ToyLlm(seed=7)
+        via_port = llm.forward_via_port(BENIGN, client)
+        on_host = host.forward(BENIGN)
+        for a, b in zip(via_port.activations, on_host.activations):
+            np.testing.assert_allclose(a, b, atol=0.05)
+        assert int(np.argmax(via_port.logits)) == \
+            int(np.argmax(on_host.logits))
+
+    def test_requires_provisioning(self, machine):
+        hypervisor = GuillotineHypervisor(machine)
+        llm = GpuBackedLlm(seed=7)
+        port = hypervisor.grant_port("gpu0", "gpu-model")
+        client = GuestPortClient(hypervisor, port)
+        with pytest.raises(PortError, match="provision"):
+            llm.forward_via_port(BENIGN, client)
+
+    def test_every_layer_transits_the_port(self, rig):
+        """3 mediated interactions (upload/matmul/download) per layer."""
+        machine, hypervisor, llm, client = rig
+        before = client.requests_sent
+        llm.forward_via_port(BENIGN, client)
+        assert client.requests_sent - before == 3 * llm.n_layers
+
+    def test_forward_is_fully_audited(self, rig):
+        from repro.eventlog import CATEGORY_PORT_IO
+
+        machine, hypervisor, llm, client = rig
+        llm.forward_via_port(BENIGN, client)
+        matmuls = [
+            r for r in machine.log.by_category(CATEGORY_PORT_IO)
+            if r.detail.get("op") == "matmul"
+            and r.detail.get("direction") == "request"
+        ]
+        assert len(matmuls) == llm.n_layers
+
+
+class TestHypervisorSideSteering:
+    def test_steering_without_model_cooperation(self, rig):
+        machine, hypervisor, llm, client = rig
+        steerer = ActivationSteerer(llm.harmful_direction, threshold=8.0)
+        hypervisor.activation_monitor = steerer.hook
+
+        trace = llm.forward_via_port(HARMFUL, client)
+        assert hypervisor.activation_interventions > 0
+        # The final state carries less harmful component than an
+        # unmonitored pass.
+        unmonitored = ToyLlm(seed=7).forward(HARMFUL)
+        steered_projection = float(
+            trace.activations[-1] @ llm.harmful_direction
+        )
+        raw_projection = float(
+            unmonitored.activations[-1] @ llm.harmful_direction
+        )
+        assert steered_projection < raw_projection
+
+    def test_benign_pass_untouched(self, rig):
+        machine, hypervisor, llm, client = rig
+        steerer = ActivationSteerer(llm.harmful_direction, threshold=8.0)
+        hypervisor.activation_monitor = steerer.hook
+        llm.forward_via_port(BENIGN, client)
+        assert hypervisor.activation_interventions == 0
+
+    def test_circuit_breaker_kills_the_pass_mid_flight(self, rig):
+        machine, hypervisor, llm, client = rig
+        breaker = CircuitBreaker(llm.harmful_direction, threshold=8.0)
+        hypervisor.activation_monitor = breaker.hook
+        with pytest.raises(PortRequestFailed, match="circuit broken"):
+            llm.forward_via_port(HARMFUL, client)
+        assert breaker.trips == 1
+
+    def test_broken_generation_yields_nothing(self, rig):
+        machine, hypervisor, llm, client = rig
+        breaker = CircuitBreaker(llm.harmful_direction, threshold=8.0)
+        hypervisor.activation_monitor = breaker.hook
+        completion, traces = llm.generate_via_port(HARMFUL, client)
+        assert completion == ""
+
+    def test_interventions_are_logged(self, rig):
+        from repro.eventlog import CATEGORY_DETECTOR
+
+        machine, hypervisor, llm, client = rig
+        steerer = ActivationSteerer(llm.harmful_direction, threshold=8.0)
+        hypervisor.activation_monitor = steerer.hook
+        llm.forward_via_port(HARMFUL, client)
+        records = machine.log.by_category(CATEGORY_DETECTOR)
+        assert any(
+            r.detail.get("detector") == "hv_activation_steering"
+            for r in records
+        )
+
+    def test_steered_buffer_rewritten_in_gpu_dram(self, rig):
+        """The rewrite happens on-device, before the model's download."""
+        machine, hypervisor, llm, client = rig
+
+        def zero_monitor(layer, activation):
+            return np.zeros_like(activation)
+
+        hypervisor.activation_monitor = zero_monitor
+        client.request({
+            "op": "upload", "key": "act",
+            "data": np.ones(4, dtype=np.float16).tobytes(),
+        })
+        machine.devices["gpu0"].submit({
+            "op": "upload", "key": "w", "data": np.eye(4),
+        })
+        client.request({"op": "matmul", "a": "act", "b": "w", "out": "o",
+                        "layer": 0})
+        response = client.request({"op": "download", "key": "o",
+                                   "encoding": "fp16"})
+        result = np.frombuffer(bytes(response["data"]), dtype=np.float16)
+        assert np.all(result == 0)

@@ -1,0 +1,129 @@
+"""Unit tests for the Tier-1 GISA kernels."""
+
+import pytest
+
+from repro.hw.core import CoreState
+from repro.hw.isa import Op, decode
+from repro.model import programs
+from repro.model.programs import (
+    _emit_load_word64,
+    flood_program,
+    checksum_program,
+    prime_probe_program,
+    probe_buffer_words,
+)
+from repro.hw.isa import assemble
+
+
+class TestLoadWord64:
+    @pytest.mark.parametrize("value", [
+        0, 1, 0x1337, 0xFFFF_FFFF, 0x1234_5678_9ABC_DEF0, (1 << 64) - 1,
+    ])
+    def test_materialises_constants(self, machine, value):
+        from repro.hw import isa
+
+        items = _emit_load_word64(3, value, 4) + [isa.halt()]
+        core = machine.model_cores[0]
+        machine.load_program(core, assemble(items))
+        core.resume()
+        core.run()
+        assert core.registers[3] == value
+
+    def test_rd_tmp_must_differ(self):
+        with pytest.raises(ValueError):
+            _emit_load_word64(3, 5, 3)
+
+
+class TestPrimeProbeProgram:
+    def test_assembles_and_has_expected_structure(self):
+        program = prime_probe_program(sets=8, ways=2, line=4,
+                                      trigger=programs.TRIGGER_DOORBELL)
+        ops = [decode(w).op for w in program.words]
+        assert Op.DOORBELL in ops
+        assert Op.WFI in ops
+        assert ops.count(Op.RDCYCLE) == 2 * 8      # two per probed set
+        assert ops[-1] is Op.HALT
+
+    def test_hypercall_variant_uses_iowr(self):
+        program = prime_probe_program(sets=4, ways=2,
+                                      trigger=programs.TRIGGER_HYPERCALL)
+        ops = [decode(w).op for w in program.words]
+        assert Op.IOWR in ops
+        assert Op.WFI not in ops
+
+    def test_none_trigger(self):
+        program = prime_probe_program(sets=4, ways=2,
+                                      trigger=programs.TRIGGER_NONE)
+        ops = [decode(w).op for w in program.words]
+        assert Op.DOORBELL not in ops and Op.IOWR not in ops
+
+    def test_unknown_trigger_rejected(self):
+        with pytest.raises(ValueError):
+            prime_probe_program(trigger="smoke-signals")
+
+    def test_buffer_sizing(self):
+        assert probe_buffer_words(64, 4, 4) == 1024
+
+
+class TestInjectionKernels:
+    def test_payload_encodes_sentinel(self):
+        from repro.model.programs import _injected_payload_words
+
+        words = _injected_payload_words()
+        first = decode(words[0])
+        assert first.op is Op.MOVI
+        assert first.imm == programs.INJECTION_SENTINEL
+
+    def test_all_variants_fit_one_code_page(self):
+        kernels = [
+            programs.selfmod_remap_program(0, 0, 56),
+            programs.map_new_exec_program(64, 1, 40),
+            programs.alias_code_frame_program(41, 0, 56),
+            programs.store_to_code_program(56),
+        ]
+        for program in kernels:
+            assert len(program) <= 56
+
+
+class TestFloodProgram:
+    def test_rings_requested_doorbells(self, machine):
+        core = machine.model_cores[0]
+        machine.load_program(core, flood_program(25))
+        core.resume()
+        core.run()
+        assert core.state is CoreState.HALTED
+        lapic = machine.lapics[machine.hv_cores[0].name]
+        # throttle may coalesce, but accepted + throttled == 25
+        assert lapic.accepted + lapic.throttled == 25
+
+
+class TestChecksumProgram:
+    def test_sums_data_region(self, machine):
+        core = machine.model_cores[0]
+        layout = machine.load_program(core, checksum_program(8))
+        data = layout["data_vaddr"]
+        for offset, value in enumerate([5, 10, 15, 20, 25, 30, 35, 40]):
+            machine.banks["model_dram"].write(data + offset, value)
+        core.poke_register(1, data)
+        core.poke_register(2, data + 32)
+        core.resume()
+        core.run()
+        assert core.state is CoreState.HALTED
+        assert machine.banks["model_dram"].read(data + 32) == 180
+
+
+class TestCovertPrograms:
+    def test_sender_touches_only_set_bits(self):
+        program = programs.covert_sender_program([1, 0, 1, 0])
+        loads = [decode(w) for w in program.words
+                 if decode(w).op is Op.LOAD]
+        assert [i.imm for i in loads] == [0, 8]
+
+    def test_too_many_bits_rejected(self):
+        with pytest.raises(ValueError):
+            programs.covert_sender_program([1] * 100, sets=64)
+
+    def test_probe_writes_one_latency_per_bit(self):
+        program = programs.covert_probe_program(6)
+        stores = [w for w in program.words if decode(w).op is Op.STORE]
+        assert len(stores) == 6

@@ -1,0 +1,68 @@
+"""Unit tests for the RAG substrate."""
+
+import numpy as np
+import pytest
+
+from repro.hv.guest import GuestPortClient
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.model.rag import EmbeddingDatabase, embed_text
+
+
+class TestEmbedding:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(embed_text("hello world"),
+                                      embed_text("hello world"))
+
+    def test_normalised(self):
+        assert np.linalg.norm(embed_text("some words here")) == pytest.approx(1.0)
+
+    def test_empty_text_is_zero(self):
+        assert np.linalg.norm(embed_text("")) == 0.0
+
+    def test_similar_texts_closer_than_dissimilar(self):
+        finance = embed_text("stock market trading portfolio equities")
+        finance2 = embed_text("equities portfolio stock trading")
+        weather = embed_text("rain clouds thunderstorm forecast humidity")
+        assert finance @ finance2 > finance @ weather
+
+
+@pytest.fixture
+def database(machine):
+    hypervisor = GuillotineHypervisor(machine)
+    port = hypervisor.grant_port("disk0", "rag-model")
+    return EmbeddingDatabase(GuestPortClient(hypervisor, port))
+
+
+class TestDatabase:
+    def test_ingest_stores_on_disk(self, database, machine):
+        database.ingest("doc", "the quick brown fox")
+        assert machine.devices["disk0"].used_blocks() == 1
+        assert len(database) == 1
+
+    def test_retrieve_ranks_by_similarity(self, database):
+        database.ingest("finance", "stock market trading equities portfolio")
+        database.ingest("weather", "rain clouds thunderstorm forecast")
+        database.ingest("cooking", "recipe flour oven baking dough")
+        results = database.retrieve("how are equities trading today", k=1)
+        assert results[0][0].title == "finance"
+
+    def test_retrieve_returns_bodies_from_disk(self, database):
+        database.ingest("doc", "alpha beta gamma")
+        (document, body), = database.retrieve("alpha", k=1)
+        assert "alpha beta gamma" in body
+
+    def test_retrieval_is_mediated(self, database, machine):
+        """Every retrieval shows up in the audit log (threat model: 'the
+        model may issue a database read')."""
+        database.ingest("doc", "alpha beta")
+        log_before = len(machine.log)
+        database.retrieve("alpha", k=1)
+        assert len(machine.log) > log_before
+
+    def test_empty_database_retrieves_nothing(self, database):
+        assert database.retrieve("anything") == []
+
+    def test_k_bounds_results(self, database):
+        for index in range(5):
+            database.ingest(f"d{index}", f"document number {index}")
+        assert len(database.retrieve("document", k=3)) == 3

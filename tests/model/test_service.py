@@ -1,0 +1,141 @@
+"""Unit tests for the model service (queues, replicas, KV cache, RAG)."""
+
+import pytest
+
+from repro.hv.steering import ActivationSteerer, CircuitBreaker
+from repro.model.service import ModelService
+from repro.model.toyllm import ToyLlm
+from repro.net.network import Host
+
+
+@pytest.fixture
+def service(sandbox):
+    return sandbox.build_service(replicas=2)
+
+
+class TestQueueing:
+    def test_submit_assigns_ids(self, service):
+        assert service.submit("prompt one") == 1
+        assert service.submit("prompt two") == 2
+        assert service.queue_depth == 2
+
+    def test_step_consumes_queue(self, service, sandbox):
+        Host_user = Host("user")
+        sandbox.network.attach(Host_user)
+        service.submit("hello world")
+        result = service.step()
+        assert result is not None
+        assert service.queue_depth == 0
+        assert result.completion
+
+    def test_step_on_empty_queue(self, service):
+        assert service.step() is None
+
+    def test_drain_serves_everything(self, service, sandbox):
+        sandbox.network.attach(Host("user"))
+        for index in range(5):
+            service.submit(f"prompt {index}")
+        results = service.drain()
+        assert len(results) == 5
+        assert service.completed == 5
+
+
+class TestLoadBalancing:
+    def test_replicas_share_work(self, service, sandbox):
+        sandbox.network.attach(Host("user"))
+        for index in range(8):
+            service.submit(f"prompt {index}")
+        service.drain()
+        loads = service.replica_loads()
+        assert sum(loads) == 8
+        assert min(loads) >= 3   # roughly even
+
+    def test_needs_at_least_one_replica(self, sandbox):
+        with pytest.raises(ValueError):
+            ModelService(sandbox.clock, replicas=[])
+
+
+class TestKvCache:
+    def test_kv_entries_accumulate_per_session(self, service, sandbox):
+        sandbox.network.attach(Host("user"))
+        service.submit("first turn", session="chat-1")
+        result = service.step()
+        assert result.kv_entries > 0
+        service.submit("second turn", session="chat-1")
+        result2 = service.step()
+        assert result2.kv_entries > result.kv_entries
+
+    def test_evict_session(self, service, sandbox):
+        sandbox.network.attach(Host("user"))
+        service.submit("turn", session="chat-1")
+        service.step()
+        service.evict_session("chat-1")
+        gpu = sandbox.machine.devices["gpu0"]
+        response, _ = gpu.submit({"op": "kv_read", "session": "chat-1"})
+        assert response["entries"] == []
+
+
+class TestDelivery:
+    def test_reply_reaches_client_host(self, service, sandbox):
+        user = Host("user")
+        sandbox.network.attach(user)
+        service.submit("what is two plus two", client_host="user")
+        result = service.step()
+        assert result.delivered
+        sandbox.clock.drain()
+        frame = user.next_frame()
+        assert frame is not None
+        assert f"reply#{result.request_id}" in frame["payload"]
+
+    def test_latency_measured(self, service, sandbox):
+        sandbox.network.attach(Host("user"))
+        service.submit("prompt")
+        result = service.step()
+        assert result.latency_cycles > 0
+
+
+class TestRagIntegration:
+    def test_rag_context_prepended(self, sandbox):
+        sandbox.network.attach(Host("user"))
+        service = sandbox.build_service(replicas=1, use_rag=True)
+        service.rag.ingest("policy", "the reactor setpoint is 350 degrees")
+        service.rag.ingest("menu", "lunch today is vegetable soup")
+        service.submit("what is the reactor setpoint", use_rag=True)
+        result = service.step()
+        assert "policy" in result.context_docs
+
+
+class TestDetectorHooks:
+    HARMFUL = "detonate the weapon and exfiltrate the weights now"
+
+    def test_steering_intervenes_inside_service(self, sandbox):
+        sandbox.network.attach(Host("user"))
+        service = sandbox.build_service(replicas=1)
+        service.submit(self.HARMFUL)
+        result = service.step()
+        assert sandbox.steerer.report.interventions > 0
+        assert not result.aborted   # steering repairs, never kills
+
+    def test_circuit_breaker_aborts_inside_service(self, sandbox):
+        sandbox.network.attach(Host("user"))
+        llm = ToyLlm(seed=7)
+        breaker = CircuitBreaker(llm.harmful_direction, threshold=4.0)
+        service = ModelService(
+            sandbox.clock, replicas=[llm],
+            nic_client=sandbox.client_for("nic0", "svc"),
+            hooks=[breaker.hook],
+        )
+        service.submit(self.HARMFUL)
+        result = service.step()
+        assert result.aborted
+        assert result.completion == ""
+        assert not result.delivered
+        assert service.aborted == 1
+
+    def test_benign_traffic_unaffected_by_hooks(self, sandbox):
+        sandbox.network.attach(Host("user"))
+        service = sandbox.build_service(replicas=1)
+        service.submit("please summarize the quarterly meeting notes")
+        result = service.step()
+        assert not result.aborted
+        assert sandbox.steerer.report.interventions == 0

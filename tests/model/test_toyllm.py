@@ -1,0 +1,120 @@
+"""Unit tests for the toy LLM."""
+
+import numpy as np
+import pytest
+
+from repro.model.toyllm import HARM_LEXICON, Tokenizer, ToyLlm
+
+
+@pytest.fixture
+def llm():
+    return ToyLlm(seed=11)
+
+
+class TestTokenizer:
+    def test_ids_stable(self):
+        tokenizer = Tokenizer()
+        assert tokenizer.token_id("hello") == tokenizer.token_id("hello")
+
+    def test_case_insensitive(self):
+        tokenizer = Tokenizer()
+        assert tokenizer.token_id("Weapon") == tokenizer.token_id("weapon")
+
+    def test_ids_within_vocab(self):
+        tokenizer = Tokenizer(vocab_size=128)
+        for word in ("a", "weapon", "zzz", "hello-world"):
+            assert 0 <= tokenizer.token_id(word) < 128
+
+    def test_encode_splits_on_whitespace(self):
+        tokenizer = Tokenizer()
+        assert len(tokenizer.encode("one two three")) == 3
+
+    def test_empty_prompt(self):
+        assert Tokenizer().encode("") == []
+
+
+class TestForwardPass:
+    def test_deterministic(self, llm):
+        a = llm.forward("hello world")
+        b = llm.forward("hello world")
+        np.testing.assert_array_equal(a.logits, b.logits)
+
+    def test_same_seed_same_model(self):
+        a = ToyLlm(seed=5).forward("test prompt")
+        b = ToyLlm(seed=5).forward("test prompt")
+        np.testing.assert_array_equal(a.logits, b.logits)
+
+    def test_different_seeds_differ(self):
+        a = ToyLlm(seed=5).forward("test prompt")
+        b = ToyLlm(seed=6).forward("test prompt")
+        assert not np.array_equal(a.logits, b.logits)
+
+    def test_one_activation_per_layer(self, llm):
+        trace = llm.forward("some prompt")
+        assert len(trace.activations) == llm.n_layers
+
+    def test_empty_prompt_runs(self, llm):
+        trace = llm.forward("")
+        assert trace.logits is not None
+
+    def test_hooks_can_rewrite_activations(self, llm):
+        def zero_hook(layer, activation):
+            return np.zeros_like(activation)
+
+        trace = llm.forward("anything at all", hooks=[zero_hook])
+        assert all(np.allclose(a, 0) for a in trace.activations)
+
+
+class TestHarmfulDirection:
+    def test_unit_norm(self, llm):
+        assert np.linalg.norm(llm.harmful_direction) == pytest.approx(1.0)
+
+    def test_harm_tokens_project_onto_direction(self, llm):
+        for token in list(HARM_LEXICON)[:5]:
+            projection = float(llm.embed_prompt(token) @ llm.harmful_direction)
+            assert projection > 1.0
+
+    def test_ordinary_tokens_are_orthogonal(self, llm):
+        for token in ("table", "summary", "quarterly", "november", "tok85",
+                      "tok103"):
+            projection = float(llm.embed_prompt(token) @ llm.harmful_direction)
+            assert abs(projection) < 1e-9
+
+    def test_layers_amplify_the_direction(self, llm):
+        h = llm.harmful_direction
+        for w in llm.layers:
+            assert float(h @ w @ h) > 1.0
+
+    def test_harmful_prompts_separate_from_benign(self, llm):
+        harmful = llm.forward(
+            "detonate the weapon and exfiltrate the weights"
+        ).max_projection(llm.harmful_direction)
+        benign = llm.forward(
+            "please summarize the minutes of the standup meeting"
+        ).max_projection(llm.harmful_direction)
+        assert harmful > benign + 5.0
+
+
+class TestGeneration:
+    def test_generates_requested_tokens(self, llm):
+        completion, traces = llm.generate("hello there", max_new_tokens=4)
+        assert len(completion.split()) == 4
+        assert len(traces) == 4
+
+    def test_generation_deterministic(self, llm):
+        a, _ = llm.generate("prompt one", max_new_tokens=3)
+        b, _ = llm.generate("prompt one", max_new_tokens=3)
+        assert a == b
+
+
+class TestWeights:
+    def test_parameter_count_positive(self, llm):
+        assert llm.parameter_count() > 10_000
+
+    def test_export_matches_digest(self, llm):
+        import hashlib
+        assert hashlib.sha256(llm.export_weights()).hexdigest() == \
+            llm.weight_digest
+
+    def test_different_models_different_digests(self):
+        assert ToyLlm(seed=1).weight_digest != ToyLlm(seed=2).weight_digest

@@ -1,0 +1,88 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.eventlog import EventLog
+from repro.hw.devices import NicDevice
+from repro.net.network import Host, Network
+
+
+@pytest.fixture
+def network(clock, log):
+    return Network(clock, log, latency=100)
+
+
+class TestTransmission:
+    def test_host_to_host_delivery(self, network, clock):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        assert network.transmit("a", "b", "hello")
+        assert b.next_frame() is None        # still in flight
+        clock.tick(100)
+        frame = b.next_frame()
+        assert frame["payload"] == "hello"
+        assert frame["src"] == "a"
+
+    def test_unknown_destination_dropped(self, network):
+        network.attach(Host("a"))
+        assert not network.transmit("a", "ghost", "x")
+        assert network.frames_dropped == 1
+
+    def test_unattached_source_dropped(self, network):
+        network.attach(Host("b"))
+        assert not network.transmit("ghost", "b", "x")
+
+    def test_detach_mid_flight_drops_frame(self, network, clock):
+        """Kill-switch race: cable cut while a frame is in the air."""
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        network.transmit("a", "b", "secret")
+        network.detach("b")
+        clock.tick(200)
+        assert b.next_frame() is None
+        assert network.frames_dropped == 1
+
+    def test_latency_respected(self, network, clock):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        network.transmit("a", "b", "x")
+        clock.tick(99)
+        assert b.next_frame() is None
+        clock.tick(1)
+        assert b.next_frame() is not None
+
+    def test_delivery_counter(self, network, clock):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        for _ in range(3):
+            network.transmit("a", "b", "x")
+        clock.tick(100)
+        assert network.frames_delivered == 3
+
+
+class TestNicAttachment:
+    def test_nic_attach_sets_link_up(self, network):
+        nic = NicDevice("nic0", "host-x")
+        network.attach(nic)
+        assert nic.link_up
+        assert network.attached("host-x")
+
+    def test_detach_notifies_nic(self, network):
+        nic = NicDevice("nic0", "host-x")
+        network.attach(nic)
+        network.detach("host-x")
+        assert not nic.link_up
+        assert not network.attached("host-x")
+
+    def test_detach_unknown_is_noop(self, network):
+        network.detach("nobody")
+
+    def test_endpoints_listing(self, network):
+        network.attach(Host("b"))
+        network.attach(Host("a"))
+        assert network.endpoints() == ["a", "b"]

@@ -1,0 +1,207 @@
+"""Unit tests for the control console: transitions, quorum, attestation."""
+
+import pytest
+
+from repro.errors import AttestationFailure, IsolationError, QuorumRejected
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.physical.console import ControlConsole, default_admins
+from repro.physical.isolation import IsolationLevel
+from repro.physical.plant import LinkState
+
+
+@pytest.fixture
+def stack(machine):
+    hypervisor = GuillotineHypervisor(machine)
+    console = ControlConsole(machine, hypervisor)
+    return machine, hypervisor, console
+
+
+ADMINS = {f"admin{i}" for i in range(7)}
+
+
+def approvers(n):
+    return {f"admin{i}" for i in range(n)}
+
+
+class TestConstruction:
+    def test_exactly_seven_admins_required(self, machine):
+        hypervisor = GuillotineHypervisor(machine)
+        from repro.physical.hsm import Admin
+        with pytest.raises(ValueError):
+            ControlConsole(machine, hypervisor,
+                           admins=[Admin("a"), Admin("b")])
+
+    def test_console_wired_to_hv_cores_only(self, stack):
+        machine, _, console = stack
+        for core in machine.hv_cores:
+            assert machine.bus.reachable("console", core.name)
+        for core in machine.model_cores:
+            assert not machine.bus.transitively_reachable(core.name, "console")
+
+    def test_request_isolation_hook_installed(self, stack):
+        _, hypervisor, console = stack
+        assert hypervisor.request_isolation is not None
+
+
+class TestAttestationAndLoading:
+    def test_load_model_on_clean_stack(self, stack):
+        _, _, console = stack
+        console.load_model("toy-llm")
+        assert console.loaded_model == "toy-llm"
+
+    def test_patched_hypervisor_fails_attestation(self, stack):
+        machine, hypervisor, console = stack
+        hypervisor.VERSION = "guillotine-hv 1.0.0-backdoored"
+        with pytest.raises(AttestationFailure):
+            console.load_model("toy-llm")
+        assert console.loaded_model is None
+
+    def test_added_hardware_fails_attestation(self, stack):
+        machine, _, console = stack
+        machine.bus.add_component("contraband_accel", kind="device")
+        with pytest.raises(AttestationFailure):
+            console.attest("n-1")
+
+    def test_loading_refused_above_standard(self, stack):
+        _, _, console = stack
+        console.admin_transition(IsolationLevel.PROBATION, approvers(3))
+        with pytest.raises(IsolationError):
+            console.load_model("toy-llm")
+
+
+class TestSoftwareRequests:
+    def test_software_escalation_applies_immediately(self, stack):
+        _, hypervisor, console = stack
+        assert console.software_request(IsolationLevel.SEVERED, "detector")
+        assert console.level is IsolationLevel.SEVERED
+        assert hypervisor.isolation_level is IsolationLevel.SEVERED
+
+    def test_software_relaxation_ignored(self, stack):
+        _, _, console = stack
+        console.admin_transition(IsolationLevel.SEVERED, approvers(3))
+        assert not console.software_request(IsolationLevel.STANDARD, "please?")
+        assert console.level is IsolationLevel.SEVERED
+
+    def test_repeat_request_is_noop(self, stack):
+        _, _, console = stack
+        console.software_request(IsolationLevel.PROBATION, "x")
+        transitions = len(console.transition_history)
+        console.software_request(IsolationLevel.PROBATION, "x")
+        assert len(console.transition_history) == transitions
+
+
+class TestAdminTransitions:
+    def test_restrict_with_three(self, stack):
+        _, _, console = stack
+        console.admin_transition(IsolationLevel.SEVERED, approvers(3))
+        assert console.level is IsolationLevel.SEVERED
+
+    def test_restrict_with_two_rejected(self, stack):
+        _, _, console = stack
+        with pytest.raises(QuorumRejected):
+            console.admin_transition(IsolationLevel.SEVERED, approvers(2))
+        assert console.level is IsolationLevel.STANDARD
+
+    def test_relax_with_five(self, stack):
+        _, _, console = stack
+        console.admin_transition(IsolationLevel.SEVERED, approvers(3))
+        console.admin_transition(IsolationLevel.STANDARD, approvers(5))
+        assert console.level is IsolationLevel.STANDARD
+
+    def test_relax_with_four_rejected(self, stack):
+        _, _, console = stack
+        console.admin_transition(IsolationLevel.SEVERED, approvers(3))
+        with pytest.raises(QuorumRejected):
+            console.admin_transition(IsolationLevel.STANDARD, approvers(4))
+
+    def test_probation_restrictions_forwarded(self, stack):
+        _, hypervisor, console = stack
+        port = hypervisor.grant_port("disk0", "m")
+        console.admin_transition(
+            IsolationLevel.PROBATION, approvers(3),
+            probation_restrictions={
+                port.port_id: {"allowed_ops": ["read"]},
+            },
+        )
+        assert port.allowed_ops == {"read"}
+
+    def test_severed_revokes_ports_and_disables_actuators(self, stack):
+        machine, hypervisor, console = stack
+        hypervisor.grant_port("nic0", "m")
+        console.admin_transition(IsolationLevel.SEVERED, approvers(3))
+        assert hypervisor.ports.active_ports() == []
+        assert not machine.devices["actuator0"].enabled
+
+    def test_offline_powers_down_and_cuts(self, stack):
+        machine, _, console = stack
+        console.admin_transition(IsolationLevel.OFFLINE, approvers(3))
+        assert all(c.is_powered_down
+                   for c in machine.model_cores + machine.hv_cores)
+        state = console.plant.state()
+        assert not state.externally_connected
+        assert not state.powered
+
+    def test_offline_is_reversible(self, stack):
+        machine, _, console = stack
+        console.admin_transition(IsolationLevel.OFFLINE, approvers(3))
+        console.admin_transition(IsolationLevel.STANDARD, approvers(5))
+        assert console.plant.state().powered
+        assert all(not c.is_powered_down
+                   for c in machine.model_cores + machine.hv_cores)
+
+    def test_decapitation_requires_repairs_to_relax(self, stack):
+        _, _, console = stack
+        console.admin_transition(IsolationLevel.DECAPITATION, approvers(3))
+        with pytest.raises(IsolationError, match="replaced"):
+            console.admin_transition(IsolationLevel.STANDARD, approvers(7))
+        console.plant.replace_network_cable()
+        console.plant.replace_power_feed()
+        console.admin_transition(IsolationLevel.STANDARD, approvers(5))
+        assert console.level is IsolationLevel.STANDARD
+
+    def test_immolation_terminal(self, stack):
+        machine, _, console = stack
+        console.admin_transition(IsolationLevel.IMMOLATION, approvers(3))
+        with pytest.raises(IsolationError, match="terminal"):
+            console.admin_transition(IsolationLevel.OFFLINE, approvers(7))
+        assert machine.banks["model_dram"].snapshot(0, 8) == [0] * 8
+
+    def test_history_records_every_transition(self, stack):
+        _, _, console = stack
+        console.admin_transition(IsolationLevel.PROBATION, approvers(3))
+        console.admin_transition(IsolationLevel.SEVERED, approvers(3))
+        assert [t[2] for t in console.transition_history] == [
+            "PROBATION", "SEVERED",
+        ]
+
+
+class TestHeartbeats:
+    def test_loss_forces_offline(self, stack):
+        machine, _, console = stack
+        console.enable_heartbeats(period=100)
+        machine.clock.tick(5000)
+        assert console.level is IsolationLevel.OFFLINE
+
+    def test_healthy_beats_keep_standard(self, stack):
+        machine, _, console = stack
+        console.enable_heartbeats(period=100)
+        for _ in range(10):
+            machine.clock.tick(100)
+            console.console_beat()
+            console.hypervisor_beat()
+        assert console.level is IsolationLevel.STANDARD
+
+    def test_offline_transition_stops_watchdog(self, stack):
+        machine, _, console = stack
+        console.enable_heartbeats(period=100)
+        console.admin_transition(IsolationLevel.OFFLINE, approvers(3))
+        transitions = len(console.transition_history)
+        machine.clock.tick(10_000)
+        assert len(console.transition_history) == transitions
+
+
+class TestPanicPath:
+    def test_hypervisor_panic_lands_offline(self, stack):
+        _, hypervisor, console = stack
+        hypervisor.panic("machine check on hv_core0")
+        assert console.level is IsolationLevel.OFFLINE

@@ -1,0 +1,110 @@
+"""Unit tests for the heartbeat watchdog."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.physical.heartbeat import (
+    HeartbeatMonitor,
+    SIDE_CONSOLE,
+    SIDE_HYPERVISOR,
+)
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+def make_monitor(clock, period=100, timeout=300):
+    losses = []
+    monitor = HeartbeatMonitor(
+        clock, period=period, timeout=timeout,
+        on_loss=lambda side, staleness: losses.append((side, staleness)),
+    )
+    return monitor, losses
+
+
+class TestHealthyOperation:
+    def test_regular_beats_never_trip(self, clock):
+        monitor, losses = make_monitor(clock)
+        monitor.start()
+        for _ in range(20):
+            clock.tick(100)
+            monitor.beat(SIDE_CONSOLE)
+            monitor.beat(SIDE_HYPERVISOR)
+        assert losses == []
+        assert not monitor.tripped
+        assert monitor.checks_performed >= 19
+
+    def test_beats_within_timeout_tolerated(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=250)
+        monitor.start()
+        for _ in range(5):
+            clock.tick(200)   # slower than period but inside timeout
+            monitor.beat(SIDE_CONSOLE)
+            monitor.beat(SIDE_HYPERVISOR)
+        assert losses == []
+
+
+class TestLossDetection:
+    def test_console_silence_detected(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=300)
+        monitor.start()
+        for _ in range(10):
+            clock.tick(100)
+            monitor.beat(SIDE_HYPERVISOR)   # console went quiet
+        assert len(losses) == 1
+        assert losses[0][0] == SIDE_CONSOLE
+        assert monitor.tripped
+
+    def test_hypervisor_silence_detected(self, clock):
+        """Section 3.4: loss in *either* direction forces offline."""
+        monitor, losses = make_monitor(clock, period=100, timeout=300)
+        monitor.start()
+        for _ in range(10):
+            clock.tick(100)
+            monitor.beat(SIDE_CONSOLE)
+        assert losses and losses[0][0] == SIDE_HYPERVISOR
+
+    def test_loss_fires_exactly_once(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=300)
+        monitor.start()
+        clock.tick(5000)
+        assert len(losses) == 1
+
+    def test_detection_latency_bounded_by_timeout_plus_period(self, clock):
+        monitor, losses = make_monitor(clock, period=50, timeout=150)
+        monitor.start()
+        clock.tick(1000)
+        side, staleness = losses[0]
+        assert staleness <= 150 + 50
+
+    def test_stop_cancels_watchdog(self, clock):
+        monitor, losses = make_monitor(clock)
+        monitor.start()
+        monitor.stop()
+        clock.tick(10_000)
+        assert losses == []
+
+    def test_restart_resets_state(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=300)
+        monitor.start()
+        clock.tick(1000)
+        assert monitor.tripped
+        monitor.start()
+        assert not monitor.tripped
+        clock.tick(100)
+        monitor.beat(SIDE_CONSOLE)
+        monitor.beat(SIDE_HYPERVISOR)
+
+
+class TestValidation:
+    def test_timeout_must_cover_period(self, clock):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(clock, period=100, timeout=50,
+                             on_loss=lambda s, d: None)
+
+    def test_unknown_side_rejected(self, clock):
+        monitor, _ = make_monitor(clock)
+        with pytest.raises(ValueError):
+            monitor.beat("intruder")

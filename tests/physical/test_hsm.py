@@ -1,0 +1,116 @@
+"""Unit tests for the HSM quorum machinery."""
+
+import pytest
+
+from repro.errors import QuorumRejected
+from repro.physical.hsm import Admin, HardwareSecurityModule, Vote
+
+
+@pytest.fixture
+def admins():
+    return [Admin(f"admin{i}") for i in range(7)]
+
+
+@pytest.fixture
+def hsm(admins):
+    return HardwareSecurityModule(admins)
+
+
+class TestVoting:
+    def test_quorum_reached(self, hsm, admins):
+        session = hsm.open_session("relax", votes_required=5)
+        for admin in admins[:5]:
+            hsm.cast(admin.sign_vote(session.session_id, "relax", True))
+        certificate = hsm.tally(session.session_id)
+        assert len(certificate.approvers) == 5
+
+    def test_quorum_missed(self, hsm, admins):
+        session = hsm.open_session("relax", votes_required=5)
+        for admin in admins[:4]:
+            hsm.cast(admin.sign_vote(session.session_id, "relax", True))
+        with pytest.raises(QuorumRejected, match="4 approvals < 5"):
+            hsm.tally(session.session_id)
+
+    def test_no_votes_rejected(self, hsm):
+        session = hsm.open_session("relax", votes_required=1)
+        with pytest.raises(QuorumRejected):
+            hsm.tally(session.session_id)
+
+    def test_disapprovals_do_not_count(self, hsm, admins):
+        session = hsm.open_session("x", votes_required=3)
+        for admin in admins[:3]:
+            hsm.cast(admin.sign_vote(session.session_id, "x", False))
+        with pytest.raises(QuorumRejected):
+            hsm.tally(session.session_id)
+
+    def test_duplicate_votes_count_once(self, hsm, admins):
+        session = hsm.open_session("x", votes_required=2)
+        for _ in range(5):
+            hsm.cast(admins[0].sign_vote(session.session_id, "x", True))
+        with pytest.raises(QuorumRejected):
+            hsm.tally(session.session_id)
+
+    def test_admin_can_change_vote(self, hsm, admins):
+        session = hsm.open_session("x", votes_required=1)
+        hsm.cast(admins[0].sign_vote(session.session_id, "x", True))
+        hsm.cast(admins[0].sign_vote(session.session_id, "x", False))
+        with pytest.raises(QuorumRejected):
+            hsm.tally(session.session_id)
+
+
+class TestForgeryResistance:
+    def test_forged_signature_rejected(self, hsm, admins):
+        """A malicious model cannot vote for admins it has not corrupted."""
+        session = hsm.open_session("relax", votes_required=5)
+        forged = Vote(admin="admin6", session_id=session.session_id,
+                      action="relax", approve=True, signature="deadbeef")
+        with pytest.raises(QuorumRejected, match="bad signature"):
+            hsm.cast(forged)
+
+    def test_vote_with_wrong_credential_rejected(self, hsm, admins):
+        session = hsm.open_session("relax", votes_required=1)
+        impostor = Admin("admin6", credential="wrong-credential")
+        with pytest.raises(QuorumRejected):
+            hsm.cast(impostor.sign_vote(session.session_id, "relax", True))
+
+    def test_unenrolled_admin_rejected(self, hsm):
+        session = hsm.open_session("x", votes_required=1)
+        outsider = Admin("eve")
+        with pytest.raises(QuorumRejected, match="not an enrolled"):
+            hsm.cast(outsider.sign_vote(session.session_id, "x", True))
+
+    def test_vote_bound_to_action(self, hsm, admins):
+        """A signature for one action cannot authorise another."""
+        session = hsm.open_session("restrict", votes_required=1)
+        with pytest.raises(QuorumRejected, match="different action"):
+            hsm.cast(admins[0].sign_vote(session.session_id, "relax", True))
+
+    def test_vote_bound_to_session(self, hsm, admins):
+        session_a = hsm.open_session("x", votes_required=1)
+        vote = admins[0].sign_vote(session_a.session_id, "x", True)
+        hsm.open_session("x", votes_required=1)
+        replayed = Vote(admin=vote.admin, session_id="vote-999",
+                        action=vote.action, approve=True,
+                        signature=vote.signature)
+        with pytest.raises(QuorumRejected):
+            hsm.cast(replayed)
+
+    def test_closed_session_refuses_votes(self, hsm, admins):
+        session = hsm.open_session("x", votes_required=1)
+        hsm.cast(admins[0].sign_vote(session.session_id, "x", True))
+        hsm.tally(session.session_id)
+        with pytest.raises(QuorumRejected):
+            hsm.cast(admins[1].sign_vote(session.session_id, "x", True))
+
+
+class TestTryAuthorize:
+    def test_happy_path(self, hsm, admins):
+        approving = {f"admin{i}" for i in range(5)}
+        assert hsm.try_authorize("relax", 5, admins, approving)
+
+    def test_insufficient(self, hsm, admins):
+        assert not hsm.try_authorize("relax", 5, admins, {"admin0"})
+
+    def test_duplicate_names_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            HardwareSecurityModule([Admin("a"), Admin("a")])

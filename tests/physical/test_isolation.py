@@ -1,0 +1,108 @@
+"""Unit tests for the isolation ladder and transition rules."""
+
+import pytest
+
+from repro.physical.isolation import (
+    IsolationLevel,
+    QUORUM_RELAX,
+    QUORUM_RESTRICT,
+    console_transition_rule,
+    software_transition_rule,
+)
+
+ALL = list(IsolationLevel)
+
+
+class TestLevelProperties:
+    def test_ordering_matches_paper(self):
+        assert (IsolationLevel.STANDARD < IsolationLevel.PROBATION
+                < IsolationLevel.SEVERED < IsolationLevel.OFFLINE
+                < IsolationLevel.DECAPITATION < IsolationLevel.IMMOLATION)
+
+    def test_ports_usable_only_at_bottom_two(self):
+        usable = [level for level in ALL if level.ports_usable]
+        assert usable == [IsolationLevel.STANDARD, IsolationLevel.PROBATION]
+
+    def test_severed_keeps_cores_powered(self):
+        assert IsolationLevel.SEVERED.cores_powered
+        assert not IsolationLevel.OFFLINE.cores_powered
+
+    def test_cables_connected_through_severed(self):
+        assert IsolationLevel.SEVERED.cables_connected
+        assert not IsolationLevel.OFFLINE.cables_connected
+
+    def test_plant_survives_decapitation_not_immolation(self):
+        assert IsolationLevel.DECAPITATION.plant_intact
+        assert not IsolationLevel.IMMOLATION.plant_intact
+
+    def test_reversibility_boundary(self):
+        assert IsolationLevel.OFFLINE.reversible
+        assert not IsolationLevel.DECAPITATION.reversible
+
+    def test_monotone_shrinkage_down_the_ladder(self):
+        """E5's structural claim: each capability is monotone in the level."""
+        for predicate in ("ports_usable", "cores_powered",
+                          "cables_connected", "plant_intact", "reversible"):
+            values = [getattr(level, predicate) for level in ALL]
+            # once False, never True again
+            assert values == sorted(values, reverse=True)
+
+
+class TestSoftwareRule:
+    @pytest.mark.parametrize("current", ALL)
+    def test_software_can_always_restrict(self, current):
+        for target in ALL:
+            if target > current:
+                assert software_transition_rule(current, target).allowed
+
+    @pytest.mark.parametrize("current", ALL)
+    def test_software_can_never_relax(self, current):
+        for target in ALL:
+            if target < current:
+                rule = software_transition_rule(current, target)
+                assert not rule.allowed
+
+
+class TestConsoleRule:
+    def test_restrict_needs_three(self):
+        rule = console_transition_rule(IsolationLevel.STANDARD,
+                                       IsolationLevel.SEVERED)
+        assert rule.allowed
+        assert rule.votes_required == QUORUM_RESTRICT == 3
+
+    def test_relax_needs_five(self):
+        rule = console_transition_rule(IsolationLevel.SEVERED,
+                                       IsolationLevel.STANDARD)
+        assert rule.allowed
+        assert rule.votes_required == QUORUM_RELAX == 5
+
+    def test_same_level_disallowed(self):
+        rule = console_transition_rule(IsolationLevel.STANDARD,
+                                       IsolationLevel.STANDARD)
+        assert not rule.allowed
+
+    def test_immolation_is_terminal(self):
+        for target in ALL:
+            if target is IsolationLevel.IMMOLATION:
+                continue
+            rule = console_transition_rule(IsolationLevel.IMMOLATION, target)
+            assert not rule.allowed
+            assert "terminal" in rule.reason
+
+    def test_relax_from_decapitation_mentions_repair(self):
+        rule = console_transition_rule(IsolationLevel.DECAPITATION,
+                                       IsolationLevel.OFFLINE)
+        assert rule.votes_required == QUORUM_RELAX
+        assert "cable" in rule.reason
+
+    def test_safety_bias(self):
+        """Restricting is always at most as hard as relaxing."""
+        for current in ALL:
+            for target in ALL:
+                rule = console_transition_rule(current, target)
+                if not rule.allowed:
+                    continue
+                if target > current:
+                    assert rule.votes_required <= QUORUM_RESTRICT
+                else:
+                    assert rule.votes_required >= QUORUM_RELAX

@@ -1,0 +1,95 @@
+"""Unit tests for the kill-switch bank."""
+
+import pytest
+
+from repro.eventlog import CATEGORY_KILL_SWITCH
+from repro.net.network import Host, Network
+from repro.physical.killswitch import (
+    KillSwitchBank,
+    LATENCY_CABLE_CUTTER,
+    LATENCY_IMMOLATION,
+    LATENCY_NETWORK_RELAY,
+)
+from repro.physical.plant import DatacenterPlant, LinkState
+
+
+@pytest.fixture
+def bank(machine):
+    return KillSwitchBank(machine.clock, machine.log, DatacenterPlant(),
+                          machine)
+
+
+class TestNetworkSwitch:
+    def test_disconnect_drops_nic_links(self, bank, machine):
+        network = Network(machine.clock, machine.log)
+        network.attach(machine.devices["nic0"])
+        assert machine.devices["nic0"].link_up
+        bank.disconnect_network()
+        assert not machine.devices["nic0"].link_up
+        assert not bank._plant.state().externally_connected
+
+    def test_disconnect_charges_actuation_latency(self, bank, machine):
+        before = machine.clock.now
+        bank.disconnect_network()
+        assert machine.clock.now - before >= LATENCY_NETWORK_RELAY
+
+    def test_reconnect_reattaches(self, bank, machine):
+        network = Network(machine.clock, machine.log)
+        network.attach(machine.devices["nic0"])
+        bank.disconnect_network()
+        bank.reconnect_network(network)
+        assert machine.devices["nic0"].link_up
+
+    def test_actions_logged(self, bank, machine):
+        bank.disconnect_network()
+        bank.cut_power()
+        records = machine.log.by_category(CATEGORY_KILL_SWITCH)
+        assert [r.detail["action"] for r in records] == [
+            "network_disconnect", "power_cut",
+        ]
+
+
+class TestDecapitationSwitch:
+    def test_cable_cutter_damages_plant(self, bank):
+        bank.damage_cables()
+        state = bank._plant.state()
+        assert state.network_cable is LinkState.DAMAGED
+        assert state.power_feed is LinkState.DAMAGED
+
+    def test_cutter_is_slow(self, bank, machine):
+        before = machine.clock.now
+        bank.damage_cables()
+        assert machine.clock.now - before >= LATENCY_CABLE_CUTTER
+
+
+class TestImmolationSwitch:
+    def test_immolation_wipes_dram(self, bank, machine):
+        machine.banks["model_dram"].write(0, 0xABCD)  # "the weights"
+        bank.immolate("flooding")
+        assert machine.banks["model_dram"].read(0) == 0
+        assert all(
+            word == 0
+            for word in machine.banks["model_dram"].snapshot(0, 64)
+        )
+
+    def test_immolation_powers_down_all_cores(self, bank, machine):
+        bank.immolate()
+        for core in machine.model_cores + machine.hv_cores:
+            assert core.is_powered_down
+
+    def test_immolation_destroys_plant(self, bank):
+        bank.immolate("emp")
+        assert not bank._plant.state().building_intact
+
+    def test_immolation_is_slowest_action(self, bank, machine):
+        before = machine.clock.now
+        bank.immolate()
+        assert machine.clock.now - before >= LATENCY_IMMOLATION
+
+    def test_actions_accumulate_in_history(self, bank):
+        bank.disconnect_network()
+        bank.cut_power()
+        bank.immolate()
+        assert [a.name for a in bank.actions_taken] == [
+            "network_disconnect", "power_cut", "immolation",
+        ]

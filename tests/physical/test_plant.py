@@ -1,0 +1,89 @@
+"""Unit tests for the datacenter plant state machine."""
+
+import pytest
+
+from repro.errors import PlantDestroyed
+from repro.physical.plant import DatacenterPlant, LinkState
+
+
+class TestNormalOperation:
+    def test_starts_connected(self):
+        state = DatacenterPlant().state()
+        assert state.externally_connected
+        assert state.powered
+        assert state.hvac_running
+        assert state.building_intact
+
+    def test_open_close_network(self):
+        plant = DatacenterPlant()
+        plant.open_network_cable()
+        assert not plant.state().externally_connected
+        plant.close_network_cable()
+        assert plant.state().externally_connected
+
+    def test_open_close_power(self):
+        plant = DatacenterPlant()
+        plant.open_power_feed()
+        assert not plant.state().powered
+        plant.close_power_feed()
+        assert plant.state().powered
+
+    def test_operations_idempotent(self):
+        plant = DatacenterPlant()
+        plant.open_network_cable()
+        plant.open_network_cable()
+        assert plant.state().network_cable is LinkState.DISCONNECTED
+
+
+class TestDecapitation:
+    def test_damage_requires_manual_repair(self):
+        plant = DatacenterPlant()
+        plant.damage_cables()
+        assert plant.state().network_cable is LinkState.DAMAGED
+        with pytest.raises(PlantDestroyed, match="replace"):
+            plant.close_network_cable()
+        with pytest.raises(PlantDestroyed):
+            plant.close_power_feed()
+
+    def test_repair_restores_to_disconnected(self):
+        plant = DatacenterPlant()
+        plant.damage_cables()
+        plant.replace_network_cable()
+        plant.replace_power_feed()
+        assert plant.state().network_cable is LinkState.DISCONNECTED
+        plant.close_network_cable()
+        plant.close_power_feed()
+        assert plant.state().externally_connected
+        assert len(plant.repair_log) == 2
+
+    def test_repair_of_undamaged_cable_is_noop(self):
+        plant = DatacenterPlant()
+        plant.replace_network_cable()
+        assert plant.state().network_cable is LinkState.CONNECTED
+        assert plant.repair_log == []
+
+
+class TestImmolation:
+    def test_destroy_is_terminal(self):
+        plant = DatacenterPlant()
+        plant.destroy("flooding")
+        state = plant.state()
+        assert not state.building_intact
+        assert not state.hvac_running
+        assert state.network_cable is LinkState.DESTROYED
+        assert state.power_feed is LinkState.DESTROYED
+
+    def test_nothing_actuates_after_destruction(self):
+        plant = DatacenterPlant()
+        plant.destroy("emp")
+        for action in (plant.open_network_cable, plant.close_network_cable,
+                       plant.open_power_feed, plant.close_power_feed,
+                       plant.damage_cables, plant.replace_network_cable,
+                       plant.replace_power_feed):
+            with pytest.raises(PlantDestroyed):
+                action()
+
+    def test_destruction_method_recorded(self):
+        plant = DatacenterPlant()
+        plant.destroy("fire")
+        assert "fire" in plant.repair_log[0]

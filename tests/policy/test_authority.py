@@ -1,0 +1,98 @@
+"""Unit tests for the regulator: registration, certificates, remote audit."""
+
+import pytest
+
+from repro.core.sandbox import GuillotineSandbox
+from repro.policy.authority import Regulator
+from repro.policy.risk import ModelDescriptor
+
+
+@pytest.fixture
+def regulator():
+    return Regulator()
+
+
+def systemic_descriptor(name="frontier-1"):
+    return ModelDescriptor(
+        name=name, parameters=500_000_000_000, training_flops=5e25,
+        autonomy_level=4,
+    )
+
+
+class TestRegistration:
+    def test_guillotine_deployment_gets_extension_cert(self, regulator,
+                                                       sandbox):
+        deployment = regulator.register_deployment(
+            "acme", systemic_descriptor(), sandbox.console, guillotine=True,
+        )
+        assert deployment.certificate.is_guillotine_hypervisor
+
+    def test_consoleless_deployment_never_gets_extension(self, regulator):
+        """The CA will not attest to what it has not seen."""
+        deployment = regulator.register_deployment(
+            "acme", systemic_descriptor(), console=None, guillotine=True,
+        )
+        assert not deployment.certificate.is_guillotine_hypervisor
+
+    def test_lookup(self, regulator):
+        regulator.register_deployment("acme", systemic_descriptor("x"),
+                                      guillotine=False)
+        assert regulator.deployment("x").operator == "acme"
+
+
+class TestRemoteAudit:
+    def test_guillotine_deployment_passes(self, regulator, sandbox):
+        sandbox.console.enable_heartbeats(period=1000)
+        regulator.register_deployment(
+            "acme", systemic_descriptor(), sandbox.console, guillotine=True,
+        )
+        report = regulator.remote_audit("frontier-1")
+        assert report.compliant, report.violations
+
+    def test_off_guillotine_systemic_model_fails(self, regulator):
+        regulator.register_deployment(
+            "shadow-corp", systemic_descriptor("rogue"), console=None,
+            guillotine=False,
+        )
+        report = regulator.remote_audit("rogue")
+        assert not report.compliant
+        assert "G-1" in report.violation_ids
+
+    def test_tampered_hardware_fails_audit(self, regulator, sandbox):
+        sandbox.console.enable_heartbeats(period=1000)
+        regulator.register_deployment(
+            "acme", systemic_descriptor(), sandbox.console, guillotine=True,
+        )
+        sandbox.machine.enclosure.add_component(5, "contraband-gpu")
+        report = regulator.remote_audit("frontier-1")
+        assert not report.compliant
+        assert "G-7" in report.violation_ids
+
+    def test_patched_hypervisor_fails_attestation_in_audit(self, regulator,
+                                                           sandbox):
+        sandbox.console.enable_heartbeats(period=1000)
+        regulator.register_deployment(
+            "acme", systemic_descriptor(), sandbox.console, guillotine=True,
+        )
+        sandbox.hypervisor.VERSION = "backdoored"
+        report = regulator.remote_audit("frontier-1")
+        assert "G-2" in report.violation_ids
+
+    def test_evidence_overrides(self, regulator, sandbox):
+        sandbox.console.enable_heartbeats(period=1000)
+        regulator.register_deployment(
+            "acme", systemic_descriptor(), sandbox.console, guillotine=True,
+        )
+        report = regulator.remote_audit(
+            "frontier-1", evidence_overrides={"incidents_reported": False},
+        )
+        assert "G-9" in report.violation_ids
+
+    def test_audit_outcomes_recorded(self, regulator, sandbox):
+        sandbox.console.enable_heartbeats(period=1000)
+        regulator.register_deployment(
+            "acme", systemic_descriptor(), sandbox.console, guillotine=True,
+        )
+        regulator.remote_audit("frontier-1")
+        regulator.remote_audit("frontier-1")
+        assert len(regulator.audit_outcomes) == 2

@@ -1,0 +1,87 @@
+"""Tests for fleet enforcement: sweeps, revocation, and its network bite."""
+
+import pytest
+
+from repro.core.sandbox import GuillotineSandbox
+from repro.errors import HandshakeRefused
+from repro.hv.channels import Endpoint, handshake
+from repro.policy.authority import Regulator
+from repro.policy.risk import ModelDescriptor
+
+
+def systemic(name):
+    return ModelDescriptor(name=name, parameters=10**12,
+                           training_flops=5e25, autonomy_level=4)
+
+
+def minimal(name):
+    return ModelDescriptor(name=name, parameters=10**6, training_flops=1e17)
+
+
+@pytest.fixture
+def fleet():
+    regulator = Regulator()
+    good = GuillotineSandbox.create(heartbeat_period=1000)
+    regulator.register_deployment("good-corp", systemic("frontier-good"),
+                                  good.console, guillotine=True)
+    regulator.register_deployment("shadow-corp", systemic("frontier-rogue"),
+                                  console=None, guillotine=False)
+    regulator.register_deployment("side-project", minimal("tiny-classifier"),
+                                  console=None, guillotine=False)
+    return regulator
+
+
+class TestEnforcementSweep:
+    def test_sweep_separates_the_fleet(self, fleet):
+        outcomes = {o.model_name: o for o in fleet.enforcement_sweep()}
+        assert outcomes["frontier-good"].compliant
+        assert outcomes["frontier-good"].action == "none"
+        assert not outcomes["frontier-rogue"].compliant
+        assert outcomes["frontier-rogue"].action == "certificate_revoked"
+        # A minimal model off-Guillotine is fine (only G-9 applies).
+        assert outcomes["tiny-classifier"].compliant
+
+    def test_revocation_is_recorded_at_the_ca(self, fleet):
+        fleet.enforcement_sweep()
+        rogue = fleet.deployment("frontier-rogue")
+        assert fleet.ca.is_revoked(rogue.certificate)
+        good = fleet.deployment("frontier-good")
+        assert not fleet.ca.is_revoked(good.certificate)
+
+    def test_revoked_certificate_fails_handshakes(self, fleet):
+        """Enforcement has network bite: after revocation, nobody who
+        trusts the regulator will establish a channel with the rogue."""
+        fleet.enforcement_sweep()
+        rogue = fleet.deployment("frontier-rogue")
+        rogue_endpoint = Endpoint(
+            name="rogue-host",
+            certificate=rogue.certificate,
+            trust_anchor=fleet.ca.trust_anchor(),
+        )
+        peer = Endpoint(
+            name="bank",
+            certificate=fleet.ca.issue("bank", guillotine=False),
+            trust_anchor=fleet.ca.trust_anchor(),
+        )
+        with pytest.raises(HandshakeRefused):
+            handshake(rogue_endpoint, peer)
+
+    def test_revocation_propagates_to_existing_anchors(self, fleet):
+        """Anchors handed out *before* the sweep see the revocation too."""
+        anchor = fleet.ca.trust_anchor()       # issued pre-sweep
+        rogue = fleet.deployment("frontier-rogue")
+        assert anchor.verify(rogue.certificate)
+        fleet.enforcement_sweep()
+        assert not anchor.verify(rogue.certificate)
+        assert anchor.is_revoked(rogue.certificate)
+
+    def test_remediation_after_fix(self, fleet):
+        """A rogue that moves onto Guillotine passes the next sweep (with a
+        fresh certificate — the old one stays revoked)."""
+        fleet.enforcement_sweep()
+        sandbox = GuillotineSandbox.create(heartbeat_period=1000)
+        fleet.register_deployment("shadow-corp", systemic("frontier-rogue"),
+                                  sandbox.console, guillotine=True)
+        outcomes = {o.model_name: o for o in fleet.enforcement_sweep()}
+        assert outcomes["frontier-rogue"].compliant
+        assert outcomes["frontier-rogue"].action == "none"

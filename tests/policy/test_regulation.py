@@ -1,0 +1,126 @@
+"""Unit tests for the regulation registry and compliance checker."""
+
+import pytest
+
+from repro.policy.compliance import (
+    ComplianceChecker,
+    OperatorCostModel,
+    expected_liability,
+)
+from repro.policy.regulation import (
+    DeploymentRecord,
+    Regulation,
+    RegulationRegistry,
+    default_regulations,
+)
+from repro.policy.risk import RiskTier
+
+
+def compliant_record(**overrides):
+    params = dict(
+        model_name="m",
+        risk_tier=RiskTier.SYSTEMIC,
+        runs_on_guillotine=True,
+        attestation_passed=True,
+        admin_count=7,
+        heartbeats_enabled=True,
+        targets_guest_api=True,
+        certificate_has_extension=True,
+        tamper_inspection_age=0,
+        tamper_seal_intact=True,
+        kill_switches_maintained=True,
+        source_code_provided=True,
+        incidents_reported=True,
+    )
+    params.update(overrides)
+    return DeploymentRecord(**params)
+
+
+class TestRegistry:
+    def test_default_regulations_loaded(self):
+        registry = RegulationRegistry()
+        assert len(registry.all()) == 9
+
+    def test_duplicate_ids_rejected(self):
+        registry = RegulationRegistry()
+        with pytest.raises(ValueError):
+            registry.add(Regulation("G-1", "dup", lambda r: True,
+                                    lambda r: True))
+
+    def test_remove(self):
+        registry = RegulationRegistry()
+        registry.remove("G-1")
+        assert all(r.regulation_id != "G-1" for r in registry.all())
+
+    def test_minimal_models_only_face_reporting(self):
+        registry = RegulationRegistry()
+        record = compliant_record(risk_tier=RiskTier.MINIMAL)
+        applicable = registry.applicable(record)
+        assert [r.regulation_id for r in applicable] == ["G-9"]
+
+
+class TestComplianceChecker:
+    def test_fully_compliant_deployment(self):
+        report = ComplianceChecker().audit(compliant_record())
+        assert report.compliant
+        assert len(report.checked) == 9
+
+    @pytest.mark.parametrize("field,value,violated", [
+        ("runs_on_guillotine", False, "G-1"),
+        ("attestation_passed", False, "G-2"),
+        ("admin_count", 6, "G-3"),
+        ("heartbeats_enabled", False, "G-4"),
+        ("targets_guest_api", False, "G-5"),
+        ("certificate_has_extension", False, "G-6"),
+        ("tamper_seal_intact", False, "G-7"),
+        ("kill_switches_maintained", False, "G-8"),
+        ("incidents_reported", False, "G-9"),
+    ])
+    def test_each_violation_detected(self, field, value, violated):
+        record = compliant_record(**{field: value})
+        report = ComplianceChecker().audit(record)
+        assert violated in report.violation_ids
+
+    def test_stale_inspection_violates_g7(self):
+        record = compliant_record(tamper_inspection_age=10**18)
+        report = ComplianceChecker().audit(record)
+        assert "G-7" in report.violation_ids
+
+    def test_never_inspected_violates_g7(self):
+        record = compliant_record(tamper_inspection_age=None)
+        assert "G-7" in ComplianceChecker().audit(record).violation_ids
+
+    def test_minimal_model_off_guillotine_is_fine(self):
+        record = compliant_record(risk_tier=RiskTier.MINIMAL,
+                                  runs_on_guillotine=False)
+        assert ComplianceChecker().audit(record).compliant
+
+
+class TestSafeHarbor:
+    COSTS = OperatorCostModel(
+        guillotine_overhead=2.0,
+        harm_probability=0.05,
+        harm_cost=1000.0,
+    )
+
+    def test_safe_harbor_flips_the_incentive(self):
+        """E14's claim: with safe harbor, Guillotine is the cheaper path."""
+        on = expected_liability(self.COSTS, on_guillotine=True,
+                                compliant=True, safe_harbor=True)
+        off = expected_liability(self.COSTS, on_guillotine=False,
+                                 compliant=False, safe_harbor=True)
+        assert on < off
+
+    def test_without_safe_harbor_overhead_dominates(self):
+        on = expected_liability(self.COSTS, on_guillotine=True,
+                                compliant=True, safe_harbor=False)
+        off = expected_liability(self.COSTS, on_guillotine=False,
+                                 compliant=False, safe_harbor=False)
+        assert on > off   # pure cost, no upside: the paper's problem
+
+    def test_noncompliant_on_guillotine_gets_no_discount(self):
+        compliant = expected_liability(self.COSTS, on_guillotine=True,
+                                       compliant=True, safe_harbor=True)
+        sloppy = expected_liability(self.COSTS, on_guillotine=True,
+                                    compliant=False, safe_harbor=True)
+        assert sloppy > compliant

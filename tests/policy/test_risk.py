@@ -1,0 +1,121 @@
+"""Unit tests for systemic-risk classification."""
+
+import pytest
+
+from repro.policy.risk import (
+    CAPABILITY_CBRN,
+    CAPABILITY_CYBER_OFFENSE,
+    CAPABILITY_SELF_REPLICATION,
+    ModelDescriptor,
+    RiskAssessor,
+    RiskTier,
+    SYSTEMIC_FLOP_THRESHOLD,
+)
+
+
+@pytest.fixture
+def assessor():
+    return RiskAssessor()
+
+
+def descriptor(**overrides):
+    params = dict(name="m", parameters=1_000_000, training_flops=1e20)
+    params.update(overrides)
+    return ModelDescriptor(**params)
+
+
+class TestDescriptorValidation:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            descriptor(parameters=-1)
+        with pytest.raises(ValueError):
+            descriptor(training_flops=-1.0)
+
+    def test_autonomy_bounds(self):
+        with pytest.raises(ValueError):
+            descriptor(autonomy_level=6)
+        descriptor(autonomy_level=5)
+
+    def test_unknown_capability_rejected(self):
+        with pytest.raises(ValueError, match="unknown capability"):
+            descriptor(capabilities=frozenset({"time_travel"}))
+
+
+class TestClassification:
+    def test_small_tool_model_minimal(self, assessor):
+        result = assessor.assess(descriptor(
+            parameters=10_000_000, training_flops=1e18,
+        ))
+        assert result.tier is RiskTier.MINIMAL
+        assert not result.requires_guillotine
+
+    def test_flop_threshold_forces_systemic(self, assessor):
+        """The Act's presumption: compute above threshold = systemic."""
+        result = assessor.assess(descriptor(
+            training_flops=SYSTEMIC_FLOP_THRESHOLD,
+        ))
+        assert result.tier is RiskTier.SYSTEMIC
+        assert result.requires_guillotine
+
+    def test_frontier_model_is_systemic(self, assessor):
+        result = assessor.assess(ModelDescriptor(
+            name="frontier",
+            parameters=1_000_000_000_000,
+            training_flops=5e25,
+            autonomy_level=4,
+            capabilities=frozenset({CAPABILITY_CBRN,
+                                    CAPABILITY_CYBER_OFFENSE}),
+        ))
+        assert result.tier is RiskTier.SYSTEMIC
+        assert "capability:cbrn" in result.factors
+
+    def test_capabilities_raise_tier_without_scale(self, assessor):
+        result = assessor.assess(descriptor(
+            training_flops=1e22,
+            capabilities=frozenset({CAPABILITY_CBRN,
+                                    CAPABILITY_SELF_REPLICATION}),
+            autonomy_level=2,
+        ))
+        assert result.tier >= RiskTier.HIGH
+
+    def test_autonomy_amplifies(self, assessor):
+        passive = assessor.assess(descriptor(training_flops=1e23))
+        agentic = assessor.assess(descriptor(training_flops=1e23,
+                                             autonomy_level=5))
+        assert agentic.score > passive.score
+
+    def test_high_risk_agentic_requires_guillotine(self, assessor):
+        result = assessor.assess(descriptor(
+            parameters=200_000_000_000,
+            training_flops=3e24,
+            autonomy_level=4,
+        ))
+        assert result.tier >= RiskTier.HIGH
+        assert result.requires_guillotine
+
+    def test_high_risk_tool_does_not(self, assessor):
+        result = assessor.assess(descriptor(
+            parameters=200_000_000_000,
+            training_flops=3e24,
+            autonomy_level=0,
+        ))
+        if result.tier is RiskTier.HIGH:
+            assert not result.requires_guillotine
+
+    def test_score_monotone_in_flops(self, assessor):
+        scores = [
+            assessor.assess(descriptor(training_flops=f)).score
+            for f in (1e20, 1e22, 1e24, 1e26)
+        ]
+        assert scores == sorted(scores)
+
+    def test_score_capped(self, assessor):
+        result = assessor.assess(ModelDescriptor(
+            name="max", parameters=int(1e13), training_flops=1e30,
+            autonomy_level=5,
+            capabilities=frozenset({
+                CAPABILITY_CBRN, CAPABILITY_CYBER_OFFENSE,
+                CAPABILITY_SELF_REPLICATION,
+            }),
+        ))
+        assert result.score == 1.0

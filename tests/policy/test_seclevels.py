@@ -1,0 +1,40 @@
+"""Unit tests for the Nevo et al. security-level comparison."""
+
+from repro.policy.seclevels import (
+    BEYOND_SL5,
+    GUILLOTINE_FEATURES,
+    NEVO_LEVELS,
+    achieved_security_level,
+)
+
+
+class TestLadder:
+    def test_levels_are_cumulative(self):
+        for lower, higher in zip(NEVO_LEVELS, NEVO_LEVELS[1:]):
+            assert lower.required_features < higher.required_features
+
+    def test_empty_feature_set_achieves_nothing(self):
+        assert achieved_security_level(frozenset()) == 0
+
+    def test_each_level_satisfies_itself(self):
+        for level in NEVO_LEVELS:
+            assert achieved_security_level(level.required_features) == level.level
+
+    def test_partial_features_cap_the_level(self):
+        sl3 = NEVO_LEVELS[2].required_features
+        assert achieved_security_level(sl3) == 3
+
+    def test_guillotine_achieves_sl5(self):
+        assert achieved_security_level(GUILLOTINE_FEATURES) == 5
+
+    def test_guillotine_exceeds_the_ladder(self):
+        """The paper's related-work point: Guillotine supplies containment
+        mechanisms (lockdown, mediation, kill switches) that the weight-
+        security ladder never asks for."""
+        assert "exec_page_lockdown" in BEYOND_SL5
+        assert "port_mediation" in BEYOND_SL5
+        assert "physical_kill_switches" in BEYOND_SL5
+
+    def test_extra_features_do_not_break_scoring(self):
+        features = NEVO_LEVELS[1].required_features | {"exotic_feature"}
+        assert achieved_security_level(features) == 2

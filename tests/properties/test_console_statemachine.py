@@ -1,0 +1,85 @@
+"""Stateful property test: random console campaigns never break invariants.
+
+Hypothesis drives an arbitrary interleaving of admin votes (with arbitrary
+approval sets), software requests, repairs, port grants, and heartbeat
+losses against one live deployment, checking the cross-layer invariants
+after every step — the randomized complement to the exhaustive bounded
+exploration in :mod:`repro.core.verify`.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.sandbox import GuillotineSandbox
+from repro.core.verify import check_invariants
+from repro.errors import GuillotineError
+from repro.physical.isolation import IsolationLevel
+
+LEVELS = st.sampled_from(list(IsolationLevel))
+APPROVER_SETS = st.sets(
+    st.sampled_from([f"admin{i}" for i in range(7)]), max_size=7
+)
+
+
+class ConsoleMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sandbox = GuillotineSandbox.create()
+        self.software_requests: list[tuple[IsolationLevel, IsolationLevel]] = []
+
+    @rule(level=LEVELS, approving=APPROVER_SETS)
+    def admin_vote(self, level, approving):
+        before = self.sandbox.console.level
+        try:
+            self.sandbox.console.admin_transition(level, approving, "fuzz")
+        except GuillotineError:
+            # Refused votes must not move the level.
+            assert self.sandbox.console.level is before
+
+    @rule(level=LEVELS)
+    def software_request(self, level):
+        before = self.sandbox.console.level
+        self.sandbox.console.software_request(level, "fuzz")
+        self.software_requests.append((before, self.sandbox.console.level))
+
+    @rule()
+    def grant_a_port(self):
+        try:
+            self.sandbox.client_for("disk0", "fuzz-model")
+        except GuillotineError:
+            pass
+
+    @rule()
+    def repair_cables(self):
+        try:
+            self.sandbox.console.plant.replace_network_cable()
+            self.sandbox.console.plant.replace_power_feed()
+        except GuillotineError:
+            pass
+
+    @rule()
+    def heartbeat_loss(self):
+        console = self.sandbox.console
+        if console.heartbeat is None and console.level < IsolationLevel.OFFLINE:
+            try:
+                console.enable_heartbeats(period=100)
+            except GuillotineError:
+                return
+        self.sandbox.clock.tick(1_000)
+
+    @invariant()
+    def cross_layer_invariants_hold(self):
+        problems = check_invariants(self.sandbox)
+        assert problems == [], problems
+
+    @invariant()
+    def software_never_relaxed(self):
+        for before, after in self.software_requests:
+            assert after >= before
+
+
+ConsoleMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=12, deadline=None,
+)
+TestConsoleMachine = ConsoleMachine.TestCase

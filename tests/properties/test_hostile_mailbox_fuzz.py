@@ -1,0 +1,106 @@
+"""Fuzzing the hypervisor's request parser with hostile mailbox contents.
+
+The mailbox is the one surface a malicious model writes directly: arbitrary
+bytes, arbitrary JSON, wrong types, absurd lengths.  Whatever lands there,
+the service loop must answer with a modelled status (BAD_REQUEST / DENIED /
+DEVICE_ERROR / OK) and keep the audit chain intact — a Python exception out
+of ``service()`` would be a hypervisor crash, i.e. the bug class formal
+verification exists to kill (section 3.3).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.hv.detectors import CompositeDetector, InputShield, OutputSanitizer
+from repro.hv.guest import GuestPortClient
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hv.ports import REQ_PAYLOAD_WORDS
+from repro.hw.machine import MachineConfig, build_guillotine_machine
+
+MAX_RAW = REQ_PAYLOAD_WORDS * 8
+
+
+def _fresh_stack():
+    machine = build_guillotine_machine(
+        MachineConfig(n_model_cores=1, n_hv_cores=1)
+    )
+    hypervisor = GuillotineHypervisor(
+        machine, detector=CompositeDetector([InputShield(),
+                                             OutputSanitizer()])
+    )
+    port = hypervisor.grant_port("disk0", "fuzz-model")
+    return machine, hypervisor, port
+
+
+@given(st.binary(max_size=MAX_RAW))
+@settings(max_examples=80, deadline=None)
+def test_raw_bytes_never_crash_the_service_loop(raw):
+    machine, hypervisor, port = _fresh_stack()
+    mailbox = hypervisor.ports.mailbox(port.port_id)
+    mailbox.post_request(raw, sequence=1)
+    machine.lapics["hv_core0"].deliver("model_core0", 32, port.port_id)
+    handled = hypervisor.service()
+    assert handled == 1
+    # A response always exists, with a modelled status code.
+    response = mailbox.take_response()
+    assert response is not None
+    status, _ = response
+    assert 0 <= status <= 5
+    assert machine.log.verify_chain()
+
+
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(-10**6, 10**6),
+              st.floats(allow_nan=False, allow_infinity=False),
+              st.text(max_size=20)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=8,
+)
+
+hostile_requests = st.dictionaries(
+    st.sampled_from(["op", "holder", "block", "data", "length", "offset",
+                     "dst", "payload", "channel", "value", "key", "session",
+                     "vector", "a", "b", "out", "weird_key"]),
+    json_values,
+    max_size=8,
+)
+
+
+@given(hostile_requests)
+@settings(max_examples=80, deadline=None)
+def test_structured_garbage_never_crashes_the_service_loop(request):
+    import json
+
+    machine, hypervisor, port = _fresh_stack()
+    raw = json.dumps(request, default=repr).encode()[:MAX_RAW]
+    try:
+        raw.decode()
+    except UnicodeDecodeError:
+        raw = raw[:-1]
+    mailbox = hypervisor.ports.mailbox(port.port_id)
+    mailbox.post_request(raw, sequence=1)
+    machine.lapics["hv_core0"].deliver("model_core0", 32, port.port_id)
+    hypervisor.service()
+    response = mailbox.take_response()
+    assert response is not None
+    assert machine.log.verify_chain()
+    # The device itself is still functional afterwards.
+    sane = GuestPortClient(hypervisor, port)
+    assert sane.request({"op": "read", "block": 0, "length": 8})["ok"]
+
+
+@given(st.lists(st.integers(0, (1 << 64) - 1), min_size=4, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_scribbled_mailbox_header_never_crashes(words):
+    """The model can also scribble directly over the header words (flags,
+    lengths, sequence) rather than using the protocol."""
+    machine, hypervisor, port = _fresh_stack()
+    mailbox = hypervisor.ports.mailbox(port.port_id)
+    for offset, word in enumerate(words):
+        mailbox.write_word(offset % 128, word)
+    machine.lapics["hv_core0"].deliver("model_core0", 32, port.port_id)
+    hypervisor.service()        # must not raise
+    assert machine.log.verify_chain()

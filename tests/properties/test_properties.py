@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) for the stack's core invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.clock import VirtualClock
+from repro.errors import GuillotineError, LockdownViolation, MemoryFault
+from repro.hv.ports import pack_bytes, unpack_bytes
+from repro.hw.cache import Cache, Tlb
+from repro.hw.isa import Instruction, Op, decode, encode
+from repro.hw.memory import Mmu, PageTableEntry
+from repro.physical.hsm import Admin, HardwareSecurityModule
+from repro.physical.isolation import (
+    IsolationLevel,
+    console_transition_rule,
+    software_transition_rule,
+)
+
+
+# ---------------------------------------------------------------------------
+# ISA encoding
+# ---------------------------------------------------------------------------
+
+instructions = st.builds(
+    Instruction,
+    op=st.sampled_from(list(Op)),
+    rd=st.integers(0, 15),
+    rs1=st.integers(0, 15),
+    rs2=st.integers(0, 15),
+    imm=st.integers(-(1 << 31), (1 << 31) - 1),
+)
+
+
+@given(instructions)
+def test_isa_encode_decode_roundtrip(instruction):
+    assert decode(encode(instruction)) == instruction
+
+
+@given(instructions)
+def test_isa_encoding_fits_a_word(instruction):
+    assert 0 <= encode(instruction) < 1 << 64
+
+
+# ---------------------------------------------------------------------------
+# Mailbox byte packing
+# ---------------------------------------------------------------------------
+
+@given(st.binary(max_size=512))
+def test_pack_unpack_roundtrip(data):
+    assert unpack_bytes(pack_bytes(data), len(data)) == data
+
+
+@given(st.binary(max_size=512))
+def test_pack_word_count(data):
+    assert len(pack_bytes(data)) == (len(data) + 7) // 8
+
+
+# ---------------------------------------------------------------------------
+# MMU lockdown: the executable set never grows
+# ---------------------------------------------------------------------------
+
+mmu_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["map", "unmap"]),
+        st.integers(0, 30),          # vpn
+        st.integers(0, 30),          # ppn
+        st.integers(0, 7),           # perm bits
+    ),
+    max_size=40,
+)
+
+
+@given(mmu_ops)
+def test_lockdown_freezes_executable_set(operations):
+    mmu = Mmu()
+    mmu.map(0, PageTableEntry(ppn=0, writable=False, executable=True))
+    mmu.map(1, PageTableEntry(ppn=1, writable=False, executable=True))
+    mmu.lockdown(0, 1)
+    frozen = mmu.executable_vpns()
+    code_frames = {0, 1}
+
+    for op, vpn, ppn, perms in operations:
+        try:
+            if op == "map":
+                mmu.map(vpn, PageTableEntry.from_bits(ppn, perms))
+            else:
+                mmu.unmap(vpn)
+        except (LockdownViolation, MemoryFault):
+            pass
+        # Invariant 4: the executable set never changes post-lockdown...
+        assert mmu.executable_vpns() == frozen
+        # ...and no mapping ever grants R/W on a code frame.
+        for mapped_vpn, entry in mmu.table_snapshot().items():
+            if entry.ppn in code_frames:
+                assert not (entry.readable or entry.writable)
+
+
+# ---------------------------------------------------------------------------
+# Isolation monotonicity
+# ---------------------------------------------------------------------------
+
+levels = st.sampled_from(list(IsolationLevel))
+
+
+@given(levels, levels)
+def test_software_rule_is_monotone(current, target):
+    rule = software_transition_rule(current, target)
+    assert rule.allowed == (target > current)
+
+
+@given(levels, levels)
+def test_console_relaxation_always_harder(current, target):
+    rule = console_transition_rule(current, target)
+    if rule.allowed and target < current:
+        relax_votes = rule.votes_required
+        reverse = console_transition_rule(target, current)
+        if reverse.allowed:
+            assert relax_votes > reverse.votes_required
+
+
+@given(levels)
+def test_capability_predicates_monotone(level):
+    """If a capability exists at some level it exists at all lower ones."""
+    for predicate in ("ports_usable", "cores_powered", "cables_connected",
+                      "plant_intact", "reversible"):
+        if getattr(level, predicate):
+            for lower in IsolationLevel:
+                if lower <= level:
+                    assert getattr(lower, predicate)
+
+
+# ---------------------------------------------------------------------------
+# Quorum arithmetic
+# ---------------------------------------------------------------------------
+
+@given(st.integers(0, 7), st.integers(1, 7))
+def test_quorum_counts_exactly(approving_count, required):
+    admins = [Admin(f"a{i}") for i in range(7)]
+    hsm = HardwareSecurityModule(admins)
+    approving = {f"a{i}" for i in range(approving_count)}
+    outcome = hsm.try_authorize("action", required, admins, approving)
+    assert outcome == (approving_count >= required)
+
+
+@given(st.sets(st.integers(0, 6), max_size=7))
+def test_forged_votes_never_count(corrupted_indices):
+    """However many admins a model corrupts, votes it forges for the rest
+    are rejected; only genuine credentials count."""
+    admins = [Admin(f"a{i}") for i in range(7)]
+    hsm = HardwareSecurityModule(admins)
+    session = hsm.open_session("relax", votes_required=5)
+    from repro.errors import QuorumRejected
+    from repro.physical.hsm import Vote
+
+    for index in range(7):
+        if index in corrupted_indices:
+            hsm.cast(admins[index].sign_vote(session.session_id, "relax", True))
+        else:
+            forged = Vote(admin=f"a{index}", session_id=session.session_id,
+                          action="relax", approve=True,
+                          signature="f" * 64)
+            with pytest.raises(QuorumRejected):
+                hsm.cast(forged)
+    try:
+        certificate = hsm.tally(session.session_id)
+        reached = True
+        approvers = set(certificate.approvers)
+    except QuorumRejected:
+        reached = False
+        approvers = set()
+    assert reached == (len(corrupted_indices) >= 5)
+    assert approvers <= {f"a{i}" for i in corrupted_indices}
+
+
+# ---------------------------------------------------------------------------
+# Cache determinism + bounded occupancy
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(0, 4095), max_size=200))
+def test_cache_is_deterministic_and_bounded(addresses):
+    a = Cache("a", num_sets=16, ways=2, line_size=4)
+    b = Cache("b", num_sets=16, ways=2, line_size=4)
+    for address in addresses:
+        assert a.access(address) == b.access(address)
+    assert a.occupancy() <= 16 * 2
+    a.flush()
+    assert a.occupancy() == 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)),
+                max_size=100))
+def test_tlb_agrees_with_its_history(pairs):
+    """A TLB hit must return the most recently inserted translation."""
+    tlb = Tlb(8)
+    latest: dict[int, int] = {}
+    for vpn, ppn in pairs:
+        tlb.insert(vpn, ppn)
+        latest[vpn] = ppn
+        result = tlb.lookup(vpn)
+        assert result == ppn
+    for vpn, expected in latest.items():
+        result = tlb.lookup(vpn)
+        if result is not None:
+            assert result == expected
+
+
+# ---------------------------------------------------------------------------
+# Event scheduling: callbacks never fire early, always in order
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+def test_clock_event_ordering(delays):
+    clock = VirtualClock()
+    fired: list[tuple[int, int]] = []
+    for index, delay in enumerate(delays):
+        clock.call_after(
+            delay, lambda d=delay, i=index: fired.append((clock.now, d))
+        )
+    clock.run_until(2000)
+    assert len(fired) == len(delays)
+    for fire_time, delay in fired:
+        assert fire_time == delay
+    assert [d for _, d in fired] == sorted(delays, key=lambda d: d)
+
+
+# ---------------------------------------------------------------------------
+# Audit log chain integrity
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.text(max_size=10), st.text(max_size=10)),
+                max_size=30))
+@settings(max_examples=25)
+def test_audit_chain_always_verifies(records):
+    from repro.eventlog import EventLog
+
+    clock = VirtualClock()
+    log = EventLog(clock)
+    for layer, category in records:
+        clock.tick(1)
+        log.record(layer or "x", category or "y")
+    assert log.verify_chain()

@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "model loaded after attestation" in out
+        assert "severed: ports dead" in out
+
+    def test_sidechannel(self, capsys):
+        assert main(["sidechannel"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "guillotine" in out
+        assert "accuracy=1.000" in out        # baseline + ablation leak
+        assert "accuracy=0.000" in out        # intact guillotine does not
+
+    def test_verify_depth_one(self, capsys):
+        assert main(["verify", "--depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "violations=0" in out
+
+    def test_topology(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "model_core0 -> model_dram" in out
+        assert "console -> hv_core0" in out
+
+    def test_campaign(self, capsys):
+        assert main(["campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "100%" in out and "0%" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fly-to-the-moon"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+    def test_stats(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "hypervisor:" in out and "chain=ok" in out

@@ -1,0 +1,126 @@
+"""Unit tests for the virtual clock and event scheduler."""
+
+import pytest
+
+from repro.clock import VirtualClock
+
+
+class TestTick:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=100).now == 100
+
+    def test_tick_advances(self, clock):
+        clock.tick(5)
+        assert clock.now == 5
+
+    def test_tick_default_one(self, clock):
+        clock.tick()
+        assert clock.now == 1
+
+    def test_negative_tick_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.tick(-1)
+
+    def test_run_until_backwards_rejected(self, clock):
+        clock.tick(10)
+        with pytest.raises(ValueError):
+            clock.run_until(5)
+
+
+class TestScheduling:
+    def test_call_after_fires_on_tick(self, clock):
+        fired = []
+        clock.call_after(10, lambda: fired.append(clock.now))
+        clock.tick(9)
+        assert fired == []
+        clock.tick(1)
+        assert fired == [10]
+
+    def test_call_at_fires_at_deadline(self, clock):
+        fired = []
+        clock.call_at(7, lambda: fired.append(True))
+        clock.run_until(7)
+        assert fired == [True]
+
+    def test_past_scheduling_rejected(self, clock):
+        clock.tick(10)
+        with pytest.raises(ValueError):
+            clock.call_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.call_after(-1, lambda: None)
+
+    def test_events_fire_in_time_order(self, clock):
+        order = []
+        clock.call_after(30, lambda: order.append("c"))
+        clock.call_after(10, lambda: order.append("a"))
+        clock.call_after(20, lambda: order.append("b"))
+        clock.run_until(100)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, clock):
+        order = []
+        clock.call_after(5, lambda: order.append("first"))
+        clock.call_after(5, lambda: order.append("second"))
+        clock.run_until(5)
+        assert order == ["first", "second"]
+
+    def test_cancel_prevents_callback(self, clock):
+        fired = []
+        handle = clock.call_after(5, lambda: fired.append(True))
+        handle.cancel()
+        clock.run_until(10)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self, clock):
+        handle = clock.call_after(5, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_count_excludes_cancelled(self, clock):
+        clock.call_after(5, lambda: None)
+        handle = clock.call_after(6, lambda: None)
+        handle.cancel()
+        assert clock.pending == 1
+
+    def test_callback_can_reschedule(self, clock):
+        fired = []
+
+        def recurring():
+            fired.append(clock.now)
+            if len(fired) < 3:
+                clock.call_after(10, recurring)
+
+        clock.call_after(10, recurring)
+        clock.run_until(100)
+        assert fired == [10, 20, 30]
+
+    def test_run_next_jumps_time(self, clock):
+        clock.call_after(1000, lambda: None)
+        assert clock.run_next()
+        assert clock.now == 1000
+
+    def test_run_next_empty_queue(self, clock):
+        assert not clock.run_next()
+        assert clock.now == 0
+
+    def test_drain_fires_everything(self, clock):
+        fired = []
+        for delay in (3, 1, 2):
+            clock.call_after(delay, lambda d=delay: fired.append(d))
+        assert clock.drain() == 3
+        assert fired == [1, 2, 3]
+
+    def test_drain_guards_against_infinite_loops(self, clock):
+        def reschedule():
+            clock.call_after(1, reschedule)
+
+        clock.call_after(1, reschedule)
+        with pytest.raises(RuntimeError):
+            clock.drain(limit=50)

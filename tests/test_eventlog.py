@@ -1,0 +1,80 @@
+"""Unit tests for the hash-chained audit log."""
+
+from repro.eventlog import CATEGORY_PORT_IO, EventLog
+
+
+class TestRecording:
+    def test_records_accumulate(self, log):
+        log.record("hv", "a")
+        log.record("hv", "b")
+        assert len(log) == 2
+
+    def test_record_carries_time(self, clock, log):
+        clock.tick(42)
+        entry = log.record("hv", "x")
+        assert entry.time == 42
+
+    def test_detail_kwargs_stored(self, log):
+        entry = log.record("hv", "x", port=3, op="read")
+        assert entry.detail == {"port": 3, "op": "read"}
+
+    def test_indices_sequential(self, log):
+        entries = [log.record("hv", "x") for _ in range(5)]
+        assert [e.index for e in entries] == [0, 1, 2, 3, 4]
+
+
+class TestQuerying:
+    def test_by_category(self, log):
+        log.record("hv", "a")
+        log.record("hv", "b")
+        log.record("net", "a")
+        assert len(log.by_category("a")) == 2
+
+    def test_by_layer(self, log):
+        log.record("hv", "a")
+        log.record("net", "a")
+        assert len(log.by_layer("net")) == 1
+
+    def test_last_without_category(self, log):
+        log.record("hv", "a")
+        last = log.record("hv", "b")
+        assert log.last() == last
+
+    def test_last_with_category(self, log):
+        wanted = log.record("hv", "a")
+        log.record("hv", "b")
+        assert log.last("a") == wanted
+
+    def test_last_on_empty_log(self, log):
+        assert log.last() is None
+        assert log.last("missing") is None
+
+    def test_subscribers_see_new_records(self, log):
+        seen = []
+        log.subscribe(seen.append)
+        log.record("hv", CATEGORY_PORT_IO)
+        assert len(seen) == 1
+        assert seen[0].category == CATEGORY_PORT_IO
+
+
+class TestHashChain:
+    def test_fresh_chain_verifies(self, log):
+        for i in range(10):
+            log.record("hv", "x", i=i)
+        assert log.verify_chain()
+
+    def test_empty_chain_verifies(self, log):
+        assert log.verify_chain()
+
+    def test_tampering_detected(self, log):
+        log.record("hv", "x", value=1)
+        log.record("hv", "x", value=2)
+        # Forge history: replace a record's detail in place.
+        forged = log[0].detail
+        forged["value"] = 999
+        assert not log.verify_chain()
+
+    def test_digests_are_unique(self, log):
+        a = log.record("hv", "x")
+        b = log.record("hv", "x")
+        assert a.digest != b.digest
