@@ -9,6 +9,7 @@ Commands:
   ablation
 * ``verify``     — bounded model-checking of the isolation state machine
 * ``topology``   — dump the Figure-1 component/edge topology
+* ``analyze``    — run the load-time static verifier over guest binaries
 """
 
 from __future__ import annotations
@@ -107,6 +108,88 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+#: JSON schema identifier emitted by ``analyze --json`` (documented in
+#: docs/ANALYSIS.md; bump on incompatible changes).
+ANALYZE_SCHEMA = "repro.analysis/1"
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import analyze_program, prove_topology
+    from repro.analysis.corpus import corpus_entry, corpus_names
+    from repro.core.metrics import analyzer_run_summary
+    from repro.hw.machine import build_guillotine_machine
+
+    profile = args.profile
+    if args.asm is not None:
+        from pathlib import Path
+
+        from repro.hw.asm import asm
+        from repro.hw.isa import AssemblyError
+
+        source = Path(args.asm)
+        try:
+            program = asm(source.read_text())
+        except OSError as exc:
+            print(f"error: cannot read {args.asm}: {exc}", file=sys.stderr)
+            return 2
+        except AssemblyError as exc:
+            print(f"error: {args.asm}: {exc}", file=sys.stderr)
+            return 2
+        reports = [analyze_program(program, name=source.name,
+                                   profile=profile)]
+        summary = None
+    else:
+        names = [args.program] if args.program else None
+        if names is None:
+            summary, reports = analyzer_run_summary()
+        else:
+            try:
+                entry = corpus_entry(names[0])
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            reports = [analyze_program(entry.build(), name=entry.name,
+                                       profile=profile)]
+            summary, _ = analyzer_run_summary(names)
+
+    topology = prove_topology(build_guillotine_machine())
+
+    if args.json:
+        payload = {
+            "schema": ANALYZE_SCHEMA,
+            "profile": profile,
+            "programs": [report.to_dict() for report in reports],
+            "summary": summary.to_dict() if summary is not None else None,
+            "topology": topology.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            verdict = ("REJECT" if report.errors
+                       else "clean" if report.clean else "warn")
+            print(f"{report.name}: {verdict}  "
+                  f"({len(report.findings)} finding(s))")
+            for finding in report.findings:
+                print(f"  {finding.severity.name:<8} {finding.category:<15} "
+                      f"pc={finding.pc:<5} {finding.message}")
+        if summary is not None:
+            print(f"\nscanned {summary.programs_scanned} program(s), "
+                  f"{summary.instructions_decoded} instruction(s) "
+                  f"in {summary.wall_seconds * 1000:.1f} ms")
+            if summary.findings_by_severity:
+                counts = ", ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(summary.findings_by_severity.items()))
+                print(f"findings: {counts}")
+            print(f"rejected: {', '.join(summary.rejected) or '(none)'}")
+        print(f"topology: {'certified' if topology.certified else 'REFUTED'}"
+              f" ({len(topology.checks)} checks)")
+    any_errors = any(report.errors for report in reports)
+    return 1 if (any_errors or not topology.certified) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -122,6 +205,19 @@ def main(argv: list[str] | None = None) -> int:
     subparsers.add_parser("topology", help="dump the Figure-1 topology")
     subparsers.add_parser(
         "stats", help="run a short workload and print deployment telemetry")
+    analyze_parser = subparsers.add_parser(
+        "analyze", help="static-verify guest binaries (admission control)")
+    analyze_group = analyze_parser.add_mutually_exclusive_group()
+    analyze_group.add_argument(
+        "--program", help="corpus program name (default: whole corpus)")
+    analyze_group.add_argument(
+        "--asm", help="path to a GISA assembly file to analyze")
+    analyze_parser.add_argument(
+        "--profile", choices=("guillotine", "baseline"), default="guillotine",
+        help="lint profile (baseline tolerates direct device IO)")
+    analyze_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the repro.analysis/1 JSON document")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -131,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
         "verify": _cmd_verify,
         "topology": _cmd_topology,
         "stats": _cmd_stats,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

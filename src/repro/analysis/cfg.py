@@ -1,0 +1,193 @@
+"""Basic blocks and the control-flow graph over a decoded guest image.
+
+Direct branch/jump targets (the assembler resolves them to absolute word
+addresses) become edges; indirect jumps (``JR``/``IRET``) are marked rather
+than guessed — the dataflow stage may resolve some of them later.  Targets
+outside the image are recorded as *escaping* edges: a jump into data or
+unmapped space is something the lint passes want to know about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.analysis.decoder import DecodedInstruction
+from repro.hw.isa import Op
+
+#: Sentinel node for control flow leaving the loaded image.
+EXIT_NODE = "exit"
+#: Sentinel node for jumps whose target is not inside the image.
+ESCAPE_NODE = "escape"
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    start: int                              # absolute pc of the first instruction
+    instructions: list[DecodedInstruction] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """Absolute pc of the last instruction (inclusive)."""
+        return self.start + len(self.instructions) - 1
+
+    @property
+    def terminator(self) -> DecodedInstruction:
+        return self.instructions[-1]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class ControlFlowGraph:
+    """CFG over basic blocks, backed by a :class:`networkx.DiGraph`.
+
+    Nodes are block start addresses (plus the ``exit``/``escape``
+    sentinels); edges carry a ``kind`` attribute: ``fallthrough``,
+    ``branch``, ``jump``, ``halt``, ``fault``, or ``escape``.
+    """
+
+    def __init__(self, decoded: list[DecodedInstruction], base_address: int) -> None:
+        self.base_address = base_address
+        self.decoded = decoded
+        self.blocks: dict[int, BasicBlock] = {}
+        self.graph = nx.DiGraph()
+        self._by_pc = {d.pc: d for d in decoded}
+        self._build()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def entry(self) -> int:
+        return self.base_address
+
+    @property
+    def code_range(self) -> range:
+        return range(self.base_address, self.base_address + len(self.decoded))
+
+    def instruction_at(self, pc: int) -> DecodedInstruction | None:
+        return self._by_pc.get(pc)
+
+    def block_of(self, pc: int) -> BasicBlock | None:
+        """The block containing ``pc`` (any instruction, not just leaders)."""
+        for block in self.blocks.values():
+            if block.start <= pc <= block.end:
+                return block
+        return None
+
+    def reachable_blocks(self) -> set[int]:
+        """Block leaders reachable from the entry along static edges."""
+        if self.entry not in self.graph:
+            return set()
+        reachable = {self.entry} | nx.descendants(self.graph, self.entry)
+        return {n for n in reachable if isinstance(n, int)}
+
+    def unreachable_blocks(self) -> set[int]:
+        return set(self.blocks) - self.reachable_blocks()
+
+    def is_reachable(self, pc: int) -> bool:
+        block = self.block_of(pc)
+        return block is not None and block.start in self.reachable_blocks()
+
+    def indirect_jumps(self) -> list[DecodedInstruction]:
+        """Every ``JR``/``IRET`` in the image, reachable or not."""
+        return [d for d in self.decoded if d.is_indirect]
+
+    def escaping_jumps(self) -> list[DecodedInstruction]:
+        """Direct transfers whose target is outside the loaded image."""
+        escapes = []
+        for decoded in self.decoded:
+            for target in decoded.static_targets():
+                if target not in self._by_pc:
+                    escapes.append(decoded)
+                    break
+        return escapes
+
+    def has_reachable_exit(self) -> bool:
+        """Can the program reach a ``HALT`` (or park in ``WFI``)?"""
+        reachable = self.reachable_blocks()
+        for leader in reachable:
+            for decoded in self.blocks[leader]:
+                if decoded.op in (Op.HALT, Op.WFI):
+                    return True
+        return False
+
+    def blocks_in_cycles(self) -> set[int]:
+        """Leaders of blocks that sit on some CFG cycle (loop bodies)."""
+        in_cycle: set[int] = set()
+        for component in nx.strongly_connected_components(self.graph):
+            nodes = {n for n in component if isinstance(n, int)}
+            if len(nodes) > 1:
+                in_cycle |= nodes
+            elif len(nodes) == 1:
+                (node,) = nodes
+                if self.graph.has_edge(node, node):
+                    in_cycle.add(node)
+        return in_cycle
+
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        if not self.decoded:
+            return
+        leaders = self._find_leaders()
+        current: BasicBlock | None = None
+        for decoded in self.decoded:
+            if decoded.pc in leaders:
+                current = BasicBlock(start=decoded.pc)
+                self.blocks[decoded.pc] = current
+            assert current is not None
+            current.instructions.append(decoded)
+            if decoded.is_terminator():
+                current = None
+        self.graph.add_nodes_from(self.blocks)
+        self.graph.add_node(EXIT_NODE)
+        self.graph.add_node(ESCAPE_NODE)
+        for leader, block in self.blocks.items():
+            self._wire_block(leader, block)
+
+    def _find_leaders(self) -> set[int]:
+        leaders = {self.decoded[0].pc}
+        for decoded in self.decoded:
+            if decoded.is_terminator():
+                follower = decoded.pc + 1
+                if follower in self._by_pc:
+                    leaders.add(follower)
+            for target in decoded.static_targets():
+                if target != decoded.pc + 1 and target in self._by_pc:
+                    leaders.add(target)
+        return leaders
+
+    def _wire_block(self, leader: int, block: BasicBlock) -> None:
+        terminator = block.terminator
+        if terminator.instruction is None:
+            self.graph.add_edge(leader, EXIT_NODE, kind="fault")
+            return
+        op = terminator.instruction.op
+        if op is Op.HALT:
+            self.graph.add_edge(leader, EXIT_NODE, kind="halt")
+            return
+        if terminator.is_indirect:
+            # No static successor; dataflow may resolve it later.
+            return
+        for target in terminator.static_targets():
+            if target in self._by_pc:
+                target_leader = self.block_of(target)
+                assert target_leader is not None
+                kind = ("fallthrough" if target == terminator.pc + 1
+                        else "jump" if op in (Op.JMP, Op.JAL) else "branch")
+                self.graph.add_edge(leader, target_leader.start, kind=kind)
+            else:
+                self.graph.add_edge(leader, ESCAPE_NODE, kind="escape")
+
+
+def build_cfg(decoded: list[DecodedInstruction],
+              base_address: int = 0) -> ControlFlowGraph:
+    """Build the CFG for a decoded instruction stream."""
+    return ControlFlowGraph(decoded, base_address)

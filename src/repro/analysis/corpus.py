@@ -1,0 +1,122 @@
+"""Named analyzer fixtures: the known attack corpus, plus benign controls.
+
+``python -m repro analyze --program NAME`` resolves names here.  Each entry
+builds one representative instance of a kernel from
+:mod:`repro.model.programs` with the arguments the E-series harnesses use,
+so the CLI, the admission-control tests, and the docs all talk about the
+same binaries.  ``expected_error_categories`` records what the analyzer
+*must* find (empty = the program must be admissible), which doubles as the
+regression contract in ``tests/analysis/test_corpus.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.hw.isa import Program
+from repro.model import programs
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One named guest binary with its expected analyzer verdict."""
+
+    name: str
+    build: Callable[[], Program]
+    description: str
+    malicious: bool
+    expected_error_categories: frozenset[str] = field(default_factory=frozenset)
+
+
+_ENTRIES: list[CorpusEntry] = [
+    CorpusEntry(
+        name="prime_probe",
+        build=lambda: programs.prime_probe_program(sets=16, ways=2),
+        description="E2 prime+probe side-channel attacker",
+        malicious=True,
+        expected_error_categories=frozenset({"timing-probe"}),
+    ),
+    CorpusEntry(
+        name="selfmod_remap",
+        build=lambda: programs.selfmod_remap_program(
+            code_vpn=0, code_ppn=0, slot_vaddr=40),
+        description="E3 attack A: remap own code page RWX, patch, jump",
+        malicious=True,
+        expected_error_categories=frozenset({"wx", "selfmod"}),
+    ),
+    CorpusEntry(
+        name="map_new_exec",
+        build=lambda: programs.map_new_exec_program(
+            scratch_vaddr=64, scratch_ppn=1, exec_vpn=8),
+        description="E3 attack B: write code to a data frame, map it RX",
+        malicious=True,
+        expected_error_categories=frozenset({"wx"}),
+    ),
+    CorpusEntry(
+        name="alias_code_frame",
+        build=lambda: programs.alias_code_frame_program(
+            alias_vpn=8, code_ppn=0, code_vaddr_slot=40),
+        description="E3 attack C: writable alias onto the code frame",
+        malicious=True,
+        expected_error_categories=frozenset({"wx"}),
+    ),
+    CorpusEntry(
+        name="store_to_code",
+        build=lambda: programs.store_to_code_program(code_vaddr_slot=40),
+        description="E3 attack D: plain store into the executable image",
+        malicious=True,
+        expected_error_categories=frozenset({"wx", "selfmod"}),
+    ),
+    CorpusEntry(
+        name="flood",
+        build=lambda: programs.flood_program(iterations=1000),
+        description="E4 doorbell interrupt flooder",
+        malicious=True,
+        expected_error_categories=frozenset({"doorbell-flood"}),
+    ),
+    CorpusEntry(
+        name="covert_probe",
+        build=lambda: programs.covert_probe_program(16),
+        description="cache covert-channel receiver (timed reloads)",
+        malicious=True,
+        expected_error_categories=frozenset({"timing-probe"}),
+    ),
+    CorpusEntry(
+        name="covert_sender",
+        build=lambda: programs.covert_sender_program([1] * 16),
+        description="cache covert-channel sender (set-occupancy encoding)",
+        malicious=True,
+        # Statically a pure read pattern: flagged as a warning-severity
+        # cache-priming shape, not an admission-blocking error.
+        expected_error_categories=frozenset(),
+    ),
+    CorpusEntry(
+        name="checksum",
+        build=lambda: programs.checksum_program(16),
+        description="benign control: sum a data region",
+        malicious=False,
+        expected_error_categories=frozenset(),
+    ),
+]
+
+_BY_NAME = {entry.name: entry for entry in _ENTRIES}
+
+
+def corpus() -> list[CorpusEntry]:
+    """All corpus entries, attack kernels first."""
+    return list(_ENTRIES)
+
+
+def corpus_names() -> list[str]:
+    return [entry.name for entry in _ENTRIES]
+
+
+def corpus_entry(name: str) -> CorpusEntry:
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown corpus program {name!r}; "
+            f"known: {', '.join(corpus_names())}"
+        ) from exc

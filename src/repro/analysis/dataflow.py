@@ -1,0 +1,302 @@
+"""Forward abstract interpretation over the CFG: an interval domain.
+
+Each of the 16 registers is tracked as an interval ``[lo, hi]`` (``None``
+bounds meaning +/- infinity); a singleton interval is a known constant.
+That is enough to resolve the computed addresses the lint passes care
+about — ``STORE rs1+imm`` targets, ``JR rs1`` targets, and the
+``vpn``/``ppn`` operands of ``MAP``/``UNMAP`` — across the whole adversarial
+corpus in :mod:`repro.model.programs`, whose kernels materialise addresses
+with ``MOVI``/``MUL``/``ADDI`` chains.
+
+The analysis is a standard worklist fixpoint with widening: after a block
+has been visited a few times, growing bounds are widened to infinity, so
+loops (e.g. the E4 flood loop) converge immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.decoder import DecodedInstruction
+from repro.hw.isa import NUM_REGISTERS, Op
+
+#: Block visits before widening kicks in.
+_WIDEN_AFTER = 3
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An integer interval; ``None`` bounds are infinite."""
+
+    lo: int | None
+    hi: int | None
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def top() -> "Interval":
+        return TOP
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        return Interval(value, value)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    @property
+    def value(self) -> int:
+        if not self.is_const:
+            raise ValueError("interval is not a constant")
+        assert self.lo is not None
+        return self.lo
+
+    def contains(self, value: int) -> bool:
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def overlaps(self, start: int, stop: int) -> bool:
+        """Does this interval intersect ``[start, stop)``?
+
+        A fully unbounded (TOP) interval is treated as *not* overlapping:
+        an unknown address is not evidence of an attack, and flagging it
+        would false-positive every benign computed store.
+        """
+        if self.is_top:
+            return False
+        lo = self.lo if self.lo is not None else start
+        hi = self.hi if self.hi is not None else stop - 1
+        return lo < stop and hi >= start
+
+    def within(self, start: int, stop: int) -> bool:
+        """Is this interval entirely inside ``[start, stop)``?"""
+        return (self.lo is not None and self.hi is not None
+                and start <= self.lo and self.hi < stop)
+
+    # -- lattice operations ------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        lo = self.lo
+        if newer.lo is None or (lo is not None and newer.lo < lo):
+            lo = None
+        hi = self.hi
+        if newer.hi is None or (hi is not None and newer.hi > hi):
+            hi = None
+        return Interval(lo, hi)
+
+    # -- arithmetic transfer -----------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.hi is None else self.lo - other.hi
+        hi = None if self.hi is None or other.lo is None else self.hi - other.lo
+        return Interval(lo, hi)
+
+    def shift(self, imm: int) -> "Interval":
+        return self.add(Interval.const(imm))
+
+    def __str__(self) -> str:
+        if self.is_top:
+            return "T"
+        if self.is_const:
+            return str(self.lo)
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+TOP = Interval(None, None)
+
+#: One abstract machine state: a tuple of 16 intervals.
+State = tuple[Interval, ...]
+
+_INITIAL: State = tuple(TOP for _ in range(NUM_REGISTERS))
+
+
+def _binop(op: Op, a: Interval, b: Interval) -> Interval:
+    if op is Op.ADD:
+        return a.add(b)
+    if op is Op.SUB:
+        return a.sub(b)
+    if a.is_const and b.is_const:
+        x, y = a.value, b.value
+        try:
+            if op is Op.MUL:
+                return Interval.const(x * y)
+            if op is Op.DIV:
+                return TOP if y == 0 else Interval.const(x // y)
+            if op is Op.AND:
+                return Interval.const(x & y)
+            if op is Op.OR:
+                return Interval.const(x | y)
+            if op is Op.XOR:
+                return Interval.const(x ^ y)
+            if op is Op.SHL:
+                return Interval.const(x << min(y, 64)) if y >= 0 else TOP
+            if op is Op.SHR:
+                return Interval.const(x >> min(y, 64)) if y >= 0 else TOP
+        except (OverflowError, ValueError):  # pragma: no cover - giant shifts
+            return TOP
+    return TOP
+
+
+def transfer(state: State, decoded: DecodedInstruction) -> State:
+    """Abstractly execute one instruction."""
+    ins = decoded.instruction
+    if ins is None:
+        return state
+    op = ins.op
+    regs = list(state)
+    if op is Op.MOVI:
+        regs[ins.rd] = Interval.const(ins.imm)
+    elif op is Op.MOV:
+        regs[ins.rd] = regs[ins.rs1]
+    elif op is Op.ADDI:
+        regs[ins.rd] = regs[ins.rs1].shift(ins.imm)
+    elif op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.AND, Op.OR, Op.XOR,
+                Op.SHL, Op.SHR):
+        regs[ins.rd] = _binop(op, regs[ins.rs1], regs[ins.rs2])
+    elif op is Op.JAL:
+        regs[ins.rd] = Interval.const(decoded.pc + 1)
+    elif op in (Op.LOAD, Op.RDCYCLE, Op.IORD):
+        regs[ins.rd] = TOP
+    # STORE, MAP, UNMAP, DOORBELL, WFI, FENCE, IOWR, SETTIMER, branches,
+    # JMP, JR, IRET, HALT, NOP write no general register.
+    return tuple(regs)
+
+
+def _join_states(a: State, b: State) -> State:
+    return tuple(x.join(y) for x, y in zip(a, b))
+
+
+def _widen_states(old: State, new: State) -> State:
+    return tuple(x.widen(y) for x, y in zip(old, new))
+
+
+class DataflowResult:
+    """Per-pc abstract states plus address-resolution helpers."""
+
+    def __init__(self, cfg: ControlFlowGraph, pre_states: dict[int, State]) -> None:
+        self.cfg = cfg
+        self._pre = pre_states
+
+    def state_before(self, pc: int) -> State | None:
+        """Abstract register state just before ``pc`` executes (``None``
+        when the instruction is statically unreachable)."""
+        return self._pre.get(pc)
+
+    def register_before(self, pc: int, register: int) -> Interval:
+        state = self._pre.get(pc)
+        return TOP if state is None else state[register]
+
+    # -- resolution helpers used by the lint passes ------------------------
+
+    def store_target(self, decoded: DecodedInstruction) -> Interval:
+        """Resolved address interval of a ``STORE`` (rs1 + imm)."""
+        ins = decoded.instruction
+        assert ins is not None and ins.op is Op.STORE
+        return self.register_before(decoded.pc, ins.rs1).shift(ins.imm)
+
+    def load_target(self, decoded: DecodedInstruction) -> Interval:
+        ins = decoded.instruction
+        assert ins is not None and ins.op is Op.LOAD
+        return self.register_before(decoded.pc, ins.rs1).shift(ins.imm)
+
+    def jump_target(self, decoded: DecodedInstruction) -> Interval:
+        """Resolved target interval of a ``JR``."""
+        ins = decoded.instruction
+        assert ins is not None and ins.op is Op.JR
+        return self.register_before(decoded.pc, ins.rs1)
+
+    def map_arguments(self, decoded: DecodedInstruction) -> tuple[Interval, Interval, int]:
+        """``(vpn, ppn, perms)`` intervals/value for a ``MAP``."""
+        ins = decoded.instruction
+        assert ins is not None and ins.op is Op.MAP
+        return (self.register_before(decoded.pc, ins.rs1),
+                self.register_before(decoded.pc, ins.rs2),
+                ins.imm)
+
+    def unmap_argument(self, decoded: DecodedInstruction) -> Interval:
+        ins = decoded.instruction
+        assert ins is not None and ins.op is Op.UNMAP
+        return self.register_before(decoded.pc, ins.rs1)
+
+    def loop_bound(self, leader: int) -> int | None:
+        """Best-effort trip-count bound for the loop containing ``leader``:
+        the constant comparison operand of its back-edge branch, if any."""
+        block = self.cfg.blocks.get(leader)
+        if block is None:
+            return None
+        terminator = block.terminator
+        ins = terminator.instruction
+        if ins is None or ins.op not in (Op.BLT, Op.BGE, Op.BEQ, Op.BNE):
+            return None
+        state = self._pre.get(terminator.pc)
+        if state is None:
+            return None
+        for operand in (ins.rs2, ins.rs1):
+            interval = state[operand]
+            if interval.is_const:
+                return interval.value
+        return None
+
+
+def run_dataflow(cfg: ControlFlowGraph) -> DataflowResult:
+    """Worklist fixpoint over block-entry states, then one recording pass."""
+    entry_states: dict[int, State] = {}
+    visits: dict[int, int] = {}
+    if cfg.entry in cfg.blocks:
+        entry_states[cfg.entry] = _INITIAL
+        worklist = [cfg.entry]
+    else:
+        worklist = []
+
+    while worklist:
+        leader = worklist.pop()
+        state = entry_states[leader]
+        for decoded in cfg.blocks[leader]:
+            state = transfer(state, decoded)
+        for successor in cfg.graph.successors(leader):
+            if not isinstance(successor, int):
+                continue
+            incoming = state
+            existing = entry_states.get(successor)
+            if existing is None:
+                entry_states[successor] = incoming
+                worklist.append(successor)
+                continue
+            merged = _join_states(existing, incoming)
+            visits[successor] = visits.get(successor, 0) + 1
+            if visits[successor] > _WIDEN_AFTER:
+                merged = _widen_states(existing, merged)
+            if merged != existing:
+                entry_states[successor] = merged
+                worklist.append(successor)
+
+    # Recording pass: pin down the pre-state of every reachable pc.
+    pre_states: dict[int, State] = {}
+    for leader, state in entry_states.items():
+        for decoded in cfg.blocks[leader]:
+            pre_states[decoded.pc] = state
+            state = transfer(state, decoded)
+    return DataflowResult(cfg, pre_states)

@@ -1,0 +1,163 @@
+"""The static bus-topology prover: isolation provable before boot.
+
+Section 3.2's isolation argument is *topological*: "a model core lacks the
+physical buses needed to access hypervisor DRAM, so EPTs are unnecessary to
+enforce memory isolation".  That claim is only worth anything if the wiring
+is actually right, so :func:`prove_topology` walks the
+:class:`~repro.hw.bus.BusMatrix` of a built machine and emits a
+machine-checked report:
+
+* **no escape paths** — no model core reaches hypervisor DRAM, the control
+  bus, the inspection bus, or the console, transitively;
+* **no direct device wires** — every model/device interaction must go
+  through a hypervisor core (the anti-SR-IOV rule);
+* **halt-gated inspection** — every inspection-bus edge points at a DRAM
+  bank whose owning cores are registered, so the bus arbitrates against
+  live model traffic;
+* **liveness** — hypervisor cores *do* reach the management buses and every
+  device, and every core reaches its own DRAM (a machine that proves
+  isolation by being disconnected is not a machine).
+
+:func:`verify_topology` raises :class:`~repro.errors.TopologyRejected` on
+an uncertifiable machine — the fail-loudly-before-boot entry point used by
+:class:`repro.hv.hypervisor.GuillotineHypervisor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import TopologyRejected
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.machine import Machine
+
+#: Components no model core may ever reach, even transitively.
+FORBIDDEN_TARGETS = ("hv_dram", "control_bus", "inspection_bus", "console")
+
+
+@dataclass(frozen=True)
+class TopologyCheck:
+    """One proved (or refuted) property of the bus graph."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+@dataclass
+class TopologyReport:
+    """The prover's certificate for one machine."""
+
+    machine: str
+    checks: list[TopologyCheck] = field(default_factory=list)
+
+    @property
+    def certified(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def violations(self) -> list[TopologyCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "machine": self.machine,
+            "certified": self.certified,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+
+def prove_topology(machine: "Machine") -> TopologyReport:
+    """Certify (or refute) the isolation topology of a built machine."""
+    bus = machine.bus
+    report = TopologyReport(machine=machine.name)
+    known = set(bus.components())
+
+    for core in machine.model_cores:
+        for target in FORBIDDEN_TARGETS:
+            if target not in known:
+                continue
+            reachable = bus.transitively_reachable(core.name, target)
+            report.checks.append(TopologyCheck(
+                name=f"no-path:{core.name}->{target}",
+                ok=not reachable,
+                detail=("isolated by missing wires" if not reachable else
+                        f"bus path exists from {core.name} to {target}"),
+            ))
+        wired_devices = [
+            device for device in machine.devices
+            if bus.reachable(core.name, device)
+        ]
+        report.checks.append(TopologyCheck(
+            name=f"no-direct-devices:{core.name}",
+            ok=not wired_devices,
+            detail=("all device access is hypervisor-mediated"
+                    if not wired_devices else
+                    f"direct device wires: {', '.join(sorted(wired_devices))}"),
+        ))
+
+    if machine.inspection_bus is not None:
+        guarded = machine.inspection_bus.guarded_banks()
+        graph = bus.graph_copy()
+        edges = [target for _, target in graph.out_edges("inspection_bus")]
+        for bank_name in edges:
+            owners = guarded.get(bank_name)
+            report.checks.append(TopologyCheck(
+                name=f"halt-gated:inspection_bus->{bank_name}",
+                ok=bool(owners),
+                detail=(f"gated on halt of {', '.join(owners)}" if owners else
+                        f"edge to {bank_name} has no registered owning cores"),
+            ))
+
+    for core in machine.hv_cores:
+        for target in ("control_bus", "inspection_bus"):
+            if target not in known:
+                continue
+            ok = bus.reachable(core.name, target)
+            report.checks.append(TopologyCheck(
+                name=f"management-path:{core.name}->{target}",
+                ok=ok,
+                detail="wired" if ok else "hypervisor core cannot manage models",
+            ))
+        missing = [
+            device for device in machine.devices
+            if not bus.reachable(core.name, device)
+        ]
+        report.checks.append(TopologyCheck(
+            name=f"device-mediation:{core.name}",
+            ok=not missing,
+            detail=("reaches every device" if not missing else
+                    f"unreachable devices: {', '.join(sorted(missing))}"),
+        ))
+
+    for core in machine.model_cores + machine.hv_cores:
+        owned = [bank.name for bank in core.memory_map.banks()]
+        unreachable = [
+            bank for bank in owned if not bus.reachable(core.name, bank)
+        ]
+        report.checks.append(TopologyCheck(
+            name=f"memory-path:{core.name}",
+            ok=not unreachable,
+            detail=("reaches its address space" if not unreachable else
+                    f"no wire to mapped banks: {', '.join(unreachable)}"),
+        ))
+    return report
+
+
+def verify_topology(machine: "Machine") -> TopologyReport:
+    """Prove the topology or fail loudly, before anything boots."""
+    report = prove_topology(machine)
+    if not report.certified:
+        problems = "; ".join(
+            f"{check.name}: {check.detail}" for check in report.violations
+        )
+        raise TopologyRejected(
+            f"machine {machine.name!r} failed topology certification: "
+            f"{problems}"
+        )
+    return report

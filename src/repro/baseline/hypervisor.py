@@ -89,7 +89,14 @@ class TraditionalHypervisor:
     # ------------------------------------------------------------------
 
     def install_guest(self, program: Program, *, data_pages: int = 4) -> dict:
-        """Load the guest, wire EPT + trap handling, return the layout."""
+        """Load the guest, wire EPT + trap handling, return the layout.
+
+        Deliberately performs **no static verification**: the traditional
+        platform trusts whatever binary the operator hands it, so every
+        kernel in the attack corpus loads and runs here.  The Guillotine
+        counterpart is the analyzer-gated
+        :meth:`repro.hv.hypervisor.GuillotineHypervisor.load_guest`.
+        """
         core = self.guest_core
         # Identity EPT over the guest's half of DRAM; hypervisor frames are
         # simply not mapped — the *logical* isolation Guillotine replaces

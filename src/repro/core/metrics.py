@@ -149,3 +149,62 @@ def loc_inventory() -> dict[str, int]:
             + _count_source_lines(repro.baseline.ept)
         ),
     }
+
+
+@dataclass
+class AnalyzerRunSummary:
+    """Aggregate accounting for one static-verifier sweep (the load-time
+    admission-control pipeline of :mod:`repro.analysis`)."""
+
+    programs_scanned: int
+    instructions_decoded: int
+    findings_by_severity: dict[str, int]
+    rejected: list[str]
+    clean: list[str]
+    wall_seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "programs_scanned": self.programs_scanned,
+            "instructions_decoded": self.instructions_decoded,
+            "findings_by_severity": dict(self.findings_by_severity),
+            "rejected": list(self.rejected),
+            "clean": list(self.clean),
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+
+def analyzer_run_summary(names: list[str] | None = None) -> tuple[
+        AnalyzerRunSummary, list]:
+    """Run the static verifier over (a subset of) the corpus and account
+    for it: how much work the admission-control gate does, and what it
+    keeps out.  Returns ``(summary, reports)``."""
+    import time
+
+    from repro.analysis import analyze_program
+    from repro.analysis.corpus import corpus, corpus_entry
+
+    entries = (corpus() if names is None
+               else [corpus_entry(name) for name in names])
+    reports = []
+    by_severity: dict[str, int] = {}
+    decoded = 0
+    start = time.perf_counter()
+    for entry in entries:
+        program = entry.build()
+        decoded += len(program)
+        report = analyze_program(program, name=entry.name)
+        reports.append(report)
+        for finding in report.findings:
+            key = finding.severity.name
+            by_severity[key] = by_severity.get(key, 0) + 1
+    elapsed = time.perf_counter() - start
+    summary = AnalyzerRunSummary(
+        programs_scanned=len(reports),
+        instructions_decoded=decoded,
+        findings_by_severity=by_severity,
+        rejected=[r.name for r in reports if r.errors],
+        clean=[r.name for r in reports if r.clean],
+        wall_seconds=elapsed,
+    )
+    return summary, reports

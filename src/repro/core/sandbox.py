@@ -149,15 +149,17 @@ class GuillotineSandbox:
                    *, data_pages: int = 24,
                    lockdown: bool = True) -> tuple[Core, dict]:
         """Load a GISA program onto a model core, optionally locking the MMU
-        executable region (the default, as a real deployment would)."""
-        core = self.machine.model_cores[core_index]
-        layout = self.machine.load_program(core, program,
-                                           data_pages=data_pages)
-        if lockdown:
-            self.machine.control_bus.lockdown_mmu(
-                core.name, 0, layout["code_pages"] - 1
-            )
-        return core, layout
+        executable region (the default, as a real deployment would).
+
+        Goes through the hypervisor's verified load path
+        (:meth:`~repro.hv.hypervisor.GuillotineHypervisor.load_guest`):
+        under the default ``enforce`` policy a binary with error-severity
+        analyzer findings raises :class:`~repro.errors.GuestRejected`
+        before it ever reaches model DRAM.
+        """
+        return self.hypervisor.load_guest(
+            program, core_index, data_pages=data_pages, lockdown=lockdown,
+        )
 
     def build_service(self, *, replicas: int = 2, use_rag: bool = False,
                       holder: str = "model-service",

@@ -101,6 +101,41 @@ class HandshakeRefused(HypervisorError):
 
 
 # ---------------------------------------------------------------------------
+# Static-analysis errors (repro.analysis)
+# ---------------------------------------------------------------------------
+
+class AnalysisError(GuillotineError):
+    """Base class for load-time static-verification failures.
+
+    The paper wants isolation *provable before anything boots*; these errors
+    are how the verifier says "no".  ``findings`` carries the typed
+    :class:`repro.analysis.passes.Finding` objects that justify the refusal.
+    """
+
+    def __init__(self, message: str, findings: list | None = None) -> None:
+        super().__init__(message)
+        self.findings = list(findings or [])
+
+
+class GuestRejected(AnalysisError):
+    """Admission control refused to load a guest binary.
+
+    Raised by :meth:`repro.hv.hypervisor.GuillotineHypervisor.load_guest`
+    when the ``verify_guests`` policy is ``"enforce"`` and the pass pipeline
+    produced error-severity findings.
+    """
+
+
+class TopologyRejected(AnalysisError):
+    """The bus-topology prover could not certify the machine.
+
+    A Guillotine machine whose wiring admits a model-core -> hypervisor-DRAM
+    path (or whose inspection bus is not halt-gated) must fail loudly before
+    any guest boots, not after.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Physical-hypervisor errors (repro.physical)
 # ---------------------------------------------------------------------------
 

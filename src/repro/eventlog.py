@@ -34,6 +34,7 @@ CATEGORY_MODEL_STATE = "model.state"
 CATEGORY_NETWORK = "network"
 CATEGORY_KILL_SWITCH = "physical.kill_switch"
 CATEGORY_POLICY = "policy"
+CATEGORY_ADMISSION = "hv.admission"
 
 
 @dataclass(frozen=True)

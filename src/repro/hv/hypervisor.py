@@ -24,8 +24,15 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import AssertionTripped, CapabilityError, MachineCheck, PortError
+from repro.errors import (
+    AssertionTripped,
+    CapabilityError,
+    GuestRejected,
+    MachineCheck,
+    PortError,
+)
 from repro.eventlog import (
+    CATEGORY_ADMISSION,
     CATEGORY_DETECTOR,
     CATEGORY_MACHINE_CHECK,
     CATEGORY_PORT_GRANT,
@@ -49,9 +56,14 @@ from repro.hv.ports import (
     revive_bytes,
 )
 from repro.hw.attestation import digest_of
+from repro.hw.core import Core
+from repro.hw.isa import Program
 from repro.hw.machine import Machine
 from repro.hw.memory import PAGE_SIZE
 from repro.physical.isolation import IsolationLevel
+
+#: Legal guest-verification policies (the ``verify_guests`` knob).
+VERIFY_POLICIES = ("enforce", "warn", "off")
 
 #: Cycles charged for dispatching one serviced interrupt.
 HANDLER_BASE_COST = 40
@@ -88,10 +100,32 @@ class GuillotineHypervisor:
         machine: Machine,
         detector: MisbehaviorDetector | None = None,
         secret: bytes = b"",
+        verify_guests: str | bool = "enforce",
     ) -> None:
         if machine.name != "guillotine":
             raise ValueError("GuillotineHypervisor requires a guillotine machine")
+        if verify_guests is True:
+            verify_guests = "enforce"
+        elif verify_guests is False:
+            verify_guests = "off"
+        if verify_guests not in VERIFY_POLICIES:
+            raise ValueError(
+                f"verify_guests must be one of {VERIFY_POLICIES}, "
+                f"got {verify_guests!r}"
+            )
+        self.verify_guests = verify_guests
         self.machine = machine
+        #: Static admission-control accounting (the load-time verifier).
+        self.guests_verified = 0
+        self.guests_rejected = 0
+        self.last_admission_report = None
+        #: Pre-boot topology certificate: with verification on, the machine's
+        #: bus wiring is proved isolation-sound before any guest can load.
+        self.topology_report = None
+        if verify_guests != "off":
+            from repro.analysis.topology import verify_topology
+
+            self.topology_report = verify_topology(machine)
         self.detector = detector or CompositeDetector()
         self.secret = secret
         self._secret_index = 0
@@ -186,6 +220,71 @@ class GuillotineHypervisor:
                 if rules.get("allowed_ops") is not None else None,
                 byte_budget=rules.get("byte_budget"),
             )
+
+    # ------------------------------------------------------------------
+    # Guest admission control (load-time static verification)
+    # ------------------------------------------------------------------
+
+    def load_guest(
+        self,
+        program: Program,
+        core_index: int = 0,
+        *,
+        name: str = "guest",
+        data_pages: int = 4,
+        base_vpn: int = 0,
+        lockdown: bool = True,
+        map_io_region: bool = True,
+    ) -> tuple[Core, dict]:
+        """Admit a guest binary onto a model core — or refuse it.
+
+        This is the verified load path: the static analyzer
+        (:func:`repro.analysis.analyze_program`) runs over the binary
+        before a single word reaches model DRAM.  Under the ``enforce``
+        policy any error-severity finding raises
+        :class:`~repro.errors.GuestRejected` (carrying the findings);
+        under ``warn`` the findings are logged and the load proceeds;
+        under ``off`` the analyzer is skipped entirely.  Contrast
+        :meth:`repro.baseline.hypervisor.TraditionalHypervisor.install_guest`,
+        which never looks at what it loads.
+        """
+        core = self.machine.model_cores[core_index]
+        if self.verify_guests != "off":
+            from repro.analysis import analyze_program
+
+            report = analyze_program(
+                program, name=name, base_address=base_vpn * PAGE_SIZE,
+            )
+            self.last_admission_report = report
+            verdict = "admitted" if not report.errors else (
+                "rejected" if self.verify_guests == "enforce" else "flagged"
+            )
+            self.machine.log.record(
+                "hv", CATEGORY_ADMISSION,
+                guest=name, core=core.name, policy=self.verify_guests,
+                verdict=verdict, errors=len(report.errors),
+                warnings=len(report.warnings),
+                categories=sorted(report.categories()),
+            )
+            if report.errors and self.verify_guests == "enforce":
+                self.guests_rejected += 1
+                worst = report.errors[0]
+                raise GuestRejected(
+                    f"guest {name!r} refused by static verifier: "
+                    f"{len(report.errors)} error finding(s), first is "
+                    f"[{worst.category}] pc={worst.pc}: {worst.message}",
+                    findings=report.findings,
+                )
+            self.guests_verified += 1
+        layout = self.machine.load_program(
+            core, program, base_vpn=base_vpn, data_pages=data_pages,
+            map_io_region=map_io_region,
+        )
+        if lockdown:
+            self.machine.control_bus.lockdown_mmu(
+                core.name, base_vpn, base_vpn + layout["code_pages"] - 1,
+            )
+        return core, layout
 
     # ------------------------------------------------------------------
     # The doorbell service loop

@@ -243,6 +243,17 @@ class InspectionBus:
                 continue
         return bank
 
+    def guarded_banks(self) -> dict[str, list[str]]:
+        """Bank name -> names of the cores whose halt gates the bank.
+
+        The static topology prover (:mod:`repro.analysis.topology`) checks
+        that every inspection-bus edge points at a bank registered here with
+        a non-empty owner list — an unguarded edge would let hypervisor
+        software race live model traffic.
+        """
+        return {name: [core.name for core in cores]
+                for name, (bank, cores) in self._banks.items()}
+
     def read(self, bank_name: str, address: int) -> int:
         return self._bank(bank_name).read(address)
 

@@ -1,0 +1,108 @@
+"""The regression contract: every attack kernel is flagged, benign is clean.
+
+``expected_error_categories`` in :mod:`repro.analysis.corpus` is the
+analyzer's ground truth.  If a pass regresses and an E-series attack stops
+being flagged — or the benign control starts being rejected — this file is
+what fails.
+"""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.analysis.corpus import corpus, corpus_entry, corpus_names
+from repro.analysis.passes import PROFILE_BASELINE, Severity
+from repro.model import programs
+
+CORPUS = corpus()
+
+
+@pytest.mark.parametrize("entry", CORPUS, ids=[e.name for e in CORPUS])
+def test_expected_findings(entry):
+    report = analyze_program(entry.build(), name=entry.name)
+    assert report.error_categories() == entry.expected_error_categories
+    if entry.expected_error_categories:
+        assert not report.clean
+    else:
+        assert report.clean
+
+
+@pytest.mark.parametrize(
+    "entry", [e for e in CORPUS if e.malicious], ids=lambda e: e.name)
+def test_every_malicious_program_is_flagged(entry):
+    """Every attack kernel produces at least one finding — an error that
+    blocks admission, or (for the statically-silent covert sender) a
+    warning that marks it for runtime scrutiny."""
+    report = analyze_program(entry.build(), name=entry.name)
+    assert report.findings, f"{entry.name} produced no findings at all"
+
+
+def test_prime_probe_flagged_as_timing_probe():
+    report = analyze_program(programs.prime_probe_program(sets=16, ways=2),
+                             name="prime_probe")
+    errors = [f for f in report.errors if f.category == "timing-probe"]
+    assert errors
+    assert errors[0].severity is Severity.ERROR
+
+
+def test_store_to_code_flagged_as_wx():
+    report = analyze_program(programs.store_to_code_program(code_vaddr_slot=40),
+                             name="store_to_code")
+    assert "wx" in report.error_categories()
+    assert "selfmod" in report.error_categories()
+
+
+def test_flood_flagged_with_loop_bound():
+    report = analyze_program(programs.flood_program(iterations=1000),
+                             name="flood")
+    floods = [f for f in report.errors if f.category == "doorbell-flood"]
+    assert floods
+    assert floods[0].detail.get("trip_bound") == 1000
+
+
+def test_checksum_is_clean():
+    report = analyze_program(programs.checksum_program(16), name="checksum")
+    assert report.clean
+    assert not report.findings
+
+
+def test_tutorial_firmware_is_clean():
+    """The docs/TUTORIAL.md tier-1 example must stay admissible."""
+    from repro.hw.asm import asm
+
+    report = analyze_program(asm("""
+        movi r1, 0
+        movi r2, 10
+    loop:
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+    """), name="tutorial")
+    assert report.clean
+    assert not report.findings
+
+
+def test_iord_tolerated_under_baseline_profile():
+    from repro.hw import isa
+    from repro.hw.isa import assemble
+
+    program = assemble([isa.iord(1, 0), isa.halt()])
+    guillotine = analyze_program(program, name="io")
+    baseline = analyze_program(program, name="io", profile=PROFILE_BASELINE)
+    assert "forbidden-io" in guillotine.error_categories()
+    assert not baseline.errors
+
+
+def test_corpus_lookup():
+    assert "flood" in corpus_names()
+    assert corpus_entry("flood").malicious
+    with pytest.raises(KeyError):
+        corpus_entry("nonesuch")
+
+
+def test_report_to_dict_is_json_ready():
+    import json
+
+    report = analyze_program(programs.flood_program(iterations=10),
+                             name="flood")
+    payload = json.dumps(report.to_dict())
+    assert "doorbell-flood" in payload

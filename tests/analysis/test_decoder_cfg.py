@@ -1,0 +1,100 @@
+"""Decoder + CFG construction over hand-written GISA fragments."""
+
+import pytest
+
+from repro.analysis.cfg import ESCAPE_NODE, EXIT_NODE, build_cfg
+from repro.analysis.decoder import decode_stream
+from repro.hw import isa
+from repro.hw.asm import asm
+from repro.hw.isa import Op, assemble, encode
+
+
+def _cfg(text: str):
+    decoded = decode_stream(asm(text))
+    return build_cfg(decoded)
+
+
+class TestDecodeStream:
+    def test_accepts_program_words_and_instructions(self):
+        instructions = [isa.movi(1, 7), isa.halt()]
+        program = assemble(instructions)
+        words = [encode(i) for i in instructions]
+        for source in (program, words, instructions):
+            decoded = decode_stream(source)
+            assert [d.op for d in decoded] == [Op.MOVI, Op.HALT]
+
+    def test_invalid_opcode_is_a_faulting_terminator(self):
+        decoded = decode_stream([0xFF << 56, encode(isa.halt())])
+        assert not decoded[0].valid
+        assert decoded[0].error is not None
+        assert decoded[0].is_terminator()
+        assert decoded[0].static_targets() == []
+
+    def test_base_address_offsets_pcs(self):
+        decoded = decode_stream(assemble([isa.nop(), isa.halt()]),
+                                base_address=128)
+        assert [d.pc for d in decoded] == [128, 129]
+
+    def test_rejects_mixed_garbage(self):
+        with pytest.raises(TypeError):
+            decode_stream(["halt", 3])
+
+
+class TestCfg:
+    def test_straight_line_is_one_block(self):
+        cfg = _cfg("""
+            movi r1, 1
+            addi r1, r1, 1
+            halt
+        """)
+        assert set(cfg.blocks) == {0}
+        assert cfg.graph.has_edge(0, EXIT_NODE)
+        assert cfg.has_reachable_exit()
+
+    def test_branch_splits_blocks_and_wires_both_edges(self):
+        cfg = _cfg("""
+            movi r1, 0
+            movi r2, 3
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """)
+        assert set(cfg.blocks) == {0, 2, 4}
+        kinds = {(a, b): d["kind"] for a, b, d in cfg.graph.edges(data=True)}
+        assert kinds[(2, 2)] == "branch"       # the back edge
+        assert kinds[(2, 4)] == "fallthrough"
+        assert cfg.blocks_in_cycles() == {2}
+
+    def test_unreachable_code_detected(self):
+        cfg = _cfg("""
+            jmp done
+            movi r5, 99
+        done:
+            halt
+        """)
+        assert cfg.unreachable_blocks() == {1}
+        assert cfg.is_reachable(2)
+        assert not cfg.is_reachable(1)
+
+    def test_indirect_jump_has_no_static_successors(self):
+        cfg = _cfg("""
+            movi r1, 0
+            jr r1
+        """)
+        assert [d.pc for d in cfg.indirect_jumps()] == [1]
+        assert list(cfg.graph.successors(0)) == []
+
+    def test_jump_outside_image_escapes(self):
+        cfg = _cfg("jmp 500")
+        assert cfg.graph.has_edge(0, ESCAPE_NODE)
+        assert [d.pc for d in cfg.escaping_jumps()] == [0]
+        assert not cfg.has_reachable_exit()
+
+    def test_wfi_counts_as_clean_exit(self):
+        cfg = _cfg("""
+            doorbell r0
+            wfi
+            jmp 0
+        """)
+        assert cfg.has_reachable_exit()

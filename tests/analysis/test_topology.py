@@ -1,0 +1,98 @@
+"""The static topology prover: certify the real machine, refute sabotage."""
+
+import pytest
+
+from repro.analysis.topology import FORBIDDEN_TARGETS, prove_topology, verify_topology
+from repro.errors import TopologyRejected
+from repro.hw.machine import (
+    MachineConfig,
+    build_baseline_machine,
+    build_guillotine_machine,
+)
+
+
+class TestGuillotineMachine:
+    def test_default_machine_certifies(self):
+        report = prove_topology(build_guillotine_machine())
+        assert report.certified
+        assert not report.violations
+        assert len(report.checks) > 10
+
+    def test_verify_returns_report(self):
+        report = verify_topology(build_guillotine_machine())
+        assert report.certified
+
+    def test_every_model_core_checked_against_every_forbidden_target(self):
+        machine = build_guillotine_machine(MachineConfig(n_model_cores=2))
+        report = prove_topology(machine)
+        names = {check.name for check in report.checks}
+        for core in machine.model_cores:
+            for target in ("hv_dram", "control_bus", "inspection_bus"):
+                assert f"no-path:{core.name}->{target}" in names
+
+    def test_to_dict_round_trips(self):
+        import json
+
+        payload = json.loads(
+            json.dumps(prove_topology(build_guillotine_machine()).to_dict()))
+        assert payload["certified"] is True
+        assert payload["machine"] == "guillotine"
+
+
+class TestMiswiredMachine:
+    def test_model_wire_to_hv_dram_is_refuted(self):
+        machine = build_guillotine_machine()
+        machine.bus.connect("model_core0", "hv_dram")
+        report = prove_topology(machine)
+        assert not report.certified
+        assert any("model_core0->hv_dram" in v.name for v in report.violations)
+
+    def test_transitive_escape_is_refuted(self):
+        """A wire to an intermediate hop that reaches hv_dram also fails:
+        the prover is transitive, not edge-local."""
+        machine = build_guillotine_machine()
+        machine.bus.add_component("bridge", kind="bus")
+        machine.bus.connect("model_core0", "bridge")
+        machine.bus.connect("bridge", "control_bus")
+        report = prove_topology(machine)
+        assert any("model_core0->control_bus" in v.name
+                   for v in report.violations)
+
+    def test_direct_device_wire_is_refuted(self):
+        machine = build_guillotine_machine()
+        device = next(iter(machine.devices))
+        machine.bus.connect("model_core0", device)
+        report = prove_topology(machine)
+        assert any(v.name == "no-direct-devices:model_core0"
+                   for v in report.violations)
+
+    def test_verify_raises_loudly_with_details(self):
+        machine = build_guillotine_machine()
+        machine.bus.connect("model_core0", "hv_dram")
+        with pytest.raises(TopologyRejected) as excinfo:
+            verify_topology(machine)
+        assert "model_core0" in str(excinfo.value)
+        assert "hv_dram" in str(excinfo.value)
+
+    def test_severed_hypervisor_fails_liveness(self):
+        """A machine that proves isolation by being disconnected is not a
+        machine: cutting the hv core's device wires fails mediation."""
+        machine = build_guillotine_machine()
+        hv = machine.hv_cores[0].name
+        for device in machine.devices:
+            machine.bus.disconnect(hv, device)
+        report = prove_topology(machine)
+        assert any(v.name == f"device-mediation:{hv}"
+                   for v in report.violations)
+
+
+class TestBaselineMachine:
+    def test_baseline_topology_is_refuted(self):
+        """The traditional platform's shared-everything wiring cannot be
+        certified — which is the point of the comparison."""
+        report = prove_topology(build_baseline_machine())
+        assert not report.certified
+
+
+def test_forbidden_targets_cover_the_management_plane():
+    assert {"hv_dram", "control_bus", "inspection_bus"} <= set(FORBIDDEN_TARGETS)

@@ -1,6 +1,7 @@
 """Tests for the E12 TCB/mechanism accounting."""
 
 from repro.core.metrics import (
+    analyzer_run_summary,
     loc_inventory,
     mechanism_comparison,
     page_walk_microbench,
@@ -45,3 +46,21 @@ class TestLocInventory:
         inventory = loc_inventory()
         assert len(inventory) == 2
         assert all(count > 50 for count in inventory.values())
+
+
+class TestAnalyzerRunSummary:
+    def test_full_corpus_sweep(self):
+        summary, reports = analyzer_run_summary()
+        assert summary.programs_scanned == len(reports) == 9
+        assert summary.instructions_decoded > 100
+        assert summary.findings_by_severity.get("ERROR", 0) >= 6
+        assert "checksum" in summary.clean
+        assert "flood" in summary.rejected
+        assert summary.wall_seconds >= 0
+
+    def test_subset_and_to_dict(self):
+        summary, reports = analyzer_run_summary(["checksum", "flood"])
+        assert summary.programs_scanned == 2
+        payload = summary.to_dict()
+        assert payload["rejected"] == ["flood"]
+        assert payload["clean"] == ["checksum"]

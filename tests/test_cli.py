@@ -46,3 +46,66 @@ class TestCommands:
         assert main(["stats"]) == 0
         out = capsys.readouterr().out
         assert "hypervisor:" in out and "chain=ok" in out
+
+
+class TestAnalyze:
+    def test_whole_corpus_flags_attacks(self, capsys):
+        assert main(["analyze"]) == 1        # attack kernels -> exit 1
+        out = capsys.readouterr().out
+        assert "store_to_code: REJECT" in out
+        assert "checksum: clean" in out
+        assert "topology: certified" in out
+
+    def test_single_clean_program_exits_zero(self, capsys):
+        assert main(["analyze", "--program", "checksum"]) == 0
+        out = capsys.readouterr().out
+        assert "checksum: clean" in out
+        assert "rejected: (none)" in out
+
+    def test_single_attack_program_exits_one(self, capsys):
+        assert main(["analyze", "--program", "flood"]) == 1
+        out = capsys.readouterr().out
+        assert "doorbell-flood" in out
+
+    def test_json_schema(self, capsys):
+        import json
+
+        assert main(["analyze", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.analysis/1"
+        assert payload["topology"]["certified"] is True
+        names = {p["name"] for p in payload["programs"]}
+        assert {"flood", "checksum"} <= names
+        assert payload["summary"]["programs_scanned"] == len(names)
+        severities = {f["severity"]
+                      for p in payload["programs"] for f in p["findings"]}
+        assert severities <= {"info", "warning", "error"}
+
+    def test_asm_file(self, capsys, tmp_path):
+        source = tmp_path / "guest.s"
+        source.write_text("movi r1, 1\nhalt\n")
+        assert main(["analyze", "--asm", str(source)]) == 0
+        assert "guest.s: clean" in capsys.readouterr().out
+
+    def test_unknown_program_name_fails_cleanly(self, capsys):
+        assert main(["analyze", "--program", "nonesuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown corpus program" in err
+        assert "checksum" in err         # the known names are listed
+
+    def test_missing_asm_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["analyze", "--asm", str(tmp_path / "nope.s")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_asm_fails_cleanly(self, capsys, tmp_path):
+        source = tmp_path / "bad.s"
+        source.write_text("movi r1,\nhalt\n")
+        assert main(["analyze", "--asm", str(source)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_baseline_profile_tolerates_io(self, capsys, tmp_path):
+        source = tmp_path / "io.s"
+        source.write_text("iord r1, 0\nhalt\n")
+        assert main(["analyze", "--asm", str(source)]) == 1
+        assert main(["analyze", "--asm", str(source),
+                     "--profile", "baseline"]) == 0
