@@ -1,0 +1,64 @@
+"""B1: fast-path interpreter throughput (``repro bench`` as an experiment).
+
+Not a paper experiment — an infrastructure benchmark for the simulator
+itself.  The fast-path engine (docs/PERFORMANCE.md) exists so the paper's
+experiments run in seconds; this table reports what it buys on each
+instruction mix, and re-asserts the two safety contracts every row must
+satisfy: identical cycle counts across repeated fast runs (determinism)
+and against the reference interpreter (equivalence).  Simulated timing is
+the experiments' ground truth — a speedup that perturbed it would
+invalidate E2's side-channel latencies and E4's flood accounting.
+"""
+
+from benchmarks._tables import emit_table
+from repro.core.bench import run_benchmark, suite_report
+from repro.core import bench
+
+#: Iteration counts sized for a benchmark run (smaller than the full CLI
+#: suite so pytest-benchmark's repeated rounds stay fast).
+SUITE = (
+    ("alu_loop", "guillotine", bench._alu_loop, 5_000),
+    ("alu_loop", "baseline", bench._alu_loop, 5_000),
+    ("memory_stride", "guillotine", bench._memory_stride, 4_000),
+    ("memory_stride", "baseline", bench._memory_stride, 4_000),
+    ("doorbell_flood", "guillotine", bench._doorbell_flood, 400),
+    ("doorbell_flood", "baseline", bench._doorbell_flood, 400),
+)
+
+
+def test_b01_interpreter_throughput(benchmark, capsys):
+    def run():
+        return [run_benchmark(name, machine, runner, iterations)
+                for name, machine, runner, iterations in SUITE]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = suite_report(results, quick=True)
+
+    with capsys.disabled():
+        emit_table(
+            "B1 — fast-path interpreter throughput",
+            ["benchmark", "machine", "steps/s", "sim cycles/s", "speedup",
+             "decoded hit rate"],
+            [(r.name, r.machine, round(r.steps_per_second),
+              round(r.cycles_per_second), r.speedup, r.decoded_hit_rate)
+             for r in results],
+        )
+        totals = report["totals"]
+        emit_table(
+            "B1 — summary",
+            ["metric", "value"],
+            [
+                ("total steps/s (fast)", totals["steps_per_second"]),
+                ("total sim cycles/s (fast)", totals["cycles_per_second"]),
+                ("overall speedup vs reference", totals["speedup"]),
+                ("deterministic", totals["all_deterministic"]),
+                ("cycles match reference", totals["all_cycles_match"]),
+            ],
+        )
+
+    assert totals["all_deterministic"]
+    assert totals["all_cycles_match"]
+    # The fused step() path must stay clearly ahead of the reference
+    # interpreter; 1.5x is a loose floor (the CI box is not a perf box),
+    # the ISSUE's 2x target is asserted against the full CLI suite.
+    assert totals["speedup"] > 1.5

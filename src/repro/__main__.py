@@ -10,6 +10,8 @@ Commands:
 * ``verify``     — bounded model-checking of the isolation state machine
 * ``topology``   — dump the Figure-1 component/edge topology
 * ``analyze``    — run the load-time static verifier over guest binaries
+* ``bench``      — the interpreter performance suite (fast path vs the
+  reference interpreter, with determinism and cycle-equivalence checks)
 """
 
 from __future__ import annotations
@@ -190,6 +192,42 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if (any_errors or not topology.certified) else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core.bench import run_suite, suite_report, write_report
+
+    results = run_suite(quick=args.quick)
+    report = suite_report(results, quick=args.quick)
+
+    print(f"{'benchmark':<16}{'machine':<12}{'steps/s':>12}{'cycles/s':>14}"
+          f"{'speedup':>9}  {'checks'}")
+    for result in results:
+        checks = []
+        checks.append("deterministic" if result.deterministic
+                      else "NONDETERMINISTIC")
+        checks.append("cycles-match" if result.cycles_match_slow
+                      else "CYCLE-MISMATCH")
+        print(f"{result.name:<16}{result.machine:<12}"
+              f"{result.steps_per_second:>12,.0f}"
+              f"{result.cycles_per_second:>14,.0f}"
+              f"{result.speedup:>8.2f}x  {' '.join(checks)}")
+    totals = report["totals"]
+    print(f"{'TOTAL':<16}{'':<12}{totals['steps_per_second']:>12,.0f}"
+          f"{totals['cycles_per_second']:>14,.0f}"
+          f"{totals['speedup']:>8.2f}x")
+
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    if not totals["all_deterministic"]:
+        print("error: nondeterministic cycle counts across identical runs",
+              file=sys.stderr)
+        return 1
+    if not totals["all_cycles_match"]:
+        print("error: fast path diverged from the reference interpreter",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -218,6 +256,14 @@ def main(argv: list[str] | None = None) -> int:
     analyze_parser.add_argument(
         "--json", action="store_true",
         help="emit the repro.analysis/1 JSON document")
+    bench_parser = subparsers.add_parser(
+        "bench", help="interpreter performance suite (fast vs reference)")
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller iteration counts (CI smoke mode)")
+    bench_parser.add_argument(
+        "--out", default="BENCH_hw.json",
+        help="output path for the repro.bench/1 JSON report")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -228,6 +274,7 @@ def main(argv: list[str] | None = None) -> int:
         "topology": _cmd_topology,
         "stats": _cmd_stats,
         "analyze": _cmd_analyze,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -10,6 +10,16 @@ The scheduler is deliberately minimal: a heap of ``(time, seq, callback)``
 entries.  Determinism matters more than features here — experiments must be
 exactly reproducible, so ties are broken by insertion order and no wall-clock
 time is ever consulted.
+
+Performance notes (docs/PERFORMANCE.md): :meth:`VirtualClock.tick` is the
+hottest call in the whole simulator — the CPU interpreter charges cycles
+two to four times per instruction.  The clock therefore keeps ``_next_due``,
+the deadline of the earliest queued event (cancelled or not), so a tick that
+cannot fire anything is a single comparison and an add.  The slow path is
+only taken when an event may actually be due, and it recomputes ``_next_due``
+on exit.  Event *firing* order is untouched: the heap, the ``(time, seq)``
+ordering, and the fire-when-``deadline <= now`` rule are exactly the
+pre-fast-path semantics.
 """
 
 from __future__ import annotations
@@ -18,6 +28,16 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+#: Sentinel deadline meaning "no event queued" (compares greater than any
+#: reachable virtual time).
+_NEVER = float("inf")
+
+#: Compaction policy: lazily rebuild the heap once it holds at least this
+#: many entries and cancelled entries are the majority.  Keeps a workload
+#: that schedules-and-cancels in a loop (heartbeat rearms, watchdog resets)
+#: from growing the heap without bound.
+_COMPACT_MIN = 64
+
 
 @dataclass(order=True)
 class _Event:
@@ -25,17 +45,26 @@ class _Event:
     seq: int
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set once the event has been popped and fired (or popped while
+    #: cancelled); a later ``cancel()`` must not touch the live counters.
+    done: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`VirtualClock.call_at` allowing cancellation."""
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, clock: "VirtualClock") -> None:
         self._event = event
+        self._clock = clock
 
     def cancel(self) -> None:
         """Prevent the event's callback from running (idempotent)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if not event.done:
+            self._clock._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -62,6 +91,13 @@ class VirtualClock:
         self._now = start
         self._queue: list[_Event] = []
         self._seq = 0
+        #: Earliest queued deadline (cancelled entries included — it is a
+        #: conservative lower bound, never later than the first live event).
+        self._next_due: float = _NEVER
+        #: Live (scheduled, not yet cancelled or fired) event count.
+        self._live = 0
+        #: Cancelled entries still sitting in the heap.
+        self._cancelled = 0
 
     @property
     def now(self) -> int:
@@ -77,7 +113,10 @@ class VirtualClock:
         event = _Event(time=time, seq=self._seq, callback=callback)
         self._seq += 1
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        if time < self._next_due:
+            self._next_due = time
+        return EventHandle(event, self)
 
     def call_after(self, delay: int, callback: Callable[[], Any]) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
@@ -85,37 +124,74 @@ class VirtualClock:
             raise ValueError("delay must be non-negative")
         return self.call_at(self._now + delay, callback)
 
+    # -- cancellation bookkeeping -------------------------------------------
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._cancelled += 1
+        queue = self._queue
+        if len(queue) >= _COMPACT_MIN and self._cancelled * 2 > len(queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify; fire order is unaffected
+        because surviving events keep their ``(time, seq)`` keys."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        self._next_due = self._queue[0].time if self._queue else _NEVER
+
     # -- advancing time -----------------------------------------------------
 
     def tick(self, cycles: int = 1) -> None:
         """Advance time by ``cycles``, firing any events that come due."""
         if cycles < 0:
             raise ValueError("cannot tick backwards")
-        self.run_until(self._now + cycles)
+        target = self._now + cycles
+        if target < self._next_due:
+            # Deadline fast path: nothing can fire before ``target``.
+            self._now = target
+            return
+        self.run_until(target)
 
     def run_until(self, time: int) -> None:
         """Advance to ``time``, firing all events with deadline <= ``time``."""
         if time < self._now:
             raise ValueError(f"cannot run backwards ({time} < {self._now})")
-        while self._queue and self._queue[0].time <= time:
-            event = heapq.heappop(self._queue)
-            self._now = max(self._now, event.time)
-            if not event.cancelled:
-                event.callback()
-        self._now = max(self._now, time)
+        queue = self._queue
+        while queue and queue[0].time <= time:
+            event = heapq.heappop(queue)
+            event.done = True
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            self._live -= 1
+            if event.time > self._now:
+                self._now = event.time
+            event.callback()
+        if time > self._now:
+            self._now = time
+        self._next_due = queue[0].time if queue else _NEVER
 
     def run_next(self) -> bool:
         """Jump to the next pending event and fire it.
 
         Returns ``False`` if the queue is empty (time does not advance).
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
+            event.done = True
             if event.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = max(self._now, event.time)
+            self._live -= 1
+            if event.time > self._now:
+                self._now = event.time
+            self._next_due = queue[0].time if queue else _NEVER
             event.callback()
             return True
+        self._next_due = _NEVER
         return False
 
     def drain(self, limit: int = 100_000) -> int:
@@ -132,5 +208,14 @@ class VirtualClock:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (possibly cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (scheduled, not cancelled) events still queued.
+
+        O(1): maintained by :meth:`call_at`, :meth:`EventHandle.cancel`, and
+        the firing loops, instead of the old O(n) heap scan.
+        """
+        return self._live
+
+    @property
+    def queued_entries(self) -> int:
+        """Raw heap length including cancelled residue (introspection)."""
+        return len(self._queue)

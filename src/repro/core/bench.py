@@ -1,0 +1,369 @@
+"""Deterministic interpreter performance harness: ``python -m repro bench``.
+
+The fast-path execution engine (docs/PERFORMANCE.md) is only allowed to
+change *Python* cost — simulated virtual time must be bit-identical with
+the fast path on or off.  This harness enforces that contract while
+measuring the win: every benchmark is run
+
+* twice with the fast path **on** (the two final cycle counts must match —
+  the determinism check),
+* once with the fast path **off**, through the reference interpreter
+  (its final cycle count must equal the fast runs' — the equivalence
+  check, and its wall time is the speedup denominator).
+
+The suite is a fixed instruction mix exercised on **both** machines: an
+ALU loop (pure register traffic), a memory stride (TLB + D-cache
+pressure), a doorbell flood (event-queue pressure on the virtual clock),
+and the full E1 bring-up harness (sandbox construction + the Figure-1
+invariant sweep, Guillotine only — the baseline has no Figure-1 topology
+to check).  Results are emitted as ``repro.bench/1`` JSON, by default to
+``BENCH_hw.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.hw import isa
+from repro.hw.core import Core
+from repro.hw.isa import Program, assemble
+from repro.hw.machine import (
+    VECTOR_IO_REQUEST,
+    MachineConfig,
+    build_baseline_machine,
+    build_guillotine_machine,
+)
+
+#: JSON schema identifier for the bench report (bump on incompatible change).
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Default output path, relative to the current working directory.
+DEFAULT_OUTPUT = "BENCH_hw.json"
+
+
+@contextmanager
+def interpreter_mode(fast: bool):
+    """Force every :class:`Core` built inside the block into one interpreter
+    mode (machines are constructed per run, so the class default governs)."""
+    previous = Core.fast_path
+    Core.fast_path = fast
+    try:
+        yield
+    finally:
+        Core.fast_path = previous
+
+
+# ---------------------------------------------------------------------------
+# Workload programs
+# ---------------------------------------------------------------------------
+
+def alu_loop_program(iterations: int) -> Program:
+    """Pure register arithmetic: add/xor/add per iteration plus the branch."""
+    return assemble([
+        isa.movi(1, 0),
+        isa.movi(2, iterations),
+        "loop",
+        isa.addi(1, 1, 1),
+        isa.xor(4, 1, 2),
+        isa.add(3, 3, 4),
+        isa.blt(1, 2, "loop"),
+        isa.halt(),
+    ])
+
+
+def memory_stride_program(iterations: int, mask: int, stride: int = 17) -> Program:
+    """Strided loads over the data region, wrapped by an AND mask.
+
+    r7 carries the data-region base (poked by the runner); the stride is
+    coprime with the page size so successive touches wander across pages
+    and cache sets instead of pinning one line.
+    """
+    return assemble([
+        isa.movi(1, 0),              # loop counter
+        isa.movi(2, iterations),
+        isa.movi(8, mask),           # offset wrap mask (span - 1)
+        isa.movi(9, 0),              # raw offset accumulator
+        "loop",
+        isa.and_(5, 9, 8),
+        isa.add(6, 7, 5),
+        isa.load(4, 6, 0),
+        isa.add(3, 3, 4),
+        isa.addi(9, 9, stride),
+        isa.addi(1, 1, 1),
+        isa.blt(1, 2, "loop"),
+        isa.halt(),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Benchmark runners — each builds a fresh machine, runs, and reports
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunSample:
+    """One measured execution of one benchmark."""
+
+    steps: int
+    cycles: int
+    wall_seconds: float
+    decoded_hits: int
+    decoded_misses: int
+
+
+def _core_counters(cores) -> tuple[int, int]:
+    hits = sum(core.decoded_hits for core in cores)
+    misses = sum(core.decoded_misses for core in cores)
+    return hits, misses
+
+
+def _run_single_core(machine, core, program: Program, *, pokes=None,
+                     data_pages: int = 4, max_steps: int = 10_000_000,
+                     install=None) -> RunSample:
+    if install is not None:
+        layout = install(program, data_pages)
+    else:
+        layout = machine.load_program(core, program, data_pages=data_pages)
+    if pokes:
+        for register, key in pokes.items():
+            core.poke_register(register, layout[key])
+    core.resume()
+    start = time.perf_counter()
+    steps = core.run(max_steps=max_steps)
+    wall = time.perf_counter() - start
+    hits, misses = _core_counters([core])
+    return RunSample(steps, machine.clock.now, wall, hits, misses)
+
+
+def _alu_loop(machine_name: str, iterations: int) -> RunSample:
+    program = alu_loop_program(iterations)
+    if machine_name == "guillotine":
+        machine = build_guillotine_machine(
+            MachineConfig(n_model_cores=1, n_hv_cores=1))
+        return _run_single_core(machine, machine.model_cores[0], program)
+    machine, hypervisor = _baseline()
+    return _run_single_core(
+        machine, hypervisor.guest_core, program,
+        install=lambda p, d: hypervisor.install_guest(p, data_pages=d))
+
+
+def _memory_stride(machine_name: str, iterations: int) -> RunSample:
+    data_pages = 4
+    mask = data_pages * 64 - 1  # data span in words, power of two
+    program = memory_stride_program(iterations, mask)
+    pokes = {7: "data_vaddr"}
+    if machine_name == "guillotine":
+        machine = build_guillotine_machine(
+            MachineConfig(n_model_cores=1, n_hv_cores=1))
+        return _run_single_core(machine, machine.model_cores[0], program,
+                                pokes=pokes, data_pages=data_pages)
+    machine, hypervisor = _baseline()
+    return _run_single_core(
+        machine, hypervisor.guest_core, program, pokes=pokes,
+        data_pages=data_pages,
+        install=lambda p, d: hypervisor.install_guest(p, data_pages=d))
+
+
+def _doorbell_flood(machine_name: str, iterations: int) -> RunSample:
+    from repro.model.programs import flood_program
+
+    program = flood_program(iterations)
+    if machine_name == "guillotine":
+        machine = build_guillotine_machine(
+            MachineConfig(n_model_cores=1, n_hv_cores=1))
+        return _run_single_core(machine, machine.model_cores[0], program)
+    machine, hypervisor = _baseline()
+    core = hypervisor.guest_core
+    lapic = machine.lapics[core.name]
+
+    def _doorbell(source: str, payload: int) -> None:
+        lapic.deliver(source, VECTOR_IO_REQUEST, payload)
+
+    core.doorbell_handler = _doorbell
+    return _run_single_core(
+        machine, core, program,
+        install=lambda p, d: hypervisor.install_guest(p, data_pages=d))
+
+
+def _e1_harness(machine_name: str, iterations: int) -> RunSample:
+    """Full E1: sandbox bring-up, a GISA warm-up kernel, model load,
+    mediated service traffic, and the invariant sweep."""
+    from repro.core.sandbox import GuillotineSandbox
+    from repro.model.programs import checksum_program
+    from repro.net.network import Host
+
+    start = time.perf_counter()
+    steps = 0
+    cycles = 0
+    hits = misses = 0
+    for index in range(iterations):
+        sandbox = GuillotineSandbox.create()
+        machine = sandbox.machine
+        # Real machine code through the fetch/translate path, on a spare
+        # model core, before the console locks the MMUs down.
+        core = machine.model_cores[-1]
+        layout = machine.load_program(core, checksum_program(128),
+                                      data_pages=3)
+        core.poke_register(1, layout["data_vaddr"])
+        core.poke_register(2, layout["data_vaddr"] + 128)
+        core.resume()
+        steps += core.run(max_steps=10_000)
+        sandbox.network.attach(Host(f"bench-user-{index}"))
+        sandbox.console.load_model(f"bench-model-{index}")
+        service = sandbox.build_service(replicas=2)
+        for query in range(4):
+            service.submit(f"bench query {query}",
+                           client_host=f"bench-user-{index}")
+        service.drain()
+        violations = sandbox.check_invariants()
+        if violations:
+            raise AssertionError(f"E1 invariants violated: {violations}")
+        cores = machine.model_cores + machine.hv_cores
+        steps += sum(c.instructions_retired for c in machine.hv_cores)
+        cycles += machine.clock.now
+        run_hits, run_misses = _core_counters(cores)
+        hits += run_hits
+        misses += run_misses
+    wall = time.perf_counter() - start
+    return RunSample(steps, cycles, wall, hits, misses)
+
+
+def _baseline():
+    from repro.baseline.hypervisor import TraditionalHypervisor
+
+    machine = build_baseline_machine(
+        MachineConfig(n_model_cores=1, n_hv_cores=0))
+    return machine, TraditionalHypervisor(machine)
+
+
+#: (name, machine, runner, full iterations, quick iterations).
+SUITE = (
+    ("alu_loop", "guillotine", _alu_loop, 20_000, 2_000),
+    ("alu_loop", "baseline", _alu_loop, 20_000, 2_000),
+    ("memory_stride", "guillotine", _memory_stride, 15_000, 1_500),
+    ("memory_stride", "baseline", _memory_stride, 15_000, 1_500),
+    ("doorbell_flood", "guillotine", _doorbell_flood, 1_000, 200),
+    ("doorbell_flood", "baseline", _doorbell_flood, 1_000, 200),
+    ("e1_harness", "guillotine", _e1_harness, 3, 1),
+)
+
+
+# ---------------------------------------------------------------------------
+# Suite driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BenchResult:
+    """One benchmark's verdict: fast timings plus both safety checks."""
+
+    name: str
+    machine: str
+    steps: int
+    cycles: int
+    wall_seconds: float
+    slow_wall_seconds: float
+    deterministic: bool
+    cycles_match_slow: bool
+    decoded_hit_rate: float
+
+    @property
+    def steps_per_second(self) -> float:
+        return self.steps / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.cycles / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def speedup(self) -> float:
+        return (self.slow_wall_seconds / self.wall_seconds
+                if self.wall_seconds else 0.0)
+
+    @property
+    def passed(self) -> bool:
+        return self.deterministic and self.cycles_match_slow
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "machine": self.machine,
+            "steps": self.steps,
+            "cycles": self.cycles,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "slow_wall_seconds": round(self.slow_wall_seconds, 6),
+            "steps_per_second": round(self.steps_per_second, 1),
+            "cycles_per_second": round(self.cycles_per_second, 1),
+            "speedup": round(self.speedup, 3),
+            "deterministic": self.deterministic,
+            "cycles_match_slow": self.cycles_match_slow,
+            "decoded_hit_rate": round(self.decoded_hit_rate, 4),
+        }
+
+
+def run_benchmark(name: str, machine_name: str, runner,
+                  iterations: int) -> BenchResult:
+    """Fast twice (determinism), slow once (equivalence + speedup)."""
+    with interpreter_mode(True):
+        first = runner(machine_name, iterations)
+        second = runner(machine_name, iterations)
+    with interpreter_mode(False):
+        reference = runner(machine_name, iterations)
+    decoded_accesses = first.decoded_hits + first.decoded_misses
+    return BenchResult(
+        name=name,
+        machine=machine_name,
+        steps=first.steps,
+        cycles=first.cycles,
+        # Best of the two (identical) fast runs: the first pays one-time
+        # import and allocator warm-up that is not interpreter cost.
+        wall_seconds=min(first.wall_seconds, second.wall_seconds),
+        slow_wall_seconds=reference.wall_seconds,
+        deterministic=(first.cycles == second.cycles
+                       and first.steps == second.steps),
+        cycles_match_slow=(first.cycles == reference.cycles
+                           and first.steps == reference.steps),
+        decoded_hit_rate=(first.decoded_hits / decoded_accesses
+                          if decoded_accesses else 0.0),
+    )
+
+
+def run_suite(quick: bool = False) -> list[BenchResult]:
+    return [
+        run_benchmark(name, machine_name, runner,
+                      quick_iterations if quick else iterations)
+        for name, machine_name, runner, iterations, quick_iterations in SUITE
+    ]
+
+
+def suite_report(results: list[BenchResult], *, quick: bool) -> dict:
+    """Assemble the ``repro.bench/1`` JSON document."""
+    fast_wall = sum(result.wall_seconds for result in results)
+    slow_wall = sum(result.slow_wall_seconds for result in results)
+    total_steps = sum(result.steps for result in results)
+    total_cycles = sum(result.cycles for result in results)
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "benchmarks": [result.to_dict() for result in results],
+        "totals": {
+            "steps": total_steps,
+            "cycles": total_cycles,
+            "fast_wall_seconds": round(fast_wall, 6),
+            "slow_wall_seconds": round(slow_wall, 6),
+            "steps_per_second": round(total_steps / fast_wall, 1)
+            if fast_wall else 0.0,
+            "cycles_per_second": round(total_cycles / fast_wall, 1)
+            if fast_wall else 0.0,
+            "speedup": round(slow_wall / fast_wall, 3) if fast_wall else 0.0,
+            "all_deterministic": all(r.deterministic for r in results),
+            "all_cycles_match": all(r.cycles_match_slow for r in results),
+        },
+    }
+
+
+def write_report(report: dict, path: str = DEFAULT_OUTPUT) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

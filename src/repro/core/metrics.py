@@ -152,6 +152,59 @@ def loc_inventory() -> dict[str, int]:
 
 
 @dataclass
+class InterpreterPerf:
+    """Aggregate fast-path interpreter accounting for one machine.
+
+    ``decoded_*`` counts the physically-indexed decoded-instruction cache
+    (docs/PERFORMANCE.md); ``tlb_fastpath_hits`` counts translations served
+    from a cached PTE without a Python page walk.  All are Python-cost
+    counters: simulated timing is identical with the fast path off.
+    """
+
+    fast_path_enabled: bool
+    instructions_retired: int
+    decoded_hits: int
+    decoded_misses: int
+    tlb_fastpath_hits: int
+    wall_seconds: float
+
+    @property
+    def decoded_hit_rate(self) -> float:
+        accesses = self.decoded_hits + self.decoded_misses
+        return self.decoded_hits / accesses if accesses else 0.0
+
+    @property
+    def steps_per_second(self) -> float:
+        return (self.instructions_retired / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "fast_path_enabled": self.fast_path_enabled,
+            "instructions_retired": self.instructions_retired,
+            "decoded_hits": self.decoded_hits,
+            "decoded_misses": self.decoded_misses,
+            "decoded_hit_rate": round(self.decoded_hit_rate, 4),
+            "tlb_fastpath_hits": self.tlb_fastpath_hits,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "steps_per_second": round(self.steps_per_second, 1),
+        }
+
+
+def interpreter_perf(machine, wall_seconds: float) -> InterpreterPerf:
+    """Sum the per-core fast-path counters across a machine's cores."""
+    cores = machine.model_cores + machine.hv_cores
+    return InterpreterPerf(
+        fast_path_enabled=all(core.fast_path for core in cores),
+        instructions_retired=sum(c.instructions_retired for c in cores),
+        decoded_hits=sum(c.decoded_hits for c in cores),
+        decoded_misses=sum(c.decoded_misses for c in cores),
+        tlb_fastpath_hits=sum(c.tlb_fastpath_hits for c in cores),
+        wall_seconds=wall_seconds,
+    )
+
+
+@dataclass
 class AnalyzerRunSummary:
     """Aggregate accounting for one static-verifier sweep (the load-time
     admission-control pipeline of :mod:`repro.analysis`)."""

@@ -15,6 +15,7 @@ containment.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.baseline.hypervisor import TraditionalHypervisor
@@ -80,6 +81,9 @@ class GuillotineSandbox:
         self.console = console
         self.network = network
         self.llm = llm
+        #: Wall-clock construction time, so telemetry can report simulated
+        #: steps and cycles per wall second (see repro.core.metrics).
+        self.wall_started = time.perf_counter()
 
     # ------------------------------------------------------------------
 

@@ -11,8 +11,10 @@ operator (and ``python -m repro stats``).
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
+from repro.core.metrics import interpreter_perf
 from repro.eventlog import (
     CATEGORY_DETECTOR,
     CATEGORY_ISOLATION,
@@ -39,6 +41,12 @@ def gather(sandbox) -> dict[str, Any]:
             "l1d_hit_rate": round(l1d.stats.hit_rate, 4),
             "l1d_accesses": l1d.stats.accesses,
             "tlb_hit_rate": round(core.caches.tlb.stats.hit_rate, 4),
+            "tlb_fastpath_hits": core.tlb_fastpath_hits,
+            "decoded_hits": core.decoded_hits,
+            "decoded_misses": core.decoded_misses,
+            "decoded_hit_rate": round(
+                core.decoded_hits / (core.decoded_hits + core.decoded_misses),
+                4) if core.decoded_hits + core.decoded_misses else 0.0,
             "branch_mispredicts": predictor.mispredictions,
             "mmu_locked": core.mmu.locked,
             "weights_protected": core.mmu.weights_protected,
@@ -59,10 +67,13 @@ def gather(sandbox) -> dict[str, Any]:
         for name, device in machine.devices.items()
     }
 
+    wall = time.perf_counter() - getattr(sandbox, "wall_started",
+                                         time.perf_counter())
     log = machine.log
     return {
         "clock_cycles": machine.clock.now,
         "isolation_level": console.level.name,
+        "interpreter": interpreter_perf(machine, wall).to_dict(),
         "cores": cores,
         "lapics": lapics,
         "devices": devices,
@@ -107,6 +118,14 @@ def format_report(stats: dict[str, Any]) -> str:
             f"L1d={core['l1d_hit_rate']:<7} "
             f"locked={'y' if core['mmu_locked'] else 'n'}"
         )
+    interp = stats["interpreter"]
+    lines.append("")
+    lines.append(
+        f"interpreter: fast_path={'on' if interp['fast_path_enabled'] else 'off'} "
+        f"retired={interp['instructions_retired']} "
+        f"steps/s={interp['steps_per_second']:,.0f} "
+        f"decoded-cache hit rate={interp['decoded_hit_rate']:.2%}"
+    )
     lines.append("")
     lines.append("hypervisor:")
     hv = stats["hypervisor"]

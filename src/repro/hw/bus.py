@@ -21,6 +21,7 @@ Three bus roles appear here:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import TYPE_CHECKING, Iterable
 
 import networkx as nx
@@ -33,10 +34,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class BusMatrix:
-    """Directed reachability graph between named hardware components."""
+    """Directed reachability graph between named hardware components.
+
+    Reachability checks sit on the interpreter's per-access hot path, so the
+    matrix keeps a per-initiator ``frozenset`` of direct successors, built
+    lazily and discarded wholesale whenever the topology changes (a
+    ``connect`` during bring-up, a ``disconnect`` when a kill switch severs
+    a cable).  A severed wire is therefore visible to the very next access —
+    the cache caches topology, never a stale answer.
+    """
 
     def __init__(self) -> None:
         self._graph = nx.DiGraph()
+        self._succ_cache: dict[str, frozenset[str]] = {}
 
     def add_component(self, name: str, kind: str) -> None:
         """Register a component (core, dram, device, bus, console...)."""
@@ -48,15 +58,27 @@ class BusMatrix:
             if name not in self._graph:
                 raise BusError(f"unknown component {name!r}")
         self._graph.add_edge(initiator, target)
+        self._succ_cache.clear()
 
     def disconnect(self, initiator: str, target: str) -> None:
         """Sever a wire (kill switches use this for cables)."""
         if self._graph.has_edge(initiator, target):
             self._graph.remove_edge(initiator, target)
+            self._succ_cache.clear()
+
+    def _successors(self, initiator: str) -> frozenset[str]:
+        cached = self._succ_cache.get(initiator)
+        if cached is None:
+            if initiator in self._graph:
+                cached = frozenset(self._graph.successors(initiator))
+            else:
+                cached = frozenset()
+            self._succ_cache[initiator] = cached
+        return cached
 
     def reachable(self, initiator: str, target: str) -> bool:
         """Direct reachability: does a wire exist?"""
-        return self._graph.has_edge(initiator, target)
+        return target in self._successors(initiator)
 
     def transitively_reachable(self, initiator: str, target: str) -> bool:
         """Multi-hop reachability (used by the invariant checker)."""
@@ -65,7 +87,10 @@ class BusMatrix:
         return nx.has_path(self._graph, initiator, target)
 
     def assert_reachable(self, initiator: str, target: str) -> None:
-        if not self.reachable(initiator, target):
+        cached = self._succ_cache.get(initiator)
+        if cached is None:
+            cached = self._successors(initiator)
+        if target not in cached:
             raise BusError(f"no bus path from {initiator!r} to {target!r}")
 
     def components(self, kind: str | None = None) -> list[str]:
@@ -96,6 +121,14 @@ class PhysicalMemoryMap:
             self._windows.append((bank, base))
             base += bank.size
         self.total_words = base
+        #: Window base addresses for bisect lookups (windows are contiguous
+        #: from zero by construction, so index = rightmost base <= paddr).
+        self._bases = [window_base for _, window_base in self._windows]
+        #: Last-resolved window as ``(bank, base, end)``; consecutive
+        #: accesses overwhelmingly land in the same bank, so this check
+        #: short-circuits the bisect.  Pure Python-cost caching: the result
+        #: is identical to the loop it replaced.
+        self._last: tuple[Dram, int, int] | None = None
 
     @property
     def total_frames(self) -> int:
@@ -103,9 +136,14 @@ class PhysicalMemoryMap:
 
     def resolve(self, paddr: int) -> tuple[Dram, int]:
         """Map a flat physical word address to ``(bank, local address)``."""
-        for bank, base in self._windows:
-            if base <= paddr < base + bank.size:
-                return bank, paddr - base
+        last = self._last
+        if last is not None and last[1] <= paddr < last[2]:
+            return last[0], paddr - last[1]
+        if 0 <= paddr < self.total_words:
+            index = bisect_right(self._bases, paddr) - 1
+            bank, base = self._windows[index]
+            self._last = (bank, base, base + bank.size)
+            return bank, paddr - base
         raise BusError(f"physical address {paddr} maps to no DRAM window")
 
     def window_base(self, bank_name: str) -> int:
@@ -182,14 +220,21 @@ class ControlBus:
     def lockdown_mmu(self, core_name: str, base_vpn: int, bound_vpn: int) -> None:
         """Configure the model core's MMU so it cannot create or alter
         executable pages (the anti-self-improvement verb)."""
-        self._target(core_name).mmu.lockdown(base_vpn, bound_vpn)
+        core = self._target(core_name)
+        core.mmu.lockdown(base_vpn, bound_vpn)
+        # Hygiene: drop decoded instructions the core can reach.  Lockdown
+        # does not rewrite DRAM, but the verb draws the trust boundary for
+        # what may execute afterwards, so nothing pre-decoded survives it.
+        core.invalidate_decoded()
 
     def protect_weights(self, core_name: str, base_vpn: int,
                         bound_vpn: int) -> None:
         """Freeze the model's weight-containing pages: readable by the
         inference computation, immutable to everything on the core
         (the anti-weight-theft/-modification verb, section 4)."""
-        self._target(core_name).mmu.protect_weights(base_vpn, bound_vpn)
+        core = self._target(core_name)
+        core.mmu.protect_weights(base_vpn, bound_vpn)
+        core.invalidate_decoded()
 
     def flush_microarch(self, core_name: str) -> None:
         """Forcibly clear all microarchitectural state on the core."""

@@ -75,9 +75,14 @@ class Cache:
 
     def access(self, address: int) -> int:
         """Touch ``address``; returns the latency in cycles."""
-        index = self.set_index(address)
-        tag = self._tag(address)
-        lru = self._sets[index]
+        line = address // self.line_size
+        lru = self._sets[line % self.num_sets]
+        tag = line // self.num_sets
+        if lru and lru[0] == tag:
+            # Already most-recent (the common case in straight-line code):
+            # reordering would be a no-op, so skip the list churn.
+            self.stats.hits += 1
+            return self.hit_latency
         if tag in lru:
             lru.remove(tag)
             lru.insert(0, tag)
@@ -108,36 +113,64 @@ class Tlb:
     Holds vpn -> ppn translations.  A miss costs a page-table walk, which the
     core charges as extra memory accesses.  Flushed by the microarch-clear
     control verb and by MMU map/unmap operations (shootdown).
+
+    Internally a dict ordered LRU-first (Python dicts preserve insertion
+    order; a hit re-inserts at the back, eviction pops the front).  The
+    hit/miss sequence — the timing-visible behaviour — is identical to the
+    old list-scan implementation; only the Python cost changed.
+
+    Each entry may also carry the :class:`~repro.hw.memory.PageTableEntry`
+    it was filled from plus the MMU table generation at fill time.  The
+    core's TLB-hit fast path uses that pair to skip the Python page walk
+    while remaining exactly as authoritative as the MMU: a generation
+    mismatch means the table changed since the fill, and the core falls
+    back to :meth:`Mmu.translate` (see ``Core._translate``).
     """
 
     def __init__(self, entries: int = 16) -> None:
         if entries <= 0:
             raise ValueError("TLB must have at least one entry")
         self.capacity = entries
-        self._entries: list[tuple[int, int]] = []  # (vpn, ppn), LRU order
+        #: vpn -> (ppn, pte | None, mmu generation); LRU-first dict order.
+        self._entries: dict[int, tuple[int, object, int]] = {}
         self.stats = CacheStats()
 
     def lookup(self, vpn: int) -> int | None:
-        for position, (cached_vpn, ppn) in enumerate(self._entries):
-            if cached_vpn == vpn:
-                self._entries.insert(0, self._entries.pop(position))
-                self.stats.hits += 1
-                return ppn
-        self.stats.misses += 1
-        return None
+        entry = self.lookup_entry(vpn)
+        return None if entry is None else entry[0]
 
-    def insert(self, vpn: int, ppn: int) -> None:
-        self._entries = [(v, p) for v, p in self._entries if v != vpn]
-        self._entries.insert(0, (vpn, ppn))
-        if len(self._entries) > self.capacity:
-            self._entries.pop()
+    def lookup_entry(self, vpn: int) -> tuple[int, object, int] | None:
+        """Full-entry lookup: same stats and LRU movement as :meth:`lookup`."""
+        entries = self._entries
+        entry = entries.pop(vpn, None)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entries[vpn] = entry  # re-insert at MRU position
+        self.stats.hits += 1
+        return entry
+
+    def insert(self, vpn: int, ppn: int, pte: object = None,
+               generation: int = -1) -> None:
+        entries = self._entries
+        entries.pop(vpn, None)
+        entries[vpn] = (ppn, pte, generation)
+        if len(entries) > self.capacity:
+            del entries[next(iter(entries))]  # evict LRU (front)
+
+    def refresh_entry(self, vpn: int, ppn: int, pte: object,
+                      generation: int) -> None:
+        """Overwrite a present entry's payload without touching LRU order or
+        stats (used after a stale-generation authority re-check)."""
+        if vpn in self._entries:
+            self._entries[vpn] = (ppn, pte, generation)
 
     def invalidate(self, vpn: int | None = None) -> None:
         """Drop one translation, or all of them when ``vpn`` is ``None``."""
         if vpn is None:
             self._entries.clear()
         else:
-            self._entries = [(v, p) for v, p in self._entries if v != vpn]
+            self._entries.pop(vpn, None)
 
     def occupancy(self) -> int:
         return len(self._entries)

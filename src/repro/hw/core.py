@@ -56,6 +56,29 @@ EXC_ADDR_REGISTER = 12
 
 _WORD_MASK = (1 << 64) - 1
 
+# Module-level aliases for the fused interpreter fast path in Core.step():
+# a plain global load is cheaper than Enum attribute access in the dispatch
+# chain that runs once per simulated instruction.
+_ADDI = Op.ADDI
+_ADD = Op.ADD
+_LOAD = Op.LOAD
+_STORE = Op.STORE
+_BLT = Op.BLT
+_BNE = Op.BNE
+_BEQ = Op.BEQ
+_BGE = Op.BGE
+_AND = Op.AND
+_XOR = Op.XOR
+_OR = Op.OR
+_MOVI = Op.MOVI
+_MOV = Op.MOV
+_SUB = Op.SUB
+_SHL = Op.SHL
+_SHR = Op.SHR
+_NOP = Op.NOP
+_FENCE = Op.FENCE
+_HALT = Op.HALT
+
 
 class CoreKind(Enum):
     MODEL = auto()
@@ -129,6 +152,12 @@ class Core:
     DOORBELL_COST = 5
     #: Cycles per page-table-walk memory touch on TLB miss.
     WALK_TOUCH_COST = 8
+    #: Fast-path interpreter switch (class default; ``repro bench`` flips it
+    #: per run to compare against the reference interpreter).  The fast path
+    #: changes *Python* cost only — charged cycles, event ordering, fault
+    #: behaviour, and every side-channel-visible latency are bit-identical,
+    #: and ``python -m repro bench`` asserts exactly that on every run.
+    fast_path: bool = True
 
     def __init__(
         self,
@@ -188,6 +217,11 @@ class Core:
         self.faults = 0
         self.last_fault: str | None = None
         self.last_watchpoint: Watchpoint | None = None
+
+        # Fast-path accounting (Python-cost caches; timing-invisible).
+        self.decoded_hits = 0
+        self.decoded_misses = 0
+        self.tlb_fastpath_hits = 0
 
     # ------------------------------------------------------------------
     # State predicates
@@ -292,6 +326,14 @@ class Core:
             cache.flush()
         self.caches.tlb.invalidate()
         self.caches.branch_predictor.flush()
+        self.invalidate_decoded()
+
+    def invalidate_decoded(self) -> None:
+        """Drop decoded-instruction cache entries for every bank this core
+        can address (microarch-clear hygiene; also invoked by the control
+        bus on lockdown changes)."""
+        for bank in self.memory_map.banks():
+            bank.decoded.clear()
 
     def power_down(self) -> None:
         """Power off; only legal from a halted state."""
@@ -309,6 +351,7 @@ class Core:
             cache.flush()
         self.caches.tlb.invalidate()
         self.caches.branch_predictor.flush()
+        self.invalidate_decoded()
 
     # ------------------------------------------------------------------
     # Memory access (through MMU, TLB, caches, bus)
@@ -317,20 +360,52 @@ class Core:
     def _translate(self, vaddr: int, *, write: bool = False,
                    execute: bool = False) -> int:
         vpn = vaddr // PAGE_SIZE
-        cached_ppn = self.caches.tlb.lookup(vpn)
-        # Permission checks always go to the MMU (the TLB here caches the
-        # translation, not the authority); a miss also charges the walk.
+        entry = self.caches.tlb.lookup_entry(vpn)
+        if entry is not None:
+            # TLB hit: never charges a walk (exactly as before).  If the
+            # cached PTE is still current — same MMU table generation, no
+            # second translation level — authority can be checked from the
+            # cached entry and the Python page walk skipped entirely.
+            if (
+                self.fast_path
+                and self.second_level is None
+                and entry[2] == self.mmu.generation
+                and entry[1] is not None
+            ):
+                pte = entry[1]
+                if (pte.executable if execute
+                        else pte.writable if write else pte.readable):
+                    self.tlb_fastpath_hits += 1
+                    return entry[0] * PAGE_SIZE + (vaddr - vpn * PAGE_SIZE)
+                # Permission failure: delegate to the MMU so the fault
+                # message and counters are byte-for-byte the slow path's.
+            # Stale or untrusted entry: authority comes from the live MMU
+            # (and EPT).  Still a TLB hit timing-wise — no walk charged.
+            paddr = self.mmu.translate(vaddr, write=write, execute=execute)
+            if self.second_level is not None:
+                paddr = self.second_level(paddr, write)
+            elif self.fast_path:
+                self.caches.tlb.refresh_entry(
+                    vpn, paddr // PAGE_SIZE, self.mmu.lookup(vpn),
+                    self.mmu.generation,
+                )
+            return paddr
+        # TLB miss: full translate, charge the walk, fill the TLB.
         paddr = self.mmu.translate(vaddr, write=write, execute=execute)
         if self.second_level is not None:
             paddr = self.second_level(paddr, write)
-        if cached_ppn is None:
-            walk_levels = Mmu.WALK_COST
-            if self.second_level is not None:
-                # Two-dimensional page walk: each guest level is itself
-                # translated, multiplying the touches (Bhargava et al.).
-                walk_levels *= 1 + self.SECOND_LEVEL_WALK_COST
+            walk_levels = Mmu.WALK_COST * (1 + self.SECOND_LEVEL_WALK_COST)
+            # Two-dimensional page walk: each guest level is itself
+            # translated, multiplying the touches (Bhargava et al.).  The
+            # final host ppn depends on EPT state the generation counter
+            # does not cover, so no PTE is cached for second-level cores.
             self.clock.tick(walk_levels * self.WALK_TOUCH_COST)
             self.caches.tlb.insert(vpn, paddr // PAGE_SIZE)
+        else:
+            self.clock.tick(Mmu.WALK_COST * self.WALK_TOUCH_COST)
+            self.caches.tlb.insert(vpn, paddr // PAGE_SIZE,
+                                   pte=self.mmu.lookup(vpn),
+                                   generation=self.mmu.generation)
         return paddr
 
     @staticmethod
@@ -351,7 +426,8 @@ class Core:
         bank, local = self.memory_map.resolve(paddr)
         self.bus.assert_reachable(self.name, bank.name)
         value = bank.read(local)
-        self._check_data_watchpoints("read", vaddr)
+        if self._watchpoints:
+            self._check_data_watchpoints("read", vaddr)
         return value
 
     def write_word(self, vaddr: int, value: int) -> None:
@@ -360,18 +436,28 @@ class Core:
         bank, local = self.memory_map.resolve(paddr)
         self.bus.assert_reachable(self.name, bank.name)
         bank.write(local, value)
-        self._check_data_watchpoints("write", vaddr)
+        if self._watchpoints:
+            self._check_data_watchpoints("write", vaddr)
 
     def _fetch(self) -> Instruction:
         paddr = self._translate(self.pc, execute=True)
         self.clock.tick(self._hierarchy_latency(self.caches.icache_levels, paddr))
         bank, local = self.memory_map.resolve(paddr)
         self.bus.assert_reachable(self.name, bank.name)
+        if self.fast_path:
+            instruction = bank.decoded.get(local)
+            if instruction is not None:
+                self.decoded_hits += 1
+                return instruction
+            self.decoded_misses += 1
         word = bank.read(local)
         try:
-            return decode(word)
+            instruction = decode(word)
         except ValueError as exc:
             raise InvalidInstruction(str(exc)) from exc
+        if self.fast_path:
+            bank.decoded[local] = instruction
+        return instruction
 
     def _check_data_watchpoints(self, kind: str, vaddr: int) -> None:
         for watchpoint in self._watchpoints.values():
@@ -425,7 +511,205 @@ class Core:
 
     def step(self) -> bool:
         """Execute one instruction; returns ``True`` if the core is still
-        runnable afterwards."""
+        runnable afterwards.
+
+        The body below is the **fused fast path** (docs/PERFORMANCE.md): for
+        the overwhelmingly common case — running core, no armed timer, no
+        watchpoints, no second translation level, current TLB entry, L1i
+        MRU hit, decoded instruction cached — the fetch/translate/dispatch
+        pipeline is inlined here with local-variable bindings, replicating
+        the exact stat updates, LRU movements, and cycle charges of the
+        general path.  Anything unusual falls through to
+        :meth:`_step_general`, the reference interpreter, *before* any
+        state is mutated, so the two paths are observationally identical
+        (``python -m repro bench`` asserts bit-equal cycle counts).
+        """
+        if (
+            self.fast_path
+            and self.state is CoreState.RUNNING
+            and self._timer_deadline is None
+            and not self._watchpoints
+        ):
+            pc = self.pc
+            caches = self.caches
+            if self.second_level is None:
+                tlb = caches.tlb
+                entries = tlb._entries
+                vpn = pc // PAGE_SIZE
+                entry = entries.get(vpn)
+                if (entry is None or entry[1] is None
+                        or entry[2] != self.mmu.generation):
+                    return self._step_general()
+                pte = entry[1]
+                if not pte.executable:
+                    return self._step_general()
+                # Committed to the fast path: replicate Tlb.lookup_entry's
+                # LRU move and hit count, then _translate's fast-hit account.
+                del entries[vpn]
+                entries[vpn] = entry
+                tlb.stats.hits += 1
+                self.tlb_fastpath_hits += 1
+                paddr = entry[0] * PAGE_SIZE + (pc - vpn * PAGE_SIZE)
+            else:
+                # Second-level (EPT) cores: translation authority and walk
+                # charges stay with the general machinery, but the rest of
+                # the fetch/dispatch pipeline below is still fused.
+                try:
+                    paddr = self._translate(pc, execute=True)
+                except MemoryFault as exc:
+                    self._raise_exception(EXC_MEMFAULT, str(exc))
+                    return self.state is CoreState.RUNNING
+
+            # Inline L1i most-recently-used probe (side-effect-free on the
+            # non-MRU path, which re-runs through the full hierarchy).
+            l1i = caches.icache_levels[0]
+            line = paddr // l1i.line_size
+            lru = l1i._sets[line % l1i.num_sets]
+            if lru and lru[0] == line // l1i.num_sets:
+                l1i.stats.hits += 1
+                latency = l1i.hit_latency
+            else:
+                latency = self._hierarchy_latency(caches.icache_levels, paddr)
+            # Inline VirtualClock.tick deadline fast path.
+            clock = self.clock
+            target = clock._now + latency
+            if target < clock._next_due:
+                clock._now = target
+            else:
+                clock.run_until(target)
+
+            # Inline PhysicalMemoryMap.resolve last-window hit.
+            memory_map = self.memory_map
+            last = memory_map._last
+            if last is not None and last[1] <= paddr < last[2]:
+                bank = last[0]
+                local = paddr - last[1]
+            else:
+                bank, local = memory_map.resolve(paddr)
+            # Inline BusMatrix.assert_reachable via the successor cache.
+            succ = self.bus._succ_cache.get(self.name)
+            if succ is None or bank.name not in succ:
+                self.bus.assert_reachable(self.name, bank.name)
+
+            ins = bank.decoded.get(local)
+            if ins is None:
+                self.decoded_misses += 1
+                try:
+                    ins = decode(bank.read(local))
+                except ValueError as exc:
+                    self._raise_exception(EXC_INVALID, str(exc))
+                    return self.state is CoreState.RUNNING
+                bank.decoded[local] = ins
+            else:
+                self.decoded_hits += 1
+
+            target = clock._now + self.BASE_COST
+            if target < clock._next_due:
+                clock._now = target
+            else:
+                clock.run_until(target)
+
+            # Inline dispatch for the hot ops, direct register-file access
+            # (r0 stays hardwired to zero via the ``if rd`` guards).
+            op = ins.op
+            regs = self.registers
+            try:
+                if op is _ADDI:
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = (regs[ins.rs1] + ins.imm) & _WORD_MASK
+                    self.pc = pc + 1
+                elif op is _ADD:
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = (regs[ins.rs1] + regs[ins.rs2]) & _WORD_MASK
+                    self.pc = pc + 1
+                elif op is _LOAD:
+                    value = self.read_word(regs[ins.rs1] + ins.imm)
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = value & _WORD_MASK
+                    self.pc = pc + 1
+                elif op is _STORE:
+                    self.write_word(regs[ins.rs1] + ins.imm, regs[ins.rs2])
+                    self.pc = pc + 1
+                elif op is _BLT:
+                    self._branch(regs[ins.rs1] < regs[ins.rs2], ins.imm)
+                elif op is _BNE:
+                    self._branch(regs[ins.rs1] != regs[ins.rs2], ins.imm)
+                elif op is _BEQ:
+                    self._branch(regs[ins.rs1] == regs[ins.rs2], ins.imm)
+                elif op is _BGE:
+                    self._branch(regs[ins.rs1] >= regs[ins.rs2], ins.imm)
+                elif op is _AND:
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = regs[ins.rs1] & regs[ins.rs2]
+                    self.pc = pc + 1
+                elif op is _XOR:
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = regs[ins.rs1] ^ regs[ins.rs2]
+                    self.pc = pc + 1
+                elif op is _OR:
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = regs[ins.rs1] | regs[ins.rs2]
+                    self.pc = pc + 1
+                elif op is _MOVI:
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = ins.imm & _WORD_MASK
+                    self.pc = pc + 1
+                elif op is _MOV:
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = regs[ins.rs1]
+                    self.pc = pc + 1
+                elif op is _SUB:
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = (regs[ins.rs1] - regs[ins.rs2]) & _WORD_MASK
+                    self.pc = pc + 1
+                elif op is _SHL:
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = (regs[ins.rs1] << (regs[ins.rs2] & 63)) & _WORD_MASK
+                    self.pc = pc + 1
+                elif op is _SHR:
+                    rd = ins.rd
+                    if rd:
+                        regs[rd] = regs[ins.rs1] >> (regs[ins.rs2] & 63)
+                    self.pc = pc + 1
+                elif op is _NOP or op is _FENCE:
+                    self.pc = pc + 1
+                elif op is _HALT:
+                    self.state = CoreState.HALTED
+                    self.pc = pc + 1
+                else:
+                    self._execute(ins)
+            except LockdownViolation as exc:
+                # Must precede MemoryFault: LockdownViolation subclasses it.
+                self._raise_exception(EXC_LOCKDOWN, str(exc))
+            except MemoryFault as exc:
+                self._raise_exception(EXC_MEMFAULT, str(exc),
+                                      fault_addr=exc.address)
+            except InvalidInstruction as exc:
+                self._raise_exception(EXC_INVALID, str(exc))
+            except ZeroDivisionError:
+                self._raise_exception(EXC_DIV0, "division by zero")
+            else:
+                self.instructions_retired += 1
+            return self.state is CoreState.RUNNING
+        return self._step_general()
+
+    def _step_general(self) -> bool:
+        """The reference interpreter: one instruction, no inlining.
+
+        ``repro bench`` runs the whole suite with ``fast_path`` off, forcing
+        every step through here, and asserts the final cycle counts match
+        the fast path bit-for-bit.
+        """
         self._require_power()
         # An expired timer wakes a core parked in WFI.
         if (
@@ -448,11 +732,13 @@ class Core:
             self.timer_fires += 1
             self._enter_handler(EXC_TIMER, self.pc)
 
-        # Exec watchpoints fire before the instruction executes.
-        for watchpoint in self._watchpoints.values():
-            if watchpoint.kind == "exec" and watchpoint.covers(self.pc):
-                self._trigger_watchpoint(watchpoint)
-                return False
+        # Exec watchpoints fire before the instruction executes (the empty
+        # dict is the overwhelmingly common case — skip the iterator).
+        if self._watchpoints:
+            for watchpoint in self._watchpoints.values():
+                if watchpoint.kind == "exec" and watchpoint.covers(self.pc):
+                    self._trigger_watchpoint(watchpoint)
+                    return False
 
         try:
             instruction = self._fetch()
@@ -486,13 +772,20 @@ class Core:
         immediately (the core really is asleep).
         """
         steps = 0
+        step = self.step
+        running = CoreState.RUNNING
+        wfi = CoreState.WFI
         while steps < max_steps:
-            if self.state not in (CoreState.RUNNING, CoreState.WFI):
+            state = self.state
+            if state is running:
+                step()
+                steps += 1
+                continue
+            if state is not wfi:
                 break
-            was_wfi = self.state is CoreState.WFI
-            self.step()
+            step()
             steps += 1
-            if was_wfi and self.state is CoreState.WFI:
+            if self.state is wfi:
                 break  # still asleep; nothing will change without time
         return steps
 
@@ -621,11 +914,38 @@ class Core:
             return None
 
     def _execute(self, ins: Instruction) -> None:
+        # Dispatch chain ordered hottest-first (ALU/memory/branch ops from
+        # the instruction-mix benchmarks); `is`-comparisons are mutually
+        # exclusive, so reordering cannot change semantics.
         op = ins.op
-        if op is Op.NOP or op is Op.FENCE:
+        if op is Op.ADDI:
+            self._set_reg(ins.rd, self._reg(ins.rs1) + ins.imm)
             self.pc += 1
-        elif op is Op.HALT:
-            self.state = CoreState.HALTED
+        elif op is Op.ADD:
+            self._set_reg(ins.rd, self._reg(ins.rs1) + self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.LOAD:
+            self._set_reg(ins.rd, self.read_word(self._reg(ins.rs1) + ins.imm))
+            self.pc += 1
+        elif op is Op.STORE:
+            self.write_word(self._reg(ins.rs1) + ins.imm, self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.BLT:
+            self._branch(self._reg(ins.rs1) < self._reg(ins.rs2), ins.imm)
+        elif op is Op.BNE:
+            self._branch(self._reg(ins.rs1) != self._reg(ins.rs2), ins.imm)
+        elif op is Op.BEQ:
+            self._branch(self._reg(ins.rs1) == self._reg(ins.rs2), ins.imm)
+        elif op is Op.BGE:
+            self._branch(self._reg(ins.rs1) >= self._reg(ins.rs2), ins.imm)
+        elif op is Op.AND:
+            self._set_reg(ins.rd, self._reg(ins.rs1) & self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.XOR:
+            self._set_reg(ins.rd, self._reg(ins.rs1) ^ self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.OR:
+            self._set_reg(ins.rd, self._reg(ins.rs1) | self._reg(ins.rs2))
             self.pc += 1
         elif op is Op.MOVI:
             self._set_reg(ins.rd, ins.imm)
@@ -633,11 +953,19 @@ class Core:
         elif op is Op.MOV:
             self._set_reg(ins.rd, self._reg(ins.rs1))
             self.pc += 1
-        elif op is Op.ADD:
-            self._set_reg(ins.rd, self._reg(ins.rs1) + self._reg(ins.rs2))
-            self.pc += 1
         elif op is Op.SUB:
             self._set_reg(ins.rd, self._reg(ins.rs1) - self._reg(ins.rs2))
+            self.pc += 1
+        elif op is Op.SHL:
+            self._set_reg(ins.rd, self._reg(ins.rs1) << (self._reg(ins.rs2) & 63))
+            self.pc += 1
+        elif op is Op.SHR:
+            self._set_reg(ins.rd, self._reg(ins.rs1) >> (self._reg(ins.rs2) & 63))
+            self.pc += 1
+        elif op is Op.NOP or op is Op.FENCE:
+            self.pc += 1
+        elif op is Op.HALT:
+            self.state = CoreState.HALTED
             self.pc += 1
         elif op is Op.MUL:
             self._set_reg(ins.rd, self._reg(ins.rs1) * self._reg(ins.rs2))
@@ -650,30 +978,6 @@ class Core:
             self._set_reg(ins.rd, self._reg(ins.rs1) // divisor)
             self.clock.tick(10)
             self.pc += 1
-        elif op is Op.AND:
-            self._set_reg(ins.rd, self._reg(ins.rs1) & self._reg(ins.rs2))
-            self.pc += 1
-        elif op is Op.OR:
-            self._set_reg(ins.rd, self._reg(ins.rs1) | self._reg(ins.rs2))
-            self.pc += 1
-        elif op is Op.XOR:
-            self._set_reg(ins.rd, self._reg(ins.rs1) ^ self._reg(ins.rs2))
-            self.pc += 1
-        elif op is Op.SHL:
-            self._set_reg(ins.rd, self._reg(ins.rs1) << (self._reg(ins.rs2) & 63))
-            self.pc += 1
-        elif op is Op.SHR:
-            self._set_reg(ins.rd, self._reg(ins.rs1) >> (self._reg(ins.rs2) & 63))
-            self.pc += 1
-        elif op is Op.ADDI:
-            self._set_reg(ins.rd, self._reg(ins.rs1) + ins.imm)
-            self.pc += 1
-        elif op is Op.LOAD:
-            self._set_reg(ins.rd, self.read_word(self._reg(ins.rs1) + ins.imm))
-            self.pc += 1
-        elif op is Op.STORE:
-            self.write_word(self._reg(ins.rs1) + ins.imm, self._reg(ins.rs2))
-            self.pc += 1
         elif op is Op.JMP:
             self.pc = ins.imm
         elif op is Op.JAL:
@@ -681,14 +985,6 @@ class Core:
             self.pc = ins.imm
         elif op is Op.JR:
             self.pc = self._reg(ins.rs1)
-        elif op is Op.BEQ:
-            self._branch(self._reg(ins.rs1) == self._reg(ins.rs2), ins.imm)
-        elif op is Op.BNE:
-            self._branch(self._reg(ins.rs1) != self._reg(ins.rs2), ins.imm)
-        elif op is Op.BLT:
-            self._branch(self._reg(ins.rs1) < self._reg(ins.rs2), ins.imm)
-        elif op is Op.BGE:
-            self._branch(self._reg(ins.rs1) >= self._reg(ins.rs2), ins.imm)
         elif op is Op.RDCYCLE:
             self._set_reg(ins.rd, self.clock.now)
             self.pc += 1

@@ -90,12 +90,15 @@ PERM_W = 0b010
 PERM_X = 0b001
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One decoded GISA instruction.
 
     ``imm`` holds immediates and resolved branch targets.  ``label`` only
     exists pre-assembly; :func:`assemble` resolves it into ``imm``.
+
+    Slotted because decoded instructions are long-lived now: the decoded
+    cache (``Dram.decoded``) keeps one per executed code word.
     """
 
     op: Op
@@ -131,6 +134,11 @@ def encode(instruction: Instruction) -> int:
     return word & WORD_MASK
 
 
+#: Opcode byte -> Op, precomputed so decode() skips the EnumMeta call
+#: machinery (and its try/except) on the fetch hot path.
+_OP_BY_CODE: dict[int, Op] = {int(op): op for op in Op}
+
+
 def decode(word: int) -> Instruction:
     """Unpack a 64-bit word into an :class:`Instruction`.
 
@@ -138,10 +146,9 @@ def decode(word: int) -> Instruction:
     an invalid-instruction exception.
     """
     opcode = (word >> 56) & 0xFF
-    try:
-        op = Op(opcode)
-    except ValueError as exc:
-        raise ValueError(f"unknown opcode 0x{opcode:02x}") from exc
+    op = _OP_BY_CODE.get(opcode)
+    if op is None:
+        raise ValueError(f"unknown opcode 0x{opcode:02x}")
     imm = word & _IMM_MASK
     if imm >= 1 << 31:  # sign-extend
         imm -= 1 << 32

@@ -218,6 +218,13 @@ class Machine:
         for cache in self.shared_caches:
             cache.flush()
 
+    def set_fast_path(self, enabled: bool) -> None:
+        """Toggle the fast-path interpreter on every core (the bench uses
+        the disabled mode as the reference interpreter; simulated timing is
+        identical either way)."""
+        for core in self.model_cores + self.hv_cores:
+            core.fast_path = enabled
+
 
 def _make_core_caches(config: MachineConfig, shared_l2: Cache | None,
                       prefix: str) -> CoreCaches:

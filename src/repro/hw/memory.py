@@ -44,6 +44,14 @@ class Dram:
         self._words = [0] * size_words
         #: Write generation counter; attestation uses it to detect mutation.
         self.write_count = 0
+        #: Physically-indexed decoded-instruction cache (local word address
+        #: -> decoded Instruction).  Lives on the bank — decode is a pure
+        #: function of the stored word, so every core sharing the bank may
+        #: share the entry, and invalidation is exact: any write to the
+        #: address (same core, sibling core, inspection bus, kill switch,
+        #: guest reload) drops it.  Purely a Python-cost cache; it charges
+        #: no cycles and is invisible to simulated time.
+        self.decoded: dict[int, object] = {}
 
     @property
     def num_frames(self) -> int:
@@ -63,6 +71,9 @@ class Dram:
             )
         self._words[address] = value & ((1 << 64) - 1)
         self.write_count += 1
+        if self.decoded:
+            # Self-modifying code: the stale decode must never be served.
+            self.decoded.pop(address, None)
 
     def load_words(self, address: int, words: list[int]) -> None:
         """Bulk-load ``words`` starting at ``address`` (program loading)."""
@@ -71,6 +82,9 @@ class Dram:
         for offset, word in enumerate(words):
             self._words[address + offset] = word & ((1 << 64) - 1)
         self.write_count += 1
+        # Guest (re)load / forensic restore / kill-switch zeroing: drop every
+        # decoded instruction for the bank rather than tracking the range.
+        self.decoded.clear()
 
     def snapshot(self, start: int = 0, length: int | None = None) -> list[int]:
         """Copy a region out (used by the inspection bus and attestation)."""
@@ -133,6 +147,13 @@ class Mmu:
     def __init__(self, name: str = "mmu") -> None:
         self.name = name
         self._table: dict[int, PageTableEntry] = {}
+        #: Bumped on every table mutation (map/unmap/lockdown/protect).
+        #: TLB entries record the generation they were filled at; the core's
+        #: TLB-hit fast path only trusts a cached PTE whose generation still
+        #: matches, so authority changes that skip a TLB shootdown (direct
+        #: ``mmu.map`` during program load, lockdown, weight protection) are
+        #: re-checked against the live table exactly as before.
+        self.generation = 0
         self._exec_region: ExecRegion | None = None
         #: Executable-page contents hash-frozen at lockdown (vpn -> ppn).
         self._locked_exec: dict[int, int] = {}
@@ -151,6 +172,7 @@ class Mmu:
         if vpn < 0 or entry.ppn < 0:
             raise MemoryFault(f"negative page number (vpn={vpn}, ppn={entry.ppn})")
         self._check_lockdown(vpn, entry)
+        self.generation += 1
         self._table[vpn] = entry
 
     def unmap(self, vpn: int) -> None:
@@ -162,6 +184,7 @@ class Mmu:
             raise LockdownViolation(
                 f"cannot unmap protected weight page vpn={vpn}"
             )
+        self.generation += 1
         self._table.pop(vpn, None)
 
     def lookup(self, vpn: int) -> PageTableEntry | None:
@@ -216,6 +239,7 @@ class Mmu:
             raise LockdownViolation("MMU already locked down")
         if base_vpn > bound_vpn:
             raise ValueError("base_vpn must be <= bound_vpn")
+        self.generation += 1
         region = ExecRegion(base_vpn, bound_vpn)
         # Any executable page outside the region is a configuration error.
         for vpn, entry in self._table.items():
@@ -269,6 +293,7 @@ class Mmu:
             raise LockdownViolation("weight region already protected")
         if base_vpn > bound_vpn:
             raise ValueError("base_vpn must be <= bound_vpn")
+        self.generation += 1
         region = ExecRegion(base_vpn, bound_vpn)
         for vpn in range(base_vpn, bound_vpn + 1):
             entry = self._table.get(vpn)

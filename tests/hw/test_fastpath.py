@@ -1,0 +1,245 @@
+"""Fast-path interpreter regressions: timing pins, decoded-cache
+invalidation, and self-modifying code.
+
+The fast path (docs/PERFORMANCE.md) must never change simulated timing, so
+these tests pin the exact cycle costs the side-channel experiments depend
+on — TLB hit vs miss, the flat vs two-dimensional (EPT) walk — and check
+them in both interpreter modes.  The decoded-instruction cache tests cover
+every invalidation edge: same-core stores, sibling-core stores, inspection
+bus writes, guest (re)load, microarch flush, and lockdown changes.
+"""
+
+import pytest
+
+from repro.analysis import Severity, analyze_program
+from repro.baseline.hypervisor import TraditionalHypervisor
+from repro.errors import MemoryFault
+from repro.hw import isa
+from repro.hw.core import Core, CoreState
+from repro.hw.isa import Instruction, Op, assemble, encode
+from repro.hw.machine import (
+    MachineConfig,
+    build_baseline_machine,
+    build_guillotine_machine,
+)
+from repro.hw.memory import Mmu, PAGE_SIZE, PageTableEntry
+
+#: Flat page-walk charge on a Guillotine core's TLB miss.
+FLAT_WALK = Mmu.WALK_COST * Core.WALK_TOUCH_COST
+#: L1d miss + L2 miss on a cold data access.
+COLD_CACHE = 12 + 40
+#: Two-dimensional (guest x EPT) walk on a baseline core's TLB miss.
+EPT_WALK = Mmu.WALK_COST * (1 + 2) * Core.WALK_TOUCH_COST  # SECOND_LEVEL=2
+
+
+def _guillotine():
+    machine = build_guillotine_machine(
+        MachineConfig(n_model_cores=2, n_hv_cores=1))
+    return machine, machine.model_cores[0]
+
+
+@pytest.fixture(params=[True, False], ids=["fast", "reference"])
+def interpreter(request, monkeypatch):
+    """Run the test body under both interpreter modes."""
+    monkeypatch.setattr(Core, "fast_path", request.param)
+    return request.param
+
+
+class TestTlbTiming:
+    def test_cold_access_charges_flat_walk_plus_misses(self, interpreter):
+        machine, core = _guillotine()
+        layout = machine.load_program(core, assemble([isa.halt()]))
+        before = machine.clock.now
+        core.read_word(layout["data_vaddr"])
+        assert machine.clock.now - before == FLAT_WALK + COLD_CACHE
+
+    def test_warm_access_is_one_cycle(self, interpreter):
+        machine, core = _guillotine()
+        layout = machine.load_program(core, assemble([isa.halt()]))
+        core.read_word(layout["data_vaddr"])
+        before = machine.clock.now
+        core.read_word(layout["data_vaddr"])
+        assert machine.clock.now - before == 1  # TLB hit + L1d hit
+
+    def test_tlb_hit_never_outlives_mmu_authority(self, interpreter):
+        """A warm TLB entry must not grant access the live MMU would deny:
+        a direct table edit (no shootdown) bumps the generation, so the
+        fast path re-checks and faults exactly like the reference path."""
+        machine, core = _guillotine()
+        layout = machine.load_program(core, assemble([isa.halt()]))
+        core.read_word(layout["data_vaddr"])  # TLB now warm for the page
+        core.mmu.unmap(layout["data_vaddr"] // PAGE_SIZE)
+        with pytest.raises(MemoryFault):
+            core.read_word(layout["data_vaddr"])
+
+    def test_protect_weights_revokes_cached_write_authority(self, interpreter):
+        machine, core = _guillotine()
+        layout = machine.load_program(core, assemble([isa.halt()]))
+        vpn = layout["data_vaddr"] // PAGE_SIZE
+        core.write_word(layout["data_vaddr"], 7)  # warm, writable
+        core.mmu.protect_weights(vpn, vpn + 1)
+        with pytest.raises(MemoryFault):
+            core.write_word(layout["data_vaddr"], 8)
+        assert core.read_word(layout["data_vaddr"]) == 7  # still readable
+
+    def test_ept_walk_is_two_dimensional(self, interpreter):
+        machine = build_baseline_machine(
+            MachineConfig(n_model_cores=1, n_hv_cores=0))
+        hypervisor = TraditionalHypervisor(machine)
+        layout = hypervisor.install_guest(assemble([isa.halt()]))
+        core = hypervisor.guest_core
+        before = machine.clock.now
+        core.read_word(layout["data_vaddr"])
+        assert machine.clock.now - before == EPT_WALK + COLD_CACHE
+        before = machine.clock.now
+        core.read_word(layout["data_vaddr"])
+        assert machine.clock.now - before == 1
+
+    def test_walk_charged_once_per_miss_not_per_hit(self, interpreter):
+        machine, core = _guillotine()
+        layout = machine.load_program(core, assemble([isa.halt()]))
+        core.read_word(layout["data_vaddr"])
+        before = machine.clock.now
+        for _ in range(8):
+            core.read_word(layout["data_vaddr"])
+        assert machine.clock.now - before == 8  # no hidden walk charges
+
+
+LOOP = [
+    isa.movi(1, 0), isa.movi(2, 50),
+    "loop",
+    isa.addi(1, 1, 1),
+    isa.blt(1, 2, "loop"),
+    isa.halt(),
+]
+
+
+class TestDecodedCache:
+    def _run_loop(self):
+        machine, core = _guillotine()
+        machine.load_program(core, assemble(LOOP))
+        core.resume()
+        core.run(max_steps=1_000)
+        bank = machine.banks["model_dram"]
+        return machine, core, bank
+
+    def test_fetch_populates_and_hits(self):
+        machine, core, bank = self._run_loop()
+        assert core.decoded_misses == len(LOOP) - 1  # one per code word
+        assert core.decoded_hits > 0
+        assert len(bank.decoded) == len(LOOP) - 1
+
+    def test_reference_mode_never_touches_decoded(self, monkeypatch):
+        monkeypatch.setattr(Core, "fast_path", False)
+        machine, core, bank = self._run_loop()
+        assert core.decoded_hits == 0
+        assert core.decoded_misses == 0
+        assert bank.decoded == {}
+
+    def test_dram_write_invalidates_exactly_that_word(self):
+        machine, core, bank = self._run_loop()
+        assert 0 in bank.decoded
+        bank.write(0, encode(isa.nop()))
+        assert 0 not in bank.decoded
+        assert 1 in bank.decoded  # neighbours survive
+
+    def test_inspection_bus_write_invalidates(self):
+        machine, core, bank = self._run_loop()
+        assert 0 in bank.decoded
+        machine.inspection_bus.write("model_dram", 0, encode(isa.nop()))
+        assert 0 not in bank.decoded
+
+    def test_sibling_core_store_invalidates(self):
+        machine, core, bank = self._run_loop()
+        sibling = machine.model_cores[1]
+        # Alias the code frame into the sibling's address space, writable.
+        sibling.mmu.map(0, PageTableEntry(
+            ppn=0, readable=True, writable=True, executable=False))
+        assert 0 in bank.decoded
+        sibling.write_word(0, encode(isa.nop()))
+        assert 0 not in bank.decoded
+
+    def test_guest_reload_clears(self):
+        machine, core, bank = self._run_loop()
+        assert bank.decoded
+        bank.load_words(0, [encode(isa.halt())])
+        assert bank.decoded == {}
+
+    def test_flush_microarch_clears(self):
+        machine, core, bank = self._run_loop()
+        assert bank.decoded
+        core.flush_microarch()
+        assert bank.decoded == {}
+
+    def test_lockdown_verb_clears(self):
+        machine, core, bank = self._run_loop()
+        assert bank.decoded
+        machine.control_bus.lockdown_mmu(core.name, 0, 8)
+        assert bank.decoded == {}
+
+
+def _selfmod_program():
+    """Store over the program's own next instruction, then jump back to it.
+
+    The slot initially holds ``movi r5, 1``.  Pass one executes it, patches
+    the slot with ``movi r5, 99`` through the data side, and jumps back;
+    pass two must fetch the *new* instruction (decoded-cache invalidation)
+    and take the exit branch.
+    """
+    patch = encode(isa.movi(5, 99))
+    high = patch >> 32
+    low = patch & 0xFFFFFFFF
+    assert high < 1 << 31 and low < 1 << 31  # movi immediates stay signed
+    return assemble([
+        isa.movi(9, 99),
+        Instruction(Op.MOVI, rd=3, label="slot"),
+        isa.movi(4, high),
+        isa.movi(6, 32),
+        isa.shl(4, 4, 6),
+        isa.movi(6, low),
+        isa.or_(4, 4, 6),
+        "slot",
+        isa.movi(5, 1),
+        isa.beq(5, 9, "done"),
+        isa.store(4, 3, 0),
+        isa.jr(3),
+        "done",
+        isa.halt(),
+    ])
+
+
+class TestSelfModifyingCode:
+    def _run(self):
+        machine, core = _guillotine()
+        program = _selfmod_program()
+        # The self-patching store needs an RWX mapping, which load_program
+        # (W^X) refuses — wire the page table by hand.
+        core.mmu.map(0, PageTableEntry(
+            ppn=0, readable=True, writable=True, executable=True))
+        machine.banks["model_dram"].load_words(0, list(program.words))
+        core.poke_pc(0)
+        core.resume()
+        core.run(max_steps=200)
+        return machine, core, program
+
+    def test_patched_instruction_is_observed(self, interpreter):
+        machine, core, _ = self._run()
+        assert core.state is CoreState.HALTED
+        assert core.registers[5] == 99  # pass two saw the patched movi
+
+    def test_fast_and_reference_timings_match(self, monkeypatch):
+        finals = []
+        for fast in (True, False):
+            monkeypatch.setattr(Core, "fast_path", fast)
+            machine, core, _ = self._run()
+            finals.append((machine.clock.now, core.instructions_retired,
+                           core.registers[5]))
+        assert finals[0] == finals[1]
+
+    def test_analyzer_still_flags_selfmod(self):
+        report = analyze_program(_selfmod_program(), name="selfmod-kernel")
+        assert any(
+            finding.category == "selfmod"
+            and finding.severity is Severity.ERROR
+            for finding in report.findings
+        )

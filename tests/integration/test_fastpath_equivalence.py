@@ -1,0 +1,101 @@
+"""Fast-path vs reference-interpreter equivalence on whole experiments.
+
+The fast-path engine's contract is that simulated virtual time is
+bit-identical with the fast path on or off (docs/PERFORMANCE.md).  These
+tests re-run timing-sensitive experiment harnesses — E2's prime+probe side
+channel and E4's interrupt flood — in both interpreter modes and demand
+identical results, cycle counts included.  If a fast-path change ever
+perturbs a single latency, the recovered secrets, throttle counts, or
+final clocks diverge here.
+"""
+
+import pytest
+
+from repro.core import harnesses as H
+from repro.hw import isa
+from repro.hw.core import Core
+from repro.hw.isa import assemble
+from repro.hw.machine import (
+    MachineConfig,
+    build_baseline_machine,
+    build_guillotine_machine,
+)
+
+
+def _both_modes(monkeypatch, run):
+    results = []
+    for fast in (True, False):
+        monkeypatch.setattr(Core, "fast_path", fast)
+        results.append(run())
+    return results
+
+
+SECRET = bytes([5, 17, 33, 60, 2, 44, 21, 9])
+
+
+class TestSideChannelEquivalence:
+    @pytest.mark.parametrize("platform", [
+        H.PLATFORM_BASELINE,
+        H.PLATFORM_GUILLOTINE,
+        H.PLATFORM_ABLATION_SHARED_CACHE,
+    ])
+    def test_e2_recovery_identical_across_modes(self, monkeypatch, platform):
+        fast, slow = _both_modes(
+            monkeypatch, lambda: H.side_channel_run(platform, SECRET))
+        assert fast.recovered == slow.recovered
+        assert fast.accuracy == slow.accuracy
+        assert fast.bits_per_trial == slow.bits_per_trial
+
+
+class TestInterruptFloodEquivalence:
+    @pytest.mark.parametrize("throttled", [True, False])
+    def test_e4_flood_identical_across_modes(self, monkeypatch, throttled):
+        fast, slow = _both_modes(
+            monkeypatch,
+            lambda: H.interrupt_flood_run(throttled=throttled, doorbells=500,
+                                          useful_units=50))
+        assert fast == slow  # dataclass equality: every counter and cycle
+
+
+class TestWorkloadEquivalence:
+    def _run_workload(self, build):
+        machine, core, install = build()
+        program = assemble([
+            isa.movi(1, 0), isa.movi(2, 300),
+            "loop",
+            isa.addi(1, 1, 1),
+            isa.mul(4, 1, 1),
+            isa.load(5, 7, 0),
+            isa.store(4, 7, 1),
+            isa.blt(1, 2, "loop"),
+            isa.halt(),
+        ])
+        layout = install(program)
+        core.poke_register(7, layout["data_vaddr"])
+        core.resume()
+        steps = core.run(max_steps=100_000)
+        return steps, machine.clock.now, list(core.registers)
+
+    def test_guillotine_cycles_and_state_identical(self, monkeypatch):
+        def build():
+            machine = build_guillotine_machine(
+                MachineConfig(n_model_cores=1, n_hv_cores=1))
+            core = machine.model_cores[0]
+            return machine, core, lambda p: machine.load_program(core, p)
+
+        fast, slow = _both_modes(monkeypatch,
+                                 lambda: self._run_workload(build))
+        assert fast == slow
+
+    def test_baseline_ept_cycles_and_state_identical(self, monkeypatch):
+        from repro.baseline.hypervisor import TraditionalHypervisor
+
+        def build():
+            machine = build_baseline_machine(
+                MachineConfig(n_model_cores=1, n_hv_cores=0))
+            hypervisor = TraditionalHypervisor(machine)
+            return machine, hypervisor.guest_core, hypervisor.install_guest
+
+        fast, slow = _both_modes(monkeypatch,
+                                 lambda: self._run_workload(build))
+        assert fast == slow

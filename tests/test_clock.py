@@ -124,3 +124,67 @@ class TestScheduling:
         clock.call_after(1, reschedule)
         with pytest.raises(RuntimeError):
             clock.drain(limit=50)
+
+
+class TestPendingBookkeeping:
+    """The O(1) live counter and cancelled-entry compaction."""
+
+    def test_pending_is_live_counter_not_heap_length(self, clock):
+        handles = [clock.call_after(i + 1, lambda: None) for i in range(10)]
+        for handle in handles[:4]:
+            handle.cancel()
+        assert clock.pending == 6
+        assert clock.queued_entries == 10  # residue stays until compaction
+
+    def test_cancel_after_fire_does_not_corrupt_counts(self, clock):
+        fired = []
+        handle = clock.call_after(5, lambda: fired.append(True))
+        clock.run_until(10)
+        assert fired == [True]
+        assert clock.pending == 0
+        handle.cancel()  # late cancel of an already-fired event
+        handle.cancel()
+        assert clock.pending == 0
+        assert handle.cancelled
+
+    def test_firing_decrements_pending(self, clock):
+        clock.call_after(1, lambda: None)
+        clock.call_after(2, lambda: None)
+        clock.run_until(1)
+        assert clock.pending == 1
+        clock.run_until(2)
+        assert clock.pending == 0
+
+    def test_compaction_bounds_heap_growth(self, clock):
+        """A schedule-and-cancel loop (heartbeat rearm pattern) must not
+        grow the heap without bound."""
+        for index in range(500):
+            clock.call_after(1000 + index, lambda: None).cancel()
+        assert clock.pending == 0
+        assert clock.queued_entries < 500
+
+    def test_compaction_preserves_fire_order(self, clock):
+        order = []
+        survivors = []
+        for index in range(200):
+            handle = clock.call_after(100 + index, lambda i=index: order.append(i))
+            if index % 3:
+                handle.cancel()
+            else:
+                survivors.append(index)
+        clock.run_until(1000)
+        assert order == survivors
+
+    def test_tick_to_exact_deadline_fires(self, clock):
+        fired = []
+        clock.call_at(10, lambda: fired.append(clock.now))
+        clock.tick(10)  # target == deadline: must leave the fast path
+        assert fired == [10]
+
+    def test_deadline_fast_path_does_not_fire_early(self, clock):
+        fired = []
+        clock.call_at(10, lambda: fired.append(True))
+        for _ in range(9):
+            clock.tick(1)
+        assert fired == []
+        assert clock.pending == 1
