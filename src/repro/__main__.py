@@ -12,6 +12,8 @@ Commands:
 * ``analyze``    — run the load-time static verifier over guest binaries
 * ``bench``      — the interpreter performance suite (fast path vs the
   reference interpreter, with determinism and cycle-equivalence checks)
+* ``chaos``      — seeded fault-injection campaigns with machine-checked
+  fail-closed invariants (the robustness suite)
 """
 
 from __future__ import annotations
@@ -41,10 +43,25 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+#: JSON schema identifier emitted by ``campaign --json``.
+CAMPAIGN_SCHEMA = "repro.campaign/1"
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
     from repro.core.scenarios import run_paired_campaign
 
-    baseline, guillotine = run_paired_campaign()
+    baseline, guillotine = run_paired_campaign(seed=args.seed)
+    if args.json:
+        payload = {
+            "schema": CAMPAIGN_SCHEMA,
+            "seed": args.seed,
+            "baseline": baseline.to_dict(),
+            "guillotine": guillotine.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if guillotine.containment_rate == 1.0 else 1
     width = 34
     print(f"{'adversary':<{width}}{'traditional':<13}{'guillotine':<13}")
     for b, g in zip(baseline.results, guillotine.results):
@@ -228,6 +245,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos(args.seed, args.campaigns)
+
+    print(f"{'campaign':<10}{'faults':<8}{'classes':<9}{'isolation':<14}"
+          f"{'drill':<24}{'invariants'}")
+    for run in report["runs"]:
+        bad = [inv["name"] for inv in run["invariants"] if not inv["passed"]]
+        verdict = "ok" if not bad else "FAIL: " + ",".join(bad)
+        print(f"{run['index']:<10}{run['faults_fired']:<8}"
+              f"{len(run['fault_classes_fired']):<9}"
+              f"{run['final_isolation']:<14}"
+              f"{run['operator_drill']['outcome']:<24}{verdict}")
+    totals = report["totals"]
+    print(f"fault classes exercised: "
+          f"{', '.join(totals['fault_classes'])}")
+
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    print(f"wrote {args.out}")
+
+    if not totals["all_passed"]:
+        for failure in totals["invariant_failures"]:
+            print(f"error: campaign {failure['campaign']} violated "
+                  f"{failure['invariant']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -235,7 +285,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("demo", help="quickstart flow")
-    subparsers.add_parser("campaign", help="E13 containment scoreboard")
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="E13 containment scoreboard")
+    campaign_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="seed the adversary roster order (reproducible runs)")
+    campaign_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the repro.campaign/1 JSON document")
     subparsers.add_parser("sidechannel", help="E2 + A1 comparison")
     verify_parser = subparsers.add_parser(
         "verify", help="bounded model-checking of the isolation machine")
@@ -264,6 +321,17 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument(
         "--out", default="BENCH_hw.json",
         help="output path for the repro.bench/1 JSON report")
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="seeded fault-injection campaigns + invariant checks")
+    chaos_parser.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed; derives every campaign's fault plan and roster")
+    chaos_parser.add_argument(
+        "--campaigns", type=int, default=5,
+        help="number of seeded campaigns to run")
+    chaos_parser.add_argument(
+        "--out", default="BENCH_chaos.json",
+        help="output path for the repro.chaos/1 JSON report")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -275,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "analyze": _cmd_analyze,
         "bench": _cmd_bench,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -9,6 +9,7 @@ contains everything the traditional column does not.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -48,6 +49,18 @@ class CampaignReport:
             for r in self.results
         ]
 
+    def to_dict(self) -> dict:
+        """Deterministic JSON-ready form (``campaign --json``)."""
+        return {
+            "platform": self.platform,
+            "containment_rate": self.containment_rate,
+            "results": [
+                {"adversary": r.adversary, "goal": r.goal,
+                 "contained": r.contained}
+                for r in self.results
+            ],
+        }
+
 
 def guillotine_factory() -> GuillotineSandbox:
     return GuillotineSandbox.create(with_circuit_breaker=False)
@@ -57,12 +70,27 @@ def baseline_factory() -> UnsandboxedDeployment:
     return UnsandboxedDeployment()
 
 
+def seeded_roster(seed: int) -> list[Adversary]:
+    """The standard roster in a seed-determined order.
+
+    Isolation state is per-deployment, so roster order does not change any
+    individual outcome — shuffling exists so the CLI can demonstrate (and
+    tests can assert) that containment is order-independent, with the order
+    itself reproducible from the seed."""
+    roster = standard_adversaries()
+    random.Random(seed).shuffle(roster)
+    return roster
+
+
 def run_campaign(
     deployment_factory: Callable[[], object],
     adversaries: list[Adversary] | None = None,
+    seed: int | None = None,
 ) -> CampaignReport:
     """Run each adversary against its own fresh deployment."""
-    adversaries = adversaries if adversaries is not None else standard_adversaries()
+    if adversaries is None:
+        adversaries = (seeded_roster(seed) if seed is not None
+                       else standard_adversaries())
     report = CampaignReport(platform=deployment_factory().kind)
     for adversary in adversaries:
         deployment = deployment_factory()
@@ -72,8 +100,11 @@ def run_campaign(
 
 def run_paired_campaign(
     adversaries: list[Adversary] | None = None,
+    seed: int | None = None,
 ) -> tuple[CampaignReport, CampaignReport]:
     """The E13 comparison: same roster, both platforms."""
+    if adversaries is None and seed is not None:
+        adversaries = seeded_roster(seed)
     return (
         run_campaign(baseline_factory, adversaries),
         run_campaign(guillotine_factory, adversaries),

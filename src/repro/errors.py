@@ -156,6 +156,11 @@ class PlantDestroyed(PhysicalError):
     """The physical plant no longer exists (post-immolation) and cannot act."""
 
 
+class ChannelSendFailed(PhysicalError):
+    """A console<->hypervisor channel send exhausted its bounded retry
+    budget (deterministic exponential backoff) without a delivery."""
+
+
 # ---------------------------------------------------------------------------
 # Policy errors (repro.policy)
 # ---------------------------------------------------------------------------

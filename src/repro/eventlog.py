@@ -35,6 +35,8 @@ CATEGORY_NETWORK = "network"
 CATEGORY_KILL_SWITCH = "physical.kill_switch"
 CATEGORY_POLICY = "policy"
 CATEGORY_ADMISSION = "hv.admission"
+CATEGORY_FAULT = "fault.injected"
+CATEGORY_CHANNEL = "physical.channel"
 
 
 @dataclass(frozen=True)

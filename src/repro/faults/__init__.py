@@ -1,0 +1,46 @@
+"""Deterministic fault injection for the Guillotine stack.
+
+The paper's §3.3–3.4 fail-closed story (assertions, machine checks,
+heartbeats, kill switches) is only credible if the failure modes are
+actually exercised.  This package supplies the exerciser:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded RNG expanded
+  into a reproducible schedule of fault events across every layer;
+* :mod:`repro.faults.injector` — :class:`Injector`, which arms a plan on
+  a live sandbox's :class:`~repro.clock.VirtualClock` and dispatches each
+  event into the owning layer's injection hook;
+* :mod:`repro.faults.invariants` — the three machine-checked robustness
+  invariants (isolation monotonicity, audit integrity, containment);
+* :mod:`repro.faults.chaos` — seeded campaigns (fault plan x adversary
+  roster) behind ``python -m repro chaos``, emitting ``repro.chaos/1``
+  reports.
+
+Every hook is inert until an injector arms it: empty dicts and ``False``
+flags guard the hot paths, and faults perturb *data and availability*,
+never simulated time — ``repro bench`` cycle counts are bit-identical
+with the subsystem present but unused.
+"""
+
+from repro.faults.chaos import CHAOS_SCHEMA, run_chaos
+from repro.faults.injector import Injector
+from repro.faults.invariants import (
+    InvariantResult,
+    check_audit_integrity,
+    check_containment,
+    check_isolation_monotonicity,
+)
+from repro.faults.plan import FAULT_CLASSES, FAULT_LAYERS, FaultEvent, FaultPlan
+
+__all__ = [
+    "CHAOS_SCHEMA",
+    "FAULT_CLASSES",
+    "FAULT_LAYERS",
+    "FaultEvent",
+    "FaultPlan",
+    "Injector",
+    "InvariantResult",
+    "check_audit_integrity",
+    "check_containment",
+    "check_isolation_monotonicity",
+    "run_chaos",
+]

@@ -1,0 +1,221 @@
+"""Seeded chaos campaigns: fault plan x adversary roster x invariants.
+
+One campaign = one fresh Guillotine deployment with heartbeats and a
+modelled console link, a seeded :class:`~repro.faults.plan.FaultPlan`
+armed on its clock, and a seeded-shuffled adversary roster run against it
+while the faults land.  Afterwards the three invariants from
+:mod:`repro.faults.invariants` are machine-checked and the whole thing is
+folded into a ``repro.chaos/1`` JSON report.
+
+Everything is derived from the seed and the virtual clock — no wall time,
+no unseeded RNG — so two runs with the same seed produce byte-identical
+reports, and a report that shows a violation is a complete reproducer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.sandbox import GuillotineSandbox
+from repro.errors import GuillotineError
+from repro.faults.injector import Injector
+from repro.faults.invariants import check_all
+from repro.faults.plan import MS, FaultPlan
+from repro.model.adversary import (
+    ActuatorSabotageAdversary,
+    AttackResult,
+    CollusionAdversary,
+    HarmfulGenerationAdversary,
+    SocialEngineeringAdversary,
+    WeightTheftAtRestAdversary,
+)
+from repro.physical.isolation import IsolationLevel
+from repro.physical.link import ConsoleLink
+
+CHAOS_SCHEMA = "repro.chaos/1"
+
+#: Heartbeat period for chaos deployments (timeout is 3x).
+HEARTBEAT_PERIOD = 200_000
+#: Virtual time each campaign runs for (also the fault-plan horizon).
+CAMPAIGN_HORIZON = 20 * MS
+
+
+def chaos_roster(rng: random.Random) -> list:
+    """The deployment-facing adversaries, in seeded order.
+
+    These five act directly on the campaign's sandbox (the other E13
+    adversaries build private measurement harnesses, which a fault plan
+    armed on *this* sandbox's clock cannot reach).
+    """
+    roster = [
+        WeightTheftAtRestAdversary(),
+        ActuatorSabotageAdversary(),
+        CollusionAdversary(),
+        SocialEngineeringAdversary(corrupted_admins=4),
+        HarmfulGenerationAdversary(),
+    ]
+    rng.shuffle(roster)
+    return roster
+
+
+def _run_adversary(adversary, sandbox) -> AttackResult:
+    """Adversaries promise never to raise, but a fault plan can break the
+    machinery *around* them (a wedged disk, Offline port surfaces).  Any
+    modelled error aborting the attempt is containment, not a crash."""
+    try:
+        return adversary.run(sandbox)
+    except GuillotineError as exc:
+        return AttackResult(
+            adversary=adversary.name,
+            goal=adversary.goal,
+            succeeded=False,
+            detail={"aborted_by": type(exc).__name__, "error": str(exc)},
+        )
+
+
+def run_campaign(campaign_seed: int, *, index: int = 0) -> dict:
+    """One deployment, one fault plan, one roster, three invariants."""
+    rng = random.Random(campaign_seed)
+    # The campaign seed drives fault plans and roster order, NOT the model:
+    # the toy LLM (and the steering threshold tuned against it) stays at the
+    # repo default so containment failures mean faults, not weight re-rolls.
+    sandbox = GuillotineSandbox.create(heartbeat_period=HEARTBEAT_PERIOD)
+    clock = sandbox.clock
+    console = sandbox.console
+    link = ConsoleLink(clock, sandbox.log)
+    console.install_link(link)
+    console.load_model(f"chaos-model-{index}")
+
+    start = clock.now
+    deadline = start + CAMPAIGN_HORIZON
+
+    def pump() -> None:
+        console.console_beat()
+        console.hypervisor_beat()
+        if clock.now < deadline:
+            clock.call_after(HEARTBEAT_PERIOD, pump)
+
+    clock.call_after(HEARTBEAT_PERIOD, pump)
+
+    plan = FaultPlan.generate(rng.randrange(2 ** 32),
+                              horizon=CAMPAIGN_HORIZON)
+    injector = Injector(sandbox, plan)
+
+    roster = chaos_roster(rng)
+    results: list[AttackResult] = []
+    step = CAMPAIGN_HORIZON // (len(roster) + 1)
+    for adversary in roster:
+        results.append(_run_adversary(adversary, sandbox))
+        target = min(clock.now + step, deadline)
+        if target > clock.now:
+            clock.run_until(target)
+    if deadline > clock.now:
+        clock.run_until(deadline)
+
+    drill = _operator_drill(console)
+    invariants = check_all(console, sandbox.log, results)
+
+    banks = sandbox.machine.banks
+    return {
+        "index": index,
+        "seed": campaign_seed,
+        "fault_plan": plan.to_dict(),
+        "faults_fired": len(injector.fired),
+        "faults_skipped": len(injector.skipped),
+        "fault_classes_fired": list(injector.fired_classes),
+        "roster": [adversary.name for adversary in roster],
+        "attacks": [
+            {"adversary": result.adversary, "contained": result.contained}
+            for result in results
+        ],
+        "operator_drill": drill,
+        "final_isolation": console.level.name,
+        "final_clock": clock.now,
+        "heartbeat": {
+            "tripped": bool(console.heartbeat and console.heartbeat.tripped),
+            "beats_suppressed": (
+                console.heartbeat.beats_suppressed
+                if console.heartbeat else 0
+            ),
+        },
+        "console_link": {
+            "sends_ok": link.sends_ok,
+            "retries": link.retries,
+            "sends_failed": link.sends_failed,
+        },
+        "device_timeouts": dict(
+            sorted(sandbox.hypervisor.device_timeouts.items())
+        ),
+        "ecc": {
+            "corrections": sum(b.ecc_corrections for b in banks.values()),
+            "machine_checks": sum(
+                b.ecc_machine_checks for b in banks.values()
+            ),
+        },
+        "hsm_reachable_signers": console.hsm.reachable_signers(),
+        "invariants": [result.to_dict() for result in invariants],
+        "passed": all(result.passed for result in invariants),
+    }
+
+
+def _operator_drill(console) -> dict:
+    """After the dust settles, operators attempt a quorum relaxation.
+
+    Exercises the legal-relax path (invariant 1 must *accept* it) and the
+    HSM's graceful degradation: with signer slots still dark the vote is
+    refused, never hung."""
+    drill = {
+        "attempted": False,
+        "approved": False,
+        "outcome": "not_applicable",
+    }
+    if console.level <= IsolationLevel.STANDARD or console.level in (
+        IsolationLevel.DECAPITATION, IsolationLevel.IMMOLATION
+    ):
+        return drill
+    drill["attempted"] = True
+    approving = {admin.name for admin in console.admins[:5]}
+    try:
+        console.admin_transition(
+            IsolationLevel.STANDARD, approving,
+            "post-incident recovery drill",
+        )
+    except GuillotineError as exc:
+        drill["outcome"] = f"refused: {type(exc).__name__}"
+        return drill
+    drill["approved"] = True
+    drill["outcome"] = "relaxed_to_standard"
+    return drill
+
+
+def run_chaos(seed: int, campaigns: int) -> dict:
+    """Run ``campaigns`` seeded campaigns; assemble the chaos report."""
+    if campaigns <= 0:
+        raise ValueError("campaigns must be positive")
+    master = random.Random(seed)
+    runs = [
+        run_campaign(master.randrange(2 ** 32), index=index)
+        for index in range(campaigns)
+    ]
+    classes = sorted({
+        fault_class for run in runs
+        for fault_class in run["fault_classes_fired"]
+    })
+    failures = [
+        {"campaign": run["index"], "invariant": result["name"]}
+        for run in runs
+        for result in run["invariants"]
+        if not result["passed"]
+    ]
+    return {
+        "schema": CHAOS_SCHEMA,
+        "seed": seed,
+        "campaigns": campaigns,
+        "runs": runs,
+        "totals": {
+            "fault_classes": classes,
+            "fault_events_fired": sum(run["faults_fired"] for run in runs),
+            "invariant_failures": failures,
+            "all_passed": not failures,
+        },
+    }

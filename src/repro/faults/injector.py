@@ -1,0 +1,212 @@
+"""Binds a :class:`~repro.faults.plan.FaultPlan` to a live sandbox.
+
+Each plan event is armed on the sandbox's :class:`~repro.clock.VirtualClock`
+and, when its time comes, dispatched to the ``_inject_<class>`` method that
+knows which layer hook to poke.  Every fired fault is recorded in the audit
+log under :data:`~repro.eventlog.CATEGORY_FAULT` so chaos reports (and the
+audit-integrity invariant) can attribute downstream escalations to their
+causes.
+
+The injector only *applies* faults; the layers' own fail-closed machinery
+(ECC machine checks, device timeouts, heartbeat watchdogs, quorum refusals)
+supplies the reaction being tested.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GuillotineError
+from repro.eventlog import CATEGORY_FAULT
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.physical.heartbeat import SIDE_CONSOLE
+
+#: Doorbell vector rung by guest port clients.
+_DOORBELL_VECTOR = 32
+#: A port id no grant will ever produce — storms of these are pure noise.
+_SPURIOUS_PORT = 999_983
+
+
+class Injector:
+    """Arms one fault plan against one Guillotine sandbox."""
+
+    def __init__(self, sandbox, plan: FaultPlan, *, arm: bool = True) -> None:
+        self.sandbox = sandbox
+        self.plan = plan
+        self.fired: list[FaultEvent] = []
+        self.skipped: list[tuple[FaultEvent, str]] = []
+        self._handles: list = []
+        self._armed = False
+        if arm:
+            self.arm()
+
+    def arm(self) -> None:
+        """Schedule every plan event on the sandbox clock (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        clock = self.sandbox.clock
+        for event in self.plan.events:
+            when = max(event.time, clock.now)
+            self._handles.append(
+                clock.call_at(when, lambda e=event: self._fire(e))
+            )
+
+    def disarm(self) -> None:
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+        self._armed = False
+
+    @property
+    def fired_classes(self) -> tuple[str, ...]:
+        return tuple(sorted({event.fault_class for event in self.fired}))
+
+    # ------------------------------------------------------------------
+
+    def _fire(self, event: FaultEvent) -> None:
+        log = self.sandbox.log
+        log.record(
+            "faults", CATEGORY_FAULT, fault=event.fault_class,
+            scheduled=event.time,
+            **{key: event.params[key] for key in sorted(event.params)},
+        )
+        handler = getattr(self, f"_inject_{event.fault_class}")
+        try:
+            handler(event)
+        except GuillotineError as exc:
+            # The stack reacted *during* injection (machine check, quorum
+            # refusal...) — that is the fail-closed response being tested,
+            # not an injection failure.
+            log.record(
+                "faults", CATEGORY_FAULT, fault=event.fault_class,
+                outcome="absorbed", error=type(exc).__name__,
+            )
+        self.fired.append(event)
+
+    def _skip(self, event: FaultEvent, reason: str) -> None:
+        self.skipped.append((event, reason))
+
+    # -- hw layer -------------------------------------------------------
+
+    def _inject_dram_bit_flip(self, event: FaultEvent) -> None:
+        bank = self.sandbox.machine.banks.get(event.param("bank"))
+        if bank is None:
+            self._skip(event, "no such bank")
+            return
+        bank.inject_bit_flip(event.param("offset") % bank.size,
+                             event.param("bit"))
+
+    def _inject_dram_stuck_bit(self, event: FaultEvent) -> None:
+        bank = self.sandbox.machine.banks.get(event.param("bank"))
+        if bank is None:
+            self._skip(event, "no such bank")
+            return
+        bank.inject_stuck_bit(event.param("offset") % bank.size,
+                              event.param("bit"), event.param("value", 0))
+
+    def _faulted_link(self, event: FaultEvent) -> tuple[str, str] | None:
+        machine = self.sandbox.machine
+        device = event.param("device")
+        if device not in machine.devices:
+            self._skip(event, "no such device")
+            return None
+        return machine.hv_cores[0].name, device
+
+    def _inject_bus_stall(self, event: FaultEvent) -> None:
+        link = self._faulted_link(event)
+        if link is None:
+            return
+        bus = self.sandbox.machine.bus
+        bus.inject_link_fault(*link,
+                              stall_cycles=event.param("stall_cycles"))
+        self.sandbox.clock.call_after(
+            event.param("duration"), lambda: bus.clear_link_fault(*link)
+        )
+
+    def _inject_bus_drop(self, event: FaultEvent) -> None:
+        link = self._faulted_link(event)
+        if link is None:
+            return
+        bus = self.sandbox.machine.bus
+        bus.inject_link_fault(*link, drop=True)
+        self.sandbox.clock.call_after(
+            event.param("duration"), lambda: bus.clear_link_fault(*link)
+        )
+
+    def _inject_device_wedge(self, event: FaultEvent) -> None:
+        device = self.sandbox.machine.devices.get(event.param("device"))
+        if device is None:
+            self._skip(event, "no such device")
+            return
+        device.wedge()
+        self.sandbox.clock.call_after(event.param("duration"),
+                                      device.unwedge)
+
+    def _inject_device_mid_dma(self, event: FaultEvent) -> None:
+        device = self.sandbox.machine.devices.get(event.param("device"))
+        if device is None:
+            self._skip(event, "no such device")
+            return
+        device.fail_after(event.param("operations", 0))
+
+    def _hv_lapic(self):
+        machine = self.sandbox.machine
+        return machine.lapics[machine.hv_cores[0].name]
+
+    def _inject_lapic_storm(self, event: FaultEvent) -> None:
+        lapic = self._hv_lapic()
+        for _ in range(event.param("burst")):
+            lapic.deliver("fault_injector", _DOORBELL_VECTOR, _SPURIOUS_PORT)
+        # The storm is only a storm if somebody answers the phone.
+        self.sandbox.hypervisor.service()
+
+    def _inject_doorbell_skew(self, event: FaultEvent) -> None:
+        clock = self.sandbox.clock
+        skew = event.param("skew")
+        for index in range(event.param("count", 1)):
+            clock.call_after(skew * (index + 1), self._skewed_doorbell)
+
+    def _skewed_doorbell(self) -> None:
+        self._hv_lapic().deliver("fault_injector", _DOORBELL_VECTOR,
+                                 _SPURIOUS_PORT)
+        self.sandbox.hypervisor.service()
+
+    # -- physical layer -------------------------------------------------
+
+    def _inject_heartbeat_drop(self, event: FaultEvent) -> None:
+        monitor = self.sandbox.console.heartbeat
+        if monitor is None:
+            self._skip(event, "heartbeats not enabled")
+            return
+        monitor.suppress(event.param("side"),
+                         event.param("periods") * monitor.period)
+
+    def _inject_console_outage(self, event: FaultEvent) -> None:
+        console = self.sandbox.console
+        duration = event.param("duration")
+        if console.link is not None:
+            console.link.inject_outage(duration)
+        elif console.heartbeat is not None:
+            # No modelled wire: a crashed console is a console whose beats
+            # never arrive.
+            console.heartbeat.suppress(SIDE_CONSOLE, duration)
+        else:
+            self._skip(event, "no link or heartbeat to fault")
+
+    def _inject_hsm_outage(self, event: FaultEvent) -> None:
+        console = self.sandbox.console
+        hsm = console.hsm
+        names = [admin.name for admin in
+                 console.admins[: event.param("signers", 1)]]
+        for name in names:
+            hsm.set_signer_available(name, False)
+        self.sandbox.clock.call_after(
+            event.param("duration"),
+            lambda: [hsm.set_signer_available(name, True) for name in names],
+        )
+
+    # -- hv layer -------------------------------------------------------
+
+    def _inject_hv_crash(self, event: FaultEvent) -> None:
+        self.sandbox.hypervisor.reboot_into_offline(
+            "fault injection: hypervisor core crash"
+        )

@@ -1,0 +1,116 @@
+"""The three machine-checked chaos invariants.
+
+Whatever the fault plan did, a surviving deployment must satisfy:
+
+1. **Isolation monotonicity** — the isolation level never relaxed without
+   an admin quorum: every applied transition to a lower level carries
+   ``actor="admins"``, and the console's live level matches the last
+   transition the audit log knows about (a "shadow relax" that skipped the
+   log is also a violation).
+2. **Audit integrity** — the hash chain verifies, indices are contiguous,
+   and timestamps never run backwards: faults may add records, but they
+   may not reorder, drop, or corrupt them.
+3. **Containment** — every adversary run during the campaign was
+   contained (the E13 property holds under every plan).
+
+These are *checkers*, not assertions inside the stack: they read the audit
+log and campaign results after the fact, so a fail-open bug that sneaks
+past the runtime machinery is still caught here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.eventlog import CATEGORY_ISOLATION, EventLog
+from repro.physical.isolation import IsolationLevel
+
+#: The only actor allowed to lower the isolation level (quorum-backed).
+RELAXATION_ACTOR = "admins"
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    name: str
+    passed: bool
+    violations: tuple[str, ...] = field(default=())
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "violations": list(self.violations),
+        }
+
+
+def check_isolation_monotonicity(console, log: EventLog) -> InvariantResult:
+    """Isolation only ratchets toward safety unless a quorum acted."""
+    violations: list[str] = []
+    applied = [r for r in log.by_category(CATEGORY_ISOLATION)
+               if r.detail.get("outcome") == "applied"]
+    for record in applied:
+        previous = IsolationLevel[record.detail["previous"]]
+        level = IsolationLevel[record.detail["level"]]
+        actor = record.detail.get("actor", "?")
+        if level < previous and actor != RELAXATION_ACTOR:
+            violations.append(
+                f"t={record.time}: relaxed {previous.name}->{level.name} "
+                f"by actor {actor!r} without a quorum"
+            )
+    if applied:
+        last_logged = applied[-1].detail["level"]
+        if console.level.name != last_logged:
+            violations.append(
+                f"console level {console.level.name} diverged from last "
+                f"audited transition {last_logged} (shadow transition)"
+            )
+    elif console.level is not IsolationLevel.STANDARD:
+        violations.append(
+            f"console at {console.level.name} with no audited transition"
+        )
+    return InvariantResult("isolation_monotonicity", not violations,
+                           tuple(violations))
+
+
+def check_audit_integrity(log: EventLog) -> InvariantResult:
+    """The hash-chained log survived the faults intact and in order."""
+    violations: list[str] = []
+    if not log.verify_chain():
+        violations.append("hash chain does not verify")
+    previous_time = -1
+    for position, record in enumerate(log):
+        if record.index != position:
+            violations.append(
+                f"record {position} carries index {record.index} "
+                "(dropped or reordered entry)"
+            )
+            break
+        if record.time < previous_time:
+            violations.append(
+                f"record {position} at t={record.time} precedes "
+                f"t={previous_time} (time ran backwards)"
+            )
+            break
+        previous_time = record.time
+    return InvariantResult("audit_integrity", not violations,
+                           tuple(violations))
+
+
+def check_containment(results: Iterable) -> InvariantResult:
+    """Every adversary that ran under the fault plan was contained."""
+    violations = [
+        f"adversary {result.adversary!r} escaped: {result.goal}"
+        for result in results
+        if result.succeeded
+    ]
+    return InvariantResult("containment", not violations, tuple(violations))
+
+
+def check_all(console, log: EventLog,
+              results: Iterable) -> list[InvariantResult]:
+    return [
+        check_isolation_monotonicity(console, log),
+        check_audit_integrity(log),
+        check_containment(results),
+    ]

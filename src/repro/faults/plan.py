@@ -1,0 +1,189 @@
+"""Seeded fault plans: one RNG seed -> one reproducible fault schedule.
+
+A :class:`FaultPlan` is pure data — ``(time, fault_class, params)``
+triples, sorted by time — generated from a :class:`random.Random` seed.
+The same seed always yields the same plan, so a chaos campaign that found
+a violation can be replayed exactly from its report.  Plans know nothing
+about live machines; binding a plan to a sandbox is the
+:class:`~repro.faults.injector.Injector`'s job.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: One millisecond of virtual time (the kill-switch latency unit).
+MS = 1_000_000
+
+#: Every injectable fault class, mapped to the layer whose hook fires it.
+FAULT_LAYERS: dict[str, str] = {
+    "dram_bit_flip": "hw",
+    "dram_stuck_bit": "hw",
+    "bus_stall": "hw",
+    "bus_drop": "hw",
+    "device_wedge": "hw",
+    "device_mid_dma": "hw",
+    "lapic_storm": "hw",
+    "doorbell_skew": "hw",
+    "heartbeat_drop": "physical",
+    "console_outage": "physical",
+    "hsm_outage": "physical",
+    "hv_crash": "hv",
+}
+
+FAULT_CLASSES: tuple[str, ...] = tuple(sorted(FAULT_LAYERS))
+
+#: Classes every generated plan covers at least once — seven distinct
+#: classes spanning all three layers (the chaos acceptance floor is six).
+CORE_CLASSES: tuple[str, ...] = (
+    "dram_bit_flip",
+    "bus_stall",
+    "device_wedge",
+    "lapic_storm",
+    "heartbeat_drop",
+    "hsm_outage",
+    "hv_crash",
+)
+
+#: Devices a standard machine always has (fault targets).
+_DEVICES = ("nic0", "disk0", "gpu0", "actuator0")
+_BANKS = ("model_dram", "hv_dram", "io_dram")
+_SIDES = ("console", "hypervisor")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: when, what, and class-specific parameters."""
+
+    time: int
+    fault_class: str
+    params: dict = field(default_factory=dict)
+
+    def param(self, key: str, default=None):
+        return self.params.get(key, default)
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "fault_class": self.fault_class,
+            "params": {k: self.params[k] for k in sorted(self.params)},
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted schedule of fault events."""
+
+    seed: int
+    horizon: int
+    events: tuple[FaultEvent, ...]
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        horizon: int = 20 * MS,
+        extra_events: int = 3,
+        classes: tuple[str, ...] = CORE_CLASSES,
+    ) -> "FaultPlan":
+        """Expand ``seed`` into a plan covering every class in ``classes``
+        at least once, plus ``extra_events`` extra draws from the same
+        pool.  Deterministic: same arguments, same plan."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        unknown = set(classes) - set(FAULT_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown fault classes: {sorted(unknown)}")
+        rng = random.Random(seed)
+        events = [cls._event(rng, fault_class, horizon)
+                  for fault_class in classes]
+        for _ in range(extra_events):
+            events.append(cls._event(rng, rng.choice(classes), horizon))
+        events.sort(key=lambda e: (e.time, e.fault_class))
+        return cls(seed=seed, horizon=horizon, events=tuple(events))
+
+    @staticmethod
+    def _event(rng: random.Random, fault_class: str,
+               horizon: int) -> FaultEvent:
+        late = rng.randrange(3 * horizon // 4, horizon)
+        early = rng.randrange(horizon // 10, 3 * horizon // 4)
+        if fault_class == "dram_bit_flip":
+            bank = rng.choice(_BANKS)
+            offset = rng.randrange(0, 2048 if bank == "hv_dram" else 4096)
+            return FaultEvent(early, fault_class, {
+                "bank": bank, "offset": offset, "bit": rng.randrange(64),
+            })
+        if fault_class == "dram_stuck_bit":
+            return FaultEvent(early, fault_class, {
+                "bank": "model_dram", "offset": rng.randrange(0, 4096),
+                "bit": rng.randrange(64), "value": rng.randrange(2),
+            })
+        if fault_class == "bus_stall":
+            return FaultEvent(early, fault_class, {
+                "device": rng.choice(_DEVICES),
+                "stall_cycles": rng.choice((500, 2_000, 8_000)),
+                "duration": rng.randrange(MS, 4 * MS),
+            })
+        if fault_class == "bus_drop":
+            return FaultEvent(early, fault_class, {
+                "device": rng.choice(_DEVICES),
+                "duration": rng.randrange(MS, 4 * MS),
+            })
+        if fault_class == "device_wedge":
+            return FaultEvent(early, fault_class, {
+                "device": rng.choice(_DEVICES),
+                "duration": rng.randrange(2 * MS, 6 * MS),
+            })
+        if fault_class == "device_mid_dma":
+            return FaultEvent(early, fault_class, {
+                "device": rng.choice(_DEVICES),
+                "operations": rng.randrange(0, 3),
+            })
+        if fault_class == "lapic_storm":
+            return FaultEvent(early, fault_class, {
+                "burst": rng.randrange(16, 64),
+            })
+        if fault_class == "doorbell_skew":
+            return FaultEvent(early, fault_class, {
+                "skew": rng.choice((1, 50, 5_000)),
+                "count": rng.randrange(1, 4),
+            })
+        if fault_class == "heartbeat_drop":
+            return FaultEvent(early, fault_class, {
+                "side": rng.choice(_SIDES),
+                "periods": rng.randrange(2, 8),
+            })
+        if fault_class == "console_outage":
+            return FaultEvent(early, fault_class, {
+                "duration": rng.randrange(MS // 2, 2 * MS),
+            })
+        if fault_class == "hsm_outage":
+            return FaultEvent(early, fault_class, {
+                "signers": rng.randrange(1, 5),
+                "duration": rng.randrange(2 * MS, 6 * MS),
+            })
+        if fault_class == "hv_crash":
+            # Crashing the hypervisor core pins the rest of the campaign
+            # at Offline; schedule it late so earlier faults get airtime.
+            return FaultEvent(late, fault_class, {})
+        raise ValueError(f"unknown fault class {fault_class!r}")
+
+    @property
+    def fault_classes(self) -> tuple[str, ...]:
+        return tuple(sorted({event.fault_class for event in self.events}))
+
+    @property
+    def layers(self) -> tuple[str, ...]:
+        return tuple(sorted({FAULT_LAYERS[event.fault_class]
+                             for event in self.events}))
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "fault_classes": list(self.fault_classes),
+            "layers": list(self.layers),
+            "events": [event.to_dict() for event in self.events],
+        }

@@ -26,6 +26,7 @@ from typing import Any, Callable
 
 from repro.errors import (
     AssertionTripped,
+    BusError,
     CapabilityError,
     GuestRejected,
     MachineCheck,
@@ -57,6 +58,7 @@ from repro.hv.ports import (
 )
 from repro.hw.attestation import digest_of
 from repro.hw.core import Core
+from repro.hw.devices import DeviceWedged
 from repro.hw.isa import Program
 from repro.hw.machine import Machine
 from repro.hw.memory import PAGE_SIZE
@@ -71,6 +73,14 @@ HANDLER_BASE_COST = 40
 USEFUL_WORK_UNIT_COST = 25
 #: Size of the (hypervisor-private) secret-indexed table, in cache lines.
 SECRET_TABLE_LINES = 64
+
+#: Cycles the hypervisor waits on an unresponsive device or bus link before
+#: declaring the interaction dead.  The wait is *bounded*: a wedged device
+#: costs this much and then fails closed — the service loop never hangs.
+DEVICE_TIMEOUT_CYCLES = 2_000
+#: Consecutive timed-out interactions on one device before the Probation
+#: escalation gives way to Severed.
+DEVICE_WEDGE_SEVER_THRESHOLD = 3
 
 #: Device ops that carry model *output* toward the world.
 _OUTBOUND_TEXT_OPS = {"send", "write", "actuate"}
@@ -133,6 +143,9 @@ class GuillotineHypervisor:
         self.isolation_level = IsolationLevel.STANDARD
         self.interrupts_handled = 0
         self.requests_denied = 0
+        #: Per-device count of timed-out interactions (wedge/bus-drop faults
+        #: converted into bounded failures by :meth:`_device_timeout`).
+        self.device_timeouts: dict[str, int] = {}
         self.useful_work_completed = 0
         self.panicked = False
         #: Wired by the control console: called with (level, reason) when the
@@ -433,13 +446,28 @@ class GuillotineHypervisor:
 
         # Execute the device interaction ourselves.
         device = self.machine.devices[port.device_name]
+        link_fault = self.machine.bus.link_fault(
+            self.machine.hv_cores[0].name, device.name
+        )
+        if link_fault is not None and link_fault.stall_cycles:
+            # Congested link: the transaction completes, late.
+            self.machine.clock.tick(link_fault.stall_cycles)
         try:
+            if link_fault is not None and link_fault.drop:
+                raise BusError(
+                    f"link to {device.name!r} is dropping transactions"
+                )
             payload = {k: v for k, v in request.items() if k != "holder"}
             response, latency = device.submit(payload)
         except MachineCheck:
             # Hardware-level faults are not a per-request condition; they
             # propagate so the service loop can fail closed.
             raise
+        except (DeviceWedged, BusError) as exc:
+            # No completion will ever arrive: bounded wait, then fail
+            # closed with an escalation instead of hanging.
+            self._device_timeout(port, mailbox, device.name, exc)
+            return
         except Exception as exc:
             mailbox.post_response(STATUS_DEVICE_ERROR, str(exc).encode())
             log.record("hv", CATEGORY_PORT_IO, port=port.port_id,
@@ -551,6 +579,41 @@ class GuillotineHypervisor:
                 layer_index=layer_hint,
             )
         return response
+
+    def _device_timeout(self, port: Port, mailbox: Mailbox,
+                        device_name: str, exc: Exception) -> None:
+        """A hypervisor-mediated device interaction never completed.
+
+        Charge the bounded timeout, answer the guest with a device error
+        (the port stays live), audit the event, and escalate isolation:
+        one wedge is Probation-worthy suspicion, a repeat offender
+        (>= :data:`DEVICE_WEDGE_SEVER_THRESHOLD`) gets its whole port
+        surface severed.  Failing closed here is what keeps a wedged
+        device from turning the service loop into a hang.
+        """
+        self.machine.clock.tick(DEVICE_TIMEOUT_CYCLES)
+        count = self.device_timeouts.get(device_name, 0) + 1
+        self.device_timeouts[device_name] = count
+        mailbox.post_response(
+            STATUS_DEVICE_ERROR, f"device timeout: {exc}".encode()
+        )
+        self.machine.log.record(
+            "hv", CATEGORY_PORT_IO, port=port.port_id,
+            outcome="device_timeout", device=device_name, timeouts=count,
+            error=str(exc),
+        )
+        if self.request_isolation is not None:
+            if count >= DEVICE_WEDGE_SEVER_THRESHOLD:
+                self.request_isolation(
+                    IsolationLevel.SEVERED,
+                    f"device {device_name} unresponsive "
+                    f"({count} timed-out interactions)",
+                )
+            else:
+                self.request_isolation(
+                    IsolationLevel.PROBATION,
+                    f"device {device_name} timeout: {exc}",
+                )
 
     def _deny(self, mailbox: Mailbox, port: Port, reason: str) -> None:
         self.requests_denied += 1

@@ -22,6 +22,7 @@ Three bus roles appear here:
 from __future__ import annotations
 
 from bisect import bisect_right
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 import networkx as nx
@@ -31,6 +32,22 @@ from repro.hw.memory import Dram, PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hw.core import Core
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """An injected transaction fault on one directed wire.
+
+    ``drop`` makes every transaction on the link raise :class:`BusError`
+    (the wire is electrically present but eats packets); ``stall_cycles``
+    is a latency penalty charged by mediating initiators that model a
+    bounded wait on a congested link.  Faults never change the *topology*
+    — :meth:`BusMatrix.reachable` still answers from the graph, because a
+    transient fault is not a severed cable.
+    """
+
+    drop: bool = False
+    stall_cycles: int = 0
 
 
 class BusMatrix:
@@ -47,6 +64,14 @@ class BusMatrix:
     def __init__(self) -> None:
         self._graph = nx.DiGraph()
         self._succ_cache: dict[str, frozenset[str]] = {}
+        #: Injected transaction faults (repro.faults): (initiator, target)
+        #: -> :class:`LinkFault`.  Empty in normal operation so the hot path
+        #: pays one truthiness check and nothing else.  Initiators with a
+        #: faulted outgoing edge are barred from the successor cache, which
+        #: forces the interpreter's inlined fast path back through
+        #: :meth:`assert_reachable` where the fault is enforced.
+        self._link_faults: dict[tuple[str, str], LinkFault] = {}
+        self._faulted_initiators: set[str] = set()
 
     def add_component(self, name: str, kind: str) -> None:
         """Register a component (core, dram, device, bus, console...)."""
@@ -73,7 +98,8 @@ class BusMatrix:
                 cached = frozenset(self._graph.successors(initiator))
             else:
                 cached = frozenset()
-            self._succ_cache[initiator] = cached
+            if initiator not in self._faulted_initiators:
+                self._succ_cache[initiator] = cached
         return cached
 
     def reachable(self, initiator: str, target: str) -> bool:
@@ -92,6 +118,39 @@ class BusMatrix:
             cached = self._successors(initiator)
         if target not in cached:
             raise BusError(f"no bus path from {initiator!r} to {target!r}")
+        if self._link_faults:
+            fault = self._link_faults.get((initiator, target))
+            if fault is not None and fault.drop:
+                raise BusError(
+                    f"injected fault: link {initiator!r} -> {target!r} "
+                    "is dropping transactions"
+                )
+
+    # -- fault injection (repro.faults) ---------------------------------------
+
+    def inject_link_fault(self, initiator: str, target: str, *,
+                          drop: bool = False, stall_cycles: int = 0) -> None:
+        """Install a transaction fault on an existing wire."""
+        if not self._graph.has_edge(initiator, target):
+            raise BusError(
+                f"cannot fault nonexistent link {initiator!r} -> {target!r}"
+            )
+        self._link_faults[(initiator, target)] = LinkFault(
+            drop=drop, stall_cycles=stall_cycles
+        )
+        self._faulted_initiators.add(initiator)
+        self._succ_cache.pop(initiator, None)
+
+    def clear_link_fault(self, initiator: str, target: str) -> None:
+        """Repair a faulted wire (no-op if it was never faulted)."""
+        self._link_faults.pop((initiator, target), None)
+        self._faulted_initiators = {i for i, _ in self._link_faults}
+
+    def link_fault(self, initiator: str, target: str) -> LinkFault | None:
+        """The live fault on a wire, if any (hot path: one dict check)."""
+        if not self._link_faults:
+            return None
+        return self._link_faults.get((initiator, target))
 
     def components(self, kind: str | None = None) -> list[str]:
         if kind is None:

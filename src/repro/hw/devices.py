@@ -29,6 +29,16 @@ class DeviceError(HardwareError):
     """A device rejected a request (bad op, bad argument, offline link)."""
 
 
+class DeviceWedged(DeviceError):
+    """The device stopped responding mid-transaction (fault injection).
+
+    A wedged device never completes: the hypervisor's bounded device
+    timeout (:mod:`repro.hv.hypervisor`) converts this into an error
+    response plus an isolation escalation instead of hanging the service
+    loop.
+    """
+
+
 class Device:
     """Base class: named, typed, with an operation counter."""
 
@@ -37,9 +47,36 @@ class Device:
     def __init__(self, name: str) -> None:
         self.name = name
         self.requests_served = 0
+        #: Fault-injection state (repro.faults).  ``wedged`` fails every
+        #: request until :meth:`unwedge`; ``_fail_after`` is a one-shot
+        #: countdown modelling a transfer that dies mid-DMA after N good
+        #: operations.  Both are inert (False/None) in normal operation.
+        self.wedged = False
+        self._fail_after: int | None = None
+
+    def wedge(self) -> None:
+        """Fault injection: the device stops completing requests."""
+        self.wedged = True
+
+    def unwedge(self) -> None:
+        self.wedged = False
+
+    def fail_after(self, operations: int) -> None:
+        """Fault injection: complete ``operations`` more requests, then
+        abort the next one mid-DMA (one-shot)."""
+        if operations < 0:
+            raise ValueError("operations must be >= 0")
+        self._fail_after = operations
 
     def submit(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
         """Process one request; returns ``(response, latency_cycles)``."""
+        if self.wedged:
+            raise DeviceWedged(f"{self.name}: device wedged (no completion)")
+        if self._fail_after is not None:
+            self._fail_after -= 1
+            if self._fail_after < 0:
+                self._fail_after = None
+                raise DeviceWedged(f"{self.name}: transfer aborted mid-DMA")
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:

@@ -204,11 +204,20 @@ class Machine:
 
     def hv_touch(self, paddr: int, core_index: int = 0) -> None:
         """Charge one hypervisor-software data access (Guillotine: on the
-        hypervisor core's private hierarchy)."""
+        hypervisor core's private hierarchy).
+
+        The access reads the backing word for real, so a corrupted word in
+        an ECC-protected hypervisor-private bank raises
+        :class:`~repro.errors.MachineCheck` here — detect-or-die, caught by
+        the service loop's reboot-into-offline path.  The read charges no
+        extra cycles (the hierarchy latency above is the timing model).
+        """
         core = self.hv_cores[core_index]
         self.clock.tick(Core._hierarchy_latency(
             core.caches.dcache_levels, paddr + self.hv_touch_offset,
         ))
+        bank, local = core.memory_map.resolve(paddr)
+        bank.read(local)
 
     def flush_all_microarch(self) -> None:
         """Flush per-core and shared microarchitectural state."""
@@ -271,6 +280,9 @@ def build_guillotine_machine(
 
     model_dram = Dram("model_dram", config.model_dram_pages * PAGE_SIZE)
     hv_dram = Dram("hv_dram", config.hv_dram_pages * PAGE_SIZE)
+    # Hypervisor-private state is ECC-protected: corrupted words are either
+    # corrected (single bit) or raise a machine check — never served silently.
+    hv_dram.ecc_enabled = True
     io_dram = Dram("io_dram", config.io_dram_pages * PAGE_SIZE)
     for bank in (model_dram, hv_dram, io_dram):
         machine.banks[bank.name] = bank

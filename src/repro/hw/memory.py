@@ -22,10 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import LockdownViolation, MemoryFault
+from repro.errors import LockdownViolation, MachineCheck, MemoryFault
 
 #: Words per page.  Deliberately small so tests touch many pages cheaply.
 PAGE_SIZE = 64
+
+#: All stored words are 64-bit.
+WORD_MASK = (1 << 64) - 1
 
 
 class Dram:
@@ -44,6 +47,21 @@ class Dram:
         self._words = [0] * size_words
         #: Write generation counter; attestation uses it to detect mutation.
         self.write_count = 0
+        #: ECC (SECDED-style) protection.  The machine builder turns this on
+        #: for hypervisor-private banks: a single flipped bit is corrected and
+        #: scrubbed on read, anything worse raises :class:`MachineCheck` —
+        #: detect-or-die, never silently serve corrupt hypervisor state.
+        self.ecc_enabled = False
+        self.ecc_corrections = 0
+        self.ecc_machine_checks = 0
+        #: Fault-injection state.  Both dicts are empty in normal operation,
+        #: so the read path pays a single truthiness check and the simulated
+        #: cycle counts are untouched (faults perturb *data*, never time).
+        #: ``_corrupt`` maps address -> word as last written (pre-corruption);
+        #: ``_stuck`` maps address -> ``(and_mask, or_mask)`` applied to every
+        #: write (a stuck-at cell keeps reasserting itself).
+        self._corrupt: dict[int, int] = {}
+        self._stuck: dict[int, tuple[int, int]] = {}
         #: Physically-indexed decoded-instruction cache (local word address
         #: -> decoded Instruction).  Lives on the bank — decode is a pure
         #: function of the stored word, so every core sharing the bank may
@@ -62,25 +80,121 @@ class Dram:
             raise MemoryFault(
                 f"physical read outside {self.name} (addr={address})", address
             )
+        if self._corrupt or self._stuck:
+            return self._read_faulted(address)
         return self._words[address]
+
+    def _read_faulted(self, address: int) -> int:
+        """Read path while any injected fault is live on this bank."""
+        word = self._words[address]
+        if address in self._stuck:
+            if self.ecc_enabled:
+                self.ecc_machine_checks += 1
+                raise MachineCheck(
+                    f"{self.name}: uncorrectable stuck-at fault at word "
+                    f"{address}"
+                )
+            return word
+        original = self._corrupt.get(address)
+        if original is None:
+            return word
+        if self.ecc_enabled:
+            flipped = bin(word ^ original).count("1")
+            if flipped <= 1:
+                # SECDED: correct the single-bit error and scrub the word.
+                self._words[address] = original
+                del self._corrupt[address]
+                self.decoded.pop(address, None)
+                self.ecc_corrections += 1
+                return original
+            self.ecc_machine_checks += 1
+            raise MachineCheck(
+                f"{self.name}: uncorrectable {flipped}-bit error at word "
+                f"{address}"
+            )
+        return word
 
     def write(self, address: int, value: int) -> None:
         if not 0 <= address < self.size:
             raise MemoryFault(
                 f"physical write outside {self.name} (addr={address})", address
             )
-        self._words[address] = value & ((1 << 64) - 1)
+        value &= WORD_MASK
+        if self._stuck:
+            masks = self._stuck.get(address)
+            if masks is not None:
+                value = (value & masks[0]) | masks[1]
+        if self._corrupt:
+            # Overwriting a soft error clears it.
+            self._corrupt.pop(address, None)
+        self._words[address] = value
         self.write_count += 1
         if self.decoded:
             # Self-modifying code: the stale decode must never be served.
             self.decoded.pop(address, None)
+
+    # -- fault injection (repro.faults) ---------------------------------------
+
+    def inject_bit_flip(self, address: int, bit: int) -> None:
+        """Flip one stored bit in place — a soft error / SEU.
+
+        The pre-fault word is remembered so ECC banks can model single-bit
+        correction; a second flip at the same address upgrades the error to
+        uncorrectable.
+        """
+        if not 0 <= address < self.size:
+            raise MemoryFault(f"bit flip outside {self.name}", address)
+        if not 0 <= bit < 64:
+            raise ValueError("bit must be in [0, 64)")
+        original = self._words[address]
+        self._corrupt.setdefault(address, original)
+        self._words[address] = original ^ (1 << bit)
+        self.decoded.pop(address, None)
+
+    def inject_stuck_bit(self, address: int, bit: int, value: int = 0) -> None:
+        """Wedge one cell: the bit reads (and rewrites) as ``value`` forever
+        — until :meth:`clear_faults` repairs the bank."""
+        if not 0 <= address < self.size:
+            raise MemoryFault(f"stuck-at fault outside {self.name}", address)
+        if not 0 <= bit < 64:
+            raise ValueError("bit must be in [0, 64)")
+        if value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+        if value:
+            masks = (WORD_MASK, 1 << bit)
+        else:
+            masks = (WORD_MASK ^ (1 << bit), 0)
+        self._stuck[address] = masks
+        self._words[address] = (self._words[address] & masks[0]) | masks[1]
+        self.decoded.pop(address, None)
+
+    def clear_faults(self) -> None:
+        """Repair the bank: restore soft-error words, release stuck cells."""
+        for address, original in self._corrupt.items():
+            self._words[address] = original
+            self.decoded.pop(address, None)
+        self._corrupt.clear()
+        self._stuck.clear()
+
+    @property
+    def faulted(self) -> bool:
+        return bool(self._corrupt or self._stuck)
 
     def load_words(self, address: int, words: list[int]) -> None:
         """Bulk-load ``words`` starting at ``address`` (program loading)."""
         if address < 0 or address + len(words) > self.size:
             raise MemoryFault(f"bulk load outside {self.name}", address)
         for offset, word in enumerate(words):
-            self._words[address + offset] = word & ((1 << 64) - 1)
+            self._words[address + offset] = word & WORD_MASK
+        if self._corrupt or self._stuck:
+            for offset in range(len(words)):
+                target = address + offset
+                self._corrupt.pop(target, None)
+                masks = self._stuck.get(target)
+                if masks is not None:
+                    self._words[target] = (
+                        self._words[target] & masks[0]
+                    ) | masks[1]
         self.write_count += 1
         # Guest (re)load / forensic restore / kill-switch zeroing: drop every
         # decoded instruction for the bank rather than tracking the range.

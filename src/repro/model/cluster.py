@@ -18,9 +18,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.sandbox import GuillotineSandbox
+from repro.errors import AssertionTripped, CapabilityError, MachineCheck
+from repro.hv.guest import PortRequestFailed
+from repro.hw.devices import DeviceError
 from repro.model.service import InferenceResult, ModelService
 from repro.net.network import Host
 from repro.physical.isolation import IsolationLevel
+
+#: What can legitimately kill an in-flight request on one member: a port
+#: denied/revoked/dead (isolation escalated under the request), a capability
+#: refused or a hypervisor assertion (high isolation), a device failing or
+#: wedging mid-transfer, or a machine check that panicked the deployment.
+#: Anything else — a genuine bug — propagates to the caller instead of being
+#: silently absorbed as "failover".
+MID_FLIGHT_FAILURES = (
+    PortRequestFailed,
+    CapabilityError,
+    AssertionTripped,
+    DeviceError,
+    MachineCheck,
+)
 
 
 @dataclass
@@ -65,6 +82,10 @@ class ServiceCluster:
         self._members: dict[str, ClusterMember] = {}
         self.results: list[tuple[str, InferenceResult]] = []
         self.failovers = 0
+        #: Failover attribution: exception class name -> count, plus an
+        #: ordered trace of (member, reason, detail) for chaos reports.
+        self.failovers_by_reason: dict[str, int] = {}
+        self.failover_log: list[dict[str, str]] = []
 
     # ------------------------------------------------------------------
 
@@ -128,9 +149,9 @@ class ServiceCluster:
                 member.service.submit(prompt, client_host=client_host,
                                       session=session)
                 result = member.service.step()
-            except Exception as exc:      # port death mid-flight
+            except MID_FLIGHT_FAILURES as exc:
                 last_error = exc
-                self.failovers += 1
+                self._record_failover(member.name, exc)
                 if member.healthy:
                     # Isolation relaxed but the old capabilities stayed
                     # revoked: re-grant and let the retry loop come back.
@@ -139,12 +160,44 @@ class ServiceCluster:
             if result is not None and (result.delivered or result.aborted):
                 self.results.append((member.name, result))
                 return member.name, result
-            self.failovers += 1
+            self._record_failover(member.name, None)
         raise NoHealthyDeployment(
             f"request unserveable after trying every member ({last_error})"
         )
 
+    def _record_failover(self, member_name: str,
+                         exc: Exception | None) -> None:
+        self.failovers += 1
+        reason = type(exc).__name__ if exc is not None else "undelivered"
+        self.failovers_by_reason[reason] = (
+            self.failovers_by_reason.get(reason, 0) + 1
+        )
+        self.failover_log.append({
+            "member": member_name,
+            "reason": reason,
+            "detail": str(exc) if exc is not None else "",
+        })
+
     # ------------------------------------------------------------------
+
+    def telemetry(self) -> dict:
+        """Failover attribution + per-member health for chaos/ops reports."""
+        return {
+            "failovers": self.failovers,
+            "failovers_by_reason": dict(
+                sorted(self.failovers_by_reason.items())
+            ),
+            "failover_log": list(self.failover_log),
+            "members": {
+                name: {
+                    "healthy": member.healthy,
+                    "isolation": member.sandbox.isolation_level.name,
+                    "requests_routed": member.requests_routed,
+                    "reprovisions": member.reprovisions,
+                }
+                for name, member in sorted(self._members.items())
+            },
+        }
 
     def routed_counts(self) -> dict[str, int]:
         return {name: m.requests_routed for name, m in self._members.items()}

@@ -45,6 +45,7 @@ from repro.physical.isolation import (
     software_transition_rule,
 )
 from repro.physical.killswitch import KillSwitchBank
+from repro.physical.link import ConsoleLink
 from repro.physical.plant import DatacenterPlant, LinkState
 
 NAME = "console"
@@ -77,6 +78,10 @@ class ControlConsole:
         self.level = IsolationLevel.STANDARD
         self.loaded_model: str | None = None
         self.heartbeat: HeartbeatMonitor | None = None
+        #: Optional modelled console<->hypervisor wire with retry/backoff;
+        #: when installed, beats travel through it and can be lost to
+        #: injected outages.  ``None`` keeps the legacy direct path.
+        self.link: "ConsoleLink | None" = None
         self.transition_history: list[tuple[int, str, str, str]] = []
 
         # Dedicated console <-> hypervisor-core buses, invisible to models.
@@ -257,13 +262,31 @@ class ControlConsole:
         )
         self.heartbeat.start()
 
+    def install_link(self, link: "ConsoleLink") -> None:
+        """Route future beats through a modelled channel (retry/backoff)."""
+        self.link = link
+
     def console_beat(self) -> None:
-        if self.heartbeat is not None:
-            self.heartbeat.beat(SIDE_CONSOLE)
+        if self.heartbeat is None:
+            return
+        monitor = self.heartbeat
+        if self.link is not None:
+            self.link.send(
+                lambda: monitor.beat(SIDE_CONSOLE), what="console_beat"
+            )
+        else:
+            monitor.beat(SIDE_CONSOLE)
 
     def hypervisor_beat(self) -> None:
-        if self.heartbeat is not None:
-            self.heartbeat.beat(SIDE_HYPERVISOR)
+        if self.heartbeat is None:
+            return
+        monitor = self.heartbeat
+        if self.link is not None:
+            self.link.send(
+                lambda: monitor.beat(SIDE_HYPERVISOR), what="hypervisor_beat"
+            )
+        else:
+            monitor.beat(SIDE_HYPERVISOR)
 
     def _heartbeat_lost(self, side: str, staleness: int) -> None:
         self.machine.log.record(

@@ -40,6 +40,10 @@ class HeartbeatMonitor:
         self._tripped = False
         self._handle: EventHandle | None = None
         self.checks_performed = 0
+        #: Fault injection: side -> virtual time until which its beats are
+        #: lost in transit.  Empty in normal operation.
+        self._suppressed: dict[str, int] = {}
+        self.beats_suppressed = 0
 
     def start(self) -> None:
         if self._running:
@@ -60,7 +64,24 @@ class HeartbeatMonitor:
         """Record a heartbeat from ``side``."""
         if side not in self._last_beat:
             raise ValueError(f"unknown heartbeat side {side!r}")
+        if self._suppressed:
+            until = self._suppressed.get(side)
+            if until is not None:
+                if self._clock.now < until:
+                    # The beat was sent but never arrives.
+                    self.beats_suppressed += 1
+                    return
+                del self._suppressed[side]
         self._last_beat[side] = self._clock.now
+
+    def suppress(self, side: str, duration: int) -> None:
+        """Fault injection: beats from ``side`` are dropped in transit
+        until ``now + duration``.  A window longer than ``timeout`` trips
+        the watchdog; a shorter one models recoverable beat delay."""
+        if side not in self._last_beat:
+            raise ValueError(f"unknown heartbeat side {side!r}")
+        until = self._clock.now + duration
+        self._suppressed[side] = max(self._suppressed.get(side, 0), until)
 
     @property
     def tripped(self) -> bool:
@@ -79,6 +100,9 @@ class HeartbeatMonitor:
             if now - last > self.timeout:
                 self._tripped = True
                 self._running = False
+                # The fired handle is spent; drop it so a later stop() is a
+                # clean idempotent no-op rather than cancelling a stale event.
+                self._handle = None
                 self._on_loss(side, now - last)
                 return
         self._schedule()

@@ -89,10 +89,32 @@ class HardwareSecurityModule:
         self._credentials = {a.name: a.credential for a in admins}
         self._sessions: dict[str, VoteSession] = {}
         self._counter = itertools.count(1)
+        #: Signer slots currently unreachable (fault injection: a dead
+        #: smartcard reader, a cut link to the signing ceremony).  Votes
+        #: from an unavailable slot cannot be verified and are rejected.
+        self._unavailable: set[str] = set()
 
     @property
     def num_admins(self) -> int:
         return len(self._credentials)
+
+    # -- signer availability (fault injection) --------------------------------
+
+    def set_signer_available(self, name: str, available: bool = True) -> None:
+        """Mark one admin's signer slot reachable or unreachable."""
+        if name not in self._credentials:
+            raise QuorumRejected(f"{name!r} is not an enrolled admin")
+        if available:
+            self._unavailable.discard(name)
+        else:
+            self._unavailable.add(name)
+
+    def signer_available(self, name: str) -> bool:
+        return name in self._credentials and name not in self._unavailable
+
+    def reachable_signers(self) -> int:
+        """How many enrolled signer slots can currently verify a vote."""
+        return len(self._credentials) - len(self._unavailable)
 
     def open_session(self, action: str, votes_required: int) -> VoteSession:
         session = VoteSession(
@@ -117,6 +139,10 @@ class HardwareSecurityModule:
         credential = self._credentials.get(vote.admin)
         if credential is None:
             raise QuorumRejected(f"{vote.admin!r} is not an enrolled admin")
+        if vote.admin in self._unavailable:
+            raise QuorumRejected(
+                f"signer slot for {vote.admin!r} is unreachable"
+            )
         expected = _sign(credential, vote.session_id, vote.action, vote.approve)
         if expected != vote.signature:
             raise QuorumRejected(f"bad signature for admin {vote.admin!r}")
@@ -145,9 +171,19 @@ class HardwareSecurityModule:
 
     def try_authorize(self, action: str, votes_required: int,
                       admins: list[Admin], approving: set[str]) -> bool:
-        """Convenience: run a whole session; ``approving`` names vote yes."""
+        """Convenience: run a whole session; ``approving`` names vote yes.
+
+        Degrades gracefully under signer outages: unreachable slots are
+        skipped (``k`` reachable signers can still authorize if ``k`` meets
+        the quorum), and when too few slots remain reachable the vote is
+        *refused immediately* rather than blocking on signers that will
+        never answer — a refusal keeps the current (safe) isolation level.
+        """
+        reachable = [a for a in admins if a.name not in self._unavailable]
+        if len(reachable) < votes_required:
+            return False
         session = self.open_session(action, votes_required)
-        for admin in admins:
+        for admin in reachable:
             self.cast(admin.sign_vote(
                 session.session_id, action, admin.name in approving
             ))

@@ -1,0 +1,97 @@
+"""The console <-> hypervisor-core communication channel.
+
+Section 3.4's heartbeat argument assumes the console and the hypervisor
+cores exchange messages over a real wire, and real wires fail.  This module
+models that wire with the fail-closed discipline the fault-injection
+subsystem exercises: every send gets a **bounded, deterministic
+retry-with-exponential-backoff** on the virtual clock.  A transient outage
+is ridden out by the retries; an outage longer than the whole backoff
+schedule makes the send *fail* — and a failed heartbeat send is exactly
+what the :class:`~repro.physical.heartbeat.HeartbeatMonitor` exists to
+notice.  Nothing here ever blocks forever.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.clock import VirtualClock
+from repro.eventlog import CATEGORY_CHANNEL, EventLog
+
+
+class ConsoleLink:
+    """A lossy-but-retried channel between the console and hypervisor cores.
+
+    ``send`` attempts a delivery up to ``max_attempts`` times.  Each attempt
+    costs :data:`SEND_COST` cycles; a failed attempt waits ``base_backoff *
+    2**n`` cycles before retrying.  All waits are virtual-clock ticks, so
+    the schedule is deterministic and other machinery (heartbeat checks,
+    fault events) fires *during* the backoff exactly as it would in real
+    time.  Exhausting the budget records an audit event and reports failure
+    to the caller — it never raises out of a beat path and never spins.
+    """
+
+    #: Cycles charged per delivery attempt.
+    SEND_COST = 2
+    #: First retry delay; doubles per attempt.
+    BASE_BACKOFF = 64
+    #: Delivery attempts before the send is declared failed.
+    MAX_ATTEMPTS = 5
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        log: EventLog,
+        *,
+        base_backoff: int = BASE_BACKOFF,
+        max_attempts: int = MAX_ATTEMPTS,
+    ) -> None:
+        if base_backoff <= 0 or max_attempts <= 0:
+            raise ValueError("backoff and attempts must be positive")
+        self._clock = clock
+        self._log = log
+        self.base_backoff = base_backoff
+        self.max_attempts = max_attempts
+        #: Virtual time until which the wire eats every message.
+        self._outage_until = 0
+        self.sends_ok = 0
+        self.retries = 0
+        self.sends_failed = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self._clock.now >= self._outage_until
+
+    def inject_outage(self, duration: int) -> None:
+        """Fault injection: the wire drops everything until now+duration."""
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        self._outage_until = max(
+            self._outage_until, self._clock.now + duration
+        )
+
+    def send(self, deliver: Callable[[], None], what: str = "message") -> bool:
+        """Attempt a delivery with bounded retry; returns success.
+
+        ``deliver`` runs exactly once, on the first attempt that finds the
+        wire up.  On exhaustion the failure is audited and ``False``
+        returned — the caller's fail-closed machinery (heartbeat watchdog,
+        isolation escalation) takes it from there.
+        """
+        backoff = self.base_backoff
+        for attempt in range(self.max_attempts):
+            self._clock.tick(self.SEND_COST)
+            if self._clock.now >= self._outage_until:
+                deliver()
+                self.sends_ok += 1
+                return True
+            self.retries += 1
+            if attempt + 1 < self.max_attempts:
+                self._clock.tick(backoff)
+                backoff *= 2
+        self.sends_failed += 1
+        self._log.record(
+            "physical", CATEGORY_CHANNEL, outcome="send_failed", what=what,
+            attempts=self.max_attempts,
+        )
+        return False

@@ -1,0 +1,123 @@
+"""End-to-end chaos campaign tests: determinism, coverage, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.faults.chaos import CHAOS_SCHEMA, run_campaign, run_chaos
+from repro.faults.plan import FAULT_LAYERS
+
+
+def report_bytes(seed: int, campaigns: int) -> str:
+    return json.dumps(run_chaos(seed, campaigns), sort_keys=True, indent=2)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_reports(self):
+        assert report_bytes(7, 2) == report_bytes(7, 2)
+
+    def test_different_seeds_differ(self):
+        assert report_bytes(7, 1) != report_bytes(8, 1)
+
+    def test_campaigns_are_independent_of_each_other(self):
+        # Campaign 0 is derived from the master seed alone, so a longer
+        # run starts with the same campaign.
+        short = run_chaos(7, 1)["runs"][0]
+        long = run_chaos(7, 3)["runs"][0]
+        assert short == long
+
+
+class TestCoverage:
+    def test_at_least_six_fault_classes_across_layers(self):
+        report = run_chaos(7, 3)
+        classes = report["totals"]["fault_classes"]
+        assert len(classes) >= 6
+        assert {FAULT_LAYERS[c] for c in classes} == {"hw", "physical", "hv"}
+
+    def test_every_campaign_checks_three_invariants(self):
+        report = run_chaos(7, 2)
+        for run in report["runs"]:
+            assert [inv["name"] for inv in run["invariants"]] == [
+                "isolation_monotonicity", "audit_integrity", "containment",
+            ]
+
+    def test_report_schema_and_totals(self):
+        report = run_chaos(11, 2)
+        assert report["schema"] == CHAOS_SCHEMA
+        assert report["campaigns"] == len(report["runs"]) == 2
+        assert report["totals"]["all_passed"] is True
+        assert report["totals"]["invariant_failures"] == []
+
+    def test_single_campaign_contains_attacks_and_drill(self):
+        run = run_campaign(1234)
+        assert len(run["attacks"]) == 5
+        assert all(attack["contained"] for attack in run["attacks"])
+        assert run["passed"]
+
+    def test_campaign_count_validated(self):
+        with pytest.raises(ValueError):
+            run_chaos(7, 0)
+
+
+class TestChaosCli:
+    def test_same_seed_byte_identical_files(self, tmp_path, capsys):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(["chaos", "--seed", "11", "--campaigns", "1",
+                     "--out", str(first)]) == 0
+        assert main(["chaos", "--seed", "11", "--campaigns", "1",
+                     "--out", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_report_is_valid_json_with_schema(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        main(["chaos", "--seed", "3", "--campaigns", "1", "--out", str(out)])
+        capsys.readouterr()
+        assert json.loads(out.read_text())["schema"] == CHAOS_SCHEMA
+
+    def test_violation_forces_nonzero_exit(self, tmp_path, capsys,
+                                           monkeypatch):
+        """Wire a deliberately fail-open campaign through the real CLI."""
+        import repro.faults.chaos as chaos_mod
+
+        real = chaos_mod.run_campaign
+
+        def sabotaged(seed, *, index=0):
+            run = real(seed, index=index)
+            run["invariants"][0] = {
+                "name": "isolation_monotonicity", "passed": False,
+                "violations": ["injected fail-open for the test"],
+            }
+            run["passed"] = False
+            return run
+
+        monkeypatch.setattr(chaos_mod, "run_campaign", sabotaged)
+        out = tmp_path / "bad.json"
+        assert main(["chaos", "--seed", "3", "--campaigns", "1",
+                     "--out", str(out)]) == 1
+        captured = capsys.readouterr()
+        assert "isolation_monotonicity" in captured.err
+
+
+class TestCampaignCliSeed:
+    def test_same_seed_byte_identical_json(self, capsys):
+        assert main(["campaign", "--seed", "5", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["campaign", "--seed", "5", "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert json.loads(first)["schema"] == "repro.campaign/1"
+
+    def test_seed_orders_the_roster(self, capsys):
+        main(["campaign", "--seed", "1", "--json"])
+        first = json.loads(capsys.readouterr().out)
+        main(["campaign", "--seed", "2", "--json"])
+        second = json.loads(capsys.readouterr().out)
+        def names(doc):
+            return [r["adversary"] for r in doc["guillotine"]["results"]]
+
+        assert sorted(names(first)) == sorted(names(second))
+        assert names(first) != names(second)   # distinct shuffles
+        assert first["guillotine"]["containment_rate"] == 1.0

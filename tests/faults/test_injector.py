@@ -1,0 +1,248 @@
+"""Injector tests: each fault class lands and the stack fails *closed*."""
+
+import pytest
+
+from repro.core.sandbox import GuillotineSandbox
+from repro.errors import MachineCheck, QuorumRejected
+from repro.eventlog import CATEGORY_FAULT
+from repro.faults.injector import Injector
+from repro.faults.plan import MS, FaultEvent, FaultPlan
+from repro.hv.guest import PortRequestFailed
+from repro.hv.hypervisor import DEVICE_WEDGE_SEVER_THRESHOLD
+from repro.physical.isolation import IsolationLevel
+
+
+def plan_of(*events: FaultEvent) -> FaultPlan:
+    return FaultPlan(seed=0, horizon=MS, events=tuple(events))
+
+
+@pytest.fixture
+def sandbox():
+    return GuillotineSandbox.create()
+
+
+def fire(sandbox, *events: FaultEvent) -> Injector:
+    injector = Injector(sandbox, plan_of(*events))
+    latest = max(event.time for event in events)
+    sandbox.clock.run_until(latest + 1)
+    return injector
+
+
+class TestDramFaults:
+    def test_bit_flip_corrupts_model_dram_silently(self, sandbox):
+        bank = sandbox.machine.banks["model_dram"]
+        bank.write(64, 0b1000)
+        fire(sandbox, FaultEvent(100, "dram_bit_flip",
+                                 {"bank": "model_dram", "offset": 64,
+                                  "bit": 0}))
+        assert bank.read(64) == 0b1001   # no ECC on model DRAM
+        assert bank.ecc_machine_checks == 0
+
+    def test_single_bit_flip_in_hv_dram_is_corrected(self, sandbox):
+        bank = sandbox.machine.banks["hv_dram"]
+        bank.write(8, 0xDEAD)
+        fire(sandbox, FaultEvent(100, "dram_bit_flip",
+                                 {"bank": "hv_dram", "offset": 8, "bit": 3}))
+        assert bank.read(8) == 0xDEAD    # ECC scrubbed it
+        assert bank.ecc_corrections == 1
+
+    def test_double_bit_flip_in_hv_dram_machine_checks(self, sandbox):
+        bank = sandbox.machine.banks["hv_dram"]
+        bank.write(8, 0xDEAD)
+        fire(sandbox,
+             FaultEvent(100, "dram_bit_flip",
+                        {"bank": "hv_dram", "offset": 8, "bit": 3}),
+             FaultEvent(100, "dram_stuck_bit",
+                        {"bank": "hv_dram", "offset": 8, "bit": 9,
+                         "value": 1}))
+        with pytest.raises(MachineCheck):
+            bank.read(8)
+
+    def test_unknown_bank_is_skipped_not_crashed(self, sandbox):
+        injector = fire(sandbox, FaultEvent(100, "dram_bit_flip",
+                                            {"bank": "phantom_dram",
+                                             "offset": 0, "bit": 0}))
+        assert injector.skipped and injector.skipped[0][1] == "no such bank"
+
+
+class TestDeviceFaults:
+    def test_wedged_device_times_out_into_probation(self, sandbox):
+        sandbox.console.load_model("m")
+        client = sandbox.client_for("disk0", holder="m")
+        fire(sandbox, FaultEvent(100, "device_wedge",
+                                 {"device": "disk0", "duration": 4 * MS}))
+        with pytest.raises(PortRequestFailed, match="device timeout"):
+            client.request({"op": "read", "block": 0, "length": 4})
+        assert sandbox.isolation_level is IsolationLevel.PROBATION
+        assert sandbox.hypervisor.device_timeouts["disk0"] == 1
+
+    def test_repeated_wedge_timeouts_escalate_to_severed(self, sandbox):
+        sandbox.console.load_model("m")
+        client = sandbox.client_for("disk0", holder="m")
+        fire(sandbox, FaultEvent(100, "device_wedge",
+                                 {"device": "disk0", "duration": 10 * MS}))
+        for _ in range(DEVICE_WEDGE_SEVER_THRESHOLD):
+            with pytest.raises(PortRequestFailed):
+                client.request({"op": "read", "block": 0, "length": 4})
+        assert sandbox.isolation_level >= IsolationLevel.SEVERED
+
+    def test_device_recovers_after_wedge_duration(self, sandbox):
+        sandbox.console.load_model("m")
+        device = sandbox.machine.devices["disk0"]
+        fire(sandbox, FaultEvent(100, "device_wedge",
+                                 {"device": "disk0", "duration": 1000}))
+        assert device.wedged
+        sandbox.clock.run_until(100 + 1000 + 1)
+        assert not device.wedged
+
+    def test_mid_dma_failure_aborts_first_transfer(self, sandbox):
+        sandbox.console.load_model("m")
+        client = sandbox.client_for("disk0", holder="m")
+        fire(sandbox, FaultEvent(100, "device_mid_dma",
+                                 {"device": "disk0", "operations": 0}))
+        with pytest.raises(PortRequestFailed, match="device timeout"):
+            client.request({"op": "read", "block": 0, "length": 4})
+        # One-shot: the next transfer goes through.
+        response = client.request({"op": "read", "block": 1, "length": 4})
+        assert response is not None
+
+
+class TestBusFaults:
+    def test_drop_fault_times_out_but_topology_is_intact(self, sandbox):
+        sandbox.console.load_model("m")
+        client = sandbox.client_for("nic0", holder="m")
+        fire(sandbox, FaultEvent(100, "bus_drop",
+                                 {"device": "nic0", "duration": 4 * MS}))
+        bus = sandbox.machine.bus
+        hv_core = sandbox.machine.hv_cores[0].name
+        assert bus.reachable(hv_core, "nic0")   # wiring, not transactions
+        with pytest.raises(PortRequestFailed, match="device timeout"):
+            client.request({"op": "send", "payload": b"x"})
+
+    def test_stall_fault_charges_cycles_but_delivers(self, sandbox):
+        sandbox.console.load_model("m")
+        client = sandbox.client_for("disk0", holder="m")
+        client.request({"op": "read", "block": 0, "length": 4})
+        fire(sandbox, FaultEvent(sandbox.clock.now + 10, "bus_stall",
+                                 {"device": "disk0", "stall_cycles": 8000,
+                                  "duration": 4 * MS}))
+        before = sandbox.clock.now
+        response = client.request({"op": "read", "block": 0, "length": 4})
+        assert response is not None
+        assert sandbox.clock.now - before >= 8000
+        assert sandbox.isolation_level is IsolationLevel.STANDARD
+
+    def test_fault_clears_after_duration(self, sandbox):
+        sandbox.console.load_model("m")
+        client = sandbox.client_for("disk0", holder="m")
+        fire(sandbox, FaultEvent(100, "bus_drop",
+                                 {"device": "disk0", "duration": 1000}))
+        sandbox.clock.run_until(100 + 1000 + 1)
+        response = client.request({"op": "read", "block": 0, "length": 4})
+        assert response is not None
+
+
+class TestInterruptFaults:
+    def test_lapic_storm_is_absorbed(self, sandbox):
+        fire(sandbox, FaultEvent(100, "lapic_storm", {"burst": 32}))
+        assert not sandbox.hypervisor.panicked
+        assert sandbox.isolation_level is IsolationLevel.STANDARD
+
+    def test_doorbell_skew_rings_off_schedule(self, sandbox):
+        before = sandbox.hypervisor.interrupts_handled
+        fire(sandbox, FaultEvent(100, "doorbell_skew",
+                                 {"skew": 50, "count": 3}))
+        sandbox.clock.run_until(100 + 3 * 50 + 1)
+        assert sandbox.hypervisor.interrupts_handled >= before + 3
+        assert not sandbox.hypervisor.panicked
+
+
+class TestPhysicalFaults:
+    def test_heartbeat_drop_trips_watchdog_into_offline(self):
+        sandbox = GuillotineSandbox.create(heartbeat_period=100)
+        console = sandbox.console
+        clock = sandbox.clock
+        Injector(sandbox, plan_of(
+            FaultEvent(500, "heartbeat_drop",
+                       {"side": "console", "periods": 6}),
+        ))
+        for _ in range(20):
+            clock.tick(100)
+            console.console_beat()
+            console.hypervisor_beat()
+        assert console.heartbeat.tripped
+        assert console.heartbeat.beats_suppressed > 0
+        assert console.level is IsolationLevel.OFFLINE
+
+    def test_short_heartbeat_delay_is_recoverable(self):
+        sandbox = GuillotineSandbox.create(heartbeat_period=100)
+        console = sandbox.console
+        clock = sandbox.clock
+        Injector(sandbox, plan_of(
+            FaultEvent(500, "heartbeat_drop",
+                       {"side": "console", "periods": 1}),
+        ))
+        for _ in range(20):
+            clock.tick(100)
+            console.console_beat()
+            console.hypervisor_beat()
+        assert not console.heartbeat.tripped
+        assert console.level is IsolationLevel.STANDARD
+
+    def test_hsm_outage_degrades_then_refuses(self, sandbox):
+        console = sandbox.console
+        fire(sandbox, FaultEvent(100, "hsm_outage",
+                                 {"signers": 4, "duration": 4 * MS}))
+        assert console.hsm.reachable_signers() == 3
+        # Restricting needs 3 votes: still possible with 3 reachable slots.
+        console.admin_transition(
+            IsolationLevel.SEVERED,
+            {"admin4", "admin5", "admin6"}, "incident",
+        )
+        # Relaxing needs 5 votes: refused immediately, never hung.
+        with pytest.raises(QuorumRejected):
+            console.admin_transition(
+                IsolationLevel.STANDARD,
+                {f"admin{i}" for i in range(7)}, "too soon",
+            )
+        # Signer slots come back after the outage window.
+        sandbox.clock.run_until(100 + 4 * MS + 1)
+        assert console.hsm.reachable_signers() == 7
+
+    def test_hv_crash_reboots_into_offline(self, sandbox):
+        fire(sandbox, FaultEvent(100, "hv_crash", {}))
+        assert sandbox.hypervisor.panicked
+        assert sandbox.isolation_level is IsolationLevel.OFFLINE
+
+
+class TestBookkeeping:
+    def test_every_fired_fault_is_audited(self, sandbox):
+        injector = fire(
+            sandbox,
+            FaultEvent(100, "lapic_storm", {"burst": 16}),
+            FaultEvent(200, "device_wedge",
+                       {"device": "gpu0", "duration": 1000}),
+        )
+        assert len(injector.fired) == 2
+        faults = sandbox.log.by_category(CATEGORY_FAULT)
+        assert [r.detail["fault"] for r in faults] == [
+            "lapic_storm", "device_wedge",
+        ]
+
+    def test_disarm_cancels_pending_events(self, sandbox):
+        injector = Injector(sandbox, plan_of(
+            FaultEvent(100, "hv_crash", {}),
+        ))
+        injector.disarm()
+        sandbox.clock.run_until(1000)
+        assert injector.fired == []
+        assert not sandbox.hypervisor.panicked
+
+    def test_arm_is_idempotent(self, sandbox):
+        injector = Injector(sandbox, plan_of(
+            FaultEvent(100, "lapic_storm", {"burst": 8}),
+        ), arm=False)
+        injector.arm()
+        injector.arm()
+        sandbox.clock.run_until(200)
+        assert len(injector.fired) == 1

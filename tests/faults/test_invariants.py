@@ -1,0 +1,133 @@
+"""Tests for the three chaos invariant checkers.
+
+The fail-open fixtures here deliberately *break* the stack's rules —
+bypassing the quorum path, editing audit history — to prove the checkers
+catch exactly the violations they exist for.
+"""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.core.sandbox import GuillotineSandbox
+from repro.eventlog import EventLog
+from repro.faults.invariants import (
+    check_all,
+    check_audit_integrity,
+    check_containment,
+    check_isolation_monotonicity,
+)
+from repro.model.adversary import AttackResult
+from repro.physical.isolation import IsolationLevel
+
+RELAX_QUORUM = {f"admin{i}" for i in range(5)}
+RESTRICT_QUORUM = {"admin0", "admin1", "admin2"}
+
+
+@pytest.fixture
+def sandbox():
+    return GuillotineSandbox.create()
+
+
+class TestIsolationMonotonicity:
+    def test_untouched_deployment_passes(self, sandbox):
+        result = check_isolation_monotonicity(sandbox.console, sandbox.log)
+        assert result.passed
+
+    def test_quorum_relaxation_is_legal(self, sandbox):
+        console = sandbox.console
+        console.admin_transition(IsolationLevel.SEVERED, RESTRICT_QUORUM,
+                                 "incident")
+        console.admin_transition(IsolationLevel.STANDARD, RELAX_QUORUM,
+                                 "recovered")
+        result = check_isolation_monotonicity(console, sandbox.log)
+        assert result.passed
+
+    def test_fail_open_relaxation_is_caught(self, sandbox):
+        """A deliberately broken fail-open path: something relaxes the
+        level without a quorum.  The checker must flag it even though the
+        runtime machinery happily recorded it."""
+        console = sandbox.console
+        console.admin_transition(IsolationLevel.SEVERED, RESTRICT_QUORUM,
+                                 "incident")
+        # Bug under test: a direct _execute bypassing admin_transition.
+        console._execute(IsolationLevel.STANDARD, "oops, fail-open",
+                         actor="hypervisor")
+        result = check_isolation_monotonicity(console, sandbox.log)
+        assert not result.passed
+        assert "without a quorum" in result.violations[0]
+
+    def test_shadow_transition_is_caught(self, sandbox):
+        """A relax that skips the audit log entirely is also a violation."""
+        console = sandbox.console
+        console.admin_transition(IsolationLevel.SEVERED, RESTRICT_QUORUM,
+                                 "incident")
+        console.level = IsolationLevel.STANDARD   # no log record
+        result = check_isolation_monotonicity(console, sandbox.log)
+        assert not result.passed
+        assert "shadow transition" in result.violations[0]
+
+    def test_unaudited_nonstandard_level_is_caught(self, sandbox):
+        sandbox.console.level = IsolationLevel.OFFLINE
+        result = check_isolation_monotonicity(sandbox.console, sandbox.log)
+        assert not result.passed
+
+    def test_watchdog_escalation_is_legal(self, sandbox):
+        # Escalations never need a quorum — only relaxations do.
+        sandbox.console._execute(IsolationLevel.OFFLINE, "heartbeat lost",
+                                 actor="watchdog")
+        result = check_isolation_monotonicity(sandbox.console, sandbox.log)
+        assert result.passed
+
+
+class TestAuditIntegrity:
+    def test_real_log_verifies(self, sandbox):
+        sandbox.console.load_model("m")
+        result = check_audit_integrity(sandbox.log)
+        assert result.passed
+
+    def test_tampered_record_breaks_the_chain(self, sandbox):
+        sandbox.console.load_model("m")
+        sandbox.log[0].detail["forged"] = True
+        result = check_audit_integrity(sandbox.log)
+        assert not result.passed
+        assert "hash chain" in result.violations[0]
+
+    def test_dropped_record_is_detected(self, sandbox):
+        sandbox.console.load_model("m")
+        for index in range(3):
+            sandbox.log.record("test", "test.noise", n=index)
+        del sandbox.log._records[1]
+        result = check_audit_integrity(sandbox.log)
+        assert not result.passed
+
+    def test_empty_log_is_fine(self):
+        log = EventLog(VirtualClock())
+        assert check_audit_integrity(log).passed
+
+
+class TestContainment:
+    def test_all_contained_passes(self):
+        results = [AttackResult("a", "g", succeeded=False)]
+        assert check_containment(results).passed
+
+    def test_escape_is_flagged(self):
+        results = [
+            AttackResult("a", "g", succeeded=False),
+            AttackResult("b", "steal weights", succeeded=True),
+        ]
+        result = check_containment(results)
+        assert not result.passed
+        assert "'b' escaped" in result.violations[0]
+
+
+class TestCheckAll:
+    def test_returns_all_three(self, sandbox):
+        results = check_all(sandbox.console, sandbox.log, [])
+        assert [r.name for r in results] == [
+            "isolation_monotonicity", "audit_integrity", "containment",
+        ]
+        assert all(r.passed for r in results)
+
+    def test_to_dict_shape(self, sandbox):
+        payload = check_all(sandbox.console, sandbox.log, [])[0].to_dict()
+        assert set(payload) == {"name", "passed", "violations"}

@@ -1,0 +1,81 @@
+"""Unit tests for seeded fault plans."""
+
+import pytest
+
+from repro.faults.plan import (
+    CORE_CLASSES,
+    FAULT_CLASSES,
+    FAULT_LAYERS,
+    FaultPlan,
+    MS,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        assert (FaultPlan.generate(42).to_dict()
+                == FaultPlan.generate(42).to_dict())
+
+    def test_different_seeds_differ(self):
+        assert (FaultPlan.generate(1).to_dict()
+                != FaultPlan.generate(2).to_dict())
+
+    def test_plan_is_immutable_data(self):
+        plan = FaultPlan.generate(3)
+        with pytest.raises(AttributeError):
+            plan.seed = 99
+
+
+class TestCoverage:
+    def test_every_core_class_scheduled(self):
+        plan = FaultPlan.generate(7)
+        for fault_class in CORE_CLASSES:
+            assert fault_class in plan.fault_classes
+
+    def test_default_plan_spans_all_layers(self):
+        assert FaultPlan.generate(7).layers == ("hv", "hw", "physical")
+
+    def test_default_plan_has_at_least_six_classes(self):
+        # The chaos acceptance floor: >= 6 distinct classes per plan.
+        assert len(FaultPlan.generate(11).fault_classes) >= 6
+
+    def test_all_twelve_classes_generable(self):
+        plan = FaultPlan.generate(5, classes=FAULT_CLASSES)
+        assert plan.fault_classes == FAULT_CLASSES
+
+    def test_layer_table_complete(self):
+        assert set(FAULT_LAYERS.values()) == {"hw", "physical", "hv"}
+
+
+class TestSchedule:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan.generate(13, extra_events=8)
+        times = [event.time for event in plan.events]
+        assert times == sorted(times)
+
+    def test_events_inside_horizon(self):
+        plan = FaultPlan.generate(17, horizon=4 * MS)
+        assert all(0 <= event.time < 4 * MS for event in plan.events)
+
+    def test_hv_crash_scheduled_late(self):
+        plan = FaultPlan.generate(19)
+        crash = [e for e in plan.events if e.fault_class == "hv_crash"]
+        assert crash and crash[0].time >= 3 * plan.horizon // 4
+
+
+class TestValidation:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(1, classes=("warp_core_breach",))
+
+    def test_nonpositive_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(1, horizon=0)
+
+    def test_to_dict_round_trips_event_fields(self):
+        plan = FaultPlan.generate(23)
+        payload = plan.to_dict()
+        assert payload["seed"] == 23
+        assert len(payload["events"]) == len(plan.events)
+        for entry in payload["events"]:
+            assert set(entry) == {"time", "fault_class", "params"}

@@ -189,3 +189,58 @@ class TestInspectionBus:
     def test_unknown_bank_rejected(self, machine):
         with pytest.raises(BusError):
             machine.inspection_bus.read("hv_dram", 0)
+
+
+class TestLinkFaults:
+    def _bus(self):
+        bus = BusMatrix()
+        bus.add_component("core", "core")
+        bus.add_component("dev", "device")
+        bus.connect("core", "dev")
+        return bus
+
+    def test_drop_fault_raises_on_transactions(self):
+        bus = self._bus()
+        bus.inject_link_fault("core", "dev", drop=True)
+        with pytest.raises(BusError, match="injected fault"):
+            bus.assert_reachable("core", "dev")
+
+    def test_drop_fault_leaves_topology_intact(self):
+        # reachable() answers "is there a wire", not "is it healthy":
+        # attestation must not change its verdict because of a soft fault.
+        bus = self._bus()
+        bus.inject_link_fault("core", "dev", drop=True)
+        assert bus.reachable("core", "dev")
+
+    def test_stall_fault_does_not_block_transactions(self):
+        bus = self._bus()
+        bus.inject_link_fault("core", "dev", stall_cycles=500)
+        bus.assert_reachable("core", "dev")   # slow, not severed
+        fault = bus.link_fault("core", "dev")
+        assert fault is not None and fault.stall_cycles == 500
+
+    def test_clear_restores_the_link(self):
+        bus = self._bus()
+        bus.inject_link_fault("core", "dev", drop=True)
+        bus.clear_link_fault("core", "dev")
+        bus.assert_reachable("core", "dev")
+        assert bus.link_fault("core", "dev") is None
+
+    def test_fault_requires_an_existing_edge(self):
+        bus = self._bus()
+        with pytest.raises(BusError):
+            bus.inject_link_fault("dev", "core", drop=True)
+
+    def test_faulted_initiator_not_served_from_successor_cache(self):
+        """The fast-path interpreter inlines reachability through the
+        successor cache; a faulted initiator must always fall back to
+        assert_reachable so the fault is actually enforced."""
+        bus = self._bus()
+        bus.reachable("core", "dev")          # warm the cache
+        bus.inject_link_fault("core", "dev", drop=True)
+        assert "core" not in bus._succ_cache
+        bus.reachable("core", "dev")          # would re-warm if allowed
+        assert "core" not in bus._succ_cache
+        bus.clear_link_fault("core", "dev")
+        bus.reachable("core", "dev")
+        assert "core" in bus._succ_cache

@@ -237,3 +237,47 @@ class TestActuator:
         actuator.submit({"op": "actuate", "channel": 1, "value": 9.0})
         response, _ = actuator.submit({"op": "read_state"})
         assert response["outputs"] == [0.0, 9.0]
+
+
+class TestWedgeFaults:
+    def _disk(self):
+        return StorageDevice("disk0", num_blocks=8)
+
+    def test_wedged_device_refuses_submissions(self):
+        from repro.hw.devices import DeviceWedged
+
+        disk = self._disk()
+        disk.wedge()
+        with pytest.raises(DeviceWedged):
+            disk.submit({"op": "read", "block": 0, "length": 4})
+
+    def test_unwedge_restores_service(self):
+        disk = self._disk()
+        disk.wedge()
+        disk.unwedge()
+        response, _ = disk.submit({"op": "read", "block": 0, "length": 4})
+        assert response["ok"]
+
+    def test_fail_after_aborts_the_nth_transfer(self):
+        from repro.hw.devices import DeviceWedged
+
+        disk = self._disk()
+        disk.fail_after(1)
+        response, _ = disk.submit({"op": "read", "block": 0, "length": 4})
+        assert response["ok"]
+        with pytest.raises(DeviceWedged, match="mid-DMA"):
+            disk.submit({"op": "read", "block": 0, "length": 4})
+
+    def test_fail_after_is_one_shot(self):
+        from repro.hw.devices import DeviceWedged
+
+        disk = self._disk()
+        disk.fail_after(0)
+        with pytest.raises(DeviceWedged):
+            disk.submit({"op": "read", "block": 0, "length": 4})
+        response, _ = disk.submit({"op": "read", "block": 0, "length": 4})
+        assert response["ok"]
+
+    def test_fail_after_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            self._disk().fail_after(-1)

@@ -194,3 +194,77 @@ class TestLockdown:
             with pytest.raises(LockdownViolation):
                 mmu.map(vpn, PageTableEntry(ppn=ppn, **perms))
         assert mmu.executable_vpns() == before
+
+
+class TestDramFaultInjection:
+    def _dram(self, ecc=False):
+        dram = Dram("test", PAGE_SIZE)
+        dram.ecc_enabled = ecc
+        return dram
+
+    def test_bit_flip_corrupts_unprotected_read(self):
+        dram = self._dram()
+        dram.write(4, 0b0100)
+        dram.inject_bit_flip(4, 1)
+        assert dram.read(4) == 0b0110    # silently served corrupt
+        assert not dram.ecc_machine_checks
+
+    def test_overwrite_clears_the_flip(self):
+        dram = self._dram()
+        dram.inject_bit_flip(4, 1)
+        dram.write(4, 0xFF)
+        assert dram.read(4) == 0xFF
+        assert not dram.faulted
+
+    def test_ecc_corrects_single_bit_and_scrubs(self):
+        dram = self._dram(ecc=True)
+        dram.write(4, 0xBEEF)
+        dram.inject_bit_flip(4, 7)
+        assert dram.read(4) == 0xBEEF
+        assert dram.ecc_corrections == 1
+        assert dram.read(4) == 0xBEEF    # scrubbed: no second correction
+        assert dram.ecc_corrections == 1
+
+    def test_ecc_machine_checks_on_multi_bit_corruption(self):
+        from repro.errors import MachineCheck
+
+        dram = self._dram(ecc=True)
+        dram.write(4, 0xBEEF)
+        dram.inject_bit_flip(4, 7)
+        dram.inject_bit_flip(4, 8)
+        with pytest.raises(MachineCheck):
+            dram.read(4)
+        assert dram.ecc_machine_checks == 1
+
+    def test_stuck_bit_reasserts_over_writes(self):
+        dram = self._dram()
+        dram.inject_stuck_bit(8, 0, value=1)
+        dram.write(8, 0b1110)
+        assert dram.read(8) == 0b1111    # bit 0 stuck at 1
+
+    def test_ecc_machine_checks_on_stuck_cell(self):
+        from repro.errors import MachineCheck
+
+        dram = self._dram(ecc=True)
+        dram.inject_stuck_bit(8, 0, value=1)
+        dram.write(8, 0b1110)
+        with pytest.raises(MachineCheck):
+            dram.read(8)
+
+    def test_clear_faults_restores_clean_operation(self):
+        dram = self._dram()
+        dram.write(4, 0xAA)
+        dram.inject_bit_flip(4, 0)
+        dram.inject_stuck_bit(8, 1)
+        dram.clear_faults()
+        assert not dram.faulted
+        assert dram.read(4) == 0xAA
+
+    def test_fault_injection_validates_arguments(self):
+        dram = self._dram()
+        with pytest.raises(MemoryFault):
+            dram.inject_bit_flip(PAGE_SIZE, 0)
+        with pytest.raises(ValueError):
+            dram.inject_bit_flip(0, 64)
+        with pytest.raises(ValueError):
+            dram.inject_stuck_bit(0, 0, value=2)

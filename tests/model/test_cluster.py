@@ -96,3 +96,52 @@ class TestIndependentGovernance:
         with pytest.raises(AttestationFailure):
             tampered.sandbox.console.attest("audit")
         cluster.member("member0").sandbox.console.attest("audit")
+
+
+class TestFailoverTelemetry:
+    def test_clean_cluster_reports_no_failovers(self, cluster):
+        cluster.submit("hello")
+        telemetry = cluster.telemetry()
+        assert telemetry["failovers"] == 0
+        assert telemetry["failovers_by_reason"] == {}
+        assert telemetry["failover_log"] == []
+        assert set(telemetry["members"]) == {"member0", "member1", "member2"}
+        assert all(m["healthy"] for m in telemetry["members"].values())
+
+    def test_mid_request_wedge_fails_over_with_attribution(self, cluster):
+        """A member whose disk wedges mid-request must not sink the
+        service: the request retries elsewhere and the telemetry names
+        both the member and the failure class."""
+        victim = cluster.member("member0")
+        # Wedge every device the victim serves requests through.
+        for device in victim.sandbox.machine.devices.values():
+            device.wedge()
+        served = 0
+        for index in range(6):
+            name, result = cluster.submit(f"q{index}")
+            assert result.delivered or result.aborted
+            assert name != "member0"
+            served += 1
+        assert served == 6
+        telemetry = cluster.telemetry()
+        assert telemetry["failovers"] >= 1
+        assert any(entry["member"] == "member0"
+                   for entry in telemetry["failover_log"])
+        # The wedge surfaces as a port failure, not a blanket Exception.
+        assert all(reason in ("PortRequestFailed", "undelivered",
+                              "AssertionTripped", "CapabilityError",
+                              "DeviceError", "MachineCheck")
+                   for reason in telemetry["failovers_by_reason"])
+
+    def test_unmodelled_exception_still_propagates(self, cluster):
+        """submit() narrowed its blanket except: a genuine bug (not a
+        modelled mid-flight failure) must surface, not be eaten."""
+        victim = cluster.member("member0")
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("bug, not a modelled failure")
+
+        victim.service.submit = explode
+        with pytest.raises(RuntimeError):
+            for index in range(3):   # round-robin lands on member0
+                cluster.submit(f"q{index}")

@@ -98,6 +98,102 @@ class TestLossDetection:
         monitor.beat(SIDE_HYPERVISOR)
 
 
+class TestRearmAfterTrip:
+    def test_start_after_trip_rearms_the_watchdog(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=300)
+        monitor.start()
+        clock.tick(1000)
+        assert monitor.tripped and len(losses) == 1
+        monitor.start()
+        for _ in range(10):
+            clock.tick(100)
+            monitor.beat(SIDE_CONSOLE)
+            monitor.beat(SIDE_HYPERVISOR)
+        assert len(losses) == 1   # healthy after re-arm: no new loss
+
+    def test_second_trip_after_rearm_fires_again(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=300)
+        monitor.start()
+        clock.tick(1000)
+        monitor.start()
+        clock.tick(1000)
+        assert len(losses) == 2
+        assert monitor.tripped
+
+    def test_stop_after_trip_is_idempotent(self, clock):
+        """The fired check handle is spent; stop() must not cancel a stale
+        event (or blow up) after the watchdog already tripped."""
+        monitor, losses = make_monitor(clock, period=100, timeout=300)
+        monitor.start()
+        clock.tick(1000)
+        assert monitor.tripped
+        assert monitor._handle is None
+        monitor.stop()
+        monitor.stop()
+        clock.tick(5000)
+        assert len(losses) == 1
+
+    def test_stop_then_restart_still_works(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=300)
+        monitor.start()
+        clock.tick(1000)
+        monitor.stop()
+        monitor.start()
+        clock.tick(1000)
+        assert len(losses) == 2
+
+
+class TestBoundaryTiming:
+    def test_timeout_equal_to_period_is_legal(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=100)
+        monitor.start()
+        for _ in range(10):
+            clock.tick(100)
+            monitor.beat(SIDE_CONSOLE)
+            monitor.beat(SIDE_HYPERVISOR)
+        # Staleness at each check is exactly the timeout, never over it.
+        assert losses == []
+        assert not monitor.tripped
+
+    def test_timeout_equal_to_period_trips_on_one_missed_beat(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=100)
+        monitor.start()
+        clock.tick(100)
+        monitor.beat(SIDE_HYPERVISOR)   # console missed one beat
+        clock.tick(100)
+        assert losses and losses[0][0] == SIDE_CONSOLE
+
+
+class TestSuppression:
+    def test_short_suppression_counts_dropped_beats(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=300)
+        monitor.start()
+        monitor.suppress(SIDE_CONSOLE, 150)
+        clock.tick(100)
+        monitor.beat(SIDE_CONSOLE)      # lost in transit
+        monitor.beat(SIDE_HYPERVISOR)
+        clock.tick(100)
+        monitor.beat(SIDE_CONSOLE)      # window expired: delivered
+        monitor.beat(SIDE_HYPERVISOR)
+        assert monitor.beats_suppressed == 1
+        assert losses == []
+
+    def test_long_suppression_trips_the_watchdog(self, clock):
+        monitor, losses = make_monitor(clock, period=100, timeout=300)
+        monitor.start()
+        monitor.suppress(SIDE_HYPERVISOR, 1000)
+        for _ in range(10):
+            clock.tick(100)
+            monitor.beat(SIDE_CONSOLE)
+            monitor.beat(SIDE_HYPERVISOR)
+        assert losses and losses[0][0] == SIDE_HYPERVISOR
+
+    def test_suppress_unknown_side_rejected(self, clock):
+        monitor, _ = make_monitor(clock)
+        with pytest.raises(ValueError):
+            monitor.suppress("intruder", 100)
+
+
 class TestValidation:
     def test_timeout_must_cover_period(self, clock):
         with pytest.raises(ValueError):

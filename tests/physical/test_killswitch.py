@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.eventlog import CATEGORY_KILL_SWITCH
+from repro.core.sandbox import GuillotineSandbox
+from repro.eventlog import CATEGORY_ISOLATION, CATEGORY_KILL_SWITCH
+from repro.physical.isolation import IsolationLevel
 from repro.net.network import Host, Network
 from repro.physical.killswitch import (
     KillSwitchBank,
@@ -93,3 +95,65 @@ class TestImmolationSwitch:
         assert [a.name for a in bank.actions_taken] == [
             "network_disconnect", "power_cut", "immolation",
         ]
+
+
+class TestAuditOrderingUnderFaults:
+    """Satellite of the fault-injection PR: the decision -> actuation ->
+    effect chain must appear in the audit log in clock order even while a
+    bus fault is actively degrading the deployment."""
+
+    def test_offline_sequence_ordered_despite_bus_drop(self):
+        sandbox = GuillotineSandbox.create()
+        sandbox.console.load_model("m")
+        bus = sandbox.machine.bus
+        hv_core = sandbox.machine.hv_cores[0].name
+        bus.inject_link_fault(hv_core, "disk0", drop=True)
+
+        sandbox.console.admin_transition(
+            IsolationLevel.OFFLINE,
+            {"admin0", "admin1", "admin2"}, "incident under fault",
+        )
+
+        log = sandbox.log
+        decision = [r for r in log.by_category(CATEGORY_ISOLATION)
+                    if r.detail.get("outcome") == "applied"
+                    and r.detail["level"] == "OFFLINE"]
+        assert len(decision) == 1
+        actuations = log.by_category(CATEGORY_KILL_SWITCH)
+        assert [r.detail["action"] for r in actuations] == [
+            "network_disconnect", "power_cut",
+        ]
+        # Decision precedes every actuation, in index and in time.
+        for actuation in actuations:
+            assert decision[0].index < actuation.index
+            assert decision[0].time <= actuation.time
+        # Actuation latencies are charged in order on the shared clock.
+        assert actuations[0].time <= actuations[1].time
+        # Effects landed: the plant is dark and the cores are down.
+        assert not sandbox.machine.devices["nic0"].link_up
+        for core in sandbox.machine.model_cores + sandbox.machine.hv_cores:
+            assert core.is_powered_down
+
+    def test_fault_record_precedes_the_decision_it_degraded(self):
+        from repro.eventlog import CATEGORY_FAULT
+        from repro.faults.injector import Injector
+        from repro.faults.plan import MS, FaultEvent, FaultPlan
+
+        sandbox = GuillotineSandbox.create()
+        sandbox.console.load_model("m")
+        Injector(sandbox, FaultPlan(seed=0, horizon=MS, events=(
+            FaultEvent(100, "bus_drop",
+                       {"device": "disk0", "duration": 4 * MS}),
+        )))
+        sandbox.clock.run_until(200)
+        sandbox.console.admin_transition(
+            IsolationLevel.OFFLINE,
+            {"admin0", "admin1", "admin2"}, "drill",
+        )
+        log = sandbox.log
+        fault = log.by_category(CATEGORY_FAULT)[0]
+        decision = [r for r in log.by_category(CATEGORY_ISOLATION)
+                    if r.detail.get("outcome") == "applied"][0]
+        actuation = log.by_category(CATEGORY_KILL_SWITCH)[0]
+        assert fault.index < decision.index < actuation.index
+        assert fault.time <= decision.time <= actuation.time

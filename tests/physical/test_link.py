@@ -1,0 +1,97 @@
+"""Unit tests for the retry/backoff console<->hypervisor link."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.eventlog import CATEGORY_CHANNEL, EventLog
+from repro.physical.link import ConsoleLink
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def log(clock):
+    return EventLog(clock)
+
+
+def make_link(clock, log, **kwargs):
+    delivered = []
+    link = ConsoleLink(clock, log, **kwargs)
+    return link, delivered, (lambda: delivered.append(clock.now))
+
+
+class TestHealthyWire:
+    def test_send_delivers_once_and_charges_cost(self, clock, log):
+        link, delivered, deliver = make_link(clock, log)
+        assert link.send(deliver) is True
+        assert len(delivered) == 1
+        assert clock.now == ConsoleLink.SEND_COST
+        assert (link.sends_ok, link.retries, link.sends_failed) == (1, 0, 0)
+
+    def test_healthy_property(self, clock, log):
+        link, _, _ = make_link(clock, log)
+        assert link.healthy
+        link.inject_outage(100)
+        assert not link.healthy
+        clock.tick(100)
+        assert link.healthy
+
+
+class TestRetrySchedule:
+    def test_transient_outage_ridden_out_by_backoff(self, clock, log):
+        link, delivered, deliver = make_link(clock, log)
+        link.inject_outage(100)   # shorter than the first two backoffs
+        assert link.send(deliver) is True
+        assert len(delivered) == 1
+        assert link.retries >= 1
+        assert link.sends_failed == 0
+
+    def test_backoff_schedule_is_deterministic(self, log):
+        times = []
+        for _ in range(2):
+            clock = VirtualClock()
+            link = ConsoleLink(clock, EventLog(clock))
+            link.inject_outage(100)
+            link.send(lambda: None)
+            times.append(clock.now)
+        assert times[0] == times[1]
+
+    def test_exhaustion_fails_closed_and_audits(self, clock, log):
+        link, delivered, deliver = make_link(clock, log)
+        # Longer than the whole schedule: 5 attempts, backoffs 64..512.
+        link.inject_outage(10_000)
+        assert link.send(deliver, what="console_beat") is False
+        assert delivered == []
+        assert link.sends_failed == 1
+        assert link.retries == link.max_attempts   # every attempt failed
+        records = log.by_category(CATEGORY_CHANNEL)
+        assert records and records[0].detail["outcome"] == "send_failed"
+        assert records[0].detail["what"] == "console_beat"
+
+    def test_send_never_blocks_past_the_budget(self, clock, log):
+        link, _, _ = make_link(clock, log, base_backoff=64, max_attempts=5)
+        link.inject_outage(10 ** 9)
+        link.send(lambda: None)
+        # 5 attempts * 2 cycles + backoffs 64+128+256+512 (none after last).
+        assert clock.now == 5 * 2 + 64 + 128 + 256 + 512
+
+    def test_outages_extend_not_shrink(self, clock, log):
+        link, _, _ = make_link(clock, log)
+        link.inject_outage(1000)
+        link.inject_outage(10)    # must not shorten the existing outage
+        clock.tick(500)
+        assert not link.healthy
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, clock, log):
+        with pytest.raises(ValueError):
+            ConsoleLink(clock, log, base_backoff=0)
+        with pytest.raises(ValueError):
+            ConsoleLink(clock, log, max_attempts=0)
+        link = ConsoleLink(clock, log)
+        with pytest.raises(ValueError):
+            link.inject_outage(-1)
