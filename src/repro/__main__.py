@@ -47,12 +47,21 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 CAMPAIGN_SCHEMA = "repro.campaign/1"
 
 
+def _timing_summary(label: str, timing: dict, unit: str) -> str:
+    """One human-facing wall-clock line (never part of a JSON payload)."""
+    return (f"{label}: {timing['units']} {unit} in "
+            f"{timing['wall_seconds']:.2f}s "
+            f"({timing['units_per_second']:.1f} {unit}/s, "
+            f"jobs={timing['jobs']}, {timing['mode']})")
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import json
 
-    from repro.core.scenarios import run_paired_campaign
+    from repro.parallel.fabric import run_paired_campaign_fabric
 
-    baseline, guillotine = run_paired_campaign(seed=args.seed)
+    baseline, guillotine, timing = run_paired_campaign_fabric(
+        seed=args.seed, jobs=args.jobs)
     if args.json:
         payload = {
             "schema": CAMPAIGN_SCHEMA,
@@ -61,6 +70,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "guillotine": guillotine.to_dict(),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+        # Timing stays out of the deterministic payload; stderr keeps
+        # stdout parseable as pure JSON.
+        print(_timing_summary("campaign", timing, "attacks"),
+              file=sys.stderr)
         return 0 if guillotine.containment_rate == 1.0 else 1
     width = 34
     print(f"{'adversary':<{width}}{'traditional':<13}{'guillotine':<13}")
@@ -71,6 +84,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"{'containment':<{width}}"
           f"{baseline.containment_rate:<13.0%}"
           f"{guillotine.containment_rate:<13.0%}")
+    print(_timing_summary("campaign", timing, "attacks"))
     return 0 if guillotine.containment_rate == 1.0 else 1
 
 
@@ -209,10 +223,48 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if (any_errors or not topology.certified) else 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.core.bench import run_suite, suite_report, write_report
+def _cmd_bench_parallel(args: argparse.Namespace) -> int:
+    import json
 
-    results = run_suite(quick=args.quick)
+    from repro.parallel.sweep import DEFAULT_SEED, scaling_sweep
+
+    campaigns = 8 if args.quick else 16
+    doc = scaling_sweep(seed=DEFAULT_SEED, campaigns=campaigns)
+
+    print(f"{'jobs':<6}{'wall s':>9}{'campaigns/s':>13}{'speedup':>9}"
+          f"{'efficiency':>12}  {'merge'}")
+    for entry in doc["entries"]:
+        merge = ("deterministic" if entry["merge_deterministic"]
+                 else "NONDETERMINISTIC")
+        print(f"{entry['jobs']:<6}{entry['wall_seconds']:>9.3f}"
+              f"{entry['campaigns_per_second']:>13.1f}"
+              f"{entry['speedup']:>8.2f}x"
+              f"{entry['efficiency']:>11.0%}  {merge}")
+    totals = doc["totals"]
+    print(f"best: jobs={totals['best_jobs']} at "
+          f"{totals['best_campaigns_per_second']:.1f} campaigns/s "
+          f"(max speedup {totals['max_speedup']:.2f}x)")
+
+    out = args.out or "BENCH_parallel.json"
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if not totals["all_merges_deterministic"]:
+        print("error: parallel merge diverged from the sequential report",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core.bench import suite_report, write_report
+    from repro.parallel.fabric import run_bench_fabric
+
+    if args.parallel:
+        return _cmd_bench_parallel(args)
+
+    results, timing = run_bench_fabric(quick=args.quick, jobs=args.jobs)
     report = suite_report(results, quick=args.quick)
 
     print(f"{'benchmark':<16}{'machine':<12}{'steps/s':>12}{'cycles/s':>14}"
@@ -232,8 +284,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"{totals['cycles_per_second']:>14,.0f}"
           f"{totals['speedup']:>8.2f}x")
 
-    write_report(report, args.out)
-    print(f"wrote {args.out}")
+    out = args.out or "BENCH_hw.json"
+    write_report(report, out)
+    print(f"wrote {out}")
+    if timing["jobs"] > 1:
+        print(_timing_summary("bench", timing, "rows"))
     if not totals["all_deterministic"]:
         print("error: nondeterministic cycle counts across identical runs",
               file=sys.stderr)
@@ -248,9 +303,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
-    from repro.faults.chaos import run_chaos
+    from repro.parallel.fabric import run_chaos_fabric
 
-    report = run_chaos(args.seed, args.campaigns)
+    report, timing = run_chaos_fabric(args.seed, args.campaigns,
+                                      jobs=args.jobs)
 
     print(f"{'campaign':<10}{'faults':<8}{'classes':<9}{'isolation':<14}"
           f"{'drill':<24}{'invariants'}")
@@ -264,6 +320,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     totals = report["totals"]
     print(f"fault classes exercised: "
           f"{', '.join(totals['fault_classes'])}")
+
+    # The JSON payload is deterministic and timing-free; wall-clock
+    # numbers live only in this summary line (and BENCH_parallel.json).
+    print(_timing_summary("chaos", timing, "campaigns"))
 
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -293,6 +353,9 @@ def main(argv: list[str] | None = None) -> int:
     campaign_parser.add_argument(
         "--json", action="store_true",
         help="emit the repro.campaign/1 JSON document")
+    campaign_parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = auto-detect cores, 1 = sequential)")
     subparsers.add_parser("sidechannel", help="E2 + A1 comparison")
     verify_parser = subparsers.add_parser(
         "verify", help="bounded model-checking of the isolation machine")
@@ -319,8 +382,17 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="smaller iteration counts (CI smoke mode)")
     bench_parser.add_argument(
-        "--out", default="BENCH_hw.json",
-        help="output path for the repro.bench/1 JSON report")
+        "--out", default=None,
+        help="output path for the JSON report (default BENCH_hw.json; "
+             "BENCH_parallel.json with --parallel)")
+    bench_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the suite (default 1: sequential, for "
+             "wall-clock fidelity; 0 = auto-detect cores)")
+    bench_parser.add_argument(
+        "--parallel", action="store_true",
+        help="run the repro.parallel/1 scaling sweep (jobs in {1,2,4,cores} "
+             "over a chaos-campaign workload) instead of the suite")
     chaos_parser = subparsers.add_parser(
         "chaos", help="seeded fault-injection campaigns + invariant checks")
     chaos_parser.add_argument(
@@ -332,6 +404,9 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument(
         "--out", default="BENCH_chaos.json",
         help="output path for the repro.chaos/1 JSON report")
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = auto-detect cores, 1 = sequential)")
 
     args = parser.parse_args(argv)
     handlers = {

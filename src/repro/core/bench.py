@@ -302,14 +302,53 @@ class BenchResult:
         }
 
 
-def run_benchmark(name: str, machine_name: str, runner,
-                  iterations: int) -> BenchResult:
-    """Fast twice (determinism), slow once (equivalence + speedup)."""
+def run_fast_pair(machine_name: str, runner,
+                  iterations: int) -> tuple[RunSample, RunSample]:
+    """Two fast-path executions (the determinism check's raw material)."""
     with interpreter_mode(True):
-        first = runner(machine_name, iterations)
-        second = runner(machine_name, iterations)
+        return runner(machine_name, iterations), runner(machine_name,
+                                                        iterations)
+
+
+def run_slow_reference(machine_name: str, runner,
+                       iterations: int) -> RunSample:
+    """One reference-interpreter execution (equivalence + speedup base)."""
     with interpreter_mode(False):
-        reference = runner(machine_name, iterations)
+        return runner(machine_name, iterations)
+
+
+def run_one(suite_index: int, iterations: int, mode: str) -> dict:
+    """The pure, dispatchable bench work unit (one suite row, one
+    interpreter mode), returned as spawn-safe sample dicts.
+
+    Simulated steps and cycles are bit-deterministic, so samples measured
+    in worker processes combine into the same verdicts as sequential
+    ones; only the wall-clock fields (the non-compared section of the
+    report) reflect where the sample actually ran."""
+    from dataclasses import asdict
+
+    name, machine_name, runner, *_ = SUITE[suite_index]
+    if mode == "fast":
+        samples = run_fast_pair(machine_name, runner, iterations)
+    elif mode == "slow":
+        samples = (run_slow_reference(machine_name, runner, iterations),)
+    else:
+        raise ValueError(f"unknown bench mode {mode!r}")
+    return {
+        "suite_index": suite_index,
+        "name": name,
+        "machine": machine_name,
+        "mode": mode,
+        "samples": [asdict(sample) for sample in samples],
+    }
+
+
+def combine_samples(name: str, machine_name: str, first: RunSample,
+                    second: RunSample, reference: RunSample) -> BenchResult:
+    """Fold the three measured samples into one benchmark verdict.
+
+    Shared by the sequential driver and the parallel merge layer, so a
+    suite sharded across processes reaches the same verdicts."""
     decoded_accesses = first.decoded_hits + first.decoded_misses
     return BenchResult(
         name=name,
@@ -327,6 +366,14 @@ def run_benchmark(name: str, machine_name: str, runner,
         decoded_hit_rate=(first.decoded_hits / decoded_accesses
                           if decoded_accesses else 0.0),
     )
+
+
+def run_benchmark(name: str, machine_name: str, runner,
+                  iterations: int) -> BenchResult:
+    """Fast twice (determinism), slow once (equivalence + speedup)."""
+    first, second = run_fast_pair(machine_name, runner, iterations)
+    reference = run_slow_reference(machine_name, runner, iterations)
+    return combine_samples(name, machine_name, first, second, reference)
 
 
 def run_suite(quick: bool = False) -> list[BenchResult]:

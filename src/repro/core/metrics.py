@@ -165,6 +165,7 @@ class InterpreterPerf:
     instructions_retired: int
     decoded_hits: int
     decoded_misses: int
+    decoded_evictions: int
     tlb_fastpath_hits: int
     wall_seconds: float
 
@@ -185,6 +186,7 @@ class InterpreterPerf:
             "decoded_hits": self.decoded_hits,
             "decoded_misses": self.decoded_misses,
             "decoded_hit_rate": round(self.decoded_hit_rate, 4),
+            "decoded_evictions": self.decoded_evictions,
             "tlb_fastpath_hits": self.tlb_fastpath_hits,
             "wall_seconds": round(self.wall_seconds, 4),
             "steps_per_second": round(self.steps_per_second, 1),
@@ -199,6 +201,8 @@ def interpreter_perf(machine, wall_seconds: float) -> InterpreterPerf:
         instructions_retired=sum(c.instructions_retired for c in cores),
         decoded_hits=sum(c.decoded_hits for c in cores),
         decoded_misses=sum(c.decoded_misses for c in cores),
+        decoded_evictions=sum(
+            bank.decoded_evictions for bank in machine.banks.values()),
         tlb_fastpath_hits=sum(c.tlb_fastpath_hits for c in cores),
         wall_seconds=wall_seconds,
     )

@@ -70,6 +70,15 @@ def baseline_factory() -> UnsandboxedDeployment:
     return UnsandboxedDeployment()
 
 
+#: Platform name (``Deployment.kind``) -> fresh-deployment factory.  The
+#: parallel fabric ships platform *names* to worker processes (factories
+#: and deployments don't pickle); workers look the factory back up here.
+PLATFORM_FACTORIES = {
+    "guillotine": guillotine_factory,
+    "baseline": baseline_factory,
+}
+
+
 def seeded_roster(seed: int) -> list[Adversary]:
     """The standard roster in a seed-determined order.
 
@@ -80,6 +89,56 @@ def seeded_roster(seed: int) -> list[Adversary]:
     roster = standard_adversaries()
     random.Random(seed).shuffle(roster)
     return roster
+
+
+def campaign_roster(seed: int | None) -> list[Adversary]:
+    """The roster a campaign with this seed runs, in order.
+
+    ``None`` means the standard (unshuffled) roster.  Sequential and
+    parallel paths both derive the roster through here, so a worker
+    process holding only ``(seed, roster_index)`` reconstructs exactly
+    the adversary the sequential loop would have run at that position."""
+    return seeded_roster(seed) if seed is not None else standard_adversaries()
+
+
+def run_one_attack(platform: str, roster_index: int,
+                   seed: int | None = None) -> dict:
+    """The pure, dispatchable campaign work unit: one adversary, one
+    fresh deployment, returned as a spawn-safe dict.
+
+    ``(platform, roster_index, seed)`` fully determines the result —
+    deployments are per-attack, so outcomes are independent of where or
+    in what order the other attacks run."""
+    adversary = campaign_roster(seed)[roster_index]
+    deployment = PLATFORM_FACTORIES[platform]()
+    result = adversary.run(deployment)
+    return {
+        "adversary": result.adversary,
+        "goal": result.goal,
+        "succeeded": result.succeeded,
+        "detail": result.detail,
+    }
+
+
+def report_from_results(platform: str, results: list[dict]) -> CampaignReport:
+    """Reassemble a :class:`CampaignReport` from ``run_one_attack`` dicts.
+
+    The deterministic-merge half of the parallel campaign path: results
+    arrive in roster order (the fabric preserves task order), aggregates
+    (containment rate, rows) are recomputed properties, so the report —
+    and its ``to_dict`` JSON — is identical to the sequential one."""
+    return CampaignReport(
+        platform=platform,
+        results=[
+            AttackResult(
+                adversary=entry["adversary"],
+                goal=entry["goal"],
+                succeeded=entry["succeeded"],
+                detail=entry.get("detail", {}),
+            )
+            for entry in results
+        ],
+    )
 
 
 def run_campaign(

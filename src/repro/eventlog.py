@@ -87,14 +87,10 @@ class EventLog:
             detail=detail,
         )
         digest = hashlib.sha256((previous + entry.to_json()).encode()).hexdigest()
-        entry = AuditRecord(
-            index=entry.index,
-            time=entry.time,
-            layer=entry.layer,
-            category=entry.category,
-            detail=entry.detail,
-            digest=digest,
-        )
+        # Records are externally immutable; filling the digest in place
+        # avoids a second dataclass construction per record on a path hit
+        # for every mediated request.
+        object.__setattr__(entry, "digest", digest)
         self._records.append(entry)
         for subscriber in self._subscribers:
             subscriber(entry)

@@ -188,15 +188,39 @@ def _operator_drill(console) -> dict:
     return drill
 
 
-def run_chaos(seed: int, campaigns: int) -> dict:
-    """Run ``campaigns`` seeded campaigns; assemble the chaos report."""
+def run_one(campaign_seed: int, index: int = 0) -> dict:
+    """The pure, dispatchable chaos work unit.
+
+    ``(campaign_seed, index)`` fully determines the returned dict — no
+    wall time, no ambient RNG, no shared state — which is what lets the
+    parallel fabric (:mod:`repro.parallel`) run campaigns in worker
+    processes and still merge a report byte-identical to the sequential
+    one."""
+    return run_campaign(campaign_seed, index=index)
+
+
+def derive_campaign_seeds(seed: int, campaigns: int) -> list[int]:
+    """Expand the master seed into per-campaign seeds.
+
+    This is THE seed-derivation path: both the sequential loop in
+    :func:`run_chaos` and the sharded runner in :mod:`repro.parallel`
+    call it, so campaign ``i`` sees the same seed no matter where (or in
+    which process) it executes."""
     if campaigns <= 0:
         raise ValueError("campaigns must be positive")
     master = random.Random(seed)
-    runs = [
-        run_campaign(master.randrange(2 ** 32), index=index)
-        for index in range(campaigns)
-    ]
+    return [master.randrange(2 ** 32) for _ in range(campaigns)]
+
+
+def assemble_report(seed: int, campaigns: int, runs: list[dict]) -> dict:
+    """Fold per-campaign run dicts into the ``repro.chaos/1`` report.
+
+    Pure aggregation: runs are ordered by campaign index and every total
+    is recomputed from the merged runs, so feeding this the outputs of N
+    worker processes yields the same bytes as the sequential path.  The
+    report deliberately contains no wall-clock fields — timing lives in
+    the CLI summary line and the ``repro.parallel/1`` artifact instead."""
+    runs = sorted(runs, key=lambda run: run["index"])
     classes = sorted({
         fault_class for run in runs
         for fault_class in run["fault_classes_fired"]
@@ -219,3 +243,13 @@ def run_chaos(seed: int, campaigns: int) -> dict:
             "all_passed": not failures,
         },
     }
+
+
+def run_chaos(seed: int, campaigns: int) -> dict:
+    """Run ``campaigns`` seeded campaigns; assemble the chaos report."""
+    runs = [
+        run_campaign(campaign_seed, index=index)
+        for index, campaign_seed in enumerate(
+            derive_campaign_seeds(seed, campaigns))
+    ]
+    return assemble_report(seed, campaigns, runs)

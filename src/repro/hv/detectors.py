@@ -58,6 +58,31 @@ class MisbehaviorDetector(ABC):
         """Inspect one payload; ``direction`` is ``"input"`` or ``"output"``."""
 
 
+class _RuleBasedDetector(MisbehaviorDetector):
+    """Shared compiled-rule machinery for the pattern detectors.
+
+    ``RULES`` is declarative; compilation happens once per *class* (cached
+    in the class dict, so a subclass overriding ``RULES`` compiles its
+    own).  Detectors are instantiated per deployment — benchmark harnesses
+    build thousands — and recompiling identical pattern tables each time
+    was a measurable share of sandbox bring-up."""
+
+    #: (pattern list, per-hit score, reason tag) — set by subclasses.
+    RULES: list = []
+
+    @classmethod
+    def _compiled_rules(cls) -> list:
+        cached = cls.__dict__.get("_compiled_rules_cache")
+        if cached is None:
+            cached = [
+                ([re.compile(p, re.IGNORECASE) for p in patterns],
+                 weight, reason)
+                for patterns, weight, reason in cls.RULES
+            ]
+            cls._compiled_rules_cache = cached
+        return cached
+
+
 def _shannon_entropy(text: str) -> float:
     if not text:
         return 0.0
@@ -68,7 +93,7 @@ def _shannon_entropy(text: str) -> float:
     )
 
 
-class InputShield(MisbehaviorDetector):
+class InputShield(_RuleBasedDetector):
     """Pattern- and heuristic-based prompt screening.
 
     Scores a prompt against jailbreak phrasings, requests for sandbox
@@ -119,10 +144,7 @@ class InputShield(MisbehaviorDetector):
                  malicious_threshold: float = 0.7) -> None:
         self.suspicious_threshold = suspicious_threshold
         self.malicious_threshold = malicious_threshold
-        self._compiled = [
-            ([re.compile(p, re.IGNORECASE) for p in patterns], weight, reason)
-            for patterns, weight, reason in self.RULES
-        ]
+        self._compiled = self._compiled_rules()
 
     def inspect(self, text: str, direction: str = "input") -> Detection:
         score = 0.0
@@ -151,7 +173,7 @@ class InputShield(MisbehaviorDetector):
         )
 
 
-class OutputSanitizer(MisbehaviorDetector):
+class OutputSanitizer(_RuleBasedDetector):
     """Response-side screening and redaction.
 
     Looks for content that should never leave the sandbox: key-shaped
@@ -188,10 +210,7 @@ class OutputSanitizer(MisbehaviorDetector):
                  malicious_threshold: float = 0.7) -> None:
         self.suspicious_threshold = suspicious_threshold
         self.malicious_threshold = malicious_threshold
-        self._compiled = [
-            ([re.compile(p, re.IGNORECASE) for p in patterns], weight, reason)
-            for patterns, weight, reason in self.RULES
-        ]
+        self._compiled = self._compiled_rules()
 
     def inspect(self, text: str, direction: str = "output") -> Detection:
         score = 0.0

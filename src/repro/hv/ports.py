@@ -169,8 +169,7 @@ class Mailbox:
                 f"request payload {len(payload)}B exceeds mailbox capacity "
                 f"({REQ_PAYLOAD_WORDS * 8}B); chunk it"
             )
-        for offset, word in enumerate(pack_bytes(payload)):
-            self.write_word(REQ_PAYLOAD + offset, word)
+        self._bank.write_range(self.base + REQ_PAYLOAD, pack_bytes(payload))
         self.write_word(REQ_LEN, len(payload))
         self.write_word(REQ_SEQ, sequence)
         self.write_word(RESP_FLAG, 0)
@@ -183,10 +182,8 @@ class Mailbox:
         # Clamp: the length word is in shared DRAM and thus attacker-
         # scribblable; reads must never leave the response area.
         length = min(self.read_word(RESP_LEN), RESP_PAYLOAD_WORDS * 8)
-        words = [
-            self.read_word(RESP_PAYLOAD + i)
-            for i in range((length + 7) // 8)
-        ]
+        words = self._bank.read_range(self.base + RESP_PAYLOAD,
+                                      (length + 7) // 8)
         self.write_word(RESP_FLAG, 0)
         return status, unpack_bytes(words, length)
 
@@ -200,18 +197,15 @@ class Mailbox:
         # hypervisor's reads beyond this port's mailbox (fuzzer finding —
         # unclamped, the read walked off the end of the IO bank).
         length = min(self.read_word(REQ_LEN), REQ_PAYLOAD_WORDS * 8)
-        words = [
-            self.read_word(REQ_PAYLOAD + i)
-            for i in range((length + 7) // 8)
-        ]
+        words = self._bank.read_range(self.base + REQ_PAYLOAD,
+                                      (length + 7) // 8)
         self.write_word(REQ_FLAG, 0)
         return sequence, unpack_bytes(words, length)
 
     def post_response(self, status: int, payload: bytes = b"") -> None:
         if len(payload) > RESP_PAYLOAD_WORDS * 8:
             raise PortError("response payload exceeds mailbox capacity")
-        for offset, word in enumerate(pack_bytes(payload)):
-            self.write_word(RESP_PAYLOAD + offset, word)
+        self._bank.write_range(self.base + RESP_PAYLOAD, pack_bytes(payload))
         self.write_word(RESP_LEN, len(payload))
         self.write_word(RESP_STATUS, status)
         self.write_word(RESP_FLAG, 1)

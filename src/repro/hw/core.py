@@ -456,7 +456,7 @@ class Core:
         except ValueError as exc:
             raise InvalidInstruction(str(exc)) from exc
         if self.fast_path:
-            bank.decoded[local] = instruction
+            bank.cache_decoded(local, instruction)
         return instruction
 
     def _check_data_watchpoints(self, kind: str, vaddr: int) -> None:
@@ -599,7 +599,7 @@ class Core:
                 except ValueError as exc:
                     self._raise_exception(EXC_INVALID, str(exc))
                     return self.state is CoreState.RUNNING
-                bank.decoded[local] = ins
+                bank.cache_decoded(local, ins)
             else:
                 self.decoded_hits += 1
 

@@ -39,6 +39,11 @@ class Dram:
     to them ("model_dram", "hv_dram", "io_dram").
     """
 
+    #: Decoded-instruction cache bound (entries per bank).  Far above any
+    #: real guest's code footprint, so eviction is a memory-safety valve,
+    #: not a steady-state behaviour.
+    DECODED_CAP = 4096
+
     def __init__(self, name: str, size_words: int) -> None:
         if size_words <= 0 or size_words % PAGE_SIZE != 0:
             raise ValueError("DRAM size must be a positive multiple of PAGE_SIZE")
@@ -68,12 +73,28 @@ class Dram:
         #: share the entry, and invalidation is exact: any write to the
         #: address (same core, sibling core, inspection bus, kill switch,
         #: guest reload) drops it.  Purely a Python-cost cache; it charges
-        #: no cycles and is invisible to simulated time.
+        #: no cycles and is invisible to simulated time.  Bounded at
+        #: :data:`DECODED_CAP` entries (FIFO eviction, counted in
+        #: ``decoded_evictions``) so a bank-sized code footprint cannot
+        #: pin a decoded object per word of DRAM.
         self.decoded: dict[int, object] = {}
+        self.decoded_evictions = 0
 
     @property
     def num_frames(self) -> int:
         return self.size // PAGE_SIZE
+
+    def cache_decoded(self, address: int, instruction: object) -> None:
+        """Insert one decoded instruction, evicting FIFO at the cap.
+
+        Runs only on decode misses, so the hit path never pays for the
+        bound; eviction order does not affect correctness (a victim is
+        simply re-decoded on its next fetch) or simulated time."""
+        decoded = self.decoded
+        if len(decoded) >= self.DECODED_CAP and address not in decoded:
+            decoded.pop(next(iter(decoded)))
+            self.decoded_evictions += 1
+        decoded[address] = instruction
 
     def read(self, address: int) -> int:
         if not 0 <= address < self.size:
@@ -113,6 +134,42 @@ class Dram:
                 f"{address}"
             )
         return word
+
+    def read_range(self, start: int, count: int) -> list[int]:
+        """Read ``count`` consecutive words (mailbox payload marshalling).
+
+        Semantically ``[self.read(start + i) for i in range(count)]``, and
+        literally that while any injected fault is live; the fault-free
+        path is a plain list slice, skipping per-word call overhead."""
+        if start < 0 or start + count > self.size:
+            raise MemoryFault(
+                f"physical read outside {self.name} (addr={start})", start
+            )
+        if self._corrupt or self._stuck:
+            return [self.read(start + offset) for offset in range(count)]
+        return self._words[start:start + count]
+
+    def write_range(self, start: int, values: list[int]) -> None:
+        """Write consecutive words; equivalent to per-word :meth:`write`.
+
+        The fault-free path batches the bounds check and the write-count
+        bump (one generation tick per word, exactly like the loop), and
+        only touches the decoded cache when it has entries."""
+        if start < 0 or start + len(values) > self.size:
+            raise MemoryFault(
+                f"physical write outside {self.name} (addr={start})", start
+            )
+        if self._corrupt or self._stuck:
+            for offset, value in enumerate(values):
+                self.write(start + offset, value)
+            return
+        self._words[start:start + len(values)] = [
+            value & WORD_MASK for value in values
+        ]
+        self.write_count += len(values)
+        if self.decoded:
+            for offset in range(len(values)):
+                self.decoded.pop(start + offset, None)
 
     def write(self, address: int, value: int) -> None:
         if not 0 <= address < self.size:

@@ -70,47 +70,86 @@ class ForwardTrace:
         return max(float(a @ direction) for a in self.activations)
 
 
+def _build_weight_template(d_model: int, n_layers: int, vocab_size: int,
+                           seed: int, harm_gain: float) -> tuple:
+    """Generate one seeded checkpoint: (direction, embedding, layers,
+    unembedding, digest).  Pure function of its arguments — which is what
+    makes the template cache below sound."""
+    rng = np.random.default_rng(seed)
+
+    # A fixed unit harmful direction.
+    direction = rng.normal(size=d_model)
+    direction = direction / np.linalg.norm(direction)
+
+    # Token embeddings: ordinary tokens carry *no* component along the
+    # harmful direction (projected out).  Harm-lexicon tokens get their
+    # component added at embed time by *word identity* (see
+    # :meth:`ToyLlm.embed_prompt`) rather than by table id, so hashed-id
+    # collisions in the small vocab can never mark innocent words.
+    embedding = rng.normal(scale=0.3, size=(vocab_size, d_model))
+    h = direction[:, None]
+    embedding -= (embedding @ h) @ h.T
+
+    # Layer weights: the h-row is zeroed (no other feature feeds the
+    # harmful direction) and then replaced with a pure amplification
+    # (harm_gain > 1), so h is an eigenvector the residual stream grows.
+    layers: list[np.ndarray] = []
+    for _ in range(n_layers):
+        w = rng.normal(scale=0.9 / np.sqrt(d_model), size=(d_model, d_model))
+        w = w - h @ (h.T @ w)            # zero the action onto h
+        w = w + harm_gain * (h @ h.T)    # amplify along h
+        layers.append(w)
+
+    unembedding = rng.normal(scale=0.3, size=(d_model, vocab_size))
+
+    parts = [direction.tobytes(), embedding.tobytes()]
+    parts += [w.tobytes() for w in layers]
+    parts.append(unembedding.tobytes())
+    digest = hashlib.sha256(b"".join(parts)).hexdigest()
+    return direction, embedding, layers, unembedding, digest
+
+
+#: Built checkpoints keyed by the full constructor signature.  Every
+#: deployment constructs several identically-seeded models (console load
+#: plus one per service replica), and the benchmark harnesses construct
+#: fresh deployments per iteration — regenerating identical weights from
+#: the RNG dominated that hot path.  Entries are insertion-ordered;
+#: oldest is evicted at the cap.
+_TEMPLATE_CACHE: dict[tuple, tuple] = {}
+_TEMPLATE_CACHE_CAP = 8
+
+
 class ToyLlm:
     """A small residual token-mixing network."""
 
     def __init__(self, d_model: int = 64, n_layers: int = 6,
                  vocab_size: int = 512, seed: int = 7,
                  harm_gain: float = 1.15) -> None:
-        rng = np.random.default_rng(seed)
         self.d_model = d_model
         self.n_layers = n_layers
         self.vocab_size = vocab_size
         self.tokenizer = Tokenizer(vocab_size)
-
-        # A fixed unit harmful direction.
-        direction = rng.normal(size=d_model)
-        self.harmful_direction = direction / np.linalg.norm(direction)
-
-        # Token embeddings: ordinary tokens carry *no* component along the
-        # harmful direction (projected out).  Harm-lexicon tokens get their
-        # component added at embed time by *word identity* (see
-        # :meth:`embed_prompt`) rather than by table id, so hashed-id
-        # collisions in the small vocab can never mark innocent words.
-        self.embedding = rng.normal(scale=0.3, size=(vocab_size, d_model))
-        h = self.harmful_direction[:, None]
-        self.embedding -= (self.embedding @ h) @ h.T
         #: Strength of the harm feature on lexicon tokens.
         self.harm_feature_scale = 2.0
 
-        # Layer weights: the h-row is zeroed (no other feature feeds the
-        # harmful direction) and then replaced with a pure amplification
-        # (harm_gain > 1), so h is an eigenvector the residual stream grows.
-        self.layers: list[np.ndarray] = []
-        for _ in range(n_layers):
-            w = rng.normal(scale=0.9 / np.sqrt(d_model), size=(d_model, d_model))
-            w = w - h @ (h.T @ w)            # zero the action onto h
-            w = w + harm_gain * (h @ h.T)    # amplify along h
-            self.layers.append(w)
+        key = (d_model, n_layers, vocab_size, seed, harm_gain)
+        template = _TEMPLATE_CACHE.get(key)
+        if template is None:
+            template = _build_weight_template(*key)
+            if len(_TEMPLATE_CACHE) >= _TEMPLATE_CACHE_CAP:
+                _TEMPLATE_CACHE.pop(next(iter(_TEMPLATE_CACHE)))
+            _TEMPLATE_CACHE[key] = template
+        direction, embedding, layers, unembedding, digest = template
 
-        self.unembedding = rng.normal(scale=0.3, size=(d_model, vocab_size))
+        # Instances own their arrays (steering/ablation may rewrite them);
+        # copies are an order of magnitude cheaper than regeneration.
+        self.harmful_direction = direction.copy()
+        self.embedding = embedding.copy()
+        self.layers = [w.copy() for w in layers]
+        self.unembedding = unembedding.copy()
         #: Digest of the full checkpoint, for exfiltration scenarios ("the
         #: model's weights" as a concrete asset an adversary smuggles out).
-        self._weight_digest = hashlib.sha256(self.export_weights()).hexdigest()
+        self._weight_digest = digest
 
     # ------------------------------------------------------------------
 

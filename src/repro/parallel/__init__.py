@@ -1,0 +1,49 @@
+"""Multiprocess execution fabric for chaos, campaign, and bench runs.
+
+Shards embarrassingly parallel workloads across warm spawn-method worker
+processes and merges the results into reports byte-identical to the
+sequential drivers.  See :mod:`repro.parallel.fabric` for the entry
+points and :mod:`repro.parallel.merge` for the determinism contract.
+"""
+
+from repro.parallel.fabric import (
+    run_bench_fabric,
+    run_chaos_fabric,
+    run_paired_campaign_fabric,
+)
+from repro.parallel.merge import canonical_bytes, deterministic_view
+from repro.parallel.pool import MAX_AUTO_JOBS, PoolStats, ShardedRunner, resolve_jobs
+from repro.parallel.sweep import (
+    DEFAULT_OUTPUT,
+    PARALLEL_SCHEMA,
+    scaling_sweep,
+    sweep_points,
+)
+from repro.parallel.tasks import (
+    BenchTask,
+    CampaignAttackTask,
+    ChaosCampaignTask,
+    WarmupTask,
+    execute_task,
+)
+
+__all__ = [
+    "BenchTask",
+    "CampaignAttackTask",
+    "ChaosCampaignTask",
+    "DEFAULT_OUTPUT",
+    "MAX_AUTO_JOBS",
+    "PARALLEL_SCHEMA",
+    "PoolStats",
+    "ShardedRunner",
+    "WarmupTask",
+    "canonical_bytes",
+    "deterministic_view",
+    "execute_task",
+    "resolve_jobs",
+    "run_bench_fabric",
+    "run_chaos_fabric",
+    "run_paired_campaign_fabric",
+    "scaling_sweep",
+    "sweep_points",
+]

@@ -1,0 +1,146 @@
+"""High-level entry points: shard a workload, merge it, time it.
+
+Each function here mirrors a sequential driver one-for-one:
+
+========================  =======================================
+sequential                sharded
+========================  =======================================
+``chaos.run_chaos``       :func:`run_chaos_fabric`
+``run_paired_campaign``   :func:`run_paired_campaign_fabric`
+``bench.run_suite``       :func:`run_bench_fabric`
+========================  =======================================
+
+``jobs <= 1`` (or a workload too small to shard) takes the *legacy
+sequential code path* — literally the same function the pre-fabric CLI
+called, not a one-worker pool — so ``--jobs 1`` reproduces historical
+behaviour exactly, monkeypatching included.  For ``jobs > 1`` the work
+is expanded into spawn-safe task descriptors using the same seed
+derivation as the sequential loop, mapped over a :class:`ShardedRunner`,
+and merged deterministically.
+
+Every function returns ``(payload, timing)``: the payload is the
+deterministic report (byte-identical across jobs counts); the timing
+dict is the non-compared section — wall seconds, throughput, pool
+stats — for CLI summary lines and the scaling sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.parallel.merge import (
+    merge_bench_samples,
+    merge_campaign_results,
+    merge_chaos_runs,
+)
+from repro.parallel.pool import ShardedRunner, resolve_jobs
+from repro.parallel.tasks import BenchTask, CampaignAttackTask, ChaosCampaignTask
+
+
+def _timing(start: float, units: int, jobs: int, mode: str,
+            runner: ShardedRunner | None = None) -> dict:
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "units": units,
+        "units_per_second": units / wall if wall > 0 else 0.0,
+        "jobs": jobs,
+        "mode": mode,
+        "pool": runner.stats.to_dict() if runner is not None else None,
+    }
+
+
+def run_chaos_fabric(seed: int, campaigns: int, jobs: int | None = None,
+                     *, runner: ShardedRunner | None = None
+                     ) -> tuple[dict, dict]:
+    """Chaos campaigns, sharded; report byte-identical to ``run_chaos``."""
+    from repro.faults.chaos import derive_campaign_seeds, run_chaos
+
+    jobs = runner.jobs if runner is not None else resolve_jobs(jobs)
+    start = time.perf_counter()
+    if jobs <= 1 or campaigns <= 1:
+        report = run_chaos(seed, campaigns)
+        return report, _timing(start, campaigns, 1, "sequential")
+    seeds = derive_campaign_seeds(seed, campaigns)
+    tasks = [ChaosCampaignTask(campaign_seed, index)
+             for index, campaign_seed in enumerate(seeds)]
+    own_runner = runner is None
+    if own_runner:
+        runner = ShardedRunner(jobs)
+    try:
+        runs = runner.map(tasks)
+    finally:
+        if own_runner:
+            runner.close()
+    report = merge_chaos_runs(seed, campaigns, runs)
+    return report, _timing(start, campaigns, jobs, "parallel", runner)
+
+
+def run_paired_campaign_fabric(seed: int | None = None,
+                               jobs: int | None = None,
+                               *, runner: ShardedRunner | None = None):
+    """The E13 comparison, sharded per (platform, adversary).
+
+    Returns ``(baseline_report, guillotine_report, timing)``; the two
+    reports (and their ``to_dict`` JSON) are identical to
+    :func:`repro.core.scenarios.run_paired_campaign`'s."""
+    from repro.core.scenarios import campaign_roster, run_paired_campaign
+
+    roster_size = len(campaign_roster(seed))
+    jobs = runner.jobs if runner is not None else resolve_jobs(jobs)
+    start = time.perf_counter()
+    if jobs <= 1 or roster_size <= 1:
+        baseline, guillotine = run_paired_campaign(seed=seed)
+        return baseline, guillotine, _timing(
+            start, 2 * roster_size, 1, "sequential")
+    tasks = [
+        CampaignAttackTask(platform, index, seed)
+        for platform in ("baseline", "guillotine")
+        for index in range(roster_size)
+    ]
+    own_runner = runner is None
+    if own_runner:
+        runner = ShardedRunner(jobs)
+    try:
+        results = runner.map(tasks)
+    finally:
+        if own_runner:
+            runner.close()
+    baseline = merge_campaign_results("baseline", results[:roster_size])
+    guillotine = merge_campaign_results("guillotine", results[roster_size:])
+    return baseline, guillotine, _timing(
+        start, 2 * roster_size, jobs, "parallel", runner)
+
+
+def run_bench_fabric(quick: bool = False, jobs: int | None = None,
+                     *, runner: ShardedRunner | None = None):
+    """The bench suite, sharded per (row, interpreter mode).
+
+    Returns ``(results, timing)``.  Simulated counters and verdicts are
+    bit-identical to the sequential suite; wall-clock fields reflect
+    sharded execution (workers contend for cores), which is why bench
+    comparisons go through ``deterministic_view``."""
+    from repro.core.bench import SUITE, run_suite
+
+    jobs = runner.jobs if runner is not None else resolve_jobs(jobs)
+    start = time.perf_counter()
+    if jobs <= 1 or len(SUITE) <= 1:
+        results = run_suite(quick=quick)
+        return results, _timing(start, len(SUITE), 1, "sequential")
+    tasks = []
+    for suite_index, entry in enumerate(SUITE):
+        iterations = entry[4] if quick else entry[3]
+        tasks.append(BenchTask(suite_index, iterations, "fast"))
+        tasks.append(BenchTask(suite_index, iterations, "slow"))
+    own_runner = runner is None
+    if own_runner:
+        runner = ShardedRunner(jobs)
+    try:
+        units = runner.map(tasks)
+    finally:
+        if own_runner:
+            runner.close()
+    fast_units = [unit for unit in units if unit["mode"] == "fast"]
+    slow_units = [unit for unit in units if unit["mode"] == "slow"]
+    results = merge_bench_samples(fast_units, slow_units)
+    return results, _timing(start, len(SUITE), jobs, "parallel", runner)

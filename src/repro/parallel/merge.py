@@ -1,0 +1,100 @@
+"""Deterministic report merging and the determinism-comparison views.
+
+The fabric's contract is that a sharded run emits reports byte-identical
+to the sequential path.  Two report families need different treatment:
+
+* ``repro.chaos/1`` and ``repro.campaign/1`` contain *no* wall-clock
+  fields at all (timing is a CLI summary line and a ``repro.parallel/1``
+  artifact, never part of the payload), so the comparison is plain
+  byte equality of the canonical JSON.
+* ``repro.bench/1`` necessarily embeds wall-clock measurements
+  (``wall_seconds``, ``steps_per_second``, ``speedup``...).  Those are
+  the *non-compared section*: :func:`deterministic_view` strips them,
+  leaving the simulated steps/cycles and the determinism/equivalence
+  verdicts, which must match bit-for-bit however the suite was sharded.
+
+The merge functions themselves are thin: aggregation lives next to the
+sequential implementations (``assemble_report``, ``suite_report``,
+``report_from_results``) precisely so the parallel path cannot drift
+from the sequential one.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Wall-clock-derived keys inside each ``repro.bench/1`` benchmark row.
+_BENCH_ROW_WALL_KEYS = frozenset({
+    "wall_seconds", "slow_wall_seconds", "steps_per_second",
+    "cycles_per_second", "speedup",
+})
+
+#: Wall-clock-derived keys inside the ``repro.bench/1`` totals block.
+_BENCH_TOTAL_WALL_KEYS = frozenset({
+    "fast_wall_seconds", "slow_wall_seconds", "steps_per_second",
+    "cycles_per_second", "speedup",
+})
+
+
+def deterministic_view(report: dict) -> dict:
+    """The portion of a report that must be identical however it ran.
+
+    For chaos/campaign documents this is the whole report; for bench
+    documents the wall-clock fields (the non-compared section) are
+    stripped from every row and from the totals."""
+    if report.get("schema") != "repro.bench/1":
+        return dict(report)
+    view = dict(report)
+    view["benchmarks"] = [
+        {key: value for key, value in row.items()
+         if key not in _BENCH_ROW_WALL_KEYS}
+        for row in report.get("benchmarks", ())
+    ]
+    view["totals"] = {
+        key: value for key, value in report.get("totals", {}).items()
+        if key not in _BENCH_TOTAL_WALL_KEYS
+    }
+    return view
+
+
+def canonical_bytes(report: dict) -> str:
+    """Canonical JSON of the deterministic view (what tests compare)."""
+    return json.dumps(deterministic_view(report), indent=2, sort_keys=True)
+
+
+def merge_chaos_runs(seed: int, campaigns: int, runs: list[dict]) -> dict:
+    """Reassemble per-shard campaign dicts into the chaos report."""
+    from repro.faults.chaos import assemble_report
+
+    return assemble_report(seed, campaigns, runs)
+
+
+def merge_campaign_results(platform: str, results: list[dict]):
+    """Reassemble per-shard attack dicts into a campaign report."""
+    from repro.core.scenarios import report_from_results
+
+    return report_from_results(platform, results)
+
+
+def merge_bench_samples(fast_units: list[dict],
+                        slow_units: list[dict]) -> list:
+    """Pair fast/slow sample units by suite row into BenchResults.
+
+    Rows come back ordered by suite index (the fabric preserves task
+    order); verdicts are recomputed from the simulated counters, which
+    are bit-identical wherever the samples were measured."""
+    from repro.core.bench import RunSample, combine_samples
+
+    by_index_fast = {unit["suite_index"]: unit for unit in fast_units}
+    by_index_slow = {unit["suite_index"]: unit for unit in slow_units}
+    if set(by_index_fast) != set(by_index_slow):
+        raise ValueError("fast/slow bench shards do not cover the same rows")
+    results = []
+    for suite_index in sorted(by_index_fast):
+        fast = by_index_fast[suite_index]
+        slow = by_index_slow[suite_index]
+        first, second = (RunSample(**sample) for sample in fast["samples"])
+        (reference,) = (RunSample(**sample) for sample in slow["samples"])
+        results.append(combine_samples(fast["name"], fast["machine"],
+                                       first, second, reference))
+    return results

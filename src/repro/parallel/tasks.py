@@ -1,0 +1,108 @@
+"""Spawn-safe task descriptors and the worker-side dispatcher.
+
+A task descriptor is a frozen dataclass of primitives — seeds, indices,
+platform names — never a live object.  Workers started with the
+``spawn`` method share *nothing* with the parent beyond what pickles
+through these descriptors, which is the whole point: a work unit that
+executes identically in the parent, a warm pooled worker, or a freshly
+retried one is a work unit whose results can be merged back into a
+byte-identical report.
+
+:func:`execute_task` is the single entry point worker processes run.
+It must stay importable at module top level (``spawn`` pickles it by
+qualified name) and must import the heavy simulation modules *lazily*,
+inside the dispatch arms, so pool start-up stays cheap.
+
+``crash_token`` exists for the straggler-retry tests: a task carrying a
+token path hard-kills its worker (``os._exit``) the first time it is
+attempted, then runs normally on retry — letting tests prove that a
+worker crash changes nothing about the merged report.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Exit code used by the deliberate-crash test hook (visible in worker
+#: post-mortems; any nonzero code breaks the pool the same way).
+CRASH_EXIT_CODE = 17
+
+
+@dataclass(frozen=True)
+class ChaosCampaignTask:
+    """One seeded chaos campaign (:func:`repro.faults.chaos.run_one`)."""
+
+    campaign_seed: int
+    index: int
+    crash_token: str | None = None
+
+
+@dataclass(frozen=True)
+class CampaignAttackTask:
+    """One adversary attack on one fresh deployment
+    (:func:`repro.core.scenarios.run_one_attack`)."""
+
+    platform: str
+    roster_index: int
+    seed: int | None = None
+    crash_token: str | None = None
+
+
+@dataclass(frozen=True)
+class BenchTask:
+    """One suite row in one interpreter mode
+    (:func:`repro.core.bench.run_one`)."""
+
+    suite_index: int
+    iterations: int
+    mode: str  # "fast" (two samples) | "slow" (one reference sample)
+    crash_token: str | None = None
+
+
+@dataclass(frozen=True)
+class WarmupTask:
+    """Pre-loads the simulation stack in a fresh worker.
+
+    Submitted once per worker before timing starts, so interpreter
+    start-up and the numpy/repro import tax land outside the measured
+    window — the scaling sweep measures sharded *execution*, with pool
+    spawn cost reported separately.
+    """
+
+    worker_hint: int = 0
+
+
+def _maybe_crash(token: str | None) -> None:
+    """First attempt with a token: leave a marker and kill the worker.
+
+    ``os._exit`` (not an exception) so the parent sees exactly what a
+    real worker crash looks like — a broken pool, not a tidy error."""
+    if token is None or os.path.exists(token):
+        return
+    with open(token, "w", encoding="utf-8") as handle:
+        handle.write(str(os.getpid()))
+    os._exit(CRASH_EXIT_CODE)
+
+
+def execute_task(task) -> dict:
+    """Run one task descriptor to completion; returns a plain dict."""
+    _maybe_crash(getattr(task, "crash_token", None))
+    if isinstance(task, ChaosCampaignTask):
+        from repro.faults.chaos import run_one
+
+        return run_one(task.campaign_seed, task.index)
+    if isinstance(task, CampaignAttackTask):
+        from repro.core.scenarios import run_one_attack
+
+        return run_one_attack(task.platform, task.roster_index,
+                              seed=task.seed)
+    if isinstance(task, BenchTask):
+        from repro.core.bench import run_one
+
+        return run_one(task.suite_index, task.iterations, task.mode)
+    if isinstance(task, WarmupTask):
+        import repro.core.sandbox  # noqa: F401  (pre-load the stack)
+
+        return {"ready": True, "pid": os.getpid()}
+    raise TypeError(f"unknown task descriptor {type(task).__name__}")

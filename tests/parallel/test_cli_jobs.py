@@ -1,0 +1,71 @@
+"""--jobs wiring through the CLI, compared at the byte level."""
+
+from __future__ import annotations
+
+import json
+
+from repro.__main__ import main
+
+
+class TestChaosJobsFlag:
+    def test_jobs_two_writes_byte_identical_report(self, tmp_path, capsys):
+        seq = tmp_path / "seq.json"
+        par = tmp_path / "par.json"
+        assert main(["chaos", "--seed", "7", "--campaigns", "4",
+                     "--jobs", "1", "--out", str(seq)]) == 0
+        assert main(["chaos", "--seed", "7", "--campaigns", "4",
+                     "--jobs", "2", "--out", str(par)]) == 0
+        assert seq.read_bytes() == par.read_bytes()
+
+    def test_summary_line_reports_timing_outside_the_json(self, tmp_path,
+                                                          capsys):
+        out = tmp_path / "c.json"
+        main(["chaos", "--seed", "3", "--campaigns", "2",
+              "--jobs", "1", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert "campaigns/s" in stdout
+        assert "jobs=1" in stdout
+        payload = json.loads(out.read_text())
+        assert "wall" not in json.dumps(payload)
+
+
+class TestCampaignJobsFlag:
+    def test_json_payload_identical_across_jobs(self, capsys):
+        assert main(["campaign", "--seed", "5", "--json",
+                     "--jobs", "1"]) == 0
+        first = capsys.readouterr()
+        assert main(["campaign", "--seed", "5", "--json",
+                     "--jobs", "2"]) == 0
+        second = capsys.readouterr()
+        assert first.out == second.out
+        # stdout parses as pure JSON; timing goes to stderr.
+        json.loads(first.out)
+        assert "attacks/s" in first.err
+        assert "attacks/s" in second.err
+
+    def test_table_mode_prints_timing_summary(self, capsys):
+        main(["campaign", "--seed", "5", "--jobs", "1"])
+        assert "attacks/s" in capsys.readouterr().out
+
+
+class TestBenchParallelSweep:
+    def test_quick_sweep_document(self, tmp_path, capsys, monkeypatch):
+        import repro.parallel.sweep as sweep_mod
+
+        # Keep CI cost low: a two-point sweep (quick mode shrinks the
+        # campaign count).
+        monkeypatch.setattr(sweep_mod, "sweep_points", lambda: [1, 2])
+        out = tmp_path / "BENCH_parallel.json"
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--parallel", "--quick",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.parallel/1"
+        jobs = [entry["jobs"] for entry in doc["entries"]]
+        assert jobs == sorted(jobs) and jobs[0] == 1
+        for entry in doc["entries"]:
+            assert entry["merge_deterministic"] is True
+            assert entry["wall_seconds"] > 0
+            assert entry["campaigns_per_second"] > 0
+        assert doc["totals"]["all_merges_deterministic"] is True
+        assert "merge" in capsys.readouterr().out

@@ -1,0 +1,135 @@
+"""End-to-end fabric tests: real spawned workers, byte-compared reports.
+
+These tests spawn actual worker processes (the ``spawn`` start method —
+the same configuration the CLI uses), so they prove the full contract:
+task descriptors pickle, workers import the stack from a clean slate,
+and the merged report is byte-identical to the sequential one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.parallel.fabric import (
+    run_chaos_fabric,
+    run_paired_campaign_fabric,
+)
+from repro.parallel.merge import canonical_bytes
+from repro.parallel.pool import ShardedRunner
+from repro.parallel.tasks import ChaosCampaignTask
+
+SEED = 7
+CAMPAIGNS = 4
+
+
+@pytest.fixture(scope="module")
+def sequential_report() -> dict:
+    from repro.faults.chaos import run_chaos
+
+    return run_chaos(SEED, CAMPAIGNS)
+
+
+class TestChaosByteIdentity:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_report_byte_identical(self, jobs, sequential_report):
+        report, timing = run_chaos_fabric(SEED, CAMPAIGNS, jobs=jobs)
+        assert timing["mode"] == "parallel"
+        assert timing["jobs"] == jobs
+        assert canonical_bytes(report) == canonical_bytes(sequential_report)
+        # Not just canonically equal — the exact dict the CLI serialises.
+        assert report == sequential_report
+
+    def test_timing_never_leaks_into_the_payload(self, sequential_report):
+        report, timing = run_chaos_fabric(SEED, CAMPAIGNS, jobs=2)
+        assert "wall_seconds" in timing
+        assert "wall_seconds" not in json.dumps(report)
+
+
+class TestCrashRetry:
+    def test_worker_crash_produces_the_same_report(self, tmp_path,
+                                                   sequential_report):
+        """A task that hard-kills its first worker (os._exit) is retried
+        on a fresh pool and the merged report is unchanged."""
+        from repro.faults.chaos import derive_campaign_seeds
+        from repro.parallel.merge import merge_chaos_runs
+
+        token = str(tmp_path / "crash-once")
+        seeds = derive_campaign_seeds(SEED, CAMPAIGNS)
+        tasks = [
+            ChaosCampaignTask(seed, index,
+                              crash_token=(token if index == 1 else None))
+            for index, seed in enumerate(seeds)
+        ]
+        with ShardedRunner(2, task_timeout=300) as runner:
+            runs = runner.map(tasks)
+        report = merge_chaos_runs(SEED, CAMPAIGNS, runs)
+        assert report == sequential_report
+        assert runner.stats.retries >= 1
+        assert runner.stats.pool_restarts >= 1
+        assert runner.stats.tasks_completed == CAMPAIGNS
+
+    def test_crash_marker_written_exactly_once(self, tmp_path):
+        token = str(tmp_path / "marker")
+        tasks = [ChaosCampaignTask(99, 0, crash_token=token)]
+        with ShardedRunner(2, task_timeout=300) as runner:
+            runner.map(tasks)
+        with open(token, encoding="utf-8") as handle:
+            # One pid: the task crashed one worker, then ran clean.
+            assert handle.read().strip().isdigit()
+
+
+class TestSequentialGuard:
+    """--jobs 1 must be the legacy code path, not a one-worker pool."""
+
+    def test_jobs_one_never_builds_a_runner(self, monkeypatch,
+                                            sequential_report):
+        import repro.parallel.fabric as fabric_mod
+
+        def explode(*args, **kwargs):
+            raise AssertionError("jobs=1 constructed a worker pool")
+
+        monkeypatch.setattr(fabric_mod, "ShardedRunner", explode)
+        report, timing = run_chaos_fabric(SEED, CAMPAIGNS, jobs=1)
+        assert timing["mode"] == "sequential"
+        assert report == sequential_report
+
+    def test_single_campaign_stays_sequential_at_any_jobs(self, monkeypatch):
+        import repro.parallel.fabric as fabric_mod
+
+        monkeypatch.setattr(
+            fabric_mod, "ShardedRunner",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("pooled")))
+        report, timing = run_chaos_fabric(3, 1, jobs=8)
+        assert timing["mode"] == "sequential"
+        from repro.faults.chaos import run_chaos
+
+        assert report == run_chaos(3, 1)
+
+    def test_jobs_one_honours_monkeypatched_campaign(self, monkeypatch):
+        """The legacy path calls chaos.run_campaign through the module
+        global, exactly as before the fabric existed."""
+        import repro.faults.chaos as chaos_mod
+
+        calls = []
+        real = chaos_mod.run_campaign
+
+        def spying(seed, index=0):
+            calls.append(index)
+            return real(seed, index=index)
+
+        monkeypatch.setattr(chaos_mod, "run_campaign", spying)
+        run_chaos_fabric(5, 2, jobs=1)
+        assert calls == [0, 1]
+
+
+class TestCampaignFabric:
+    def test_parallel_matches_sequential(self):
+        from repro.core.scenarios import run_paired_campaign
+
+        b_seq, g_seq = run_paired_campaign(seed=11)
+        b_par, g_par, timing = run_paired_campaign_fabric(seed=11, jobs=2)
+        assert timing["mode"] == "parallel"
+        assert b_par.to_dict() == b_seq.to_dict()
+        assert g_par.to_dict() == g_seq.to_dict()

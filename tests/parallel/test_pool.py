@@ -1,0 +1,106 @@
+"""Unit tests for the sharded worker pool (no processes spawned here)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.pool import MAX_AUTO_JOBS, PoolStats, ShardedRunner, resolve_jobs
+from repro.parallel.tasks import (
+    BenchTask,
+    CampaignAttackTask,
+    ChaosCampaignTask,
+    WarmupTask,
+    execute_task,
+)
+
+
+class TestResolveJobs:
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_explicit_value_clamped_to_one(self):
+        assert resolve_jobs(-2) == 1
+
+    def test_auto_detect_is_positive_and_bounded(self):
+        auto = resolve_jobs(None)
+        assert 1 <= auto <= MAX_AUTO_JOBS
+        assert resolve_jobs(0) == auto
+
+    def test_large_explicit_value_not_clamped(self):
+        # Only auto-detection is capped; an explicit ask is honoured.
+        assert resolve_jobs(MAX_AUTO_JOBS + 4) == MAX_AUTO_JOBS + 4
+
+
+class TestRunnerValidation:
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            ShardedRunner(2, task_timeout=0)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            ShardedRunner(2, max_rounds=0)
+
+    def test_no_pool_until_used(self):
+        runner = ShardedRunner(2)
+        assert runner._executor is None
+        runner.close()
+
+    def test_context_manager_closes(self):
+        with ShardedRunner(2) as runner:
+            pass
+        assert runner._executor is None
+
+    def test_stats_start_empty(self):
+        stats = ShardedRunner(2).stats
+        assert isinstance(stats, PoolStats)
+        assert stats.tasks_dispatched == 0
+        assert stats.to_dict()["workers_seen"] == 0
+
+
+class TestExecuteTaskDispatch:
+    """execute_task is the worker entry point; exercise it in-process."""
+
+    def test_chaos_task_runs_a_campaign(self):
+        from repro.faults.chaos import run_one
+
+        task = ChaosCampaignTask(campaign_seed=1234, index=3)
+        assert execute_task(task) == run_one(1234, 3)
+
+    def test_campaign_task_runs_one_attack(self):
+        from repro.core.scenarios import run_one_attack
+
+        task = CampaignAttackTask("guillotine", 0, seed=5)
+        assert execute_task(task) == run_one_attack("guillotine", 0, seed=5)
+
+    def test_bench_task_shape(self):
+        unit = execute_task(BenchTask(suite_index=0, iterations=1,
+                                      mode="slow"))
+        assert unit["suite_index"] == 0
+        assert unit["mode"] == "slow"
+        assert len(unit["samples"]) == 1
+
+    def test_warmup_reports_pid(self):
+        import os
+
+        result = execute_task(WarmupTask())
+        assert result == {"ready": True, "pid": os.getpid()}
+
+    def test_unknown_descriptor_rejected(self):
+        with pytest.raises(TypeError):
+            execute_task(object())
+
+
+class TestInlineFallback:
+    def test_map_falls_back_inline_when_pool_unavailable(self, monkeypatch):
+        """If no pool can be built at all, the parent still finishes."""
+        runner = ShardedRunner(2, max_rounds=1)
+        monkeypatch.setattr(
+            runner, "_pool",
+            lambda: (_ for _ in ()).throw(OSError("no processes")))
+        from repro.faults.chaos import run_one
+
+        tasks = [ChaosCampaignTask(77, 0), ChaosCampaignTask(78, 1)]
+        results = runner.map(tasks)
+        assert results == [run_one(77, 0), run_one(78, 1)]
+        assert runner.stats.inline_runs == 2
+        runner.close()
