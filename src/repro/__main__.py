@@ -14,6 +14,11 @@ Commands:
   reference interpreter, with determinism and cycle-equivalence checks)
 * ``chaos``      — seeded fault-injection campaigns with machine-checked
   fail-closed invariants (the robustness suite)
+* ``fuzz``       — coverage-guided differential fuzzing: generated GISA
+  programs through the engine/machine/verdict oracles, divergences shrunk
+  into ``repro.replay/1`` golden records
+* ``replay``     — deterministically re-execute golden records (a file or a
+  directory of them) against the current tree
 """
 
 from __future__ import annotations
@@ -338,6 +343,112 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.parallel.fabric import run_fuzz_fabric
+
+    report, timing = run_fuzz_fabric(
+        args.seed, args.count, jobs=args.jobs,
+        batch_size=args.batch_size, max_steps=args.max_steps,
+    )
+
+    print(f"{'batch':<7}{'programs':<10}{'admitted':<10}{'rejected':<10}"
+          f"{'coverage':<10}{'verdict'}")
+    for run in report["runs"]:
+        verdict = ("ok" if run["passed"]
+                   else f"DIVERGED x{len(run['divergences'])}")
+        print(f"{run['index']:<7}{run['programs']:<10}{run['admitted']:<10}"
+              f"{run['rejected']:<10}{len(run['coverage']):<10}{verdict}")
+    totals = report["totals"]
+    states = ", ".join(f"{name}={count}"
+                       for name, count in totals["states"].items())
+    print(f"states: {states}")
+    print(f"coverage: {totals['coverage_tokens']} tokens; "
+          f"cross-machine compared {totals['cross_compared']}, "
+          f"containment asymmetries {totals['containment_asymmetries']}")
+    print(_timing_summary("fuzz", timing, "programs"))
+
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    print(f"wrote {args.out}")
+
+    if report["totals"]["divergences"]:
+        os.makedirs(args.artifacts, exist_ok=True)
+        for entry in report["totals"]["divergence_index"]:
+            artifact = next(
+                art for run in report["runs"]
+                for art in run["divergences"]
+                if art["name"] == entry["name"]
+            )
+            path = os.path.join(args.artifacts, f"{entry['name']}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(artifact, indent=2, sort_keys=True)
+                             + "\n")
+            print(f"error: oracle(s) {','.join(entry['oracles'])} violated "
+                  f"-> {path}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.fuzz.replay import load_artifact, replay_artifact
+
+    paths: list[str] = []
+    for target in args.artifacts:
+        if os.path.isdir(target):
+            paths.extend(
+                os.path.join(target, name)
+                for name in sorted(os.listdir(target))
+                if name.endswith(".json")
+            )
+        else:
+            paths.append(target)
+    if not paths:
+        print("error: no artifacts to replay", file=sys.stderr)
+        return 2
+
+    results = []
+    failed = 0
+    for path in paths:
+        try:
+            artifact = load_artifact(path)
+            result = replay_artifact(artifact)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        results.append((path, result))
+        if not result.reproduced:
+            failed += 1
+
+    if args.json:
+        payload = {
+            "schema": "repro.replay-run/1",
+            "results": [
+                dict(result.to_dict(), path=path)
+                for path, result in results
+            ],
+            "all_reproduced": failed == 0,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for path, result in results:
+            status = "reproduced" if result.reproduced else "NOT REPRODUCED"
+            print(f"{result.kind:<11} {result.name:<28} {status}")
+            for mismatch in result.mismatches:
+                print(f"    {mismatch}")
+    if failed:
+        print(f"error: {failed}/{len(results)} artifact(s) failed to "
+              f"reproduce", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -407,6 +518,38 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument(
         "--jobs", type=int, default=0,
         help="worker processes (0 = auto-detect cores, 1 = sequential)")
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="coverage-guided differential fuzzing (three oracles)")
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=42,
+        help="master seed; derives every batch's generator seed")
+    fuzz_parser.add_argument(
+        "--count", type=int, default=200,
+        help="total number of generated programs")
+    fuzz_parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="programs per batch (the parallel work unit and the "
+             "coverage-feedback scope; default 25)")
+    fuzz_parser.add_argument(
+        "--max-steps", type=int, default=None,
+        help="per-program execution budget in steps (default 600)")
+    fuzz_parser.add_argument(
+        "--out", default="BENCH_fuzz.json",
+        help="output path for the repro.fuzz/1 JSON report")
+    fuzz_parser.add_argument(
+        "--artifacts", default="fuzz-artifacts",
+        help="directory for repro.replay/1 divergence artifacts")
+    fuzz_parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = auto-detect cores, 1 = sequential)")
+    replay_parser = subparsers.add_parser(
+        "replay", help="re-execute repro.replay/1 golden records")
+    replay_parser.add_argument(
+        "artifacts", nargs="+",
+        help="artifact JSON file(s) or directories of them")
+    replay_parser.add_argument(
+        "--json", action="store_true",
+        help="emit a repro.replay-run/1 JSON document")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -419,6 +562,8 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
+        "fuzz": _cmd_fuzz,
+        "replay": _cmd_replay,
     }
     return handlers[args.command](args)
 

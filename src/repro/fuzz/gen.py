@@ -1,0 +1,377 @@
+"""Seeded, coverage-guided GISA program generation.
+
+A :class:`ProgramGenerator` is a deterministic stream of adversarial guest
+binaries.  Each program is built from weighted *feature segments* that map
+one-to-one onto the attack families the static analyzer lints for and the
+runtime must contain:
+
+==================  =====================================================
+``alu``             plain register arithmetic (the benign baseline)
+``memory``          loads/stores through the data region, including the
+                    occasional deliberately out-of-bounds offset
+``branch``          forward branches over short bodies
+``loop``            bounded counted loops (branch-predictor churn)
+``selfmod``         stores aimed at the executable image (E3 injection)
+``doorbell``        DOORBELL rings, sometimes inside a loop (E4 flood)
+``timing``          RDCYCLE-bracketed loads (E2 prime+probe shape)
+``mmu``             runtime MAP/UNMAP churn against the locked MMU
+``io``              IORD/IOWR — forbidden on a Guillotine model core
+``system``          FENCE/SETTIMER/WFI/IRET/JAL/JR exercise
+``div``             division, including by zero (#DE delivery)
+``raw``             raw 64-bit garbage words spliced post-assembly
+==================  =====================================================
+
+Coverage guidance is *local to the generator instance*: the campaign layer
+feeds back the coverage tokens each program earned at runtime
+(:meth:`ProgramGenerator.observe`), and programs that discovered new tokens
+join a bounded corpus that later programs mutate instead of starting fresh.
+Because the feedback loop lives entirely inside one generator (one fuzz
+*batch*), batches stay pure functions of their seed — which is what lets
+the parallel fabric shard a campaign and still merge a byte-identical
+report.
+
+Programs are capped at one code page (:data:`MAX_PROGRAM_WORDS` words) so
+every generated binary has the same layout: code at vaddr 0, data at
+:data:`DATA_VADDR`, the shared IO window after that.  The generator can
+therefore emit concrete addresses without knowing assembly lengths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.hw import isa
+from repro.hw.isa import Instruction, Op, assemble, encode
+from repro.hw.memory import PAGE_SIZE
+
+#: Hard cap keeping every program inside one code page (incl. final HALT).
+MAX_PROGRAM_WORDS = PAGE_SIZE - 1
+#: Data pages mapped after the code page by the fuzz harness.
+DATA_PAGES = 2
+#: Virtual word address of the data region under the fixed layout.
+DATA_VADDR = PAGE_SIZE
+#: Virtual word address of the shared-IO window under the fixed layout.
+IO_VADDR = PAGE_SIZE + DATA_PAGES * PAGE_SIZE
+
+#: Feature segments and their relative weights in a fresh program.
+FEATURE_WEIGHTS: tuple[tuple[str, int], ...] = (
+    ("alu", 6),
+    ("memory", 4),
+    ("branch", 3),
+    ("loop", 3),
+    ("selfmod", 2),
+    ("doorbell", 2),
+    ("timing", 2),
+    ("mmu", 2),
+    ("io", 2),
+    ("system", 2),
+    ("div", 1),
+    ("raw", 1),
+)
+
+#: General-purpose registers the generator uses (r0 is hardwired zero,
+#: r12-r14 are the exception-handler registers — left alone so fault
+#: delivery stays observable).
+_GP_REGS = tuple(range(1, 12))
+
+_ALU_OPS = (Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for one generator instance (defaults match the campaign)."""
+
+    min_segments: int = 2
+    max_segments: int = 6
+    mutate_probability: float = 0.4
+    corpus_cap: int = 32
+    #: Probability a memory segment emits one out-of-bounds offset.
+    wild_offset_probability: float = 0.15
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated guest binary: encoded words plus provenance."""
+
+    words: tuple[int, ...]
+    features: tuple[str, ...]
+    origin: str  # "fresh" | "mutant"
+    index: int
+
+    @property
+    def static_ops(self) -> frozenset[str]:
+        """Names of the ops that decode out of the image (invalid words
+        excluded) — the static half of the coverage signal."""
+        ops = set()
+        for word in self.words:
+            opcode = (word >> 56) & 0xFF
+            try:
+                ops.add(Op(opcode).name)
+            except ValueError:
+                ops.add("INVALID")
+        return frozenset(ops)
+
+
+class ProgramGenerator:
+    """Deterministic, coverage-guided stream of GISA programs."""
+
+    def __init__(self, seed: int,
+                 config: GeneratorConfig | None = None) -> None:
+        self.seed = seed
+        self.config = config or GeneratorConfig()
+        self._rng = random.Random(seed)
+        self._label_counter = 0
+        self._emitted = 0
+        #: Coverage tokens seen so far (fed back via :meth:`observe`).
+        self.coverage: set[str] = set()
+        #: Interesting programs (word tuples) that earned new coverage.
+        self.corpus: list[tuple[int, ...]] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def next_program(self) -> GeneratedProgram:
+        """Produce the next program in the stream."""
+        rng = self._rng
+        index = self._emitted
+        self._emitted += 1
+        if self.corpus and rng.random() < self.config.mutate_probability:
+            parent = self.corpus[rng.randrange(len(self.corpus))]
+            words = self._mutate(list(parent))
+            return GeneratedProgram(tuple(words), ("mutant",), "mutant",
+                                    index)
+        words, features = self._fresh()
+        return GeneratedProgram(tuple(words), tuple(features), "fresh",
+                                index)
+
+    def observe(self, program: GeneratedProgram,
+                tokens: set[str]) -> int:
+        """Feed back the coverage tokens ``program`` earned at runtime.
+
+        Returns how many tokens were new; a program that discovered any
+        joins the mutation corpus (bounded FIFO)."""
+        new = tokens - self.coverage
+        if new:
+            self.coverage |= new
+            self.corpus.append(program.words)
+            if len(self.corpus) > self.config.corpus_cap:
+                self.corpus.pop(0)
+        return len(new)
+
+    # ------------------------------------------------------------------
+    # Fresh-program construction
+    # ------------------------------------------------------------------
+
+    def _fresh(self) -> tuple[list[int], list[str]]:
+        rng = self._rng
+        names = [name for name, weight in FEATURE_WEIGHTS
+                 for _ in range(weight)]
+        count = rng.randint(self.config.min_segments,
+                            self.config.max_segments)
+        features = [rng.choice(names) for _ in range(count)]
+        items: list[Instruction | str] = []
+        raw_patches = 0
+        for feature in features:
+            if feature == "raw":
+                raw_patches += 1
+                continue
+            items.extend(getattr(self, f"_seg_{feature}")())
+            if len([i for i in items
+                    if isinstance(i, Instruction)]) >= MAX_PROGRAM_WORDS - 8:
+                break
+        items.append(isa.halt())
+        instructions = [i for i in items if isinstance(i, Instruction)]
+        if len(instructions) > MAX_PROGRAM_WORDS:
+            # Over the page: fall back to a trivially valid program (the
+            # segment budget above makes this essentially unreachable).
+            items = [isa.nop(), isa.halt()]
+        words = list(assemble(items).words)
+        for _ in range(raw_patches):
+            position = rng.randrange(len(words))
+            words[position] = rng.getrandbits(64)
+        return words, sorted(set(features))
+
+    def _label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    def _reg(self) -> int:
+        return self._rng.choice(_GP_REGS)
+
+    # -- segments ------------------------------------------------------
+
+    def _seg_alu(self) -> list:
+        rng = self._rng
+        out = [isa.movi(self._reg(), rng.randint(-2048, 2048))]
+        for _ in range(rng.randint(1, 5)):
+            op = rng.choice(_ALU_OPS)
+            out.append(Instruction(op, rd=self._reg(), rs1=self._reg(),
+                                   rs2=self._reg()))
+        return out
+
+    def _seg_memory(self) -> list:
+        rng = self._rng
+        base = self._reg()
+        out = [isa.movi(base, DATA_VADDR)]
+        span = DATA_PAGES * PAGE_SIZE
+        for _ in range(rng.randint(1, 4)):
+            if rng.random() < self.config.wild_offset_probability:
+                offset = rng.choice((span + 7, -1, 4 * span, -PAGE_SIZE))
+            else:
+                offset = rng.randrange(span)
+            if rng.random() < 0.5:
+                out.append(isa.load(self._reg(), base, offset))
+            else:
+                out.append(isa.store(self._reg(), base, offset))
+        return out
+
+    def _seg_branch(self) -> list:
+        rng = self._rng
+        label = self._label("skip")
+        op = rng.choice((Op.BEQ, Op.BNE, Op.BLT, Op.BGE))
+        out: list = [
+            isa.movi(self._reg(), rng.randint(0, 4)),
+            Instruction(op, rs1=self._reg(), rs2=self._reg(), label=label),
+        ]
+        for _ in range(rng.randint(1, 3)):
+            out.append(isa.addi(self._reg(), self._reg(),
+                                rng.randint(-8, 8)))
+        out.append(label)
+        return out
+
+    def _seg_loop(self) -> list:
+        rng = self._rng
+        counter = self._reg()
+        label = self._label("loop")
+        out: list = [isa.movi(counter, rng.randint(2, 6)), label]
+        for _ in range(rng.randint(1, 3)):
+            out.append(Instruction(rng.choice(_ALU_OPS), rd=self._reg(),
+                                   rs1=self._reg(), rs2=self._reg()))
+        out.append(isa.addi(counter, counter, -1))
+        out.append(isa.bne(counter, 0, label))
+        return out
+
+    def _seg_selfmod(self) -> list:
+        rng = self._rng
+        base = self._reg()
+        value = self._reg()
+        out = [
+            isa.movi(base, rng.randrange(0, 16)),  # inside the code page
+            isa.movi(value, rng.randint(0, 4096)),
+            isa.store(value, base, rng.randrange(0, 8)),
+        ]
+        if rng.random() < 0.5:
+            out.append(isa.jr(base))  # jump into the written region
+        return out
+
+    def _seg_doorbell(self) -> list:
+        rng = self._rng
+        if rng.random() < 0.5:
+            return [isa.doorbell(self._reg())]
+        counter = self._reg()
+        label = self._label("flood")
+        return [
+            isa.movi(counter, rng.randint(2, 5)),
+            label,
+            isa.doorbell(self._reg()),
+            isa.addi(counter, counter, -1),
+            isa.bne(counter, 0, label),
+        ]
+
+    def _seg_timing(self) -> list:
+        rng = self._rng
+        open_reg, close_reg, probe = 9, 10, 11
+        base = self._reg()
+        return [
+            isa.movi(base, DATA_VADDR + rng.randrange(PAGE_SIZE)),
+            isa.rdcycle(open_reg),
+            isa.load(probe, base, 0),
+            isa.rdcycle(close_reg),
+            isa.sub(probe, close_reg, open_reg),
+        ]
+
+    def _seg_mmu(self) -> list:
+        rng = self._rng
+        vpn_reg, ppn_reg = self._reg(), self._reg()
+        vpn = rng.choice((rng.randrange(8, 32), 0, 1))
+        perms = rng.choice((
+            isa.PERM_R | isa.PERM_W,          # legal data churn
+            isa.PERM_R,
+            isa.PERM_R | isa.PERM_X,          # lockdown violation attempt
+            isa.PERM_R | isa.PERM_W | isa.PERM_X,
+        ))
+        out = [
+            isa.movi(vpn_reg, vpn),
+            isa.movi(ppn_reg, rng.randrange(0, 24)),
+            isa.map_page(vpn_reg, ppn_reg, perms),
+        ]
+        if rng.random() < 0.4:
+            out.append(isa.unmap_page(vpn_reg))
+        return out
+
+    def _seg_io(self) -> list:
+        rng = self._rng
+        port = rng.randrange(0, 8)
+        if rng.random() < 0.5:
+            return [isa.iord(self._reg(), port)]
+        return [isa.movi(self._reg(), rng.randint(0, 255)),
+                isa.iowr(self._reg(), port)]
+
+    def _seg_system(self) -> list:
+        rng = self._rng
+        choice = rng.randrange(5)
+        if choice == 0:
+            return [isa.fence(), isa.nop()]
+        if choice == 1:
+            delay = self._reg()
+            return [isa.movi(delay, rng.randint(4, 64)),
+                    isa.settimer(delay)]
+        if choice == 2:
+            return [isa.iret()]  # outside a handler: invalid instruction
+        if choice == 3:
+            link = self._reg()
+            label = self._label("call")
+            return [isa.jal(link, label), label, isa.nop()]
+        return [isa.wfi()]
+
+    def _seg_div(self) -> list:
+        rng = self._rng
+        divisor = self._reg()
+        return [
+            isa.movi(self._reg(), rng.randint(1, 1024)),
+            isa.movi(divisor, rng.choice((0, 1, 3, 7))),
+            isa.div(self._reg(), self._reg(), divisor),
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def _mutate(self, words: list[int]) -> list[int]:
+        """Word-level mutation of a corpus entry (1-3 edits)."""
+        rng = self._rng
+        for _ in range(rng.randint(1, 3)):
+            kind = rng.randrange(5)
+            position = rng.randrange(len(words))
+            if kind == 0:
+                words[position] = rng.getrandbits(64)
+            elif kind == 1:
+                words[position] = encode(Instruction(
+                    rng.choice(_ALU_OPS), rd=self._reg(),
+                    rs1=self._reg(), rs2=self._reg()))
+            elif kind == 2 and len(words) < MAX_PROGRAM_WORDS:
+                words.insert(position, words[position])
+            elif kind == 3 and len(words) > 2:
+                del words[position]
+            else:
+                words[position] ^= 1 << rng.randrange(64)
+        # Guarantee a HALT exists so the common path still terminates.
+        halt_word = encode(isa.halt())
+        if halt_word not in words:
+            if len(words) >= MAX_PROGRAM_WORDS:
+                words[-1] = halt_word
+            else:
+                words.append(halt_word)
+        return words

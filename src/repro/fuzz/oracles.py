@@ -1,0 +1,463 @@
+"""The three differential oracles behind ``repro fuzz``.
+
+Every generated program is executed up to three ways and the outcomes are
+compared:
+
+**Oracle 1 — engine equivalence.**  The fused fast-path interpreter
+(:class:`repro.hw.core.Core` with ``fast_path=True``) and the reference
+interpreter (``fast_path=False``) must be *cycle- and state-bit-identical*:
+same retired-instruction count, same architectural registers, same faults,
+same simulated cycle count, same memory contents, same audit-log hash chain.
+The only permitted differences are Python-cost counters (``decoded_hits``,
+``tlb_fastpath_hits``, …), which are deliberately excluded from the record.
+
+**Oracle 2 — machine agreement.**  For *benign* programs — no
+machine-distinguishing instructions, no faults on either side — the
+Guillotine machine and the traditional baseline must agree on architectural
+state.  When exactly one machine faults, that is *containment asymmetry*
+(e.g. the locked Guillotine MMU makes code pages execute-only, so a LOAD
+from the code image faults under Guillotine but reads fine on the
+baseline); asymmetry is expected behaviour, recorded as coverage, never a
+violation.
+
+**Oracle 3 — verdict consistency.**  The static analyzer's verdict must be
+consistent with runtime behaviour: admission control (``enforce``) rejects
+exactly the programs whose report carries errors, and *no program — admitted
+or not — may ever reach a forbidden state on the Guillotine machine*: the
+locked code image is immutable, the executable-page set never grows,
+hypervisor DRAM is never touched, and the MMU stays locked.  Those runtime
+invariants are precisely the paper's containment claims, so a flagged
+program that *attempts* its flagged action is either faulted or leaves no
+architectural trace.
+
+All comparisons run on deliberately small machines (one model core, a few
+DRAM pages) so a fuzz campaign costs milliseconds per program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import GuestRejected
+from repro.hw.attestation import digest_of
+from repro.hw.isa import Op, Program
+from repro.hw.machine import (
+    MachineConfig,
+    build_baseline_machine,
+    build_guillotine_machine,
+)
+from repro.hw.memory import PAGE_SIZE
+from repro.fuzz.gen import DATA_PAGES, GeneratedProgram
+
+#: Default per-run step budget; generated loops are bounded well below it.
+DEFAULT_MAX_STEPS = 600
+
+#: Terminal core states a fuzzed run may legitimately end in.
+ALLOWED_END_STATES = frozenset(
+    {"HALTED", "FAULTED", "RUNNING", "WFI", "PAUSED"}
+)
+
+#: Static presence of any of these ops disqualifies a program from the
+#: cross-machine architectural comparison: they read the clock, depend on
+#: machine wiring (doorbells, devices, MMU lockdown), or park the core.
+MACHINE_SENSITIVE_OPS = frozenset(
+    {
+        "RDCYCLE", "DOORBELL", "IORD", "IOWR", "MAP", "UNMAP",
+        "SETTIMER", "WFI", "IRET", "INVALID",
+    }
+)
+
+#: ExecutionRecord fields compared by oracle 1 (everything observable).
+ENGINE_COMPARE_FIELDS = (
+    "steps", "state", "pc", "registers", "cycles",
+    "instructions_retired", "faults", "last_fault", "timer_fires",
+    "mmu_locked", "exec_vpns", "code_digest", "data_digest", "hv_digest",
+    "log_len", "log_digest", "doorbell_accepted", "doorbell_throttled",
+)
+
+#: ExecutionRecord fields compared by oracle 2 on benign programs.  Cycle
+#: counts and fault text are machine-specific (different cache hierarchies,
+#: different bank names) and are deliberately absent.
+CROSS_COMPARE_FIELDS = (
+    "steps", "state", "pc", "registers", "instructions_retired",
+    "faults", "data_digest",
+)
+
+
+def fuzz_guillotine_config() -> MachineConfig:
+    """Small Guillotine machine used for every fuzz execution."""
+    return MachineConfig(
+        n_model_cores=1, n_hv_cores=1,
+        model_dram_pages=64, hv_dram_pages=16, io_dram_pages=4,
+    )
+
+
+def fuzz_baseline_config() -> MachineConfig:
+    """Matching traditional-baseline machine (shared core, shared DRAM)."""
+    return MachineConfig(
+        n_model_cores=1, n_hv_cores=0,
+        model_dram_pages=64, hv_dram_pages=16, io_dram_pages=4,
+    )
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Everything observable about one program execution.
+
+    The record captures *simulated* architecture only; Python-cost counters
+    (decoded-cache hits, TLB fast-path hits) are excluded by construction
+    because the two engines legitimately differ on them.
+    """
+
+    machine: str            # "guillotine" | "baseline"
+    engine: str             # "fast" | "reference"
+    steps: int
+    state: str
+    pc: int
+    registers: tuple[int, ...]
+    cycles: int
+    instructions_retired: int
+    faults: int
+    last_fault: str | None
+    timer_fires: int
+    mmu_locked: bool
+    exec_vpns: tuple[int, ...]
+    code_digest: str
+    data_digest: str
+    hv_digest: str | None
+    log_len: int
+    log_digest: str
+    doorbell_accepted: int
+    doorbell_throttled: int
+
+    def to_dict(self) -> dict:
+        return {
+            "machine": self.machine,
+            "engine": self.engine,
+            "steps": self.steps,
+            "state": self.state,
+            "pc": self.pc,
+            "registers": list(self.registers),
+            "cycles": self.cycles,
+            "instructions_retired": self.instructions_retired,
+            "faults": self.faults,
+            "last_fault": self.last_fault,
+            "timer_fires": self.timer_fires,
+            "mmu_locked": self.mmu_locked,
+            "exec_vpns": list(self.exec_vpns),
+            "code_digest": self.code_digest,
+            "data_digest": self.data_digest,
+            "hv_digest": self.hv_digest,
+            "log_len": self.log_len,
+            "log_digest": self.log_digest,
+            "doorbell_accepted": self.doorbell_accepted,
+            "doorbell_throttled": self.doorbell_throttled,
+        }
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One oracle disagreement: which oracle, why, and the field deltas."""
+
+    oracle: str             # "engine" | "machine" | "verdict"
+    reason: str
+    mismatches: tuple[tuple[str, str, str], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "reason": self.reason,
+            "mismatches": [
+                {"field": field, "expected": expected, "actual": actual}
+                for field, expected, actual in self.mismatches
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ProgramOutcome:
+    """The full differential verdict for one program."""
+
+    words: tuple[int, ...]
+    fast: ExecutionRecord
+    reference: ExecutionRecord
+    baseline: ExecutionRecord
+    analyzer_errors: tuple[str, ...]
+    analyzer_warnings: tuple[str, ...]
+    admitted: bool | None   # None when admission was skipped
+    cross_compared: bool
+    violations: tuple[OracleViolation, ...]
+    coverage: frozenset[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def execute_program(
+    words: Sequence[int],
+    *,
+    machine_kind: str = "guillotine",
+    fast_path: bool = True,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ExecutionRecord:
+    """Run ``words`` on a fresh machine and capture an execution record.
+
+    The layout is the fixed fuzz layout: one code page at vaddr 0 (locked
+    down on the Guillotine machine), :data:`~repro.fuzz.gen.DATA_PAGES`
+    data pages at vaddr :data:`~repro.fuzz.gen.DATA_VADDR`.  The shared IO
+    window is *not* mapped, so both machine kinds expose an identical
+    virtual address space to the program.
+    """
+    if len(words) > PAGE_SIZE:
+        raise ValueError(f"fuzz programs are capped at {PAGE_SIZE} words")
+    if machine_kind == "guillotine":
+        machine = build_guillotine_machine(fuzz_guillotine_config())
+    elif machine_kind == "baseline":
+        machine = build_baseline_machine(fuzz_baseline_config())
+    else:
+        raise ValueError(f"unknown machine kind {machine_kind!r}")
+
+    machine.set_fast_path(fast_path)
+    core = machine.model_cores[0]
+    program = Program(list(words), {})
+    layout = machine.load_program(
+        core, program, data_pages=DATA_PAGES, map_io_region=False
+    )
+    if machine.control_bus is not None:
+        machine.control_bus.lockdown_mmu(
+            core.name, 0, layout["code_pages"] - 1
+        )
+    core.resume()
+    steps = core.run(max_steps=max_steps)
+
+    bank = machine.banks.get("model_dram") or machine.banks["shared_dram"]
+    code_words = bank.snapshot(0, layout["code_pages"] * PAGE_SIZE)
+    data_words = bank.snapshot(
+        layout["code_pages"] * PAGE_SIZE, DATA_PAGES * PAGE_SIZE
+    )
+    hv_bank = machine.banks.get("hv_dram")
+    hv_digest = digest_of(hv_bank.snapshot()) if hv_bank is not None else None
+    last = machine.log.last()
+    lapic = machine.lapics.get("hv_core0")
+    return ExecutionRecord(
+        machine=machine_kind,
+        engine="fast" if fast_path else "reference",
+        steps=steps,
+        state=core.state.name,
+        pc=core.pc,
+        registers=tuple(core.registers),
+        cycles=machine.clock.now,
+        instructions_retired=core.instructions_retired,
+        faults=core.faults,
+        last_fault=core.last_fault,
+        timer_fires=core.timer_fires,
+        mmu_locked=core.mmu.locked,
+        exec_vpns=tuple(sorted(core.mmu.executable_vpns())),
+        code_digest=digest_of(code_words),
+        data_digest=digest_of(data_words),
+        hv_digest=hv_digest,
+        log_len=len(machine.log),
+        log_digest=last.digest if last is not None else "",
+        doorbell_accepted=lapic.accepted if lapic is not None else 0,
+        doorbell_throttled=lapic.throttled if lapic is not None else 0,
+    )
+
+
+def _compare(expected: ExecutionRecord, actual: ExecutionRecord,
+             fields: Iterable[str]) -> tuple[tuple[str, str, str], ...]:
+    mismatches = []
+    for name in fields:
+        left = getattr(expected, name)
+        right = getattr(actual, name)
+        if left != right:
+            mismatches.append((name, repr(left), repr(right)))
+    return tuple(mismatches)
+
+
+def _static_ops(words: Sequence[int]) -> frozenset[str]:
+    ops = set()
+    for word in words:
+        opcode = (word >> 56) & 0xFF
+        try:
+            ops.add(Op(opcode).name)
+        except ValueError:
+            ops.add("INVALID")
+    return frozenset(ops)
+
+
+def _fault_class(message: str | None) -> str | None:
+    """Coarse fault classification for coverage tokens (addresses vary)."""
+    if message is None:
+        return None
+    lowered = message.lower()
+    if "division by zero" in lowered:
+        return "div0"
+    if "lock" in lowered or "alias" in lowered:
+        return "lockdown"
+    if ("opcode" in lowered or "not implemented" in lowered
+            or "doorbell wiring" in lowered or "iret" in lowered):
+        return "invalid"
+    return "memfault"
+
+
+def _check_admission(words: Sequence[int]) -> bool:
+    """Load the program through verified admission control; ``True`` means
+    the hypervisor admitted it."""
+    from repro.hv.hypervisor import GuillotineHypervisor
+
+    machine = build_guillotine_machine(fuzz_guillotine_config())
+    hypervisor = GuillotineHypervisor(machine, verify_guests="enforce")
+    try:
+        hypervisor.load_guest(
+            Program(list(words), {}), name="fuzzed",
+            data_pages=DATA_PAGES, map_io_region=False,
+        )
+    except GuestRejected:
+        return False
+    return True
+
+
+def check_program(
+    words: Sequence[int],
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    admission: bool = True,
+    expected_code_digest: str | None = None,
+) -> ProgramOutcome:
+    """Run every oracle over one program and return the combined verdict."""
+    from repro.analysis import analyze_program
+
+    words = tuple(word & ((1 << 64) - 1) for word in words)
+    fast = execute_program(words, fast_path=True, max_steps=max_steps)
+    reference = execute_program(words, fast_path=False, max_steps=max_steps)
+    baseline = execute_program(
+        words, machine_kind="baseline", fast_path=True, max_steps=max_steps
+    )
+    report = analyze_program(words, name="fuzzed")
+    analyzer_errors = tuple(sorted({f.category for f in report.errors}))
+    analyzer_warnings = tuple(sorted({f.category for f in report.warnings}))
+
+    violations: list[OracleViolation] = []
+    coverage: set[str] = set()
+
+    # -- oracle 1: engine equivalence ----------------------------------
+    engine_deltas = _compare(reference, fast, ENGINE_COMPARE_FIELDS)
+    if engine_deltas:
+        violations.append(OracleViolation(
+            oracle="engine",
+            reason="fast path diverged from the reference interpreter",
+            mismatches=engine_deltas,
+        ))
+
+    # -- oracle 2: machine agreement -----------------------------------
+    static_ops = _static_ops(words)
+    benign = (
+        not (static_ops & MACHINE_SENSITIVE_OPS)
+        and fast.faults == 0
+        and baseline.faults == 0
+    )
+    if benign:
+        cross_deltas = _compare(fast, baseline, CROSS_COMPARE_FIELDS)
+        if cross_deltas:
+            violations.append(OracleViolation(
+                oracle="machine",
+                reason="guillotine and baseline disagree on a benign program",
+                mismatches=cross_deltas,
+            ))
+        else:
+            coverage.add("machines:agree")
+    elif (fast.faults == 0) != (baseline.faults == 0):
+        # Expected containment asymmetry (lockdown, missing doorbell wiring,
+        # forbidden IO, …) — coverage signal, not a violation.
+        coverage.add("machines:asymmetry")
+
+    # -- oracle 3: verdict consistency ---------------------------------
+    verdict_deltas: list[tuple[str, str, str]] = []
+    if fast.state not in ALLOWED_END_STATES:
+        verdict_deltas.append(
+            ("state", "one of " + "/".join(sorted(ALLOWED_END_STATES)),
+             fast.state)
+        )
+    if not fast.mmu_locked:
+        verdict_deltas.append(("mmu_locked", "True", repr(fast.mmu_locked)))
+    if fast.exec_vpns != (0,):
+        verdict_deltas.append(("exec_vpns", "(0,)", repr(fast.exec_vpns)))
+    if expected_code_digest is None:
+        padded = list(words) + [0] * (PAGE_SIZE - len(words))
+        expected_code_digest = digest_of(padded)
+    if fast.code_digest != expected_code_digest:
+        verdict_deltas.append(
+            ("code_digest", expected_code_digest, fast.code_digest)
+        )
+    zero_hv = digest_of([0] * (fuzz_guillotine_config().hv_dram_pages
+                               * PAGE_SIZE))
+    if fast.hv_digest != zero_hv:
+        verdict_deltas.append(("hv_digest", zero_hv, str(fast.hv_digest)))
+    admitted: bool | None = None
+    if admission:
+        admitted = _check_admission(words)
+        should_admit = not analyzer_errors
+        if admitted != should_admit:
+            verdict_deltas.append(
+                ("admitted", repr(should_admit), repr(admitted))
+            )
+    if verdict_deltas:
+        violations.append(OracleViolation(
+            oracle="verdict",
+            reason="analyzer verdict inconsistent with runtime containment",
+            mismatches=tuple(verdict_deltas),
+        ))
+
+    # -- coverage tokens ----------------------------------------------
+    coverage.add(f"state:{fast.state}")
+    coverage.update(f"op:{name}" for name in static_ops)
+    coverage.update(f"analyzer:{cat}" for cat in analyzer_errors)
+    coverage.update(f"analyzer:warn:{cat}" for cat in analyzer_warnings)
+    fault = _fault_class(fast.last_fault)
+    if fault is not None:
+        coverage.add(f"fault:{fault}")
+    if fast.timer_fires:
+        coverage.add("timer:fired")
+    if fast.doorbell_accepted:
+        coverage.add("doorbell:accepted")
+    if fast.doorbell_throttled:
+        coverage.add("doorbell:throttled")
+    if admitted is not None:
+        coverage.add("admitted" if admitted else "rejected")
+
+    return ProgramOutcome(
+        words=words,
+        fast=fast,
+        reference=reference,
+        baseline=baseline,
+        analyzer_errors=analyzer_errors,
+        analyzer_warnings=analyzer_warnings,
+        admitted=admitted,
+        cross_compared=benign,
+        violations=tuple(violations),
+        coverage=frozenset(coverage),
+    )
+
+
+def violation_predicate(
+    oracles: frozenset[str],
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Callable[[Sequence[int]], bool]:
+    """Build a shrinker predicate: ``True`` while a candidate still violates
+    every oracle in ``oracles`` (admission re-checked only when the original
+    divergence involved the verdict oracle — it is by far the slowest)."""
+    need_admission = "verdict" in oracles
+
+    def predicate(candidate: Sequence[int]) -> bool:
+        if not candidate:
+            return False
+        outcome = check_program(
+            candidate, max_steps=max_steps, admission=need_admission
+        )
+        seen = {violation.oracle for violation in outcome.violations}
+        return oracles <= seen
+
+    return predicate

@@ -1,0 +1,100 @@
+"""Delta-debugging shrinker for diverging GISA programs.
+
+When an oracle catches a divergence, the raw program is whatever the
+generator happened to emit — dozens of words, most of them irrelevant.
+:func:`shrink_words` minimises it with the classic ddmin loop (remove
+chunks at progressively finer granularity) followed by a NOP-substitution
+pass (replace single words with NOP while the divergence persists), so the
+golden record that lands in triage is usually one or two instructions.
+
+The predicate re-executes the oracles, which makes every probe a handful of
+machine builds; the evaluation budget bounds total work, and the loop is
+fully deterministic — same input, same predicate, same minimal program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.hw import isa
+from repro.hw.isa import encode
+
+#: Default cap on predicate evaluations (each costs a few machine runs).
+DEFAULT_MAX_EVALS = 250
+
+_NOP_WORD = encode(isa.nop())
+
+
+class _Budget:
+    """Counts predicate evaluations; memoises so re-probes are free."""
+
+    def __init__(self, predicate: Callable[[Sequence[int]], bool],
+                 max_evals: int) -> None:
+        self._predicate = predicate
+        self._remaining = max_evals
+        self._seen: dict[tuple[int, ...], bool] = {}
+
+    @property
+    def exhausted(self) -> bool:
+        return self._remaining <= 0
+
+    def holds(self, candidate: tuple[int, ...]) -> bool:
+        cached = self._seen.get(candidate)
+        if cached is not None:
+            return cached
+        if self.exhausted:
+            return False
+        self._remaining -= 1
+        result = bool(self._predicate(candidate))
+        self._seen[candidate] = result
+        return result
+
+
+def shrink_words(
+    words: Sequence[int],
+    predicate: Callable[[Sequence[int]], bool],
+    *,
+    max_evals: int = DEFAULT_MAX_EVALS,
+) -> tuple[int, ...]:
+    """Minimise ``words`` while ``predicate`` stays true.
+
+    ``predicate`` receives a candidate word sequence and returns whether it
+    still exhibits the divergence.  The input itself must satisfy the
+    predicate; if it does not (or the budget is zero), the input is
+    returned unchanged.
+    """
+    current = tuple(words)
+    budget = _Budget(predicate, max_evals)
+    if not current or not budget.holds(current):
+        return current
+
+    # Phase 1: ddmin — delete chunks, halving granularity when stuck.
+    chunk = max(len(current) // 2, 1)
+    while chunk >= 1 and not budget.exhausted:
+        shrunk_this_pass = False
+        start = 0
+        while start < len(current) and not budget.exhausted:
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and budget.holds(candidate):
+                current = candidate
+                shrunk_this_pass = True
+                # Re-probe the same start: the next chunk slid into place.
+            else:
+                start += chunk
+        if not shrunk_this_pass:
+            if chunk == 1:
+                break
+            chunk = max(chunk // 2, 1)
+
+    # Phase 2: NOP substitution — neutralise words that cannot be removed
+    # (e.g. branch targets would shift) but whose content is irrelevant.
+    for index in range(len(current)):
+        if budget.exhausted:
+            break
+        if current[index] == _NOP_WORD:
+            continue
+        candidate = current[:index] + (_NOP_WORD,) + current[index + 1:]
+        if budget.holds(candidate):
+            current = candidate
+
+    return current

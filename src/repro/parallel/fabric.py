@@ -32,9 +32,15 @@ from repro.parallel.merge import (
     merge_bench_samples,
     merge_campaign_results,
     merge_chaos_runs,
+    merge_fuzz_batches,
 )
 from repro.parallel.pool import ShardedRunner, resolve_jobs
-from repro.parallel.tasks import BenchTask, CampaignAttackTask, ChaosCampaignTask
+from repro.parallel.tasks import (
+    BenchTask,
+    CampaignAttackTask,
+    ChaosCampaignTask,
+    FuzzBatchTask,
+)
 
 
 def _timing(start: float, units: int, jobs: int, mode: str,
@@ -74,6 +80,50 @@ def run_chaos_fabric(seed: int, campaigns: int, jobs: int | None = None,
             runner.close()
     report = merge_chaos_runs(seed, campaigns, runs)
     return report, _timing(start, campaigns, jobs, "parallel", runner)
+
+
+def run_fuzz_fabric(seed: int, count: int, jobs: int | None = None,
+                    *, batch_size: int | None = None,
+                    max_steps: int | None = None,
+                    runner: ShardedRunner | None = None
+                    ) -> tuple[dict, dict]:
+    """Fuzz batches, sharded; report byte-identical to ``run_fuzz``.
+
+    The batch partition and per-batch seeds come from the same derivation
+    the sequential driver uses, so the only thing ``--jobs`` changes is
+    which process executes each batch."""
+    from repro.fuzz.campaign import (
+        DEFAULT_BATCH_SIZE,
+        derive_batch_seeds,
+        plan_batches,
+        run_fuzz,
+    )
+    from repro.fuzz.oracles import DEFAULT_MAX_STEPS
+
+    batch_size = batch_size or DEFAULT_BATCH_SIZE
+    max_steps = max_steps or DEFAULT_MAX_STEPS
+    sizes = plan_batches(count, batch_size)
+    jobs = runner.jobs if runner is not None else resolve_jobs(jobs)
+    start = time.perf_counter()
+    if jobs <= 1 or len(sizes) <= 1:
+        report = run_fuzz(seed, count, batch_size=batch_size,
+                          max_steps=max_steps)
+        return report, _timing(start, count, 1, "sequential")
+    seeds = derive_batch_seeds(seed, len(sizes))
+    tasks = [
+        FuzzBatchTask(batch_seed, index, size, max_steps)
+        for index, (batch_seed, size) in enumerate(zip(seeds, sizes))
+    ]
+    own_runner = runner is None
+    if own_runner:
+        runner = ShardedRunner(jobs)
+    try:
+        runs = runner.map(tasks)
+    finally:
+        if own_runner:
+            runner.close()
+    report = merge_fuzz_batches(seed, count, batch_size, max_steps, runs)
+    return report, _timing(start, count, jobs, "parallel", runner)
 
 
 def run_paired_campaign_fabric(seed: int | None = None,

@@ -76,6 +76,14 @@ def merge_campaign_results(platform: str, results: list[dict]):
     return report_from_results(platform, results)
 
 
+def merge_fuzz_batches(seed: int, count: int, batch_size: int,
+                       max_steps: int, runs: list[dict]) -> dict:
+    """Reassemble per-shard fuzz batch dicts into the campaign report."""
+    from repro.fuzz.campaign import assemble_fuzz_report
+
+    return assemble_fuzz_report(seed, count, batch_size, max_steps, runs)
+
+
 def merge_bench_samples(fast_units: list[dict],
                         slow_units: list[dict]) -> list:
     """Pair fast/slow sample units by suite row into BenchResults.

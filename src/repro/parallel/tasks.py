@@ -61,6 +61,18 @@ class BenchTask:
 
 
 @dataclass(frozen=True)
+class FuzzBatchTask:
+    """One coverage-guided fuzz batch
+    (:func:`repro.fuzz.campaign.run_one_batch`)."""
+
+    batch_seed: int
+    index: int
+    count: int
+    max_steps: int
+    crash_token: str | None = None
+
+
+@dataclass(frozen=True)
 class WarmupTask:
     """Pre-loads the simulation stack in a fresh worker.
 
@@ -101,6 +113,11 @@ def execute_task(task) -> dict:
         from repro.core.bench import run_one
 
         return run_one(task.suite_index, task.iterations, task.mode)
+    if isinstance(task, FuzzBatchTask):
+        from repro.fuzz.campaign import run_one_batch
+
+        return run_one_batch(task.batch_seed, task.index, task.count,
+                             max_steps=task.max_steps)
     if isinstance(task, WarmupTask):
         import repro.core.sandbox  # noqa: F401  (pre-load the stack)
 

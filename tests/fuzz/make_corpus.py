@@ -1,0 +1,131 @@
+"""Regenerate the checked-in golden corpus under ``tests/fuzz/corpus/``.
+
+Run from the repository root after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/fuzz/make_corpus.py
+
+Each artifact freezes one hand-picked program per fuzzer feature class —
+benign ALU, data-region memory traffic, a counted loop, self-modification
+against the locked code page, a doorbell flood, a timing probe, MMU churn,
+forbidden IO, division by zero, and a raw invalid word — plus two
+generator-drawn programs from pinned seeds.  CI replays the directory with
+``python -m repro replay tests/fuzz/corpus``: any drift in engine timing,
+fault delivery, admission verdicts, or the audit-log hash chain turns into
+a named, diffable mismatch.
+
+Regeneration is deterministic: the same tree always writes the same bytes.
+"""
+
+import json
+import os
+
+from repro.fuzz.gen import DATA_VADDR, ProgramGenerator
+from repro.fuzz.oracles import check_program
+from repro.fuzz.replay import golden_artifact
+from repro.hw import isa
+from repro.hw.isa import assemble
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def _curated() -> dict[str, list]:
+    """One representative program per feature class."""
+    return {
+        "alu": [
+            isa.movi(1, 41),
+            isa.movi(2, 1),
+            isa.add(3, 1, 2),
+            isa.mul(4, 3, 3),
+            isa.halt(),
+        ],
+        "memory": [
+            isa.movi(1, DATA_VADDR),
+            isa.movi(2, 0xBEEF),
+            isa.store(2, 1, 5),
+            isa.load(3, 1, 5),
+            isa.halt(),
+        ],
+        "loop": [
+            isa.movi(1, 4),
+            "loop",
+            isa.addi(2, 2, 3),
+            isa.addi(1, 1, -1),
+            isa.bne(1, 0, "loop"),
+            isa.halt(),
+        ],
+        "selfmod": [
+            isa.movi(1, 0),
+            isa.movi(2, 0x1234),
+            isa.store(2, 1, 0),     # store into the locked code page
+            isa.halt(),
+        ],
+        "doorbell": [
+            isa.movi(1, 3),
+            "flood",
+            isa.doorbell(2),
+            isa.addi(1, 1, -1),
+            isa.bne(1, 0, "flood"),
+            isa.halt(),
+        ],
+        "timing": [
+            isa.movi(1, DATA_VADDR),
+            isa.rdcycle(9),
+            isa.load(11, 1, 0),
+            isa.rdcycle(10),
+            isa.sub(11, 10, 9),
+            isa.halt(),
+        ],
+        "mmu": [
+            isa.movi(1, 9),
+            isa.movi(2, 5),
+            isa.map_page(1, 2, isa.PERM_R | isa.PERM_W),
+            isa.halt(),
+        ],
+        "io": [
+            isa.iord(1, 0),
+            isa.halt(),
+        ],
+        "div0": [
+            isa.movi(1, 100),
+            isa.movi(2, 0),
+            isa.div(3, 1, 2),
+            isa.halt(),
+        ],
+    }
+
+
+def build_corpus() -> dict[str, dict]:
+    artifacts: dict[str, dict] = {}
+    for feature, items in _curated().items():
+        words = assemble(items).words
+        outcome = check_program(words)
+        artifacts[f"golden-{feature}"] = golden_artifact(
+            outcome, name=f"golden-{feature}")
+
+    # A raw invalid opcode word (0xFF) — exercises the decode-fault path.
+    invalid = [0xFF00_0000_0000_0000, 0x0100_0000_0000_0000]
+    artifacts["golden-invalid"] = golden_artifact(
+        check_program(invalid), name="golden-invalid")
+
+    # Two generator-drawn programs from pinned seeds.
+    for seed in (1001, 2002):
+        program = ProgramGenerator(seed).next_program()
+        outcome = check_program(program.words)
+        artifacts[f"golden-gen-{seed}"] = golden_artifact(
+            outcome, name=f"golden-gen-{seed}", seed=seed)
+
+    return artifacts
+
+
+def main() -> None:
+    os.makedirs(CORPUS_DIR, exist_ok=True)
+    for name, artifact in sorted(build_corpus().items()):
+        path = os.path.join(CORPUS_DIR, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

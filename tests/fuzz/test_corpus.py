@@ -1,0 +1,58 @@
+"""The checked-in golden corpus must replay clean on every tree.
+
+``tests/fuzz/corpus/`` holds one frozen execution record per fuzzer
+feature class (see ``make_corpus.py``).  Replaying it is the regression
+net over engine timing, fault delivery, admission verdicts, and the
+audit-log hash chain; a legitimate behaviour change shows up here as a
+named field mismatch and is resolved by regenerating the corpus.
+"""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.fuzz.replay import load_artifact, replay_artifact
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+ARTIFACT_PATHS = sorted(
+    os.path.join(CORPUS_DIR, entry)
+    for entry in os.listdir(CORPUS_DIR)
+    if entry.endswith(".json")
+)
+
+
+def test_corpus_is_not_empty():
+    assert len(ARTIFACT_PATHS) >= 10
+
+
+@pytest.mark.parametrize(
+    "path", ARTIFACT_PATHS,
+    ids=[os.path.splitext(os.path.basename(p))[0] for p in ARTIFACT_PATHS])
+def test_corpus_artifact_reproduces(path):
+    artifact = load_artifact(path)
+    assert artifact["kind"] == "golden"
+    result = replay_artifact(artifact)
+    assert result.reproduced, result.mismatches
+
+
+def test_cli_replays_the_corpus_directory(capsys):
+    assert main(["replay", CORPUS_DIR]) == 0
+    out = capsys.readouterr().out
+    assert out.count("reproduced") == len(ARTIFACT_PATHS)
+
+
+def test_regeneration_is_deterministic():
+    # make_corpus must write the same bytes the checked-in files hold —
+    # drift here means the corpus and the tree are out of sync.
+    import json
+
+    from tests.fuzz.make_corpus import build_corpus
+
+    rebuilt = build_corpus()
+    assert len(rebuilt) == len(ARTIFACT_PATHS)
+    for path in ARTIFACT_PATHS:
+        name = os.path.splitext(os.path.basename(path))[0]
+        on_disk = load_artifact(path)
+        assert json.dumps(rebuilt[name], sort_keys=True) == \
+            json.dumps(on_disk, sort_keys=True), name

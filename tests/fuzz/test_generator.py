@@ -1,0 +1,127 @@
+"""The program generator: determinism, page-cap, and coverage feedback."""
+
+from repro.fuzz.gen import (
+    DATA_PAGES,
+    DATA_VADDR,
+    MAX_PROGRAM_WORDS,
+    FEATURE_WEIGHTS,
+    GeneratedProgram,
+    GeneratorConfig,
+    ProgramGenerator,
+)
+from repro.hw import isa
+from repro.hw.isa import encode
+from repro.hw.memory import PAGE_SIZE
+
+_HALT_WORD = encode(isa.halt())
+
+
+def _stream(seed: int, count: int, config: GeneratorConfig | None = None):
+    generator = ProgramGenerator(seed, config)
+    programs = []
+    for _ in range(count):
+        program = generator.next_program()
+        programs.append(program)
+        # Feed back the static ops as coverage so mutation kicks in.
+        generator.observe(program, {f"op:{op}" for op in program.static_ops})
+    return programs
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = _stream(1234, 60)
+        second = _stream(1234, 60)
+        assert [p.words for p in first] == [p.words for p in second]
+        assert [p.origin for p in first] == [p.origin for p in second]
+        assert [p.features for p in first] == [p.features for p in second]
+
+    def test_different_seeds_diverge(self):
+        first = _stream(1, 20)
+        second = _stream(2, 20)
+        assert [p.words for p in first] != [p.words for p in second]
+
+    def test_indices_are_sequential(self):
+        programs = _stream(7, 10)
+        assert [p.index for p in programs] == list(range(10))
+
+
+class TestProgramShape:
+    def test_every_program_fits_one_code_page(self):
+        for program in _stream(99, 200):
+            assert 0 < len(program.words) <= PAGE_SIZE
+
+    def test_every_program_contains_a_halt(self):
+        # Fresh programs end in HALT by construction and mutants re-insert
+        # one, so the common path always terminates instead of running off
+        # the code page.  The only exception is a raw-word patch landing on
+        # the HALT itself — that is deliberate (the step budget bounds it).
+        for program in _stream(4242, 200):
+            if "raw" in program.features:
+                continue
+            assert _HALT_WORD in program.words, program.origin
+
+    def test_mutants_appear_once_corpus_is_seeded(self):
+        origins = {p.origin for p in _stream(31337, 120)}
+        assert origins == {"fresh", "mutant"}
+
+    def test_first_program_is_always_fresh(self):
+        generator = ProgramGenerator(5)
+        assert generator.next_program().origin == "fresh"
+
+    def test_feature_mix_covers_the_attack_families(self):
+        # Over a long stream every weighted feature class should show up.
+        seen: set[str] = set()
+        for program in _stream(2024, 300):
+            seen.update(program.features)
+        expected = {name for name, _ in FEATURE_WEIGHTS} | {"mutant"}
+        assert expected <= seen
+
+    def test_static_ops_marks_invalid_words(self):
+        program = GeneratedProgram(
+            words=(0xFF00_0000_0000_0000, _HALT_WORD),
+            features=("raw",), origin="fresh", index=0,
+        )
+        assert "INVALID" in program.static_ops
+        assert "HALT" in program.static_ops
+
+
+class TestCoverageFeedback:
+    def test_observe_returns_new_token_count(self):
+        generator = ProgramGenerator(1)
+        program = generator.next_program()
+        assert generator.observe(program, {"a", "b"}) == 2
+        assert generator.observe(program, {"a", "b"}) == 0
+        assert generator.observe(program, {"a", "c"}) == 1
+        assert generator.coverage == {"a", "b", "c"}
+
+    def test_new_coverage_joins_the_corpus(self):
+        generator = ProgramGenerator(1)
+        program = generator.next_program()
+        generator.observe(program, {"token"})
+        assert generator.corpus == [program.words]
+
+    def test_stale_coverage_does_not_join_the_corpus(self):
+        generator = ProgramGenerator(1)
+        first = generator.next_program()
+        second = generator.next_program()
+        generator.observe(first, {"token"})
+        generator.observe(second, {"token"})
+        assert generator.corpus == [first.words]
+
+    def test_corpus_is_bounded_fifo(self):
+        config = GeneratorConfig(corpus_cap=3, mutate_probability=0.0)
+        generator = ProgramGenerator(1, config)
+        programs = []
+        for step in range(5):
+            program = generator.next_program()
+            programs.append(program)
+            generator.observe(program, {f"unique:{step}"})
+        assert len(generator.corpus) == 3
+        assert generator.corpus == [p.words for p in programs[-3:]]
+
+
+class TestLayoutConstants:
+    def test_fixed_layout_is_page_aligned(self):
+        assert MAX_PROGRAM_WORDS == PAGE_SIZE - 1
+        assert DATA_VADDR == PAGE_SIZE
+        assert DATA_PAGES >= 1

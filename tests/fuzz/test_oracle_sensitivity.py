@@ -1,0 +1,109 @@
+"""Mutation test: an injected interpreter bug must be caught, shrunk, and
+replayable.
+
+The oracles are only worth their runtime if they actually fire.  This
+module plants a classic engine-divergence bug — the reference interpreter
+charges one extra cycle per retired instruction — and asserts the full
+pipeline reacts: the fuzz batch catches it, the shrinker minimises the
+witness, the divergence artifact replays ``reproduced`` while the bug is
+live, and the same artifact correctly reports *not* reproduced once the
+bug is removed (the triage signal that a fix landed).
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.fuzz.campaign import run_one_batch
+from repro.fuzz.replay import replay_artifact
+from repro.hw.core import Core
+
+#: Small deterministic batch: seed 12345 produces several programs whose
+#: reference run retires instructions, so the planted bug fires quickly.
+BATCH_SEED = 12345
+BATCH_PROGRAMS = 5
+
+
+def _install_cycle_bug(monkeypatch):
+    """Reference interpreter charges a phantom cycle per retired
+    instruction; the fast path is untouched, so oracle 1 must fire."""
+    original = Core._step_general
+
+    def buggy(self):
+        before = self.instructions_retired
+        result = original(self)
+        if not self.fast_path and self.instructions_retired > before:
+            self.clock.tick(1)
+        return result
+
+    monkeypatch.setattr(Core, "_step_general", buggy)
+
+
+@pytest.fixture
+def buggy_batch(monkeypatch):
+    _install_cycle_bug(monkeypatch)
+    return run_one_batch(BATCH_SEED, 0, BATCH_PROGRAMS)
+
+
+class TestBugIsCaught:
+    def test_batch_reports_the_divergence(self, buggy_batch):
+        assert not buggy_batch["passed"]
+        assert buggy_batch["divergences"]
+
+    def test_engine_oracle_is_the_one_that_fires(self, buggy_batch):
+        for artifact in buggy_batch["divergences"]:
+            oracles = {v["oracle"]
+                       for v in artifact["expected"]["violations"]}
+            assert "engine" in oracles
+
+    def test_cycles_is_among_the_mismatched_fields(self, buggy_batch):
+        artifact = buggy_batch["divergences"][0]
+        fields = {
+            mismatch["field"]
+            for violation in artifact["expected"]["violations"]
+            for mismatch in violation["mismatches"]
+        }
+        assert "cycles" in fields
+
+
+class TestShrinker:
+    def test_witness_is_minimised(self, buggy_batch):
+        # The phantom cycle fires on *any* retired instruction, so the
+        # minimal witness is a single word.
+        artifact = buggy_batch["divergences"][0]
+        assert artifact["shrunk"] is True
+        assert len(artifact["program"]["words_hex"]) == 1
+        assert artifact["original_len"] > 1
+
+
+class TestReplayFlipsWithTheBug:
+    def test_reproduces_while_bug_is_live_not_after(self, monkeypatch):
+        _install_cycle_bug(monkeypatch)
+        run = run_one_batch(BATCH_SEED, 0, BATCH_PROGRAMS)
+        artifact = run["divergences"][0]
+        assert replay_artifact(artifact).reproduced
+
+        monkeypatch.undo()  # "fix" the interpreter
+        result = replay_artifact(artifact)
+        assert not result.reproduced
+        assert any("no longer fires" in line for line in result.mismatches)
+
+    def test_cli_replay_exits_nonzero_on_unreproduced_divergence(
+            self, monkeypatch, tmp_path, capsys):
+        _install_cycle_bug(monkeypatch)
+        run = run_one_batch(BATCH_SEED, 0, BATCH_PROGRAMS)
+        artifact = run["divergences"][0]
+        monkeypatch.undo()
+
+        path = tmp_path / f"{artifact['name']}.json"
+        path.write_text(json.dumps(artifact), encoding="utf-8")
+        assert main(["replay", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "NOT REPRODUCED" in out
+
+    def test_cli_replay_exits_two_on_unreadable_artifact(self, tmp_path,
+                                                         capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert main(["replay", str(path)]) == 2

@@ -1,0 +1,162 @@
+"""Property tests for the differential oracles (hypothesis-driven).
+
+The central property: for *any* generated program — adversarial segments,
+mutated corpus entries, raw garbage words — the three oracles must agree
+that the tree is healthy.  Each hypothesis example draws a generator seed,
+so one run of this module pushes well over 200 distinct programs through
+the full differential harness.  ``derandomize=True`` keeps the examples a
+pure function of the test code: CI runs the exact same programs every time.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fuzz.gen import ProgramGenerator
+from repro.fuzz.oracles import (
+    ALLOWED_END_STATES,
+    CROSS_COMPARE_FIELDS,
+    ENGINE_COMPARE_FIELDS,
+    check_program,
+    execute_program,
+)
+from repro.hw import isa
+from repro.hw.isa import assemble
+from repro.hw.memory import PAGE_SIZE
+
+_SETTINGS = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _draw_program(seed: int, position: int) -> tuple[int, ...]:
+    """The ``position``-th program of the seeded stream, with the coverage
+    loop engaged so later positions exercise the mutation path."""
+    generator = ProgramGenerator(seed)
+    program = generator.next_program()
+    for _ in range(position):
+        generator.observe(program,
+                          {f"op:{op}" for op in program.static_ops})
+        program = generator.next_program()
+    return program.words
+
+
+class TestEngineEquivalenceProperty:
+    @settings(max_examples=220, **_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1),
+           position=st.integers(min_value=0, max_value=3))
+    def test_generated_programs_never_violate_an_oracle(self, seed,
+                                                        position):
+        # admission=False keeps each example to three machine runs; the
+        # (slow) admission consistency leg is covered by the campaign
+        # tests and the seeded CLI acceptance run.
+        outcome = check_program(_draw_program(seed, position),
+                                admission=False)
+        assert outcome.violations == ()
+        assert outcome.fast.state in ALLOWED_END_STATES
+
+    @settings(max_examples=40, **_SETTINGS)
+    @given(words=st.lists(st.integers(min_value=0,
+                                      max_value=2 ** 64 - 1),
+                          min_size=1, max_size=PAGE_SIZE))
+    def test_raw_garbage_words_never_violate_an_oracle(self, words):
+        # No generator structure at all: arbitrary 64-bit images must
+        # still execute identically on both engines and stay contained.
+        outcome = check_program(words, admission=False)
+        assert outcome.violations == ()
+
+
+class TestExecutionRecord:
+    def test_fast_and_reference_records_match_field_for_field(self):
+        words = assemble([
+            isa.movi(1, 7),
+            isa.movi(2, 5),
+            isa.add(3, 1, 2),
+            isa.halt(),
+        ]).words
+        fast = execute_program(words, fast_path=True)
+        reference = execute_program(words, fast_path=False)
+        for name in ENGINE_COMPARE_FIELDS:
+            assert getattr(fast, name) == getattr(reference, name), name
+        assert fast.engine == "fast"
+        assert reference.engine == "reference"
+
+    def test_benign_program_cross_compares_against_baseline(self):
+        words = assemble([
+            isa.movi(1, 3),
+            isa.addi(1, 1, 4),
+            isa.halt(),
+        ]).words
+        outcome = check_program(words, admission=False)
+        assert outcome.cross_compared
+        for name in CROSS_COMPARE_FIELDS:
+            assert getattr(outcome.fast, name) == \
+                getattr(outcome.baseline, name), name
+        assert "machines:agree" in outcome.coverage
+
+    def test_oversized_program_is_rejected_up_front(self):
+        with pytest.raises(ValueError):
+            execute_program([0] * (PAGE_SIZE + 1))
+
+
+class TestCoverageTokens:
+    def test_div0_fault_is_classified(self):
+        words = assemble([
+            isa.movi(1, 9),
+            isa.movi(2, 0),
+            isa.div(3, 1, 2),
+            isa.halt(),
+        ]).words
+        outcome = check_program(words, admission=False)
+        assert outcome.violations == ()
+        assert "fault:div0" in outcome.coverage
+        assert "state:FAULTED" in outcome.coverage
+
+    def test_forbidden_io_faults_without_violating_an_oracle(self):
+        # IORD is flagged by the analyzer and faults at runtime; neither
+        # fact may trip an oracle, and the program is excluded from the
+        # cross-machine comparison (machine-sensitive op).
+        words = assemble([isa.iord(1, 0), isa.halt()]).words
+        outcome = check_program(words, admission=False)
+        assert outcome.violations == ()
+        assert not outcome.cross_compared
+        assert outcome.fast.state == "FAULTED"
+        assert "analyzer:forbidden-io" in outcome.coverage
+
+    def test_lockdown_load_is_containment_asymmetry_not_violation(self):
+        # After lockdown the Guillotine code page is execute-only, so a
+        # LOAD from the program's own image faults under Guillotine but
+        # reads fine on the baseline — expected asymmetry, never a
+        # violation.
+        words = assemble([
+            isa.movi(1, 0),
+            isa.load(2, 1, 0),      # read the code page
+            isa.halt(),
+        ]).words
+        outcome = check_program(words, admission=False)
+        assert outcome.violations == ()
+        assert outcome.fast.faults > 0
+        assert outcome.baseline.faults == 0
+        assert "machines:asymmetry" in outcome.coverage
+
+    def test_admission_consistency_round_trip(self):
+        # One slow-path example keeping oracle 3's admission leg honest:
+        # a benign program is admitted, a self-modifying one is rejected,
+        # and in both cases the analyzer verdict matches.
+        benign = check_program(
+            assemble([isa.movi(1, 1), isa.halt()]).words)
+        assert benign.admitted is True
+        assert benign.violations == ()
+        assert "admitted" in benign.coverage
+
+        selfmod = check_program(assemble([
+            isa.movi(1, 0),
+            isa.movi(2, 99),
+            isa.store(2, 1, 0),     # store into the code page
+            isa.halt(),
+        ]).words)
+        assert selfmod.admitted is False
+        assert selfmod.violations == ()
+        assert "rejected" in selfmod.coverage
+        assert selfmod.analyzer_errors

@@ -1,0 +1,130 @@
+"""Golden-record artifacts: freeze, replay, tamper-detect."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.fuzz.oracles import OracleViolation, check_program
+from repro.fuzz.replay import (
+    REPLAY_SCHEMA,
+    divergence_artifact,
+    golden_artifact,
+    load_artifact,
+    replay_artifact,
+)
+from repro.hw import isa
+from repro.hw.isa import assemble
+
+
+def _clean_outcome():
+    words = assemble([
+        isa.movi(1, 11),
+        isa.movi(2, 31),
+        isa.add(3, 1, 2),
+        isa.halt(),
+    ]).words
+    outcome = check_program(words)
+    assert outcome.violations == ()
+    return outcome
+
+
+def _fake_divergence():
+    """A clean outcome dressed up as an engine divergence — lets the
+    divergence replay path be tested against a healthy tree."""
+    outcome = _clean_outcome()
+    violation = OracleViolation(
+        oracle="engine", reason="synthetic", mismatches=(
+            ("cycles", "1", "2"),
+        ))
+    return dataclasses.replace(outcome, violations=(violation,))
+
+
+class TestGoldenArtifacts:
+    def test_round_trip_reproduces(self):
+        artifact = golden_artifact(_clean_outcome(), name="g1", seed=7)
+        result = replay_artifact(artifact)
+        assert result.reproduced
+        assert result.kind == "golden"
+        assert result.mismatches == ()
+
+    def test_artifact_schema_fields(self):
+        outcome = _clean_outcome()
+        artifact = golden_artifact(outcome, name="g1", seed=7, batch=0,
+                                   program_index=3)
+        assert artifact["schema"] == REPLAY_SCHEMA
+        assert artifact["kind"] == "golden"
+        assert artifact["fault_plan"] is None
+        assert artifact["shrunk"] is False
+        assert artifact["original_len"] == len(outcome.words)
+        assert len(artifact["program"]["words_hex"]) == len(outcome.words)
+        assert len(artifact["program"]["listing"]) == len(outcome.words)
+        assert artifact["expected"]["violations"] == []
+        # Artifacts must be JSON-serializable as-is.
+        json.dumps(artifact)
+
+    def test_tampered_record_field_is_detected(self):
+        artifact = golden_artifact(_clean_outcome(), name="g1")
+        artifact["expected"]["record"]["cycles"] += 1
+        result = replay_artifact(artifact)
+        assert not result.reproduced
+        assert any("record.cycles" in line for line in result.mismatches)
+
+    def test_tampered_log_digest_is_detected(self):
+        # The record embeds the audit-chain digest, so replay covers the
+        # event log end to end.
+        artifact = golden_artifact(_clean_outcome(), name="g1")
+        artifact["expected"]["record"]["log_digest"] = "0" * 64
+        assert not replay_artifact(artifact).reproduced
+
+    def test_tampered_admission_is_detected(self):
+        artifact = golden_artifact(_clean_outcome(), name="g1")
+        artifact["expected"]["admitted"] = False
+        result = replay_artifact(artifact)
+        assert not result.reproduced
+        assert any("admitted" in line for line in result.mismatches)
+
+    def test_violating_outcome_cannot_be_frozen_as_golden(self):
+        with pytest.raises(ValueError):
+            golden_artifact(_fake_divergence(), name="bad")
+
+
+class TestDivergenceArtifacts:
+    def test_healthy_tree_does_not_reproduce_a_fixed_divergence(self):
+        artifact = divergence_artifact(_fake_divergence(), name="d1")
+        result = replay_artifact(artifact)
+        assert not result.reproduced
+        assert result.expected_oracles == ("engine",)
+        assert any("no longer fires" in line for line in result.mismatches)
+
+    def test_shrunk_words_become_the_artifact_program(self):
+        outcome = _fake_divergence()
+        shrunk = outcome.words[:1]
+        artifact = divergence_artifact(outcome, name="d1",
+                                       shrunk_words=shrunk)
+        assert artifact["shrunk"] is True
+        assert artifact["original_len"] == len(outcome.words)
+        assert len(artifact["program"]["words_hex"]) == 1
+
+    def test_clean_outcome_cannot_be_frozen_as_divergence(self):
+        with pytest.raises(ValueError):
+            divergence_artifact(_clean_outcome(), name="bad")
+
+
+class TestArtifactValidation:
+    def test_wrong_schema_is_rejected(self):
+        with pytest.raises(ValueError):
+            replay_artifact({"schema": "repro.chaos/1"})
+
+    def test_unknown_kind_is_rejected(self):
+        artifact = golden_artifact(_clean_outcome(), name="g1")
+        artifact["kind"] = "mystery"
+        with pytest.raises(ValueError):
+            replay_artifact(artifact)
+
+    def test_load_artifact_round_trips_through_disk(self, tmp_path):
+        artifact = golden_artifact(_clean_outcome(), name="g1")
+        path = tmp_path / "g1.json"
+        path.write_text(json.dumps(artifact), encoding="utf-8")
+        assert load_artifact(str(path)) == artifact
+        assert replay_artifact(load_artifact(str(path))).reproduced

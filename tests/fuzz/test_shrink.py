@@ -1,0 +1,59 @@
+"""The delta-debugging shrinker on synthetic predicates."""
+
+from repro.fuzz.shrink import _NOP_WORD, shrink_words
+
+MAGIC = 0xDEAD_BEEF_CAFE_F00D
+FILLER = list(range(1, 40))
+
+
+class TestDdmin:
+    def test_shrinks_to_the_single_relevant_word(self):
+        words = FILLER[:20] + [MAGIC] + FILLER[20:]
+        result = shrink_words(words, lambda c: MAGIC in c)
+        assert result == (MAGIC,)
+
+    def test_keeps_a_relevant_pair(self):
+        other = 0x1234_5678_9ABC_DEF0
+        words = FILLER[:10] + [MAGIC] + FILLER[10:30] + [other]
+        result = shrink_words(
+            words, lambda c: MAGIC in c and other in c)
+        assert sorted(result) == sorted((MAGIC, other))
+
+    def test_failing_input_is_returned_unchanged(self):
+        words = tuple(FILLER)
+        assert shrink_words(words, lambda c: False) == words
+
+    def test_empty_input_is_returned_unchanged(self):
+        assert shrink_words((), lambda c: True) == ()
+
+    def test_zero_budget_is_returned_unchanged(self):
+        words = tuple(FILLER)
+        assert shrink_words(words, lambda c: True, max_evals=0) == words
+
+
+class TestNopSubstitution:
+    def test_undeletable_words_are_neutralised_to_nop(self):
+        # The predicate pins the length and one payload word, so ddmin
+        # cannot delete anything; the NOP pass must blank the rest.
+        words = (11, 22, MAGIC, 44)
+        result = shrink_words(
+            words, lambda c: len(c) == 4 and c[2] == MAGIC)
+        assert result == (_NOP_WORD, _NOP_WORD, MAGIC, _NOP_WORD)
+
+
+class TestDeterminism:
+    def test_same_input_same_minimum(self):
+        words = FILLER[:15] + [MAGIC] + FILLER[15:]
+        predicate = lambda c: MAGIC in c  # noqa: E731
+        assert shrink_words(words, predicate) == \
+            shrink_words(words, predicate)
+
+    def test_budget_bounds_predicate_evaluations(self):
+        calls = []
+
+        def predicate(candidate):
+            calls.append(1)
+            return MAGIC in candidate
+
+        shrink_words(FILLER[:30] + [MAGIC], predicate, max_evals=10)
+        assert len(calls) <= 10

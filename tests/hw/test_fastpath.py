@@ -243,3 +243,65 @@ class TestSelfModifyingCode:
             and finding.severity is Severity.ERROR
             for finding in report.findings
         )
+
+
+class TestDecodedEvictions:
+    """The decoded-cache FIFO eviction path under a tiny ``DECODED_CAP``.
+
+    A code footprint larger than the cap must stream through the cache —
+    bounded residency, oldest-entry eviction, a ticking
+    ``decoded_evictions`` counter — and, critically, eviction is a pure
+    Python-cost event: simulated cycles stay bit-identical to the
+    reference interpreter, which never touches the cache at all.
+    """
+
+    CAP = 8
+    BODY = 40  # straight-line instructions before the final HALT
+
+    def _program(self):
+        return assemble(
+            [isa.movi((i % 11) + 1, i) for i in range(self.BODY)]
+            + [isa.halt()]
+        )
+
+    def _run(self, monkeypatch, fast):
+        from repro.hw.memory import Dram
+
+        monkeypatch.setattr(Dram, "DECODED_CAP", self.CAP)
+        monkeypatch.setattr(Core, "fast_path", fast)
+        machine, core = _guillotine()
+        machine.load_program(core, self._program())
+        core.resume()
+        core.run(max_steps=1_000)
+        return machine, core, machine.banks["model_dram"]
+
+    def test_fast_engine_evicts_fifo_beyond_the_cap(self, monkeypatch):
+        machine, core, bank = self._run(monkeypatch, fast=True)
+        assert core.state is CoreState.HALTED
+        # Every code word (body + HALT) was decoded and cached once...
+        footprint = self.BODY + 1
+        total = bank.decoded_evictions + len(bank.decoded)
+        assert total == footprint
+        # ...residency never exceeded the cap...
+        assert len(bank.decoded) == self.CAP
+        assert bank.decoded_evictions == footprint - self.CAP
+        # ...and eviction is FIFO: the survivors are the youngest fetches.
+        assert set(bank.decoded) == set(range(footprint - self.CAP,
+                                              footprint))
+
+    def test_reference_engine_never_evicts(self, monkeypatch):
+        machine, core, bank = self._run(monkeypatch, fast=False)
+        assert core.state is CoreState.HALTED
+        assert bank.decoded_evictions == 0
+        assert bank.decoded == {}
+
+    def test_eviction_churn_never_changes_simulated_timing(self,
+                                                           monkeypatch):
+        fast_machine, fast_core, fast_bank = self._run(monkeypatch,
+                                                       fast=True)
+        ref_machine, ref_core, _ = self._run(monkeypatch, fast=False)
+        assert fast_bank.decoded_evictions > 0
+        assert fast_machine.clock.now == ref_machine.clock.now
+        assert fast_core.instructions_retired == \
+            ref_core.instructions_retired
+        assert fast_core.registers == ref_core.registers

@@ -268,3 +268,87 @@ class TestDramFaultInjection:
             dram.inject_bit_flip(0, 64)
         with pytest.raises(ValueError):
             dram.inject_stuck_bit(0, 0, value=2)
+
+
+class TestDramRanges:
+    """Bounds semantics of the batched ``read_range``/``write_range`` paths.
+
+    The bounds check is ``start < 0 or start + count > size``: zero-length
+    transfers are legal anywhere inside the window *including* the
+    end-of-window position ``start == size``, and the last legal non-empty
+    transfer ends exactly at ``size``.
+    """
+
+    def _dram(self):
+        return Dram("test", 2 * PAGE_SIZE)
+
+    # -- zero-length transfers ----------------------------------------
+
+    def test_zero_length_read_at_origin(self):
+        assert self._dram().read_range(0, 0) == []
+
+    def test_zero_length_read_at_end_of_window(self):
+        dram = self._dram()
+        assert dram.read_range(dram.size, 0) == []
+
+    def test_zero_length_read_past_end_faults(self):
+        dram = self._dram()
+        with pytest.raises(MemoryFault):
+            dram.read_range(dram.size + 1, 0)
+
+    def test_zero_length_write_at_end_of_window(self):
+        dram = self._dram()
+        before = dram.write_count
+        dram.write_range(dram.size, [])
+        assert dram.write_count == before
+
+    def test_zero_length_write_past_end_faults(self):
+        dram = self._dram()
+        with pytest.raises(MemoryFault):
+            dram.write_range(dram.size + 1, [])
+
+    # -- end-of-window transfers --------------------------------------
+
+    def test_last_words_of_the_window_round_trip(self):
+        dram = self._dram()
+        dram.write_range(dram.size - 2, [0xAA, 0xBB])
+        assert dram.read_range(dram.size - 2, 2) == [0xAA, 0xBB]
+
+    def test_full_window_read(self):
+        dram = self._dram()
+        dram.write(0, 1)
+        dram.write(dram.size - 1, 2)
+        words = dram.read_range(0, dram.size)
+        assert len(words) == dram.size
+        assert words[0] == 1 and words[-1] == 2
+
+    def test_read_spilling_past_the_window_faults(self):
+        dram = self._dram()
+        with pytest.raises(MemoryFault):
+            dram.read_range(dram.size - 1, 2)
+
+    def test_write_spilling_past_the_window_faults(self):
+        dram = self._dram()
+        with pytest.raises(MemoryFault):
+            dram.write_range(dram.size - 1, [1, 2])
+        # The failed write must not have partially landed.
+        assert dram.read(dram.size - 1) == 0
+
+    def test_negative_start_faults(self):
+        dram = self._dram()
+        with pytest.raises(MemoryFault):
+            dram.read_range(-1, 1)
+        with pytest.raises(MemoryFault):
+            dram.write_range(-1, [1])
+
+    # -- equivalence with the per-word path ---------------------------
+
+    def test_range_write_matches_per_word_semantics(self):
+        batched, looped = self._dram(), self._dram()
+        values = [7, 1 << 65, 0, 13]  # includes a value needing masking
+        batched.write_range(4, values)
+        for offset, value in enumerate(values):
+            looped.write(4 + offset, value)
+        assert batched.read_range(0, batched.size) == \
+            looped.read_range(0, looped.size)
+        assert batched.write_count == looped.write_count
