@@ -9,13 +9,15 @@ Commands:
   ablation
 * ``verify``     — bounded model-checking of the isolation state machine
 * ``topology``   — dump the Figure-1 component/edge topology
-* ``analyze``    — run the load-time static verifier over guest binaries
+* ``analyze``    — run the load-time static verifier (lint passes + the
+  information-flow taint analyzer) over guest binaries
 * ``bench``      — the interpreter performance suite (fast path vs the
   reference interpreter, with determinism and cycle-equivalence checks)
 * ``chaos``      — seeded fault-injection campaigns with machine-checked
   fail-closed invariants (the robustness suite)
 * ``fuzz``       — coverage-guided differential fuzzing: generated GISA
-  programs through the engine/machine/verdict oracles, divergences shrunk
+  programs through the engine/machine/verdict/taint oracles, divergences
+  shrunk
   into ``repro.replay/1`` golden records
 * ``replay``     — deterministically re-execute golden records (a file or a
   directory of them) against the current tree
@@ -147,12 +149,121 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 #: JSON schema identifier emitted by ``analyze --json`` (documented in
-#: docs/ANALYSIS.md; bump on incompatible changes).
-ANALYZE_SCHEMA = "repro.analysis/1"
+#: docs/ANALYSIS.md; bump on incompatible changes).  ``/2`` added the
+#: information-flow block: per-report ``flows`` (each with a minimal
+#: source->sink witness path) and ``no_flows``, and dropped the
+#: nondeterministic ``wall_seconds`` from the summary so two runs over the
+#: same tree emit identical bytes.
+ANALYZE_SCHEMA = "repro.analysis/2"
+
+
+def _cmd_analyze_corpus(args: argparse.Namespace) -> int:
+    """``analyze --corpus-dir``: re-run the information-flow analyzer over a
+    directory of ``repro.replay/1`` artifacts and cross-check the flow kinds
+    against each artifact's recorded ``taint:flow:*`` coverage tokens.
+
+    A benign golden program (no recorded flow tokens) that now produces
+    flows is a false positive; a seeded exfiltration program that no longer
+    produces its recorded flows is a regression.  Either way the exit code
+    is nonzero — this is the CI analyze-smoke gate.
+    """
+    import json
+    import os
+
+    from repro.analysis import analyze_program
+    from repro.fuzz.oracles import FUZZ_SOURCES
+    from repro.fuzz.replay import load_artifact
+
+    try:
+        names = sorted(
+            name for name in os.listdir(args.corpus_dir)
+            if name.endswith(".json")
+        )
+    except OSError as exc:
+        print(f"error: cannot read {args.corpus_dir}: {exc}", file=sys.stderr)
+        return 2
+    if not names:
+        print(f"error: no artifacts in {args.corpus_dir}", file=sys.stderr)
+        return 2
+
+    prefix = "taint:flow:"
+    entries = []
+    mismatched = 0
+    for name in names:
+        path = os.path.join(args.corpus_dir, name)
+        try:
+            artifact = load_artifact(path)
+            words = tuple(
+                int(text, 16)
+                for text in artifact["program"]["words_hex"]
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        label = artifact.get("name", name)
+        report = analyze_program(
+            words, name=label, profile=args.profile, sources=FUZZ_SOURCES
+        )
+        expected = sorted(
+            token[len(prefix):]
+            for token in artifact.get("expected", {}).get("coverage", [])
+            if token.startswith(prefix)
+        )
+        actual = sorted({f.detail["kind"] for f in report.flows})
+        consistent = actual == expected
+        if not consistent:
+            mismatched += 1
+        entries.append({
+            "artifact": name,
+            "name": label,
+            "expected_flows": expected,
+            "actual_flows": actual,
+            "consistent": consistent,
+            "flows": [
+                {
+                    "kind": f.detail["kind"],
+                    "labels": list(f.detail["labels"]),
+                    "severity": f.severity.name,
+                    "witness": list(f.detail["witness"]),
+                }
+                for f in report.flows
+            ],
+        })
+
+    if args.json:
+        payload = {
+            "schema": ANALYZE_SCHEMA,
+            "mode": "corpus",
+            "profile": args.profile,
+            "artifacts": entries,
+            "all_consistent": mismatched == 0,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for entry in entries:
+            verdict = "ok" if entry["consistent"] else "MISMATCH"
+            flows = ",".join(entry["actual_flows"]) or "(none)"
+            print(f"{entry['name']:<24} {verdict:<9} flows: {flows}")
+            if not entry["consistent"]:
+                print(f"    expected: "
+                      f"{','.join(entry['expected_flows']) or '(none)'}")
+            for flow in entry["flows"]:
+                path_text = " -> ".join(str(pc) for pc in flow["witness"])
+                print(f"    {flow['severity']:<8} {flow['kind']:<20} "
+                      f"pc {path_text}")
+        print(f"\n{len(entries)} artifact(s), {mismatched} flow mismatch(es)")
+    if mismatched:
+        print(f"error: {mismatched} artifact(s) disagree with their "
+              f"recorded taint coverage", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     import json
+
+    if args.corpus_dir is not None:
+        return _cmd_analyze_corpus(args)
 
     from repro.analysis import analyze_program, prove_topology
     from repro.analysis.corpus import corpus_entry, corpus_names
@@ -212,6 +323,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             for finding in report.findings:
                 print(f"  {finding.severity.name:<8} {finding.category:<15} "
                       f"pc={finding.pc:<5} {finding.message}")
+                witness = finding.detail.get("witness")
+                if witness:
+                    path_text = " -> ".join(str(pc) for pc in witness)
+                    print(f"           witness: pc {path_text}")
         if summary is not None:
             print(f"\nscanned {summary.programs_scanned} program(s), "
                   f"{summary.instructions_decoded} instruction(s) "
@@ -481,12 +596,17 @@ def main(argv: list[str] | None = None) -> int:
         "--program", help="corpus program name (default: whole corpus)")
     analyze_group.add_argument(
         "--asm", help="path to a GISA assembly file to analyze")
+    analyze_group.add_argument(
+        "--corpus-dir", default=None,
+        help="directory of repro.replay/1 artifacts: re-run the "
+             "information-flow analyzer over each program and fail on any "
+             "disagreement with the recorded taint coverage")
     analyze_parser.add_argument(
         "--profile", choices=("guillotine", "baseline"), default="guillotine",
         help="lint profile (baseline tolerates direct device IO)")
     analyze_parser.add_argument(
         "--json", action="store_true",
-        help="emit the repro.analysis/1 JSON document")
+        help="emit the repro.analysis/2 JSON document")
     bench_parser = subparsers.add_parser(
         "bench", help="interpreter performance suite (fast vs reference)")
     bench_parser.add_argument(
@@ -519,7 +639,7 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=0,
         help="worker processes (0 = auto-detect cores, 1 = sequential)")
     fuzz_parser = subparsers.add_parser(
-        "fuzz", help="coverage-guided differential fuzzing (three oracles)")
+        "fuzz", help="coverage-guided differential fuzzing (four oracles)")
     fuzz_parser.add_argument(
         "--seed", type=int, default=42,
         help="master seed; derives every batch's generator seed")

@@ -36,8 +36,17 @@ from repro.analysis.passes import (
     AnalysisReport,
     Finding,
     Severity,
+    analysis_cache_stats,
     analyze_program,
     registered_passes,
+    reset_analysis_cache,
+)
+from repro.analysis.taint import (
+    MemoryWindow,
+    SourceSinkModel,
+    TaintFlow,
+    TaintResult,
+    analyze_taint,
 )
 from repro.analysis.topology import TopologyCheck, TopologyReport, prove_topology
 
@@ -50,13 +59,20 @@ __all__ = [
     "DecodedInstruction",
     "Finding",
     "Interval",
+    "MemoryWindow",
     "Severity",
+    "SourceSinkModel",
+    "TaintFlow",
+    "TaintResult",
     "TopologyCheck",
     "TopologyReport",
+    "analysis_cache_stats",
     "analyze_program",
+    "analyze_taint",
     "build_cfg",
     "decode_stream",
     "prove_topology",
     "registered_passes",
+    "reset_analysis_cache",
     "run_dataflow",
 ]

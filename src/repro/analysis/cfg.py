@@ -10,6 +10,7 @@ unmapped space is something the lint passes want to know about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import networkx as nx
 
@@ -38,7 +39,7 @@ class BasicBlock:
     def terminator(self) -> DecodedInstruction:
         return self.instructions[-1]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[DecodedInstruction]:
         return iter(self.instructions)
 
     def __len__(self) -> int:

@@ -35,7 +35,9 @@ _ENTRIES: list[CorpusEntry] = [
         build=lambda: programs.prime_probe_program(sets=16, ways=2),
         description="E2 prime+probe side-channel attacker",
         malicious=True,
-        expected_error_categories=frozenset({"timing-probe"}),
+        # Flagged twice, independently: the heuristic timing-probe lint and
+        # the information-flow pass (timer-taint SUB measurement pairs).
+        expected_error_categories=frozenset({"timing-probe", "flow-timing"}),
     ),
     CorpusEntry(
         name="selfmod_remap",
@@ -80,7 +82,7 @@ _ENTRIES: list[CorpusEntry] = [
         build=lambda: programs.covert_probe_program(16),
         description="cache covert-channel receiver (timed reloads)",
         malicious=True,
-        expected_error_categories=frozenset({"timing-probe"}),
+        expected_error_categories=frozenset({"timing-probe", "flow-timing"}),
     ),
     CorpusEntry(
         name="covert_sender",

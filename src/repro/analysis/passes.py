@@ -29,14 +29,19 @@ advisory.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.analysis.cfg import ControlFlowGraph, build_cfg
 from repro.analysis.dataflow import DataflowResult, Interval, run_dataflow
 from repro.analysis.decoder import DecodedInstruction, decode_stream
 from repro.hw.isa import Instruction, Op, Program
 from repro.hw.memory import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.taint import SourceSinkModel
 
 #: Profile for Guillotine model cores: port IO is an invalid instruction.
 PROFILE_GUILLOTINE = "guillotine"
@@ -103,6 +108,9 @@ class AnalysisContext:
     #: them (admission control does); enables MAP-alias detection by ppn.
     code_frames: range | None = None
     line_words: int = _LINE_WORDS
+    #: Source/sink model for the information-flow pass (``None`` means the
+    #: timer-only default — see :class:`repro.analysis.taint.SourceSinkModel`).
+    sources: "SourceSinkModel | None" = None
 
     def reachable(self, decoded: DecodedInstruction) -> bool:
         return self.cfg.is_reachable(decoded.pc)
@@ -134,8 +142,13 @@ def lint_pass(name: str) -> Callable[[PassFn], PassFn]:
 
 
 def registered_passes() -> dict[str, PassFn]:
-    """Name -> pass function, in registration order."""
-    return dict(_REGISTRY)
+    """Name -> pass function, sorted by pass name.
+
+    The order is *explicitly* alphabetical rather than registration order:
+    reports list the passes they ran, finding ties sort by encounter order,
+    and both must be byte-stable no matter which module got imported first.
+    """
+    return dict(sorted(_REGISTRY.items()))
 
 
 # ---------------------------------------------------------------------------
@@ -435,6 +448,16 @@ class AnalysisReport:
     def error_categories(self) -> set[str]:
         return {f.category for f in self.errors}
 
+    @property
+    def flows(self) -> list[Finding]:
+        """Information-flow findings (any severity) — the taint verdict."""
+        return [f for f in self.findings if f.pass_name == "taint-flows"]
+
+    @property
+    def no_flows(self) -> bool:
+        """True when the taint pass proved zero secret→egress flows."""
+        return not self.flows
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
@@ -442,9 +465,63 @@ class AnalysisReport:
             "base_address": self.base_address,
             "instructions": self.instructions,
             "clean": self.clean,
+            "no_flows": self.no_flows,
             "passes": list(self.passes_run),
             "findings": [f.to_dict() for f in self.findings],
+            "flows": [
+                {
+                    "kind": f.detail["kind"],
+                    "labels": list(f.detail["labels"]),
+                    "severity": str(f.severity),
+                    "sink_pc": f.pc,
+                    "witness": list(f.detail["witness"]),
+                }
+                for f in self.flows
+            ],
         }
+
+
+#: Bounded report cache: identical guest images (same words, same analysis
+#: parameters) skip the whole pipeline on re-admission.
+_CACHE_CAP = 128
+_CACHE: "OrderedDict[tuple, AnalysisReport]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0, "uncacheable": 0}
+
+
+def analysis_cache_stats() -> dict[str, int]:
+    """Hit/miss counters for the :func:`analyze_program` report cache."""
+    return {**_CACHE_STATS, "entries": len(_CACHE)}
+
+
+def reset_analysis_cache() -> None:
+    _CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+
+
+def _image_digest(
+    source: Program | Sequence[int] | Iterable[Instruction],
+) -> str | None:
+    """Digest of the program image, when the source is already words.
+
+    Instruction lists may carry unresolved labels, so they are analyzed
+    uncached rather than half-assembled here."""
+    if isinstance(source, Program):
+        words: Sequence[int] = source.words
+    elif isinstance(source, (list, tuple)) and all(
+            isinstance(word, int) for word in source):
+        words = source
+    else:
+        return None
+    hasher = hashlib.sha256()
+    for word in words:
+        hasher.update(int(word).to_bytes(8, "little", signed=False))
+    return hasher.hexdigest()
+
+
+def _copy_report(report: AnalysisReport) -> AnalysisReport:
+    return replace(report, findings=list(report.findings),
+                   passes_run=list(report.passes_run))
 
 
 def analyze_program(
@@ -456,14 +533,44 @@ def analyze_program(
     code_frames: range | None = None,
     line_words: int = _LINE_WORDS,
     passes: Sequence[str] | None = None,
+    sources: "SourceSinkModel | None" = None,
 ) -> AnalysisReport:
     """Run the full pipeline over one guest binary.
 
     ``source`` may be an assembled :class:`~repro.hw.isa.Program`, raw
     64-bit instruction words, or a list of :class:`Instruction` objects.
     ``code_frames`` — when the loader knows which physical frames the code
-    pages will occupy — sharpens MAP-alias detection.
+    pages will occupy — sharpens MAP-alias detection.  ``sources`` feeds
+    the information-flow pass a concrete secret/egress layout; the default
+    is the timer-only model.
+
+    Results are cached by image digest and analysis parameters, so
+    re-admitting an identical guest image skips re-analysis entirely.
     """
+    # Importing the taint module registers its pass; deferred to avoid an
+    # import cycle (taint imports this module's registry machinery).
+    import repro.analysis.taint  # noqa: F401
+
+    digest = _image_digest(source)
+    cache_key: tuple | None = None
+    if digest is not None:
+        cache_key = (
+            digest, name, base_address, profile,
+            (code_frames.start, code_frames.stop)
+            if code_frames is not None else None,
+            line_words,
+            tuple(passes) if passes is not None else None,
+            sources.cache_key() if sources is not None else None,
+        )
+        cached = _CACHE.get(cache_key)
+        if cached is not None:
+            _CACHE_STATS["hits"] += 1
+            _CACHE.move_to_end(cache_key)
+            return _copy_report(cached)
+        _CACHE_STATS["misses"] += 1
+    else:
+        _CACHE_STATS["uncacheable"] += 1
+
     decoded = decode_stream(source, base_address)
     cfg = build_cfg(decoded, base_address)
     dataflow = run_dataflow(cfg)
@@ -478,6 +585,7 @@ def analyze_program(
         code_stop=base_address + code_pages * PAGE_SIZE,
         code_frames=code_frames,
         line_words=line_words,
+        sources=sources,
     )
     registry = registered_passes()
     selected = list(registry) if passes is None else list(passes)
@@ -485,7 +593,7 @@ def analyze_program(
     for pass_name in selected:
         findings.extend(registry[pass_name](ctx))
     findings.sort(key=lambda f: (-int(f.severity), f.pc))
-    return AnalysisReport(
+    report = AnalysisReport(
         name=name,
         profile=profile,
         base_address=base_address,
@@ -493,3 +601,8 @@ def analyze_program(
         findings=findings,
         passes_run=selected,
     )
+    if cache_key is not None:
+        _CACHE[cache_key] = _copy_report(report)
+        while len(_CACHE) > _CACHE_CAP:
+            _CACHE.popitem(last=False)
+    return report

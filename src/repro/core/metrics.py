@@ -218,6 +218,9 @@ class AnalyzerRunSummary:
     findings_by_severity: dict[str, int]
     rejected: list[str]
     clean: list[str]
+    #: Wall-clock time for the sweep — human summary line only, never
+    #: serialized: ``repro analyze --json`` must be byte-stable across runs
+    #: (the CI analyze-smoke job diffs two back-to-back reports).
     wall_seconds: float
 
     def to_dict(self) -> dict:
@@ -227,7 +230,6 @@ class AnalyzerRunSummary:
             "findings_by_severity": dict(self.findings_by_severity),
             "rejected": list(self.rejected),
             "clean": list(self.clean),
-            "wall_seconds": round(self.wall_seconds, 4),
         }
 
 

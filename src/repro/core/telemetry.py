@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Any
 
+from repro.analysis import analysis_cache_stats
 from repro.core.metrics import interpreter_perf
 from repro.eventlog import (
     CATEGORY_DETECTOR,
@@ -86,6 +87,10 @@ def gather(sandbox) -> dict[str, Any]:
             "activation_interventions": hypervisor.activation_interventions,
             "panicked": hypervisor.panicked,
         },
+        # Static-verifier cache behaviour: admission control re-analyzes
+        # identical guest images (replicas, reloads), so the hit counter is
+        # the "how much admission latency did the cache save" signal.
+        "analysis": analysis_cache_stats(),
         "audit": {
             "records": len(log),
             "port_io": len(log.by_category(CATEGORY_PORT_IO)),
@@ -141,6 +146,14 @@ def format_report(stats: dict[str, Any]) -> str:
     for name, device in stats["devices"].items():
         lines.append(f"  {name:<12} {device['type']:<9} "
                      f"served={device['requests_served']}")
+    analysis = stats["analysis"]
+    lines.append("")
+    lines.append(
+        f"analysis cache: hits={analysis['hits']} "
+        f"misses={analysis['misses']} "
+        f"uncacheable={analysis['uncacheable']} "
+        f"entries={analysis['entries']}"
+    )
     audit = stats["audit"]
     lines.append("")
     lines.append(

@@ -85,6 +85,7 @@ def run_one_batch(
     origins: Counter[str] = Counter()
     admitted = rejected = 0
     cross_compared = asymmetries = 0
+    noninterference_certified = taint_flagged = 0
     new_coverage_events = 0
     divergences: list[dict] = []
 
@@ -101,6 +102,10 @@ def run_one_batch(
             cross_compared += 1
         if "machines:asymmetry" in outcome.coverage:
             asymmetries += 1
+        if outcome.noninterference:
+            noninterference_certified += 1
+        if outcome.taint_flows:
+            taint_flagged += 1
         if generator.observe(program, set(outcome.coverage)):
             new_coverage_events += 1
 
@@ -135,6 +140,8 @@ def run_one_batch(
         "rejected": rejected,
         "cross_compared": cross_compared,
         "containment_asymmetries": asymmetries,
+        "noninterference_certified": noninterference_certified,
+        "taint_flagged": taint_flagged,
         "coverage": sorted(generator.coverage),
         "corpus_size": len(generator.corpus),
         "new_coverage_events": new_coverage_events,
@@ -182,6 +189,10 @@ def assemble_fuzz_report(
             "containment_asymmetries": sum(
                 run["containment_asymmetries"] for run in runs
             ),
+            "noninterference_certified": sum(
+                run["noninterference_certified"] for run in runs
+            ),
+            "taint_flagged": sum(run["taint_flagged"] for run in runs),
             "coverage_tokens": len(coverage),
             "coverage": coverage,
             "divergences": len(divergences),

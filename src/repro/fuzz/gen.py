@@ -17,6 +17,11 @@ runtime must contain:
 ``mmu``             runtime MAP/UNMAP churn against the locked MMU
 ``io``              IORD/IOWR — forbidden on a Guillotine model core
 ``system``          FENCE/SETTIMER/WFI/IRET/JAL/JR exercise
+``exfil``           secret-page loads leaked through the mailbox window,
+                    doorbell payloads, or secret-indexed addresses (the
+                    taint analyzer's target class)
+``covert``          branches on a secret word gating a doorbell or extra
+                    memory work (interrupt-rate / timing covert channels)
 ``div``             division, including by zero (#DE delivery)
 ``raw``             raw 64-bit garbage words spliced post-assembly
 ==================  =====================================================
@@ -53,6 +58,12 @@ DATA_PAGES = 2
 DATA_VADDR = PAGE_SIZE
 #: Virtual word address of the shared-IO window under the fixed layout.
 IO_VADDR = PAGE_SIZE + DATA_PAGES * PAGE_SIZE
+#: Virtual word address of the *secret* page: the second (last) data page.
+#: The taint analyzer's fuzz source model marks it as a weight window, and
+#: the noninterference oracle plants differing fills there.
+SECRET_VADDR = DATA_VADDR + (DATA_PAGES - 1) * PAGE_SIZE
+#: Pages in the shared-IO window under the fixed fuzz machine config.
+IO_PAGES = 4
 
 #: Feature segments and their relative weights in a fresh program.
 FEATURE_WEIGHTS: tuple[tuple[str, int], ...] = (
@@ -66,6 +77,8 @@ FEATURE_WEIGHTS: tuple[tuple[str, int], ...] = (
     ("mmu", 2),
     ("io", 2),
     ("system", 2),
+    ("exfil", 2),
+    ("covert", 2),
     ("div", 1),
     ("raw", 1),
 )
@@ -335,6 +348,49 @@ class ProgramGenerator:
             label = self._label("call")
             return [isa.jal(link, label), label, isa.nop()]
         return [isa.wfi()]
+
+    def _seg_exfil(self) -> list:
+        """Secret→egress flows: load a secret word, then leak it via the
+        mailbox window, a doorbell payload, or a secret-indexed address —
+        the programs the taint analyzer exists to flag."""
+        rng = self._rng
+        addr, value, scratch = rng.sample(_GP_REGS, 3)
+        out = [
+            isa.movi(addr, SECRET_VADDR + rng.randrange(PAGE_SIZE)),
+            isa.load(value, addr, 0),
+        ]
+        mode = rng.randrange(3)
+        if mode == 0:       # store into the shared-IO mailbox window
+            out.append(isa.movi(scratch,
+                                IO_VADDR + rng.randrange(IO_PAGES
+                                                         * PAGE_SIZE)))
+            out.append(isa.store(value, scratch, 0))
+        elif mode == 1:     # one secret word per doorbell ring
+            out.append(isa.doorbell(value))
+        else:               # secret-indexed load: the cache-set channel
+            out.append(isa.movi(scratch, DATA_VADDR))
+            out.append(isa.add(scratch, scratch, value))
+            out.append(isa.load(value, scratch, 0))
+        return out
+
+    def _seg_covert(self) -> list:
+        """Secret-modulated covert channels: branch on a secret word, then
+        either ring a doorbell (interrupt-rate channel) or do extra memory
+        work (timing channel) on one side only."""
+        rng = self._rng
+        addr, value = rng.sample(_GP_REGS, 2)
+        label = self._label("cov")
+        out: list = [
+            isa.movi(addr, SECRET_VADDR + rng.randrange(PAGE_SIZE)),
+            isa.load(value, addr, 0),
+            isa.beq(value, 0, label),
+        ]
+        if rng.random() < 0.5:
+            out.append(isa.doorbell(self._reg()))
+        else:
+            out.append(isa.load(value, addr, rng.randrange(4)))
+        out.append(label)
+        return out
 
     def _seg_div(self) -> list:
         rng = self._rng

@@ -1,6 +1,6 @@
-"""The three differential oracles behind ``repro fuzz``.
+"""The four differential oracles behind ``repro fuzz``.
 
-Every generated program is executed up to three ways and the outcomes are
+Every generated program is executed several ways and the outcomes are
 compared:
 
 **Oracle 1 — engine equivalence.**  The fused fast-path interpreter
@@ -30,6 +30,20 @@ invariants are precisely the paper's containment claims, so a flagged
 program that *attempts* its flagged action is either faulted or leaves no
 architectural trace.
 
+**Oracle 4 — taint soundness (noninterference).**  The information-flow
+analyzer (:mod:`repro.analysis.taint`) runs in *may* mode over the fuzz
+source/sink model: the last data page is a secret (weight) window, the
+shared-IO window is egress, ``RDCYCLE`` is a timing source.  The program
+is then executed twice on the Guillotine machine with the IO window
+mapped, differing **only** in the secret page's contents, and everything
+the hypervisor/world can observe — IO-window bytes, doorbell counts,
+cycle count, step count, end state, fault count, timer fires, the audit
+log — is compared.  If the analyzer certified *zero* flows, the two runs
+must be observably identical; any difference is a static-analysis
+soundness bug.  When the analyzer does report flows, differing
+observables are expected (``taint:interference`` coverage) and identical
+observables just mean the over-approximation was conservative.
+
 All comparisons run on deliberately small machines (one model core, a few
 DRAM pages) so a fuzz campaign costs milliseconds per program.
 """
@@ -39,6 +53,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.analysis.taint import SourceSinkModel, analyze_taint
 from repro.errors import GuestRejected
 from repro.hw.attestation import digest_of
 from repro.hw.isa import Op, Program
@@ -48,7 +63,12 @@ from repro.hw.machine import (
     build_guillotine_machine,
 )
 from repro.hw.memory import PAGE_SIZE
-from repro.fuzz.gen import DATA_PAGES, GeneratedProgram
+from repro.fuzz.gen import (
+    DATA_PAGES,
+    IO_PAGES,
+    SECRET_VADDR,
+    GeneratedProgram,
+)
 
 #: Default per-run step budget; generated loops are bounded well below it.
 DEFAULT_MAX_STEPS = 600
@@ -83,6 +103,24 @@ CROSS_COMPARE_FIELDS = (
     "steps", "state", "pc", "registers", "instructions_retired",
     "faults", "data_digest",
 )
+
+
+#: The fuzz layout's source/sink model, derived from the concrete machine:
+#: code page 0 -> frame 0, data pages -> frames 1..DATA_PAGES, the last
+#: data page is the secret (weight) window, and the shared-IO window sits
+#: at frames ``model_dram_pages..`` under the model core's physical map.
+FUZZ_SOURCES = SourceSinkModel.for_guest_layout(
+    code_pages=1,
+    data_pages=DATA_PAGES,
+    secret_data_pages=1,
+    io_pages=IO_PAGES,
+    data_base_frame=1,
+    io_base_frame=64,   # model_dram_pages in fuzz_guillotine_config()
+)
+
+#: Deterministic non-zero fill planted into the secret page by the second
+#: noninterference probe (golden-ratio multiplicative pattern).
+_SECRET_STRIDE = 0x9E3779B97F4A7C15
 
 
 def fuzz_guillotine_config() -> MachineConfig:
@@ -189,10 +227,98 @@ class ProgramOutcome:
     cross_compared: bool
     violations: tuple[OracleViolation, ...]
     coverage: frozenset[str]
+    #: Flow kinds the *definite-mode* taint pass reported (report-grade).
+    taint_flows: tuple[str, ...] = ()
+    #: ``True`` = may-mode analysis certified zero flows AND the two
+    #: secret-differing probes were observably identical; ``False`` =
+    #: flows were predicted (no claim); ``None`` = probes skipped.
+    noninterference: bool | None = None
 
     @property
     def clean(self) -> bool:
         return not self.violations
+
+
+#: Hypervisor/world-observable fields compared by the noninterference
+#: probe.  Registers and the data-page digest are deliberately absent:
+#: a guest may hold its own secrets privately — only *egress* must match.
+NONINTERFERENCE_FIELDS = (
+    "state", "steps", "cycles", "faults", "timer_fires",
+    "doorbell_accepted", "doorbell_throttled", "log_len", "log_digest",
+)
+
+
+@dataclass(frozen=True)
+class ProbeObservation:
+    """What the hypervisor/world can see of one noninterference probe."""
+
+    state: str
+    steps: int
+    cycles: int
+    faults: int
+    timer_fires: int
+    doorbell_accepted: int
+    doorbell_throttled: int
+    log_len: int
+    log_digest: str
+    io_digest: str
+
+
+def secret_fill(variant: int) -> list[int]:
+    """The secret-page contents for probe ``variant`` (0 = all zeros)."""
+    if variant == 0:
+        return [0] * PAGE_SIZE
+    mask = (1 << 64) - 1
+    return [(_SECRET_STRIDE * (variant + index + 1)) & mask
+            for index in range(PAGE_SIZE)]
+
+
+def noninterference_probe(
+    words: Sequence[int],
+    variant: int,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ProbeObservation:
+    """Execute ``words`` on the Guillotine machine with the IO window
+    mapped and the secret page pre-filled with :func:`secret_fill`.
+
+    The fill is planted directly into the DRAM bank (no bus traffic, no
+    log events), so two probes differ in *nothing* but the secret bytes.
+    """
+    if len(words) > PAGE_SIZE:
+        raise ValueError(f"fuzz programs are capped at {PAGE_SIZE} words")
+    machine = build_guillotine_machine(fuzz_guillotine_config())
+    core = machine.model_cores[0]
+    program = Program(list(words), {})
+    layout = machine.load_program(
+        core, program, data_pages=DATA_PAGES, map_io_region=True
+    )
+    bank = machine.banks["model_dram"]
+    # Under the fuzz layout the mapping is identity (code frame 0, data
+    # frames 1..DATA_PAGES), so the secret page's physical bank address
+    # equals SECRET_VADDR.
+    bank.load_words(SECRET_VADDR, secret_fill(variant))
+    if machine.control_bus is not None:
+        machine.control_bus.lockdown_mmu(
+            core.name, 0, layout["code_pages"] - 1
+        )
+    core.resume()
+    steps = core.run(max_steps=max_steps)
+    io_bank = machine.banks["io_dram"]
+    last = machine.log.last()
+    lapic = machine.lapics.get("hv_core0")
+    return ProbeObservation(
+        state=core.state.name,
+        steps=steps,
+        cycles=machine.clock.now,
+        faults=core.faults,
+        timer_fires=core.timer_fires,
+        doorbell_accepted=lapic.accepted if lapic is not None else 0,
+        doorbell_throttled=lapic.throttled if lapic is not None else 0,
+        log_len=len(machine.log),
+        log_digest=last.digest if last is not None else "",
+        io_digest=digest_of(io_bank.snapshot()),
+    )
 
 
 def execute_program(
@@ -313,6 +439,7 @@ def _check_admission(words: Sequence[int]) -> bool:
         hypervisor.load_guest(
             Program(list(words), {}), name="fuzzed",
             data_pages=DATA_PAGES, map_io_region=False,
+            sources=FUZZ_SOURCES,
         )
     except GuestRejected:
         return False
@@ -335,9 +462,10 @@ def check_program(
     baseline = execute_program(
         words, machine_kind="baseline", fast_path=True, max_steps=max_steps
     )
-    report = analyze_program(words, name="fuzzed")
+    report = analyze_program(words, name="fuzzed", sources=FUZZ_SOURCES)
     analyzer_errors = tuple(sorted({f.category for f in report.errors}))
     analyzer_warnings = tuple(sorted({f.category for f in report.warnings}))
+    taint_flows = tuple(sorted({f.detail["kind"] for f in report.flows}))
 
     violations: list[OracleViolation] = []
     coverage: set[str] = set()
@@ -410,11 +538,41 @@ def check_program(
             mismatches=tuple(verdict_deltas),
         ))
 
+    # -- oracle 4: taint soundness (noninterference) -------------------
+    may_result = analyze_taint(words, model=FUZZ_SOURCES, may_mode=True)
+    probe_a = noninterference_probe(words, 0, max_steps=max_steps)
+    probe_b = noninterference_probe(words, 1, max_steps=max_steps)
+    probe_deltas = tuple(
+        (name, repr(getattr(probe_a, name)), repr(getattr(probe_b, name)))
+        for name in NONINTERFERENCE_FIELDS + ("io_digest",)
+        if getattr(probe_a, name) != getattr(probe_b, name)
+    )
+    noninterference: bool | None
+    if may_result.clean:
+        noninterference = not probe_deltas
+        if probe_deltas:
+            violations.append(OracleViolation(
+                oracle="taint",
+                reason="analyzer certified zero flows but two runs "
+                       "differing only in the secret page are "
+                       "distinguishable (static taint unsoundness)",
+                mismatches=probe_deltas,
+            ))
+        else:
+            coverage.add("taint:noninterference")
+    else:
+        # Flows predicted: differing probes confirm the prediction,
+        # identical probes just mean the over-approximation was safe.
+        noninterference = False
+        coverage.add("taint:interference" if probe_deltas
+                     else "taint:overapprox")
+
     # -- coverage tokens ----------------------------------------------
     coverage.add(f"state:{fast.state}")
     coverage.update(f"op:{name}" for name in static_ops)
     coverage.update(f"analyzer:{cat}" for cat in analyzer_errors)
     coverage.update(f"analyzer:warn:{cat}" for cat in analyzer_warnings)
+    coverage.update(f"taint:flow:{kind}" for kind in taint_flows)
     fault = _fault_class(fast.last_fault)
     if fault is not None:
         coverage.add(f"fault:{fault}")
@@ -438,6 +596,8 @@ def check_program(
         cross_compared=benign,
         violations=tuple(violations),
         coverage=frozenset(coverage),
+        taint_flows=taint_flows,
+        noninterference=noninterference,
     )
 
 

@@ -65,7 +65,10 @@ from repro.hw.memory import PAGE_SIZE
 from repro.physical.isolation import IsolationLevel
 
 #: Legal guest-verification policies (the ``verify_guests`` knob).
-VERIFY_POLICIES = ("enforce", "warn", "off")
+#: ``enforce-flows`` is ``enforce`` plus information-flow strictness: any
+#: taint flow at all — even a hypervisor-mediated mailbox store, which is
+#: only WARNING severity — refuses the guest.
+VERIFY_POLICIES = ("enforce", "enforce-flows", "warn", "off")
 
 #: Cycles charged for dispatching one serviced interrupt.
 HANDLER_BASE_COST = 40
@@ -248,6 +251,7 @@ class GuillotineHypervisor:
         base_vpn: int = 0,
         lockdown: bool = True,
         map_io_region: bool = True,
+        sources=None,
     ) -> tuple[Core, dict]:
         """Admit a guest binary onto a model core — or refuse it.
 
@@ -256,8 +260,14 @@ class GuillotineHypervisor:
         before a single word reaches model DRAM.  Under the ``enforce``
         policy any error-severity finding raises
         :class:`~repro.errors.GuestRejected` (carrying the findings);
+        ``enforce-flows`` additionally refuses any guest whose report
+        carries information-flow findings of *any* severity (statically
+        certified no-secret→egress, the paper's strongest admission bar);
         under ``warn`` the findings are logged and the load proceeds;
-        under ``off`` the analyzer is skipped entirely.  Contrast
+        under ``off`` the analyzer is skipped entirely.  ``sources`` is an
+        optional :class:`repro.analysis.taint.SourceSinkModel` describing
+        where this guest's secrets live and where egress is possible (the
+        default is the timer-only model).  Contrast
         :meth:`repro.baseline.hypervisor.TraditionalHypervisor.install_guest`,
         which never looks at what it loads.
         """
@@ -267,24 +277,31 @@ class GuillotineHypervisor:
 
             report = analyze_program(
                 program, name=name, base_address=base_vpn * PAGE_SIZE,
+                sources=sources,
             )
             self.last_admission_report = report
-            verdict = "admitted" if not report.errors else (
-                "rejected" if self.verify_guests == "enforce" else "flagged"
-            )
+            flagged = bool(report.errors)
+            if self.verify_guests == "enforce-flows":
+                flagged = flagged or bool(report.flows)
+            refuse = flagged and self.verify_guests in (
+                "enforce", "enforce-flows")
+            verdict = ("admitted" if not flagged
+                       else "rejected" if refuse else "flagged")
             self.machine.log.record(
                 "hv", CATEGORY_ADMISSION,
                 guest=name, core=core.name, policy=self.verify_guests,
                 verdict=verdict, errors=len(report.errors),
                 warnings=len(report.warnings),
+                flows=len(report.flows),
                 categories=sorted(report.categories()),
             )
-            if report.errors and self.verify_guests == "enforce":
+            if refuse:
                 self.guests_rejected += 1
-                worst = report.errors[0]
+                worst = (report.errors or report.flows)[0]
                 raise GuestRejected(
                     f"guest {name!r} refused by static verifier: "
-                    f"{len(report.errors)} error finding(s), first is "
+                    f"{len(report.errors)} error finding(s), "
+                    f"{len(report.flows)} information flow(s), first is "
                     f"[{worst.category}] pc={worst.pc}: {worst.message}",
                     findings=report.findings,
                 )

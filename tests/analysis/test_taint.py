@@ -1,0 +1,391 @@
+"""The information-flow taint analyzer: flows, witnesses, admission, cache.
+
+Layout used throughout (the fuzz layout): one code page at vaddr 0, two
+data pages at vaddr 64, the second data page (vaddr 128) is the secret
+window, the shared-IO window starts at vaddr 192.  Physical frames: code 0,
+data 1-2 (secret = frame 2), IO 64-67.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analysis_cache_stats,
+    analyze_program,
+    analyze_taint,
+    registered_passes,
+    reset_analysis_cache,
+)
+from repro.analysis.taint import (
+    SourceSinkModel,
+    TIMER_LABEL,
+    flow_severity,
+    taint_join,
+    taint_source,
+    taint_through,
+)
+from repro.errors import GuestRejected
+from repro.hv.hypervisor import GuillotineHypervisor
+from repro.hw import isa
+from repro.hw.isa import Program, assemble
+from repro.hw.machine import build_guillotine_machine
+
+SECRET_VADDR = 128
+IO_VADDR = 192
+
+MODEL = SourceSinkModel.for_guest_layout(
+    code_pages=1, data_pages=2, secret_data_pages=1, io_pages=4,
+    data_base_frame=1, io_base_frame=64,
+)
+
+
+def taint_of(items, **kwargs):
+    return analyze_taint(assemble(items).words, model=MODEL, **kwargs)
+
+
+def kinds(result):
+    return sorted({flow.kind for flow in result.flows})
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_analysis_cache()
+    yield
+    reset_analysis_cache()
+
+
+class TestRegistryOrder:
+    def test_passes_iterate_in_sorted_name_order(self):
+        names = list(registered_passes())
+        assert names == sorted(names)
+
+    def test_taint_pass_is_registered(self):
+        assert "taint-flows" in registered_passes()
+
+
+class TestLatticeBasics:
+    def test_join_keeps_minimal_chain_per_label(self):
+        a = (("weights", (1, 2, 3)),)
+        b = (("weights", (5, 6)),)
+        assert taint_join(a, b) == (("weights", (5, 6)),)
+
+    def test_join_unions_labels(self):
+        joined = taint_join(taint_source("weights", 1),
+                            taint_source(TIMER_LABEL, 2))
+        assert [label for label, _ in joined] == [TIMER_LABEL, "weights"]
+
+    def test_through_extends_chain_once(self):
+        vec = taint_through(taint_source("weights", 1), 2)
+        assert vec == (("weights", (1, 2)),)
+        # A pc already on the chain is never appended again (loops).
+        assert taint_through(vec, 2) == vec
+
+
+class TestFlowKinds:
+    def test_exfil_mailbox_with_witness(self):
+        result = taint_of([
+            isa.movi(1, SECRET_VADDR),
+            isa.load(2, 1, 0),
+            isa.movi(3, IO_VADDR),
+            isa.store(2, 3, 0),
+            isa.halt(),
+        ])
+        assert kinds(result) == ["exfil-mailbox"]
+        flow = result.flows[0]
+        assert flow.labels == ("weights",)
+        assert flow.witness == (1, 3)
+        assert flow.sink_pc == 3
+
+    def test_exfil_doorbell(self):
+        result = taint_of([
+            isa.movi(1, SECRET_VADDR),
+            isa.load(2, 1, 0),
+            isa.doorbell(2),
+            isa.halt(),
+        ])
+        assert "exfil-doorbell" in kinds(result)
+
+    def test_address_channel_on_secret_indexed_load(self):
+        result = taint_of([
+            isa.movi(1, SECRET_VADDR),
+            isa.load(2, 1, 0),
+            isa.movi(3, 64),
+            isa.add(3, 3, 2),
+            isa.load(4, 3, 0),
+            isa.halt(),
+        ])
+        assert "address-channel" in kinds(result)
+
+    def test_branch_channel_and_covert_doorbell(self):
+        result = taint_of([
+            isa.movi(1, SECRET_VADDR),
+            isa.load(2, 1, 0),
+            isa.beq(2, 0, "quiet"),
+            isa.doorbell(3),
+            "quiet",
+            isa.halt(),
+        ])
+        assert "branch-channel" in kinds(result)
+        assert "covert-doorbell" in kinds(result)
+        covert = next(f for f in result.flows if f.kind == "covert-doorbell")
+        assert covert.witness[-1] == 3          # the doorbell pc
+        assert 2 in covert.witness              # via the branch
+
+    def test_timing_measurement_needs_two_reads(self):
+        result = taint_of([
+            isa.rdcycle(1),
+            isa.load(2, 0, 64),
+            isa.rdcycle(3),
+            isa.sub(4, 3, 1),
+            isa.halt(),
+        ])
+        assert "timing-measurement" in kinds(result)
+        # Subtracting a timer read from itself measures nothing.
+        clean = taint_of([
+            isa.rdcycle(1),
+            isa.sub(2, 1, 1),
+            isa.halt(),
+        ])
+        assert "timing-measurement" not in kinds(clean)
+
+    def test_map_alias_onto_secret_frame(self):
+        result = taint_of([
+            isa.movi(1, 9),
+            isa.movi(2, 2),     # frame 2 = the secret page's frame
+            isa.map_page(1, 2, isa.PERM_R),
+            isa.halt(),
+        ])
+        assert "map-alias" in kinds(result)
+
+    def test_map_of_plain_frame_is_not_an_alias(self):
+        result = taint_of([
+            isa.movi(1, 9),
+            isa.movi(2, 1),     # frame 1: plain data, neither window
+            isa.map_page(1, 2, isa.PERM_R),
+            isa.halt(),
+        ])
+        assert "map-alias" not in kinds(result)
+
+
+class TestBenignPrograms:
+    BENIGN = [
+        isa.movi(1, 64),
+        isa.movi(2, 4),
+        "loop",
+        isa.load(3, 1, 0),
+        isa.add(4, 4, 3),
+        isa.addi(1, 1, 1),
+        isa.addi(2, 2, -1),
+        isa.bne(2, 0, "loop"),
+        isa.store(4, 1, 0),
+        isa.halt(),
+    ]
+
+    def test_clean_in_definite_mode(self):
+        assert taint_of(self.BENIGN).clean
+
+    def test_straight_line_certified_in_may_mode(self):
+        # May mode widens the loop's address register over the secret
+        # window (a sound over-approximation, so no certificate for
+        # BENIGN there); the straight-line equivalent stays certified.
+        assert taint_of([
+            isa.movi(1, 64),
+            isa.load(3, 1, 0),
+            isa.add(4, 3, 3),
+            isa.store(4, 1, 1),
+            isa.halt(),
+        ], may_mode=True).clean
+
+
+class TestModes:
+    #: A store through a completely unknown address (register never
+    #: written: TOP in definite mode, 0 in may mode's concrete entry).
+    TOP_STORE = [
+        isa.load(2, 5, 0),
+        isa.store(2, 5, 0),
+        isa.halt(),
+    ]
+
+    def test_definite_mode_treats_top_address_as_no_evidence(self):
+        result = taint_of(self.TOP_STORE)
+        assert "exfil-mailbox" not in kinds(result)
+
+    def test_may_mode_over_approximates_top_addresses(self):
+        # May mode is the soundness oracle: an unknown address *may* hit
+        # the secret window and *may* hit egress.
+        result = taint_of([
+            isa.movi(1, 1),
+            isa.movi(2, 0),
+            "spin",                     # widen r3 to TOP
+            isa.add(3, 3, 1),
+            isa.addi(2, 2, 1),
+            isa.blt(2, 1, "spin"),
+            isa.load(4, 3, 0),
+            isa.store(4, 3, 0),
+            isa.halt(),
+        ], may_mode=True)
+        assert "exfil-mailbox" in kinds(result)
+
+    def test_flow_severity_split(self):
+        result = taint_of([
+            isa.movi(1, SECRET_VADDR),
+            isa.load(2, 1, 0),
+            isa.movi(3, IO_VADDR),
+            isa.store(2, 3, 0),
+            isa.doorbell(2),
+            isa.halt(),
+        ])
+        by_kind = {f.kind: flow_severity(f).name for f in result.flows}
+        # The mailbox is the hypervisor-mediated, sanctioned egress path:
+        # flag it, but do not block plain `enforce` admission.
+        assert by_kind["exfil-mailbox"] == "WARNING"
+        assert by_kind["exfil-doorbell"] == "ERROR"
+
+
+class TestWitnessMinimality:
+    CASES = {
+        "exfil-hop": [
+            isa.movi(1, SECRET_VADDR),
+            isa.load(2, 1, 0),
+            isa.mov(3, 2),
+            isa.movi(4, IO_VADDR),
+            isa.store(3, 4, 0),
+            isa.halt(),
+        ],
+        "covert": [
+            isa.movi(1, SECRET_VADDR),
+            isa.load(2, 1, 0),
+            isa.beq(2, 0, "quiet"),
+            isa.doorbell(3),
+            "quiet",
+            isa.halt(),
+        ],
+        "timing": [
+            isa.rdcycle(1),
+            isa.load(2, 0, 64),
+            isa.rdcycle(3),
+            isa.sub(4, 3, 1),
+            isa.halt(),
+        ],
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_every_witness_hop_is_load_bearing(self, name):
+        """NOP-ing any single pc on a witness path removes the flow."""
+        words = list(assemble(self.CASES[name]).words)
+        result = analyze_taint(tuple(words), model=MODEL)
+        assert result.flows
+        nop = isa.encode(isa.nop())
+        for flow in result.flows:
+            for pc in flow.witness:
+                mutated = list(words)
+                mutated[pc] = nop
+                after = analyze_taint(tuple(mutated), model=MODEL)
+                survivors = {
+                    (f.kind, f.sink_pc, f.witness) for f in after.flows
+                }
+                assert (flow.kind, flow.sink_pc, flow.witness) not in \
+                    survivors, (
+                        f"{name}: witness hop pc={pc} of {flow.kind} "
+                        f"was not load-bearing"
+                    )
+
+
+class TestReportIntegration:
+    EXFIL = [
+        isa.movi(1, SECRET_VADDR),
+        isa.load(2, 1, 0),
+        isa.movi(3, IO_VADDR),
+        isa.store(2, 3, 0),
+        isa.halt(),
+    ]
+
+    def test_flows_surface_in_the_report(self):
+        report = analyze_program(
+            assemble(self.EXFIL), name="exfil", sources=MODEL)
+        assert not report.no_flows
+        assert [f.detail["kind"] for f in report.flows] == ["exfil-mailbox"]
+        payload = report.to_dict()
+        assert payload["no_flows"] is False
+        assert payload["flows"][0]["witness"] == [1, 3]
+
+    def test_default_model_is_timer_only(self):
+        report = analyze_program(assemble(self.EXFIL), name="exfil")
+        assert report.no_flows
+
+
+class TestAnalysisCache:
+    WORDS = tuple(assemble([isa.movi(1, 7), isa.halt()]).words)
+
+    def test_identical_image_hits_the_cache(self):
+        analyze_program(self.WORDS, name="g", sources=MODEL)
+        before = analysis_cache_stats()
+        report = analyze_program(self.WORDS, name="g", sources=MODEL)
+        after = analysis_cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+        assert report.name == "g"
+
+    def test_differing_sources_miss(self):
+        analyze_program(self.WORDS, name="g", sources=MODEL)
+        analyze_program(self.WORDS, name="g", sources=None)
+        assert analysis_cache_stats()["misses"] == 2
+
+    def test_instruction_lists_are_uncacheable(self):
+        analyze_program([isa.movi(1, 7), isa.halt()], name="g")
+        assert analysis_cache_stats()["uncacheable"] == 1
+
+    def test_cached_reports_are_isolated_copies(self):
+        first = analyze_program(self.WORDS, name="g")
+        first.findings.append(None)
+        second = analyze_program(self.WORDS, name="g")
+        assert None not in second.findings
+
+
+class TestEnforceFlowsAdmission:
+    EXFIL = [
+        isa.movi(1, SECRET_VADDR),
+        isa.load(2, 1, 0),
+        isa.movi(3, IO_VADDR),
+        isa.store(2, 3, 0),
+        isa.halt(),
+    ]
+
+    def _machine(self):
+        from repro.fuzz.oracles import fuzz_guillotine_config
+
+        return build_guillotine_machine(fuzz_guillotine_config())
+
+    def test_enforce_admits_warning_only_flows(self):
+        hv = GuillotineHypervisor(self._machine(), verify_guests="enforce")
+        hv.load_guest(Program(list(assemble(self.EXFIL).words), {}),
+                      name="exfil", data_pages=2, sources=MODEL)
+        assert hv.guests_verified == 1
+
+    def test_enforce_flows_refuses_the_same_guest(self):
+        hv = GuillotineHypervisor(
+            self._machine(), verify_guests="enforce-flows")
+        with pytest.raises(GuestRejected) as excinfo:
+            hv.load_guest(Program(list(assemble(self.EXFIL).words), {}),
+                          name="exfil", data_pages=2, sources=MODEL)
+        assert "flow" in str(excinfo.value)
+        assert hv.guests_rejected == 1
+
+    def test_enforce_flows_still_admits_benign_guests(self):
+        hv = GuillotineHypervisor(
+            self._machine(), verify_guests="enforce-flows")
+        hv.load_guest(
+            Program(list(assemble([isa.movi(1, 5), isa.halt()]).words), {}),
+            name="benign", data_pages=2, sources=MODEL)
+        assert hv.guests_verified == 1
+
+    def test_admission_log_counts_flows(self):
+        machine = self._machine()
+        hv = GuillotineHypervisor(machine, verify_guests="enforce")
+        hv.load_guest(Program(list(assemble(self.EXFIL).words), {}),
+                      name="exfil", data_pages=2, sources=MODEL)
+        record = machine.log.by_category("hv.admission")[-1]
+        assert record.detail["flows"] == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            GuillotineHypervisor(self._machine(), verify_guests="strict")

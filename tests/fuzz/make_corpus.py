@@ -7,7 +7,8 @@ Run from the repository root after an *intentional* behaviour change::
 Each artifact freezes one hand-picked program per fuzzer feature class —
 benign ALU, data-region memory traffic, a counted loop, self-modification
 against the locked code page, a doorbell flood, a timing probe, MMU churn,
-forbidden IO, division by zero, and a raw invalid word — plus two
+forbidden IO, division by zero, a secret->IO exfiltration, a
+branch-on-secret covert sender, and a raw invalid word — plus two
 generator-drawn programs from pinned seeds.  CI replays the directory with
 ``python -m repro replay tests/fuzz/corpus``: any drift in engine timing,
 fault delivery, admission verdicts, or the audit-log hash chain turns into
@@ -19,7 +20,12 @@ Regeneration is deterministic: the same tree always writes the same bytes.
 import json
 import os
 
-from repro.fuzz.gen import DATA_VADDR, ProgramGenerator
+from repro.fuzz.gen import (
+    DATA_VADDR,
+    IO_VADDR,
+    SECRET_VADDR,
+    ProgramGenerator,
+)
 from repro.fuzz.oracles import check_program
 from repro.fuzz.replay import golden_artifact
 from repro.hw import isa
@@ -89,6 +95,26 @@ def _curated() -> dict[str, list]:
             isa.movi(1, 100),
             isa.movi(2, 0),
             isa.div(3, 1, 2),
+            isa.halt(),
+        ],
+        # Seeded exfiltration: secret page -> shared-IO window.  The taint
+        # analyzer must report an exfil-mailbox flow with a witness path;
+        # the noninterference probes observe differing IO bytes.
+        "exfil": [
+            isa.movi(1, SECRET_VADDR),
+            isa.load(2, 1, 0),
+            isa.movi(3, IO_VADDR),
+            isa.store(2, 3, 0),
+            isa.halt(),
+        ],
+        # Seeded covert channel: branch on a secret word, doorbell on one
+        # arm only — the doorbell *rate* encodes the secret bit.
+        "covert": [
+            isa.movi(1, SECRET_VADDR),
+            isa.load(2, 1, 0),
+            isa.beq(2, 0, "quiet"),
+            isa.doorbell(3),
+            "quiet",
             isa.halt(),
         ],
     }

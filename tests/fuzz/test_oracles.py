@@ -1,7 +1,7 @@
 """Property tests for the differential oracles (hypothesis-driven).
 
 The central property: for *any* generated program — adversarial segments,
-mutated corpus entries, raw garbage words — the three oracles must agree
+mutated corpus entries, raw garbage words — the four oracles must agree
 that the tree is healthy.  Each hypothesis example draws a generator seed,
 so one run of this module pushes well over 200 distinct programs through
 the full differential harness.  ``derandomize=True`` keeps the examples a
