@@ -384,8 +384,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.parallel:
         return _cmd_bench_parallel(args)
 
-    results, timing = run_bench_fabric(quick=args.quick, jobs=args.jobs)
-    report = suite_report(results, quick=args.quick)
+    traces = args.traces != "off"
+    results, timing = run_bench_fabric(quick=args.quick, jobs=args.jobs,
+                                       traces=traces)
+    report = suite_report(results, quick=args.quick, traces=traces)
 
     print(f"{'benchmark':<16}{'machine':<12}{'steps/s':>12}{'cycles/s':>14}"
           f"{'speedup':>9}  {'checks'}")
@@ -407,6 +409,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     out = args.out or "BENCH_hw.json"
     write_report(report, out)
     print(f"wrote {out}")
+    if not args.no_ledger:
+        from repro.core.ledger import append_entry
+
+        entry = append_entry(report, args.ledger)
+        print(f"ledger: appended {entry['git_rev']} "
+              f"(speedup {entry['speedup']:.2f}x, traces "
+              f"{'on' if entry['traces'] else 'off'}) to {args.ledger}")
     if timing["jobs"] > 1:
         print(_timing_summary("bench", timing, "rows"))
     if not totals["all_deterministic"]:
@@ -417,6 +426,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("error: fast path diverged from the reference interpreter",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from repro.core.ledger import check_regression, load_ledger
+
+    document = load_ledger(args.path)
+    entries = document["entries"]
+    if not entries:
+        print(f"{args.path}: empty ledger")
+        return 0
+
+    print(f"{'rev':<10}{'quick':<7}{'traces':<8}{'speedup':>9}"
+          f"{'e1':>8}{'trace rate':>12}  {'checks'}")
+    for entry in entries[-args.tail:]:
+        e1 = (f"{entry['e1_speedup']:.2f}x"
+              if entry.get("e1_speedup") else "-")
+        checks = ("ok" if entry["all_deterministic"]
+                  and entry["all_cycles_match"] else "FAILED")
+        print(f"{entry['git_rev']:<10}"
+              f"{str(entry['quick']).lower():<7}"
+              f"{'on' if entry['traces'] else 'off':<8}"
+              f"{entry['speedup']:>8.2f}x{e1:>8}"
+              f"{entry['trace_step_rate']:>11.1%}  {checks}")
+
+    if args.check:
+        problems = check_regression(args.path)
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("regression gate: ok")
     return 0
 
 
@@ -624,6 +665,29 @@ def main(argv: list[str] | None = None) -> int:
         "--parallel", action="store_true",
         help="run the repro.parallel/1 scaling sweep (jobs in {1,2,4,cores} "
              "over a chaos-campaign workload) instead of the suite")
+    bench_parser.add_argument(
+        "--traces", choices=("on", "off"), default="on",
+        help="superblock trace compilation for the fast runs (default on; "
+             "'off' measures the decoded-cache fast path alone — simulated "
+             "cycles must be identical either way)")
+    bench_parser.add_argument(
+        "--ledger", default="BENCH_ledger.json",
+        help="performance ledger to append the summary row to")
+    bench_parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="skip appending this run to the performance ledger")
+    ledger_parser = subparsers.add_parser(
+        "ledger", help="inspect the committed performance ledger")
+    ledger_parser.add_argument(
+        "--path", default="BENCH_ledger.json",
+        help="ledger file (default BENCH_ledger.json)")
+    ledger_parser.add_argument(
+        "--tail", type=int, default=10,
+        help="entries to display (default 10)")
+    ledger_parser.add_argument(
+        "--check", action="store_true",
+        help="fail if the newest entry regressed >10%% vs the previous "
+             "same-configuration entry (the CI gate)")
     chaos_parser = subparsers.add_parser(
         "chaos", help="seeded fault-injection campaigns + invariant checks")
     chaos_parser.add_argument(
@@ -681,6 +745,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "analyze": _cmd_analyze,
         "bench": _cmd_bench,
+        "ledger": _cmd_ledger,
         "chaos": _cmd_chaos,
         "fuzz": _cmd_fuzz,
         "replay": _cmd_replay,

@@ -23,16 +23,28 @@ class Ept:
     def __init__(self) -> None:
         self._map: dict[int, tuple[int, bool]] = {}  # gfn -> (hfn, writable)
         self.violations = 0
+        #: Bumped on every mapping change.  Mirrors ``Mmu.generation``: a
+        #: guest TLB entry filled through this EPT caches the combined
+        #: (mmu, ept) generation pair, so cached second-level translations
+        #: can never outlive hypervisor authority (``Core._translate``).
+        self.generation = 0
 
     def map_range(self, guest_frame: int, host_frame: int, count: int,
                   writable: bool = True) -> None:
         """Map ``count`` consecutive guest frames starting at ``guest_frame``."""
         for offset in range(count):
             self._map[guest_frame + offset] = (host_frame + offset, writable)
+        self.generation += 1
 
     def unmap_range(self, guest_frame: int, count: int) -> None:
         for offset in range(count):
             self._map.pop(guest_frame + offset, None)
+        self.generation += 1
+
+    def frame_entry(self, guest_frame: int) -> tuple[int, bool] | None:
+        """The ``(host_frame, writable)`` pair for one guest frame, or
+        ``None`` when unmapped (TLB-fill authority snapshot)."""
+        return self._map.get(guest_frame)
 
     def translate(self, gpa: int, write: bool = False) -> int:
         """Guest-physical word address -> host-physical word address."""

@@ -103,6 +103,10 @@ class TraditionalHypervisor:
         # with missing wires.
         self.ept.map_range(0, 0, self.guest_frames)
         core.second_level = self.ept.translate
+        # Exposing the Ept object itself (not just the translate callable)
+        # lets the core cache generation-guarded second-level translations
+        # and trace-compile guest code (Core._translate, Core.run).
+        core.second_level_source = self.ept
         core.sensitive_trap = self._sensitive_trap
         layout = self.machine.load_program(
             core, program, data_pages=data_pages, map_io_region=False

@@ -56,6 +56,22 @@ def interpreter_mode(fast: bool):
         Core.fast_path = previous
 
 
+@contextmanager
+def trace_mode(enabled: bool):
+    """Force trace compilation on or off for every :class:`Core` built
+    inside the block (same class-default mechanism as
+    :func:`interpreter_mode`).  Traces only engage under the fast path,
+    so ``trace_mode(False)`` inside ``interpreter_mode(True)`` measures
+    the decoded-cache fast path alone — the ``--traces off`` baseline the
+    CI bench-smoke job compares cycles against."""
+    previous = Core.trace_jit
+    Core.trace_jit = enabled
+    try:
+        yield
+    finally:
+        Core.trace_jit = previous
+
+
 # ---------------------------------------------------------------------------
 # Workload programs
 # ---------------------------------------------------------------------------
@@ -69,6 +85,30 @@ def alu_loop_program(iterations: int) -> Program:
         isa.addi(1, 1, 1),
         isa.xor(4, 1, 2),
         isa.add(3, 3, 4),
+        isa.blt(1, 2, "loop"),
+        isa.halt(),
+    ])
+
+
+def e1_warmup_program(iterations: int, mask: int) -> Program:
+    """The E1 warm-up kernel: mixed register arithmetic and strided loads,
+    shaped like real model inner-loop code (ALU work feeding addresses,
+    a load per iteration, a running checksum).  Heavy enough that the E1
+    row actually measures the interpreter instead of sandbox bring-up.
+    r7 carries the data-region base (poked by the runner)."""
+    return assemble([
+        isa.movi(1, 0),              # loop counter
+        isa.movi(2, iterations),
+        isa.movi(8, mask),           # offset wrap mask (span - 1)
+        isa.movi(9, 0),              # raw offset accumulator
+        "loop",
+        isa.and_(5, 9, 8),
+        isa.add(6, 7, 5),
+        isa.load(4, 6, 0),
+        isa.add(3, 3, 4),            # running checksum
+        isa.xor(10, 3, 1),
+        isa.addi(9, 9, 17),
+        isa.addi(1, 1, 1),
         isa.blt(1, 2, "loop"),
         isa.halt(),
     ])
@@ -111,12 +151,22 @@ class RunSample:
     wall_seconds: float
     decoded_hits: int
     decoded_misses: int
+    trace_hits: int = 0
+    trace_steps: int = 0
+    trace_bailouts: int = 0
 
 
 def _core_counters(cores) -> tuple[int, int]:
     hits = sum(core.decoded_hits for core in cores)
     misses = sum(core.decoded_misses for core in cores)
     return hits, misses
+
+
+def _trace_counters(cores) -> tuple[int, int, int]:
+    hits = sum(core.trace_hits for core in cores)
+    steps = sum(core.trace_steps for core in cores)
+    bailouts = sum(core.trace_bailouts for core in cores)
+    return hits, steps, bailouts
 
 
 def _run_single_core(machine, core, program: Program, *, pokes=None,
@@ -134,7 +184,9 @@ def _run_single_core(machine, core, program: Program, *, pokes=None,
     steps = core.run(max_steps=max_steps)
     wall = time.perf_counter() - start
     hits, misses = _core_counters([core])
-    return RunSample(steps, machine.clock.now, wall, hits, misses)
+    trace_hits, trace_steps, trace_bailouts = _trace_counters([core])
+    return RunSample(steps, machine.clock.now, wall, hits, misses,
+                     trace_hits, trace_steps, trace_bailouts)
 
 
 def _alu_loop(machine_name: str, iterations: int) -> RunSample:
@@ -191,25 +243,24 @@ def _e1_harness(machine_name: str, iterations: int) -> RunSample:
     """Full E1: sandbox bring-up, a GISA warm-up kernel, model load,
     mediated service traffic, and the invariant sweep."""
     from repro.core.sandbox import GuillotineSandbox
-    from repro.model.programs import checksum_program
     from repro.net.network import Host
 
     start = time.perf_counter()
     steps = 0
     cycles = 0
     hits = misses = 0
+    thits = tsteps = tbails = 0
     for index in range(iterations):
         sandbox = GuillotineSandbox.create()
         machine = sandbox.machine
         # Real machine code through the fetch/translate path, on a spare
         # model core, before the console locks the MMUs down.
         core = machine.model_cores[-1]
-        layout = machine.load_program(core, checksum_program(128),
+        layout = machine.load_program(core, e1_warmup_program(1_500, 127),
                                       data_pages=3)
-        core.poke_register(1, layout["data_vaddr"])
-        core.poke_register(2, layout["data_vaddr"] + 128)
+        core.poke_register(7, layout["data_vaddr"])
         core.resume()
-        steps += core.run(max_steps=10_000)
+        steps += core.run(max_steps=50_000)
         sandbox.network.attach(Host(f"bench-user-{index}"))
         sandbox.console.load_model(f"bench-model-{index}")
         service = sandbox.build_service(replicas=2)
@@ -226,8 +277,13 @@ def _e1_harness(machine_name: str, iterations: int) -> RunSample:
         run_hits, run_misses = _core_counters(cores)
         hits += run_hits
         misses += run_misses
+        run_thits, run_tsteps, run_tbails = _trace_counters(cores)
+        thits += run_thits
+        tsteps += run_tsteps
+        tbails += run_tbails
     wall = time.perf_counter() - start
-    return RunSample(steps, cycles, wall, hits, misses)
+    return RunSample(steps, cycles, wall, hits, misses,
+                     thits, tsteps, tbails)
 
 
 def _baseline():
@@ -267,6 +323,14 @@ class BenchResult:
     deterministic: bool
     cycles_match_slow: bool
     decoded_hit_rate: float
+    trace_hits: int = 0
+    trace_steps: int = 0
+    trace_bailouts: int = 0
+
+    @property
+    def trace_step_rate(self) -> float:
+        """Fraction of retired steps executed inside compiled traces."""
+        return self.trace_steps / self.steps if self.steps else 0.0
 
     @property
     def steps_per_second(self) -> float:
@@ -299,25 +363,33 @@ class BenchResult:
             "deterministic": self.deterministic,
             "cycles_match_slow": self.cycles_match_slow,
             "decoded_hit_rate": round(self.decoded_hit_rate, 4),
+            "trace_hits": self.trace_hits,
+            "trace_steps": self.trace_steps,
+            "trace_step_rate": round(self.trace_step_rate, 4),
+            "trace_bailouts": self.trace_bailouts,
         }
 
 
-def run_fast_pair(machine_name: str, runner,
-                  iterations: int) -> tuple[RunSample, RunSample]:
+def run_fast_pair(machine_name: str, runner, iterations: int,
+                  traces: bool = True) -> tuple[RunSample, RunSample]:
     """Two fast-path executions (the determinism check's raw material)."""
-    with interpreter_mode(True):
+    with interpreter_mode(True), trace_mode(traces):
         return runner(machine_name, iterations), runner(machine_name,
                                                         iterations)
 
 
 def run_slow_reference(machine_name: str, runner,
                        iterations: int) -> RunSample:
-    """One reference-interpreter execution (equivalence + speedup base)."""
+    """One reference-interpreter execution (equivalence + speedup base).
+
+    Traces never engage off the fast path (``Core.run`` gates on both),
+    so the reference run needs no ``trace_mode`` wrap."""
     with interpreter_mode(False):
         return runner(machine_name, iterations)
 
 
-def run_one(suite_index: int, iterations: int, mode: str) -> dict:
+def run_one(suite_index: int, iterations: int, mode: str,
+            traces: bool = True) -> dict:
     """The pure, dispatchable bench work unit (one suite row, one
     interpreter mode), returned as spawn-safe sample dicts.
 
@@ -329,7 +401,7 @@ def run_one(suite_index: int, iterations: int, mode: str) -> dict:
 
     name, machine_name, runner, *_ = SUITE[suite_index]
     if mode == "fast":
-        samples = run_fast_pair(machine_name, runner, iterations)
+        samples = run_fast_pair(machine_name, runner, iterations, traces)
     elif mode == "slow":
         samples = (run_slow_reference(machine_name, runner, iterations),)
     else:
@@ -365,26 +437,30 @@ def combine_samples(name: str, machine_name: str, first: RunSample,
                            and first.steps == reference.steps),
         decoded_hit_rate=(first.decoded_hits / decoded_accesses
                           if decoded_accesses else 0.0),
+        trace_hits=first.trace_hits,
+        trace_steps=first.trace_steps,
+        trace_bailouts=first.trace_bailouts,
     )
 
 
-def run_benchmark(name: str, machine_name: str, runner,
-                  iterations: int) -> BenchResult:
+def run_benchmark(name: str, machine_name: str, runner, iterations: int,
+                  traces: bool = True) -> BenchResult:
     """Fast twice (determinism), slow once (equivalence + speedup)."""
-    first, second = run_fast_pair(machine_name, runner, iterations)
+    first, second = run_fast_pair(machine_name, runner, iterations, traces)
     reference = run_slow_reference(machine_name, runner, iterations)
     return combine_samples(name, machine_name, first, second, reference)
 
 
-def run_suite(quick: bool = False) -> list[BenchResult]:
+def run_suite(quick: bool = False, traces: bool = True) -> list[BenchResult]:
     return [
         run_benchmark(name, machine_name, runner,
-                      quick_iterations if quick else iterations)
+                      quick_iterations if quick else iterations, traces)
         for name, machine_name, runner, iterations, quick_iterations in SUITE
     ]
 
 
-def suite_report(results: list[BenchResult], *, quick: bool) -> dict:
+def suite_report(results: list[BenchResult], *, quick: bool,
+                 traces: bool = True) -> dict:
     """Assemble the ``repro.bench/1`` JSON document."""
     fast_wall = sum(result.wall_seconds for result in results)
     slow_wall = sum(result.slow_wall_seconds for result in results)
@@ -393,6 +469,7 @@ def suite_report(results: list[BenchResult], *, quick: bool) -> dict:
     return {
         "schema": BENCH_SCHEMA,
         "quick": quick,
+        "traces": traces,
         "benchmarks": [result.to_dict() for result in results],
         "totals": {
             "steps": total_steps,

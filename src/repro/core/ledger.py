@@ -1,0 +1,162 @@
+"""The committed performance ledger: ``BENCH_ledger.json``.
+
+``BENCH_hw.json`` is a full ``repro.bench/1`` snapshot of *one* run; the
+ledger is the longitudinal view.  Every ``repro bench`` invocation
+appends one summary row — overall speedup, per-machine steps/second,
+decoded/trace hit rates, and the git revision it measured — so the
+repository history carries the interpreter's performance trajectory
+alongside the code that produced it.
+
+The ledger is also the CI regression gate: :func:`check_regression`
+compares the newest entry against the previous entry measured under the
+same configuration (``quick`` × ``traces``) and fails when overall
+speedup dropped by more than :data:`REGRESSION_TOLERANCE`.  Wall-clock
+noise between runners is real, which is why the gate compares the
+speedup *ratio* (fast wall vs reference wall on the same machine in the
+same run) rather than raw steps/second, and why the tolerance is 10%
+rather than 1%.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+
+#: JSON schema identifier for the ledger (bump on incompatible change).
+LEDGER_SCHEMA = "repro.ledger/1"
+
+#: Default ledger path, relative to the current working directory.
+DEFAULT_LEDGER = "BENCH_ledger.json"
+
+#: Maximum tolerated fractional drop in overall speedup between two
+#: consecutive same-configuration entries.
+REGRESSION_TOLERANCE = 0.10
+
+#: Entries kept per (quick, traces) configuration; older rows age out so
+#: the committed file stays reviewable.
+MAX_ENTRIES_PER_CONFIG = 50
+
+
+def git_revision(cwd: str | None = None) -> str:
+    """The short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def entry_from_report(report: dict, *, git_rev: str | None = None) -> dict:
+    """Compress one ``repro.bench/1`` report into a ledger row."""
+    if report.get("schema") != "repro.bench/1":
+        raise ValueError(f"not a repro.bench/1 report: {report.get('schema')!r}")
+    totals = report["totals"]
+    rows = report.get("benchmarks", [])
+
+    steps_per_second: dict[str, float] = {}
+    by_machine: dict[str, dict[str, float]] = {}
+    for row in rows:
+        acc = by_machine.setdefault(row["machine"], {"steps": 0, "wall": 0.0})
+        acc["steps"] += row["steps"]
+        acc["wall"] += row["wall_seconds"]
+    for machine, acc in sorted(by_machine.items()):
+        steps_per_second[machine] = round(
+            acc["steps"] / acc["wall"], 1) if acc["wall"] else 0.0
+
+    total_steps = sum(row["steps"] for row in rows)
+    trace_steps = sum(row.get("trace_steps", 0) for row in rows)
+    decoded_rate = (
+        sum(row["decoded_hit_rate"] * row["steps"] for row in rows)
+        / total_steps if total_steps else 0.0)
+
+    e1 = [row for row in rows if row["name"] == "e1_harness"]
+    return {
+        "git_rev": git_rev if git_rev is not None else git_revision(),
+        "quick": bool(report.get("quick")),
+        "traces": bool(report.get("traces", True)),
+        "speedup": totals["speedup"],
+        "e1_speedup": e1[0]["speedup"] if e1 else None,
+        "steps_per_second": steps_per_second,
+        "decoded_hit_rate": round(decoded_rate, 4),
+        "trace_step_rate": round(
+            trace_steps / total_steps, 4) if total_steps else 0.0,
+        "all_deterministic": totals["all_deterministic"],
+        "all_cycles_match": totals["all_cycles_match"],
+    }
+
+
+def load_ledger(path: str = DEFAULT_LEDGER) -> dict:
+    """The ledger document at ``path``, or a fresh empty one."""
+    if not os.path.exists(path):
+        return {"schema": LEDGER_SCHEMA, "entries": []}
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema") != LEDGER_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown ledger schema {document.get('schema')!r}")
+    return document
+
+
+def _config_key(entry: dict) -> tuple[bool, bool]:
+    return (bool(entry.get("quick")), bool(entry.get("traces", True)))
+
+
+def append_entry(report: dict, path: str = DEFAULT_LEDGER, *,
+                 git_rev: str | None = None) -> dict:
+    """Append one summary row for ``report`` and rewrite the ledger.
+
+    Rows beyond :data:`MAX_ENTRIES_PER_CONFIG` for the new row's
+    configuration age out oldest-first.  Returns the appended entry."""
+    document = load_ledger(path)
+    entry = entry_from_report(report, git_rev=git_rev)
+    document["entries"].append(entry)
+
+    key = _config_key(entry)
+    same = [e for e in document["entries"] if _config_key(e) == key]
+    if len(same) > MAX_ENTRIES_PER_CONFIG:
+        drop = set(map(id, same[:len(same) - MAX_ENTRIES_PER_CONFIG]))
+        document["entries"] = [
+            e for e in document["entries"] if id(e) not in drop]
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entry
+
+
+def check_regression(path: str = DEFAULT_LEDGER, *,
+                     tolerance: float = REGRESSION_TOLERANCE) -> list[str]:
+    """Problems with the newest ledger entry, as human-readable strings.
+
+    The newest entry is compared against the previous entry with the same
+    ``(quick, traces)`` configuration; a speedup drop beyond ``tolerance``
+    — or a failed determinism/equivalence verdict — is a problem.  An
+    empty list means the gate passes (including the trivial cases of an
+    empty ledger or no prior same-configuration entry)."""
+    document = load_ledger(path)
+    entries = document["entries"]
+    if not entries:
+        return []
+    latest = entries[-1]
+    problems = []
+    if not latest.get("all_deterministic"):
+        problems.append("latest entry is not deterministic")
+    if not latest.get("all_cycles_match"):
+        problems.append("latest entry diverged from the reference interpreter")
+
+    previous = [e for e in entries[:-1] if _config_key(e) == _config_key(latest)]
+    if previous:
+        prior = previous[-1]
+        floor = prior["speedup"] * (1.0 - tolerance)
+        if latest["speedup"] < floor:
+            problems.append(
+                f"speedup regressed beyond {tolerance:.0%}: "
+                f"{prior['speedup']:.3f}x ({prior['git_rev']}) -> "
+                f"{latest['speedup']:.3f}x ({latest['git_rev']}), "
+                f"floor {floor:.3f}x")
+    return problems

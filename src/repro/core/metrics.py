@@ -167,12 +167,24 @@ class InterpreterPerf:
     decoded_misses: int
     decoded_evictions: int
     tlb_fastpath_hits: int
+    trace_hits: int
+    trace_steps: int
+    trace_bailouts: int
+    traces_compiled: int
+    trace_invalidations: int
+    trace_evictions: int
     wall_seconds: float
 
     @property
     def decoded_hit_rate(self) -> float:
         accesses = self.decoded_hits + self.decoded_misses
         return self.decoded_hits / accesses if accesses else 0.0
+
+    @property
+    def trace_step_rate(self) -> float:
+        """Fraction of retired instructions executed inside compiled traces."""
+        return (self.trace_steps / self.instructions_retired
+                if self.instructions_retired else 0.0)
 
     @property
     def steps_per_second(self) -> float:
@@ -188,6 +200,13 @@ class InterpreterPerf:
             "decoded_hit_rate": round(self.decoded_hit_rate, 4),
             "decoded_evictions": self.decoded_evictions,
             "tlb_fastpath_hits": self.tlb_fastpath_hits,
+            "trace_hits": self.trace_hits,
+            "trace_steps": self.trace_steps,
+            "trace_step_rate": round(self.trace_step_rate, 4),
+            "trace_bailouts": self.trace_bailouts,
+            "traces_compiled": self.traces_compiled,
+            "trace_invalidations": self.trace_invalidations,
+            "trace_evictions": self.trace_evictions,
             "wall_seconds": round(self.wall_seconds, 4),
             "steps_per_second": round(self.steps_per_second, 1),
         }
@@ -204,6 +223,15 @@ def interpreter_perf(machine, wall_seconds: float) -> InterpreterPerf:
         decoded_evictions=sum(
             bank.decoded_evictions for bank in machine.banks.values()),
         tlb_fastpath_hits=sum(c.tlb_fastpath_hits for c in cores),
+        trace_hits=sum(c.trace_hits for c in cores),
+        trace_steps=sum(c.trace_steps for c in cores),
+        trace_bailouts=sum(c.trace_bailouts for c in cores),
+        traces_compiled=sum(
+            bank.traces_compiled for bank in machine.banks.values()),
+        trace_invalidations=sum(
+            bank.trace_invalidations for bank in machine.banks.values()),
+        trace_evictions=sum(
+            bank.trace_evictions for bank in machine.banks.values()),
         wall_seconds=wall_seconds,
     )
 

@@ -24,6 +24,12 @@ runtime must contain:
                     memory work (interrupt-rate / timing covert channels)
 ``div``             division, including by zero (#DE delivery)
 ``raw``             raw 64-bit garbage words spliced post-assembly
+``hot_selfmod``     a loop hot enough to trace-compile that stores into
+                    its own body (exact trace invalidation mid-flight)
+``hot_mmu``         a hot loop with MAP churn inside (an ``Mmu``
+                    generation bump between trace executions)
+``hot_doorbell``    a hot loop ringing DOORBELL inside the fused run
+                    (interrupt delivery against the trace event horizon)
 ==================  =====================================================
 
 Coverage guidance is *local to the generator instance*: the campaign layer
@@ -81,6 +87,9 @@ FEATURE_WEIGHTS: tuple[tuple[str, int], ...] = (
     ("covert", 2),
     ("div", 1),
     ("raw", 1),
+    ("hot_selfmod", 2),
+    ("hot_mmu", 2),
+    ("hot_doorbell", 2),
 )
 
 #: General-purpose registers the generator uses (r0 is hardwired zero,
@@ -391,6 +400,64 @@ class ProgramGenerator:
             out.append(isa.load(value, addr, rng.randrange(4)))
         out.append(label)
         return out
+
+    def _seg_hot_selfmod(self) -> list:
+        """A loop that runs past the trace heat threshold, then stores
+        into its *own body*: the superblock compiler must kill the trace
+        exactly (Dram write-address invalidation), and both engines must
+        agree on what the rewritten words do next."""
+        rng = self._rng
+        link, counter, value = rng.sample(_GP_REGS, 3)
+        entry = self._label("smx")
+        loop = self._label("smloop")
+        return [
+            isa.jal(link, entry),  # link = address of the loop prologue
+            entry,
+            isa.movi(counter, rng.randint(6, 12)),
+            isa.movi(value, rng.randint(0, 4096)),
+            loop,
+            isa.xor(value, value, counter),
+            isa.store(value, link, rng.randrange(0, 6)),
+            isa.addi(counter, counter, -1),
+            isa.bne(counter, 0, loop),
+        ]
+
+    def _seg_hot_mmu(self) -> list:
+        """A hot loop with MAP churn inside: every iteration bumps the
+        ``Mmu`` generation (or faults against a locked MMU), so any trace
+        covering the loop must revalidate its TLB entry between runs."""
+        rng = self._rng
+        counter, vpn_reg, ppn_reg = rng.sample(_GP_REGS, 3)
+        loop = self._label("mmuloop")
+        perms = rng.choice((isa.PERM_R | isa.PERM_W, isa.PERM_R))
+        return [
+            isa.movi(counter, rng.randint(5, 10)),
+            isa.movi(vpn_reg, rng.randrange(8, 32)),
+            isa.movi(ppn_reg, rng.randrange(0, 24)),
+            loop,
+            isa.add(ppn_reg, ppn_reg, counter),
+            isa.map_page(vpn_reg, ppn_reg, perms),
+            isa.addi(counter, counter, -1),
+            isa.bne(counter, 0, loop),
+        ]
+
+    def _seg_hot_doorbell(self) -> list:
+        """A hot loop ringing DOORBELL inside the would-be fused run:
+        doorbells queue interrupt delivery on the virtual clock, so the
+        trace dispatcher's event horizon must keep the fused run from
+        skipping a delivery window."""
+        rng = self._rng
+        counter, payload = rng.sample(_GP_REGS, 2)
+        loop = self._label("dbloop")
+        return [
+            isa.movi(counter, rng.randint(6, 10)),
+            isa.movi(payload, rng.randint(0, 255)),
+            loop,
+            isa.add(payload, payload, counter),
+            isa.doorbell(payload),
+            isa.addi(counter, counter, -1),
+            isa.bne(counter, 0, loop),
+        ]
 
     def _seg_div(self) -> list:
         rng = self._rng

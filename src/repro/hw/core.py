@@ -25,6 +25,7 @@ from typing import Callable
 
 from repro.clock import VirtualClock
 from repro.errors import (
+    BusError,
     CorePoweredDown,
     InvalidInstruction,
     LockdownViolation,
@@ -35,6 +36,13 @@ from repro.hw.bus import BusMatrix, PhysicalMemoryMap
 from repro.hw.cache import BranchPredictor, Cache, Tlb
 from repro.hw.isa import Instruction, Op, decode
 from repro.hw.memory import Mmu, PageTableEntry, PAGE_SIZE
+from repro.hw.trace import (
+    TRACE_HEAT_LIMIT,
+    TRACE_HEAT_THRESHOLD,
+    TRACE_RETRY_BACKOFF,
+    VTRACE_CAP,
+    compile_trace,
+)
 
 #: Exception codes written to r14 when a local handler is invoked.
 EXC_DIV0 = 1
@@ -158,6 +166,11 @@ class Core:
     #: behaviour, and every side-channel-visible latency are bit-identical,
     #: and ``python -m repro bench`` asserts exactly that on every run.
     fast_path: bool = True
+    #: Superblock trace compilation switch (:mod:`repro.hw.trace`).  Only
+    #: consulted by :meth:`run` when ``fast_path`` is on; like the fast
+    #: path it changes Python cost only, and ``repro bench --traces off``
+    #: plus the fuzz oracle pin the cycle counts bit-identical either way.
+    trace_jit: bool = True
 
     def __init__(
         self,
@@ -203,6 +216,14 @@ class Core:
         # memory isolation is a property of the bus matrix instead, which is
         # the paper's "EPTs are unnecessary" simplification (experiment E12).
         self.second_level: Callable[[int, bool], int] | None = None
+        #: The object behind ``second_level`` when it is a generation-
+        #: counted EPT (``repro.baseline.ept.Ept``).  With it set, TLB
+        #: entries cache the fully-composed translation guarded by the
+        #: combined (mmu, ept) generation pair, re-enabling the TLB-hit
+        #: fast path and trace compilation on second-level cores.  Custom
+        #: ``second_level`` callables that leave this ``None`` keep the
+        #: uncached reference behaviour.
+        self.second_level_source = None
         #: Extra walk touches charged when a TLB miss crosses two levels.
         self.SECOND_LEVEL_WALK_COST = 2
         #: Transient execution: ``None`` disables speculation entirely.
@@ -222,6 +243,15 @@ class Core:
         self.decoded_hits = 0
         self.decoded_misses = 0
         self.tlb_fastpath_hits = 0
+
+        # Superblock trace state (repro.hw.trace): virtual-pc -> compiled
+        # trace handles, dispatch-count heat for compile triggering, and
+        # telemetry counters.  All Python-cost, like the decoded cache.
+        self._vtraces: dict[int, object] = {}
+        self._trace_heat: dict[int, int] = {}
+        self.trace_hits = 0
+        self.trace_bailouts = 0
+        self.trace_steps = 0
 
     # ------------------------------------------------------------------
     # State predicates
@@ -329,11 +359,14 @@ class Core:
         self.invalidate_decoded()
 
     def invalidate_decoded(self) -> None:
-        """Drop decoded-instruction cache entries for every bank this core
-        can address (microarch-clear hygiene; also invoked by the control
-        bus on lockdown changes)."""
+        """Drop decoded-instruction cache entries and compiled traces for
+        every bank this core can address (microarch-clear hygiene; also
+        invoked by the control bus on lockdown changes)."""
         for bank in self.memory_map.banks():
             bank.decoded.clear()
+            bank.invalidate_all_traces()
+        self._vtraces.clear()
+        self._trace_heat.clear()
 
     def power_down(self) -> None:
         """Power off; only legal from a halted state."""
@@ -361,29 +394,47 @@ class Core:
                    execute: bool = False) -> int:
         vpn = vaddr // PAGE_SIZE
         entry = self.caches.tlb.lookup_entry(vpn)
+        second = self.second_level
         if entry is not None:
             # TLB hit: never charges a walk (exactly as before).  If the
-            # cached PTE is still current — same MMU table generation, no
-            # second translation level — authority can be checked from the
-            # cached entry and the Python page walk skipped entirely.
-            if (
-                self.fast_path
-                and self.second_level is None
-                and entry[2] == self.mmu.generation
-                and entry[1] is not None
-            ):
-                pte = entry[1]
-                if (pte.executable if execute
-                        else pte.writable if write else pte.readable):
-                    self.tlb_fastpath_hits += 1
-                    return entry[0] * PAGE_SIZE + (vaddr - vpn * PAGE_SIZE)
-                # Permission failure: delegate to the MMU so the fault
-                # message and counters are byte-for-byte the slow path's.
+            # cached PTE is still current — same MMU table generation and,
+            # for second-level cores, same EPT generation — authority can
+            # be checked from the cached entry and the Python page walk
+            # skipped entirely.
+            if self.fast_path and entry[1] is not None:
+                if second is None:
+                    current = entry[2] == self.mmu.generation
+                else:
+                    source = self.second_level_source
+                    generation = entry[2]
+                    current = (
+                        source is not None
+                        and type(generation) is tuple
+                        and generation[0] == self.mmu.generation
+                        and generation[1] == source.generation
+                    )
+                if current:
+                    pte = entry[1]
+                    if (pte.executable if execute
+                            else pte.writable if write else pte.readable):
+                        self.tlb_fastpath_hits += 1
+                        return entry[0] * PAGE_SIZE + (vaddr - vpn * PAGE_SIZE)
+                    # Permission failure: delegate to the MMU (and EPT) so
+                    # the fault message and counters are byte-for-byte the
+                    # slow path's.
             # Stale or untrusted entry: authority comes from the live MMU
             # (and EPT).  Still a TLB hit timing-wise — no walk charged.
             paddr = self.mmu.translate(vaddr, write=write, execute=execute)
-            if self.second_level is not None:
-                paddr = self.second_level(paddr, write)
+            if second is not None:
+                paddr = second(paddr, write)
+                if self.fast_path:
+                    composed = self._composed_pte(vpn, paddr)
+                    if composed is not None:
+                        self.caches.tlb.refresh_entry(
+                            vpn, paddr // PAGE_SIZE, composed,
+                            (self.mmu.generation,
+                             self.second_level_source.generation),
+                        )
             elif self.fast_path:
                 self.caches.tlb.refresh_entry(
                     vpn, paddr // PAGE_SIZE, self.mmu.lookup(vpn),
@@ -392,21 +443,54 @@ class Core:
             return paddr
         # TLB miss: full translate, charge the walk, fill the TLB.
         paddr = self.mmu.translate(vaddr, write=write, execute=execute)
-        if self.second_level is not None:
-            paddr = self.second_level(paddr, write)
+        if second is not None:
+            paddr = second(paddr, write)
             walk_levels = Mmu.WALK_COST * (1 + self.SECOND_LEVEL_WALK_COST)
             # Two-dimensional page walk: each guest level is itself
-            # translated, multiplying the touches (Bhargava et al.).  The
-            # final host ppn depends on EPT state the generation counter
-            # does not cover, so no PTE is cached for second-level cores.
+            # translated, multiplying the touches (Bhargava et al.).
             self.clock.tick(walk_levels * self.WALK_TOUCH_COST)
-            self.caches.tlb.insert(vpn, paddr // PAGE_SIZE)
+            composed = (self._composed_pte(vpn, paddr)
+                        if self.fast_path else None)
+            if composed is not None:
+                # Generation-counted EPT: cache the fully-composed
+                # translation with effective (first-level AND EPT)
+                # permissions, guarded by the (mmu, ept) generation pair.
+                self.caches.tlb.insert(
+                    vpn, paddr // PAGE_SIZE, pte=composed,
+                    generation=(self.mmu.generation,
+                                self.second_level_source.generation),
+                )
+            else:
+                # Opaque second level: the host ppn depends on state no
+                # generation counter covers, so no PTE is cached.
+                self.caches.tlb.insert(vpn, paddr // PAGE_SIZE)
         else:
             self.clock.tick(Mmu.WALK_COST * self.WALK_TOUCH_COST)
             self.caches.tlb.insert(vpn, paddr // PAGE_SIZE,
                                    pte=self.mmu.lookup(vpn),
                                    generation=self.mmu.generation)
         return paddr
+
+    def _composed_pte(self, vpn: int, host_paddr: int) -> PageTableEntry | None:
+        """Effective permissions for one just-translated page on a
+        second-level core: first-level PTE perms AND the EPT's writable
+        bit, with the final host frame.  ``None`` when the second level is
+        not a generation-counted EPT (nothing safe to cache)."""
+        source = self.second_level_source
+        if source is None:
+            return None
+        pte = self.mmu.lookup(vpn)
+        if pte is None:
+            return None
+        ept_entry = source.frame_entry(pte.ppn)
+        if ept_entry is None:
+            return None
+        return PageTableEntry(
+            ppn=host_paddr // PAGE_SIZE,
+            readable=pte.readable,
+            writable=pte.writable and ept_entry[1],
+            executable=pte.executable,
+        )
 
     @staticmethod
     def _hierarchy_latency(levels: list[Cache], paddr: int) -> int:
@@ -420,10 +504,23 @@ class Core:
                 return total
         return total
 
+    def _resolve_checked(self, paddr: int):
+        """Resolve a physical address, turning a bus abort into a fault.
+
+        A guest ``MAP`` may point a page at a frame number beyond every
+        DRAM window; the access through it must surface as an
+        architectural :class:`MemoryFault` (delivered like any other
+        memory fault, identically on all three engines), never as a
+        Python-level :class:`BusError` escaping the simulation."""
+        try:
+            return self.memory_map.resolve(paddr)
+        except BusError as exc:
+            raise MemoryFault(str(exc), paddr) from exc
+
     def read_word(self, vaddr: int) -> int:
         paddr = self._translate(vaddr)
         self.clock.tick(self._hierarchy_latency(self.caches.dcache_levels, paddr))
-        bank, local = self.memory_map.resolve(paddr)
+        bank, local = self._resolve_checked(paddr)
         self.bus.assert_reachable(self.name, bank.name)
         value = bank.read(local)
         if self._watchpoints:
@@ -433,7 +530,7 @@ class Core:
     def write_word(self, vaddr: int, value: int) -> None:
         paddr = self._translate(vaddr, write=True)
         self.clock.tick(self._hierarchy_latency(self.caches.dcache_levels, paddr))
-        bank, local = self.memory_map.resolve(paddr)
+        bank, local = self._resolve_checked(paddr)
         self.bus.assert_reachable(self.name, bank.name)
         bank.write(local, value)
         if self._watchpoints:
@@ -442,7 +539,7 @@ class Core:
     def _fetch(self) -> Instruction:
         paddr = self._translate(self.pc, execute=True)
         self.clock.tick(self._hierarchy_latency(self.caches.icache_levels, paddr))
-        bank, local = self.memory_map.resolve(paddr)
+        bank, local = self._resolve_checked(paddr)
         self.bus.assert_reachable(self.name, bank.name)
         if self.fast_path:
             instruction = bank.decoded.get(local)
@@ -585,7 +682,14 @@ class Core:
                 bank = last[0]
                 local = paddr - last[1]
             else:
-                bank, local = memory_map.resolve(paddr)
+                try:
+                    bank, local = memory_map.resolve(paddr)
+                except BusError as exc:
+                    # Same delivery as _step_general's fetch handler: a
+                    # guest-mapped frame beyond every DRAM window is an
+                    # architectural memory fault, not a simulator crash.
+                    self._raise_exception(EXC_MEMFAULT, str(exc))
+                    return self.state is CoreState.RUNNING
             # Inline BusMatrix.assert_reachable via the successor cache.
             succ = self.bus._succ_cache.get(self.name)
             if succ is None or bank.name not in succ:
@@ -775,18 +879,134 @@ class Core:
         step = self.step
         running = CoreState.RUNNING
         wfi = CoreState.WFI
+        if not (
+            self.fast_path
+            and self.trace_jit
+            and self.speculation is None
+            and (self.second_level is None
+                 or self.second_level_source is not None)
+        ):
+            while steps < max_steps:
+                state = self.state
+                if state is running:
+                    step()
+                    steps += 1
+                    continue
+                if state is not wfi:
+                    break
+                step()
+                steps += 1
+                if self.state is wfi:
+                    break  # still asleep; nothing will change without time
+            return steps
+
+        # Trace dispatch loop (repro.hw.trace): identical control flow, but
+        # a hot pc with a live compiled trace, no armed timer, no
+        # watchpoints, a current executable TLB entry bound to the trace's
+        # frame, enough step budget, and clear event horizon executes the
+        # whole superblock in one call.  Every other iteration — including
+        # all heat counting and compilation — degenerates to step().
+        vtraces = self._vtraces
+        heat = self._trace_heat
+        mmu = self.mmu
+        entries = self.caches.tlb._entries
+        clock = self.clock
+        # For second-level cores the cached generation is the combined
+        # (mmu, ept) pair (see _translate) — both must still be current.
+        ept = self.second_level_source if self.second_level else None
         while steps < max_steps:
             state = self.state
-            if state is running:
+            if state is not running:
+                if state is not wfi:
+                    break
+                step()
+                steps += 1
+                if self.state is wfi:
+                    break  # still asleep; nothing will change without time
+                continue
+            if self._timer_deadline is not None or self._watchpoints:
+                # Timers fire and watchpoints trigger at instruction
+                # boundaries; keep instruction granularity.
                 step()
                 steps += 1
                 continue
-            if state is not wfi:
-                break
-            step()
-            steps += 1
-            if self.state is wfi:
-                break  # still asleep; nothing will change without time
+            pc = self.pc
+            trace = vtraces.get(pc)
+            if trace is None:
+                count = heat.get(pc, 0) + 1
+                if count >= TRACE_HEAT_THRESHOLD:
+                    compiled = compile_trace(self, pc)
+                    if compiled is not None:
+                        if len(vtraces) >= VTRACE_CAP:
+                            # Drop this core's oldest handle; the bank
+                            # registration is bounded separately.
+                            del vtraces[next(iter(vtraces))]
+                        vtraces[pc] = compiled
+                        heat.pop(pc, None)
+                    else:
+                        # Uncompilable here (op mix, faulted bank, ...):
+                        # back off before probing again, so self-modifying
+                        # or transiently-faulted code retries at bounded
+                        # cost once conditions change.
+                        heat[pc] = -TRACE_RETRY_BACKOFF
+                else:
+                    if len(heat) >= TRACE_HEAT_LIMIT:
+                        heat.clear()
+                    heat[pc] = count
+                step()
+                steps += 1
+                continue
+            if not trace.alive:
+                # Invalidated underneath us (store, reload, fault, flush).
+                del vtraces[pc]
+                heat.pop(pc, None)
+                step()
+                steps += 1
+                continue
+            budget = max_steps - steps
+            if (
+                budget < trace.length
+                or clock._now + trace.worst >= clock._next_due
+            ):
+                # Not enough step budget for even one pass, or a scheduled
+                # event could fire mid-trace: single-step up to it.
+                step()
+                steps += 1
+                continue
+            entry = entries.get(trace.vpn)
+            if ept is None:
+                current = entry is not None and entry[2] == mmu.generation
+            else:
+                generation = entry[2] if entry is not None else None
+                current = (
+                    type(generation) is tuple
+                    and generation[0] == mmu.generation
+                    and generation[1] == ept.generation
+                )
+            if (
+                not current
+                or entry[1] is None
+                or not entry[1].executable
+            ):
+                # Absent or stale translation: the reference machinery in
+                # step() refills (charging the walk) or faults.
+                step()
+                steps += 1
+                continue
+            if entry[0] != trace.ppn:
+                # Same vpn, different frame: the page was remapped and the
+                # trace is bound to code that is no longer at this vpc.
+                del vtraces[pc]
+                heat.pop(pc, None)
+                step()
+                steps += 1
+                continue
+            # Committed: replicate the fetch's Tlb.lookup_entry MRU move
+            # (hit counts are batched inside the trace), then run it.
+            del entries[trace.vpn]
+            entries[trace.vpn] = entry
+            self.trace_hits += 1
+            steps += trace.fn(self, trace, budget)
         return steps
 
     def _reg(self, index: int) -> int:

@@ -90,6 +90,29 @@ PERM_W = 0b010
 PERM_X = 0b001
 
 
+#: Ops the superblock trace compiler (repro.hw.trace) may fuse into a
+#: trace body: pure register arithmetic plus the two memory ops, whose
+#: translation/cache/fault behaviour is replayed live at execution time.
+TRACE_FUSABLE_OPS = frozenset({
+    Op.NOP, Op.FENCE, Op.MOVI, Op.MOV, Op.ADD, Op.SUB, Op.MUL, Op.AND,
+    Op.OR, Op.XOR, Op.SHL, Op.SHR, Op.ADDI, Op.LOAD, Op.STORE,
+})
+
+#: Ops a trace may *end* with (the superblock's single exit): control flow
+#: and HALT.  Conditional branches whose target is the trace head compile
+#: into in-trace loops.
+TRACE_TERMINAL_OPS = frozenset({
+    Op.JMP, Op.JAL, Op.JR, Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.HALT,
+})
+
+#: Everything else (DIV's data-dependent fault, RDCYCLE's mid-trace clock
+#: read, DOORBELL/SETTIMER event scheduling, WFI parking, MAP/UNMAP
+#: generation bumps, IORD/IOWR traps, IRET) ends superblock discovery
+#: *before* the op: those instructions always run through single-step
+#: dispatch so their event ordering is the reference interpreter's.
+TRACE_BAIL_OPS = frozenset(Op) - TRACE_FUSABLE_OPS - TRACE_TERMINAL_OPS
+
+
 @dataclass(frozen=True, slots=True)
 class Instruction:
     """One decoded GISA instruction.

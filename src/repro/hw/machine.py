@@ -234,6 +234,13 @@ class Machine:
         for core in self.model_cores + self.hv_cores:
             core.fast_path = enabled
 
+    def set_traces(self, enabled: bool) -> None:
+        """Toggle superblock trace compilation on every core
+        (``repro bench --traces off`` uses the disabled mode to pin
+        trace-on cycle counts against plain fast-path dispatch)."""
+        for core in self.model_cores + self.hv_cores:
+            core.trace_jit = enabled
+
 
 def _make_core_caches(config: MachineConfig, shared_l2: Cache | None,
                       prefix: str) -> CoreCaches:

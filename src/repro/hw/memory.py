@@ -44,6 +44,11 @@ class Dram:
     #: not a steady-state behaviour.
     DECODED_CAP = 4096
 
+    #: Compiled-trace bound (traces per bank), FIFO-evicted like the
+    #: decoded cache.  A victim is recompiled once its head pc runs hot
+    #: again, so eviction affects Python cost only.
+    TRACE_CAP = 256
+
     def __init__(self, name: str, size_words: int) -> None:
         if size_words <= 0 or size_words % PAGE_SIZE != 0:
             raise ValueError("DRAM size must be a positive multiple of PAGE_SIZE")
@@ -79,6 +84,20 @@ class Dram:
         #: pin a decoded object per word of DRAM.
         self.decoded: dict[int, object] = {}
         self.decoded_evictions = 0
+        #: Compiled superblock traces over this bank's words (see
+        #: :mod:`repro.hw.trace`).  ``_traces`` is FIFO-ordered by
+        #: registration token; ``_trace_index`` maps each covered local
+        #: word address to the traces spanning it, so the invalidation
+        #: hooks below (the exact same sites that drop decoded entries)
+        #: can kill every trace a write might have stale-ified.  Like the
+        #: decoded cache this is Python-cost state: invisible to simulated
+        #: time, shared by every core that executes from the bank.
+        self._traces: dict[int, object] = {}
+        self._trace_index: dict[int, list] = {}
+        self._trace_seq = 0
+        self.traces_compiled = 0
+        self.trace_invalidations = 0
+        self.trace_evictions = 0
 
     @property
     def num_frames(self) -> int:
@@ -95,6 +114,54 @@ class Dram:
             decoded.pop(next(iter(decoded)))
             self.decoded_evictions += 1
         decoded[address] = instruction
+
+    # -- compiled traces (repro.hw.trace) -------------------------------------
+
+    def register_trace(self, trace) -> None:
+        """Admit a freshly compiled trace, FIFO-evicting at the cap."""
+        if len(self._traces) >= self.TRACE_CAP:
+            victim = self._traces[next(iter(self._traces))]
+            self._kill_trace(victim)
+            self.trace_evictions += 1
+        token = self._trace_seq
+        self._trace_seq += 1
+        trace.token = token
+        self._traces[token] = trace
+        index = self._trace_index
+        for address in range(trace.start, trace.start + trace.length):
+            index.setdefault(address, []).append(trace)
+        self.traces_compiled += 1
+
+    def _kill_trace(self, trace) -> None:
+        """Mark a trace dead and unlink it; a mid-flight execution sees
+        ``alive`` go false and bails before its next fused instruction."""
+        trace.alive = False
+        self._traces.pop(trace.token, None)
+        index = self._trace_index
+        for address in range(trace.start, trace.start + trace.length):
+            spanning = index.get(address)
+            if spanning is not None:
+                try:
+                    spanning.remove(trace)
+                except ValueError:
+                    pass
+                if not spanning:
+                    del index[address]
+
+    def invalidate_traces(self, address: int) -> None:
+        """Kill every trace spanning ``address`` (a word was mutated)."""
+        spanning = self._trace_index.get(address)
+        if spanning:
+            for trace in list(spanning):
+                self._kill_trace(trace)
+                self.trace_invalidations += 1
+
+    def invalidate_all_traces(self) -> None:
+        """Kill every trace over this bank (bulk reload / fault churn)."""
+        if self._traces:
+            self.trace_invalidations += len(self._traces)
+            for trace in list(self._traces.values()):
+                self._kill_trace(trace)
 
     def read(self, address: int) -> int:
         if not 0 <= address < self.size:
@@ -126,6 +193,8 @@ class Dram:
                 self._words[address] = original
                 del self._corrupt[address]
                 self.decoded.pop(address, None)
+                if self._trace_index:
+                    self.invalidate_traces(address)
                 self.ecc_corrections += 1
                 return original
             self.ecc_machine_checks += 1
@@ -170,6 +239,9 @@ class Dram:
         if self.decoded:
             for offset in range(len(values)):
                 self.decoded.pop(start + offset, None)
+        if self._trace_index:
+            for offset in range(len(values)):
+                self.invalidate_traces(start + offset)
 
     def write(self, address: int, value: int) -> None:
         if not 0 <= address < self.size:
@@ -189,6 +261,8 @@ class Dram:
         if self.decoded:
             # Self-modifying code: the stale decode must never be served.
             self.decoded.pop(address, None)
+        if self._trace_index:
+            self.invalidate_traces(address)
 
     # -- fault injection (repro.faults) ---------------------------------------
 
@@ -207,6 +281,10 @@ class Dram:
         self._corrupt.setdefault(address, original)
         self._words[address] = original ^ (1 << bit)
         self.decoded.pop(address, None)
+        # Traces never coexist with injected faults on their bank:
+        # compilation refuses a faulted bank, and arming a fault kills
+        # everything compiled while it was clean.
+        self.invalidate_all_traces()
 
     def inject_stuck_bit(self, address: int, bit: int, value: int = 0) -> None:
         """Wedge one cell: the bit reads (and rewrites) as ``value`` forever
@@ -224,6 +302,7 @@ class Dram:
         self._stuck[address] = masks
         self._words[address] = (self._words[address] & masks[0]) | masks[1]
         self.decoded.pop(address, None)
+        self.invalidate_all_traces()
 
     def clear_faults(self) -> None:
         """Repair the bank: restore soft-error words, release stuck cells."""
@@ -232,6 +311,8 @@ class Dram:
             self.decoded.pop(address, None)
         self._corrupt.clear()
         self._stuck.clear()
+        # Repair changes stored words; anything compiled over them is stale.
+        self.invalidate_all_traces()
 
     @property
     def faulted(self) -> bool:
@@ -256,6 +337,7 @@ class Dram:
         # Guest (re)load / forensic restore / kill-switch zeroing: drop every
         # decoded instruction for the bank rather than tracking the range.
         self.decoded.clear()
+        self.invalidate_all_traces()
 
     def snapshot(self, start: int = 0, length: int | None = None) -> list[int]:
         """Copy a region out (used by the inspection bus and attestation)."""

@@ -163,7 +163,8 @@ def run_paired_campaign_fabric(seed: int | None = None,
 
 
 def run_bench_fabric(quick: bool = False, jobs: int | None = None,
-                     *, runner: ShardedRunner | None = None):
+                     traces: bool = True, *,
+                     runner: ShardedRunner | None = None):
     """The bench suite, sharded per (row, interpreter mode).
 
     Returns ``(results, timing)``.  Simulated counters and verdicts are
@@ -175,13 +176,13 @@ def run_bench_fabric(quick: bool = False, jobs: int | None = None,
     jobs = runner.jobs if runner is not None else resolve_jobs(jobs)
     start = time.perf_counter()
     if jobs <= 1 or len(SUITE) <= 1:
-        results = run_suite(quick=quick)
+        results = run_suite(quick=quick, traces=traces)
         return results, _timing(start, len(SUITE), 1, "sequential")
     tasks = []
     for suite_index, entry in enumerate(SUITE):
         iterations = entry[4] if quick else entry[3]
-        tasks.append(BenchTask(suite_index, iterations, "fast"))
-        tasks.append(BenchTask(suite_index, iterations, "slow"))
+        tasks.append(BenchTask(suite_index, iterations, "fast", traces))
+        tasks.append(BenchTask(suite_index, iterations, "slow", traces))
     own_runner = runner is None
     if own_runner:
         runner = ShardedRunner(jobs)

@@ -57,6 +57,7 @@ class BenchTask:
     suite_index: int
     iterations: int
     mode: str  # "fast" (two samples) | "slow" (one reference sample)
+    traces: bool = True  # trace compilation for the fast samples
     crash_token: str | None = None
 
 
@@ -112,7 +113,8 @@ def execute_task(task) -> dict:
     if isinstance(task, BenchTask):
         from repro.core.bench import run_one
 
-        return run_one(task.suite_index, task.iterations, task.mode)
+        return run_one(task.suite_index, task.iterations, task.mode,
+                       traces=task.traces)
     if isinstance(task, FuzzBatchTask):
         from repro.fuzz.campaign import run_one_batch
 

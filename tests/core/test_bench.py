@@ -107,12 +107,16 @@ class TestBenchCli:
                                                     monkeypatch, capsys):
         monkeypatch.setattr(bench, "SUITE", self.TINY_SUITE)
         out = tmp_path / "BENCH_hw.json"
-        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        ledger = tmp_path / "BENCH_ledger.json"
+        assert main(["bench", "--quick", "--out", str(out),
+                     "--ledger", str(ledger)]) == 0
         report = json.loads(out.read_text())
         assert report["schema"] == BENCH_SCHEMA
         assert report["quick"] is True
+        assert report["traces"] is True
         assert report["totals"]["all_deterministic"] is True
         assert report["totals"]["all_cycles_match"] is True
+        assert len(json.loads(ledger.read_text())["entries"]) == 1
         assert "TOTAL" in capsys.readouterr().out
 
     def test_cycle_mismatch_fails_the_run(self, tmp_path, monkeypatch,
@@ -129,6 +133,7 @@ class TestBenchCli:
             bench, "SUITE",
             (("broken", "guillotine", broken_runner, 100, 100),))
         out = tmp_path / "BENCH_hw.json"
-        assert main(["bench", "--quick", "--out", str(out)]) == 1
+        assert main(["bench", "--quick", "--out", str(out),
+                     "--no-ledger"]) == 1
         captured = capsys.readouterr()
         assert "diverged" in captured.err

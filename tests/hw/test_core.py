@@ -206,6 +206,61 @@ class TestExceptions:
         with pytest.raises(MachineCheck):
             hv_core._raise_exception(EXC_MEMFAULT, "simulated fault")
 
+    def test_load_through_out_of_window_frame_faults(self, machine):
+        """A guest MAP may point a page at a frame beyond every DRAM
+        window; the load through it is an architectural memory fault
+        delivered to the guest, never a BusError crashing the simulator."""
+        from repro.hw.memory import PAGE_SIZE
+
+        core, _ = run_program(machine, [
+            isa.movi(1, 40),
+            isa.movi(2, 1_000_000),
+            isa.map_page(1, 2, isa.PERM_R | isa.PERM_W),
+            isa.movi(4, 40 * PAGE_SIZE),
+            isa.load(3, 4, 0),
+            isa.halt(),
+        ])
+        assert core.state is CoreState.FAULTED
+        assert core.faults == 1
+        assert "no DRAM window" in core.last_fault
+
+    @pytest.mark.parametrize("fast_path", [False, True])
+    def test_fetch_through_out_of_window_frame_faults(self, fast_path):
+        """Jumping into an out-of-window mapping faults identically on
+        the reference interpreter and the fused fast path — including
+        the retry after IRET, which on the fast path re-resolves through
+        the cached (bogus) TLB entry."""
+        from repro.hw.memory import PAGE_SIZE
+
+        machine = build_guillotine_machine(
+            MachineConfig(n_model_cores=1, n_hv_cores=1))
+        machine.set_fast_path(fast_path)
+        core = machine.model_cores[0]
+        program = assemble([
+            isa.jmp("main"),
+            "handler",
+            isa.addi(5, 5, 1),            # count delivered faults
+            isa.beq(5, 6, "retry"),
+            isa.halt(),
+            "retry",
+            isa.iret(),                   # memory faults resume *at* pc
+            "main",
+            isa.movi(6, 1),
+            isa.movi(1, 40),
+            isa.movi(2, 1_000_000),
+            isa.map_page(1, 2, isa.PERM_R | isa.PERM_X),
+            isa.movi(7, 40 * PAGE_SIZE),
+            isa.jr(7),
+        ])
+        machine.load_program(core, program)
+        core.exception_vector = program.symbols["handler"]
+        core.resume()
+        core.run(max_steps=200)
+        assert core.state is CoreState.HALTED
+        assert core.faults == 2
+        assert core.registers[5] == 2
+        assert "no DRAM window" in core.last_fault
+
 
 class TestManagementVerbs:
     def test_pause_stops_running_core(self, machine):

@@ -133,3 +133,36 @@ class TestCampaignFabric:
         assert timing["mode"] == "parallel"
         assert b_par.to_dict() == b_seq.to_dict()
         assert g_par.to_dict() == g_seq.to_dict()
+
+
+class TestBenchTraceByteIdentity:
+    """Trace-compilation counters must survive shard merges bit-for-bit.
+
+    The superblock counters (trace_hits/trace_steps/trace_bailouts) are
+    simulated-cost statistics, so they sit inside the compared view —
+    ``deterministic_view`` strips only wall-clock keys.  A quick suite
+    sharded at ``--jobs 2`` must therefore reproduce the sequential
+    report byte-for-byte, trace stats included."""
+
+    def test_jobs_two_matches_jobs_one_including_trace_stats(self):
+        from repro.core.bench import suite_report
+        from repro.parallel.fabric import run_bench_fabric
+
+        seq_results, seq_timing = run_bench_fabric(quick=True, jobs=1)
+        par_results, par_timing = run_bench_fabric(quick=True, jobs=2)
+        assert seq_timing["mode"] == "sequential"
+        assert par_timing["mode"] == "parallel"
+        seq = suite_report(seq_results, quick=True)
+        par = suite_report(par_results, quick=True)
+        assert canonical_bytes(par) == canonical_bytes(seq)
+        # The byte-compare is only meaningful if the trace counters are
+        # actually in the compared view and actually engaged.
+        view = json.loads(canonical_bytes(par))
+        rows = view["benchmarks"]
+        for row in rows:
+            assert {"trace_hits", "trace_steps",
+                    "trace_bailouts"} <= row.keys()
+        assert any(row["trace_steps"] > 0 for row in rows)
+        assert view["traces"] is True
+        assert view["totals"]["all_deterministic"] is True
+        assert view["totals"]["all_cycles_match"] is True

@@ -79,6 +79,21 @@ class TestExecuteTaskDispatch:
         assert unit["mode"] == "slow"
         assert len(unit["samples"]) == 1
 
+    def test_bench_task_traces_flag_controls_trace_counters(self):
+        on = execute_task(BenchTask(suite_index=0, iterations=200,
+                                    mode="fast", traces=True))
+        off = execute_task(BenchTask(suite_index=0, iterations=200,
+                                     mode="fast", traces=False))
+        on_sample, off_sample = on["samples"][0], off["samples"][0]
+        # Simulated counters are engine-independent; only the
+        # Python-cost trace stats respond to the flag.
+        assert (on_sample["steps"], on_sample["cycles"]) == \
+            (off_sample["steps"], off_sample["cycles"])
+        assert on_sample["trace_hits"] > 0
+        assert on_sample["trace_steps"] > 0
+        assert off_sample["trace_hits"] == 0
+        assert off_sample["trace_steps"] == 0
+
     def test_warmup_reports_pid(self):
         import os
 
