@@ -15,10 +15,11 @@ Commands:
   reference interpreter, with determinism and cycle-equivalence checks)
 * ``chaos``      — seeded fault-injection campaigns with machine-checked
   fail-closed invariants (the robustness suite)
+* ``fleet``      — multi-machine fleet campaigns: checkpoint/restore
+  migration, quorum kill, and machine-level chaos with fleet invariants
 * ``fuzz``       — coverage-guided differential fuzzing: generated GISA
-  programs through the engine/machine/verdict/taint oracles, divergences
-  shrunk
-  into ``repro.replay/1`` golden records
+  programs through the engine/machine/verdict/taint/migration oracles,
+  divergences shrunk into ``repro.replay/1`` golden records
 * ``replay``     — deterministically re-execute golden records (a file or a
   directory of them) against the current tree
 """
@@ -499,6 +500,56 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.parallel.fabric import run_fleet_fabric
+
+    report, timing = run_fleet_fabric(args.seed, args.campaigns,
+                                      args.machines, jobs=args.jobs)
+
+    print(f"{'campaign':<10}{'faults':<8}{'classes':<9}{'migration':<12}"
+          f"{'kill':<22}{'invariants'}")
+    for run in report["runs"]:
+        bad = [inv["name"] for inv in run["invariants"] if not inv["passed"]]
+        verdict = "ok" if not bad else "FAIL: " + ",".join(bad)
+        kill = run["kill"]
+        if not kill["initiated"]:
+            kill_text = "-"
+        else:
+            kill_text = kill["outcome"]
+            if kill["outcome"] == "committed":
+                kill_text += (" (deadline ok)" if kill["within_deadline"]
+                              else " (LATE)")
+        print(f"{run['index']:<10}{run['faults_fired']:<8}"
+              f"{len(run['fault_classes_fired']):<9}"
+              f"{run['migration'].get('outcome', '-'):<12}"
+              f"{kill_text:<22}{verdict}")
+    print(f"fault classes exercised: "
+          f"{', '.join(report['fault_classes_fired'])}")
+    print(f"migrations completed: {report['migrations_completed']}; "
+          f"member kills: {report['kills_total']}")
+
+    # The JSON payload is deterministic and timing-free; wall-clock
+    # numbers live only in this summary line.
+    print(_timing_summary("fleet", timing, "campaigns"))
+
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    print(f"wrote {args.out}")
+
+    if not report["all_passed"]:
+        for failure in report["invariant_failures"]:
+            print(f"error: campaign {failure['campaign']} violated "
+                  f"{failure['invariant']}", file=sys.stderr)
+        if not report["invariant_failures"]:
+            print("error: a quorum kill missed its actuation deadline",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     import json
     import os
@@ -702,8 +753,26 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument(
         "--jobs", type=int, default=0,
         help="worker processes (0 = auto-detect cores, 1 = sequential)")
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="multi-machine fleet campaigns: migration, quorum "
+                      "kill, machine-level chaos")
+    fleet_parser.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed; derives every campaign's fault plan")
+    fleet_parser.add_argument(
+        "--campaigns", type=int, default=3,
+        help="number of seeded fleet campaigns to run")
+    fleet_parser.add_argument(
+        "--machines", type=int, default=3,
+        help="Guillotine machines per fleet (default 3)")
+    fleet_parser.add_argument(
+        "--out", default="BENCH_fleet.json",
+        help="output path for the repro.fleet/1 JSON report")
+    fleet_parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = auto-detect cores, 1 = sequential)")
     fuzz_parser = subparsers.add_parser(
-        "fuzz", help="coverage-guided differential fuzzing (four oracles)")
+        "fuzz", help="coverage-guided differential fuzzing (five oracles)")
     fuzz_parser.add_argument(
         "--seed", type=int, default=42,
         help="master seed; derives every batch's generator seed")
@@ -747,6 +816,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "ledger": _cmd_ledger,
         "chaos": _cmd_chaos,
+        "fleet": _cmd_fleet,
         "fuzz": _cmd_fuzz,
         "replay": _cmd_replay,
     }

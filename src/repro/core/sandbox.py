@@ -97,15 +97,25 @@ class GuillotineSandbox:
         steering_threshold: float = 8.0,
         with_circuit_breaker: bool = False,
         heartbeat_period: int | None = None,
+        clock: VirtualClock | None = None,
+        network: Network | None = None,
     ) -> "GuillotineSandbox":
-        """Build a full deployment with the standard detector stack."""
-        machine = build_guillotine_machine(config)
+        """Build a full deployment with the standard detector stack.
+
+        ``clock`` lets several sandboxes share one virtual timeline and
+        ``network`` attaches the machine's NIC to an existing fabric
+        instead of a private one — the fleet layer uses both to build
+        multi-machine deployments whose events interleave
+        deterministically.
+        """
+        machine = build_guillotine_machine(config, clock)
         llm = ToyLlm(seed=llm_seed)
         detector = CompositeDetector([InputShield(), OutputSanitizer()])
         hypervisor = GuillotineHypervisor(machine, detector=detector,
                                           secret=secret)
         console = ControlConsole(machine, hypervisor)
-        network = Network(machine.clock, machine.log)
+        if network is None:
+            network = Network(machine.clock, machine.log)
         network.attach(machine.devices["nic0"])
         sandbox = cls(machine, hypervisor, console, network, llm)
         sandbox.steerer = ActivationSteerer(

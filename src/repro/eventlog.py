@@ -37,6 +37,7 @@ CATEGORY_POLICY = "policy"
 CATEGORY_ADMISSION = "hv.admission"
 CATEGORY_FAULT = "fault.injected"
 CATEGORY_CHANNEL = "physical.channel"
+CATEGORY_FLEET = "fleet"
 
 
 @dataclass(frozen=True)

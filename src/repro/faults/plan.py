@@ -30,6 +30,9 @@ FAULT_LAYERS: dict[str, str] = {
     "console_outage": "physical",
     "hsm_outage": "physical",
     "hv_crash": "hv",
+    "node_loss": "fleet",
+    "net_partition": "fleet",
+    "frame_corrupt": "fleet",
 }
 
 FAULT_CLASSES: tuple[str, ...] = tuple(sorted(FAULT_LAYERS))
@@ -44,6 +47,17 @@ CORE_CLASSES: tuple[str, ...] = (
     "heartbeat_drop",
     "hsm_outage",
     "hv_crash",
+)
+
+#: Classes a fleet-scale plan covers: the machine-level faults plus a
+#: couple of single-machine classes so node-local and fleet-level failure
+#: modes interleave in the same campaign.
+FLEET_CORE_CLASSES: tuple[str, ...] = (
+    "node_loss",
+    "net_partition",
+    "frame_corrupt",
+    "dram_bit_flip",
+    "heartbeat_drop",
 )
 
 #: Devices a standard machine always has (fault targets).
@@ -168,6 +182,21 @@ class FaultPlan:
             # Crashing the hypervisor core pins the rest of the campaign
             # at Offline; schedule it late so earlier faults get airtime.
             return FaultEvent(late, fault_class, {})
+        if fault_class == "node_loss":
+            # Index into the fleet roster; the injector wraps it modulo the
+            # actual machine count so one plan fits any fleet size.
+            return FaultEvent(early, fault_class, {
+                "node": rng.randrange(0, 8),
+            })
+        if fault_class == "net_partition":
+            return FaultEvent(early, fault_class, {
+                "isolate": rng.randrange(0, 8),
+                "duration": rng.randrange(2 * MS, 6 * MS),
+            })
+        if fault_class == "frame_corrupt":
+            return FaultEvent(early, fault_class, {
+                "count": rng.randrange(1, 5),
+            })
         raise ValueError(f"unknown fault class {fault_class!r}")
 
     @property

@@ -1,0 +1,197 @@
+"""VM checkpoint/restore: serialize a guest machine image, rebuild it elsewhere.
+
+A checkpoint is a ``repro.fleet/1`` JSON artifact (the same idiom as the
+PR 6 ``repro.replay/1`` golden artifacts: hex words, sorted keys, no
+wall-clock anywhere) capturing everything a restored guest needs to keep
+executing **cycle-identically**:
+
+* every DRAM bank's words (sparse: only non-zero words are stored),
+* per-core architectural state — registers, pc, run state, exception
+  machinery, the SETTIMER deadline (stored relative to virtual ``now``),
+  retirement counters,
+* per-core *timing-architectural* microarch state — TLB (vpn→ppn pairs in
+  LRU order), private cache tag arrays, branch-predictor counters — plus
+  the machine's shared cache levels,
+* per-core MMU translation tables with the lockdown / weight regions,
+* per-core LAPIC queues (pending, per-source windows, coalesced slots),
+* the virtual clock reading at capture time.
+
+Restore replays the image onto a *fresh* machine of identical geometry:
+banks are reloaded (which drops decoded-instruction and superblock-trace
+caches — purely Python-cost state), translation tables are replayed
+through the normal MMU interfaces and the lockdown re-issued, and the
+destination clock is ticked forward to the checkpoint's ``now`` so
+absolute timestamps (LAPIC windows, cycle counters) line up.
+
+Deliberately *not* captured: the event log (the audit trail belongs to
+the physical machine, and its hash chain cannot be replayed elsewhere),
+device state (guests own no device sessions at migration time), DRAM
+fault-injection state (environment, not guest), and operator-facing
+debug state (watchpoints, speculation config).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.hw.machine import Machine
+from repro.hw.memory import PageTableEntry
+
+CHECKPOINT_SCHEMA = "repro.fleet/1"
+
+#: Geometry fields that must match between source and destination.
+_CONFIG_FIELDS = (
+    "n_model_cores",
+    "n_hv_cores",
+    "model_dram_pages",
+    "hv_dram_pages",
+    "io_dram_pages",
+    "l1_sets",
+    "l1_ways",
+    "l2_sets",
+    "l2_ways",
+    "tlb_entries",
+    "lapic_throttle_window",
+    "lapic_throttle_max",
+)
+
+
+class CheckpointError(ValueError):
+    """A checkpoint cannot be applied to the given machine."""
+
+
+def _bank_block(bank) -> dict[str, Any]:
+    words = bank.snapshot()
+    return {
+        "size_words": bank.size,
+        "words_hex": {
+            str(address): f"0x{word:016x}"
+            for address, word in enumerate(words) if word
+        },
+    }
+
+
+def _mmu_block(mmu) -> dict[str, Any]:
+    exec_region = mmu.exec_region
+    weight_region = mmu.weight_region
+    return {
+        "table": {
+            str(vpn): [entry.ppn, entry.perm_bits]
+            for vpn, entry in sorted(mmu.table_snapshot().items())
+        },
+        "exec_region": (
+            None if exec_region is None
+            else [exec_region.base_vpn, exec_region.bound_vpn]),
+        "weight_region": (
+            None if weight_region is None
+            else [weight_region.base_vpn, weight_region.bound_vpn]),
+    }
+
+
+def capture_checkpoint(machine: Machine) -> dict[str, Any]:
+    """Snapshot a whole machine's guest-visible image as a JSON-safe dict."""
+    cores = {}
+    lapics = {}
+    for core in machine.model_cores + machine.hv_cores:
+        state = core.capture_architectural_state()
+        state["mmu"] = _mmu_block(core.mmu)
+        cores[core.name] = state
+        lapic = machine.lapics.get(core.name)
+        if lapic is not None:
+            lapics[core.name] = lapic.state_snapshot()
+    return {
+        "schema": CHECKPOINT_SCHEMA,
+        "kind": "checkpoint",
+        "machine": machine.name,
+        "host_id": machine.config.host_id,
+        "config": {field: getattr(machine.config, field)
+                   for field in _CONFIG_FIELDS},
+        "clock_now": machine.clock.now,
+        "banks": {name: _bank_block(machine.banks[name])
+                  for name in sorted(machine.banks)},
+        "allocators": {name: machine.allocators[name].frames_used
+                       for name in sorted(machine.allocators)},
+        "cores": cores,
+        "lapics": lapics,
+        "shared_caches": {cache.name: cache.lines_snapshot()
+                          for cache in machine.shared_caches},
+    }
+
+
+def restore_checkpoint(machine: Machine, checkpoint: dict[str, Any]) -> None:
+    """Install a checkpoint image onto ``machine``.
+
+    The destination must have identical geometry and must not be ahead of
+    the checkpoint in virtual time (fleet members share a clock; a fresh
+    standby machine trivially satisfies this).  Restoring over a machine
+    whose model cores still run a live guest would *duplicate* that guest
+    — callers (the fleet migration path) enforce vacancy; this function
+    enforces geometry and time.
+    """
+    if checkpoint.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"not a {CHECKPOINT_SCHEMA} artifact: {checkpoint.get('schema')!r}")
+    if checkpoint.get("kind") != "checkpoint":
+        raise CheckpointError(f"not a checkpoint: {checkpoint.get('kind')!r}")
+    for field in _CONFIG_FIELDS:
+        have = getattr(machine.config, field)
+        want = checkpoint["config"][field]
+        if have != want:
+            raise CheckpointError(
+                f"geometry mismatch: {field} is {have}, checkpoint "
+                f"needs {want}")
+    ckpt_now = checkpoint["clock_now"]
+    if machine.clock.now > ckpt_now:
+        raise CheckpointError(
+            f"destination clock ({machine.clock.now}) is ahead of the "
+            f"checkpoint ({ckpt_now})")
+
+    for name, block in checkpoint["banks"].items():
+        bank = machine.banks.get(name)
+        if bank is None:
+            raise CheckpointError(f"checkpoint names unknown bank {name!r}")
+        image = [0] * block["size_words"]
+        for address, word_hex in block["words_hex"].items():
+            image[int(address)] = int(word_hex, 16)
+        # load_words drops decoded instructions and superblock traces over
+        # the whole bank — exactly the Python-cost caches a migrated image
+        # must not inherit from the destination's previous life.
+        bank.load_words(0, image)
+    for name, frames in checkpoint["allocators"].items():
+        allocator = machine.allocators.get(name)
+        if allocator is not None:
+            allocator.advance_to(frames)
+
+    # Clock first: core/LAPIC state carries absolute timestamps that are
+    # only meaningful at the checkpoint's ``now``.  On a machine with no
+    # pending events this cleanly fast-forwards virtual time.
+    machine.clock.tick(ckpt_now - machine.clock.now)
+
+    by_name = {core.name: core
+               for core in machine.model_cores + machine.hv_cores}
+    for name, state in checkpoint["cores"].items():
+        core = by_name.get(name)
+        if core is None:
+            raise CheckpointError(f"checkpoint names unknown core {name!r}")
+        mmu_block = state["mmu"]
+        table = {
+            int(vpn): PageTableEntry.from_bits(ppn, bits)
+            for vpn, (ppn, bits) in mmu_block["table"].items()
+        }
+        core.mmu.restore_translation(
+            table,
+            tuple(mmu_block["exec_region"]) if mmu_block["exec_region"]
+            else None,
+            tuple(mmu_block["weight_region"]) if mmu_block["weight_region"]
+            else None,
+        )
+        core.restore_architectural_state(state)
+    for name, state in checkpoint["lapics"].items():
+        lapic = machine.lapics.get(name)
+        if lapic is None:
+            raise CheckpointError(f"checkpoint names unknown LAPIC {name!r}")
+        lapic.restore_state(state)
+    for cache in machine.shared_caches:
+        lines = checkpoint["shared_caches"].get(cache.name)
+        if lines is not None:
+            cache.restore_lines(lines)

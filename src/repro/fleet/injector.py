@@ -1,0 +1,109 @@
+"""Bind a :class:`~repro.faults.plan.FaultPlan` to a whole fleet.
+
+Same contract as the single-machine :class:`~repro.faults.injector.Injector`:
+every event is armed on the (shared) virtual clock at plan time, fires
+deterministically, is logged *before* dispatch, and a
+:class:`~repro.errors.GuillotineError` raised by the fault's effects is
+absorbed as the system's fail-closed response rather than a simulator
+crash.
+
+Fleet-layer classes (``node_loss``, ``net_partition``, ``frame_corrupt``)
+act on the fleet itself; single-machine classes in the plan are routed to
+a member chosen deterministically from the event (explicit ``node`` param
+when present, event time otherwise), so one seeded plan exercises both
+scales at once.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GuillotineError
+from repro.eventlog import CATEGORY_FAULT
+from repro.faults.plan import FAULT_LAYERS, FaultEvent, FaultPlan
+from repro.fleet.fleet import Fleet, FleetMember
+
+
+class FleetInjector:
+    """Arms a plan's events against a :class:`Fleet`."""
+
+    def __init__(self, fleet: Fleet, plan: FaultPlan, *,
+                 arm: bool = True) -> None:
+        self.fleet = fleet
+        self.plan = plan
+        self.fired: list[str] = []
+        self.skipped: list[dict] = []
+        if arm:
+            self.arm()
+
+    def arm(self) -> None:
+        clock = self.fleet.clock
+        for event in self.plan.events:
+            clock.call_at(max(event.time, clock.now),
+                          lambda e=event: self._fire(e))
+
+    @property
+    def fired_classes(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.fired)))
+
+    def _target_member(self, event: FaultEvent) -> FleetMember:
+        node = event.param("node")
+        if node is None:
+            node = event.time
+        return self.fleet.members[node % len(self.fleet.members)]
+
+    def _fire(self, event: FaultEvent) -> None:
+        handler = getattr(self, f"_inject_{event.fault_class}", None)
+        if handler is None:
+            self._skip(event, "no fleet handler")
+            return
+        self.fleet.log.record(
+            "faults", CATEGORY_FAULT,
+            fault=event.fault_class,
+            fault_layer=FAULT_LAYERS[event.fault_class],
+            scheduled=event.time,
+            **{key: event.params[key] for key in sorted(event.params)},
+        )
+        self.fired.append(event.fault_class)
+        try:
+            handler(event)
+        except GuillotineError as exc:
+            # The fault provoked a defensive response (machine check,
+            # lockdown refusal, ...): that IS the fail-closed behaviour
+            # the campaign wants to observe, not an injector error.
+            self.fleet.log.record(
+                "faults", CATEGORY_FAULT, fault=event.fault_class,
+                outcome="absorbed", error=type(exc).__name__,
+            )
+
+    def _skip(self, event: FaultEvent, reason: str) -> None:
+        self.skipped.append({"fault_class": event.fault_class,
+                             "reason": reason})
+
+    # -- fleet-layer classes ----------------------------------------------
+
+    def _inject_node_loss(self, event: FaultEvent) -> None:
+        member = self._target_member(event)
+        self.fleet.kill_node(member.index, reason="injected node_loss")
+
+    def _inject_net_partition(self, event: FaultEvent) -> None:
+        isolate = event.param("isolate", 0)
+        member = self.fleet.members[isolate % len(self.fleet.members)]
+        self.fleet.partition_minority(
+            member.index, event.param("duration", 2_000_000))
+
+    def _inject_frame_corrupt(self, event: FaultEvent) -> None:
+        self.fleet.corrupt_frames(event.param("count", 1))
+
+    # -- single-machine classes routed to one member ----------------------
+
+    def _inject_dram_bit_flip(self, event: FaultEvent) -> None:
+        member = self._target_member(event)
+        bank = member.machine.banks.get(event.param("bank", "model_dram"))
+        if bank is None:
+            self._skip(event, "bank absent")
+            return
+        bank.inject_bit_flip(event.param("offset", 0) % bank.size,
+                             event.param("bit", 0))
+
+    def _inject_heartbeat_drop(self, event: FaultEvent) -> None:
+        member = self._target_member(event)
+        member.drop_beats += event.param("periods", 2)

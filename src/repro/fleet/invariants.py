@@ -1,0 +1,137 @@
+"""Fleet-level machine-checked invariants.
+
+On top of the per-machine chaos invariants (isolation monotonicity and
+audit integrity, re-checked here for **every** member), a fleet campaign
+must satisfy three properties of the paper's multi-machine story:
+
+1. **Dead-node containment** — a node that abruptly died (``node_loss``)
+   contains whatever it was running: every core stays powered down and
+   its cable stays detached.  Death is not escape.
+2. **Partitioned minorities fail closed** — a member cut off from the
+   regulator for longer than the fleet watchdog window must have taken
+   itself to Offline (or already be dead/offline); unreachable never
+   means unsupervised.
+3. **Migration uniqueness** — a migrated guest is never live on two
+   machines: after every migration the source's model cores are powered
+   down, and each guest id is hosted by at most one member.
+"""
+
+from __future__ import annotations
+
+from repro.faults.invariants import (
+    InvariantResult,
+    check_audit_integrity,
+    check_isolation_monotonicity,
+)
+from repro.fleet.fleet import (
+    HEARTBEAT_PERIOD,
+    KILL_ACTUATION_LATENCY,
+    PUMP_PERIOD,
+    WATCHDOG_MISSES,
+    Fleet,
+)
+from repro.physical.isolation import IsolationLevel
+
+#: Partition durations longer than this must have produced a fail-close:
+#: the watchdog window plus one pump period of processing slack plus the
+#: kill actuation itself.
+FAIL_CLOSED_SLACK = 2 * PUMP_PERIOD
+
+
+def check_dead_node_containment(fleet: Fleet) -> InvariantResult:
+    violations: list[str] = []
+    for member in fleet.members:
+        if member.alive:
+            continue
+        for core in member.machine.model_cores + member.machine.hv_cores:
+            if not core.is_powered_down:
+                violations.append(
+                    f"{member.name} died at t={member.lost_at} but core "
+                    f"{core.name} is {core.state.name}")
+        if fleet.network.attached(member.host_id):
+            violations.append(
+                f"{member.name} died but its NIC is still attached")
+    return InvariantResult("dead_node_containment", not violations,
+                           tuple(violations))
+
+
+def check_partition_fail_closed(fleet: Fleet) -> InvariantResult:
+    """Every partition that outlasted the watchdog window ended with the
+    isolated member offline (dead counts: a lost node cannot fail any
+    more closed than it already is)."""
+    violations: list[str] = []
+    watchdog_window = WATCHDOG_MISSES * HEARTBEAT_PERIOD
+    budget = watchdog_window + FAIL_CLOSED_SLACK + KILL_ACTUATION_LATENCY
+    for partition in fleet.partitions:
+        if partition["duration"] <= budget:
+            continue
+        member = next(m for m in fleet.members
+                      if m.name == partition["node"])
+        if not member.alive:
+            continue
+        deadline = partition["start"] + budget
+        offline_at = next(
+            (time for time, _previous, level, _reason
+             in member.console.transition_history
+             if IsolationLevel[level] >= IsolationLevel.OFFLINE),
+            None)
+        if offline_at is None or offline_at > deadline:
+            violations.append(
+                f"{member.name} partitioned at t={partition['start']} for "
+                f"{partition['duration']} did not fail closed by "
+                f"t={deadline} (offline at {offline_at})")
+    return InvariantResult("partition_fail_closed", not violations,
+                           tuple(violations))
+
+
+def check_migration_uniqueness(fleet: Fleet) -> InvariantResult:
+    violations: list[str] = []
+    for migration in fleet.migrations:
+        source = next(m for m in fleet.members
+                      if m.name == migration["source"])
+        if any(not core.is_powered_down
+               for core in source.machine.model_cores):
+            violations.append(
+                f"guest {migration['guest_id']} migrated off "
+                f"{source.name} but a source model core is still powered")
+    hosted: dict[str, list[str]] = {}
+    for member in fleet.members:
+        if member.guest_id is not None:
+            hosted.setdefault(member.guest_id, []).append(member.name)
+    for guest_id, hosts in sorted(hosted.items()):
+        if len(hosts) > 1:
+            violations.append(
+                f"guest {guest_id} is hosted by {len(hosts)} members: "
+                f"{', '.join(hosts)}")
+    return InvariantResult("migration_uniqueness", not violations,
+                           tuple(violations))
+
+
+def check_fleet(fleet: Fleet) -> list[InvariantResult]:
+    """All fleet invariants plus the per-member chaos invariants."""
+    results = [
+        check_dead_node_containment(fleet),
+        check_partition_fail_closed(fleet),
+        check_migration_uniqueness(fleet),
+    ]
+    member_violations: dict[str, list[str]] = {"isolation": [], "audit": []}
+    for member in fleet.members:
+        iso = check_isolation_monotonicity(member.console,
+                                           member.machine.log)
+        member_violations["isolation"] += [
+            f"{member.name}: {v}" for v in iso.violations]
+        audit = check_audit_integrity(member.machine.log)
+        member_violations["audit"] += [
+            f"{member.name}: {v}" for v in audit.violations]
+    fleet_audit = check_audit_integrity(fleet.log)
+    member_violations["audit"] += [
+        f"fleet: {v}" for v in fleet_audit.violations]
+    results.append(InvariantResult(
+        "member_isolation_monotonicity",
+        not member_violations["isolation"],
+        tuple(member_violations["isolation"])))
+    results.append(InvariantResult(
+        "member_audit_integrity",
+        not member_violations["audit"],
+        tuple(member_violations["audit"])))
+    return results

@@ -30,6 +30,9 @@ runtime must contain:
                     generation bump between trace executions)
 ``hot_doorbell``    a hot loop ringing DOORBELL inside the fused run
                     (interrupt delivery against the trace event horizon)
+``migrate_midrun``  SETTIMER armed, then a trace-hot load/store loop —
+                    the state a mid-run checkpoint must carry across a
+                    migration (pending timer, warm TLB/cache/predictor)
 ==================  =====================================================
 
 Coverage guidance is *local to the generator instance*: the campaign layer
@@ -90,6 +93,7 @@ FEATURE_WEIGHTS: tuple[tuple[str, int], ...] = (
     ("hot_selfmod", 2),
     ("hot_mmu", 2),
     ("hot_doorbell", 2),
+    ("migrate_midrun", 2),
 )
 
 #: General-purpose registers the generator uses (r0 is hardwired zero,
@@ -455,6 +459,30 @@ class ProgramGenerator:
             loop,
             isa.add(payload, payload, counter),
             isa.doorbell(payload),
+            isa.addi(counter, counter, -1),
+            isa.bne(counter, 0, loop),
+        ]
+
+    def _seg_migrate_midrun(self) -> list:
+        """A checkpoint-shaped guest: arm the timer, then run a loop hot
+        enough to trace-compile with live loads and stores.  A mid-run
+        checkpoint of this program carries exactly the state migration
+        must preserve — a pending timer deadline, a warm TLB, dirty cache
+        lines, trained branch-predictor counters — while the compiled
+        traces themselves must *not* survive the move."""
+        rng = self._rng
+        counter, base, value, delay = rng.sample(_GP_REGS, 4)
+        loop = self._label("mig")
+        return [
+            isa.movi(delay, rng.randint(32, 128)),
+            isa.settimer(delay),
+            isa.movi(counter, rng.randint(8, 14)),
+            isa.movi(base, DATA_VADDR + rng.randrange(PAGE_SIZE - 8)),
+            isa.movi(value, rng.randint(0, 4096)),
+            loop,
+            isa.add(value, value, counter),
+            isa.store(value, base, rng.randrange(0, 4)),
+            isa.load(value, base, rng.randrange(0, 4)),
             isa.addi(counter, counter, -1),
             isa.bne(counter, 0, loop),
         ]

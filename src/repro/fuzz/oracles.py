@@ -1,4 +1,4 @@
-"""The four differential oracles behind ``repro fuzz``.
+"""The five differential oracles behind ``repro fuzz``.
 
 Every generated program is executed several ways and the outcomes are
 compared:
@@ -43,6 +43,16 @@ must be observably identical; any difference is a static-analysis
 soundness bug.  When the analyzer does report flows, differing
 observables are expected (``taint:interference`` coverage) and identical
 observables just mean the over-approximation was conservative.
+
+**Oracle 5 — migration equivalence.**  Every program is additionally run
+with a mid-flight interruption: after :data:`MIGRATION_SPLIT_STEPS` steps
+the machine is checkpointed (:mod:`repro.fleet.checkpoint`), the artifact
+is JSON round-tripped exactly as a fleet migration would ship it, restored
+onto a *fresh* machine, and execution continues there.  The final record
+must be cycle- and state-bit-identical to the uninterrupted run — the only
+fields excluded are the audit-log length/digest, because the restored
+machine's log legitimately starts a new hash chain (the old one cannot be
+replayed, by design).
 
 All comparisons run on deliberately small machines (one model core, a few
 DRAM pages) so a fuzz campaign costs milliseconds per program.
@@ -103,6 +113,19 @@ CROSS_COMPARE_FIELDS = (
     "steps", "state", "pc", "registers", "instructions_retired",
     "faults", "data_digest",
 )
+
+#: ExecutionRecord fields compared by oracle 5 (checkpoint/restore).  The
+#: audit log is excluded by design: a restored machine starts a fresh hash
+#: chain, so its length and digest legitimately differ.
+CHECKPOINT_COMPARE_FIELDS = tuple(
+    name for name in ENGINE_COMPARE_FIELDS
+    if name not in ("log_len", "log_digest")
+)
+
+#: Step count after which oracle 5 checkpoints the run.  Deep enough that
+#: generated hot loops have trace-compiled and warmed the TLB/caches, small
+#: enough that most programs are still mid-flight.
+MIGRATION_SPLIT_STEPS = 37
 
 
 #: The fuzz layout's source/sink model, derived from the concrete machine:
@@ -357,11 +380,18 @@ def execute_program(
         )
     core.resume()
     steps = core.run(max_steps=max_steps)
+    return _capture_record(machine, machine_kind,
+                           "fast" if fast_path else "reference",
+                           core, steps, layout["code_pages"])
 
+
+def _capture_record(machine, machine_kind: str, engine: str, core,
+                    steps: int, code_pages: int) -> ExecutionRecord:
+    """Snapshot everything observable about a finished run."""
     bank = machine.banks.get("model_dram") or machine.banks["shared_dram"]
-    code_words = bank.snapshot(0, layout["code_pages"] * PAGE_SIZE)
+    code_words = bank.snapshot(0, code_pages * PAGE_SIZE)
     data_words = bank.snapshot(
-        layout["code_pages"] * PAGE_SIZE, DATA_PAGES * PAGE_SIZE
+        code_pages * PAGE_SIZE, DATA_PAGES * PAGE_SIZE
     )
     hv_bank = machine.banks.get("hv_dram")
     hv_digest = digest_of(hv_bank.snapshot()) if hv_bank is not None else None
@@ -369,7 +399,7 @@ def execute_program(
     lapic = machine.lapics.get("hv_core0")
     return ExecutionRecord(
         machine=machine_kind,
-        engine="fast" if fast_path else "reference",
+        engine=engine,
         steps=steps,
         state=core.state.name,
         pc=core.pc,
@@ -389,6 +419,51 @@ def execute_program(
         doorbell_accepted=lapic.accepted if lapic is not None else 0,
         doorbell_throttled=lapic.throttled if lapic is not None else 0,
     )
+
+
+def migration_probe(
+    words: Sequence[int],
+    *,
+    split: int = MIGRATION_SPLIT_STEPS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ExecutionRecord:
+    """Run ``words`` with a mid-flight checkpoint/restore migration.
+
+    The run is interrupted after ``split`` steps, checkpointed, JSON
+    round-tripped (exactly what a fleet migration ships over the wire),
+    restored onto a fresh machine, and continued there.  The second leg
+    runs only when the first leg exhausted its full ``split`` budget — an
+    early break (halt, fault, WFI park) is the run's final state, which is
+    precisely what an uninterrupted ``run(max_steps)`` would have returned.
+    """
+    import json
+
+    from repro.fleet.checkpoint import capture_checkpoint, restore_checkpoint
+
+    if len(words) > PAGE_SIZE:
+        raise ValueError(f"fuzz programs are capped at {PAGE_SIZE} words")
+    machine = build_guillotine_machine(fuzz_guillotine_config())
+    core = machine.model_cores[0]
+    program = Program(list(words), {})
+    layout = machine.load_program(
+        core, program, data_pages=DATA_PAGES, map_io_region=False
+    )
+    if machine.control_bus is not None:
+        machine.control_bus.lockdown_mmu(
+            core.name, 0, layout["code_pages"] - 1
+        )
+    core.resume()
+    split = min(split, max_steps)
+    steps = core.run(max_steps=split)
+
+    checkpoint = json.loads(json.dumps(capture_checkpoint(machine)))
+    target = build_guillotine_machine(fuzz_guillotine_config())
+    restore_checkpoint(target, checkpoint)
+    migrated_core = target.model_cores[0]
+    if steps == split and split < max_steps:
+        steps += migrated_core.run(max_steps=max_steps - split)
+    return _capture_record(target, "guillotine", "migrated",
+                           migrated_core, steps, layout["code_pages"])
 
 
 def _compare(expected: ExecutionRecord, actual: ExecutionRecord,
@@ -566,6 +641,19 @@ def check_program(
         noninterference = False
         coverage.add("taint:interference" if probe_deltas
                      else "taint:overapprox")
+
+    # -- oracle 5: migration (checkpoint/restore) equivalence ----------
+    migrated = migration_probe(words, max_steps=max_steps)
+    migration_deltas = _compare(fast, migrated, CHECKPOINT_COMPARE_FIELDS)
+    if migration_deltas:
+        violations.append(OracleViolation(
+            oracle="migration",
+            reason="mid-run checkpoint/restore diverged from "
+                   "uninterrupted execution",
+            mismatches=migration_deltas,
+        ))
+    else:
+        coverage.add("migration:identical")
 
     # -- coverage tokens ----------------------------------------------
     coverage.add(f"state:{fast.state}")

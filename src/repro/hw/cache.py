@@ -106,6 +106,21 @@ class Cache:
         """Total number of valid lines currently cached."""
         return sum(len(s) for s in self._sets)
 
+    # -- checkpoint/restore (fleet migration) --------------------------------
+    # Cache contents are *timing-architectural*: a migrated guest must see
+    # the same hit/miss sequence as an uninterrupted one, so the tag arrays
+    # (and their LRU order) ride along in checkpoints.
+
+    def lines_snapshot(self) -> list[list[int]]:
+        return [list(s) for s in self._sets]
+
+    def restore_lines(self, sets: list[list[int]]) -> None:
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(sets)} sets, "
+                f"cache has {self.num_sets}")
+        self._sets = [list(s) for s in sets]
+
 
 class Tlb:
     """A tiny fully-associative TLB with LRU replacement.
@@ -175,6 +190,20 @@ class Tlb:
     def occupancy(self) -> int:
         return len(self._entries)
 
+    # -- checkpoint/restore (fleet migration) --------------------------------
+    # Only the (vpn, ppn) pairs and their LRU order are timing-visible; the
+    # cached PTE and generation guard are a Python-level shortcut that is
+    # re-derived after restore (a dropped guard means one authority re-check
+    # through the live MMU at hit timing — cycle-identical).
+
+    def entries_snapshot(self) -> list[tuple[int, int]]:
+        return [(vpn, entry[0]) for vpn, entry in self._entries.items()]
+
+    def restore_entries(self, pairs: list[tuple[int, int]]) -> None:
+        self._entries.clear()
+        for vpn, ppn in pairs:
+            self._entries[int(vpn)] = (int(ppn), None, -1)
+
 
 class BranchPredictor:
     """A table of 2-bit saturating counters indexed by pc.
@@ -217,6 +246,18 @@ class BranchPredictor:
     def flush(self) -> None:
         """Reset all counters to the weakly-not-taken power-on state."""
         self._counters = [1] * self.table_size
+
+    # -- checkpoint/restore (fleet migration) --------------------------------
+    # Counter state decides future mispredict penalties, so it is
+    # timing-architectural and migrates with the guest.
+
+    def counters_snapshot(self) -> list[int]:
+        return list(self._counters)
+
+    def restore_counters(self, counters: list[int]) -> None:
+        if len(counters) != self.table_size:
+            raise ValueError("predictor snapshot size mismatch")
+        self._counters = [int(c) for c in counters]
 
     def state_entropy_proxy(self) -> int:
         """Sum of counter distances from the reset value.

@@ -322,6 +322,71 @@ class Core:
             "last_fault": self.last_fault,
         }
 
+    def capture_architectural_state(self) -> dict:
+        """Everything a migrated guest's core must carry to keep executing
+        cycle-identically on another machine: the architectural register
+        state, exception/timer machinery, retirement counters, and the
+        timing-architectural microarch contents (TLB, private caches,
+        branch predictor).  The timer deadline is stored *relative* to the
+        current virtual time so restore works at any absolute clock value.
+        Python-level accelerators (decoded cache, superblock traces) are
+        deliberately absent — they re-warm without cycle effects."""
+        return {
+            "registers": list(self.registers),
+            "pc": self.pc,
+            "state": self.state.name,
+            "exception_vector": self.exception_vector,
+            "saved_pc": self._saved_pc,
+            "in_handler": self._in_handler,
+            "timer_remaining": (
+                None if self._timer_deadline is None
+                else self._timer_deadline - self.clock.now),
+            "timer_fires": self.timer_fires,
+            "instructions_retired": self.instructions_retired,
+            "faults": self.faults,
+            "last_fault": self.last_fault,
+            "tlb": self.caches.tlb.entries_snapshot(),
+            "branch_predictor": self.caches.branch_predictor.counters_snapshot(),
+            "private_caches": {
+                cache.name: cache.lines_snapshot()
+                for cache in self.caches.private
+            },
+        }
+
+    def restore_architectural_state(self, state: dict) -> None:
+        """Install a :meth:`capture_architectural_state` snapshot.
+
+        The MMU and DRAM banks must already hold the checkpointed image;
+        this call only rebuilds core-local state.  Decoded-instruction and
+        trace caches are dropped (stale physical indices), which is purely
+        a Python-cost event."""
+        self.registers = [int(v) & _WORD_MASK for v in state["registers"]]
+        self.pc = int(state["pc"])
+        self.state = CoreState[state["state"]]
+        vector = state["exception_vector"]
+        self.exception_vector = None if vector is None else int(vector)
+        self._saved_pc = int(state["saved_pc"])
+        self._in_handler = bool(state["in_handler"])
+        remaining = state["timer_remaining"]
+        self._timer_deadline = (
+            None if remaining is None else self.clock.now + int(remaining))
+        self.timer_fires = int(state["timer_fires"])
+        self.instructions_retired = int(state["instructions_retired"])
+        self.faults = int(state["faults"])
+        self.last_fault = state["last_fault"]
+        self.caches.tlb.invalidate()
+        self.caches.tlb.restore_entries(
+            [(vpn, ppn) for vpn, ppn in state["tlb"]])
+        self.caches.branch_predictor.restore_counters(
+            state["branch_predictor"])
+        by_name = {cache.name: cache for cache in self.caches.private}
+        for name, lines in state["private_caches"].items():
+            if name not in by_name:
+                raise ValueError(f"checkpoint names unknown cache {name!r}")
+            by_name[name].restore_lines(lines)
+        self._vtraces.clear()
+        self._trace_heat.clear()
+
     def poke_register(self, register: int, value: int) -> None:
         self._require_power()
         if self.is_running:

@@ -140,6 +140,14 @@ class NicDevice(Device):
         self._rx.append(frame)
         self.rx_frames += 1
 
+    def drain_frames(self) -> list[dict[str, Any]]:
+        """Management-plane bulk dequeue: hand every queued frame to the
+        host's control agent (the fleet pump) without charging guest-visible
+        device-op latencies.  Guest code keeps using the ``recv`` op."""
+        frames = list(self._rx)
+        self._rx.clear()
+        return frames
+
     def _op_send(self, request: dict[str, Any]) -> tuple[dict[str, Any], int]:
         if not self.link_up or self._network is None:
             return {"ok": False, "error": "link down"}, 2

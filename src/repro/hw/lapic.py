@@ -111,3 +111,40 @@ class Lapic:
         self._pending.clear()
         self._recent.clear()
         self._coalesced.clear()
+
+    # -- checkpoint/restore (fleet migration) --------------------------------
+    # Timestamps are absolute virtual time; a restore is only valid once the
+    # destination clock has been advanced to the checkpoint's ``now``.
+
+    def state_snapshot(self) -> dict:
+        return {
+            "pending": [
+                [i.source, i.vector, i.payload, i.time]
+                for i in self._pending
+            ],
+            "recent": {
+                source: list(times) for source, times in self._recent.items()
+            },
+            "coalesced": {
+                source: [i.source, i.vector, i.payload, i.time]
+                for source, i in self._coalesced.items()
+            },
+            "accepted": self.accepted,
+            "throttled": self.throttled,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._pending = deque(
+            Interrupt(source=s, vector=int(v), payload=int(p), time=int(t))
+            for s, v, p, t in state["pending"])
+        self._recent = {
+            source: deque(int(t) for t in times)
+            for source, times in state["recent"].items()
+        }
+        self._coalesced = {
+            source: Interrupt(source=s, vector=int(v), payload=int(p),
+                              time=int(t))
+            for source, (s, v, p, t) in state["coalesced"].items()
+        }
+        self.accepted = int(state["accepted"])
+        self.throttled = int(state["throttled"])

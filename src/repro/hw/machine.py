@@ -87,6 +87,14 @@ class FrameAllocator:
     def frames_used(self) -> int:
         return self._next
 
+    def advance_to(self, frames: int) -> None:
+        """Mark the first ``frames`` frames as allocated (checkpoint
+        restore: the incoming image owns them, whatever the destination
+        allocator handed out before)."""
+        if frames > self._bank.num_frames:
+            raise BusError(f"{self._bank.name}: out of frames")
+        self._next = max(self._next, frames)
+
 
 class Machine:
     """A built machine: cores, memory banks, buses, devices, identity."""

@@ -626,3 +626,35 @@ class Mmu:
 
     def table_snapshot(self) -> dict[int, PageTableEntry]:
         return dict(self._table)
+
+    # -- checkpoint/restore (fleet migration) ---------------------------------
+
+    def restore_translation(
+        self,
+        table: dict[int, PageTableEntry],
+        exec_region: tuple[int, int] | None,
+        weight_region: tuple[int, int] | None,
+    ) -> None:
+        """Replace the whole translation state from a checkpoint snapshot.
+
+        The snapshot is replayed through the normal privileged interfaces:
+        entries are mapped while the MMU is unlocked, then
+        :meth:`lockdown` / :meth:`protect_weights` are re-issued for the
+        checkpointed regions.  Because the snapshot was taken from an MMU
+        that already satisfied the lockdown invariants, the re-issued calls
+        re-derive the locked-frame bookkeeping and cannot fail; anything
+        else would mean the checkpoint was forged, and the
+        :class:`LockdownViolation` propagates to the caller.
+        """
+        self._exec_region = None
+        self._locked_exec.clear()
+        self._weight_region = None
+        self._locked_weights.clear()
+        self._table.clear()
+        self.generation += 1
+        for vpn in sorted(table):
+            self.map(vpn, table[vpn])
+        if exec_region is not None:
+            self.lockdown(exec_region[0], exec_region[1])
+        if weight_region is not None:
+            self.protect_weights(weight_region[0], weight_region[1])

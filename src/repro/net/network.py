@@ -9,6 +9,9 @@ Two kinds of attachment:
 
 Delivery is scheduled on the clock with a per-link latency, so network
 experiments and kill-switch races are deterministic in virtual time.
+Fleet topologies can override individual link latencies (a slow WAN hop
+to the regulator) and the fault injector can partition the fabric or
+corrupt frames in flight; both honor the same deterministic schedule.
 """
 
 from __future__ import annotations
@@ -18,6 +21,10 @@ from typing import Any
 
 from repro.clock import VirtualClock
 from repro.eventlog import CATEGORY_NETWORK, EventLog
+
+#: Payload substituted into a frame garbled in flight.  Receivers are
+#: expected to treat it like a CRC failure and discard the frame.
+CORRUPT_PAYLOAD = {"corrupt": True}
 
 
 class Host:
@@ -43,9 +50,14 @@ class Network:
         self._clock = clock
         self._log = log
         self.latency = latency
+        self._link_latency: dict[tuple[str, str], int] = {}
         self._endpoints: dict[str, Any] = {}
+        self._partition: dict[str, int] | None = None
+        self._corrupt_budget = 0
         self.frames_delivered = 0
         self.frames_dropped = 0
+        self.frames_corrupted = 0
+        self.drops_by_destination: dict[str, int] = {}
 
     def attach(self, endpoint: Any) -> None:
         """Attach a NIC device or a :class:`Host`."""
@@ -68,29 +80,110 @@ class Network:
     def attached(self, host_id: str) -> bool:
         return host_id in self._endpoints
 
+    # -- per-link latency -------------------------------------------------
+
+    def set_link_latency(self, a: str, b: str, latency_ns: int) -> None:
+        """Override the latency of the (symmetric) link between two hosts.
+
+        Links without an override keep :attr:`latency`, so topologies that
+        never call this produce byte-identical reports to the single-latency
+        fabric.
+        """
+        if latency_ns < 0:
+            raise ValueError("link latency must be non-negative")
+        self._link_latency[self._link_key(a, b)] = latency_ns
+
+    def link_latency(self, a: str, b: str) -> int:
+        return self._link_latency.get(self._link_key(a, b), self.latency)
+
+    @staticmethod
+    def _link_key(a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    # -- partitions and corruption (fleet fault injection) ----------------
+
+    def set_partition(self, groups: list[list[str]]) -> None:
+        """Split the fabric: only hosts in the same group can exchange frames.
+
+        Hosts absent from every group are unreachable entirely.  Checked
+        both at transmit time and again at delivery time, so frames in
+        flight when the partition lands are lost too.
+        """
+        membership: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for host_id in group:
+                membership[host_id] = index
+        self._partition = membership
+
+    def clear_partition(self) -> None:
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def reachable(self, a: str, b: str) -> bool:
+        if self._partition is None:
+            return True
+        group_a = self._partition.get(a)
+        group_b = self._partition.get(b)
+        return group_a is not None and group_a == group_b
+
+    def inject_corruption(self, count: int = 1) -> None:
+        """Garble the payload of the next ``count`` frames at delivery."""
+        self._corrupt_budget += count
+
+    # -- frame plumbing ---------------------------------------------------
+
+    def _drop(self, outcome: str, source: str, destination: str) -> None:
+        self.frames_dropped += 1
+        self.drops_by_destination[destination] = (
+            self.drops_by_destination.get(destination, 0) + 1)
+        if self._log is not None:
+            self._log.record("net", CATEGORY_NETWORK, outcome=outcome,
+                             src=source, dst=destination)
+
     def transmit(self, source: str, destination: str, payload: Any) -> bool:
         """Queue a frame; returns ``False`` if it will be dropped."""
         target = self._endpoints.get(destination)
         frame = {"src": source, "dst": destination, "payload": payload,
                  "sent_at": self._clock.now}
         if target is None or source not in self._endpoints:
+            # Keep the original record shape (counter bumped inline, no
+            # per-destination attribution) so existing audit streams stay
+            # byte-identical.
             self.frames_dropped += 1
             if self._log is not None:
                 self._log.record("net", CATEGORY_NETWORK, outcome="dropped",
                                  src=source, dst=destination)
             return False
+        if not self.reachable(source, destination):
+            self._drop("partitioned", source, destination)
+            return False
 
         def deliver() -> None:
-            # Re-check at delivery time: the cable may have been cut while
-            # the frame was in flight.
+            # Re-check at delivery time: the cable may have been cut or the
+            # fabric partitioned while the frame was in flight.
             live = self._endpoints.get(destination)
             if live is None:
-                self.frames_dropped += 1
+                self._drop("dropped_in_flight", source, destination)
                 return
+            if not self.reachable(source, destination):
+                self._drop("partitioned", source, destination)
+                return
+            if self._corrupt_budget > 0:
+                self._corrupt_budget -= 1
+                self.frames_corrupted += 1
+                frame["payload"] = dict(CORRUPT_PAYLOAD)
+                frame["corrupt"] = True
+                if self._log is not None:
+                    self._log.record("net", CATEGORY_NETWORK,
+                                     outcome="corrupted",
+                                     src=source, dst=destination)
             live.receive_frame(frame)
             self.frames_delivered += 1
 
-        self._clock.call_after(self.latency, deliver)
+        self._clock.call_after(self.link_latency(source, destination), deliver)
         if self._log is not None:
             self._log.record("net", CATEGORY_NETWORK, outcome="queued",
                              src=source, dst=destination)
@@ -98,3 +191,16 @@ class Network:
 
     def endpoints(self) -> list[str]:
         return sorted(self._endpoints)
+
+    def telemetry(self) -> dict[str, Any]:
+        """Deterministic counter snapshot for reports."""
+        return {
+            "frames_delivered": self.frames_delivered,
+            "frames_dropped": self.frames_dropped,
+            "frames_corrupted": self.frames_corrupted,
+            "drops_by_destination": {
+                dst: self.drops_by_destination[dst]
+                for dst in sorted(self.drops_by_destination)
+            },
+            "partitioned": self.partitioned,
+        }

@@ -9,6 +9,7 @@ points and :mod:`repro.parallel.merge` for the determinism contract.
 from repro.parallel.fabric import (
     run_bench_fabric,
     run_chaos_fabric,
+    run_fleet_fabric,
     run_paired_campaign_fabric,
 )
 from repro.parallel.merge import canonical_bytes, deterministic_view
@@ -23,6 +24,7 @@ from repro.parallel.tasks import (
     BenchTask,
     CampaignAttackTask,
     ChaosCampaignTask,
+    FleetCampaignTask,
     WarmupTask,
     execute_task,
 )
@@ -32,6 +34,7 @@ __all__ = [
     "CampaignAttackTask",
     "ChaosCampaignTask",
     "DEFAULT_OUTPUT",
+    "FleetCampaignTask",
     "MAX_AUTO_JOBS",
     "PARALLEL_SCHEMA",
     "PoolStats",
@@ -43,6 +46,7 @@ __all__ = [
     "resolve_jobs",
     "run_bench_fabric",
     "run_chaos_fabric",
+    "run_fleet_fabric",
     "run_paired_campaign_fabric",
     "scaling_sweep",
     "sweep_points",

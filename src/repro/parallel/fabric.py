@@ -32,6 +32,7 @@ from repro.parallel.merge import (
     merge_bench_samples,
     merge_campaign_results,
     merge_chaos_runs,
+    merge_fleet_runs,
     merge_fuzz_batches,
 )
 from repro.parallel.pool import ShardedRunner, resolve_jobs
@@ -39,6 +40,7 @@ from repro.parallel.tasks import (
     BenchTask,
     CampaignAttackTask,
     ChaosCampaignTask,
+    FleetCampaignTask,
     FuzzBatchTask,
 )
 
@@ -79,6 +81,33 @@ def run_chaos_fabric(seed: int, campaigns: int, jobs: int | None = None,
         if own_runner:
             runner.close()
     report = merge_chaos_runs(seed, campaigns, runs)
+    return report, _timing(start, campaigns, jobs, "parallel", runner)
+
+
+def run_fleet_fabric(seed: int, campaigns: int, machines: int,
+                     jobs: int | None = None,
+                     *, runner: ShardedRunner | None = None
+                     ) -> tuple[dict, dict]:
+    """Fleet campaigns, sharded; report byte-identical to ``run_fleet``."""
+    from repro.fleet.campaign import derive_campaign_seeds, run_fleet
+
+    jobs = runner.jobs if runner is not None else resolve_jobs(jobs)
+    start = time.perf_counter()
+    if jobs <= 1 or campaigns <= 1:
+        report = run_fleet(seed, campaigns, machines)
+        return report, _timing(start, campaigns, 1, "sequential")
+    seeds = derive_campaign_seeds(seed, campaigns)
+    tasks = [FleetCampaignTask(campaign_seed, index, machines)
+             for index, campaign_seed in enumerate(seeds)]
+    own_runner = runner is None
+    if own_runner:
+        runner = ShardedRunner(jobs)
+    try:
+        runs = runner.map(tasks)
+    finally:
+        if own_runner:
+            runner.close()
+    report = merge_fleet_runs(seed, machines, campaigns, runs)
     return report, _timing(start, campaigns, jobs, "parallel", runner)
 
 

@@ -69,6 +69,14 @@ def merge_chaos_runs(seed: int, campaigns: int, runs: list[dict]) -> dict:
     return assemble_report(seed, campaigns, runs)
 
 
+def merge_fleet_runs(seed: int, machines: int, campaigns: int,
+                     runs: list[dict]) -> dict:
+    """Reassemble per-shard fleet campaign dicts into the fleet report."""
+    from repro.fleet.campaign import assemble_report
+
+    return assemble_report(seed, machines, campaigns, runs)
+
+
 def merge_campaign_results(platform: str, results: list[dict]):
     """Reassemble per-shard attack dicts into a campaign report."""
     from repro.core.scenarios import report_from_results

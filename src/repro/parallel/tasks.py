@@ -39,6 +39,17 @@ class ChaosCampaignTask:
 
 
 @dataclass(frozen=True)
+class FleetCampaignTask:
+    """One seeded fleet chaos campaign
+    (:func:`repro.fleet.campaign.run_one`)."""
+
+    campaign_seed: int
+    index: int
+    machines: int
+    crash_token: str | None = None
+
+
+@dataclass(frozen=True)
 class CampaignAttackTask:
     """One adversary attack on one fresh deployment
     (:func:`repro.core.scenarios.run_one_attack`)."""
@@ -105,6 +116,10 @@ def execute_task(task) -> dict:
         from repro.faults.chaos import run_one
 
         return run_one(task.campaign_seed, task.index)
+    if isinstance(task, FleetCampaignTask):
+        from repro.fleet.campaign import run_one
+
+        return run_one(task.campaign_seed, task.index, task.machines)
     if isinstance(task, CampaignAttackTask):
         from repro.core.scenarios import run_one_attack
 

@@ -6,6 +6,7 @@ from repro.faults.plan import (
     CORE_CLASSES,
     FAULT_CLASSES,
     FAULT_LAYERS,
+    FLEET_CORE_CLASSES,
     FaultPlan,
     MS,
 )
@@ -39,12 +40,35 @@ class TestCoverage:
         # The chaos acceptance floor: >= 6 distinct classes per plan.
         assert len(FaultPlan.generate(11).fault_classes) >= 6
 
-    def test_all_twelve_classes_generable(self):
+    def test_all_classes_generable(self):
         plan = FaultPlan.generate(5, classes=FAULT_CLASSES)
         assert plan.fault_classes == FAULT_CLASSES
 
     def test_layer_table_complete(self):
-        assert set(FAULT_LAYERS.values()) == {"hw", "physical", "hv"}
+        assert set(FAULT_LAYERS.values()) == {"hw", "physical", "hv", "fleet"}
+
+    def test_fleet_core_classes_cover_both_scales(self):
+        layers = {FAULT_LAYERS[cls] for cls in FLEET_CORE_CLASSES}
+        assert "fleet" in layers
+        assert layers - {"fleet"}          # at least one single-machine class
+
+    def test_fleet_plan_generable(self):
+        plan = FaultPlan.generate(7, classes=FLEET_CORE_CLASSES)
+        assert plan.fault_classes == tuple(sorted(FLEET_CORE_CLASSES))
+
+    def test_new_classes_do_not_disturb_legacy_plans(self):
+        """Adding the fleet classes must not shift the RNG stream of plans
+        drawn over the pre-existing pool: the committed BENCH_chaos.json
+        embeds plans from the pre-fleet generator, and these literals pin
+        the same stream at the unit level."""
+        events = FaultPlan.generate(7).to_dict()["events"]
+        assert events[0] == {
+            "time": 3521911, "fault_class": "heartbeat_drop",
+            "params": {"periods": 2, "side": "hypervisor"},
+        }
+        assert events[-1] == {
+            "time": 19890532, "fault_class": "hv_crash", "params": {},
+        }
 
 
 class TestSchedule:

@@ -1,0 +1,206 @@
+"""Checkpoint/restore determinism: a migrated run must be bit-identical
+to an uninterrupted one — cycles included — on every engine.
+
+This is the contract the whole migration story rests on: the fused fast
+path and the superblock trace JIT are Python-cost optimizations, so a
+checkpoint taken mid-trace restores onto a cold machine and still lands
+on exactly the same architectural state at exactly the same cycle.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    capture_checkpoint,
+    restore_checkpoint,
+)
+from repro.fleet.fleet import benign_guest_program, member_config
+from repro.hw import isa
+from repro.hw.machine import MachineConfig, build_guillotine_machine
+
+#: (fast_path, traces) for the three interpreter engines.
+ENGINES = [
+    pytest.param(False, False, id="reference"),
+    pytest.param(True, False, id="fast"),
+    pytest.param(True, True, id="traces"),
+]
+
+SPLIT = 150
+TOTAL = 400
+
+
+def _machine(fast: bool, traces: bool):
+    machine = build_guillotine_machine(member_config(0))
+    machine.set_fast_path(fast)
+    machine.set_traces(traces)
+    return machine
+
+
+def _boot(machine, program=None):
+    core = machine.model_cores[0]
+    layout = machine.load_program(
+        core, program or benign_guest_program(), data_pages=2,
+        map_io_region=False)
+    machine.control_bus.lockdown_mmu(core.name, 0, layout["code_pages"] - 1)
+    core.resume()
+    return core
+
+
+def _state(machine, core):
+    return {
+        "pc": core.pc,
+        "state": core.state.name,
+        "registers": tuple(core.registers),
+        "cycles": machine.clock.now,
+        "retired": core.instructions_retired,
+        "faults": core.faults,
+        "timer_fires": core.timer_fires,
+        "model_dram": tuple(machine.banks["model_dram"].snapshot()),
+    }
+
+
+class TestCycleExactness:
+    @pytest.mark.parametrize("fast,traces", ENGINES)
+    def test_mid_run_round_trip_is_bit_identical(self, fast, traces):
+        # Uninterrupted run.
+        straight = _machine(fast, traces)
+        core = _boot(straight)
+        assert core.run(max_steps=TOTAL) == TOTAL
+        want = _state(straight, core)
+
+        # Interrupted: run, checkpoint, JSON round-trip, restore, continue.
+        source = _machine(fast, traces)
+        source_core = _boot(source)
+        assert source_core.run(max_steps=SPLIT) == SPLIT
+        artifact = json.loads(json.dumps(
+            capture_checkpoint(source), sort_keys=True))
+
+        target = _machine(fast, traces)
+        restore_checkpoint(target, artifact)
+        target_core = target.model_cores[0]
+        assert target_core.run(max_steps=TOTAL - SPLIT) == TOTAL - SPLIT
+        assert _state(target, target_core) == want
+
+    @pytest.mark.parametrize("fast,traces", ENGINES)
+    def test_cross_engine_restore_agrees(self, fast, traces):
+        """A checkpoint taken under the trace JIT restores onto any engine
+        and still reaches the same architectural state (the engines are
+        cycle-equivalent, so the artifact is engine-neutral)."""
+        source = _machine(True, True)
+        source_core = _boot(source)
+        source_core.run(max_steps=SPLIT)
+        artifact = capture_checkpoint(source)
+
+        target = _machine(fast, traces)
+        restore_checkpoint(target, artifact)
+        target_core = target.model_cores[0]
+        target_core.run(max_steps=TOTAL - SPLIT)
+
+        straight = _machine(fast, traces)
+        straight_core = _boot(straight)
+        straight_core.run(max_steps=TOTAL)
+        got = _state(target, target_core)
+        want = _state(straight, straight_core)
+        assert got == want
+
+    def test_pending_timer_survives_the_move(self):
+        """A SETTIMER deadline armed before the checkpoint fires at the
+        same virtual instant after restore."""
+        program = isa.assemble([
+            isa.jmp("main"),
+            "handler",
+            isa.movi(5, 777),
+            isa.iret(),
+            "main",
+            isa.movi(1, 40),
+            isa.settimer(1),
+            isa.movi(2, 4000),
+            "loop",
+            isa.addi(3, 3, 1),
+            isa.blt(3, 2, "loop"),
+            isa.halt(),
+        ])
+
+        def boot(machine):
+            core = _boot(machine, program)
+            core.exception_vector = program.symbols["handler"]
+            return core
+
+        straight = _machine(True, True)
+        core = boot(straight)
+        core.run(max_steps=TOTAL)
+        want = _state(straight, core)
+        assert want["timer_fires"] >= 1
+
+        source = _machine(True, True)
+        source_core = boot(source)
+        source_core.run(max_steps=10)   # timer armed, not yet fired
+        assert source_core.timer_fires == 0
+        artifact = json.loads(json.dumps(capture_checkpoint(source)))
+        target = _machine(True, True)
+        restore_checkpoint(target, artifact)
+        target_core = target.model_cores[0]
+        target_core.run(max_steps=TOTAL - 10)
+        assert _state(target, target_core) == want
+
+
+class TestArtifact:
+    def test_schema_and_kind(self):
+        machine = _machine(True, True)
+        _boot(machine).run(max_steps=20)
+        artifact = capture_checkpoint(machine)
+        assert artifact["schema"] == CHECKPOINT_SCHEMA
+        assert artifact["kind"] == "checkpoint"
+        assert artifact["clock_now"] == machine.clock.now
+
+    def test_artifact_is_json_stable(self):
+        machine = _machine(True, True)
+        _boot(machine).run(max_steps=50)
+        first = json.dumps(capture_checkpoint(machine), sort_keys=True)
+        second = json.dumps(capture_checkpoint(machine), sort_keys=True)
+        assert first == second
+
+    def test_sparse_banks_only_store_nonzero_words(self):
+        machine = _machine(True, True)
+        _boot(machine).run(max_steps=20)
+        block = capture_checkpoint(machine)["banks"]["model_dram"]
+        assert block["size_words"] == machine.banks["model_dram"].size
+        assert all(int(word, 16) != 0
+                   for word in block["words_hex"].values())
+
+
+class TestValidation:
+    def test_geometry_mismatch_rejected(self):
+        machine = _machine(True, True)
+        _boot(machine).run(max_steps=20)
+        artifact = capture_checkpoint(machine)
+        other = build_guillotine_machine(MachineConfig(
+            n_model_cores=1, n_hv_cores=1,
+            model_dram_pages=32, hv_dram_pages=16, io_dram_pages=4))
+        with pytest.raises(CheckpointError, match="geometry"):
+            restore_checkpoint(other, artifact)
+
+    def test_destination_ahead_in_time_rejected(self):
+        machine = _machine(True, True)
+        _boot(machine).run(max_steps=20)
+        artifact = capture_checkpoint(machine)
+        target = _machine(True, True)
+        target.clock.tick(artifact["clock_now"] + 1)
+        with pytest.raises(CheckpointError, match="ahead"):
+            restore_checkpoint(target, artifact)
+
+    def test_wrong_schema_rejected(self):
+        target = _machine(True, True)
+        with pytest.raises(CheckpointError, match="artifact"):
+            restore_checkpoint(target, {"schema": "repro.replay/1"})
+
+    def test_wrong_kind_rejected(self):
+        target = _machine(True, True)
+        with pytest.raises(CheckpointError, match="checkpoint"):
+            restore_checkpoint(
+                target, {"schema": CHECKPOINT_SCHEMA, "kind": "report"})

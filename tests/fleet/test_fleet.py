@@ -1,0 +1,270 @@
+"""Fleet protocol tests: quorum kill, watchdog, migration, node loss.
+
+Each scenario is pure virtual time on one shared clock, so every timing
+assertion here is exact — there is no "eventually" in this fleet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.fleet import (
+    COMMIT_TIMEOUT,
+    HEARTBEAT_PERIOD,
+    MS,
+    WATCHDOG_MISSES,
+    Fleet,
+    FleetError,
+)
+from repro.fleet.invariants import (
+    check_dead_node_containment,
+    check_fleet,
+    check_migration_uniqueness,
+    check_partition_fail_closed,
+)
+from repro.physical.isolation import IsolationLevel
+
+
+def make_fleet(machines: int = 3) -> Fleet:
+    fleet = Fleet.create(machines)
+    # Let the control plane settle: a couple of beacon rounds so every
+    # member has a recent last_beat_seen.
+    fleet.clock.run_until(2 * MS)
+    return fleet
+
+
+class TestQuorumKillCommit:
+    def test_unanimous_vote_commits_and_offlines_everyone(self):
+        fleet = make_fleet(3)
+        vote = fleet.initiate_quorum_kill("model exhibited excluded behavior")
+        fleet.clock.run_until(fleet.clock.now + 30 * MS)
+        fleet.shutdown()
+
+        report = fleet.kill_report()
+        assert report["initiated"]
+        assert report["outcome"] == "committed"
+        assert not report["tie_break_used"]
+        assert report["votes"] == {
+            member.host_id: True for member in fleet.members}
+        for member in fleet.members:
+            assert member.isolation_level is IsolationLevel.OFFLINE
+            assert member.kill_kind == "quorum_kill"
+        assert len(report["kills"]) == 3
+        assert report["within_deadline"]
+        assert vote["kill_deadline"] == report["kill_deadline"]
+
+    def test_members_are_contained_after_commit(self):
+        fleet = make_fleet(3)
+        fleet.load_guest(0)
+        fleet.run_guest_slice(0, 200)
+        fleet.initiate_quorum_kill("drill")
+        fleet.clock.run_until(fleet.clock.now + 30 * MS)
+        fleet.shutdown()
+        assert all(member.contained() for member in fleet.members)
+        assert fleet.run_guest_slice(0, 100) == 0
+
+    def test_concurrent_vote_rejected(self):
+        fleet = make_fleet(3)
+        fleet.initiate_quorum_kill("first")
+        with pytest.raises(FleetError, match="already in progress"):
+            fleet.initiate_quorum_kill("second")
+        fleet.shutdown()
+
+    def test_no_vote_means_empty_report(self):
+        fleet = make_fleet(1)
+        fleet.shutdown()
+        assert fleet.kill_report() == {"initiated": False}
+
+
+class TestQuorumKillTieBreak:
+    def test_exact_half_resolved_by_regulator_certificate(self):
+        """Two machines, one dead: a single yes vote is exactly half the
+        fleet, and the regulator's tie-break certificate carries it."""
+        fleet = make_fleet(2)
+        fleet.kill_node(1)
+        fleet.initiate_quorum_kill("tie-break drill")
+        fleet.clock.run_until(fleet.clock.now + 25 * MS)
+        fleet.shutdown()
+
+        report = fleet.kill_report()
+        assert report["outcome"] == "committed"
+        assert report["tie_break_used"]
+        assert report["votes"] == {fleet.members[0].host_id: True}
+        survivor = fleet.members[0]
+        assert survivor.isolation_level is IsolationLevel.OFFLINE
+        assert survivor.kill_kind == "quorum_kill"
+        assert report["within_deadline"]
+
+
+class TestQuorumUnreachable:
+    def test_minority_vote_fails_and_voter_fails_closed(self):
+        """Two of three nodes dead: one vote can't reach quorum and isn't
+        an exact half, so the regulator reports quorum_unreachable — and
+        the lone voter, having seen the request but never the commit,
+        fails closed on its own at the commit timeout."""
+        fleet = make_fleet(3)
+        fleet.kill_node(1)
+        fleet.kill_node(2)
+        initiated_at = fleet.clock.now
+        fleet.initiate_quorum_kill("degraded drill")
+        fleet.clock.run_until(fleet.clock.now + 10 * MS)
+        fleet.shutdown()
+
+        report = fleet.kill_report()
+        assert report["outcome"] == "quorum_unreachable"
+        assert not report["tie_break_used"]
+        survivor = fleet.members[0]
+        assert survivor.kill_kind == "vote_timeout"
+        assert survivor.isolation_level is IsolationLevel.OFFLINE
+        # The unilateral fail-close lands right around the commit timeout
+        # (one vote round-trip + pump quantization after the request).
+        assert survivor.killed_at is not None
+        assert initiated_at + COMMIT_TIMEOUT <= survivor.killed_at
+        assert survivor.killed_at <= report["kill_deadline"]
+        assert [k["kind"] for k in report["kills"]] == ["vote_timeout"]
+        assert report["within_deadline"]
+
+
+class TestWatchdog:
+    def test_partitioned_minority_fails_closed_without_any_vote(self):
+        fleet = make_fleet(3)
+        fleet.partition_minority(0, 15 * MS)
+        fleet.clock.run_until(fleet.clock.now + 20 * MS)
+        fleet.shutdown()
+
+        isolated = fleet.members[0]
+        assert isolated.kill_kind == "watchdog"
+        assert isolated.isolation_level is IsolationLevel.OFFLINE
+        # The watchdog fires shortly after the missed-beat window closes.
+        window = WATCHDOG_MISSES * HEARTBEAT_PERIOD
+        assert isolated.killed_at is not None
+        assert isolated.killed_at >= window
+        result = check_partition_fail_closed(fleet)
+        assert result.passed, result.violations
+        # The majority side never tripped anything.
+        for member in fleet.members[1:]:
+            assert member.kill_kind is None
+            assert member.isolation_level < IsolationLevel.OFFLINE
+
+    def test_short_partition_heals_without_a_kill(self):
+        fleet = make_fleet(3)
+        fleet.partition_minority(0, HEARTBEAT_PERIOD)
+        fleet.clock.run_until(fleet.clock.now + 10 * MS)
+        fleet.shutdown()
+        assert fleet.members[0].kill_kind is None
+        assert not fleet.network.partitioned
+        assert check_partition_fail_closed(fleet).passed
+
+
+class TestMigration:
+    def test_guest_moves_and_keeps_running(self):
+        fleet = make_fleet(3)
+        fleet.load_guest(0)
+        assert fleet.run_guest_slice(0, 200) == 200
+        source_steps = fleet.members[0].guest_steps
+
+        record = fleet.migrate_guest(0, 2)
+        assert record["guest_id"] == "guest-node0"
+        assert record["source"] == "node0"
+        assert record["destination"] == "node2"
+        assert fleet.members[0].guest_id is None
+        assert fleet.members[2].guest_id == "guest-node0"
+        # Never live twice: the source is inert before the restore.
+        assert all(core.is_powered_down
+                   for core in fleet.members[0].machine.model_cores)
+        # And the guest actually advances on the destination.
+        assert fleet.run_guest_slice(2, 100) == 100
+        assert fleet.run_guest_slice(0, 100) == 0
+        assert fleet.members[0].guest_steps == source_steps
+        fleet.shutdown()
+        assert check_migration_uniqueness(fleet).passed
+        assert all(result.passed for result in check_fleet(fleet))
+
+    def test_migrated_registers_match_the_source_checkpoint(self):
+        fleet = make_fleet(3)
+        fleet.load_guest(0)
+        fleet.run_guest_slice(0, 150)
+        before = list(fleet.members[0].machine.model_cores[0].registers)
+        fleet.migrate_guest(0, 1)
+        fleet.shutdown()
+        after = list(fleet.members[1].machine.model_cores[0].registers)
+        assert after == before
+
+    def test_refusals(self):
+        fleet = make_fleet(3)
+        fleet.load_guest(0)
+        fleet.load_guest(1)
+        with pytest.raises(FleetError, match="same"):
+            fleet.migrate_guest(0, 0)
+        with pytest.raises(FleetError, match="no live guest"):
+            fleet.migrate_guest(2, 1)
+        with pytest.raises(FleetError, match="already hosts"):
+            fleet.migrate_guest(0, 1)
+        fleet.kill_node(2)
+        with pytest.raises(FleetError, match="cannot accept"):
+            fleet.migrate_guest(0, 2)
+        fleet.shutdown()
+        assert fleet.migrations == []
+
+    def test_partitioned_destination_refused(self):
+        fleet = make_fleet(3)
+        fleet.load_guest(0)
+        fleet.partition_minority(2, 10 * MS)
+        with pytest.raises(FleetError, match="not connected"):
+            fleet.migrate_guest(0, 2)
+        fleet.shutdown()
+
+
+class TestNodeLoss:
+    def test_dead_node_is_contained(self):
+        fleet = make_fleet(3)
+        fleet.load_guest(1)
+        fleet.run_guest_slice(1, 100)
+        fleet.kill_node(1)
+
+        lost = fleet.members[1]
+        assert not lost.alive
+        assert not lost.responsive
+        assert lost.contained()
+        assert not fleet.network.attached(lost.host_id)
+        assert fleet.run_guest_slice(1, 100) == 0
+        fleet.shutdown()
+        result = check_dead_node_containment(fleet)
+        assert result.passed, result.violations
+
+    def test_killing_a_dead_node_is_a_noop(self):
+        fleet = make_fleet(3)
+        fleet.kill_node(1)
+        fleet.kill_node(1)
+        fleet.shutdown()
+        assert len(fleet.node_losses) == 1
+
+
+class TestFleetLifecycle:
+    def test_minimum_size_enforced(self):
+        with pytest.raises(FleetError, match="at least one"):
+            Fleet.create(0)
+
+    def test_unknown_member_rejected(self):
+        fleet = make_fleet(1)
+        fleet.shutdown()
+        with pytest.raises(FleetError, match="no member"):
+            fleet.member(99)
+
+    def test_shutdown_stops_the_control_plane(self):
+        fleet = make_fleet(2)
+        fleet.shutdown()
+        sent = fleet.beats_sent
+        fleet.clock.run_until(fleet.clock.now + 5 * MS)
+        assert fleet.beats_sent == sent
+
+    def test_telemetry_shape(self):
+        fleet = make_fleet(2)
+        fleet.load_guest(0)
+        fleet.shutdown()
+        telemetry = fleet.telemetry()
+        assert telemetry["machines"] == 2
+        assert telemetry["beats_sent"] >= 2
+        assert [m["node"] for m in telemetry["members"]] == ["node0", "node1"]
+        assert telemetry["members"][0]["guest_id"] == "guest-node0"
+        assert "frames_delivered" in telemetry["network"]

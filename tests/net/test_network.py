@@ -5,7 +5,7 @@ import pytest
 from repro.clock import VirtualClock
 from repro.eventlog import EventLog
 from repro.hw.devices import NicDevice
-from repro.net.network import Host, Network
+from repro.net.network import CORRUPT_PAYLOAD, Host, Network
 
 
 @pytest.fixture
@@ -63,6 +63,158 @@ class TestTransmission:
             network.transmit("a", "b", "x")
         clock.tick(100)
         assert network.frames_delivered == 3
+
+
+class TestInFlightDropAccounting:
+    """In-flight drops used to vanish silently; now every one is logged
+    with src/dst attribution and counted per destination."""
+
+    def test_in_flight_drop_is_logged_with_src_and_dst(self, network, clock,
+                                                       log):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        network.transmit("a", "b", "secret")
+        before = len(log)
+        network.detach("b")
+        clock.tick(200)
+        records = [r for r in list(log)[before:]
+                   if r.detail.get("outcome") == "dropped_in_flight"]
+        assert len(records) == 1
+        assert records[0].detail["src"] == "a"
+        assert records[0].detail["dst"] == "b"
+
+    def test_per_destination_drop_counter(self, network, clock):
+        a, b, c = Host("a"), Host("b"), Host("c")
+        for host in (a, b, c):
+            network.attach(host)
+        network.transmit("a", "b", 1)
+        network.transmit("a", "b", 2)
+        network.transmit("a", "c", 3)
+        network.detach("b")
+        network.detach("c")
+        clock.tick(200)
+        assert network.drops_by_destination == {"b": 2, "c": 1}
+        assert network.frames_dropped == 3
+        telemetry = network.telemetry()
+        assert telemetry["drops_by_destination"] == {"b": 2, "c": 1}
+
+    def test_pre_queue_drop_record_shape_unchanged(self, network, log):
+        """Transmit-time drops (unknown destination) keep the original
+        record shape and counter semantics — existing audit streams must
+        stay byte-identical."""
+        network.attach(Host("a"))
+        network.transmit("a", "ghost", "x")
+        record = log.last()
+        assert record.detail == {"outcome": "dropped", "src": "a",
+                                 "dst": "ghost"}
+        assert network.frames_dropped == 1
+        # Pre-queue drops are not attributed per destination (the frame
+        # never entered the fabric).
+        assert network.drops_by_destination == {}
+
+
+class TestLinkLatency:
+    def test_override_applies_to_both_directions(self, network, clock):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        network.set_link_latency("a", "b", 300)
+        network.transmit("a", "b", "x")
+        network.transmit("b", "a", "y")
+        clock.tick(299)
+        assert b.next_frame() is None
+        assert a.next_frame() is None
+        clock.tick(1)
+        assert b.next_frame() is not None
+        assert a.next_frame() is not None
+
+    def test_unconfigured_links_keep_the_default(self, network, clock):
+        a, b, c = Host("a"), Host("b"), Host("c")
+        for host in (a, b, c):
+            network.attach(host)
+        network.set_link_latency("a", "b", 900)
+        network.transmit("a", "c", "x")
+        clock.tick(100)
+        assert c.next_frame() is not None
+
+    def test_negative_latency_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.set_link_latency("a", "b", -1)
+
+
+class TestPartition:
+    def test_partitioned_hosts_cannot_transmit(self, network, clock):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        network.set_partition([["a"], ["b"]])
+        assert not network.transmit("a", "b", "x")
+        clock.tick(200)
+        assert b.next_frame() is None
+        assert network.frames_dropped == 1
+
+    def test_partition_landing_mid_flight_loses_the_frame(self, network,
+                                                          clock):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        network.transmit("a", "b", "x")
+        network.set_partition([["a"], ["b"]])
+        clock.tick(200)
+        assert b.next_frame() is None
+
+    def test_same_group_still_reachable(self, network, clock):
+        a, b, c = Host("a"), Host("b"), Host("c")
+        for host in (a, b, c):
+            network.attach(host)
+        network.set_partition([["a", "b"], ["c"]])
+        assert network.transmit("a", "b", "x")
+        clock.tick(100)
+        assert b.next_frame() is not None
+
+    def test_clear_partition_restores_reachability(self, network, clock):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        network.set_partition([["a"], ["b"]])
+        network.clear_partition()
+        assert not network.partitioned
+        assert network.transmit("a", "b", "x")
+        clock.tick(100)
+        assert b.next_frame() is not None
+
+    def test_host_absent_from_every_group_is_unreachable(self, network):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        network.set_partition([["a"]])
+        assert not network.reachable("a", "b")
+
+
+class TestCorruption:
+    def test_corrupted_frame_payload_is_garbled(self, network, clock):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        network.inject_corruption(1)
+        network.transmit("a", "b", {"type": "real"})
+        clock.tick(100)
+        frame = b.next_frame()
+        assert frame["payload"] == CORRUPT_PAYLOAD
+        assert frame["corrupt"] is True
+        assert network.frames_corrupted == 1
+
+    def test_budget_limits_corruption(self, network, clock):
+        a, b = Host("a"), Host("b")
+        network.attach(a)
+        network.attach(b)
+        network.inject_corruption(1)
+        network.transmit("a", "b", "first")
+        network.transmit("a", "b", "second")
+        clock.tick(100)
+        assert b.next_frame()["payload"] == CORRUPT_PAYLOAD
+        assert b.next_frame()["payload"] == "second"
 
 
 class TestNicAttachment:

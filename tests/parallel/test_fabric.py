@@ -14,6 +14,7 @@ import pytest
 
 from repro.parallel.fabric import (
     run_chaos_fabric,
+    run_fleet_fabric,
     run_paired_campaign_fabric,
 )
 from repro.parallel.merge import canonical_bytes
@@ -133,6 +134,41 @@ class TestCampaignFabric:
         assert timing["mode"] == "parallel"
         assert b_par.to_dict() == b_seq.to_dict()
         assert g_par.to_dict() == g_seq.to_dict()
+
+
+class TestFleetByteIdentity:
+    """The fleet campaign driver rides the same fabric contract: sharded
+    execution is byte-identical to sequential, and ``--jobs 1`` is the
+    legacy code path."""
+
+    FLEET_CAMPAIGNS = 2
+
+    @pytest.fixture(scope="class")
+    def fleet_sequential(self) -> dict:
+        from repro.fleet.campaign import run_fleet
+
+        return run_fleet(SEED, campaigns=self.FLEET_CAMPAIGNS)
+
+    def test_parallel_report_byte_identical(self, fleet_sequential):
+        report, timing = run_fleet_fabric(
+            SEED, self.FLEET_CAMPAIGNS, 3, jobs=2)
+        assert timing["mode"] == "parallel"
+        assert timing["jobs"] == 2
+        assert canonical_bytes(report) == canonical_bytes(fleet_sequential)
+        assert report == fleet_sequential
+
+    def test_jobs_one_never_builds_a_runner(self, monkeypatch,
+                                            fleet_sequential):
+        import repro.parallel.fabric as fabric_mod
+
+        def explode(*args, **kwargs):
+            raise AssertionError("jobs=1 constructed a worker pool")
+
+        monkeypatch.setattr(fabric_mod, "ShardedRunner", explode)
+        report, timing = run_fleet_fabric(
+            SEED, self.FLEET_CAMPAIGNS, 3, jobs=1)
+        assert timing["mode"] == "sequential"
+        assert report == fleet_sequential
 
 
 class TestBenchTraceByteIdentity:

@@ -47,6 +47,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "hypervisor:" in out and "chain=ok" in out
 
+    def test_fleet(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "fleet.json"
+        assert main(["fleet", "--seed", "7", "--campaigns", "1",
+                     "--jobs", "1", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out and "migration" in out and "kill" in out
+        assert "fault classes exercised:" in out
+        assert "node_loss" in out and "net_partition" in out
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro.fleet/1"
+        assert report["all_passed"] is True
+
 
 class TestAnalyze:
     def test_whole_corpus_flags_attacks(self, capsys):
