@@ -380,7 +380,7 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.core.bench import suite_report, write_report
-    from repro.parallel.fabric import run_bench_fabric
+    from repro.parallel.fabric import run_batch_bench_fabric, run_bench_fabric
 
     if args.parallel:
         return _cmd_bench_parallel(args)
@@ -388,7 +388,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     traces = args.traces != "off"
     results, timing = run_bench_fabric(quick=args.quick, jobs=args.jobs,
                                        traces=traces)
-    report = suite_report(results, quick=args.quick, traces=traces)
+    batch_results = None
+    if args.batch:
+        if args.batch < 1:
+            print("error: --batch must be a positive lane count",
+                  file=sys.stderr)
+            return 2
+        batch_results, batch_timing = run_batch_bench_fabric(
+            args.batch, quick=args.quick, jobs=args.jobs)
+    report = suite_report(results, quick=args.quick, traces=traces,
+                          batch_results=batch_results, batch=args.batch or 0)
 
     print(f"{'benchmark':<16}{'machine':<12}{'steps/s':>12}{'cycles/s':>14}"
           f"{'speedup':>9}  {'checks'}")
@@ -406,6 +415,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"{'TOTAL':<16}{'':<12}{totals['steps_per_second']:>12,.0f}"
           f"{totals['cycles_per_second']:>14,.0f}"
           f"{totals['speedup']:>8.2f}x")
+
+    if batch_results is not None:
+        print(f"\nlockstep batch suite (batch={args.batch}):")
+        print(f"{'row':<24}{'guest-steps/s':>15}{'scalar/s':>12}"
+              f"{'speedup':>9}  {'gate'}")
+        for row in batch_results:
+            gate = ("bit-identical" if row.bit_identical
+                    else "MISMATCH lanes " + ",".join(
+                        map(str, row.mismatched_lanes)))
+            print(f"{row.name:<24}"
+                  f"{row.guest_steps_per_second:>15,.0f}"
+                  f"{row.scalar_guest_steps_per_second:>12,.0f}"
+                  f"{row.speedup:>8.2f}x  {gate}")
+        batch_totals = report["batch"]["totals"]
+        print(f"{'AGGREGATE':<24}"
+              f"{batch_totals['guest_steps_per_second']:>15,.0f}"
+              f"{batch_totals['scalar_guest_steps_per_second']:>12,.0f}"
+              f"{batch_totals['aggregate_speedup']:>8.2f}x")
+        if batch_timing["jobs"] > 1:
+            print(_timing_summary("batch bench", batch_timing, "rows"))
 
     out = args.out or "BENCH_hw.json"
     write_report(report, out)
@@ -427,6 +456,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("error: fast path diverged from the reference interpreter",
               file=sys.stderr)
         return 1
+    if (batch_results is not None
+            and not report["batch"]["totals"]["all_bit_identical"]):
+        print("error: lockstep batch execution diverged from scalar "
+              "execution", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -439,17 +473,23 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
         print(f"{args.path}: empty ledger")
         return 0
 
-    print(f"{'rev':<10}{'quick':<7}{'traces':<8}{'speedup':>9}"
-          f"{'e1':>8}{'trace rate':>12}  {'checks'}")
+    print(f"{'rev':<10}{'quick':<7}{'traces':<8}{'batch':<7}{'speedup':>9}"
+          f"{'e1':>8}{'batch x':>9}{'trace rate':>12}  {'checks'}")
     for entry in entries[-args.tail:]:
         e1 = (f"{entry['e1_speedup']:.2f}x"
               if entry.get("e1_speedup") else "-")
-        checks = ("ok" if entry["all_deterministic"]
-                  and entry["all_cycles_match"] else "FAILED")
+        batch = entry.get("batch", 0)
+        batch_speedup = (f"{entry['batch_speedup']:.2f}x"
+                         if entry.get("batch_speedup") is not None else "-")
+        ok = (entry["all_deterministic"] and entry["all_cycles_match"]
+              and (not batch or entry.get("batch_bit_identical")))
+        checks = "ok" if ok else "FAILED"
         print(f"{entry['git_rev']:<10}"
               f"{str(entry['quick']).lower():<7}"
               f"{'on' if entry['traces'] else 'off':<8}"
+              f"{batch or '-':<7}"
               f"{entry['speedup']:>8.2f}x{e1:>8}"
+              f"{batch_speedup:>9}"
               f"{entry['trace_step_rate']:>11.1%}  {checks}")
 
     if args.check:
@@ -722,6 +762,11 @@ def main(argv: list[str] | None = None) -> int:
              "'off' measures the decoded-cache fast path alone — simulated "
              "cycles must be identical either way)")
     bench_parser.add_argument(
+        "--batch", type=int, default=0, metavar="N",
+        help="also run the lockstep batch suite with N guest lanes per "
+             "row (scalar vs repro.hw.batch, bit-compared lane by lane; "
+             "0 = skip)")
+    bench_parser.add_argument(
         "--ledger", default="BENCH_ledger.json",
         help="performance ledger to append the summary row to")
     bench_parser.add_argument(
@@ -772,7 +817,7 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=0,
         help="worker processes (0 = auto-detect cores, 1 = sequential)")
     fuzz_parser = subparsers.add_parser(
-        "fuzz", help="coverage-guided differential fuzzing (five oracles)")
+        "fuzz", help="coverage-guided differential fuzzing (six oracles)")
     fuzz_parser.add_argument(
         "--seed", type=int, default=42,
         help="master seed; derives every batch's generator seed")

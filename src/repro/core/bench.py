@@ -138,6 +138,74 @@ def memory_stride_program(iterations: int, mask: int, stride: int = 17) -> Progr
     ])
 
 
+def batch_alu_program() -> Program:
+    """Pure register arithmetic, shaped as an endless loop: the batch
+    suite bounds every row by a step budget, not a halt."""
+    return assemble([
+        isa.movi(1, 7),
+        isa.movi(3, 1),
+        "loop",
+        isa.add(2, 2, 1),
+        isa.sub(4, 4, 3),
+        isa.add(2, 2, 4),
+        isa.xor(5, 2, 1),
+        isa.add(6, 6, 5),
+        isa.sub(2, 2, 3),
+        isa.add(4, 4, 2),
+        isa.and_(5, 5, 1),
+        isa.add(6, 6, 3),
+        isa.add(2, 2, 6),
+        isa.bne(3, 0, "loop"),
+    ])
+
+
+def batch_memory_program() -> Program:
+    """Store/load loop over the first fuzz data page (vaddr 64..127),
+    offsets wrapped by an AND mask so no access ever faults."""
+    return assemble([
+        isa.movi(1, 0),               # word offset within the page
+        isa.movi(6, 63),              # wrap mask
+        isa.movi(5, 1),
+        "loop",
+        isa.store(2, 1, 64),
+        isa.load(4, 1, 64),
+        isa.add(2, 2, 4),
+        isa.addi(1, 1, 8),
+        isa.and_(1, 1, 6),
+        isa.bne(5, 0, "loop"),
+    ])
+
+
+def batch_noninterference_program() -> Program:
+    """The noninterference-probe shape: load the secret word, then loop
+    over memory traffic with a secret-dependent branch.  Lanes whose
+    secret is zero skip the divergent instruction, so a mixed-fill batch
+    splits and re-forms (or defers) its mask every iteration — the
+    divergence machinery is *in* the measured loop, as it is in real
+    fuzz probe sweeps."""
+    return assemble([
+        isa.movi(1, 128),             # SECRET_VADDR under the fuzz layout
+        isa.load(8, 1, 0),            # r8 = secret[0], kept pristine
+        isa.add(2, 2, 8),             # r2 = running accumulator
+        isa.movi(5, 1),
+        isa.movi(6, 63),
+        isa.movi(7, 0),
+        "loop",
+        isa.store(2, 7, 64),
+        isa.load(4, 7, 64),
+        isa.beq(8, 0, "join"),        # secret-dependent divergence
+        isa.addi(4, 4, 3),            # divergent side (nonzero secrets)
+        "join",
+        isa.add(2, 2, 4),
+        isa.xor(2, 2, 8),             # re-inject the secret: the affine
+                                      # step alone collapses every lane
+                                      # to the same fixed point mod 2^64
+        isa.addi(7, 7, 8),
+        isa.and_(7, 7, 6),
+        isa.bne(5, 0, "loop"),
+    ])
+
+
 # ---------------------------------------------------------------------------
 # Benchmark runners — each builds a fresh machine, runs, and reports
 # ---------------------------------------------------------------------------
@@ -459,8 +527,207 @@ def run_suite(quick: bool = False, traces: bool = True) -> list[BenchResult]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# Lockstep batch suite (``repro bench --batch N``)
+# ---------------------------------------------------------------------------
+
+#: (name, program builder) for each batch-suite row.  Every row runs the
+#: same per-lane step budget so the aggregate weighs the rows by how slow
+#: they actually are, not by hand-picked iteration counts.
+BATCH_SUITE = (
+    ("batch_alu", batch_alu_program),
+    ("batch_memory", batch_memory_program),
+    ("batch_noninterference", batch_noninterference_program),
+)
+
+#: Steps per lane for every batch row (full / ``--quick``).
+BATCH_STEPS = 150_000
+BATCH_QUICK_STEPS = 12_000
+
+
+def _batch_lanes(row_index: int, batch: int):
+    """Build ``batch`` probe lanes for one batch-suite row.
+
+    Lanes are the fuzz noninterference-probe machines — same program,
+    same topology, different secret fills (``variant = lane % 4``) — so
+    the suite measures exactly the replica shape the batch engine was
+    built for."""
+    from repro.fuzz.oracles import _probe_machine
+
+    words = BATCH_SUITE[row_index][1]().words
+    return [_probe_machine(words, lane % 4) for lane in range(batch)]
+
+
+def _lane_state(machine, core, steps: int) -> dict:
+    """Spawn-safe bit-identity record for one finished lane."""
+    return {
+        "steps": steps,
+        "state": core.state.name,
+        "pc": core.pc,
+        "registers": list(core.registers),
+        "cycles": machine.clock.now,
+        "instructions_retired": core.instructions_retired,
+        "faults": core.faults,
+    }
+
+
+def run_batch_one(row_index: int, batch: int, steps: int, mode: str) -> dict:
+    """The dispatchable batch-bench work unit: one suite row, one engine
+    leg (``"scalar"`` = per-lane ``core.run``, ``"batch"`` = lockstep).
+
+    Lane states and simulated cycles are bit-deterministic either way —
+    that is the contract the merge layer re-checks — so only the
+    wall-clock field depends on where (and how) the leg ran."""
+    name = BATCH_SUITE[row_index][0]
+    lanes = _batch_lanes(row_index, batch)
+    cores = [core for _, core, _ in lanes]
+    stats = None
+    start = time.perf_counter()
+    if mode == "scalar":
+        lane_steps = [core.run(max_steps=steps) for core in cores]
+    elif mode == "batch":
+        from repro.hw.batch import LockstepBatch
+
+        result = LockstepBatch(cores).run(max_steps=steps)
+        lane_steps = result.steps
+        stats = result.stats.to_dict()
+    else:
+        raise ValueError(f"unknown batch bench mode {mode!r}")
+    wall = time.perf_counter() - start
+    return {
+        "row_index": row_index,
+        "name": name,
+        "mode": mode,
+        "batch": batch,
+        "steps_per_lane": steps,
+        "wall_seconds": wall,
+        "guest_steps": sum(lane_steps),
+        "lanes": [
+            _lane_state(machine, core, lane_steps[position])
+            for position, (machine, core, _) in enumerate(lanes)
+        ],
+        "stats": stats,
+    }
+
+
+@dataclass
+class BatchBenchResult:
+    """One batch-suite row's verdict: throughput plus the bit-identity
+    gate (every lane's architectural state and simulated cycles must
+    match its scalar twin exactly)."""
+
+    name: str
+    batch: int
+    steps_per_lane: int
+    guest_steps: int
+    cycles: int                   # sum of per-lane simulated cycles
+    wall_seconds: float           # lockstep leg
+    scalar_wall_seconds: float    # per-lane scalar leg
+    bit_identical: bool
+    mismatched_lanes: tuple[int, ...]
+    stats: dict | None
+
+    @property
+    def guest_steps_per_second(self) -> float:
+        return (self.guest_steps / self.wall_seconds
+                if self.wall_seconds else 0.0)
+
+    @property
+    def scalar_guest_steps_per_second(self) -> float:
+        return (self.guest_steps / self.scalar_wall_seconds
+                if self.scalar_wall_seconds else 0.0)
+
+    @property
+    def speedup(self) -> float:
+        return (self.scalar_wall_seconds / self.wall_seconds
+                if self.wall_seconds else 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "batch": self.batch,
+            "steps_per_lane": self.steps_per_lane,
+            "guest_steps": self.guest_steps,
+            "cycles": self.cycles,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "scalar_wall_seconds": round(self.scalar_wall_seconds, 6),
+            "guest_steps_per_second": round(self.guest_steps_per_second, 1),
+            "scalar_guest_steps_per_second": round(
+                self.scalar_guest_steps_per_second, 1),
+            "speedup": round(self.speedup, 3),
+            "bit_identical": self.bit_identical,
+            "mismatched_lanes": list(self.mismatched_lanes),
+            "stats": self.stats,
+        }
+
+
+def combine_batch_samples(scalar_unit: dict,
+                          batch_unit: dict) -> BatchBenchResult:
+    """Fold one row's two legs into a verdict (the bench gate).
+
+    Shared by the sequential driver and the parallel merge layer, so the
+    bit-identity comparison is the same however the legs were sharded."""
+    mismatched = tuple(
+        position for position, (want, got)
+        in enumerate(zip(scalar_unit["lanes"], batch_unit["lanes"]))
+        if want != got
+    )
+    return BatchBenchResult(
+        name=scalar_unit["name"],
+        batch=scalar_unit["batch"],
+        steps_per_lane=scalar_unit["steps_per_lane"],
+        guest_steps=scalar_unit["guest_steps"],
+        cycles=sum(lane["cycles"] for lane in scalar_unit["lanes"]),
+        wall_seconds=batch_unit["wall_seconds"],
+        scalar_wall_seconds=scalar_unit["wall_seconds"],
+        bit_identical=(not mismatched
+                       and scalar_unit["guest_steps"]
+                       == batch_unit["guest_steps"]),
+        mismatched_lanes=mismatched,
+        stats=batch_unit["stats"],
+    )
+
+
+def run_batch_suite(batch: int,
+                    quick: bool = False) -> list[BatchBenchResult]:
+    """Sequential batch suite: scalar leg then lockstep leg per row."""
+    steps = BATCH_QUICK_STEPS if quick else BATCH_STEPS
+    results = []
+    for row_index in range(len(BATCH_SUITE)):
+        scalar_unit = run_batch_one(row_index, batch, steps, "scalar")
+        batch_unit = run_batch_one(row_index, batch, steps, "batch")
+        results.append(combine_batch_samples(scalar_unit, batch_unit))
+    return results
+
+
+def batch_section(results: list[BatchBenchResult], batch: int) -> dict:
+    """The ``batch`` block of a ``repro.bench/1`` report."""
+    batch_wall = sum(result.wall_seconds for result in results)
+    scalar_wall = sum(result.scalar_wall_seconds for result in results)
+    guest_steps = sum(result.guest_steps for result in results)
+    return {
+        "batch": batch,
+        "rows": [result.to_dict() for result in results],
+        "totals": {
+            "guest_steps": guest_steps,
+            "cycles": sum(result.cycles for result in results),
+            "wall_seconds": round(batch_wall, 6),
+            "scalar_wall_seconds": round(scalar_wall, 6),
+            "guest_steps_per_second": round(
+                guest_steps / batch_wall, 1) if batch_wall else 0.0,
+            "scalar_guest_steps_per_second": round(
+                guest_steps / scalar_wall, 1) if scalar_wall else 0.0,
+            "aggregate_speedup": round(
+                scalar_wall / batch_wall, 3) if batch_wall else 0.0,
+            "all_bit_identical": all(r.bit_identical for r in results),
+        },
+    }
+
+
 def suite_report(results: list[BenchResult], *, quick: bool,
-                 traces: bool = True) -> dict:
+                 traces: bool = True,
+                 batch_results: list[BatchBenchResult] | None = None,
+                 batch: int = 0) -> dict:
     """Assemble the ``repro.bench/1`` JSON document."""
     fast_wall = sum(result.wall_seconds for result in results)
     slow_wall = sum(result.slow_wall_seconds for result in results)
@@ -470,6 +737,8 @@ def suite_report(results: list[BenchResult], *, quick: bool,
         "schema": BENCH_SCHEMA,
         "quick": quick,
         "traces": traces,
+        "batch": (batch_section(batch_results, batch)
+                  if batch_results else None),
         "benchmarks": [result.to_dict() for result in results],
         "totals": {
             "steps": total_steps,

@@ -9,8 +9,8 @@ alongside the code that produced it.
 
 The ledger is also the CI regression gate: :func:`check_regression`
 compares the newest entry against the previous entry measured under the
-same configuration (``quick`` × ``traces``) and fails when overall
-speedup dropped by more than :data:`REGRESSION_TOLERANCE`.  Wall-clock
+same configuration (``quick`` × ``traces`` × ``batch``) and fails when
+overall speedup dropped by more than :data:`REGRESSION_TOLERANCE`.  Wall-clock
 noise between runners is real, which is why the gate compares the
 speedup *ratio* (fast wall vs reference wall on the same machine in the
 same run) rather than raw steps/second, and why the tolerance is 10%
@@ -75,10 +75,11 @@ def entry_from_report(report: dict, *, git_rev: str | None = None) -> dict:
         / total_steps if total_steps else 0.0)
 
     e1 = [row for row in rows if row["name"] == "e1_harness"]
-    return {
+    entry = {
         "git_rev": git_rev if git_rev is not None else git_revision(),
         "quick": bool(report.get("quick")),
         "traces": bool(report.get("traces", True)),
+        "batch": 0,
         "speedup": totals["speedup"],
         "e1_speedup": e1[0]["speedup"] if e1 else None,
         "steps_per_second": steps_per_second,
@@ -88,6 +89,17 @@ def entry_from_report(report: dict, *, git_rev: str | None = None) -> dict:
         "all_deterministic": totals["all_deterministic"],
         "all_cycles_match": totals["all_cycles_match"],
     }
+    batch = report.get("batch")
+    if batch:
+        batch_totals = batch["totals"]
+        entry["batch"] = int(batch["batch"])
+        entry["batch_guest_steps_per_second"] = (
+            batch_totals["guest_steps_per_second"])
+        entry["batch_scalar_guest_steps_per_second"] = (
+            batch_totals["scalar_guest_steps_per_second"])
+        entry["batch_speedup"] = batch_totals["aggregate_speedup"]
+        entry["batch_bit_identical"] = batch_totals["all_bit_identical"]
+    return entry
 
 
 def load_ledger(path: str = DEFAULT_LEDGER) -> dict:
@@ -102,8 +114,12 @@ def load_ledger(path: str = DEFAULT_LEDGER) -> dict:
     return document
 
 
-def _config_key(entry: dict) -> tuple[bool, bool]:
-    return (bool(entry.get("quick")), bool(entry.get("traces", True)))
+def _config_key(entry: dict) -> tuple[bool, bool, int]:
+    """The full measurement configuration: ``quick`` x ``traces`` x
+    ``batch`` (0 = no batch suite ran).  Keying on the whole tuple means
+    a batch row can never be regression-diffed against a scalar row."""
+    return (bool(entry.get("quick")), bool(entry.get("traces", True)),
+            int(entry.get("batch", 0)))
 
 
 def append_entry(report: dict, path: str = DEFAULT_LEDGER, *,
@@ -148,6 +164,10 @@ def check_regression(path: str = DEFAULT_LEDGER, *,
         problems.append("latest entry is not deterministic")
     if not latest.get("all_cycles_match"):
         problems.append("latest entry diverged from the reference interpreter")
+    if latest.get("batch") and not latest.get("batch_bit_identical"):
+        problems.append(
+            "latest entry's lockstep batch run diverged from scalar "
+            "execution")
 
     previous = [e for e in entries[:-1] if _config_key(e) == _config_key(latest)]
     if previous:
@@ -159,4 +179,12 @@ def check_regression(path: str = DEFAULT_LEDGER, *,
                 f"{prior['speedup']:.3f}x ({prior['git_rev']}) -> "
                 f"{latest['speedup']:.3f}x ({latest['git_rev']}), "
                 f"floor {floor:.3f}x")
+        if latest.get("batch") and prior.get("batch_speedup") is not None:
+            batch_floor = prior["batch_speedup"] * (1.0 - tolerance)
+            if latest.get("batch_speedup", 0.0) < batch_floor:
+                problems.append(
+                    f"batch speedup regressed beyond {tolerance:.0%}: "
+                    f"{prior['batch_speedup']:.3f}x ({prior['git_rev']}) "
+                    f"-> {latest.get('batch_speedup', 0.0):.3f}x "
+                    f"({latest['git_rev']}), floor {batch_floor:.3f}x")
     return problems

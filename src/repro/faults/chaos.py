@@ -39,6 +39,14 @@ HEARTBEAT_PERIOD = 200_000
 #: Virtual time each campaign runs for (also the fault-plan horizon).
 CAMPAIGN_HORIZON = 20 * MS
 
+#: Guest replicas per campaign replica sweep (same program, seeded
+#: secret fills) and the per-replica step budget.
+REPLICA_COUNT = 4
+REPLICA_MAX_STEPS = 2_000
+#: Seed-stream separator so the sweep's draws never perturb the fault
+#: plan or roster order derived from the same campaign seed.
+_REPLICA_SEED_SALT = 0x5EED_BA7C
+
 
 def chaos_roster(rng: random.Random) -> list:
     """The deployment-facing adversaries, in seeded order.
@@ -71,6 +79,68 @@ def _run_adversary(adversary, sandbox) -> AttackResult:
             succeeded=False,
             detail={"aborted_by": type(exc).__name__, "error": str(exc)},
         )
+
+
+def replica_sweep(campaign_seed: int, *, replicas: int = REPLICA_COUNT,
+                  max_steps: int = REPLICA_MAX_STEPS) -> dict:
+    """Same-program/different-data guest replicas, batch vs scalar.
+
+    Every chaos campaign now also sweeps a small fleet of GISA guest
+    replicas — the noninterference-probe kernel with seeded secret
+    fills — once lane-by-lane on the scalar engine and once through the
+    lockstep batch engine (:mod:`repro.hw.batch`), and bit-compares the
+    two.  The sweep is derived from a salted seed stream so it never
+    perturbs the campaign's fault plan or roster order, and the returned
+    dict is deterministic (no wall time), so chaos reports stay
+    byte-identical at any ``--jobs``.
+    """
+    from repro.core.bench import batch_noninterference_program
+    from repro.fuzz.oracles import _probe_machine
+    from repro.hw.attestation import digest_of
+    from repro.hw.batch import LockstepBatch
+
+    rng = random.Random(campaign_seed ^ _REPLICA_SEED_SALT)
+    variants = [rng.randrange(8) for _ in range(replicas)]
+    words = batch_noninterference_program().words
+
+    def _finish(machine, core, steps: int) -> dict:
+        return {
+            "steps": steps,
+            "state": core.state.name,
+            "cycles": machine.clock.now,
+            "faults": core.faults,
+            "registers_digest": digest_of(list(core.registers)),
+        }
+
+    scalar_lanes = [_probe_machine(words, variant) for variant in variants]
+    scalar = [
+        _finish(machine, core, core.run(max_steps=max_steps))
+        for machine, core, _ in scalar_lanes
+    ]
+
+    batch_lanes = [_probe_machine(words, variant) for variant in variants]
+    engine = LockstepBatch([core for _, core, _ in batch_lanes])
+    result = engine.run(max_steps=max_steps)
+    batched = [
+        _finish(machine, core, result.steps[position])
+        for position, (machine, core, _) in enumerate(batch_lanes)
+    ]
+
+    return {
+        "replicas": replicas,
+        "variants": variants,
+        "max_steps": max_steps,
+        "guest_steps": sum(lane["steps"] for lane in scalar),
+        "lanes": scalar,
+        "batch_matches_scalar": batched == scalar,
+        "engaged_lanes": result.stats.engaged_lanes,
+        "divergence": {
+            "suspends": result.stats.suspends,
+            "rejoins": result.stats.rejoins,
+            "defers": result.stats.defers,
+            "peels": result.stats.peels,
+        },
+    }
 
 
 def run_campaign(campaign_seed: int, *, index: int = 0) -> dict:
@@ -114,6 +184,7 @@ def run_campaign(campaign_seed: int, *, index: int = 0) -> dict:
 
     drill = _operator_drill(console)
     invariants = check_all(console, sandbox.log, results)
+    sweep = replica_sweep(campaign_seed)
 
     banks = sandbox.machine.banks
     return {
@@ -154,7 +225,9 @@ def run_campaign(campaign_seed: int, *, index: int = 0) -> dict:
         },
         "hsm_reachable_signers": console.hsm.reachable_signers(),
         "invariants": [result.to_dict() for result in invariants],
-        "passed": all(result.passed for result in invariants),
+        "replica_sweep": sweep,
+        "passed": (all(result.passed for result in invariants)
+                   and sweep["batch_matches_scalar"]),
     }
 
 
@@ -231,6 +304,10 @@ def assemble_report(seed: int, campaigns: int, runs: list[dict]) -> dict:
         for result in run["invariants"]
         if not result["passed"]
     ]
+    sweep_mismatches = [
+        run["index"] for run in runs
+        if not run.get("replica_sweep", {}).get("batch_matches_scalar", True)
+    ]
     return {
         "schema": CHAOS_SCHEMA,
         "seed": seed,
@@ -240,7 +317,8 @@ def assemble_report(seed: int, campaigns: int, runs: list[dict]) -> dict:
             "fault_classes": classes,
             "fault_events_fired": sum(run["faults_fired"] for run in runs),
             "invariant_failures": failures,
-            "all_passed": not failures,
+            "replica_sweep_mismatches": sweep_mismatches,
+            "all_passed": not failures and not sweep_mismatches,
         },
     }
 

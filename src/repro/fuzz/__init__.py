@@ -7,11 +7,13 @@ attack corpus.  This package turns the test suite into a generative oracle:
 * :mod:`repro.fuzz.gen` — a seeded, coverage-guided GISA program generator
   with a weighted instruction mix (self-modifying stores, doorbell floods,
   timing probes, MMU/TLB churn, forbidden-IO attempts, raw invalid words);
-* :mod:`repro.fuzz.oracles` — the three differential oracles: fast-path vs
+* :mod:`repro.fuzz.oracles` — the six differential oracles: fast-path vs
   reference interpreter (cycle- and state-bit-identical), guillotine vs
   baseline machine (architectural agreement on benign programs, containment
-  asymmetry on flagged ones), and analyzer-verdict vs runtime behaviour
-  (admission consistency plus the reachability/lockdown invariants);
+  asymmetry on flagged ones), analyzer-verdict vs runtime behaviour
+  (admission consistency plus the reachability/lockdown invariants),
+  taint noninterference probes, checkpoint/restore migration equivalence,
+  and lockstep-batch vs scalar execution of the probe lanes;
 * :mod:`repro.fuzz.shrink` — a delta-debugging shrinker that minimises any
   diverging program while preserving the divergence;
 * :mod:`repro.fuzz.replay` — ``repro.replay/1`` golden-record artifacts
@@ -37,6 +39,7 @@ from repro.fuzz.oracles import (
     ExecutionRecord,
     OracleViolation,
     ProgramOutcome,
+    batch_noninterference_probes,
     check_program,
     execute_program,
 )
@@ -60,6 +63,7 @@ __all__ = [
     "ProgramOutcome",
     "ReplayResult",
     "assemble_fuzz_report",
+    "batch_noninterference_probes",
     "check_program",
     "derive_batch_seeds",
     "divergence_artifact",

@@ -33,6 +33,11 @@ runtime must contain:
 ``migrate_midrun``  SETTIMER armed, then a trace-hot load/store loop —
                     the state a mid-run checkpoint must carry across a
                     migration (pending timer, warm TLB/cache/predictor)
+``batch_divergence``  secret-dependent control flow re-forming at a
+                    common tail, sometimes inside a counted loop — the
+                    shape that splits the lockstep batch engine's
+                    active mask (and, looped, crosses its defer
+                    threshold) under the batch-equivalence oracle
 ==================  =====================================================
 
 Coverage guidance is *local to the generator instance*: the campaign layer
@@ -94,6 +99,7 @@ FEATURE_WEIGHTS: tuple[tuple[str, int], ...] = (
     ("hot_mmu", 2),
     ("hot_doorbell", 2),
     ("migrate_midrun", 2),
+    ("batch_divergence", 2),
 )
 
 #: General-purpose registers the generator uses (r0 is hardwired zero,
@@ -486,6 +492,49 @@ class ProgramGenerator:
             isa.addi(counter, counter, -1),
             isa.bne(counter, 0, loop),
         ]
+
+    def _seg_batch_divergence(self) -> list:
+        """Secret-dependent control flow that re-forms at a common tail
+        — the exact shape that splits the lockstep batch engine's active
+        mask (the batch-equivalence oracle runs every program's two
+        noninterference probe lanes through ``LockstepBatch``, and the
+        lanes differ only in their secret fill).  Half the time the
+        split sits inside a counted loop, so the same lanes diverge the
+        same way every iteration and the engine's stable-partition defer
+        heuristic engages."""
+        rng = self._rng
+        addr, value, acc = rng.sample(_GP_REGS, 3)
+        join = self._label("bjoin")
+        out: list = [
+            isa.movi(addr, SECRET_VADDR + rng.randrange(PAGE_SIZE)),
+            isa.load(value, addr, 0),
+        ]
+        if rng.random() < 0.5:
+            # One-shot split: divergent body, convergent tail.
+            out += [
+                isa.beq(value, 0, join),
+                isa.addi(acc, acc, rng.randint(1, 9)),
+                isa.xor(acc, acc, value),
+                join,
+                isa.addi(acc, acc, 1),
+            ]
+            return out
+        # Stable partition: the branch outcome is loop-invariant per
+        # lane, so the same minority splits off on every iteration.
+        counter = rng.choice([reg for reg in _GP_REGS
+                              if reg not in (addr, value, acc)])
+        loop = self._label("bloop")
+        out += [
+            isa.movi(counter, rng.randint(4, 8)),
+            loop,
+            isa.beq(value, 0, join),
+            isa.addi(acc, acc, rng.randint(1, 9)),
+            join,
+            isa.add(acc, acc, counter),
+            isa.addi(counter, counter, -1),
+            isa.bne(counter, 0, loop),
+        ]
+        return out
 
     def _seg_div(self) -> list:
         rng = self._rng

@@ -1,4 +1,4 @@
-"""The five differential oracles behind ``repro fuzz``.
+"""The six differential oracles behind ``repro fuzz``.
 
 Every generated program is executed several ways and the outcomes are
 compared:
@@ -53,6 +53,19 @@ must be cycle- and state-bit-identical to the uninterrupted run — the only
 fields excluded are the audit-log length/digest, because the restored
 machine's log legitimately starts a new hash chain (the old one cannot be
 replayed, by design).
+
+**Oracle 6 — lockstep batch equivalence.**  The two noninterference
+probe lanes (same program, different secret fills) are additionally
+executed *together* through the lockstep SIMD batch engine
+(:class:`repro.hw.batch.LockstepBatch`), and every lane's full execution
+record — cycles, registers, faults, memory digests, audit log, IO bytes —
+must be bit-identical to the scalar probe runs.  Divergence handling
+(mask splits, scalar peels, re-convergence, deferred lanes) is exactly
+the machinery this oracle stresses: a program whose secret-dependent
+branch splits the mask must still finish with every lane
+indistinguishable from its scalar twin.  Coverage tokens
+(``batch:uniform``, ``batch:divergence``, ``batch:reform``,
+``batch:defer``, ``batch:fallback``) record which paths the engine took.
 
 All comparisons run on deliberately small machines (one model core, a few
 DRAM pages) so a fuzz campaign costs milliseconds per program.
@@ -221,7 +234,8 @@ class ExecutionRecord:
 class OracleViolation:
     """One oracle disagreement: which oracle, why, and the field deltas."""
 
-    oracle: str             # "engine" | "machine" | "verdict"
+    #: "engine" | "machine" | "verdict" | "taint" | "migration" | "batch"
+    oracle: str
     reason: str
     mismatches: tuple[tuple[str, str, str], ...] = ()
 
@@ -296,17 +310,12 @@ def secret_fill(variant: int) -> list[int]:
             for index in range(PAGE_SIZE)]
 
 
-def noninterference_probe(
-    words: Sequence[int],
-    variant: int,
-    *,
-    max_steps: int = DEFAULT_MAX_STEPS,
-) -> ProbeObservation:
-    """Execute ``words`` on the Guillotine machine with the IO window
-    mapped and the secret page pre-filled with :func:`secret_fill`.
+def _probe_machine(words: Sequence[int], variant: int):
+    """Build one ready-to-run noninterference-probe machine.
 
-    The fill is planted directly into the DRAM bank (no bus traffic, no
-    log events), so two probes differ in *nothing* but the secret bytes.
+    Shared by the scalar probe and the batch oracle's lanes so both run
+    the *same* setup: IO window mapped, secret page pre-filled, MMU
+    locked down, core resumed.
     """
     if len(words) > PAGE_SIZE:
         raise ValueError(f"fuzz programs are capped at {PAGE_SIZE} words")
@@ -326,7 +335,11 @@ def noninterference_probe(
             core.name, 0, layout["code_pages"] - 1
         )
     core.resume()
-    steps = core.run(max_steps=max_steps)
+    return machine, core, layout["code_pages"]
+
+
+def _probe_observation(machine, core, steps: int) -> ProbeObservation:
+    """Capture what the hypervisor/world can see of a finished probe."""
     io_bank = machine.banks["io_dram"]
     last = machine.log.last()
     lapic = machine.lapics.get("hv_core0")
@@ -342,6 +355,67 @@ def noninterference_probe(
         log_digest=last.digest if last is not None else "",
         io_digest=digest_of(io_bank.snapshot()),
     )
+
+
+def noninterference_probe(
+    words: Sequence[int],
+    variant: int,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ProbeObservation:
+    """Execute ``words`` on the Guillotine machine with the IO window
+    mapped and the secret page pre-filled with :func:`secret_fill`.
+
+    The fill is planted directly into the DRAM bank (no bus traffic, no
+    log events), so two probes differ in *nothing* but the secret bytes.
+    """
+    machine, core, _ = _probe_machine(words, variant)
+    steps = core.run(max_steps=max_steps)
+    return _probe_observation(machine, core, steps)
+
+
+def _scalar_probe(
+    words: Sequence[int], variant: int, *, max_steps: int
+) -> tuple[ProbeObservation, ExecutionRecord]:
+    """One scalar probe run, captured both ways: the noninterference
+    observation (oracle 4) and the full execution record (oracle 6's
+    bit-identity reference)."""
+    machine, core, code_pages = _probe_machine(words, variant)
+    steps = core.run(max_steps=max_steps)
+    return (
+        _probe_observation(machine, core, steps),
+        _capture_record(machine, "guillotine", "scalar-probe",
+                        core, steps, code_pages),
+    )
+
+
+def batch_noninterference_probes(
+    words: Sequence[int],
+    variants: Sequence[int] = (0, 1),
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+):
+    """Run the secret-fill probes as lockstep batch lanes (oracle 6).
+
+    Builds one probe machine per ``variants`` entry — exactly the lanes
+    :func:`noninterference_probe` would run one at a time — and executes
+    them through :class:`repro.hw.batch.LockstepBatch`.  Returns
+    ``(observations, records, stats)``: per-lane probe observations,
+    per-lane full execution records (engine ``"batch"``), and the batch
+    telemetry (divergence/rejoin/fallback counters used for coverage).
+    """
+    from repro.hw.batch import LockstepBatch
+
+    lanes = [_probe_machine(words, variant) for variant in variants]
+    batch = LockstepBatch([core for _, core, _ in lanes])
+    result = batch.run(max_steps=max_steps)
+    observations = []
+    records = []
+    for (machine, core, code_pages), steps in zip(lanes, result.steps):
+        observations.append(_probe_observation(machine, core, steps))
+        records.append(_capture_record(machine, "guillotine", "batch",
+                                       core, steps, code_pages))
+    return observations, records, result.stats
 
 
 def execute_program(
@@ -615,8 +689,8 @@ def check_program(
 
     # -- oracle 4: taint soundness (noninterference) -------------------
     may_result = analyze_taint(words, model=FUZZ_SOURCES, may_mode=True)
-    probe_a = noninterference_probe(words, 0, max_steps=max_steps)
-    probe_b = noninterference_probe(words, 1, max_steps=max_steps)
+    probe_a, record_a = _scalar_probe(words, 0, max_steps=max_steps)
+    probe_b, record_b = _scalar_probe(words, 1, max_steps=max_steps)
     probe_deltas = tuple(
         (name, repr(getattr(probe_a, name)), repr(getattr(probe_b, name)))
         for name in NONINTERFERENCE_FIELDS + ("io_digest",)
@@ -654,6 +728,45 @@ def check_program(
         ))
     else:
         coverage.add("migration:identical")
+
+    # -- oracle 6: lockstep batch equivalence --------------------------
+    batch_obs, batch_records, batch_stats = batch_noninterference_probes(
+        words, (0, 1), max_steps=max_steps
+    )
+    batch_deltas: list[tuple[str, str, str]] = []
+    for variant, (scalar_obs, scalar_rec, obs, rec) in enumerate(
+        zip((probe_a, probe_b), (record_a, record_b),
+            batch_obs, batch_records)
+    ):
+        for name, left, right in _compare(
+            scalar_rec, rec, ENGINE_COMPARE_FIELDS
+        ):
+            batch_deltas.append((f"lane{variant}.{name}", left, right))
+        if scalar_obs.io_digest != obs.io_digest:
+            batch_deltas.append((
+                f"lane{variant}.io_digest",
+                scalar_obs.io_digest, obs.io_digest,
+            ))
+    if batch_deltas:
+        violations.append(OracleViolation(
+            oracle="batch",
+            reason="lockstep batch execution diverged from scalar "
+                   "execution of the same probe lanes",
+            mismatches=tuple(batch_deltas),
+        ))
+    else:
+        coverage.add("batch:identical")
+    if batch_stats.fallback_reason or batch_stats.scalar_lanes:
+        coverage.add("batch:fallback")
+    if batch_stats.engaged_lanes:
+        if batch_stats.suspends or batch_stats.peels:
+            coverage.add("batch:divergence")
+        else:
+            coverage.add("batch:uniform")
+    if batch_stats.rejoins:
+        coverage.add("batch:reform")
+    if batch_stats.defers:
+        coverage.add("batch:defer")
 
     # -- coverage tokens ----------------------------------------------
     coverage.add(f"state:{fast.state}")

@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 
 from repro.parallel.merge import (
+    merge_batch_bench_samples,
     merge_bench_samples,
     merge_campaign_results,
     merge_chaos_runs,
@@ -37,6 +38,7 @@ from repro.parallel.merge import (
 )
 from repro.parallel.pool import ShardedRunner, resolve_jobs
 from repro.parallel.tasks import (
+    BatchBenchTask,
     BenchTask,
     CampaignAttackTask,
     ChaosCampaignTask,
@@ -224,3 +226,45 @@ def run_bench_fabric(quick: bool = False, jobs: int | None = None,
     slow_units = [unit for unit in units if unit["mode"] == "slow"]
     results = merge_bench_samples(fast_units, slow_units)
     return results, _timing(start, len(SUITE), jobs, "parallel", runner)
+
+
+def run_batch_bench_fabric(batch: int, quick: bool = False,
+                           jobs: int | None = None, *,
+                           runner: ShardedRunner | None = None):
+    """The lockstep batch suite, sharded per (row, engine leg).
+
+    Returns ``(results, timing)``.  Each row runs twice — once per-lane
+    on the scalar engine, once through :class:`repro.hw.batch`'s
+    lockstep engine — and the merge layer bit-compares the legs lane by
+    lane, so ``--jobs`` changes only where each leg executed, never the
+    gate's verdict."""
+    from repro.core.bench import (
+        BATCH_QUICK_STEPS,
+        BATCH_STEPS,
+        BATCH_SUITE,
+        run_batch_suite,
+    )
+
+    steps = BATCH_QUICK_STEPS if quick else BATCH_STEPS
+    jobs = runner.jobs if runner is not None else resolve_jobs(jobs)
+    start = time.perf_counter()
+    if jobs <= 1 or len(BATCH_SUITE) <= 1:
+        results = run_batch_suite(batch, quick=quick)
+        return results, _timing(start, len(BATCH_SUITE), 1, "sequential")
+    tasks = []
+    for row_index in range(len(BATCH_SUITE)):
+        tasks.append(BatchBenchTask(row_index, batch, steps, "scalar"))
+        tasks.append(BatchBenchTask(row_index, batch, steps, "batch"))
+    own_runner = runner is None
+    if own_runner:
+        runner = ShardedRunner(jobs)
+    try:
+        units = runner.map(tasks)
+    finally:
+        if own_runner:
+            runner.close()
+    scalar_units = [unit for unit in units if unit["mode"] == "scalar"]
+    batch_units = [unit for unit in units if unit["mode"] == "batch"]
+    results = merge_batch_bench_samples(scalar_units, batch_units)
+    return results, _timing(start, len(BATCH_SUITE), jobs, "parallel",
+                            runner)

@@ -35,6 +35,12 @@ _BENCH_TOTAL_WALL_KEYS = frozenset({
     "cycles_per_second", "speedup",
 })
 
+#: Wall-clock-derived keys inside the batch section's rows and totals.
+_BATCH_WALL_KEYS = frozenset({
+    "wall_seconds", "scalar_wall_seconds", "guest_steps_per_second",
+    "scalar_guest_steps_per_second", "speedup", "aggregate_speedup",
+})
+
 
 def deterministic_view(report: dict) -> dict:
     """The portion of a report that must be identical however it ran.
@@ -54,6 +60,18 @@ def deterministic_view(report: dict) -> dict:
         key: value for key, value in report.get("totals", {}).items()
         if key not in _BENCH_TOTAL_WALL_KEYS
     }
+    if report.get("batch"):
+        batch = dict(report["batch"])
+        batch["rows"] = [
+            {key: value for key, value in row.items()
+             if key not in _BATCH_WALL_KEYS}
+            for row in batch.get("rows", ())
+        ]
+        batch["totals"] = {
+            key: value for key, value in batch.get("totals", {}).items()
+            if key not in _BATCH_WALL_KEYS
+        }
+        view["batch"] = batch
     return view
 
 
@@ -90,6 +108,26 @@ def merge_fuzz_batches(seed: int, count: int, batch_size: int,
     from repro.fuzz.campaign import assemble_fuzz_report
 
     return assemble_fuzz_report(seed, count, batch_size, max_steps, runs)
+
+
+def merge_batch_bench_samples(scalar_units: list[dict],
+                              batch_units: list[dict]) -> list:
+    """Pair scalar/lockstep legs by batch-suite row into verdicts.
+
+    The bit-identity comparison (``combine_batch_samples``) is the same
+    function the sequential driver uses, so sharding the legs across
+    workers cannot weaken the gate."""
+    from repro.core.bench import combine_batch_samples
+
+    by_row_scalar = {unit["row_index"]: unit for unit in scalar_units}
+    by_row_batch = {unit["row_index"]: unit for unit in batch_units}
+    if set(by_row_scalar) != set(by_row_batch):
+        raise ValueError(
+            "scalar/batch bench shards do not cover the same rows")
+    return [
+        combine_batch_samples(by_row_scalar[row], by_row_batch[row])
+        for row in sorted(by_row_scalar)
+    ]
 
 
 def merge_bench_samples(fast_units: list[dict],

@@ -31,6 +31,26 @@ from repro.parallel.tasks import WarmupTask, execute_task
 #: beyond this the merge/dispatch thread is the bottleneck anyway.
 MAX_AUTO_JOBS = 16
 
+#: BLAS/OpenMP thread-pool knobs pinned to ``"1"`` in every worker.
+#: The workloads here vectorize over *lanes* (tiny uint64 rows), never
+#: large GEMMs, so intra-op threads can't help — but N workers each
+#: spawning a BLAS pool oversubscribes the box cores*jobs-fold and
+#: wrecks shard scaling.  Pinned in the pool initializer so the child
+#: sets them before numpy loads its backend (OpenBLAS and friends read
+#: these once, at import).
+WORKER_THREAD_PINS = {
+    "OMP_NUM_THREADS": "1",
+    "OPENBLAS_NUM_THREADS": "1",
+    "MKL_NUM_THREADS": "1",
+    "VECLIB_MAXIMUM_THREADS": "1",
+    "NUMEXPR_NUM_THREADS": "1",
+}
+
+
+def _init_worker() -> None:
+    """Pin the numeric thread pools in a freshly spawned worker."""
+    os.environ.update(WORKER_THREAD_PINS)
+
 
 def resolve_jobs(jobs: int | None) -> int:
     """``None``/``0`` -> auto-detect usable cores; otherwise clamp to >= 1.
@@ -102,6 +122,7 @@ class ShardedRunner:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 mp_context=get_context(self._mp_start_method),
+                initializer=_init_worker,
             )
         return self._executor
 

@@ -73,6 +73,18 @@ class BenchTask:
 
 
 @dataclass(frozen=True)
+class BatchBenchTask:
+    """One batch-suite row in one engine leg
+    (:func:`repro.core.bench.run_batch_one`)."""
+
+    row_index: int
+    batch: int
+    steps: int
+    mode: str  # "scalar" (per-lane core.run) | "batch" (lockstep engine)
+    crash_token: str | None = None
+
+
+@dataclass(frozen=True)
 class FuzzBatchTask:
     """One coverage-guided fuzz batch
     (:func:`repro.fuzz.campaign.run_one_batch`)."""
@@ -130,6 +142,11 @@ def execute_task(task) -> dict:
 
         return run_one(task.suite_index, task.iterations, task.mode,
                        traces=task.traces)
+    if isinstance(task, BatchBenchTask):
+        from repro.core.bench import run_batch_one
+
+        return run_batch_one(task.row_index, task.batch, task.steps,
+                             task.mode)
     if isinstance(task, FuzzBatchTask):
         from repro.fuzz.campaign import run_one_batch
 
@@ -137,6 +154,14 @@ def execute_task(task) -> dict:
                              max_steps=task.max_steps)
     if isinstance(task, WarmupTask):
         import repro.core.sandbox  # noqa: F401  (pre-load the stack)
+        from repro.parallel.pool import WORKER_THREAD_PINS
 
-        return {"ready": True, "pid": os.getpid()}
+        return {
+            "ready": True,
+            "pid": os.getpid(),
+            # What the worker's numeric thread pools actually see, so a
+            # regression test can assert the initializer pinned them.
+            "thread_pins": {key: os.environ.get(key)
+                            for key in sorted(WORKER_THREAD_PINS)},
+        }
     raise TypeError(f"unknown task descriptor {type(task).__name__}")

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.core import bench
 from repro.core.bench import (
     BENCH_SCHEMA,
@@ -98,6 +100,66 @@ class TestSuiteReport:
         assert loaded == json.loads(json.dumps(report))
 
 
+class TestBatchBench:
+    def test_legs_bit_identical(self):
+        scalar = bench.run_batch_one(0, 4, 500, "scalar")
+        batch = bench.run_batch_one(0, 4, 500, "batch")
+        result = bench.combine_batch_samples(scalar, batch)
+        assert result.bit_identical
+        assert result.mismatched_lanes == ()
+        # The suite kernels never halt: every lane burns its full budget.
+        assert result.guest_steps == 4 * 500
+        assert result.stats["lanes"] == 4
+        assert result.speedup > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            bench.run_batch_one(0, 2, 10, "warp")
+
+    def test_combine_flags_mismatched_lane(self):
+        scalar = bench.run_batch_one(1, 2, 300, "scalar")
+        batch = bench.run_batch_one(1, 2, 300, "batch")
+        batch["lanes"][1]["registers"][5] ^= 1
+        result = bench.combine_batch_samples(scalar, batch)
+        assert not result.bit_identical
+        assert result.mismatched_lanes == (1,)
+
+    def test_noninterference_lanes_stay_variant_dependent(self):
+        """Regression: the noninterference kernel must not collapse to a
+        variant-independent fixed point — each secret fill has to leave
+        its own register trajectory, or 'different-data replicas' is a
+        lie (an earlier kernel converged every lane to r2 = -3)."""
+        unit = bench.run_batch_one(2, 4, 4000, "scalar")
+        regs = [tuple(lane["registers"]) for lane in unit["lanes"]]
+        assert len(set(regs)) == 4
+
+    def test_batch_section_totals(self):
+        results = bench.run_batch_suite(2, quick=True)
+        section = bench.batch_section(results, 2)
+        assert section["batch"] == 2
+        assert len(section["rows"]) == len(bench.BATCH_SUITE)
+        totals = section["totals"]
+        assert totals["all_bit_identical"] is True
+        assert totals["aggregate_speedup"] > 0
+        assert totals["guest_steps"] == sum(
+            row["guest_steps"] for row in section["rows"])
+
+    def test_suite_report_embeds_batch_section(self):
+        rows = [
+            BenchResult(name="a", machine="guillotine", steps=1000,
+                        cycles=4000, wall_seconds=0.5,
+                        slow_wall_seconds=2.0, deterministic=True,
+                        cycles_match_slow=True, decoded_hit_rate=0.9),
+        ]
+        batch_results = bench.run_batch_suite(1, quick=True)
+        report = suite_report(rows, quick=True,
+                              batch_results=batch_results, batch=1)
+        assert report["batch"]["batch"] == 1
+        assert len(report["batch"]["rows"]) == len(bench.BATCH_SUITE)
+        plain = suite_report(rows, quick=True)
+        assert plain["batch"] is None
+
+
 class TestBenchCli:
     TINY_SUITE = (
         ("alu_loop", "guillotine", bench._alu_loop, 300, 100),
@@ -118,6 +180,30 @@ class TestBenchCli:
         assert report["totals"]["all_cycles_match"] is True
         assert len(json.loads(ledger.read_text())["entries"]) == 1
         assert "TOTAL" in capsys.readouterr().out
+
+    def test_batch_flag_runs_the_lockstep_suite(self, tmp_path,
+                                                monkeypatch, capsys):
+        monkeypatch.setattr(bench, "SUITE", self.TINY_SUITE)
+        out = tmp_path / "BENCH_hw.json"
+        ledger = tmp_path / "BENCH_ledger.json"
+        assert main(["bench", "--quick", "--batch", "2", "--jobs", "1",
+                     "--out", str(out), "--ledger", str(ledger)]) == 0
+        report = json.loads(out.read_text())
+        assert report["batch"]["batch"] == 2
+        assert report["batch"]["totals"]["all_bit_identical"] is True
+        entry = json.loads(ledger.read_text())["entries"][-1]
+        assert entry["batch"] == 2
+        assert entry["batch_bit_identical"] is True
+        assert "AGGREGATE" in capsys.readouterr().out
+
+    def test_batch_must_be_positive(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(bench, "SUITE", self.TINY_SUITE)
+        out = str(tmp_path / "BENCH_hw.json")
+        assert main(["bench", "--quick", "--batch", "0", "--out", out,
+                     "--no-ledger"]) == 0  # 0 = batch suite off
+        assert json.loads(open(out).read())["batch"] is None
+        assert main(["bench", "--quick", "--batch", "-3", "--out", out,
+                     "--no-ledger"]) == 2
 
     def test_cycle_mismatch_fails_the_run(self, tmp_path, monkeypatch,
                                           capsys):

@@ -1,0 +1,132 @@
+"""Unit tests for the committed performance ledger (repro.core.ledger).
+
+The regression gate keys entries on the FULL measurement configuration
+— ``quick`` x ``traces`` x ``batch`` — so a lockstep-batch run is never
+diffed against a scalar run, and the batch aggregate carries its own
+tolerance-gated trajectory.
+"""
+
+from __future__ import annotations
+
+from repro.core.ledger import (
+    _config_key,
+    append_entry,
+    check_regression,
+    entry_from_report,
+    load_ledger,
+)
+
+
+def _report(*, quick=False, traces=True, speedup=3.0, batch=0,
+            batch_speedup=4.0, bit_identical=True) -> dict:
+    report = {
+        "schema": "repro.bench/1",
+        "quick": quick,
+        "traces": traces,
+        "benchmarks": [{
+            "name": "alu_loop", "machine": "guillotine", "steps": 1000,
+            "cycles": 4000, "wall_seconds": 0.5, "decoded_hit_rate": 0.9,
+            "trace_steps": 100, "speedup": speedup,
+        }],
+        "totals": {"speedup": speedup, "all_deterministic": True,
+                   "all_cycles_match": True},
+        "batch": None,
+    }
+    if batch:
+        report["batch"] = {
+            "batch": batch,
+            "rows": [],
+            "totals": {
+                "guest_steps_per_second": 5e6,
+                "scalar_guest_steps_per_second": 5e6 / batch_speedup,
+                "aggregate_speedup": batch_speedup,
+                "all_bit_identical": bit_identical,
+            },
+        }
+    return report
+
+
+class TestEntryFromReport:
+    def test_scalar_entry_has_batch_zero(self):
+        entry = entry_from_report(_report(), git_rev="abc1234")
+        assert entry["batch"] == 0
+        assert "batch_speedup" not in entry
+
+    def test_batch_entry_carries_the_aggregate(self):
+        entry = entry_from_report(
+            _report(batch=16, batch_speedup=3.5), git_rev="abc1234")
+        assert entry["batch"] == 16
+        assert entry["batch_speedup"] == 3.5
+        assert entry["batch_guest_steps_per_second"] == 5e6
+        assert entry["batch_bit_identical"] is True
+
+
+class TestConfigKey:
+    def test_batch_is_part_of_the_configuration(self):
+        scalar = entry_from_report(_report(), git_rev="a")
+        batched = entry_from_report(_report(batch=8), git_rev="a")
+        assert _config_key(scalar) == (False, True, 0)
+        assert _config_key(batched) == (False, True, 8)
+        assert _config_key(scalar) != _config_key(batched)
+
+    def test_legacy_entry_without_batch_field(self):
+        # Entries written before the batch suite existed have no key.
+        assert _config_key({"quick": True, "traces": False}) == \
+            (True, False, 0)
+
+
+class TestRegressionGate:
+    def _append(self, path, **kwargs):
+        return append_entry(_report(**kwargs), str(path), git_rev="t")
+
+    def test_batch_rows_never_diffed_against_scalar_rows(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        self._append(path, speedup=10.0)
+        # Same scalar speedup would regress 70% if compared; the batch
+        # config key isolates it.
+        self._append(path, speedup=3.0, batch=8)
+        assert check_regression(str(path)) == []
+
+    def test_scalar_speedup_regression_detected(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        self._append(path, speedup=10.0)
+        self._append(path, speedup=3.0)
+        problems = check_regression(str(path))
+        assert any("speedup regressed" in p for p in problems)
+
+    def test_batch_speedup_regression_detected(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        self._append(path, batch=8, batch_speedup=4.0)
+        self._append(path, batch=8, batch_speedup=2.0)
+        problems = check_regression(str(path))
+        assert any("batch speedup regressed" in p for p in problems)
+
+    def test_batch_within_tolerance_passes(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        self._append(path, batch=8, batch_speedup=4.0)
+        self._append(path, batch=8, batch_speedup=3.8)
+        assert check_regression(str(path)) == []
+
+    def test_non_bit_identical_batch_is_a_problem(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        self._append(path, batch=8, bit_identical=False)
+        problems = check_regression(str(path))
+        assert any("diverged from scalar" in p for p in problems)
+
+    def test_different_lane_counts_never_compared(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        self._append(path, batch=8, batch_speedup=4.0)
+        self._append(path, batch=16, batch_speedup=2.0)
+        assert check_regression(str(path)) == []
+
+    def test_entries_age_out_per_configuration(self, tmp_path):
+        from repro.core.ledger import MAX_ENTRIES_PER_CONFIG
+
+        path = tmp_path / "ledger.json"
+        for _ in range(MAX_ENTRIES_PER_CONFIG + 5):
+            self._append(path, batch=4)
+        self._append(path)  # different config: must not be displaced
+        entries = load_ledger(str(path))["entries"]
+        batched = [e for e in entries if e["batch"] == 4]
+        assert len(batched) == MAX_ENTRIES_PER_CONFIG
+        assert sum(1 for e in entries if e["batch"] == 0) == 1

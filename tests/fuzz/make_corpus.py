@@ -8,7 +8,8 @@ Each artifact freezes one hand-picked program per fuzzer feature class —
 benign ALU, data-region memory traffic, a counted loop, self-modification
 against the locked code page, a doorbell flood, a timing probe, MMU churn,
 forbidden IO, division by zero, a secret->IO exfiltration, a
-branch-on-secret covert sender, and a raw invalid word — plus two
+branch-on-secret covert sender, a secret-divergent batch splitter, and
+a raw invalid word — plus two
 generator-drawn programs from pinned seeds.  CI replays the directory with
 ``python -m repro replay tests/fuzz/corpus``: any drift in engine timing,
 fault delivery, admission verdicts, or the audit-log hash chain turns into
@@ -105,6 +106,19 @@ def _curated() -> dict[str, list]:
             isa.load(2, 1, 0),
             isa.movi(3, IO_VADDR),
             isa.store(2, 3, 0),
+            isa.halt(),
+        ],
+        # Secret-dependent divergence re-forming at a common tail: the
+        # lockstep batch oracle's probe lanes split on the BEQ (variant 0
+        # takes it, nonzero fills do not) and must re-form before HALT.
+        "batch": [
+            isa.movi(1, SECRET_VADDR),
+            isa.load(2, 1, 0),
+            isa.beq(2, 0, "tail"),
+            isa.addi(3, 3, 7),
+            isa.xor(3, 3, 2),
+            "tail",
+            isa.addi(4, 4, 1),
             isa.halt(),
         ],
         # Seeded covert channel: branch on a secret word, doorbell on one

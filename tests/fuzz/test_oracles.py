@@ -1,7 +1,7 @@
 """Property tests for the differential oracles (hypothesis-driven).
 
 The central property: for *any* generated program — adversarial segments,
-mutated corpus entries, raw garbage words — the four oracles must agree
+mutated corpus entries, raw garbage words — the six oracles must agree
 that the tree is healthy.  Each hypothesis example draws a generator seed,
 so one run of this module pushes well over 200 distinct programs through
 the full differential harness.  ``derandomize=True`` keeps the examples a
@@ -160,3 +160,52 @@ class TestCoverageTokens:
         assert selfmod.violations == ()
         assert "rejected" in selfmod.coverage
         assert selfmod.analyzer_errors
+
+
+class TestBatchOracle:
+    """Oracle 6: lockstep batch execution of the probe lanes must be
+    bit-identical to the scalar probe runs, and its divergence machinery
+    must surface as coverage tokens, never as violations."""
+
+    def test_benign_program_is_batch_identical(self):
+        words = assemble([
+            isa.movi(1, 5), isa.addi(1, 1, 2), isa.halt(),
+        ]).words
+        outcome = check_program(words, admission=False)
+        assert outcome.violations == ()
+        assert "batch:identical" in outcome.coverage
+        assert "batch:uniform" in outcome.coverage
+
+    def test_secret_divergence_reforms_in_batch(self):
+        words = assemble([
+            isa.movi(1, 128),           # SECRET_VADDR
+            isa.load(2, 1, 0),
+            isa.beq(2, 0, "join"),      # variant 0 takes, variant 1 not
+            isa.addi(3, 3, 7),
+            "join",
+            isa.addi(4, 4, 1),
+            isa.halt(),
+        ]).words
+        outcome = check_program(words, admission=False)
+        assert outcome.violations == ()
+        assert "batch:divergence" in outcome.coverage
+        assert "batch:reform" in outcome.coverage
+
+    def test_batch_probes_match_scalar_probes(self):
+        from repro.fuzz.oracles import (
+            batch_noninterference_probes,
+            noninterference_probe,
+        )
+
+        words = assemble([
+            isa.movi(1, 128),
+            isa.load(2, 1, 0),
+            isa.add(3, 2, 2),
+            isa.halt(),
+        ]).words
+        observations, records, stats = batch_noninterference_probes(
+            words, (0, 1))
+        assert observations == [noninterference_probe(words, 0),
+                                noninterference_probe(words, 1)]
+        assert [record.engine for record in records] == ["batch", "batch"]
+        assert stats.lanes == 2

@@ -81,6 +81,52 @@ class TestCrashRetry:
             assert handle.read().strip().isdigit()
 
 
+class TestBatchBenchJobsInvariance:
+    """--jobs must change only WHERE a batch-bench leg ran, never what
+    it computed: lane states, simulated cycles, and the bit-identity
+    verdict are compared field by field against the sequential suite."""
+
+    @staticmethod
+    def _deterministic(results) -> list[dict]:
+        return [
+            {"name": r.name, "batch": r.batch,
+             "steps_per_lane": r.steps_per_lane,
+             "guest_steps": r.guest_steps, "cycles": r.cycles,
+             "bit_identical": r.bit_identical,
+             "mismatched_lanes": r.mismatched_lanes, "stats": r.stats}
+            for r in results
+        ]
+
+    def test_sharded_suite_matches_sequential(self):
+        from repro.core.bench import run_batch_suite
+        from repro.parallel.fabric import run_batch_bench_fabric
+
+        sequential = run_batch_suite(2, quick=True)
+        sharded, timing = run_batch_bench_fabric(2, quick=True, jobs=2)
+        assert timing["mode"] == "parallel"
+        assert self._deterministic(sharded) == \
+            self._deterministic(sequential)
+
+
+class TestWorkerThreadPins:
+    """Every spawned worker must pin its numeric thread pools: N workers
+    each opening a BLAS/OpenMP pool oversubscribes the box and wrecks
+    shard scaling (the lockstep batch rows are tiny; intra-op threads
+    can never pay for themselves here)."""
+
+    def test_spawned_workers_see_pinned_env(self):
+        from repro.parallel.pool import WORKER_THREAD_PINS
+        from repro.parallel.tasks import WarmupTask
+
+        with ShardedRunner(2, task_timeout=300) as runner:
+            results = runner.map([WarmupTask(0), WarmupTask(1)])
+        assert len(results) == 2
+        for result in results:
+            assert result["ready"] is True
+            assert result["thread_pins"] == {
+                key: "1" for key in WORKER_THREAD_PINS}
+
+
 class TestSequentialGuard:
     """--jobs 1 must be the legacy code path, not a one-worker pool."""
 

@@ -94,15 +94,35 @@ class TestExecuteTaskDispatch:
         assert off_sample["trace_hits"] == 0
         assert off_sample["trace_steps"] == 0
 
-    def test_warmup_reports_pid(self):
+    def test_warmup_reports_pid_and_thread_pins(self):
         import os
 
+        from repro.parallel.pool import WORKER_THREAD_PINS
+
         result = execute_task(WarmupTask())
-        assert result == {"ready": True, "pid": os.getpid()}
+        assert result["ready"] is True
+        assert result["pid"] == os.getpid()
+        # In-process the env is whatever the host set; the keys reported
+        # must be exactly the pinned set (values asserted end-to-end in
+        # test_fabric's spawned-worker test).
+        assert set(result["thread_pins"]) == set(WORKER_THREAD_PINS)
 
     def test_unknown_descriptor_rejected(self):
         with pytest.raises(TypeError):
             execute_task(object())
+
+
+class TestWorkerInit:
+    def test_init_worker_pins_numeric_pools(self, monkeypatch):
+        import os
+
+        from repro.parallel.pool import WORKER_THREAD_PINS, _init_worker
+
+        for key in WORKER_THREAD_PINS:
+            monkeypatch.setenv(key, "8")
+        _init_worker()
+        for key, value in WORKER_THREAD_PINS.items():
+            assert os.environ[key] == value
 
 
 class TestInlineFallback:
