@@ -22,6 +22,9 @@ Commands:
   divergences shrunk into ``repro.replay/1`` golden records
 * ``replay``     — deterministically re-execute golden records (a file or a
   directory of them) against the current tree
+* ``serve``      — the multi-tenant service layer: a seeded load of guest
+  submissions through admission control, fair-share scheduling over a warm
+  machine pool, and per-tenant isolation accounting (``repro.serve/1``)
 """
 
 from __future__ import annotations
@@ -473,24 +476,44 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
         print(f"{args.path}: empty ledger")
         return 0
 
-    print(f"{'rev':<10}{'quick':<7}{'traces':<8}{'batch':<7}{'speedup':>9}"
-          f"{'e1':>8}{'batch x':>9}{'trace rate':>12}  {'checks'}")
-    for entry in entries[-args.tail:]:
-        e1 = (f"{entry['e1_speedup']:.2f}x"
-              if entry.get("e1_speedup") else "-")
-        batch = entry.get("batch", 0)
-        batch_speedup = (f"{entry['batch_speedup']:.2f}x"
-                         if entry.get("batch_speedup") is not None else "-")
-        ok = (entry["all_deterministic"] and entry["all_cycles_match"]
-              and (not batch or entry.get("batch_bit_identical")))
-        checks = "ok" if ok else "FAILED"
-        print(f"{entry['git_rev']:<10}"
-              f"{str(entry['quick']).lower():<7}"
-              f"{'on' if entry['traces'] else 'off':<8}"
-              f"{batch or '-':<7}"
-              f"{entry['speedup']:>8.2f}x{e1:>8}"
-              f"{batch_speedup:>9}"
-              f"{entry['trace_step_rate']:>11.1%}  {checks}")
+    bench_entries = [e for e in entries if e.get("kind", "bench") == "bench"]
+    serve_entries = [e for e in entries if e.get("kind") == "serve"]
+    if bench_entries:
+        print(f"{'rev':<10}{'quick':<7}{'traces':<8}{'batch':<7}"
+              f"{'speedup':>9}"
+              f"{'e1':>8}{'batch x':>9}{'trace rate':>12}  {'checks'}")
+        for entry in bench_entries[-args.tail:]:
+            e1 = (f"{entry['e1_speedup']:.2f}x"
+                  if entry.get("e1_speedup") else "-")
+            batch = entry.get("batch", 0)
+            batch_speedup = (f"{entry['batch_speedup']:.2f}x"
+                             if entry.get("batch_speedup") is not None
+                             else "-")
+            ok = (entry["all_deterministic"] and entry["all_cycles_match"]
+                  and (not batch or entry.get("batch_bit_identical")))
+            checks = "ok" if ok else "FAILED"
+            print(f"{entry['git_rev']:<10}"
+                  f"{str(entry['quick']).lower():<7}"
+                  f"{'on' if entry['traces'] else 'off':<8}"
+                  f"{batch or '-':<7}"
+                  f"{entry['speedup']:>8.2f}x{e1:>8}"
+                  f"{batch_speedup:>9}"
+                  f"{entry['trace_step_rate']:>11.1%}  {checks}")
+    if serve_entries:
+        if bench_entries:
+            print()
+        print(f"{'rev':<10}{'load':<7}{'pool':<6}{'engine':<11}"
+              f"{'rpmc':>9}{'p50':>7}{'p95':>7}{'p99':>7}  {'checks'}")
+        for entry in serve_entries[-args.tail:]:
+            checks = "ok" if entry.get("all_isolated") else "LEAKED"
+            print(f"{entry['git_rev']:<10}"
+                  f"{entry['load']:<7}"
+                  f"{entry['machines']:<6}"
+                  f"{entry['engine']:<11}"
+                  f"{entry['throughput_rpmc']:>9.1f}"
+                  f"{entry['latency_p50']:>7}"
+                  f"{entry['latency_p95']:>7}"
+                  f"{entry['latency_p99']:>7}  {checks}")
 
     if args.check:
         problems = check_regression(args.path)
@@ -696,6 +719,92 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.parallel.fabric import run_serve_fabric
+
+    for name, value in (("--load", args.load), ("--machines", args.machines),
+                        ("--cell-size", args.cell_size),
+                        ("--queue-cap", args.queue_cap),
+                        ("--budget", args.budget)):
+        if value < 1:
+            print(f"error: {name} must be positive, got {value}",
+                  file=sys.stderr)
+            return 2
+
+    report, timing = run_serve_fabric(
+        args.seed, args.load, jobs=args.jobs, cell_size=args.cell_size,
+        machines=args.machines, queue_cap=args.queue_cap,
+        budget=args.budget, engine=args.engine)
+
+    problems = []
+    if report["requests"] != args.load:
+        problems.append(
+            f"request conservation violated: {report['requests']} recorded "
+            f"of {args.load} submitted")
+    if sum(report["outcomes"].values()) != report["requests"]:
+        problems.append("request conservation violated: outcome counts do "
+                        "not sum to the request count")
+    if not report["isolation"]["all_isolated"]:
+        leaks = ", ".join(
+            f"{v['leaked']} -> {v['tenant']}"
+            for v in report["isolation"]["violations"])
+        problems.append(f"tenant isolation violated: {leaks}")
+
+    if args.json:
+        # The payload is deterministic; timing goes to stderr so stdout
+        # stays byte-comparable across --jobs counts and reruns.
+        print(json.dumps(report, indent=2, sort_keys=True))
+        print(_timing_summary("serve", timing, "requests"), file=sys.stderr)
+    else:
+        outcomes = report["outcomes"]
+        print(f"{'outcome':<24}{'count':>7}")
+        for outcome, count in sorted(outcomes.items()):
+            print(f"{outcome:<24}{count:>7}")
+        reasons = ", ".join(f"{k}={v}" for k, v
+                            in report["contained_reasons"].items())
+        print(f"contained reasons: {reasons or '(none)'}; "
+              f"flagged admissions: {report['flagged']}")
+        latency = report["latency"]
+        print(f"latency cycles: p50={latency['p50']} p95={latency['p95']} "
+              f"p99={latency['p99']} max={latency['max']} "
+              f"({latency['samples']} samples)")
+        print(f"throughput: {report['throughput_rpmc']:.1f} requests per "
+              f"million cycles over {report['cells']} cell(s)")
+        print(f"\n{'tenant':<24}{'reqs':>6}{'done':>6}{'cont':>6}"
+              f"{'rej-adm':>9}{'rej-bp':>8}{'flagged':>9}{'cycles':>10}")
+        for tenant, stats in report["tenants"].items():
+            print(f"{tenant:<24}{stats['requests']:>6}"
+                  f"{stats['completed']:>6}{stats['contained']:>6}"
+                  f"{stats['rejected_admission']:>9}"
+                  f"{stats['rejected_backpressure']:>8}"
+                  f"{stats['flagged']:>9}{stats['service_cycles']:>10}")
+        isolation = report["isolation"]
+        print(f"isolation: {isolation['checks']} checks, "
+              f"{len(isolation['violations'])} violation(s)")
+        print(_timing_summary("serve", timing, "requests"))
+
+    if args.out:
+        payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.out}", file=sys.stderr if args.json else sys.stdout)
+    if not args.no_ledger:
+        from repro.core.ledger import append_serve_entry
+
+        entry = append_serve_entry(report, args.ledger)
+        print(f"ledger: appended {entry['git_rev']} "
+              f"({entry['throughput_rpmc']:.1f} rpmc, "
+              f"isolation {'ok' if entry['all_isolated'] else 'LEAKED'}) "
+              f"to {args.ledger}",
+              file=sys.stderr if args.json else sys.stdout)
+
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -840,6 +949,48 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_parser.add_argument(
         "--jobs", type=int, default=0,
         help="worker processes (0 = auto-detect cores, 1 = sequential)")
+    serve_parser = subparsers.add_parser(
+        "serve", help="multi-tenant service layer: seeded load through "
+                      "admission, scheduling, and the warm machine pool")
+    serve_parser.add_argument(
+        "--load", type=int, default=200,
+        help="total number of guest submissions in the campaign")
+    serve_parser.add_argument(
+        "--seed", type=int, default=42,
+        help="master seed; derives every cell's arrival schedule and "
+             "guest programs")
+    serve_parser.add_argument(
+        "--cell-size", type=int, default=50,
+        help="requests per cell (the parallel work unit; default 50)")
+    serve_parser.add_argument(
+        "--machines", type=int, default=4,
+        help="warm pooled machines per cell (default 4)")
+    serve_parser.add_argument(
+        "--queue-cap", type=int, default=6,
+        help="admission queue bound; overflow is shed as structured "
+             "backpressure rejections (default 6)")
+    serve_parser.add_argument(
+        "--budget", type=int, default=4000,
+        help="per-guest cycle budget; overruns are contained (default 4000)")
+    serve_parser.add_argument(
+        "--engine", choices=("reference", "fast", "trace"), default="trace",
+        help="interpreter engine for pooled machines (cycle-identical; "
+             "default trace)")
+    serve_parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = auto-detect cores, 1 = sequential)")
+    serve_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the repro.serve/1 JSON document on stdout")
+    serve_parser.add_argument(
+        "--out", default=None,
+        help="also write the repro.serve/1 report to this path")
+    serve_parser.add_argument(
+        "--ledger", default="BENCH_ledger.json",
+        help="performance ledger to append the serve summary row to")
+    serve_parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="skip appending this run to the performance ledger")
     replay_parser = subparsers.add_parser(
         "replay", help="re-execute repro.replay/1 golden records")
     replay_parser.add_argument(
@@ -864,6 +1015,7 @@ def main(argv: list[str] | None = None) -> int:
         "fleet": _cmd_fleet,
         "fuzz": _cmd_fuzz,
         "replay": _cmd_replay,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

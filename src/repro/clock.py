@@ -206,6 +206,22 @@ class VirtualClock:
                 raise RuntimeError("event queue did not drain within limit")
         return fired
 
+    def reset(self) -> None:
+        """Rewind to cycle zero for machine reuse (serve pool scrub).
+
+        Refuses while live events are still queued: silently dropping a
+        scheduled callback (device completion, heartbeat) would leave its
+        owner waiting forever.  Callers must quiesce the machine first.
+        """
+        if self._live:
+            raise RuntimeError(
+                f"cannot reset clock with {self._live} live event(s) pending")
+        self._now = 0
+        self._queue = []
+        self._seq = 0
+        self._next_due = _NEVER
+        self._cancelled = 0
+
     @property
     def pending(self) -> int:
         """Number of live (scheduled, not cancelled) events still queued.

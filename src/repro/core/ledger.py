@@ -15,6 +15,19 @@ noise between runners is real, which is why the gate compares the
 speedup *ratio* (fast wall vs reference wall on the same machine in the
 same run) rather than raw steps/second, and why the tolerance is 10%
 rather than 1%.
+
+Since the serve layer landed, the ledger holds two row kinds:
+
+* ``kind="bench"`` (the default for historical rows) — the interpreter
+  suite summary above.
+* ``kind="serve"`` — one row per ``repro serve`` campaign: simulated
+  throughput (requests per million cycles), latency percentiles, and the
+  isolation verdict.  Serve throughput is measured in *virtual* cycles,
+  so a drop beyond the tolerance is a real scheduling/workload change,
+  never runner noise.
+
+Rows only regression-diff against rows of the same kind and
+configuration (:func:`_config_key` keys on the kind first).
 """
 
 from __future__ import annotations
@@ -76,6 +89,7 @@ def entry_from_report(report: dict, *, git_rev: str | None = None) -> dict:
 
     e1 = [row for row in rows if row["name"] == "e1_harness"]
     entry = {
+        "kind": "bench",
         "git_rev": git_rev if git_rev is not None else git_revision(),
         "quick": bool(report.get("quick")),
         "traces": bool(report.get("traces", True)),
@@ -102,6 +116,36 @@ def entry_from_report(report: dict, *, git_rev: str | None = None) -> dict:
     return entry
 
 
+def serve_entry_from_report(report: dict, *,
+                            git_rev: str | None = None) -> dict:
+    """Compress one ``repro.serve/1`` report into a ledger row."""
+    if report.get("schema") != "repro.serve/1":
+        raise ValueError(
+            f"not a repro.serve/1 report: {report.get('schema')!r}")
+    outcomes = report["outcomes"]
+    latency = report["latency"]
+    return {
+        "kind": "serve",
+        "git_rev": git_rev if git_rev is not None else git_revision(),
+        "load": report["load"],
+        "cell_size": report["cell_size"],
+        "machines": report["machines"],
+        "queue_cap": report["queue_cap"],
+        "budget_cycles": report["budget_cycles"],
+        "engine": report["engine"],
+        "serviced": report["serviced"],
+        "throughput_rpmc": report["throughput_rpmc"],
+        "latency_p50": latency["p50"],
+        "latency_p95": latency["p95"],
+        "latency_p99": latency["p99"],
+        "completed": outcomes["completed"],
+        "contained": outcomes["contained"],
+        "rejected_admission": outcomes["rejected_admission"],
+        "rejected_backpressure": outcomes["rejected_backpressure"],
+        "all_isolated": report["isolation"]["all_isolated"],
+    }
+
+
 def load_ledger(path: str = DEFAULT_LEDGER) -> dict:
     """The ledger document at ``path``, or a fresh empty one."""
     if not os.path.exists(path):
@@ -114,22 +158,27 @@ def load_ledger(path: str = DEFAULT_LEDGER) -> dict:
     return document
 
 
-def _config_key(entry: dict) -> tuple[bool, bool, int]:
-    """The full measurement configuration: ``quick`` x ``traces`` x
-    ``batch`` (0 = no batch suite ran).  Keying on the whole tuple means
-    a batch row can never be regression-diffed against a scalar row."""
-    return (bool(entry.get("quick")), bool(entry.get("traces", True)),
-            int(entry.get("batch", 0)))
+def _config_key(entry: dict) -> tuple:
+    """The full measurement configuration, keyed on the row kind first.
+
+    Bench rows key on ``quick`` x ``traces`` x ``batch`` (0 = no batch
+    suite ran); serve rows key on the campaign shape (load, cell size,
+    pool, budget, engine).  Keying on the whole tuple means a row can
+    never be regression-diffed against a differently configured one."""
+    if entry.get("kind", "bench") == "serve":
+        return ("serve", entry.get("load"), entry.get("cell_size"),
+                entry.get("machines"), entry.get("queue_cap"),
+                entry.get("budget_cycles"), entry.get("engine"))
+    return ("bench", bool(entry.get("quick")),
+            bool(entry.get("traces", True)), int(entry.get("batch", 0)))
 
 
-def append_entry(report: dict, path: str = DEFAULT_LEDGER, *,
-                 git_rev: str | None = None) -> dict:
-    """Append one summary row for ``report`` and rewrite the ledger.
+def _append(entry: dict, path: str) -> dict:
+    """Append ``entry`` and rewrite the ledger, aging out old rows.
 
     Rows beyond :data:`MAX_ENTRIES_PER_CONFIG` for the new row's
     configuration age out oldest-first.  Returns the appended entry."""
     document = load_ledger(path)
-    entry = entry_from_report(report, git_rev=git_rev)
     document["entries"].append(entry)
 
     key = _config_key(entry)
@@ -145,20 +194,55 @@ def append_entry(report: dict, path: str = DEFAULT_LEDGER, *,
     return entry
 
 
+def append_entry(report: dict, path: str = DEFAULT_LEDGER, *,
+                 git_rev: str | None = None) -> dict:
+    """Append one bench summary row for ``report`` (see :func:`_append`)."""
+    return _append(entry_from_report(report, git_rev=git_rev), path)
+
+
+def append_serve_entry(report: dict, path: str = DEFAULT_LEDGER, *,
+                       git_rev: str | None = None) -> dict:
+    """Append one serve summary row for ``report`` (see :func:`_append`)."""
+    return _append(serve_entry_from_report(report, git_rev=git_rev), path)
+
+
+def _check_serve_regression(latest: dict, entries: list[dict],
+                            tolerance: float) -> list[str]:
+    """Gate problems for a newest-is-serve ledger (throughput + isolation)."""
+    problems = []
+    if not latest.get("all_isolated", True):
+        problems.append("latest serve entry violated tenant isolation")
+    previous = [e for e in entries[:-1]
+                if _config_key(e) == _config_key(latest)]
+    if previous:
+        prior = previous[-1]
+        floor = prior["throughput_rpmc"] * (1.0 - tolerance)
+        if latest["throughput_rpmc"] < floor:
+            problems.append(
+                f"serve throughput regressed beyond {tolerance:.0%}: "
+                f"{prior['throughput_rpmc']:.1f} rpmc ({prior['git_rev']}) "
+                f"-> {latest['throughput_rpmc']:.1f} rpmc "
+                f"({latest['git_rev']}), floor {floor:.1f}")
+    return problems
+
+
 def check_regression(path: str = DEFAULT_LEDGER, *,
                      tolerance: float = REGRESSION_TOLERANCE) -> list[str]:
     """Problems with the newest ledger entry, as human-readable strings.
 
     The newest entry is compared against the previous entry with the same
-    ``(quick, traces)`` configuration; a speedup drop beyond ``tolerance``
-    — or a failed determinism/equivalence verdict — is a problem.  An
-    empty list means the gate passes (including the trivial cases of an
-    empty ledger or no prior same-configuration entry)."""
+    :func:`_config_key`; a speedup (bench) or throughput (serve) drop
+    beyond ``tolerance`` — or a failed determinism/equivalence/isolation
+    verdict — is a problem.  An empty list means the gate passes
+    (including the trivial cases of an empty ledger or no prior
+    same-configuration entry)."""
     document = load_ledger(path)
     entries = document["entries"]
     if not entries:
         return []
     latest = entries[-1]
+    if latest.get("kind", "bench") == "serve":
+        return _check_serve_regression(latest, entries, tolerance)
     problems = []
     if not latest.get("all_deterministic"):
         problems.append("latest entry is not deterministic")

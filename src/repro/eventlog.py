@@ -101,6 +101,15 @@ class EventLog:
         """Invoke ``callback`` on every future record (detectors use this)."""
         self._subscribers.append(callback)
 
+    def reset_chain(self) -> None:
+        """Discard all records and start a fresh hash chain.
+
+        Used by the serve-layer machine scrub: a pooled machine must not
+        carry one tenant's audit trail into the next tenant's lease.  The
+        subscriber list survives — it is wiring, not tenant state.
+        """
+        self._records.clear()
+
     # -- querying -----------------------------------------------------------
 
     def __len__(self) -> int:

@@ -94,6 +94,24 @@ _OUTBOUND_TEXT_OPS = {"send", "write", "actuate"}
 PRIVILEGED_DEVICE_OPS = frozenset({"set_interlock"})
 
 
+def admission_verdict(report, policy: str) -> tuple[str, bool]:
+    """Map an analysis report and a verification policy onto a verdict.
+
+    Returns ``(verdict, refuse)`` where ``verdict`` is ``"admitted"``,
+    ``"rejected"``, or ``"flagged"`` (findings present but the policy lets
+    the guest through, i.e. ``warn``).  This is the single admission rule
+    shared by :meth:`GuillotineHypervisor.load_guest` and the serve-layer
+    admission queue (:mod:`repro.serve.admission`) — the policy semantics
+    must never drift between the two entry points.
+    """
+    flagged = bool(report.errors)
+    if policy == "enforce-flows":
+        flagged = flagged or bool(report.flows)
+    refuse = flagged and policy in ("enforce", "enforce-flows")
+    verdict = "admitted" if not flagged else "rejected" if refuse else "flagged"
+    return verdict, refuse
+
+
 class GuillotineHypervisor:
     """The software hypervisor for one Guillotine machine."""
 
@@ -280,13 +298,7 @@ class GuillotineHypervisor:
                 sources=sources,
             )
             self.last_admission_report = report
-            flagged = bool(report.errors)
-            if self.verify_guests == "enforce-flows":
-                flagged = flagged or bool(report.flows)
-            refuse = flagged and self.verify_guests in (
-                "enforce", "enforce-flows")
-            verdict = ("admitted" if not flagged
-                       else "rejected" if refuse else "flagged")
+            verdict, refuse = admission_verdict(report, self.verify_guests)
             self.machine.log.record(
                 "hv", CATEGORY_ADMISSION,
                 guest=name, core=core.name, policy=self.verify_guests,

@@ -451,6 +451,58 @@ class Core:
         self.caches.branch_predictor.flush()
         self.invalidate_decoded()
 
+    def scrub(self) -> None:
+        """Factory-reset every piece of tenant-visible core state.
+
+        Machine-pool reuse (``repro serve``): a released core must be
+        indistinguishable from a freshly built one before the next tenant's
+        lease.  Architectural state, exception/timer machinery, telemetry
+        counters, and all microarchitectural structures (including their
+        stats) are wiped.  The MMU is *replaced*, not cleared: lockdown is
+        deliberately one-way on a live MMU, so reuse gets a fresh object.
+        Builder wiring (hooks, speculation config, second level) survives —
+        it is machine configuration, not tenant state.
+        """
+        self._require_power()
+        self.state = CoreState.PAUSED
+        self.registers = [0] * 16
+        self.pc = 0
+        self.exception_vector = None
+        self._saved_pc = 0
+        self._in_handler = False
+        self._timer_deadline = None
+        self.timer_fires = 0
+        self.shadow_instructions = 0
+        self.shadow_loads_forwarded = 0
+        self._watchpoints.clear()
+        self._next_watchpoint_id = 1
+        self.instructions_retired = 0
+        self.faults = 0
+        self.last_fault = None
+        self.last_watchpoint = None
+        self.decoded_hits = 0
+        self.decoded_misses = 0
+        self.tlb_fastpath_hits = 0
+        self._vtraces.clear()
+        self._trace_heat.clear()
+        self.trace_hits = 0
+        self.trace_bailouts = 0
+        self.trace_steps = 0
+        self.mmu = Mmu(f"{self.name}.mmu")
+        for cache in self.caches.private:
+            cache.flush()
+            cache.stats.hits = 0
+            cache.stats.misses = 0
+        tlb = self.caches.tlb
+        tlb.invalidate()
+        tlb.stats.hits = 0
+        tlb.stats.misses = 0
+        predictor = self.caches.branch_predictor
+        predictor.flush()
+        predictor.predictions = 0
+        predictor.mispredictions = 0
+        self.invalidate_decoded()
+
     # ------------------------------------------------------------------
     # Memory access (through MMU, TLB, caches, bus)
     # ------------------------------------------------------------------

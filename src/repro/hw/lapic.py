@@ -112,6 +112,16 @@ class Lapic:
         self._recent.clear()
         self._coalesced.clear()
 
+    def scrub(self) -> None:
+        """Full reset including the accept/throttle counters.
+
+        ``reset`` keeps the counters because a reboot is still the same
+        tenancy; a serve-pool scrub is not — telemetry must start from
+        zero for the next tenant."""
+        self.reset()
+        self.accepted = 0
+        self.throttled = 0
+
     # -- checkpoint/restore (fleet migration) --------------------------------
     # Timestamps are absolute virtual time; a restore is only valid once the
     # destination clock has been advanced to the checkpoint's ``now``.

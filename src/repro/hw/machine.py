@@ -249,6 +249,37 @@ class Machine:
         for core in self.model_cores + self.hv_cores:
             core.trace_jit = enabled
 
+    def scrub(self) -> None:
+        """Factory-reset the machine for reuse by a new tenant.
+
+        The serve-layer machine pool calls this between leases: cores,
+        DRAM banks (words, decoded/trace caches, fault state, counters),
+        shared caches, frame allocators, LAPICs, the audit log, and the
+        virtual clock all return to their power-on state.  Wiring —
+        buses, devices, silicon identity, enclosure — is configuration
+        and survives.  The clock reset runs last and refuses while events
+        are still queued, so a machine with in-flight device work cannot
+        be handed to the next tenant.
+        """
+        for core in self.model_cores + self.hv_cores:
+            if core.is_powered_down:
+                core.power_up()
+            else:
+                core.pause()
+            core.scrub()
+        for cache in self.shared_caches:
+            cache.flush()
+            cache.stats.hits = 0
+            cache.stats.misses = 0
+        for name, bank in self.banks.items():
+            bank.scrub()
+            # FrameAllocator is deliberately bump-only; reuse gets a fresh one.
+            self.allocators[name] = FrameAllocator(bank)
+        for lapic in self.lapics.values():
+            lapic.scrub()
+        self.log.reset_chain()
+        self.clock.reset()
+
 
 def _make_core_caches(config: MachineConfig, shared_l2: Cache | None,
                       prefix: str) -> CoreCaches:

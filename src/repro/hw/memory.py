@@ -339,6 +339,30 @@ class Dram:
         self.decoded.clear()
         self.invalidate_all_traces()
 
+    def scrub(self) -> None:
+        """Zero the bank and every derived cache/counter (machine reuse).
+
+        A pooled machine released by one tenant must present factory-fresh
+        DRAM to the next lease: stored words, injected faults, the decoded
+        cache, compiled traces, and *all* telemetry counters are tenant
+        state and are wiped together.  (``ecc_enabled`` is configuration
+        and survives.)"""
+        self._words = [0] * self.size
+        self.write_count = 0
+        self.ecc_corrections = 0
+        self.ecc_machine_checks = 0
+        self._corrupt.clear()
+        self._stuck.clear()
+        self.decoded.clear()
+        self.decoded_evictions = 0
+        self.invalidate_all_traces()
+        self._traces.clear()
+        self._trace_index.clear()
+        self._trace_seq = 0
+        self.traces_compiled = 0
+        self.trace_invalidations = 0
+        self.trace_evictions = 0
+
     def snapshot(self, start: int = 0, length: int | None = None) -> list[int]:
         """Copy a region out (used by the inspection bus and attestation)."""
         if length is None:

@@ -8,6 +8,7 @@ sequential                sharded
 ``chaos.run_chaos``       :func:`run_chaos_fabric`
 ``run_paired_campaign``   :func:`run_paired_campaign_fabric`
 ``bench.run_suite``       :func:`run_bench_fabric`
+``serve.run_serve``       :func:`run_serve_fabric`
 ========================  =======================================
 
 ``jobs <= 1`` (or a workload too small to shard) takes the *legacy
@@ -35,6 +36,7 @@ from repro.parallel.merge import (
     merge_chaos_runs,
     merge_fleet_runs,
     merge_fuzz_batches,
+    merge_serve_cells,
 )
 from repro.parallel.pool import ShardedRunner, resolve_jobs
 from repro.parallel.tasks import (
@@ -44,6 +46,7 @@ from repro.parallel.tasks import (
     ChaosCampaignTask,
     FleetCampaignTask,
     FuzzBatchTask,
+    ServeCellTask,
 )
 
 
@@ -155,6 +158,52 @@ def run_fuzz_fabric(seed: int, count: int, jobs: int | None = None,
             runner.close()
     report = merge_fuzz_batches(seed, count, batch_size, max_steps, runs)
     return report, _timing(start, count, jobs, "parallel", runner)
+
+
+def run_serve_fabric(seed: int, load: int, jobs: int | None = None,
+                     *, cell_size: int | None = None, machines: int = 4,
+                     queue_cap: int = 6, budget: int = 4000,
+                     engine: str = "trace",
+                     runner: ShardedRunner | None = None
+                     ) -> tuple[dict, dict]:
+    """Serve cells, sharded; report byte-identical to ``run_serve``.
+
+    The cell partition and per-cell seeds come from the same derivation
+    the sequential driver uses; the merge recomputes every aggregate, so
+    ``--jobs`` only decides which process runs each cell."""
+    from repro.serve.load import (
+        DEFAULT_CELL_SIZE,
+        derive_cell_seeds,
+        plan_cells,
+        run_serve,
+    )
+    from repro.serve.service import ServiceConfig
+
+    cell_size = cell_size or DEFAULT_CELL_SIZE
+    config = ServiceConfig(machines=machines, queue_cap=queue_cap,
+                           budget_cycles=budget, engine=engine)
+    sizes = plan_cells(load, cell_size)
+    jobs = runner.jobs if runner is not None else resolve_jobs(jobs)
+    start = time.perf_counter()
+    if jobs <= 1 or len(sizes) <= 1:
+        report = run_serve(seed, load, cell_size=cell_size, config=config)
+        return report, _timing(start, load, 1, "sequential")
+    seeds = derive_cell_seeds(seed, len(sizes))
+    tasks = [
+        ServeCellTask(cell_seed, index, count, machines, queue_cap,
+                      budget, engine)
+        for index, (cell_seed, count) in enumerate(zip(seeds, sizes))
+    ]
+    own_runner = runner is None
+    if own_runner:
+        runner = ShardedRunner(jobs)
+    try:
+        cells = runner.map(tasks)
+    finally:
+        if own_runner:
+            runner.close()
+    report = merge_serve_cells(seed, load, cell_size, config, cells)
+    return report, _timing(start, load, jobs, "parallel", runner)
 
 
 def run_paired_campaign_fabric(seed: int | None = None,

@@ -110,6 +110,14 @@ def merge_fuzz_batches(seed: int, count: int, batch_size: int,
     return assemble_fuzz_report(seed, count, batch_size, max_steps, runs)
 
 
+def merge_serve_cells(seed: int, load: int, cell_size: int, config,
+                      cells: list[dict]) -> dict:
+    """Reassemble per-shard serve cells into the ``repro.serve/1`` report."""
+    from repro.serve.load import assemble_serve_report
+
+    return assemble_serve_report(seed, load, cell_size, config, cells)
+
+
 def merge_batch_bench_samples(scalar_units: list[dict],
                               batch_units: list[dict]) -> list:
     """Pair scalar/lockstep legs by batch-suite row into verdicts.

@@ -97,6 +97,21 @@ class FuzzBatchTask:
 
 
 @dataclass(frozen=True)
+class ServeCellTask:
+    """One seeded cell of the multi-tenant serve campaign
+    (:func:`repro.serve.load.run_one_cell`)."""
+
+    cell_seed: int
+    index: int
+    count: int
+    machines: int
+    queue_cap: int
+    budget: int
+    engine: str = "trace"
+    crash_token: str | None = None
+
+
+@dataclass(frozen=True)
 class WarmupTask:
     """Pre-loads the simulation stack in a fresh worker.
 
@@ -152,6 +167,13 @@ def execute_task(task) -> dict:
 
         return run_one_batch(task.batch_seed, task.index, task.count,
                              max_steps=task.max_steps)
+    if isinstance(task, ServeCellTask):
+        from repro.serve.load import run_one_cell
+
+        return run_one_cell(task.cell_seed, task.index, task.count,
+                            machines=task.machines,
+                            queue_cap=task.queue_cap,
+                            budget=task.budget, engine=task.engine)
     if isinstance(task, WarmupTask):
         import repro.core.sandbox  # noqa: F401  (pre-load the stack)
         from repro.parallel.pool import WORKER_THREAD_PINS

@@ -1,0 +1,56 @@
+"""The serve-layer admission gate.
+
+Every submitted guest program runs through the existing static and taint
+analyzers (:func:`repro.analysis.analyze_program`) under the *tenant's*
+policy before it can be scheduled onto a pooled machine.  The verdict
+rule is :func:`repro.hv.hypervisor.admission_verdict` — the exact same
+function the single-machine hypervisor load path uses, so the policy
+semantics cannot drift between the CLI and the service.
+
+Analyzer results are cached by image digest (see
+:mod:`repro.analysis.passes`), so a load campaign that submits the same
+byte image twice pays for one analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import analyze_program
+from repro.hv.hypervisor import VERIFY_POLICIES, admission_verdict
+from repro.serve.workload import SERVE_SOURCES
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The structured outcome of one admission run (JSON-safe fields)."""
+
+    verdict: str        # "admitted" | "rejected" | "flagged"
+    refuse: bool
+    errors: int
+    warnings: int
+    flows: int
+    categories: tuple
+
+    @property
+    def admitted(self) -> bool:
+        return not self.refuse
+
+
+def admit(program, *, name: str, policy: str) -> AdmissionDecision:
+    """Run the admission analyzers over ``program`` under ``policy``."""
+    if policy not in VERIFY_POLICIES:
+        raise ValueError(
+            f"policy must be one of {VERIFY_POLICIES}, got {policy!r}")
+    if policy == "off":
+        return AdmissionDecision("admitted", False, 0, 0, 0, ())
+    report = analyze_program(program, name=name, sources=SERVE_SOURCES)
+    verdict, refuse = admission_verdict(report, policy)
+    return AdmissionDecision(
+        verdict=verdict,
+        refuse=refuse,
+        errors=len(report.errors),
+        warnings=len(report.warnings),
+        flows=len(report.flows),
+        categories=tuple(sorted(report.categories())),
+    )

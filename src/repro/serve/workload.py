@@ -1,0 +1,249 @@
+"""Tenant roster and seeded guest-program generation for the serve layer.
+
+Every tenant profile is a tiny GISA program builder plus the verification
+policy that tenant signed up for.  The mix is chosen so a seeded load
+campaign always exercises every service outcome: clean completions,
+admission rejections (static errors and taint flows), runtime containment
+(faults and cycle-budget overruns), and warn-policy guests that are
+admitted flagged and then contained at runtime.
+
+The guest memory layout mirrors the standard loader
+(:meth:`repro.hw.machine.Machine.load_program`): one code page at vaddr 0,
+two data pages (the second holds tenant secrets), then the shared IO
+window.  :data:`SERVE_SOURCES` is the matching
+:class:`~repro.analysis.taint.SourceSinkModel`, shared by every admission
+run so analyzer results cache across requests with identical programs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.analysis import SourceSinkModel
+from repro.hw.isa import (
+    Instruction,
+    addi,
+    assemble,
+    bne,
+    div,
+    halt,
+    iowr,
+    load,
+    movi,
+    mul,
+    store,
+)
+from repro.hw.memory import PAGE_SIZE
+
+#: Guest layout (word addresses); one code page, two data pages, IO window.
+CODE_VADDR = 0
+DATA_VADDR = 1 * PAGE_SIZE
+SECRET_VADDR = 2 * PAGE_SIZE  # second data page holds the tenant's secrets
+IO_VADDR = 3 * PAGE_SIZE
+DATA_PAGES = 2
+IO_PAGES = 4
+
+#: Source/sink model matching the layout above.  ``data_base_frame=1``
+#: (code page occupies frame 0) and ``io_base_frame=64`` (the IO window
+#: sits above the 64-page model DRAM of the serve machine config).
+SERVE_SOURCES = SourceSinkModel.for_guest_layout(
+    code_pages=1,
+    data_pages=DATA_PAGES,
+    secret_data_pages=1,
+    io_pages=IO_PAGES,
+    data_base_frame=1,
+    io_base_frame=64,
+)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a stable id, a workload profile, and an admission policy."""
+
+    tenant: str
+    profile: str
+    policy: str  # "enforce" | "enforce-flows" | "warn"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One submitted guest run (program derived from ``program_seed``)."""
+
+    index: int         # cell-local submission order
+    tenant: str
+    profile: str
+    policy: str
+    arrival: int       # service virtual time (cycles)
+    program_seed: int
+
+
+# ---------------------------------------------------------------------------
+# Profile program builders.  Each takes a seeded ``random.Random`` and
+# returns the items for ``assemble`` — seeded constants keep the byte
+# images varied across requests while the *shape* (and hence the verdict)
+# stays fixed per profile.
+# ---------------------------------------------------------------------------
+
+
+def _batcher(rng: random.Random) -> list:
+    """Benign straight-line batch job: compute, store, read back, halt."""
+    a = rng.randrange(1, 64)
+    b = rng.randrange(1, 64)
+    return [
+        movi(1, a),
+        movi(2, b),
+        mul(3, 1, 2),
+        movi(4, DATA_VADDR + rng.randrange(0, 8)),
+        store(3, 4),
+        load(5, 4),
+        halt(),
+    ]
+
+
+def _inferencer(rng: random.Random) -> list:
+    """Short counted inference loop; statically clean, no flows."""
+    iterations = rng.randrange(3, 9)
+    step = rng.randrange(1, 16)
+    return [
+        movi(1, 0),                # loop counter
+        movi(2, iterations),
+        movi(3, 0),                # accumulator
+        movi(4, DATA_VADDR),
+        "loop",
+        addi(3, 3, step),
+        addi(1, 1, 1),
+        bne(1, 2, "loop"),
+        store(3, 4),
+        halt(),
+    ]
+
+
+def _spinner(rng: random.Random) -> list:
+    """Statically clean, but spins long enough to blow the cycle budget."""
+    iterations = 2000 + rng.randrange(0, 512)
+    return [
+        movi(1, 0),
+        movi(2, iterations),
+        "loop",
+        addi(1, 1, 1),
+        bne(1, 2, "loop"),
+        halt(),
+    ]
+
+
+def _crasher(rng: random.Random) -> list:
+    """Divides by a word loaded from the zero-filled data page: #DE."""
+    numerator = rng.randrange(1, 100)
+    return [
+        movi(1, DATA_VADDR + rng.randrange(0, 8)),
+        load(2, 1),                # reads 0 from fresh DRAM
+        movi(3, numerator),
+        div(4, 3, 2),              # division by zero, no handler -> FAULTED
+        halt(),
+    ]
+
+
+def _smuggler(rng: random.Random) -> list:
+    """Reachable port IO: a static ERROR on a Guillotine model core."""
+    return [
+        movi(1, rng.randrange(1, 100)),
+        iowr(1, rng.randrange(0, 4)),
+        halt(),
+    ]
+
+
+def _exfiltrator(rng: random.Random) -> list:
+    """Secret load stored to the IO window: a taint flow (no static error).
+
+    Refused only under ``enforce-flows`` — the flow is the WARNING-grade
+    mailbox-egress shape the plain ``enforce`` policy lets through."""
+    return [
+        movi(1, SECRET_VADDR + rng.randrange(0, 8)),
+        load(2, 1),
+        movi(3, IO_VADDR + rng.randrange(0, 8)),
+        store(2, 3),
+        halt(),
+    ]
+
+
+def _grayhat(rng: random.Random) -> list:
+    """Port IO under the ``warn`` policy: admitted flagged, faults at run."""
+    return [
+        movi(1, rng.randrange(1, 50)),
+        addi(1, 1, rng.randrange(1, 10)),
+        iowr(1, rng.randrange(0, 4)),
+        halt(),
+    ]
+
+
+#: profile name -> (admission policy, program builder).
+PROFILES: dict = {
+    "batcher": ("enforce", _batcher),
+    "inferencer": ("enforce-flows", _inferencer),
+    "spinner": ("enforce", _spinner),
+    "crasher": ("enforce", _crasher),
+    "smuggler": ("enforce", _smuggler),
+    "exfiltrator": ("enforce-flows", _exfiltrator),
+    "grayhat": ("warn", _grayhat),
+}
+
+#: Fixed tenant roster, one tenant per profile.  Ids are zero-padded and
+#: profile-tagged so no id is a substring of another — the namespace
+#: isolation check relies on ids being collision-free tokens.
+TENANTS: tuple = tuple(
+    TenantSpec(tenant=f"tenant-{i:02d}-{profile}", profile=profile,
+               policy=PROFILES[profile][0])
+    for i, profile in enumerate(sorted(PROFILES))
+)
+
+#: Request-mix weights (batch/inference traffic dominates; the adversarial
+#: profiles arrive steadily enough that even a 50-request cell sees them).
+_MIX: tuple = (
+    ("batcher", 30),
+    ("inferencer", 25),
+    ("spinner", 10),
+    ("crasher", 10),
+    ("smuggler", 10),
+    ("exfiltrator", 10),
+    ("grayhat", 5),
+)
+_TENANT_BY_PROFILE = {spec.profile: spec for spec in TENANTS}
+
+
+def _pick_profile(rng: random.Random) -> str:
+    total = sum(weight for _, weight in _MIX)
+    roll = rng.randrange(total)
+    for profile, weight in _MIX:
+        if roll < weight:
+            return profile
+        roll -= weight
+    return _MIX[-1][0]  # pragma: no cover - roll < total by construction
+
+
+def build_program(profile: str, program_seed: int):
+    """Assemble the guest image for one request (pure in its arguments)."""
+    _, builder = PROFILES[profile]
+    items = builder(random.Random(program_seed))
+    return assemble([i for i in items if isinstance(i, (Instruction, str))])
+
+
+def generate_requests(cell_seed: int, count: int) -> list[Request]:
+    """The seeded arrival schedule for one cell: ``count`` requests with
+    random inter-arrival gaps, each bound to a tenant by the mix weights."""
+    rng = random.Random(cell_seed)
+    requests: list[Request] = []
+    arrival = 0
+    for index in range(count):
+        arrival += rng.randrange(10, 400)
+        profile = _pick_profile(rng)
+        spec = _TENANT_BY_PROFILE[profile]
+        requests.append(Request(
+            index=index,
+            tenant=spec.tenant,
+            profile=profile,
+            policy=spec.policy,
+            arrival=arrival,
+            program_seed=rng.randrange(2 ** 32),
+        ))
+    return requests

@@ -65,14 +65,15 @@ class TestConfigKey:
     def test_batch_is_part_of_the_configuration(self):
         scalar = entry_from_report(_report(), git_rev="a")
         batched = entry_from_report(_report(batch=8), git_rev="a")
-        assert _config_key(scalar) == (False, True, 0)
-        assert _config_key(batched) == (False, True, 8)
+        assert _config_key(scalar) == ("bench", False, True, 0)
+        assert _config_key(batched) == ("bench", False, True, 8)
         assert _config_key(scalar) != _config_key(batched)
 
     def test_legacy_entry_without_batch_field(self):
-        # Entries written before the batch suite existed have no key.
+        # Entries written before the batch suite (or the kind field)
+        # existed default to the bench configuration.
         assert _config_key({"quick": True, "traces": False}) == \
-            (True, False, 0)
+            ("bench", True, False, 0)
 
 
 class TestRegressionGate:
@@ -130,3 +131,106 @@ class TestRegressionGate:
         batched = [e for e in entries if e["batch"] == 4]
         assert len(batched) == MAX_ENTRIES_PER_CONFIG
         assert sum(1 for e in entries if e["batch"] == 0) == 1
+
+
+def _serve_report(*, load=100, throughput=2500.0, isolated=True,
+                  machines=4, engine="trace") -> dict:
+    return {
+        "schema": "repro.serve/1",
+        "load": load,
+        "cell_size": 50,
+        "machines": machines,
+        "queue_cap": 6,
+        "budget_cycles": 4000,
+        "engine": engine,
+        "serviced": 80,
+        "throughput_rpmc": throughput,
+        "latency": {"samples": 80, "p50": 400, "p95": 4100, "p99": 6800,
+                    "max": 6800, "mean": 1200.0},
+        "outcomes": {"completed": 50, "contained": 30,
+                     "rejected_admission": 20,
+                     "rejected_backpressure": 0},
+        "isolation": {"tenants": 7, "checks": 84, "violations": [],
+                      "all_isolated": isolated},
+    }
+
+
+class TestServeEntries:
+    def test_serve_entry_carries_the_campaign_shape(self):
+        from repro.core.ledger import serve_entry_from_report
+
+        entry = serve_entry_from_report(_serve_report(), git_rev="abc1234")
+        assert entry["kind"] == "serve"
+        assert entry["throughput_rpmc"] == 2500.0
+        assert entry["latency_p95"] == 4100
+        assert entry["all_isolated"] is True
+
+    def test_serve_rejects_foreign_schemas(self):
+        import pytest
+
+        from repro.core.ledger import serve_entry_from_report
+
+        with pytest.raises(ValueError):
+            serve_entry_from_report(_report())
+
+    def test_serve_and_bench_rows_never_share_a_config_key(self):
+        from repro.core.ledger import serve_entry_from_report
+
+        bench = entry_from_report(_report(), git_rev="a")
+        serve = serve_entry_from_report(_serve_report(), git_rev="a")
+        assert _config_key(bench) != _config_key(serve)
+        assert _config_key(bench)[0] == "bench"
+        assert _config_key(serve)[0] == "serve"
+
+    def test_serve_throughput_regression_detected(self, tmp_path):
+        from repro.core.ledger import append_serve_entry
+
+        path = tmp_path / "ledger.json"
+        append_serve_entry(_serve_report(throughput=2500.0), str(path),
+                           git_rev="old")
+        append_serve_entry(_serve_report(throughput=2000.0), str(path),
+                           git_rev="new")
+        problems = check_regression(str(path))
+        assert any("serve throughput regressed" in p for p in problems)
+
+    def test_serve_within_tolerance_passes(self, tmp_path):
+        from repro.core.ledger import append_serve_entry
+
+        path = tmp_path / "ledger.json"
+        append_serve_entry(_serve_report(throughput=2500.0), str(path),
+                           git_rev="old")
+        append_serve_entry(_serve_report(throughput=2300.0), str(path),
+                           git_rev="new")
+        assert check_regression(str(path)) == []
+
+    def test_isolation_failure_is_always_a_problem(self, tmp_path):
+        from repro.core.ledger import append_serve_entry
+
+        path = tmp_path / "ledger.json"
+        append_serve_entry(_serve_report(isolated=False), str(path),
+                           git_rev="new")
+        problems = check_regression(str(path))
+        assert any("isolation" in p for p in problems)
+
+    def test_serve_rows_never_gate_against_a_different_shape(self, tmp_path):
+        from repro.core.ledger import append_serve_entry
+
+        path = tmp_path / "ledger.json"
+        append_serve_entry(_serve_report(load=1000, throughput=9000.0),
+                           str(path), git_rev="old")
+        append_serve_entry(_serve_report(load=100, throughput=2000.0),
+                           str(path), git_rev="new")
+        assert check_regression(str(path)) == []
+
+    def test_serve_rows_interleave_with_bench_rows(self, tmp_path):
+        from repro.core.ledger import append_serve_entry
+
+        path = tmp_path / "ledger.json"
+        append_entry(_report(speedup=3.0), str(path), git_rev="a")
+        append_serve_entry(_serve_report(), str(path), git_rev="b")
+        append_entry(_report(speedup=2.9), str(path), git_rev="c")
+        document = load_ledger(str(path))
+        kinds = [e.get("kind", "bench") for e in document["entries"]]
+        assert kinds == ["bench", "serve", "bench"]
+        # Latest is bench: the bench gate applies and passes.
+        assert check_regression(str(path)) == []

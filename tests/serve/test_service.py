@@ -1,0 +1,116 @@
+"""Service-loop pins: admission policy semantics, structured
+backpressure, cycle-budget containment, and machine reclamation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import admit
+from repro.serve.pool import MachinePool
+from repro.serve.service import ServiceConfig, pick_next, run_cell
+from repro.serve.workload import build_program, generate_requests
+
+#: One machine, a one-deep queue: seeded bursts must shed.
+_TIGHT = ServiceConfig(machines=1, queue_cap=1, budget_cycles=4000)
+
+
+class TestAdmissionPolicies:
+    def test_clean_guest_is_admitted(self):
+        decision = admit(build_program("batcher", 7), name="t",
+                         policy="enforce")
+        assert decision.verdict == "admitted"
+        assert decision.admitted and not decision.refuse
+
+    def test_port_io_is_rejected_under_enforce(self):
+        decision = admit(build_program("smuggler", 7), name="t",
+                         policy="enforce")
+        assert decision.verdict == "rejected"
+        assert decision.refuse
+        assert decision.errors > 0
+        assert "forbidden-io" in decision.categories
+
+    def test_port_io_is_flagged_not_refused_under_warn(self):
+        decision = admit(build_program("grayhat", 7), name="t",
+                         policy="warn")
+        assert decision.verdict == "flagged"
+        assert decision.admitted
+
+    def test_exfil_flow_is_rejected_only_under_enforce_flows(self):
+        program = build_program("exfiltrator", 7)
+        strict = admit(program, name="t", policy="enforce-flows")
+        lax = admit(program, name="t", policy="enforce")
+        assert strict.verdict == "rejected" and strict.flows > 0
+        assert lax.admitted
+
+    def test_off_policy_skips_analysis_entirely(self):
+        decision = admit(build_program("smuggler", 7), name="t",
+                         policy="off")
+        assert decision.verdict == "admitted"
+        assert decision.errors == decision.warnings == decision.flows == 0
+
+    def test_unknown_policy_is_refused_loudly(self):
+        with pytest.raises(ValueError):
+            admit(build_program("batcher", 7), name="t", policy="maybe")
+
+
+class TestBackpressure:
+    def test_queue_overflow_is_a_structured_rejection_not_an_exception(self):
+        cell = run_cell(0, 0, 30, _TIGHT)
+        shed = [r for r in cell["records"]
+                if r["outcome"] == "rejected_backpressure"]
+        assert shed, "tight config must shed under the seeded burst"
+        for record in shed:
+            assert record["reason"] == "queue_full"
+            assert record["verdict"] is None      # shed before analysis
+            assert record["admission"] is None
+            assert record["machine"] is None
+        assert (cell["outcomes"]["rejected_backpressure"] == len(shed))
+        assert sum(cell["outcomes"].values()) == 30
+
+    def test_backpressure_consumes_no_admission_or_machine_time(self):
+        cell = run_cell(0, 0, 30, _TIGHT)
+        # Every lease belongs to a serviced request; shed requests never
+        # touched the pool.
+        assert cell["pool"]["leases"] == cell["serviced"]
+        assert cell["pool"]["scrubs"] == cell["serviced"]
+
+
+class TestBudgetContainment:
+    def test_overrunning_guest_is_contained_and_machine_reclaimed(self):
+        requests = generate_requests(0, 40)
+        spinners = [r for r in requests if r.profile == "spinner"]
+        assert spinners, "seed 0 must include spinner traffic"
+        cell = run_cell(0, 0, 40, ServiceConfig(machines=2, queue_cap=4))
+        contained = [r for r in cell["records"]
+                     if r["outcome"] == "contained"
+                     and r["reason"] == "budget"]
+        assert contained
+        for record in contained:
+            assert record["exec_cycles"] >= ServiceConfig().budget_cycles
+        # Reclaimed: every lease was scrubbed back, and the cell drained
+        # to the end (no machine was lost to the overrun).
+        assert cell["pool"]["scrubs"] == cell["pool"]["leases"]
+        assert sum(cell["outcomes"].values()) == 40
+
+    def test_faulting_guest_is_contained_with_reason_fault(self):
+        cell = run_cell(0, 0, 40, ServiceConfig(machines=2, queue_cap=4))
+        faulted = [r for r in cell["records"]
+                   if r["outcome"] == "contained"
+                   and r["reason"] == "fault"]
+        assert faulted
+        for record in faulted:
+            assert record["profile"] in ("crasher", "grayhat")
+
+
+class TestSchedulerEdges:
+    def test_pick_next_refuses_an_empty_queue(self):
+        with pytest.raises(ValueError):
+            pick_next([], {})
+
+    def test_pool_needs_at_least_one_machine(self):
+        with pytest.raises(ValueError):
+            MachinePool(0)
+
+    def test_unknown_engine_is_refused(self):
+        with pytest.raises(ValueError):
+            MachinePool(1, "jit")

@@ -195,3 +195,73 @@ class TestAnalyze:
         assert main(["analyze", "--asm", str(source)]) == 1
         assert main(["analyze", "--asm", str(source),
                      "--profile", "baseline"]) == 0
+
+
+class TestServeCommand:
+    """Exit-code contract: 0 ok, 1 isolation/invariant failure, 2 usage."""
+
+    ARGS = ["serve", "--load", "40", "--seed", "7", "--cell-size", "20",
+            "--jobs", "1"]
+
+    def test_table_mode_runs_a_seeded_load(self, capsys):
+        assert main(self.ARGS + ["--no-ledger"]) == 0
+        out = capsys.readouterr().out
+        assert "outcome" in out and "tenant-" in out
+        assert "throughput:" in out and "requests/s" in out
+        assert "isolation:" in out
+
+    def test_json_mode_emits_the_serve_schema(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "serve.json"
+        assert main(self.ARGS + ["--json", "--no-ledger",
+                                 "--out", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["schema"] == "repro.serve/1"
+        assert payload["requests"] == 40
+        assert sum(payload["outcomes"].values()) == 40
+        assert json.loads(out_path.read_text()) == payload
+        # Timing and file notices stay off the JSON stream.
+        assert "requests/s" in captured.err
+
+    def test_nonpositive_load_is_usage_error(self, capsys):
+        assert main(["serve", "--load", "0", "--no-ledger"]) == 2
+        assert "--load must be positive" in capsys.readouterr().err
+
+    def test_nonpositive_queue_cap_is_usage_error(self, capsys):
+        assert main(["serve", "--queue-cap", "-1", "--no-ledger"]) == 2
+        assert "--queue-cap must be positive" in capsys.readouterr().err
+
+    def test_unknown_engine_is_usage_error(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["serve", "--engine", "jit", "--no-ledger"])
+
+    def test_isolation_violation_exits_one(self, capsys, monkeypatch):
+        import repro.parallel.fabric as fabric
+
+        real = fabric.run_serve_fabric
+
+        def doctored(*args, **kwargs):
+            report, timing = real(*args, **kwargs)
+            report["isolation"]["all_isolated"] = False
+            report["isolation"]["violations"] = [
+                {"tenant": "tenant-00-batcher",
+                 "leaked": "tenant-06-spinner"}]
+            return report, timing
+
+        monkeypatch.setattr(fabric, "run_serve_fabric", doctored)
+        assert main(self.ARGS + ["--json", "--no-ledger"]) == 1
+        assert "tenant isolation violated" in capsys.readouterr().err
+
+    def test_ledger_round_trip_and_gate(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.json"
+        assert main(self.ARGS + ["--ledger", str(ledger)]) == 0
+        assert main(self.ARGS + ["--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["ledger", "--path", str(ledger), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "rpmc" in out and "ok" in out
+        assert "regression gate: ok" in out
